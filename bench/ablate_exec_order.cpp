@@ -1,0 +1,81 @@
+// Ablation A1 — local execution order: LIFO (the paper's choice) vs FIFO.
+//
+// The paper's memory-locality argument: "executing tasks in LIFO order
+// preserves memory locality by keeping the process's working set small".
+// This bench quantifies it: the same computations run under both disciplines
+// and we report "max tasks in use" (the Table 2 working-set statistic).
+// LIFO is O(spawn depth); FIFO is breadth-first and explodes to O(tree
+// width).
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "bench_util.hpp"
+#include "core/local_runner.hpp"
+
+namespace phish::bench {
+namespace {
+
+struct Workload {
+  std::string name;
+  std::function<void(LocalRunner&)> run;
+};
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const std::int64_t fib_n = flags.get_int("fib_n", 20);
+  const std::int64_t pfold_n = flags.get_int("pfold_n", 13);
+  const std::int64_t nqueens_n = flags.get_int("nqueens_n", 9);
+  reject_unknown_flags(flags);
+
+  banner("Ablation A1", "LIFO vs FIFO local execution order -> working set");
+
+  TextTable table({"workload", "order", "tasks executed", "max tasks in use",
+                   "ratio vs LIFO"});
+
+  auto measure = [&](const std::string& name, const TaskRegistry& reg,
+                     TaskId root, std::vector<Value> args) {
+    std::uint64_t lifo_in_use = 0;
+    for (ExecOrder order : {ExecOrder::kLifo, ExecOrder::kFifo}) {
+      LocalRunner runner(reg, order, StealOrder::kFifo);
+      auto a = args;
+      runner.run(root, std::move(a));
+      const auto& s = runner.stats();
+      const char* label = order == ExecOrder::kLifo ? "LIFO" : "FIFO";
+      if (order == ExecOrder::kLifo) lifo_in_use = s.max_tasks_in_use;
+      const double ratio =
+          static_cast<double>(s.max_tasks_in_use) /
+          static_cast<double>(lifo_in_use ? lifo_in_use : 1);
+      table.add_row({name, label, TextTable::num(s.tasks_executed),
+                     TextTable::num(s.max_tasks_in_use),
+                     TextTable::num(ratio, 1)});
+      kv("a1." + name + "." + label + ".max_in_use", s.max_tasks_in_use);
+    }
+  };
+
+  {
+    TaskRegistry reg;
+    const TaskId root = apps::register_fib(reg);
+    measure("fib" + std::to_string(fib_n), reg, root, {Value(fib_n)});
+  }
+  {
+    TaskRegistry reg;
+    const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/4);
+    measure("pfold" + std::to_string(pfold_n), reg, root, {Value(pfold_n)});
+  }
+  {
+    TaskRegistry reg;
+    const TaskId root = apps::register_nqueens(reg, /*sequential_rows=*/2);
+    measure("nqueens" + std::to_string(nqueens_n), reg, root,
+            {Value(nqueens_n)});
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected: FIFO working set 10-1000x the LIFO one; the paper"
+              "'s scheduler is the LIFO column.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

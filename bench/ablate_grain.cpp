@@ -1,0 +1,84 @@
+// Ablation A8 — task grain size: the variable behind the whole of Table 1.
+//
+// The paper: "The fib application incurs serial slowdown because of its tiny
+// grain size ... The fairly coarse grain size of the ray application incurs
+// very little serial slowdown."  Grain is the practical knob every Phish
+// programmer controls (how deep to spawn before going serial), trading
+// scheduling overhead (favours coarse) against available parallelism
+// (favours fine).  This bench sweeps pfold's sequential cutoff and reports
+// both sides: the 1-worker serial slowdown in real time (threads runtime)
+// and the P=8 speedup in simulated time.
+#include <cstdio>
+
+#include "apps/pfold/pfold.hpp"
+#include "bench_util.hpp"
+#include "pfold_sweep.hpp"
+#include "runtime/threads/threads_runtime.hpp"
+
+namespace phish::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const int polymer = static_cast<int>(flags.get_int("polymer", 15));
+  const int participants = static_cast<int>(flags.get_int("participants", 8));
+  const auto cutoffs = flags.get_int_list("cutoffs", {2, 4, 6, 8, 10, 12});
+  const int reps = static_cast<int>(flags.get_int("reps", 3));
+  reject_unknown_flags(flags);
+
+  banner("Ablation A8", "task grain (pfold sequential cutoff) vs overhead "
+                        "and speedup");
+  std::printf("pfold polymer=%d; slowdown measured in real time on one "
+              "worker, speedup at P=%d in simulated time\n\n",
+              polymer, participants);
+
+  // Baseline: best serial implementation, real time.
+  const double serial_s = time_best_of(reps, [&] {
+    volatile std::uint64_t sink = apps::pfold_count(polymer);
+    (void)sink;
+  });
+
+  TextTable table({"cutoff", "tasks", "slowdown(1 worker)",
+                   std::string("S_") + std::to_string(participants),
+                   "steals"});
+  for (std::int64_t cutoff : cutoffs) {
+    // Real-time serial slowdown on the threads runtime.
+    TaskRegistry reg;
+    const TaskId root = apps::register_pfold(reg, static_cast<int>(cutoff));
+    rt::ThreadsConfig tcfg;
+    tcfg.workers = 1;
+    rt::ThreadsRuntime trt(reg, tcfg);
+    std::uint64_t tasks = 0;
+    const double one_worker_s = time_best_of(reps, [&] {
+      const auto r = trt.run(root, {Value(std::int64_t{polymer})});
+      tasks = r.aggregate.tasks_executed;
+    });
+
+    // Simulated-time speedup at P.
+    PfoldSweepConfig scfg;
+    scfg.polymer = polymer;
+    scfg.cutoff = static_cast<int>(cutoff);
+    const auto r1 = run_pfold_at(scfg, 1);
+    const auto rp = run_pfold_at(scfg, participants);
+    const double sp = paper_speedup(r1.participant_seconds[0],
+                                    rp.participant_seconds);
+
+    table.add_row({TextTable::num(cutoff), TextTable::num(tasks),
+                   TextTable::num(one_worker_s / serial_s, 2),
+                   TextTable::num(sp, 2),
+                   TextTable::num(rp.aggregate.tasks_stolen_by_me)});
+    kv("a8.cutoff" + std::to_string(cutoff) + ".slowdown",
+       one_worker_s / serial_s);
+    kv("a8.cutoff" + std::to_string(cutoff) + ".speedup", sp);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected: finer grain (small cutoff) costs serial slowdown "
+              "but parallelism stays plentiful; very coarse grain is cheap "
+              "serially but caps the speedup when tasks get scarce.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

@@ -1,0 +1,84 @@
+// Ablation A6 — the thief's give-up threshold (max_failed_steals).
+//
+// Paper: "If no task can be found even after many attempted steals, the
+// amount of parallelism in the job must have decreased.  In response ...
+// the thief process terminates, and the terminated process's workstation
+// goes back under the control of the macro-level scheduler."
+//
+// The threshold trades responsiveness for stability: a tiny budget releases
+// workstations quickly (good for the macro level) but risks quitting during
+// a momentary lull; a huge budget burns steal messages polling an
+// essentially serial job.  Workload: fib with a large sequential cutoff —
+// one long serial task, so the extra participants are pure thieves.
+#include <cstdio>
+
+#include "apps/fib/fib.hpp"
+#include "bench_util.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+
+namespace phish::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const std::int64_t fib_n = flags.get_int("fib_n", 32);
+  const int participants = static_cast<int>(flags.get_int("participants", 8));
+  const auto budgets = flags.get_int_list("budgets", {2, 5, 20, 100, 1000});
+  reject_unknown_flags(flags);
+
+  banner("Ablation A6", "steal-attempt budget vs thief departure and wasted "
+                        "messages");
+  std::printf("fib(%lld) run as ONE serial task; %d participants, %d of them "
+              "pure thieves\n\n",
+              static_cast<long long>(fib_n), participants, participants - 1);
+
+  TextTable table({"budget", "thieves departed", "steal requests",
+                   "wasted workstation-s", "makespan (s)"});
+  for (std::int64_t budget : budgets) {
+    TaskRegistry registry;
+    const TaskId root = apps::register_fib(registry,
+                                           /*sequential_cutoff=*/60);
+    rt::SimJobConfig job;
+    job.participants = participants;
+    job.seed = 11 + static_cast<std::uint64_t>(budget);
+    job.clearinghouse.detect_failures = false;
+    job.worker.heartbeat_period = 0;
+    job.worker.update_period = 0;
+    job.worker.max_failed_steals = static_cast<int>(budget);
+    job.worker.steal_retry_delay = 5 * sim::kMillisecond;
+    rt::SimCluster cluster(registry, job);
+    const auto result = cluster.run(root, {Value(fib_n)});
+
+    int departed = 0;
+    double wasted_seconds = 0.0;
+    for (int i = 0; i < participants; ++i) {
+      const auto& w = cluster.worker(i);
+      if (w.depart_reason() ==
+          rt::SimWorker::DepartReason::kParallelismShrank) {
+        ++departed;
+      }
+      if (i > 0) wasted_seconds += sim::to_seconds(w.lifetime());
+    }
+    table.add_row({TextTable::num(budget), TextTable::num(
+                       static_cast<std::int64_t>(departed)),
+                   TextTable::num(result.aggregate.steal_requests_sent),
+                   TextTable::num(wasted_seconds, 3),
+                   TextTable::num(result.makespan_seconds, 3)});
+    kv("a6.budget" + std::to_string(budget) + ".departed",
+       static_cast<std::uint64_t>(departed));
+    kv("a6.budget" + std::to_string(budget) + ".steal_requests",
+       result.aggregate.steal_requests_sent);
+    kv("a6.budget" + std::to_string(budget) + ".wasted_seconds",
+       wasted_seconds);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected: small budgets release the idle workstations "
+              "almost immediately; large budgets hold them for the whole "
+              "job, polling uselessly.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

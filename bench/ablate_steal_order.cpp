@@ -1,0 +1,70 @@
+// Ablation A2 — steal end: FIFO/tail (the paper's choice) vs LIFO/head.
+//
+// The paper's communication-locality argument: "stealing in FIFO order has
+// an intuitive payoff in preserving communication locality, because for
+// computations with a tree-like structure, the task at the tail of the ready
+// list is often a task near the base of the tree, and therefore, a task that
+// will spawn many descendent tasks."  Stealing big subtrees means fewer
+// steals, fewer messages, and fewer non-local synchronizations for the same
+// balance.
+#include <cstdio>
+
+#include "apps/pfold/pfold.hpp"
+#include "bench_util.hpp"
+#include "pfold_sweep.hpp"
+
+namespace phish::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const int polymer = static_cast<int>(flags.get_int("polymer", 15));
+  const int cutoff = static_cast<int>(flags.get_int("cutoff", 5));
+  const int participants = static_cast<int>(flags.get_int("participants", 8));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  reject_unknown_flags(flags);
+
+  banner("Ablation A2", "FIFO (tail) vs LIFO (head) steal order");
+  std::printf("pfold polymer=%d cutoff=%d, P=%d\n\n", polymer, cutoff,
+              participants);
+
+  TextTable table({"steal order", "tasks stolen", "avg stolen depth",
+                   "avg executed depth", "non-local synchs", "messages",
+                   "avg time (s)"});
+  for (StealOrder order : {StealOrder::kFifo, StealOrder::kLifo}) {
+    TaskRegistry registry;
+    const TaskId root = apps::register_pfold(registry, cutoff);
+    rt::SimJobConfig job;
+    job.participants = participants;
+    job.seed = seed;
+    job.steal_order = order;
+    job.clearinghouse.detect_failures = false;
+    job.worker.heartbeat_period = 0;
+    job.worker.update_period = 0;
+    const auto result = rt::run_sim_job(registry, root,
+                                        {Value(std::int64_t{polymer})}, job);
+    const char* label = order == StealOrder::kFifo ? "FIFO (paper)" : "LIFO";
+    table.add_row({label, TextTable::num(result.aggregate.tasks_stolen_by_me),
+                   TextTable::num(result.aggregate.avg_stolen_depth(), 1),
+                   TextTable::num(result.aggregate.avg_executed_depth(), 1),
+                   TextTable::num(result.aggregate.non_local_synchs),
+                   TextTable::num(result.messages_sent),
+                   TextTable::num(result.average_participant_seconds, 3)});
+    const std::string key = order == StealOrder::kFifo ? "fifo" : "lifo";
+    kv("a2." + key + ".stolen", result.aggregate.tasks_stolen_by_me);
+    kv("a2." + key + ".messages", result.messages_sent);
+    kv("a2." + key + ".avg_seconds", result.average_participant_seconds);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected: FIFO steals tasks near the BASE of the spawn tree "
+              "(avg stolen depth well below avg executed depth) — each steal "
+              "moves a big subtree; LIFO steals leaf-ward tasks, so it "
+              "steals and messages far more for the same work.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

@@ -1,0 +1,58 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench prints (a) a banner naming the paper artifact it regenerates,
+// (b) a human-readable table, and (c) machine-readable "key=value" lines
+// prefixed with "RESULT " for scripted extraction.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace phish::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void kv(const std::string& key, const std::string& value) {
+  std::printf("RESULT %s=%s\n", key.c_str(), value.c_str());
+}
+inline void kv(const std::string& key, double value) {
+  std::printf("RESULT %s=%.6g\n", key.c_str(), value);
+}
+inline void kv(const std::string& key, std::uint64_t value) {
+  std::printf("RESULT %s=%llu\n", key.c_str(),
+              static_cast<unsigned long long>(value));
+}
+
+/// Best-of-N wall-clock timing of a callable, in seconds.
+inline double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    fn();
+    const double s = watch.elapsed_seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// Fail loudly on mistyped flags: a typo must not silently run defaults.
+inline void reject_unknown_flags(const Flags& flags) {
+  const auto unused = flags.unused();
+  if (!unused.empty()) {
+    std::fprintf(stderr, "unknown flag(s):");
+    for (const auto& name : unused) std::fprintf(stderr, " --%s", name.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+}
+
+}  // namespace phish::bench

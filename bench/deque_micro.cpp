@@ -1,0 +1,119 @@
+// Ablation A5 — ready-deque implementations (google-benchmark).
+//
+// The 1994 prototype's ready list needs no synchronization at all (steals
+// arrive as messages, handled by the same process), which this repo models
+// with the plain ReadyDeque.  The shared-memory threads runtime guards that
+// deque with a mutex; the Chase–Lev deque is the modern lock-free
+// alternative.  These microbenches quantify the per-operation costs so the
+// ablation discussion in DESIGN.md has numbers: on a workstation network the
+// difference vanishes under ~400 us message overheads, but in shared memory
+// it is visible.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "core/chase_lev.hpp"
+#include "core/ready_deque.hpp"
+
+namespace phish {
+namespace {
+
+Closure make_closure(std::uint64_t seq) {
+  Closure c;
+  c.id = ClosureId{net::NodeId{0}, seq};
+  c.task = 0;
+  c.args = {Value(std::int64_t{1}), Value(std::int64_t{2})};
+  c.filled = {true, true};
+  return c;
+}
+
+void BM_ReadyDequePushPop(benchmark::State& state) {
+  ReadyDeque d;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    d.push(make_closure(++seq));
+    benchmark::DoNotOptimize(d.pop_for_execution());
+  }
+}
+BENCHMARK(BM_ReadyDequePushPop);
+
+void BM_ReadyDequePushPopWithMutex(benchmark::State& state) {
+  // The threads runtime's actual configuration: deque ops under a mutex.
+  ReadyDeque d;
+  std::mutex m;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      d.push(make_closure(++seq));
+    }
+    std::lock_guard<std::mutex> lock(m);
+    benchmark::DoNotOptimize(d.pop_for_execution());
+  }
+}
+BENCHMARK(BM_ReadyDequePushPopWithMutex);
+
+void BM_ChaseLevPushPop(benchmark::State& state) {
+  ChaseLevDeque<Closure> d;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    d.push(make_closure(++seq));
+    benchmark::DoNotOptimize(d.pop());
+  }
+}
+BENCHMARK(BM_ChaseLevPushPop);
+
+void BM_ReadyDequeStealPath(benchmark::State& state) {
+  ReadyDeque d;
+  std::mutex m;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      d.push(make_closure(++seq));
+    }
+    std::lock_guard<std::mutex> lock(m);
+    benchmark::DoNotOptimize(d.pop_for_steal());
+  }
+}
+BENCHMARK(BM_ReadyDequeStealPath);
+
+void BM_ChaseLevStealPath(benchmark::State& state) {
+  ChaseLevDeque<Closure> d;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    d.push(make_closure(++seq));
+    benchmark::DoNotOptimize(d.steal());
+  }
+}
+BENCHMARK(BM_ChaseLevStealPath);
+
+void BM_ReadyDequeDeepLifo(benchmark::State& state) {
+  // Model a depth-first burst: push `depth` tasks, pop them all.
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  ReadyDeque d;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < depth; ++i) d.push(make_closure(i));
+    while (auto c = d.pop_for_execution()) benchmark::DoNotOptimize(*c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_ReadyDequeDeepLifo)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ChaseLevDeep(benchmark::State& state) {
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  ChaseLevDeque<Closure> d;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < depth; ++i) d.push(make_closure(i));
+    while (auto c = d.pop()) benchmark::DoNotOptimize(*c);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_ChaseLevDeep)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace phish
+
+BENCHMARK_MAIN();

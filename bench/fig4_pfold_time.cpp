@@ -1,0 +1,54 @@
+// Figure 4 — average execution time of pfold vs number of participants.
+//
+// Paper: "Average execution time of the Phish pfold application running on a
+// network of SparcStation 1's versus the number of participants", with the
+// average over the P participants' wall-clock lifetimes.  The curve falls
+// roughly as 1/P (the paper's 1->32 sweep went from ~600 s to ~20 s).
+//
+// Shape targets: monotone decrease, near-1/P through P=16, visible droop at
+// P=32 as fixed startup overheads (registration) stop amortizing.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pfold_sweep.hpp"
+
+namespace phish::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const PfoldSweepConfig cfg = sweep_config_from_flags(flags);
+  const auto participants =
+      flags.get_int_list("participants", {1, 2, 4, 8, 16, 24, 32});
+  reject_unknown_flags(flags);
+
+  banner("Figure 4", "pfold average execution time vs participants (simulated "
+                     "workstation network)");
+  std::printf("polymer=%d monomers, grain cutoff=%d\n\n", cfg.polymer,
+              cfg.cutoff);
+
+  TextTable table({"P", "avg time (s)", "makespan (s)", "tasks", "steals"});
+  double t1 = 0.0;
+  for (std::int64_t p : participants) {
+    const auto result = run_pfold_at(cfg, static_cast<int>(p));
+    if (p == 1) t1 = result.average_participant_seconds;
+    table.add_row({TextTable::num(static_cast<std::int64_t>(p)),
+                   TextTable::num(result.average_participant_seconds, 3),
+                   TextTable::num(result.makespan_seconds, 3),
+                   TextTable::num(result.aggregate.tasks_executed),
+                   TextTable::num(result.aggregate.tasks_stolen_by_me)});
+    kv("fig4.P" + std::to_string(p) + ".avg_seconds",
+       result.average_participant_seconds);
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (t1 > 0.0) {
+    std::printf("\nreference: perfect scaling would reach T1/32 = %.3f s at "
+                "P=32\n", t1 / 32.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

@@ -1,0 +1,55 @@
+// Figure 5 — speedup of pfold vs number of participants.
+//
+// Paper: "The P-participant speedup is computed as S_P = P*T_1 / sum_i
+// T_P(i), where T_P(i) is the wall-clock execution time of the i-th
+// participant and T_1 is the wall-clock execution time of the parallel
+// program with one participant.  The dashed line represents perfect linear
+// speedup." The measured curve hugs the line, with a dip at 32 where fixed
+// overheads (especially registering with the Clearinghouse) become
+// significant relative to the shrinking runtime.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pfold_sweep.hpp"
+
+namespace phish::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const PfoldSweepConfig cfg = sweep_config_from_flags(flags);
+  const auto participants =
+      flags.get_int_list("participants", {1, 2, 4, 8, 16, 24, 32});
+  reject_unknown_flags(flags);
+
+  banner("Figure 5",
+         "pfold speedup S_P = P*T_1 / sum T_P(i) vs participants");
+  std::printf("polymer=%d monomers, grain cutoff=%d\n\n", cfg.polymer,
+              cfg.cutoff);
+
+  const auto base = run_pfold_at(cfg, 1);
+  const double t1 = base.participant_seconds[0];
+
+  TextTable table({"P", "S_P", "perfect", "efficiency"});
+  table.add_row({"1", "1.00", "1", "1.00"});
+  kv("fig5.P1.speedup", 1.0);
+  for (std::int64_t p : participants) {
+    if (p == 1) continue;
+    const auto result = run_pfold_at(cfg, static_cast<int>(p));
+    const double sp = paper_speedup(t1, result.participant_seconds);
+    table.add_row({TextTable::num(static_cast<std::int64_t>(p)),
+                   TextTable::num(sp, 2),
+                   TextTable::num(static_cast<std::int64_t>(p)),
+                   TextTable::num(sp / static_cast<double>(p), 3)});
+    kv("fig5.P" + std::to_string(p) + ".speedup", sp);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\npaper shape: near-linear through 32 participants, slight "
+              "droop at 32 from fixed registration overheads.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

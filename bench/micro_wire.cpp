@@ -1,0 +1,90 @@
+// Microbenchmarks of the wire layer (google-benchmark): closure and message
+// serialization, and the end-to-end simulated message path.  These set the
+// scale for the cost model defaults in SimNetParams.
+#include <benchmark/benchmark.h>
+
+#include "core/closure.hpp"
+#include "core/protocol.hpp"
+#include "net/sim_net.hpp"
+
+namespace phish {
+namespace {
+
+Closure sample_closure() {
+  Closure c;
+  c.id = ClosureId{net::NodeId{3}, 123456};
+  c.task = 7;
+  c.cont = ContRef{ClosureId{net::NodeId{1}, 42}, 1, net::NodeId{1}};
+  c.args = {Value(std::int64_t{5}), Value(2.5), Value(Bytes(64))};
+  c.filled = {true, true, true};
+  c.depth = 12;
+  return c;
+}
+
+void BM_ClosureEncode(benchmark::State& state) {
+  const Closure c = sample_closure();
+  for (auto _ : state) {
+    Writer w;
+    c.encode(w);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+}
+BENCHMARK(BM_ClosureEncode);
+
+void BM_ClosureDecode(benchmark::State& state) {
+  Writer w;
+  sample_closure().encode(w);
+  const Bytes bytes = w.take();
+  for (auto _ : state) {
+    Reader r(bytes);
+    Closure c = Closure::decode(r);
+    benchmark::DoNotOptimize(c.id.seq);
+  }
+}
+BENCHMARK(BM_ClosureDecode);
+
+void BM_ArgumentMsgRoundTrip(benchmark::State& state) {
+  const proto::ArgumentMsg msg{
+      ContRef{ClosureId{net::NodeId{1}, 9}, 0, net::NodeId{1}},
+      Value(std::int64_t{77})};
+  for (auto _ : state) {
+    const Bytes b = msg.encode();
+    auto back = proto::ArgumentMsg::decode(b);
+    benchmark::DoNotOptimize(back->cont.slot);
+  }
+}
+BENCHMARK(BM_ArgumentMsgRoundTrip);
+
+void BM_SimNetworkMessagePath(benchmark::State& state) {
+  // Cost of one simulated send+deliver, including the event queue.
+  sim::Simulator simulator;
+  net::SimNetParams params;
+  params.jitter = 0;
+  net::SimNetwork network(simulator, params);
+  auto& a = network.channel(net::NodeId{0});
+  auto& b = network.channel(net::NodeId{1});
+  std::uint64_t received = 0;
+  b.set_receiver([&](net::Message&&) { ++received; });
+  for (auto _ : state) {
+    a.send(net::NodeId{1}, 1, Bytes(32));
+    simulator.run();
+  }
+  benchmark::DoNotOptimize(received);
+}
+BENCHMARK(BM_SimNetworkMessagePath);
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  sim::Simulator simulator;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    simulator.schedule(1, [&] { ++fired; });
+    simulator.run();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_SimulatorScheduleFire);
+
+}  // namespace
+}  // namespace phish
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Shared pfold participant-sweep used by the Figure 4, Figure 5, and
+// Table 2 benches: the paper's measurement configuration on the simulated
+// workstation network.
+//
+// Measurement conventions, matching Section 4:
+//   * idle workstations only (always-idle owner traces; here simply a plain
+//     SimCluster with no macro layer);
+//   * participants started "at as close to the same time as possible"
+//     (small start jitter, root worker first);
+//   * T_P(i) = wall-clock lifetime of participant i;
+//   * S_P = P * T_1 / sum_i T_P(i).
+// Heartbeats and periodic membership updates are disabled: the 1994
+// prototype had neither, and Table 2 counts messages.
+#pragma once
+
+#include "apps/pfold/pfold.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "util/flags.hpp"
+
+namespace phish::bench {
+
+struct PfoldSweepConfig {
+  // Defaults chosen so the job is long enough (T1 ~ 40 simulated seconds)
+  // for startup overheads to amortize as they did in the paper's runs, while
+  // each sweep still completes in a few wall-clock seconds.
+  int polymer = 18;     // monomers
+  int cutoff = 7;       // sequential_monomers grain
+  std::uint64_t seed = 1994;
+};
+
+inline PfoldSweepConfig sweep_config_from_flags(const Flags& flags) {
+  PfoldSweepConfig cfg;
+  cfg.polymer = static_cast<int>(flags.get_int("polymer", cfg.polymer));
+  cfg.cutoff = static_cast<int>(flags.get_int("cutoff", cfg.cutoff));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1994));
+  return cfg;
+}
+
+inline rt::SimJobResult run_pfold_at(const PfoldSweepConfig& cfg,
+                                     int participants) {
+  TaskRegistry registry;
+  const TaskId root = apps::register_pfold(registry, cfg.cutoff);
+  rt::SimJobConfig job;
+  job.participants = participants;
+  job.seed = cfg.seed + static_cast<std::uint64_t>(participants);
+  job.clearinghouse.detect_failures = false;
+  job.worker.heartbeat_period = 0;
+  job.worker.update_period = 0;
+  job.max_sim_time = 36'000 * sim::kSecond;
+  return rt::run_sim_job(registry, root,
+                         {Value(std::int64_t{cfg.polymer})}, job);
+}
+
+/// The paper's speedup definition: S_P = P * T_1 / sum_i T_P(i).
+inline double paper_speedup(double t1_seconds,
+                            const std::vector<double>& participant_seconds) {
+  double sum = 0.0;
+  for (double t : participant_seconds) sum += t;
+  return static_cast<double>(participant_seconds.size()) * t1_seconds / sum;
+}
+
+}  // namespace phish::bench

@@ -1,0 +1,97 @@
+// Table 2 — message and scheduling statistics for pfold at 4 and 8
+// participants.
+//
+// Paper (pfold on SparcStation 1's):
+//
+//                         4 participants    8 participants
+//     Tasks executed      10,390,216        10,390,216
+//     Max tasks in use    59                59
+//     Tasks stolen        70                133
+//     Synchronizations    10,390,214        10,390,214
+//     Non-local synchs    55                122
+//     Messages sent       1,598             1,998
+//     Execution time      182 sec           94 sec
+//
+// Shape targets:
+//   * tasks executed and synchronizations identical across P (same work);
+//   * max tasks in use small and essentially independent of P (LIFO keeps
+//     the working set ~ spawn depth);
+//   * steals, non-local synchs, and messages orders of magnitude below
+//     tasks, growing only mildly with P;
+//   * execution time roughly halving from P=4 to P=8.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pfold_sweep.hpp"
+
+namespace phish::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const PfoldSweepConfig cfg = sweep_config_from_flags(flags);
+  const auto participants = flags.get_int_list("participants", {4, 8});
+  reject_unknown_flags(flags);
+
+  banner("Table 2", "pfold message & scheduling statistics");
+  std::printf("polymer=%d monomers, grain cutoff=%d\n\n", cfg.polymer,
+              cfg.cutoff);
+
+  std::vector<rt::SimJobResult> results;
+  std::vector<std::string> header{"statistic"};
+  for (std::int64_t p : participants) {
+    results.push_back(run_pfold_at(cfg, static_cast<int>(p)));
+    header.push_back(std::to_string(p) + " participants");
+  }
+
+  TextTable table(header);
+  auto add = [&](const std::string& name,
+                 const std::function<std::string(const rt::SimJobResult&)>&
+                     get) {
+    std::vector<std::string> row{name};
+    for (const auto& r : results) row.push_back(get(r));
+    table.add_row(std::move(row));
+  };
+  add("Tasks executed", [](const rt::SimJobResult& r) {
+    return TextTable::num(r.aggregate.tasks_executed);
+  });
+  add("Max tasks in use", [](const rt::SimJobResult& r) {
+    return TextTable::num(r.aggregate.max_tasks_in_use);
+  });
+  add("Tasks stolen", [](const rt::SimJobResult& r) {
+    return TextTable::num(r.aggregate.tasks_stolen_by_me);
+  });
+  add("Synchronizations", [](const rt::SimJobResult& r) {
+    return TextTable::num(r.aggregate.synchronizations);
+  });
+  add("Non-local synchs", [](const rt::SimJobResult& r) {
+    return TextTable::num(r.aggregate.non_local_synchs);
+  });
+  add("Messages sent", [](const rt::SimJobResult& r) {
+    return TextTable::num(r.messages_sent);
+  });
+  add("Execution time", [](const rt::SimJobResult& r) {
+    return TextTable::num(r.average_participant_seconds, 2) + " sec";
+  });
+  std::printf("%s", table.to_string().c_str());
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string prefix =
+        "table2.P" + std::to_string(participants[i]) + ".";
+    kv(prefix + "tasks", results[i].aggregate.tasks_executed);
+    kv(prefix + "max_in_use", results[i].aggregate.max_tasks_in_use);
+    kv(prefix + "stolen", results[i].aggregate.tasks_stolen_by_me);
+    kv(prefix + "synchs", results[i].aggregate.synchronizations);
+    kv(prefix + "non_local_synchs", results[i].aggregate.non_local_synchs);
+    kv(prefix + "messages", results[i].messages_sent);
+    kv(prefix + "avg_seconds", results[i].average_participant_seconds);
+  }
+  std::printf("\npaper: 10.39M tasks, max 59 in use, 70/133 stolen, 55/122 "
+              "non-local synchs, 1598/1998 messages, 182/94 sec.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

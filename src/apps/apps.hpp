@@ -1,0 +1,7 @@
+// Convenience umbrella for the four evaluation applications.
+#pragma once
+
+#include "apps/fib/fib.hpp"
+#include "apps/nqueens/nqueens.hpp"
+#include "apps/pfold/pfold.hpp"
+#include "apps/ray/ray.hpp"

@@ -1,0 +1,32 @@
+// fib: the paper's tiny-grain toy application.
+//
+// "The fib application is a naive, doubly-recursive program that computes
+// Fibonacci numbers. ... fib incurs serial slowdown because of its tiny grain
+// size; it does almost nothing but spawn parallel tasks, which are simple
+// procedure calls in the serial implementation."
+//
+// Its sole purpose is to stress scheduling overhead (Table 1) and to give the
+// work-stealing tests a deep, highly parallel spawn tree.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task_registry.hpp"
+
+namespace phish::apps {
+
+/// The best serial implementation: a plain doubly-recursive function.
+std::int64_t fib_serial(std::int64_t n);
+
+/// Register the fib tasks; returns the root task's id.
+/// Root task signature: args = [n : int]; sends fib(n) : int to cont.
+///
+/// `sequential_cutoff`: below this n a task computes serially instead of
+/// spawning (0 reproduces the paper's fully fine-grained version).
+TaskId register_fib(TaskRegistry& registry, std::int64_t sequential_cutoff = 0);
+
+/// Work units fib tasks charge (for the simulated runtime's cost model):
+/// one unit per serial-fib call node.
+constexpr std::uint64_t kFibUnitPerNode = 1;
+
+}  // namespace phish::apps

@@ -1,0 +1,109 @@
+#include "apps/nqueens/nqueens.hpp"
+
+#include <vector>
+
+#include "core/worker_core.hpp"
+
+namespace phish::apps {
+namespace {
+
+/// Counts completions from a partial placement given the three attack masks;
+/// also counts visited search nodes for work charging.
+std::int64_t count_completions(std::uint32_t all, std::uint32_t cols,
+                               std::uint32_t diag_l, std::uint32_t diag_r,
+                               std::uint64_t& nodes) {
+  ++nodes;
+  if (cols == all) return 1;
+  std::int64_t count = 0;
+  std::uint32_t free = all & ~(cols | diag_l | diag_r);
+  while (free != 0) {
+    const std::uint32_t bit = free & (~free + 1);  // lowest set bit
+    free ^= bit;
+    count += count_completions(all, cols | bit, (diag_l | bit) << 1,
+                               (diag_r | bit) >> 1, nodes);
+  }
+  return count;
+}
+
+}  // namespace
+
+std::int64_t nqueens_serial(int n) {
+  std::uint64_t nodes = 0;
+  const std::uint32_t all = (n >= 32) ? 0xffffffffu : ((1u << n) - 1);
+  return count_completions(all, 0, 0, 0, nodes);
+}
+
+TaskId register_nqueens(TaskRegistry& registry, int sequential_rows) {
+  // nqueens.sum: variable-arity join; sums all its slots.
+  const TaskId sum_id =
+      registry.add("nqueens.sum", [](Context& cx, Closure& c) {
+        std::int64_t total = 0;
+        for (const Value& v : c.args) total += v.as_int();
+        cx.send(c.cont, total);
+      });
+
+  // nqueens.search: args = [n, row, cols, diag_l, diag_r].
+  const TaskId search_id = registry.add(
+      "nqueens.search",
+      [sum_id, sequential_rows](Context& cx, Closure& c) {
+        const int n = static_cast<int>(c.args[0].as_int());
+        const int row = static_cast<int>(c.args[1].as_int());
+        const auto cols = static_cast<std::uint32_t>(c.args[2].as_int());
+        const auto diag_l = static_cast<std::uint32_t>(c.args[3].as_int());
+        const auto diag_r = static_cast<std::uint32_t>(c.args[4].as_int());
+        const std::uint32_t all = (n >= 32) ? 0xffffffffu : ((1u << n) - 1);
+
+        if (row == n) {
+          cx.charge(1);
+          cx.send(c.cont, std::int64_t{1});
+          return;
+        }
+        if (n - row <= sequential_rows) {
+          // Few rows left: finish this subtree serially in one task.
+          std::uint64_t nodes = 0;
+          const std::int64_t count =
+              count_completions(all, cols, diag_l, diag_r, nodes);
+          cx.charge(nodes);
+          cx.send(c.cont, count);
+          return;
+        }
+
+        std::uint32_t free = all & ~(cols | diag_l | diag_r);
+        if (free == 0) {
+          cx.charge(1);
+          cx.send(c.cont, std::int64_t{0});
+          return;
+        }
+        // One child per legal column in this row, joined by a sum.
+        std::vector<std::uint32_t> moves;
+        while (free != 0) {
+          const std::uint32_t bit = free & (~free + 1);
+          free ^= bit;
+          moves.push_back(bit);
+        }
+        cx.charge(1 + moves.size());
+        const ClosureId join = cx.make_join(
+            sum_id, static_cast<std::uint16_t>(moves.size()), c.cont);
+        for (std::size_t i = 0; i < moves.size(); ++i) {
+          const std::uint32_t bit = moves[i];
+          cx.spawn(c.task,
+                   {Value(std::int64_t{n}), Value(std::int64_t{row + 1}),
+                    Value(static_cast<std::int64_t>(cols | bit)),
+                    Value(static_cast<std::int64_t>((diag_l | bit) << 1)),
+                    Value(static_cast<std::int64_t>((diag_r | bit) >> 1))},
+                   cx.slot(join, static_cast<std::uint16_t>(i)));
+        }
+      });
+
+  // nqueens.root: args = [n]; kicks off the search from an empty board.
+  const TaskId root_id = registry.add(
+      "nqueens.root", [search_id](Context& cx, Closure& c) {
+        cx.spawn(search_id,
+                 {c.args[0], Value(std::int64_t{0}), Value(std::int64_t{0}),
+                  Value(std::int64_t{0}), Value(std::int64_t{0})},
+                 c.cont);
+      });
+  return root_id;
+}
+
+}  // namespace phish::apps

@@ -1,0 +1,28 @@
+// nqueens: backtrack search counting queen placements.
+//
+// "The nqueens application counts by backtrack search the number of ways of
+// arranging n queens on an n x n chess board such that no queen can capture
+// any other."  Backtrack search is the workload class that inspired
+// idle-initiated scheduling (DIB); parallelism is dynamic and irregular —
+// subtree sizes vary wildly, which is exactly what random FIFO stealing
+// handles well.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task_registry.hpp"
+
+namespace phish::apps {
+
+/// Best serial implementation: bitmask backtracking.
+std::int64_t nqueens_serial(int n);
+
+/// Register the nqueens tasks; returns the root task's id.
+/// Root task signature: args = [n : int]; sends the solution count to cont.
+///
+/// `sequential_rows`: subtrees with at most this many rows left are counted
+/// serially inside one task (grain control).  The paper's nqueens had a
+/// moderate grain (serial slowdown 1.12); sequential_rows ~ n-3 models that.
+TaskId register_nqueens(TaskRegistry& registry, int sequential_rows = 5);
+
+}  // namespace phish::apps

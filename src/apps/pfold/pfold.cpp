@@ -1,0 +1,253 @@
+#include "apps/pfold/pfold.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/worker_core.hpp"
+
+namespace phish::apps {
+namespace {
+
+// Direction encoding for walk steps.
+constexpr int kDx[4] = {1, -1, 0, 0};
+constexpr int kDy[4] = {0, 0, 1, -1};
+
+/// Lattice walk state: occupancy grid plus incremental contact count.
+/// The grid spans [-n, n]^2, indexed with an offset so the walk can never
+/// leave it.
+class Walk {
+ public:
+  explicit Walk(int n)
+      : n_(n), side_(2 * n + 1), grid_(side_ * side_, 0), contacts_(0) {
+    if (n < 1) throw std::invalid_argument("pfold: n must be >= 1");
+    x_.reserve(n);
+    y_.reserve(n);
+    place(0, 0);
+  }
+
+  int length() const noexcept { return static_cast<int>(x_.size()); }
+  int n() const noexcept { return n_; }
+  int contacts() const noexcept { return contacts_; }
+
+  bool occupied(int x, int y) const noexcept {
+    return grid_[index(x, y)] != 0;
+  }
+
+  /// Can the walk extend one step in direction d?
+  bool can_step(int d) const noexcept {
+    const int nx = x_.back() + kDx[d];
+    const int ny = y_.back() + kDy[d];
+    return !occupied(nx, ny);
+  }
+
+  void step(int d) {
+    place(x_.back() + kDx[d], y_.back() + kDy[d]);
+  }
+
+  void unstep() {
+    const int x = x_.back();
+    const int y = y_.back();
+    x_.pop_back();
+    y_.pop_back();
+    grid_[index(x, y)] = 0;
+    contacts_ -= new_contacts(x, y);
+  }
+
+  /// Enumerate all completions of the current walk into `out`, charging one
+  /// node per visit.
+  void enumerate(Histogram& out, std::uint64_t& nodes) {
+    ++nodes;
+    if (length() == n_) {
+      out.add(contacts_);
+      return;
+    }
+    for (int d = 0; d < 4; ++d) {
+      if (!can_step(d)) continue;
+      step(d);
+      enumerate(out, nodes);
+      unstep();
+    }
+  }
+
+ private:
+  std::size_t index(int x, int y) const noexcept {
+    return static_cast<std::size_t>(y + n_) * side_ +
+           static_cast<std::size_t>(x + n_);
+  }
+
+  /// Contacts created by adding a monomer at (x, y): occupied lattice
+  /// neighbours other than its chain predecessor.
+  int new_contacts(int x, int y) const noexcept {
+    int c = 0;
+    for (int d = 0; d < 4; ++d) {
+      const int nx = x + kDx[d];
+      const int ny = y + kDy[d];
+      if (!occupied(nx, ny)) continue;
+      // The predecessor is adjacent and consecutive: exclude it.
+      if (!x_.empty() && nx == x_.back() && ny == y_.back()) continue;
+      ++c;
+    }
+    return c;
+  }
+
+  void place(int x, int y) {
+    contacts_ += new_contacts(x, y);
+    x_.push_back(x);
+    y_.push_back(y);
+    grid_[index(x, y)] = 1;
+  }
+
+  int n_;
+  int side_;
+  std::vector<std::uint8_t> grid_;
+  std::vector<int> x_, y_;
+  int contacts_;
+};
+
+/// Rebuild a Walk from a direction path.
+Walk walk_from_path(int n, const std::uint8_t* dirs, std::size_t len) {
+  Walk w(n);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (dirs[i] >= 4 || !w.can_step(dirs[i])) {
+      throw std::invalid_argument("pfold: corrupt walk path");
+    }
+    w.step(dirs[i]);
+  }
+  return w;
+}
+
+/// Task-state blob: [n : u32][len : u32][dir bytes...].
+Bytes encode_state(int n, const std::vector<std::uint8_t>& dirs) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(n));
+  w.u32(static_cast<std::uint32_t>(dirs.size()));
+  for (std::uint8_t d : dirs) w.u8(d);
+  return w.take();
+}
+
+struct State {
+  int n;
+  std::vector<std::uint8_t> dirs;
+};
+
+State decode_state(const Bytes& b) {
+  Reader r(b);
+  State s;
+  s.n = static_cast<int>(r.u32());
+  const std::uint32_t len = r.u32();
+  s.dirs.resize(len);
+  for (std::uint32_t i = 0; i < len; ++i) s.dirs[i] = r.u8();
+  if (!r.done()) throw std::invalid_argument("pfold: corrupt state blob");
+  return s;
+}
+
+}  // namespace
+
+Histogram pfold_serial(int n, std::uint64_t* nodes_out) {
+  Histogram h;
+  std::uint64_t nodes = 0;
+  if (n <= 1) {
+    h.add(0);  // a single monomer (or empty) has one trivial folding
+    nodes = 1;
+  } else {
+    // First step fixed to +x (symmetry reduction).
+    Walk w(n);
+    w.step(0);
+    w.enumerate(h, nodes);
+  }
+  if (nodes_out) *nodes_out = nodes;
+  return h;
+}
+
+std::uint64_t pfold_count(int n) { return pfold_serial(n).total(); }
+
+Bytes encode_histogram(const Histogram& h) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(h.bins().size()));
+  for (const auto& [key, count] : h.bins()) {
+    w.i64(key);
+    w.u64(count);
+  }
+  return w.take();
+}
+
+Histogram decode_histogram(const Bytes& b) {
+  Reader r(b);
+  Histogram h;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::int64_t key = r.i64();
+    const std::uint64_t count = r.u64();
+    h.add(key, count);
+  }
+  if (!r.done()) throw std::invalid_argument("pfold: corrupt histogram blob");
+  return h;
+}
+
+TaskId register_pfold(TaskRegistry& registry, int sequential_monomers) {
+  // pfold.merge: variable-arity join merging child histograms.
+  const TaskId merge_id =
+      registry.add("pfold.merge", [](Context& cx, Closure& c) {
+        Histogram total;
+        for (const Value& v : c.args) {
+          total.merge(decode_histogram(v.as_blob()));
+        }
+        cx.send(c.cont, encode_histogram(total));
+      });
+
+  // pfold.extend: args = [state blob]; explores the subtree under a partial
+  // walk.
+  const TaskId extend_id = registry.add(
+      "pfold.extend",
+      [merge_id, sequential_monomers](Context& cx, Closure& c) {
+        State s = decode_state(c.args[0].as_blob());
+        Walk w = walk_from_path(s.n, s.dirs.data(), s.dirs.size());
+        // Rebuilding the walk is real work proportional to its length.
+        cx.charge(static_cast<std::uint64_t>(w.length()));
+
+        const int remaining = s.n - w.length();
+        if (remaining <= sequential_monomers) {
+          Histogram h;
+          std::uint64_t nodes = 0;
+          w.enumerate(h, nodes);
+          cx.charge(nodes);
+          cx.send(c.cont, encode_histogram(h));
+          return;
+        }
+
+        std::vector<int> moves;
+        for (int d = 0; d < 4; ++d) {
+          if (w.can_step(d)) moves.push_back(d);
+        }
+        cx.charge(1);
+        if (moves.empty()) {
+          cx.send(c.cont, encode_histogram(Histogram{}));  // dead end
+          return;
+        }
+        const ClosureId join = cx.make_join(
+            merge_id, static_cast<std::uint16_t>(moves.size()), c.cont);
+        for (std::size_t i = 0; i < moves.size(); ++i) {
+          s.dirs.push_back(static_cast<std::uint8_t>(moves[i]));
+          cx.spawn(c.task, {Value(encode_state(s.n, s.dirs))},
+                   cx.slot(join, static_cast<std::uint16_t>(i)));
+          s.dirs.pop_back();
+        }
+      });
+
+  // pfold.root: args = [n]; fixes the first step and kicks off the search.
+  const TaskId root_id = registry.add(
+      "pfold.root", [extend_id](Context& cx, Closure& c) {
+        const int n = static_cast<int>(c.args[0].as_int());
+        cx.charge(1);
+        if (n <= 1) {
+          Histogram h;
+          h.add(0);
+          cx.send(c.cont, encode_histogram(h));
+          return;
+        }
+        cx.spawn(extend_id, {Value(encode_state(n, {0}))}, c.cont);
+      });
+  return root_id;
+}
+
+}  // namespace phish::apps

@@ -1,0 +1,45 @@
+// pfold: protein folding on a lattice.
+//
+// "The protein-folding application finds all possible foldings of a polymer
+// into a lattice and computes a histogram of the energy values."  (Developed
+// by Chris Joerg and Vijay Pande; the same workload later drove Cilk's
+// pfold.)  We model the polymer as a self-avoiding walk of `n` monomers on
+// the 2D square lattice, with the first step fixed to +x to quotient out
+// rotational symmetry.  The energy of a folding is the number of contacts:
+// pairs of monomers adjacent on the lattice but not consecutive in the chain
+// (an HP model with all-H residues, negated).
+//
+// This is the workload of the paper's Figure 4, Figure 5, and Table 2: a
+// deep, irregular enumeration tree with cheap nodes and a tiny result
+// (a histogram), i.e. maximal scheduling stress with minimal data movement.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task_registry.hpp"
+#include "util/stats.hpp"
+
+namespace phish::apps {
+
+/// Best serial implementation: enumerate all foldings of an n-monomer
+/// polymer and histogram their contact counts.  Also reports the number of
+/// search-tree nodes visited via `nodes_out` when non-null (used to charge
+/// simulated work).
+Histogram pfold_serial(int n, std::uint64_t* nodes_out = nullptr);
+
+/// Total number of foldings of an n-monomer polymer (== pfold_serial(n).total()).
+std::uint64_t pfold_count(int n);
+
+/// Histogram <-> Value blob encoding used by the pfold tasks.
+Bytes encode_histogram(const Histogram& h);
+Histogram decode_histogram(const Bytes& b);
+
+/// Register the pfold tasks; returns the root task's id.
+/// Root task signature: args = [n : int]; sends the energy histogram
+/// (encoded with encode_histogram) to cont.
+///
+/// `sequential_monomers`: subtrees with at most this many monomers left to
+/// place are enumerated serially inside one task (grain control).
+TaskId register_pfold(TaskRegistry& registry, int sequential_monomers = 7);
+
+}  // namespace phish::apps

@@ -1,0 +1,351 @@
+#include "apps/ray/ray.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/worker_core.hpp"
+
+namespace phish::apps {
+namespace {
+
+constexpr double kEpsilon = 1e-6;
+constexpr double kPi = 3.14159265358979323846;
+
+struct Ray {
+  Vec3 origin;
+  Vec3 dir;  // normalized
+};
+
+struct Hit {
+  double t = -1.0;
+  Vec3 point;
+  Vec3 normal;
+  Material material;
+  bool valid() const { return t > 0.0; }
+};
+
+/// Ray-sphere intersection; returns smallest positive t or -1.
+double intersect_sphere(const Ray& ray, const Sphere& s) {
+  const Vec3 oc = ray.origin - s.center;
+  const double b = oc.dot(ray.dir);
+  const double c = oc.norm2() - s.radius * s.radius;
+  const double disc = b * b - c;
+  if (disc < 0.0) return -1.0;
+  const double sq = std::sqrt(disc);
+  const double t1 = -b - sq;
+  if (t1 > kEpsilon) return t1;
+  const double t2 = -b + sq;
+  if (t2 > kEpsilon) return t2;
+  return -1.0;
+}
+
+Material plane_material(const Vec3& point) {
+  // Checkerboard in x/z.
+  const auto cx = static_cast<long long>(std::floor(point.x));
+  const auto cz = static_cast<long long>(std::floor(point.z));
+  Material m;
+  m.color = ((cx + cz) & 1) ? Vec3{0.15, 0.15, 0.15} : Vec3{0.9, 0.9, 0.9};
+  m.diffuse = 0.9;
+  m.specular = 0.1;
+  m.reflectivity = 0.15;
+  return m;
+}
+
+Hit closest_hit(const Scene& scene, const Ray& ray) {
+  Hit best;
+  for (const Sphere& s : scene.spheres) {
+    const double t = intersect_sphere(ray, s);
+    if (t > 0.0 && (!best.valid() || t < best.t)) {
+      best.t = t;
+      best.point = ray.origin + ray.dir * t;
+      best.normal = (best.point - s.center).normalized();
+      best.material = s.material;
+    }
+  }
+  if (scene.ground_plane && std::abs(ray.dir.y) > kEpsilon) {
+    const double t = (scene.plane_y - ray.origin.y) / ray.dir.y;
+    if (t > kEpsilon && (!best.valid() || t < best.t)) {
+      best.t = t;
+      best.point = ray.origin + ray.dir * t;
+      best.normal = Vec3{0, 1, 0};
+      best.material = plane_material(best.point);
+    }
+  }
+  return best;
+}
+
+Vec3 sky_color(const Scene& scene, const Ray& ray) {
+  const double t = 0.5 * (ray.dir.y + 1.0);
+  return scene.sky_bottom * (1.0 - t) + scene.sky_top * t;
+}
+
+bool in_shadow(const Scene& scene, const Vec3& point, const Vec3& to_light,
+               double light_dist, std::uint64_t& rays) {
+  ++rays;
+  const Ray shadow{point + to_light * (8 * kEpsilon), to_light};
+  for (const Sphere& s : scene.spheres) {
+    const double t = intersect_sphere(shadow, s);
+    if (t > 0.0 && t < light_dist) return true;
+  }
+  // The ground plane casts no shadows upward onto itself or the spheres in
+  // this scene (lights sit above it), so skip it.
+  return false;
+}
+
+Vec3 trace(const Scene& scene, const Ray& ray, int depth,
+           std::uint64_t& rays) {
+  ++rays;
+  const Hit hit = closest_hit(scene, ray);
+  if (!hit.valid()) return sky_color(scene, ray);
+
+  Vec3 color = scene.ambient * hit.material.color;
+  for (const Light& light : scene.lights) {
+    const Vec3 to_light_raw = light.position - hit.point;
+    const double light_dist = to_light_raw.norm();
+    const Vec3 to_light = to_light_raw * (1.0 / light_dist);
+    const double ndotl = hit.normal.dot(to_light);
+    if (ndotl <= 0.0) continue;
+    if (in_shadow(scene, hit.point, to_light, light_dist, rays)) continue;
+    // Lambert.
+    color = color +
+            light.intensity * hit.material.color * (hit.material.diffuse *
+                                                    ndotl);
+    // Blinn-Phong.
+    const Vec3 half = (to_light - ray.dir).normalized();
+    const double ndoth = hit.normal.dot(half);
+    if (ndoth > 0.0) {
+      color = color + light.intensity * (hit.material.specular *
+                                         std::pow(ndoth,
+                                                  hit.material.shininess));
+    }
+  }
+  if (hit.material.reflectivity > 0.0 && depth < scene.max_depth) {
+    const Vec3 refl_dir =
+        ray.dir - hit.normal * (2.0 * ray.dir.dot(hit.normal));
+    const Ray refl{hit.point + refl_dir * (8 * kEpsilon),
+                   refl_dir.normalized()};
+    const Vec3 reflected = trace(scene, refl, depth + 1, rays);
+    color = color * (1.0 - hit.material.reflectivity) +
+            reflected * hit.material.reflectivity;
+  }
+  return color;
+}
+
+std::uint8_t to_byte(double channel) {
+  const double clamped = channel < 0.0 ? 0.0 : (channel > 1.0 ? 1.0 : channel);
+  return static_cast<std::uint8_t>(clamped * 255.0 + 0.5);
+}
+
+/// Render a rectangular region of the frame into `rgb` (row-major within the
+/// region).  Shared by the serial renderer and the tile tasks, so parallel
+/// output is byte-identical to serial output.
+void render_region(const Scene& scene, int frame_w, int frame_h, int x0,
+                   int y0, int w, int h, std::uint8_t* rgb,
+                   std::uint64_t& rays) {
+  const double aspect = static_cast<double>(frame_w) / frame_h;
+  const double tan_half = std::tan(scene.fov_degrees * kPi / 360.0);
+  // Camera basis.
+  const Vec3 forward = (scene.look_at - scene.eye).normalized();
+  Vec3 right{forward.z, 0, -forward.x};  // cross(world-up == +y, forward)
+  right = right.normalized();
+  const Vec3 up = Vec3{right.y * forward.z - right.z * forward.y,
+                       right.z * forward.x - right.x * forward.z,
+                       right.x * forward.y - right.y * forward.x};
+
+  for (int py = 0; py < h; ++py) {
+    for (int px = 0; px < w; ++px) {
+      const double u =
+          (2.0 * (x0 + px + 0.5) / frame_w - 1.0) * tan_half * aspect;
+      const double v = (1.0 - 2.0 * (y0 + py + 0.5) / frame_h) * tan_half;
+      const Ray ray{scene.eye,
+                    (forward + right * u + up * v).normalized()};
+      const Vec3 c = trace(scene, ray, 0, rays);
+      std::uint8_t* out = rgb + 3 * (static_cast<std::size_t>(py) * w + px);
+      out[0] = to_byte(c.x);
+      out[1] = to_byte(c.y);
+      out[2] = to_byte(c.z);
+    }
+  }
+}
+
+/// Region blob: [x0,y0,w,h : u32][rgb bytes].
+Bytes encode_region(int x0, int y0, int w, int h,
+                    const std::vector<std::uint8_t>& rgb) {
+  Writer out;
+  out.u32(static_cast<std::uint32_t>(x0));
+  out.u32(static_cast<std::uint32_t>(y0));
+  out.u32(static_cast<std::uint32_t>(w));
+  out.u32(static_cast<std::uint32_t>(h));
+  out.blob(rgb.data(), rgb.size());
+  return out.take();
+}
+
+struct Region {
+  int x0, y0, w, h;
+  Bytes rgb;
+};
+
+Region decode_region(const Bytes& blob) {
+  Reader r(blob);
+  Region reg;
+  reg.x0 = static_cast<int>(r.u32());
+  reg.y0 = static_cast<int>(r.u32());
+  reg.w = static_cast<int>(r.u32());
+  reg.h = static_cast<int>(r.u32());
+  reg.rgb = r.blob();
+  if (!r.done() ||
+      reg.rgb.size() != static_cast<std::size_t>(3) * reg.w * reg.h) {
+    throw std::invalid_argument("ray: corrupt region blob");
+  }
+  return reg;
+}
+
+}  // namespace
+
+double Vec3::norm() const { return std::sqrt(norm2()); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{0, 0, 0};
+}
+
+Scene make_default_scene() {
+  Scene scene;
+  Sphere mirror;
+  mirror.center = {0.0, 1.0, 0.5};
+  mirror.radius = 1.0;
+  mirror.material = {{0.95, 0.95, 0.95}, 0.25, 0.6, 96.0, 0.6};
+  Sphere red;
+  red.center = {-1.8, 0.6, -0.6};
+  red.radius = 0.6;
+  red.material = {{0.9, 0.2, 0.2}, 0.8, 0.3, 32.0, 0.1};
+  Sphere blue;
+  blue.center = {1.7, 0.5, -0.9};
+  blue.radius = 0.5;
+  blue.material = {{0.2, 0.3, 0.9}, 0.8, 0.4, 48.0, 0.25};
+  scene.spheres = {mirror, red, blue};
+  scene.lights = {Light{{-4, 6, -3}, {0.9, 0.9, 0.85}},
+                  Light{{5, 4, -2}, {0.35, 0.35, 0.45}}};
+  return scene;
+}
+
+Image render_serial(const Scene& scene, int width, int height,
+                    std::uint64_t* ray_count_out) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.rgb.resize(static_cast<std::size_t>(3) * width * height);
+  std::uint64_t rays = 0;
+  render_region(scene, width, height, 0, 0, width, height, img.rgb.data(),
+                rays);
+  if (ray_count_out) *ray_count_out = rays;
+  return img;
+}
+
+void write_ppm(const Image& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("ray: cannot open " + path);
+  out << "P6\n" << image.width << ' ' << image.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.rgb.data()),
+            static_cast<std::streamsize>(image.rgb.size()));
+}
+
+Image decode_image_blob(const Bytes& blob) {
+  const Region reg = decode_region(blob);
+  Image img;
+  img.width = reg.w;
+  img.height = reg.h;
+  img.rgb = reg.rgb;
+  return img;
+}
+
+TaskId register_ray(TaskRegistry& registry, Scene scene, int width, int height,
+                    int tile_pixels) {
+  auto shared_scene = std::make_shared<Scene>(std::move(scene));
+
+  // ray.merge: combine two sub-region blobs into their bounding region.
+  const TaskId merge_id = registry.add("ray.merge", [](Context& cx,
+                                                       Closure& c) {
+    const Region a = decode_region(c.args[0].as_blob());
+    const Region b = decode_region(c.args[1].as_blob());
+    const int x0 = std::min(a.x0, b.x0);
+    const int y0 = std::min(a.y0, b.y0);
+    const int x1 = std::max(a.x0 + a.w, b.x0 + b.w);
+    const int y1 = std::max(a.y0 + a.h, b.y0 + b.h);
+    const int w = x1 - x0;
+    const int h = y1 - y0;
+    std::vector<std::uint8_t> rgb(static_cast<std::size_t>(3) * w * h, 0);
+    auto blit = [&](const Region& reg) {
+      for (int row = 0; row < reg.h; ++row) {
+        const std::uint8_t* src = reg.rgb.data() +
+                                  static_cast<std::size_t>(3) * row * reg.w;
+        std::uint8_t* dst =
+            rgb.data() + 3 * (static_cast<std::size_t>(reg.y0 - y0 + row) * w +
+                              (reg.x0 - x0));
+        std::copy(src, src + static_cast<std::size_t>(3) * reg.w, dst);
+      }
+    };
+    blit(a);
+    blit(b);
+    cx.charge(static_cast<std::uint64_t>(w) * h / 16 + 1);
+    cx.send(c.cont, encode_region(x0, y0, w, h, rgb));
+  });
+
+  // ray.region: args = [x0, y0, w, h]; renders or splits.
+  const TaskId region_id = registry.add(
+      "ray.region",
+      [shared_scene, width, height, tile_pixels, merge_id](Context& cx,
+                                                           Closure& c) {
+        const int x0 = static_cast<int>(c.args[0].as_int());
+        const int y0 = static_cast<int>(c.args[1].as_int());
+        const int w = static_cast<int>(c.args[2].as_int());
+        const int h = static_cast<int>(c.args[3].as_int());
+        if (w * h <= tile_pixels) {
+          std::vector<std::uint8_t> rgb(static_cast<std::size_t>(3) * w * h);
+          std::uint64_t rays = 0;
+          render_region(*shared_scene, width, height, x0, y0, w, h,
+                        rgb.data(), rays);
+          cx.charge(rays);
+          cx.send(c.cont, encode_region(x0, y0, w, h, rgb));
+          return;
+        }
+        // Split the longer axis; children join through ray.merge.
+        cx.charge(1);
+        const ClosureId join = cx.make_join(merge_id, 2, c.cont);
+        if (w >= h) {
+          const int wl = w / 2;
+          cx.spawn(c.task,
+                   {Value(std::int64_t{x0}), Value(std::int64_t{y0}),
+                    Value(std::int64_t{wl}), Value(std::int64_t{h})},
+                   cx.slot(join, 0));
+          cx.spawn(c.task,
+                   {Value(std::int64_t{x0 + wl}), Value(std::int64_t{y0}),
+                    Value(std::int64_t{w - wl}), Value(std::int64_t{h})},
+                   cx.slot(join, 1));
+        } else {
+          const int ht = h / 2;
+          cx.spawn(c.task,
+                   {Value(std::int64_t{x0}), Value(std::int64_t{y0}),
+                    Value(std::int64_t{w}), Value(std::int64_t{ht})},
+                   cx.slot(join, 0));
+          cx.spawn(c.task,
+                   {Value(std::int64_t{x0}), Value(std::int64_t{y0 + ht}),
+                    Value(std::int64_t{w}), Value(std::int64_t{h - ht})},
+                   cx.slot(join, 1));
+        }
+      });
+
+  // ray.root: args = []; renders the configured frame.
+  const TaskId root_id = registry.add(
+      "ray.root", [region_id, width, height](Context& cx, Closure& c) {
+        cx.spawn(region_id,
+                 {Value(std::int64_t{0}), Value(std::int64_t{0}),
+                  Value(std::int64_t{width}), Value(std::int64_t{height})},
+                 c.cont);
+      });
+  return root_id;
+}
+
+}  // namespace phish::apps

@@ -1,0 +1,107 @@
+// ray: a recursive ray tracer — the paper's coarse-grain application.
+//
+// "The ray-tracing application renders images by tracing light rays around a
+// mathematical model of a scene."  Rays hit spheres and a checkered ground
+// plane; shading is Lambertian + Blinn-Phong with hard shadows and mirror
+// reflections to a fixed depth.  All arithmetic is deterministic, so the
+// parallel rendering must be byte-identical to the serial one — the tests
+// assert exactly that.
+//
+// Its role in the evaluation is grain size: one task renders a whole tile,
+// so scheduling overhead amortizes to nearly nothing (Table 1's serial
+// slowdown of ~1.0x).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/task_registry.hpp"
+
+namespace phish::apps {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator*(const Vec3& o) const { return {x * o.x, y * o.y, z * o.z}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+  double norm() const;
+  Vec3 normalized() const;
+};
+
+struct Material {
+  Vec3 color{1, 1, 1};
+  double diffuse = 0.8;
+  double specular = 0.2;
+  double shininess = 32.0;
+  double reflectivity = 0.0;
+};
+
+struct Sphere {
+  Vec3 center;
+  double radius = 1.0;
+  Material material;
+};
+
+struct Light {
+  Vec3 position;
+  Vec3 intensity{1, 1, 1};
+};
+
+struct Scene {
+  std::vector<Sphere> spheres;
+  std::vector<Light> lights;
+  Vec3 ambient{0.08, 0.08, 0.1};
+  Vec3 sky_top{0.4, 0.6, 0.9};
+  Vec3 sky_bottom{0.9, 0.9, 1.0};
+  bool ground_plane = true;   // checkered plane at y == 0
+  double plane_y = 0.0;
+  int max_depth = 3;          // reflection recursion limit
+  // Camera.
+  Vec3 eye{0, 1.5, -4};
+  Vec3 look_at{0, 0.8, 0};
+  double fov_degrees = 55.0;
+};
+
+/// The scene used by benches and examples: three reflective spheres on a
+/// checkered plane under two lights.
+Scene make_default_scene();
+
+/// 8-bit RGB image.
+struct Image {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> rgb;  // 3 * width * height, row-major
+
+  bool operator==(const Image& other) const = default;
+};
+
+/// Best serial implementation: render the whole frame.
+/// `ray_count_out`, when non-null, receives the number of rays traced
+/// (primary + shadow + reflection) — the work unit the parallel tasks charge.
+Image render_serial(const Scene& scene, int width, int height,
+                    std::uint64_t* ray_count_out = nullptr);
+
+/// Write a binary PPM (P6) for eyeballing example output.
+void write_ppm(const Image& image, const std::string& path);
+
+/// Register the ray tasks; returns the root task's id.
+/// Root task signature: args = [] ; sends the finished frame to cont as a
+/// blob [x0,y0,w,h, rgb bytes...] with x0 = y0 = 0 and w,h as configured.
+///
+/// The scene and frame size are bound at registration (every participant of
+/// a job registers the same scene, exactly as every Phish worker binds the
+/// same application binary).  `tile_pixels`: regions at most this large are
+/// rendered inside one task; larger regions split in two.
+TaskId register_ray(TaskRegistry& registry, Scene scene, int width, int height,
+                    int tile_pixels = 1024);
+
+/// Reassemble an Image from the root task's result blob.
+Image decode_image_blob(const Bytes& blob);
+
+}  // namespace phish::apps

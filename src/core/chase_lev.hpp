@@ -1,0 +1,149 @@
+// Chase–Lev work-stealing deque (SPAA 2005), the lock-free successor of the
+// locked ready list the paper's scheduler uses.
+//
+// The owner pushes and pops at the bottom without synchronization beyond
+// fences; thieves steal from the top with a CAS.  Exactly the LIFO-owner /
+// FIFO-thief discipline of Figure 1, minus the lock.  Ablation A5 compares
+// this against the mutex-protected ReadyDeque to quantify what the 1994
+// design left on the table (answer on a workstation network: nothing that
+// matters — the network dominates — but in shared memory it shows).
+//
+// Stores T by pointer internally; T must be movable.  The deque grows by
+// doubling; shrinking is not implemented (matches common practice).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace phish {
+
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : array_(new Array(round_up(initial_capacity))) {}
+
+  ~ChaseLevDeque() {
+    // Drain anything left (single-threaded at destruction).
+    while (pop()) {
+    }
+    Array* a = array_.load(std::memory_order_relaxed);
+    delete a;
+    for (Array* old : retired_) delete old;
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push at the bottom.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, new T(std::move(value)));
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop from the bottom (LIFO).
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T* item = a->get(b);
+    if (t == b) {
+      // Last element: race against thieves with a CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // Lost to a thief.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    T out = std::move(*item);
+    delete item;
+    return out;
+  }
+
+  /// Any thread: steal from the top (FIFO).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;  // empty
+    Array* a = array_.load(std::memory_order_consume);
+    T* item = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race
+    }
+    T out = std::move(*item);
+    delete item;
+    return out;
+  }
+
+  /// Approximate size (racy; exact when quiescent).
+  std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Array {
+    explicit Array(std::size_t n) : capacity(n), mask(n - 1), slots(n) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::vector<std::atomic<T*>> slots;
+
+    T* get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* p) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          p, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Array(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    array_.store(bigger, std::memory_order_release);
+    // Old arrays are retired, not freed: a concurrent thief may still be
+    // reading through the stale pointer.  Reclaimed in the destructor.
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_;
+  std::vector<Array*> retired_;  // owner-only
+};
+
+}  // namespace phish

@@ -1,0 +1,259 @@
+#include "core/clearinghouse.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace phish {
+
+Clearinghouse::Clearinghouse(net::RpcNode& rpc, net::TimerService& timers,
+                             ClearinghouseConfig config)
+    : rpc_(rpc), timers_(timers), config_(config) {}
+
+Clearinghouse::~Clearinghouse() { stop(); }
+
+void Clearinghouse::start() {
+  rpc_.serve(proto::kRpcRegister, [this](net::NodeId src, const Bytes&) {
+    return handle_register(src);
+  });
+  rpc_.serve(proto::kRpcUnregister, [this](net::NodeId src, const Bytes&) {
+    return handle_unregister(src);
+  });
+  rpc_.serve(proto::kRpcUpdate, [this](net::NodeId, const Bytes&) {
+    return handle_update();
+  });
+  rpc_.serve(proto::kRpcResult, [this](net::NodeId src, const Bytes& args) {
+    auto arg = proto::ArgumentMsg::decode(args);
+    if (arg) {
+      accept_result(src, std::move(arg->value));
+    } else {
+      PHISH_LOG(kWarn) << "clearinghouse: malformed result RPC from "
+                       << net::to_string(src);
+    }
+    return Bytes{};
+  });
+  rpc_.set_oneway_handler(
+      [this](net::Message&& m) { handle_oneway(std::move(m)); });
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = true;
+  }
+  if (config_.detect_failures) {
+    failure_timer_ = timers_.schedule(config_.failure_check_period_ns,
+                                      [this] { check_failures(); });
+  }
+}
+
+void Clearinghouse::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+  if (failure_timer_.valid()) {
+    timers_.cancel(failure_timer_);
+    failure_timer_ = net::TimerToken{};
+  }
+}
+
+void Clearinghouse::set_on_result(std::function<void(const Value&)> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_result_ = std::move(fn);
+}
+
+void Clearinghouse::set_on_death(std::function<void(net::NodeId)> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_death_ = std::move(fn);
+}
+
+void Clearinghouse::set_on_membership_change(
+    std::function<void(std::size_t)> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_membership_change_ = std::move(fn);
+}
+
+proto::Membership Clearinghouse::membership() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return membership_locked();
+}
+
+proto::Membership Clearinghouse::membership_locked() const {
+  proto::Membership m;
+  m.epoch = epoch_;
+  m.participants = participants_;
+  return m;
+}
+
+std::optional<Value> Clearinghouse::result() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return result_;
+}
+
+std::vector<proto::StatsMsg> Clearinghouse::stats_reports() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_reports_;
+}
+
+std::vector<proto::IoMsg> Clearinghouse::io_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return io_log_;
+}
+
+std::vector<net::NodeId> Clearinghouse::declared_dead() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dead_;
+}
+
+std::map<net::NodeId, std::uint64_t> Clearinghouse::join_times() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return join_times_;
+}
+
+Bytes Clearinghouse::handle_register(net::NodeId src) {
+  std::function<void(std::size_t)> notify;
+  std::size_t count = 0;
+  bool already_done = false;
+  Bytes reply;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::find(participants_.begin(), participants_.end(), src) ==
+        participants_.end()) {
+      participants_.push_back(src);
+      ++epoch_;
+      join_times_.emplace(src, timers_.now_ns());
+    }
+    last_heartbeat_[src] = timers_.now_ns();
+    reply = membership_locked().encode();
+    notify = on_membership_change_;
+    count = participants_.size();
+    already_done = result_.has_value();
+  }
+  if (already_done) {
+    // The job finished while this worker was joining (the shutdown broadcast
+    // predates its membership): tell it directly.
+    rpc_.send_oneway(src, proto::kShutdown, {});
+  }
+  if (notify) notify(count);
+  return reply;
+}
+
+Bytes Clearinghouse::handle_unregister(net::NodeId src) {
+  std::function<void(std::size_t)> notify;
+  std::size_t count = 0;
+  Bytes reply;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find(participants_.begin(), participants_.end(), src);
+    if (it != participants_.end()) {
+      participants_.erase(it);
+      ++epoch_;
+    }
+    last_heartbeat_.erase(src);
+    reply = membership_locked().encode();
+    notify = on_membership_change_;
+    count = participants_.size();
+  }
+  if (notify) notify(count);
+  return reply;
+}
+
+Bytes Clearinghouse::handle_update() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return membership_locked().encode();
+}
+
+void Clearinghouse::handle_oneway(net::Message&& message) {
+  switch (message.type) {
+    case proto::kHeartbeat: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last_heartbeat_[message.src] = timers_.now_ns();
+      break;
+    }
+    case proto::kArgument: {
+      auto arg = proto::ArgumentMsg::decode(message.payload);
+      if (!arg) {
+        PHISH_LOG(kWarn) << "clearinghouse: malformed argument from "
+                         << net::to_string(message.src);
+        return;
+      }
+      accept_result(message.src, std::move(arg->value));
+      break;
+    }
+    case proto::kStatsReport: {
+      auto stats = proto::StatsMsg::decode(message.payload);
+      if (!stats) return;
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_reports_.push_back(std::move(*stats));
+      break;
+    }
+    case proto::kIo: {
+      auto io = proto::IoMsg::decode(message.payload);
+      if (!io) return;
+      std::lock_guard<std::mutex> lock(mutex_);
+      io_log_.push_back(std::move(*io));
+      break;
+    }
+    default:
+      PHISH_LOG(kDebug) << "clearinghouse: unexpected message type "
+                        << message.type;
+  }
+}
+
+void Clearinghouse::accept_result(net::NodeId, Value value) {
+  std::function<void(const Value&)> notify;
+  std::vector<net::NodeId> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (result_.has_value()) return;  // duplicate (redo or retransmit)
+    result_ = value;
+    notify = on_result_;
+    targets = participants_;
+  }
+  // The job is done: tell every participant to shut down.
+  for (net::NodeId p : targets) {
+    rpc_.send_oneway(p, proto::kShutdown, {});
+  }
+  if (notify) notify(value);
+}
+
+void Clearinghouse::check_failures() {
+  std::vector<net::NodeId> newly_dead;
+  std::vector<net::NodeId> survivors;
+  std::function<void(net::NodeId)> notify_death;
+  std::function<void(std::size_t)> notify_membership;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    const std::uint64_t now = timers_.now_ns();
+    for (auto it = participants_.begin(); it != participants_.end();) {
+      const auto hb = last_heartbeat_.find(*it);
+      const std::uint64_t last = hb == last_heartbeat_.end() ? 0 : hb->second;
+      if (now - last > config_.heartbeat_timeout_ns) {
+        newly_dead.push_back(*it);
+        dead_.push_back(*it);
+        last_heartbeat_.erase(*it);
+        it = participants_.erase(it);
+        ++epoch_;
+      } else {
+        ++it;
+      }
+    }
+    survivors = participants_;
+    notify_death = on_death_;
+    notify_membership = on_membership_change_;
+    // Re-arm.
+    failure_timer_ = timers_.schedule(config_.failure_check_period_ns,
+                                      [this] { check_failures(); });
+  }
+  for (net::NodeId dead : newly_dead) {
+    PHISH_LOG(kInfo) << "clearinghouse: participant " << net::to_string(dead)
+                     << " declared dead";
+    const Bytes payload = proto::DeadMsg{dead}.encode();
+    for (net::NodeId p : survivors) {
+      rpc_.send_oneway(p, proto::kDead, payload);
+    }
+    if (notify_death) notify_death(dead);
+  }
+  if (!newly_dead.empty() && notify_membership) {
+    notify_membership(survivors.size());
+  }
+}
+
+}  // namespace phish

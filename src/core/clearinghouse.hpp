@@ -1,0 +1,114 @@
+// The Clearinghouse (paper Section 3, Figure 3).
+//
+// "The Clearinghouse is a special program (independent of the particular
+// application) that is responsible for keeping track of all worker processes
+// participating in the job and providing various services to the workers."
+//
+// Services implemented here:
+//   * registration / unregistration and epoch-numbered membership snapshots
+//     (workers fetch these periodically to learn about other participants);
+//   * receipt of the job's final result (the root continuation points here)
+//     and the shutdown broadcast that ends the job;
+//   * buffered application I/O ("a user need only watch the Clearinghouse to
+//     see job output");
+//   * heartbeat-based crash detection with death broadcasts, driving the
+//     redo-based fault tolerance ("enough redundant state is maintained so
+//     that lost work can be redone in the event of a machine crash");
+//   * collection of final per-worker statistics (Table 2's raw data).
+//
+// The class is transport-agnostic: it speaks through an RpcNode and a
+// TimerService, so the same code serves the simulated network and real UDP
+// sockets.  Thread-safe (the UDP runtime calls in from receiver and timer
+// threads); callbacks are invoked without internal locks held.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "net/rpc.hpp"
+
+namespace phish {
+
+struct ClearinghouseConfig {
+  /// A participant missing heartbeats for this long is declared dead.
+  std::uint64_t heartbeat_timeout_ns = 10'000'000'000ULL;  // 10 s
+  /// How often the failure detector scans.
+  std::uint64_t failure_check_period_ns = 2'000'000'000ULL;  // 2 s
+  /// Disable crash detection entirely (e.g. measurement runs with no
+  /// failures, where timeouts would only add noise).
+  bool detect_failures = true;
+};
+
+/// Root continuation for a job whose Clearinghouse lives at `ch`.
+inline ContRef clearinghouse_continuation(net::NodeId ch) {
+  return ContRef{ClosureId{ch, 0}, 0, ch};
+}
+
+class Clearinghouse {
+ public:
+  Clearinghouse(net::RpcNode& rpc, net::TimerService& timers,
+                ClearinghouseConfig config = {});
+  ~Clearinghouse();
+
+  Clearinghouse(const Clearinghouse&) = delete;
+  Clearinghouse& operator=(const Clearinghouse&) = delete;
+
+  /// Install RPC handlers and start the failure detector.
+  void start();
+  /// Stop timers (handlers stay installed; the job is over anyway).
+  void stop();
+
+  net::NodeId id() const { return rpc_.id(); }
+
+  /// Fires when the job's result arrives (after the shutdown broadcast).
+  void set_on_result(std::function<void(const Value&)> fn);
+  /// Fires when a participant is declared dead, after the death broadcast.
+  void set_on_death(std::function<void(net::NodeId)> fn);
+  /// Fires when membership changes (register/unregister/death).
+  void set_on_membership_change(std::function<void(std::size_t)> fn);
+
+  // ---- Observers. ----
+  proto::Membership membership() const;
+  std::optional<Value> result() const;
+  bool job_done() const { return result().has_value(); }
+  std::vector<proto::StatsMsg> stats_reports() const;
+  std::vector<proto::IoMsg> io_log() const;
+  std::vector<net::NodeId> declared_dead() const;
+  /// Join time (timer-clock ns) of each participant ever registered.
+  std::map<net::NodeId, std::uint64_t> join_times() const;
+
+ private:
+  Bytes handle_register(net::NodeId src);
+  Bytes handle_unregister(net::NodeId src);
+  Bytes handle_update();
+  void handle_oneway(net::Message&& message);
+  void accept_result(net::NodeId src, Value value);
+  void check_failures();
+  proto::Membership membership_locked() const;  // callers hold mutex_
+
+  net::RpcNode& rpc_;
+  net::TimerService& timers_;
+  ClearinghouseConfig config_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t epoch_ = 1;
+  std::vector<net::NodeId> participants_;
+  std::map<net::NodeId, std::uint64_t> last_heartbeat_;
+  std::map<net::NodeId, std::uint64_t> join_times_;
+  std::vector<net::NodeId> dead_;
+  std::optional<Value> result_;
+  std::vector<proto::StatsMsg> stats_reports_;
+  std::vector<proto::IoMsg> io_log_;
+  net::TimerToken failure_timer_{};
+  bool running_ = false;
+
+  std::function<void(const Value&)> on_result_;
+  std::function<void(net::NodeId)> on_death_;
+  std::function<void(std::size_t)> on_membership_change_;
+};
+
+}  // namespace phish

@@ -1,0 +1,83 @@
+// Closures: the unit of work of the micro-level scheduler.
+//
+// A closure names a task function (via the registry), carries argument slots
+// with fill flags and a missing-count (the synchronization requirement), and
+// holds the continuation its result is sent to.  A closure whose last missing
+// argument arrives becomes *ready* and is pushed on the worker's ready list
+// (Figure 1 of the paper).  Only ready closures are ever executed, stolen, or
+// migrated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/value.hpp"
+
+namespace phish {
+
+struct Closure {
+  ClosureId id;
+  TaskId task = kInvalidTask;
+  ContRef cont;                 // where to send this closure's result
+  std::vector<Value> args;      // argument slots
+  std::vector<bool> filled;     // per-slot fill flag (idempotent sends)
+  std::uint32_t missing = 0;    // slots still empty; 0 == ready
+  std::uint32_t depth = 0;      // spawn-tree depth, for stats and cost models
+
+  bool ready() const noexcept { return missing == 0; }
+
+  /// Fill a slot.  Returns false (and changes nothing) if the slot was
+  /// already filled — this makes duplicate argument sends idempotent, which
+  /// the fault-tolerance redo machinery relies on.
+  bool fill(std::uint16_t slot, Value value) {
+    if (slot >= args.size() || filled[slot]) return false;
+    args[slot] = std::move(value);
+    filled[slot] = true;
+    --missing;
+    return true;
+  }
+
+  /// Wire encoding: everything needed to execute the closure elsewhere
+  /// (steals, migration, and the steal ledger's redo snapshots).
+  void encode(Writer& w) const {
+    id.encode(w);
+    w.u32(task);
+    cont.encode(w);
+    w.u32(depth);
+    w.u32(static_cast<std::uint32_t>(args.size()));
+    w.u32(missing);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      w.boolean(filled[i]);
+      args[i].encode(w);
+    }
+  }
+
+  static Closure decode(Reader& r) {
+    Closure c;
+    c.id = ClosureId::decode(r);
+    c.task = r.u32();
+    c.cont = ContRef::decode(r);
+    c.depth = r.u32();
+    const std::uint32_t n = r.u32();
+    c.missing = r.u32();
+    if (!r.ok() || n > 1u << 20) return c;  // refuse absurd slot counts
+    c.args.resize(n);
+    c.filled.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const bool f = r.boolean();
+      c.filled[i] = f;
+      c.args[i] = Value::decode(r);
+    }
+    return c;
+  }
+
+  /// Approximate wire size, for cost models and message stats.
+  std::size_t byte_size() const noexcept {
+    std::size_t sz = 12 + 4 + 18 + 4 + 4 + 4;
+    for (const Value& v : args) sz += 1 + v.byte_size();
+    return sz;
+  }
+};
+
+}  // namespace phish

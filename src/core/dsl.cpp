@@ -1,0 +1,50 @@
+#include "core/dsl.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace phish::dsl {
+
+TaskId register_expand_reduce(TaskRegistry& registry, const std::string& name,
+                              ExpandFn expand, ReduceFn reduce) {
+  if (!expand || !reduce) {
+    throw std::invalid_argument("register_expand_reduce: " + name +
+                                ": expand and reduce are required");
+  }
+  auto shared_reduce = std::make_shared<ReduceFn>(std::move(reduce));
+  const TaskId reduce_id = registry.add(
+      name + ".reduce",
+      [shared_reduce](Context& cx, Closure& c) {
+        cx.send(c.cont, (*shared_reduce)(cx, c.args));
+      });
+
+  auto shared_expand = std::make_shared<ExpandFn>(std::move(expand));
+  const TaskId expand_id = registry.add(
+      name,
+      [shared_expand, reduce_id, name](Context& cx, Closure& c) {
+        Expansion e = (*shared_expand)(cx, c.args);
+        if (e.leaf) {
+          cx.send(c.cont, std::move(*e.leaf));
+          return;
+        }
+        if (e.children.empty()) {
+          throw std::logic_error("expand_reduce task '" + name +
+                                 "': expansion produced neither a leaf nor "
+                                 "children");
+        }
+        if (e.children.size() > 0xffff) {
+          throw std::length_error("expand_reduce task '" + name +
+                                  "': too many children (" +
+                                  std::to_string(e.children.size()) + ")");
+        }
+        const ClosureId join = cx.make_join(
+            reduce_id, static_cast<std::uint16_t>(e.children.size()), c.cont);
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+          cx.spawn(c.task, std::move(e.children[i]),
+                   cx.slot(join, static_cast<std::uint16_t>(i)));
+        }
+      });
+  return expand_id;
+}
+
+}  // namespace phish::dsl

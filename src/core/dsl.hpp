@@ -1,0 +1,64 @@
+// Expand/reduce sugar over the continuation-passing task model.
+//
+// The 1994 system hid the closure plumbing behind a C preprocessor ("Phish
+// applications are coded using a simple extension to the C programming
+// language and a simple preprocessor that outputs native C embellished with
+// calls to the Phish scheduling library").  This header plays that role for
+// C++: a dynamic divide-and-conquer computation is two plain functions —
+//
+//   * expand: given a task's arguments, either produce a leaf result or a
+//     list of child argument-vectors;
+//   * reduce: combine the children's results (delivered in spawn order).
+//
+// register_expand_reduce() turns them into the registry's task + join pair,
+// with all continuation and slot management generated.  Everything the
+// scheduler offers (stealing, migration, checkpointing, redo) applies
+// unchanged, because the generated tasks are ordinary closures.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/task_registry.hpp"
+#include "core/worker_core.hpp"
+
+namespace phish::dsl {
+
+/// What expand() decides about one task.
+struct Expansion {
+  /// Set => this task is a leaf; the value is sent to the continuation and
+  /// `children` is ignored.
+  std::optional<Value> leaf;
+  /// Else: spawn one child per entry (entry = that child's argument vector).
+  /// Must be non-empty when `leaf` is not set, and at most 65535 entries
+  /// (the join's slot space).
+  std::vector<std::vector<Value>> children;
+
+  static Expansion make_leaf(Value value) {
+    Expansion e;
+    e.leaf = std::move(value);
+    return e;
+  }
+  static Expansion make_children(std::vector<std::vector<Value>> children) {
+    Expansion e;
+    e.children = std::move(children);
+    return e;
+  }
+};
+
+/// Decide leaf-vs-split for one task.  `cx` is available for charge()/print().
+using ExpandFn =
+    std::function<Expansion(Context& cx, const std::vector<Value>& args)>;
+
+/// Combine children's results, delivered in spawn order.
+using ReduceFn =
+    std::function<Value(Context& cx, std::vector<Value>& child_results)>;
+
+/// Register the task pair; returns the root task's id.  The root takes the
+/// same argument vector expand() expects.
+TaskId register_expand_reduce(TaskRegistry& registry, const std::string& name,
+                              ExpandFn expand, ReduceFn reduce);
+
+}  // namespace phish::dsl

@@ -1,0 +1,87 @@
+// Identifiers of the micro-level scheduler's objects.
+//
+// A Phish job consists of closures (tasks plus argument slots) spread across
+// participating workers.  Closures are named globally by (origin worker,
+// per-origin sequence number) so that a closure keeps its identity when it is
+// stolen or migrated, and continuations can be sent across the network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.hpp"
+#include "serial/buffer.hpp"
+
+namespace phish {
+
+/// Index into the task registry; identifies *what code* a closure runs.
+using TaskId = std::uint32_t;
+constexpr TaskId kInvalidTask = 0xffffffffu;
+
+/// Globally unique closure name: the worker that created it plus a sequence
+/// number local to that worker.
+struct ClosureId {
+  net::NodeId origin;
+  std::uint64_t seq = 0;
+
+  constexpr bool valid() const noexcept { return origin.valid(); }
+  constexpr auto operator<=>(const ClosureId&) const = default;
+
+  void encode(Writer& w) const {
+    w.u32(origin.value);
+    w.u64(seq);
+  }
+  static ClosureId decode(Reader& r) {
+    ClosureId id;
+    id.origin = net::NodeId{r.u32()};
+    id.seq = r.u64();
+    return id;
+  }
+};
+
+inline std::string to_string(const ClosureId& id) {
+  return net::to_string(id.origin) + "#" + std::to_string(id.seq);
+}
+
+/// A continuation: "send your result to slot `slot` of closure `target`,
+/// which lives on worker `home`".  `home` is a location hint — the closure's
+/// creator initially, updated if the closure migrates.
+struct ContRef {
+  ClosureId target;
+  std::uint16_t slot = 0;
+  net::NodeId home;
+
+  constexpr bool valid() const noexcept { return target.valid(); }
+  constexpr auto operator<=>(const ContRef&) const = default;
+
+  void encode(Writer& w) const {
+    target.encode(w);
+    w.u16(slot);
+    w.u32(home.value);
+  }
+  static ContRef decode(Reader& r) {
+    ContRef c;
+    c.target = ClosureId::decode(r);
+    c.slot = r.u16();
+    c.home = net::NodeId{r.u32()};
+    return c;
+  }
+};
+
+inline std::string to_string(const ContRef& c) {
+  return to_string(c.target) + "[" + std::to_string(c.slot) + "]@" +
+         net::to_string(c.home);
+}
+
+}  // namespace phish
+
+template <>
+struct std::hash<phish::ClosureId> {
+  std::size_t operator()(const phish::ClosureId& id) const noexcept {
+    // splitmix-style combine of origin and seq.
+    std::uint64_t x = (static_cast<std::uint64_t>(id.origin.value) << 40) ^
+                      id.seq;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

@@ -1,0 +1,121 @@
+#include "core/jobq.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace phish {
+
+PhishJobQ::PhishJobQ(net::RpcNode& rpc, JobAssignPolicy policy)
+    : rpc_(rpc), policy_(policy) {}
+
+void PhishJobQ::start() {
+  rpc_.serve(proto::kRpcSubmitJob, [this](net::NodeId, const Bytes& args) {
+    auto spec = JobSpec::decode(args);
+    Writer w;
+    if (!spec) {
+      w.u64(0);  // rejected
+      return w.take();
+    }
+    w.u64(submit(std::move(*spec)));
+    return w.take();
+  });
+  rpc_.serve(proto::kRpcRequestJob, [this](net::NodeId src, const Bytes&) {
+    JobAssignment reply;
+    reply.job = request(src);
+    return reply.encode();
+  });
+  rpc_.serve(proto::kRpcJobDone, [this](net::NodeId, const Bytes& args) {
+    Reader r(args);
+    const std::uint64_t job_id = r.u64();
+    Writer w;
+    w.boolean(r.done() && complete(job_id));
+    return w.take();
+  });
+}
+
+std::uint64_t PhishJobQ::submit(JobSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spec.job_id == 0) spec.job_id = next_job_id_++;
+  next_job_id_ = std::max(next_job_id_, spec.job_id + 1);
+  pool_.push_back(PooledJob{std::move(spec), 0});
+  ++stats_.submitted;
+  return pool_.back().spec.job_id;
+}
+
+std::optional<JobSpec> PhishJobQ::request(net::NodeId who) {
+  std::function<void(std::uint64_t, net::NodeId)> notify;
+  std::optional<JobSpec> assigned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    if (pool_.empty()) {
+      ++stats_.empty_replies;
+      return std::nullopt;
+    }
+    std::size_t index = 0;
+    switch (policy_) {
+      case JobAssignPolicy::kRoundRobin:
+        // Non-preemptive round-robin: advance a cursor through the pool.
+        if (rr_index_ >= pool_.size()) rr_index_ = 0;
+        index = rr_index_;
+        rr_index_ = (rr_index_ + 1) % pool_.size();
+        break;
+      case JobAssignPolicy::kFirstJob:
+        index = 0;
+        break;
+      case JobAssignPolicy::kLeastServed: {
+        index = 0;
+        for (std::size_t i = 1; i < pool_.size(); ++i) {
+          if (pool_[i].assignments < pool_[index].assignments) index = i;
+        }
+        break;
+      }
+    }
+    ++pool_[index].assignments;
+    ++stats_.assignments;
+    ++assignments_by_job_[pool_[index].spec.job_id];
+    assigned = pool_[index].spec;
+    notify = on_assign_;
+  }
+  if (notify && assigned) notify(assigned->job_id, who);
+  return assigned;
+}
+
+bool PhishJobQ::complete(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find_if(pool_.begin(), pool_.end(), [&](const PooledJob& j) {
+    return j.spec.job_id == job_id;
+  });
+  if (it == pool_.end()) return false;
+  const std::size_t index = static_cast<std::size_t>(it - pool_.begin());
+  pool_.erase(it);
+  // Keep the round-robin cursor consistent with the shrunken pool.
+  if (index < rr_index_ && rr_index_ > 0) --rr_index_;
+  if (!pool_.empty()) rr_index_ %= pool_.size();
+  ++stats_.completed;
+  return true;
+}
+
+std::size_t PhishJobQ::pool_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.size();
+}
+
+JobQStats PhishJobQ::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::map<std::uint64_t, std::uint64_t> PhishJobQ::assignments_by_job() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return assignments_by_job_;
+}
+
+void PhishJobQ::set_on_assign(
+    std::function<void(std::uint64_t, net::NodeId)> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_assign_ = std::move(fn);
+}
+
+}  // namespace phish

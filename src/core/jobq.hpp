@@ -1,0 +1,150 @@
+// The PhishJobQ: the macro-level scheduler's job pool (paper Section 3,
+// Figure 2).
+//
+// "The PhishJobQ, an RPC server, resides on one computer and manages the
+// pool of parallel jobs.  When a Phish application begins execution, it is
+// submitted to the PhishJobQ.  When an idle workstation requests a job, the
+// PhishJobQ assigns one of its parallel jobs to the idle workstation.  Our
+// current implementation of the PhishJobQ uses a non-preemptive round-robin
+// scheduling algorithm to assign jobs."
+//
+// Note the crucial semantics: assignment does NOT remove the job from the
+// pool ("the scheduler keeps that job in its pool so that the job can also
+// be assigned to other idle workstations") — that is what makes multiple
+// workstations join one job.  A job leaves the pool only when it completes
+// (kRpcJobDone) or is withdrawn.
+//
+// Assignment policies beyond round-robin are pluggable (the paper: "future
+// implementations will provide opportunities for using and studying more
+// sophisticated job assignment algorithms").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "net/rpc.hpp"
+
+namespace phish {
+
+/// What a workstation needs to join a job: which application to run (by
+/// registered root-task name) and where the job's Clearinghouse lives.
+struct JobSpec {
+  std::uint64_t job_id = 0;
+  std::string name;         // human-readable ("ray my-scene")
+  std::string root_task;    // registry name of the root task
+  net::NodeId clearinghouse;
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(job_id);
+    w.str(name);
+    w.str(root_task);
+    w.u32(clearinghouse.value);
+    return w.take();
+  }
+  static std::optional<JobSpec> decode(const Bytes& b) {
+    Reader r(b);
+    JobSpec s;
+    s.job_id = r.u64();
+    s.name = r.str();
+    s.root_task = r.str();
+    s.clearinghouse = net::NodeId{r.u32()};
+    if (!r.done()) return std::nullopt;
+    return s;
+  }
+};
+
+/// Reply to kRpcRequestJob.
+struct JobAssignment {
+  std::optional<JobSpec> job;
+
+  Bytes encode() const {
+    Writer w;
+    w.boolean(job.has_value());
+    if (job) w.raw(job->encode());
+    return w.take();
+  }
+  static std::optional<JobAssignment> decode(const Bytes& b) {
+    Reader r(b);
+    JobAssignment a;
+    if (!r.boolean()) {
+      if (!r.done()) return std::nullopt;
+      return a;
+    }
+    // Re-decode the remainder as a JobSpec.
+    Bytes rest;
+    rest.reserve(r.remaining());
+    while (r.remaining() > 0) rest.push_back(r.u8());
+    a.job = JobSpec::decode(rest);
+    if (!a.job) return std::nullopt;
+    return a;
+  }
+};
+
+/// Pluggable assignment policy.
+enum class JobAssignPolicy {
+  kRoundRobin,   // the paper's policy
+  kFirstJob,     // always the oldest job (baseline for A4-style studies)
+  kLeastServed,  // job with the fewest assignments so far
+};
+
+struct JobQStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t assignments = 0;
+  std::uint64_t empty_replies = 0;
+};
+
+class PhishJobQ {
+ public:
+  explicit PhishJobQ(net::RpcNode& rpc,
+                     JobAssignPolicy policy = JobAssignPolicy::kRoundRobin);
+
+  /// Install the RPC handlers (submit / request / done).
+  void start();
+
+  // ---- Local API (the submitting process and the harnesses use these; the
+  // RPC handlers call into them too). ----
+
+  /// Add a job to the pool; returns its id.
+  std::uint64_t submit(JobSpec spec);
+  /// Hand out a job per the assignment policy; nullopt if the pool is empty.
+  std::optional<JobSpec> request(net::NodeId who);
+  /// Remove a finished job.  Returns false if unknown.
+  bool complete(std::uint64_t job_id);
+
+  std::size_t pool_size() const;
+  JobQStats stats() const;
+  /// Assignment count per job id (how many workstations each job received).
+  std::map<std::uint64_t, std::uint64_t> assignments_by_job() const;
+
+  /// Fires when a job is assigned (job_id, workstation) — used by tests and
+  /// the macro experiment harness.
+  void set_on_assign(std::function<void(std::uint64_t, net::NodeId)> fn);
+
+ private:
+  struct PooledJob {
+    JobSpec spec;
+    std::uint64_t assignments = 0;
+  };
+
+  net::RpcNode& rpc_;
+  JobAssignPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::vector<PooledJob> pool_;   // insertion order preserved
+  std::size_t rr_index_ = 0;
+  std::uint64_t next_job_id_ = 1;
+  JobQStats stats_;
+  std::map<std::uint64_t, std::uint64_t> assignments_by_job_;
+  std::function<void(std::uint64_t, net::NodeId)> on_assign_;
+};
+
+}  // namespace phish

@@ -1,0 +1,222 @@
+// Wire protocol of a running Phish job.
+//
+// One numbering shared by every transport (simulated, loopback, UDP):
+//   * one-way datagrams for dataflow (argument sends), control broadcasts
+//     (shutdown, death notices), migration, heartbeats, buffered I/O, and
+//     stats reports;
+//   * RPC methods for interactions that need a reply (registration,
+//     membership updates, steal requests, and the macro scheduler's job
+//     traffic).
+//
+// Everything here is plain encode/decode; behaviour lives in the
+// Clearinghouse, the workers, and the JobQ.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/closure.hpp"
+#include "core/worker_stats.hpp"
+#include "net/address.hpp"
+
+namespace phish::proto {
+
+// ---- One-way message types (must stay below net::kRpcTypeBase). ----
+constexpr std::uint16_t kArgument = 1;     // ArgumentMsg: dataflow send
+constexpr std::uint16_t kShutdown = 2;     // (empty) job finished, stop
+constexpr std::uint16_t kHeartbeat = 3;    // (empty) worker liveness
+constexpr std::uint16_t kDead = 4;         // DeadMsg: participant crashed
+constexpr std::uint16_t kMigrate = 5;      // MigrateMsg: closures moving in
+constexpr std::uint16_t kStatsReport = 6;  // StatsMsg: final per-worker stats
+constexpr std::uint16_t kIo = 7;           // IoMsg: application output line
+
+// ---- RPC method ids. ----
+constexpr std::uint16_t kRpcRegister = 1;    // worker -> clearinghouse
+constexpr std::uint16_t kRpcUnregister = 2;  // worker -> clearinghouse
+constexpr std::uint16_t kRpcUpdate = 3;      // worker -> clearinghouse
+constexpr std::uint16_t kRpcSteal = 4;       // thief -> victim
+// Job result delivery is an RPC (not a one-way datagram) so it survives
+// message loss: the sender retransmits until the Clearinghouse acknowledges.
+constexpr std::uint16_t kRpcResult = 5;      // worker -> clearinghouse
+
+// Macro level (PhishJobQ).
+constexpr std::uint16_t kRpcSubmitJob = 10;   // user -> jobq
+constexpr std::uint16_t kRpcRequestJob = 11;  // jobmanager -> jobq
+constexpr std::uint16_t kRpcJobDone = 12;     // clearinghouse -> jobq
+
+// ---- Payloads. ----
+
+struct ArgumentMsg {
+  ContRef cont;
+  Value value;
+
+  Bytes encode() const {
+    Writer w;
+    cont.encode(w);
+    value.encode(w);
+    return w.take();
+  }
+  static std::optional<ArgumentMsg> decode(const Bytes& b) {
+    Reader r(b);
+    ArgumentMsg m;
+    m.cont = ContRef::decode(r);
+    m.value = Value::decode(r);
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+struct DeadMsg {
+  net::NodeId who;
+
+  Bytes encode() const {
+    Writer w;
+    w.u32(who.value);
+    return w.take();
+  }
+  static std::optional<DeadMsg> decode(const Bytes& b) {
+    Reader r(b);
+    DeadMsg m;
+    m.who = net::NodeId{r.u32()};
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+struct MigrateMsg {
+  net::NodeId from;
+  std::vector<Closure> closures;
+
+  Bytes encode() const {
+    Writer w;
+    w.u32(from.value);
+    w.u32(static_cast<std::uint32_t>(closures.size()));
+    for (const Closure& c : closures) c.encode(w);
+    return w.take();
+  }
+  static std::optional<MigrateMsg> decode(const Bytes& b) {
+    Reader r(b);
+    MigrateMsg m;
+    m.from = net::NodeId{r.u32()};
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || n > (1u << 24)) return std::nullopt;
+    m.closures.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) m.closures.push_back(Closure::decode(r));
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+struct StatsMsg {
+  net::NodeId who;
+  WorkerStats stats;
+  std::uint64_t start_ns = 0;  // when the participant joined
+  std::uint64_t end_ns = 0;    // when it finished/left
+
+  Bytes encode() const {
+    Writer w;
+    w.u32(who.value);
+    stats.encode(w);
+    w.u64(start_ns);
+    w.u64(end_ns);
+    return w.take();
+  }
+  static std::optional<StatsMsg> decode(const Bytes& b) {
+    Reader r(b);
+    StatsMsg m;
+    m.who = net::NodeId{r.u32()};
+    m.stats = WorkerStats::decode(r);
+    m.start_ns = r.u64();
+    m.end_ns = r.u64();
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+struct IoMsg {
+  net::NodeId who;
+  std::string text;
+
+  Bytes encode() const {
+    Writer w;
+    w.u32(who.value);
+    w.str(text);
+    return w.take();
+  }
+  static std::optional<IoMsg> decode(const Bytes& b) {
+    Reader r(b);
+    IoMsg m;
+    m.who = net::NodeId{r.u32()};
+    m.text = r.str();
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// Membership snapshot returned by register/update RPCs.
+struct Membership {
+  std::uint64_t epoch = 0;
+  std::vector<net::NodeId> participants;
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(epoch);
+    w.u32(static_cast<std::uint32_t>(participants.size()));
+    for (net::NodeId p : participants) w.u32(p.value);
+    return w.take();
+  }
+  static std::optional<Membership> decode(const Bytes& b) {
+    Reader r(b);
+    Membership m;
+    m.epoch = r.u64();
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || n > (1u << 20)) return std::nullopt;
+    m.participants.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      m.participants.push_back(net::NodeId{r.u32()});
+    }
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// Steal RPC: request carries the thief's id; the reply carries at most one
+/// closure.
+struct StealRequest {
+  net::NodeId thief;
+
+  Bytes encode() const {
+    Writer w;
+    w.u32(thief.value);
+    return w.take();
+  }
+  static std::optional<StealRequest> decode(const Bytes& b) {
+    Reader r(b);
+    StealRequest m;
+    m.thief = net::NodeId{r.u32()};
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+struct StealReply {
+  std::optional<Closure> task;
+
+  Bytes encode() const {
+    Writer w;
+    w.boolean(task.has_value());
+    if (task) task->encode(w);
+    return w.take();
+  }
+  static std::optional<StealReply> decode(const Bytes& b) {
+    Reader r(b);
+    StealReply m;
+    if (r.boolean()) m.task = Closure::decode(r);
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+}  // namespace phish::proto

@@ -1,0 +1,15 @@
+#include "core/ready_deque.hpp"
+
+#include <algorithm>
+
+namespace phish {
+
+bool ReadyDeque::remove(const ClosureId& id) {
+  auto it = std::find_if(tasks_.begin(), tasks_.end(),
+                         [&](const Closure& c) { return c.id == id; });
+  if (it == tasks_.end()) return false;
+  tasks_.erase(it);
+  return true;
+}
+
+}  // namespace phish

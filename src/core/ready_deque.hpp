@@ -1,0 +1,88 @@
+// The ready-task list of Figure 1.
+//
+// The owning worker works at the HEAD in LIFO order: it pops the head to
+// execute and pushes newly spawned tasks at the head.  Thieves steal from the
+// TAIL in FIFO order — the task nearest the base of the spawn tree, likely to
+// be large.  The paper argues (and our A1/A2 ablations demonstrate) that this
+// pairing is what preserves memory and communication locality.
+//
+// Both disciplines are configurable so the ablation benches can invert them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "core/closure.hpp"
+
+namespace phish {
+
+/// Which end the owner executes from.
+enum class ExecOrder : std::uint8_t {
+  kLifo,  // paper's choice: depth-first, small working set
+  kFifo,  // ablation: breadth-first, working set explodes
+};
+
+/// Which end thieves steal from.
+enum class StealOrder : std::uint8_t {
+  kFifo,  // paper's choice: tail == oldest == near the base of the tree
+  kLifo,  // ablation: steal the newest (fine-grained) task
+};
+
+class ReadyDeque {
+ public:
+  ReadyDeque() = default;
+  ReadyDeque(ExecOrder exec_order, StealOrder steal_order)
+      : exec_order_(exec_order), steal_order_(steal_order) {}
+
+  /// Spawn/enable: newly ready closures go at the head (paper's discipline).
+  void push(Closure closure) { tasks_.push_front(std::move(closure)); }
+
+  /// The owner takes its next task (head under LIFO).
+  std::optional<Closure> pop_for_execution() {
+    if (tasks_.empty()) return std::nullopt;
+    Closure c = exec_order_ == ExecOrder::kLifo ? take_front() : take_back();
+    return c;
+  }
+
+  /// A thief takes a task (tail under FIFO).
+  std::optional<Closure> pop_for_steal() {
+    if (tasks_.empty()) return std::nullopt;
+    Closure c = steal_order_ == StealOrder::kFifo ? take_back() : take_front();
+    return c;
+  }
+
+  bool empty() const noexcept { return tasks_.empty(); }
+  std::size_t size() const noexcept { return tasks_.size(); }
+
+  ExecOrder exec_order() const noexcept { return exec_order_; }
+  StealOrder steal_order() const noexcept { return steal_order_; }
+
+  /// Drain everything (task migration when the owner reclaims the machine).
+  std::deque<Closure> drain() { return std::exchange(tasks_, {}); }
+
+  /// Remove a queued closure by id (fault recovery aborts orphaned steals).
+  bool remove(const ClosureId& id);
+
+  /// Inspect without removing (tests and stats).
+  const std::deque<Closure>& tasks() const noexcept { return tasks_; }
+
+ private:
+  Closure take_front() {
+    Closure c = std::move(tasks_.front());
+    tasks_.pop_front();
+    return c;
+  }
+  Closure take_back() {
+    Closure c = std::move(tasks_.back());
+    tasks_.pop_back();
+    return c;
+  }
+
+  std::deque<Closure> tasks_;
+  ExecOrder exec_order_ = ExecOrder::kLifo;
+  StealOrder steal_order_ = StealOrder::kFifo;
+};
+
+}  // namespace phish

@@ -1,0 +1,36 @@
+#include "core/task_registry.hpp"
+
+#include <stdexcept>
+
+namespace phish {
+
+TaskId TaskRegistry::add(std::string name, TaskFn fn) {
+  if (by_name_.count(name)) {
+    throw std::invalid_argument("task already registered: " + name);
+  }
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  by_name_.emplace(name, id);
+  tasks_.push_back(TaskDesc{std::move(name), std::move(fn)});
+  return id;
+}
+
+const TaskDesc& TaskRegistry::get(TaskId id) const {
+  if (id >= tasks_.size()) {
+    throw std::out_of_range("unknown task id " + std::to_string(id));
+  }
+  return tasks_[id];
+}
+
+TaskId TaskRegistry::id_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::out_of_range("unknown task name: " + name);
+  }
+  return it->second;
+}
+
+bool TaskRegistry::has(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+}  // namespace phish

@@ -1,0 +1,48 @@
+// Task registry: maps task names to functions.
+//
+// Phish applications were C programs preprocessed into calls to the Phish
+// scheduling library; a task that is stolen must be runnable on the thief, so
+// tasks are named (the name travels on the wire) and every participant binds
+// the same application binary.  Here tasks register a stable string name and
+// get a dense TaskId; wire messages carry the id, and a job's participants
+// agree on ids because registration order is deterministic (registration
+// happens in each app's register_*() function, called explicitly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/closure.hpp"
+
+namespace phish {
+
+class Context;  // defined in worker_core.hpp; tasks receive it when run
+
+using TaskFn = std::function<void(Context&, Closure&)>;
+
+struct TaskDesc {
+  std::string name;
+  TaskFn fn;
+};
+
+class TaskRegistry {
+ public:
+  /// Register a task; returns its id.  Names must be unique; a job's
+  /// participants must register the same tasks in the same order so ids
+  /// agree across the network.
+  TaskId add(std::string name, TaskFn fn);
+
+  const TaskDesc& get(TaskId id) const;
+  TaskId id_of(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::size_t size() const noexcept { return tasks_.size(); }
+
+ private:
+  std::vector<TaskDesc> tasks_;
+  std::unordered_map<std::string, TaskId> by_name_;
+};
+
+}  // namespace phish

@@ -1,0 +1,65 @@
+#include "core/value.hpp"
+
+namespace phish {
+
+void Value::encode(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind()));
+  switch (kind()) {
+    case Kind::kNil:
+      break;
+    case Kind::kInt:
+      w.i64(std::get<std::int64_t>(data_));
+      break;
+    case Kind::kDouble:
+      w.f64(std::get<double>(data_));
+      break;
+    case Kind::kBlob: {
+      const Bytes& b = std::get<Bytes>(data_);
+      w.blob(b.data(), b.size());
+      break;
+    }
+  }
+}
+
+Value Value::decode(Reader& r) {
+  switch (static_cast<Kind>(r.u8())) {
+    case Kind::kNil:
+      return Value();
+    case Kind::kInt:
+      return Value(r.i64());
+    case Kind::kDouble:
+      return Value(r.f64());
+    case Kind::kBlob:
+      return Value(r.blob());
+  }
+  return Value();  // malformed kind byte; reader is already failed or garbage
+}
+
+std::size_t Value::byte_size() const noexcept {
+  switch (kind()) {
+    case Kind::kNil:
+      return 1;
+    case Kind::kInt:
+    case Kind::kDouble:
+      return 9;
+    case Kind::kBlob:
+      return 5 + std::get<Bytes>(data_).size();
+  }
+  return 1;
+}
+
+std::string Value::to_string() const {
+  switch (kind()) {
+    case Kind::kNil:
+      return "nil";
+    case Kind::kInt:
+      return std::to_string(std::get<std::int64_t>(data_));
+    case Kind::kDouble:
+      return std::to_string(std::get<double>(data_));
+    case Kind::kBlob:
+      return "blob[" + std::to_string(std::get<Bytes>(data_).size()) + "]";
+  }
+  return "?";
+}
+
+}  // namespace phish

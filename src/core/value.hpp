@@ -1,0 +1,61 @@
+// Task argument values.
+//
+// The continuation-passing programming model moves data between tasks only by
+// sending argument values into closure slots, so a small dynamically-typed
+// value is the unit of all dataflow: 64-bit integers (fib, nqueens counts),
+// doubles, and byte blobs (pfold histograms, ray tiles) cover the paper's
+// applications.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "serial/buffer.hpp"
+
+namespace phish {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kNil = 0, kInt = 1, kDouble = 2, kBlob = 3 };
+
+  Value() = default;
+  Value(std::int64_t v) : data_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(double v) : data_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(Bytes v) : data_(std::move(v)) {}      // NOLINT(google-explicit-constructor)
+
+  /// Convenience for integer literals.
+  static Value of_int(std::int64_t v) { return Value(v); }
+
+  Kind kind() const noexcept { return static_cast<Kind>(data_.index()); }
+  bool is_nil() const noexcept { return kind() == Kind::kNil; }
+
+  std::int64_t as_int() const {
+    if (kind() != Kind::kInt) throw std::bad_variant_access();
+    return std::get<std::int64_t>(data_);
+  }
+  double as_double() const {
+    if (kind() != Kind::kDouble) throw std::bad_variant_access();
+    return std::get<double>(data_);
+  }
+  const Bytes& as_blob() const {
+    if (kind() != Kind::kBlob) throw std::bad_variant_access();
+    return std::get<Bytes>(data_);
+  }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  void encode(Writer& w) const;
+  static Value decode(Reader& r);
+
+  /// Approximate wire size, used by cost models and stats.
+  std::size_t byte_size() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, Bytes> data_;
+};
+
+}  // namespace phish

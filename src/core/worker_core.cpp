@@ -1,0 +1,247 @@
+#include "core/worker_core.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace phish {
+
+WorkerCore::WorkerCore(net::NodeId me, const TaskRegistry& registry,
+                       Hooks hooks, ExecOrder exec_order,
+                       StealOrder steal_order)
+    : me_(me),
+      registry_(registry),
+      hooks_(std::move(hooks)),
+      deque_(exec_order, steal_order) {
+  if (!hooks_.send_remote) {
+    throw std::invalid_argument("WorkerCore: send_remote hook is required");
+  }
+}
+
+void WorkerCore::spawn(TaskId task, std::vector<Value> args, ContRef cont,
+                       std::uint32_t depth) {
+  Closure c;
+  c.id = next_id();
+  c.task = task;
+  c.cont = cont;
+  c.filled.assign(args.size(), true);
+  c.args = std::move(args);
+  c.missing = 0;
+  c.depth = depth;
+  stats_.note_alloc();
+  ++stats_.tasks_spawned;
+  deque_.push(std::move(c));
+}
+
+ClosureId WorkerCore::create_waiting(TaskId task, std::uint16_t nslots,
+                                     ContRef cont, std::uint32_t depth) {
+  Closure c;
+  c.id = next_id();
+  c.task = task;
+  c.cont = cont;
+  c.args.resize(nslots);
+  c.filled.assign(nslots, false);
+  c.missing = nslots;
+  c.depth = depth;
+  stats_.note_alloc();
+  const ClosureId id = c.id;
+  if (nslots == 0) {
+    // Degenerate join: ready immediately.
+    deque_.push(std::move(c));
+  } else {
+    waiting_.emplace(id, std::move(c));
+  }
+  return id;
+}
+
+void WorkerCore::send_argument(const ContRef& cont, Value value) {
+  ++stats_.synchronizations;
+  if (cont.home == me_) {
+    const Deliver result = deliver_remote(cont.target, cont.slot,
+                                          std::move(value));
+    if (result == Deliver::kUnknown) {
+      // A local send to an unknown closure is a programming error, not a
+      // network artifact.
+      PHISH_LOG(kError) << "local send to unknown closure "
+                        << to_string(cont.target);
+    }
+    return;
+  }
+  ++stats_.non_local_synchs;
+  hooks_.send_remote(cont, std::move(value));
+}
+
+std::optional<Closure> WorkerCore::pop_for_execution() {
+  return deque_.pop_for_execution();
+}
+
+void WorkerCore::execute(Closure& closure) {
+  const TaskDesc& desc = registry_.get(closure.task);
+  stolen_in_.erase(closure.id);  // past the point where aborting could help
+  last_charge_ = 0;
+  Context ctx(*this, closure);
+  desc.fn(ctx, closure);
+  ++stats_.tasks_executed;
+  stats_.executed_depth_total += closure.depth;
+  stats_.note_free();
+}
+
+std::optional<Closure> WorkerCore::try_steal(net::NodeId thief) {
+  ++stats_.steal_requests_received;
+  std::optional<Closure> victim_task = deque_.pop_for_steal();
+  if (!victim_task) return std::nullopt;
+  ++stats_.tasks_stolen_from_me;
+  stats_.stolen_depth_total += victim_task->depth;
+  stats_.note_free();  // it leaves this worker
+  // Record a redo snapshot in case the thief dies before completing it.
+  steal_ledger_.emplace(victim_task->id, LedgerEntry{*victim_task, thief});
+  return victim_task;
+}
+
+void WorkerCore::install_stolen(Closure closure) {
+  ++stats_.tasks_stolen_by_me;
+  stats_.note_alloc();
+  // Track where this task's result is claimed, so the task can be aborted if
+  // that participant dies before we run it.
+  stolen_in_.emplace(closure.id, closure.cont.home);
+  deque_.push(std::move(closure));
+}
+
+WorkerCore::Deliver WorkerCore::deliver_remote(const ClosureId& target,
+                                               std::uint16_t slot,
+                                               Value value) {
+  auto it = waiting_.find(target);
+  if (it == waiting_.end()) {
+    ++stats_.args_unknown_closure;
+    return Deliver::kUnknown;
+  }
+  Closure& c = it->second;
+  if (!c.fill(slot, std::move(value))) {
+    ++stats_.args_duplicate;
+    return Deliver::kDuplicate;
+  }
+  if (c.ready()) {
+    deque_.push(std::move(c));
+    waiting_.erase(it);
+    return Deliver::kBecameReady;
+  }
+  return Deliver::kFilled;
+}
+
+std::vector<Closure> WorkerCore::drain_for_migration() {
+  std::vector<Closure> out;
+  auto ready = deque_.drain();
+  for (Closure& c : ready) {
+    out.push_back(std::move(c));
+  }
+  for (auto& [id, c] : waiting_) {
+    out.push_back(std::move(c));
+  }
+  waiting_.clear();
+  stats_.tasks_migrated_out += out.size();
+  for (std::size_t i = 0; i < out.size(); ++i) stats_.note_free();
+  return out;
+}
+
+void WorkerCore::install_migrated(Closure closure) {
+  stats_.note_alloc();
+  if (closure.ready()) {
+    deque_.push(std::move(closure));
+  } else {
+    const ClosureId id = closure.id;
+    waiting_.emplace(id, std::move(closure));
+  }
+}
+
+std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
+  // 1. Redo: tasks the dead participant stole from us are re-enqueued from
+  //    their ledger snapshots.  Slot fill-flags downstream make any work the
+  //    thief completed before dying idempotent.
+  std::size_t redone = 0;
+  for (auto it = steal_ledger_.begin(); it != steal_ledger_.end();) {
+    if (it->second.thief == dead) {
+      stats_.note_alloc();
+      ++stats_.tasks_redone;
+      deque_.push(std::move(it->second.snapshot));
+      it = steal_ledger_.erase(it);
+      ++redone;
+    } else {
+      ++it;
+    }
+  }
+  // 2. Abort orphans: tasks we stole whose results would go to closures on
+  //    the dead participant.  Still-queued ones are removed; running or
+  //    completed ones are harmless (their sends dead-letter).
+  for (auto it = stolen_in_.begin(); it != stolen_in_.end();) {
+    if (it->second == dead) {
+      if (deque_.remove(it->first)) stats_.note_free();
+      it = stolen_in_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return redone;
+}
+
+Bytes WorkerCore::export_state() const {
+  Writer w;
+  w.u32(me_.value);
+  w.u64(next_seq_);
+  // Ready tasks, head to tail (re-pushing in reverse order restores them).
+  const auto& ready = deque_.tasks();
+  w.u32(static_cast<std::uint32_t>(ready.size()));
+  for (const Closure& c : ready) c.encode(w);
+  w.u32(static_cast<std::uint32_t>(waiting_.size()));
+  for (const auto& [id, c] : waiting_) c.encode(w);
+  return w.take();
+}
+
+void WorkerCore::import_state(const Bytes& state) {
+  if (!deque_.empty() || !waiting_.empty()) {
+    throw std::logic_error("WorkerCore::import_state: core not fresh");
+  }
+  Reader r(state);
+  const net::NodeId origin{r.u32()};
+  if (origin != me_) {
+    throw std::invalid_argument(
+        "WorkerCore::import_state: state belongs to " + net::to_string(origin));
+  }
+  next_seq_ = r.u64();
+  const std::uint32_t ready_count = r.u32();
+  std::vector<Closure> ready;
+  ready.reserve(ready_count);
+  for (std::uint32_t i = 0; i < ready_count && r.ok(); ++i) {
+    ready.push_back(Closure::decode(r));
+  }
+  // Encoded head-first; push back-to-front so the head ends up at the head.
+  for (auto it = ready.rbegin(); it != ready.rend(); ++it) {
+    stats_.note_alloc();
+    deque_.push(std::move(*it));
+  }
+  const std::uint32_t waiting_count = r.ok() ? r.u32() : 0;
+  for (std::uint32_t i = 0; i < waiting_count && r.ok(); ++i) {
+    Closure c = Closure::decode(r);
+    stats_.note_alloc();
+    const ClosureId id = c.id;
+    waiting_.emplace(id, std::move(c));
+  }
+  if (!r.done()) {
+    throw std::invalid_argument("WorkerCore::import_state: corrupt state");
+  }
+}
+
+void WorkerCore::emit_io(const std::string& text) {
+  if (hooks_.emit_io) {
+    hooks_.emit_io(text);
+  } else {
+    std::fputs((text + "\n").c_str(), stdout);
+  }
+}
+
+const Closure* WorkerCore::find_waiting(const ClosureId& id) const {
+  auto it = waiting_.find(id);
+  return it == waiting_.end() ? nullptr : &it->second;
+}
+
+}  // namespace phish

@@ -1,0 +1,227 @@
+// WorkerCore: the micro-level scheduler's per-participant state machine.
+//
+// One WorkerCore is the paper's "participating process" seen from the inside:
+// the ready-task list (LIFO execution / FIFO steals), the table of waiting
+// closures (tasks whose synchronization requirements are not yet met), the
+// steal ledger used for fault-tolerant redo, and the Table-2 statistics.
+//
+// WorkerCore is deliberately runtime-agnostic: it never blocks, never sleeps,
+// and touches the outside world only through Hooks.  The threads runtime
+// drives many WorkerCores from std::threads (remote sends become direct
+// deliveries into the target core), the simulated-distributed runtime drives
+// them from simulator events with messages on the SimNetwork, and the UDP
+// runtime drives them from real sockets.  External synchronization is the
+// runtime's job; WorkerCore itself is not thread-safe.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ready_deque.hpp"
+#include "core/task_registry.hpp"
+#include "core/worker_stats.hpp"
+
+namespace phish {
+
+class Context;
+
+class WorkerCore {
+ public:
+  struct Hooks {
+    /// Deliver an argument whose target closure lives on another worker.
+    /// Required.
+    std::function<void(const ContRef&, Value)> send_remote;
+    /// Application output (Context::print).  The distributed runtimes route
+    /// it to the Clearinghouse ("workers can perform I/O through the
+    /// Clearinghouse, so a user need only watch the Clearinghouse to see job
+    /// output").  Optional; defaults to stdout.
+    std::function<void(const std::string&)> emit_io;
+  };
+
+  WorkerCore(net::NodeId me, const TaskRegistry& registry, Hooks hooks,
+             ExecOrder exec_order = ExecOrder::kLifo,
+             StealOrder steal_order = StealOrder::kFifo);
+
+  net::NodeId id() const noexcept { return me_; }
+  const TaskRegistry& registry() const noexcept { return registry_; }
+
+  // ---- Task-facing operations (called by tasks through Context). ----
+
+  /// Create a ready closure and push it at the head of the ready list.
+  void spawn(TaskId task, std::vector<Value> args, ContRef cont,
+             std::uint32_t depth);
+
+  /// Create a waiting closure with `nslots` empty argument slots.  It becomes
+  /// ready when all slots are filled.
+  ClosureId create_waiting(TaskId task, std::uint16_t nslots, ContRef cont,
+                           std::uint32_t depth);
+
+  /// Continuation reference to slot `slot` of a closure created here.
+  ContRef slot_ref(const ClosureId& id, std::uint16_t slot) const {
+    return ContRef{id, slot, me_};
+  }
+
+  /// Send an argument to a continuation.  Local targets are filled in place
+  /// (a *local* synchronization); remote targets go through
+  /// Hooks::send_remote (a *non-local* synchronization).
+  void send_argument(const ContRef& cont, Value value);
+
+  // ---- Scheduler-facing operations (called by the runtime). ----
+
+  /// Pop the next task for local execution (head of the list under LIFO).
+  std::optional<Closure> pop_for_execution();
+
+  /// Execute a popped closure: runs the task function with a Context bound to
+  /// this core.  Frees the closure afterwards.
+  void execute(Closure& closure);
+
+  /// Victim side of a steal: surrender the tail task, recording it in the
+  /// steal ledger for possible redo if the thief later crashes.
+  /// `thief` identifies who is taking it.
+  std::optional<Closure> try_steal(net::NodeId thief);
+
+  /// Thief side of a steal: install a stolen closure for execution.
+  void install_stolen(Closure closure);
+
+  /// Deliver an argument that arrived from the network for a closure hosted
+  /// here.
+  enum class Deliver { kFilled, kBecameReady, kDuplicate, kUnknown };
+  Deliver deliver_remote(const ClosureId& target, std::uint16_t slot,
+                         Value value);
+
+  // ---- Migration & fault tolerance. ----
+
+  /// Package every closure (ready and waiting) for migration to `successor`
+  /// and clear this core.  The paper: when the owner reclaims a workstation,
+  /// "the process's data migrates before termination to another process of
+  /// the same parallel job."
+  std::vector<Closure> drain_for_migration();
+
+  /// Install a migrated closure (ready ones go to the ready list, waiting
+  /// ones to the waiting table).
+  void install_migrated(Closure closure);
+
+  /// A participant died: re-enqueue snapshots of every task it stole from us
+  /// (redo), and abort tasks we stole from it that are still queued (their
+  /// results could never be claimed).  Returns number of tasks re-enqueued.
+  std::size_t handle_participant_death(net::NodeId dead);
+
+  /// Forget ledger entries whose redo window has passed (job completed).
+  void clear_steal_ledger() { steal_ledger_.clear(); }
+
+  // ---- Checkpointing (paper §6 future work). ----
+
+  /// Serialize this worker's entire closure state (ready list + waiting
+  /// table + id allocator).  Meaningful only at a quiescent instant (no
+  /// messages in flight); the runtimes guarantee that.
+  Bytes export_state() const;
+
+  /// Restore a state exported by a core with the same node id.  The core
+  /// must be fresh (no closures, no allocations).
+  void import_state(const Bytes& state);
+
+  // ---- Introspection. ----
+  bool has_ready() const noexcept { return !deque_.empty(); }
+  std::size_t ready_count() const noexcept { return deque_.size(); }
+  std::size_t waiting_count() const noexcept { return waiting_.size(); }
+  const WorkerStats& stats() const noexcept { return stats_; }
+  WorkerStats& stats() noexcept { return stats_; }
+  const ReadyDeque& ready_deque() const noexcept { return deque_; }
+
+  /// Tests only: look up a waiting closure.
+  const Closure* find_waiting(const ClosureId& id) const;
+
+  /// Work units reported (via Context::charge) by the most recent execute().
+  /// The simulated-distributed runtime converts these to simulated time; the
+  /// real-time runtimes ignore them.
+  std::uint64_t last_charge() const noexcept { return last_charge_; }
+
+  /// Route application output through Hooks::emit_io (stdout by default).
+  void emit_io(const std::string& text);
+
+ private:
+  friend class Context;
+
+  ClosureId next_id() { return ClosureId{me_, next_seq_++}; }
+
+  net::NodeId me_;
+  const TaskRegistry& registry_;
+  Hooks hooks_;
+  std::uint64_t last_charge_ = 0;
+  ReadyDeque deque_;
+  std::unordered_map<ClosureId, Closure> waiting_;
+  std::uint64_t next_seq_ = 1;
+  WorkerStats stats_;
+
+  struct LedgerEntry {
+    Closure snapshot;     // full copy: enough to redo the task
+    net::NodeId thief;
+  };
+  // Keyed by the stolen closure's id.
+  std::unordered_map<ClosureId, LedgerEntry> steal_ledger_;
+  // Tasks I stole, by origin ledger: thief-side record for aborting orphans.
+  std::unordered_map<ClosureId, net::NodeId> stolen_in_;
+};
+
+/// Context: the API surface a running task sees.  Mirrors the calls the Phish
+/// preprocessor emitted into application code: spawning children, creating
+/// join (waiting) closures, and sending arguments to continuations.
+class Context {
+ public:
+  Context(WorkerCore& core, const Closure& current)
+      : core_(core), current_(current) {}
+
+  /// Spawn a ready child task; its result goes to `cont`.
+  void spawn(TaskId task, std::vector<Value> args, const ContRef& cont) {
+    core_.spawn(task, std::move(args), cont, current_.depth + 1);
+  }
+  void spawn(const std::string& task, std::vector<Value> args,
+             const ContRef& cont) {
+    spawn(core_.registry().id_of(task), std::move(args), cont);
+  }
+
+  /// Create a waiting closure (a join point) with `nslots` slots; when all
+  /// are filled it runs `task` and sends the result to `cont`.
+  ClosureId make_join(TaskId task, std::uint16_t nslots, const ContRef& cont) {
+    return core_.create_waiting(task, nslots, cont, current_.depth + 1);
+  }
+  ClosureId make_join(const std::string& task, std::uint16_t nslots,
+                      const ContRef& cont) {
+    return make_join(core_.registry().id_of(task), nslots, cont);
+  }
+
+  /// Continuation pointing at slot `slot` of a join created here.
+  ContRef slot(const ClosureId& join, std::uint16_t s) const {
+    return core_.slot_ref(join, s);
+  }
+
+  /// Send a value to a continuation (the task's way of "returning").
+  void send(const ContRef& cont, Value value) {
+    core_.send_argument(cont, std::move(value));
+  }
+
+  /// Identity of the executing participant.
+  net::NodeId worker() const { return core_.id(); }
+
+  /// Registry lookup for spawning by name once and caching the id.
+  TaskId task_id(const std::string& name) const {
+    return core_.registry().id_of(name);
+  }
+
+  /// Report `units` of application work done by this task.  The simulated
+  /// runtime turns the total into simulated compute time; real runtimes
+  /// ignore it.  Call once or many times; amounts accumulate.
+  void charge(std::uint64_t units) { core_.last_charge_ += units; }
+
+  /// Emit a line of application output through the runtime's I/O channel
+  /// (buffered to the Clearinghouse in the distributed runtimes).
+  void print(const std::string& text) { core_.emit_io(text); }
+
+ private:
+  WorkerCore& core_;
+  const Closure& current_;
+};
+
+}  // namespace phish

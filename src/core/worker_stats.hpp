@@ -1,0 +1,132 @@
+// Per-participant scheduling statistics.
+//
+// These are exactly the quantities the paper's Table 2 reports for pfold
+// ("Tasks executed", "Max tasks in use", "Tasks stolen", "Synchronizations",
+// "Non-local synchs", "Messages sent"), plus supporting counters for the
+// ablation benches.
+#pragma once
+
+#include <cstdint>
+
+#include "serial/buffer.hpp"
+
+namespace phish {
+
+struct WorkerStats {
+  // -- Table 2 rows --
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t max_tasks_in_use = 0;   // peak closures allocated at once
+  std::uint64_t tasks_stolen_from_me = 0;  // counted at the victim
+  std::uint64_t synchronizations = 0;   // argument sends initiated here
+  std::uint64_t non_local_synchs = 0;   // ... whose target lived elsewhere
+
+  // -- supporting counters --
+  std::uint64_t tasks_in_use = 0;       // current closures allocated
+  std::uint64_t closures_created = 0;
+  std::uint64_t tasks_spawned = 0;      // ready spawns (subset of created)
+  std::uint64_t tasks_stolen_by_me = 0; // counted at the thief
+  std::uint64_t steal_requests_sent = 0;
+  std::uint64_t steal_requests_received = 0;
+  std::uint64_t failed_steals = 0;      // my requests that found nothing
+  std::uint64_t args_duplicate = 0;     // idempotent re-sends dropped
+  std::uint64_t args_unknown_closure = 0;  // dead-lettered deliveries
+  std::uint64_t tasks_migrated_out = 0; // owner-return migration
+  std::uint64_t tasks_redone = 0;       // fault-recovery re-enqueues
+  // Spawn-tree depth sums, for the communication-locality evidence: FIFO
+  // steals should take tasks near the BASE of the tree (small depth), i.e.
+  // avg stolen depth << avg executed depth.
+  std::uint64_t executed_depth_total = 0;
+  std::uint64_t stolen_depth_total = 0;  // at the victim
+
+  void note_alloc() {
+    ++closures_created;
+    ++tasks_in_use;
+    if (tasks_in_use > max_tasks_in_use) max_tasks_in_use = tasks_in_use;
+  }
+  void note_free() {
+    if (tasks_in_use > 0) --tasks_in_use;
+  }
+
+  /// Aggregate across participants: sums everything except max_tasks_in_use,
+  /// which takes the per-participant maximum (as the paper reports it).
+  void merge(const WorkerStats& other) {
+    tasks_executed += other.tasks_executed;
+    if (other.max_tasks_in_use > max_tasks_in_use) {
+      max_tasks_in_use = other.max_tasks_in_use;
+    }
+    tasks_stolen_from_me += other.tasks_stolen_from_me;
+    synchronizations += other.synchronizations;
+    non_local_synchs += other.non_local_synchs;
+    tasks_in_use += other.tasks_in_use;
+    closures_created += other.closures_created;
+    tasks_spawned += other.tasks_spawned;
+    tasks_stolen_by_me += other.tasks_stolen_by_me;
+    steal_requests_sent += other.steal_requests_sent;
+    steal_requests_received += other.steal_requests_received;
+    failed_steals += other.failed_steals;
+    args_duplicate += other.args_duplicate;
+    args_unknown_closure += other.args_unknown_closure;
+    tasks_migrated_out += other.tasks_migrated_out;
+    tasks_redone += other.tasks_redone;
+    executed_depth_total += other.executed_depth_total;
+    stolen_depth_total += other.stolen_depth_total;
+  }
+
+  double avg_executed_depth() const {
+    return tasks_executed
+               ? static_cast<double>(executed_depth_total) /
+                     static_cast<double>(tasks_executed)
+               : 0.0;
+  }
+  double avg_stolen_depth() const {
+    return tasks_stolen_from_me
+               ? static_cast<double>(stolen_depth_total) /
+                     static_cast<double>(tasks_stolen_from_me)
+               : 0.0;
+  }
+
+  void encode(Writer& w) const {
+    w.u64(tasks_executed);
+    w.u64(max_tasks_in_use);
+    w.u64(tasks_stolen_from_me);
+    w.u64(synchronizations);
+    w.u64(non_local_synchs);
+    w.u64(tasks_in_use);
+    w.u64(closures_created);
+    w.u64(tasks_spawned);
+    w.u64(tasks_stolen_by_me);
+    w.u64(steal_requests_sent);
+    w.u64(steal_requests_received);
+    w.u64(failed_steals);
+    w.u64(args_duplicate);
+    w.u64(args_unknown_closure);
+    w.u64(tasks_migrated_out);
+    w.u64(tasks_redone);
+    w.u64(executed_depth_total);
+    w.u64(stolen_depth_total);
+  }
+  static WorkerStats decode(Reader& r) {
+    WorkerStats s;
+    s.tasks_executed = r.u64();
+    s.max_tasks_in_use = r.u64();
+    s.tasks_stolen_from_me = r.u64();
+    s.synchronizations = r.u64();
+    s.non_local_synchs = r.u64();
+    s.tasks_in_use = r.u64();
+    s.closures_created = r.u64();
+    s.tasks_spawned = r.u64();
+    s.tasks_stolen_by_me = r.u64();
+    s.steal_requests_sent = r.u64();
+    s.steal_requests_received = r.u64();
+    s.failed_steals = r.u64();
+    s.args_duplicate = r.u64();
+    s.args_unknown_closure = r.u64();
+    s.tasks_migrated_out = r.u64();
+    s.tasks_redone = r.u64();
+    s.executed_depth_total = r.u64();
+    s.stolen_depth_total = r.u64();
+    return s;
+  }
+};
+
+}  // namespace phish

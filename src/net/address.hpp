@@ -1,0 +1,37 @@
+// Node addressing.
+//
+// Every process in a Phish network — workers, the Clearinghouse of each job,
+// the PhishJobQ, and each PhishJobManager — is a node with a small integer id.
+// In the simulated network the id indexes the simulator's node table; in the
+// real UDP network it maps to a 127.0.0.1 port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace phish::net {
+
+struct NodeId {
+  std::uint32_t value = kNilValue;
+
+  static constexpr std::uint32_t kNilValue = 0xffffffffu;
+
+  constexpr bool valid() const noexcept { return value != kNilValue; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+constexpr NodeId kNilNode{};
+
+inline std::string to_string(NodeId id) {
+  return id.valid() ? "n" + std::to_string(id.value) : "n<nil>";
+}
+
+}  // namespace phish::net
+
+template <>
+struct std::hash<phish::net::NodeId> {
+  std::size_t operator()(const phish::net::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

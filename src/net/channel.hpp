@@ -1,0 +1,38 @@
+// Channel: one node's connection to the network.
+//
+// The worker engine, Clearinghouse, JobQ, and RPC layer are all written
+// against this interface, so the same scheduler code runs over the simulated
+// network (SimNetwork), an in-process test network (LoopNetwork), and real
+// UDP sockets (UdpNetwork) — mirroring how the paper's Phish and Strata share
+// one programming model across a workstation network and the CM-5.
+#pragma once
+
+#include <functional>
+
+#include "net/message.hpp"
+
+namespace phish::net {
+
+class Channel {
+ public:
+  using Receiver = std::function<void(Message&&)>;
+
+  virtual ~Channel() = default;
+
+  /// This node's address.
+  virtual NodeId id() const = 0;
+
+  /// Fire-and-forget datagram send (split-phase: never blocks on the
+  /// destination).  Delivery may fail silently, exactly like UDP; reliability
+  /// is layered on top by the RPC module where it matters.
+  virtual void send(NodeId dst, std::uint16_t type, Bytes payload) = 0;
+
+  /// Install the message handler.  The transport guarantees the receiver is
+  /// never invoked concurrently with itself for the same channel.
+  virtual void set_receiver(Receiver receiver) = 0;
+
+  /// Traffic counters for this node.
+  virtual const ChannelStats& stats() const = 0;
+};
+
+}  // namespace phish::net

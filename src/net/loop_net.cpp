@@ -1,0 +1,55 @@
+#include "net/loop_net.hpp"
+
+#include <stdexcept>
+
+namespace phish::net {
+
+void LoopChannel::send(NodeId dst, std::uint16_t type, Bytes payload) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  net_.route(Message{id_, dst, type, std::move(payload)});
+}
+
+LoopChannel& LoopNetwork::channel(NodeId id) {
+  if (!id.valid()) throw std::invalid_argument("LoopNetwork: nil node id");
+  if (id.value >= channels_.size()) channels_.resize(id.value + 1);
+  auto& slot = channels_[id.value];
+  if (!slot) slot.reset(new LoopChannel(*this, id));
+  return *slot;
+}
+
+void LoopNetwork::route(Message&& message) {
+  if (drop_probability_ > 0.0 && rng_.chance(drop_probability_)) {
+    if (message.src.value < channels_.size() &&
+        channels_[message.src.value]) {
+      ++channels_[message.src.value]->stats_.messages_dropped;
+    }
+    return;
+  }
+  queue_.push_back(std::move(message));
+}
+
+bool LoopNetwork::deliver_one() {
+  if (queue_.empty()) return false;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  if (msg.dst.value >= channels_.size() || !channels_[msg.dst.value] ||
+      !channels_[msg.dst.value]->receiver_) {
+    return true;  // destination never attached: silently dropped, like UDP
+  }
+  LoopChannel& ch = *channels_[msg.dst.value];
+  ++ch.stats_.messages_received;
+  ch.stats_.bytes_received += msg.payload.size();
+  ch.receiver_(std::move(msg));
+  return true;
+}
+
+std::size_t LoopNetwork::drain() {
+  std::size_t n = 0;
+  while (deliver_one()) ++n;
+  return n;
+}
+
+void LoopNetwork::drop_all_in_flight() { queue_.clear(); }
+
+}  // namespace phish::net

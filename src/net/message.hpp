@@ -1,0 +1,36 @@
+// Datagram message: the unit of communication on every transport.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.hpp"
+#include "serial/buffer.hpp"
+
+namespace phish::net {
+
+struct Message {
+  NodeId src;
+  NodeId dst;
+  std::uint16_t type = 0;
+  Bytes payload;
+};
+
+/// Per-channel traffic counters.  `messages_sent` is the statistic the paper's
+/// Table 2 reports; the rest support the network ablation benches.
+struct ChannelStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_dropped = 0;  // injected loss (sim / loop only)
+
+  void merge(const ChannelStats& other) noexcept {
+    messages_sent += other.messages_sent;
+    bytes_sent += other.bytes_sent;
+    messages_received += other.messages_received;
+    bytes_received += other.bytes_received;
+    messages_dropped += other.messages_dropped;
+  }
+};
+
+}  // namespace phish::net

@@ -1,0 +1,205 @@
+#include "net/rpc.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace phish::net {
+
+RpcNode::RpcNode(Channel& channel, TimerService& timers,
+                 std::size_t reply_cache_capacity)
+    : channel_(channel),
+      timers_(timers),
+      reply_cache_capacity_(reply_cache_capacity),
+      next_request_id_(mix64(channel.id().value) | 1) {
+  channel_.set_receiver([this](Message&& m) { on_message(std::move(m)); });
+}
+
+RpcNode::~RpcNode() {
+  channel_.set_receiver({});
+  std::vector<PendingCall> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, call] : pending_) {
+      timers_.cancel(call.timer);
+      orphans.push_back(std::move(call));
+    }
+    pending_.clear();
+  }
+  for (auto& call : orphans) {
+    if (call.on_done) call.on_done(RpcResult{false, {}});
+  }
+}
+
+void RpcNode::serve(std::uint16_t method, MethodHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  methods_[method] = std::move(handler);
+}
+
+void RpcNode::call(NodeId dst, std::uint16_t method, Bytes args,
+                   Completion on_done, RetryPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t request_id = next_request_id_++;
+  PendingCall call;
+  call.dst = dst;
+  call.method = method;
+  call.args = std::move(args);
+  call.on_done = std::move(on_done);
+  call.policy = policy;
+  call.attempts = 1;
+  call.current_timeout_ns = policy.timeout_ns;
+  auto [it, inserted] = pending_.emplace(request_id, std::move(call));
+  ++stats_.calls_started;
+  transmit(request_id, it->second);
+  it->second.timer = timers_.schedule(
+      it->second.current_timeout_ns,
+      [this, request_id] { on_timeout(request_id); });
+}
+
+void RpcNode::send_oneway(NodeId dst, std::uint16_t type, Bytes payload) {
+  channel_.send(dst, type, std::move(payload));
+}
+
+void RpcNode::set_oneway_handler(OnewayHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  oneway_handler_ = std::move(handler);
+}
+
+RpcStats RpcNode::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void RpcNode::on_message(Message&& message) {
+  switch (message.type) {
+    case kRpcRequest:
+      handle_request(std::move(message));
+      break;
+    case kRpcReply:
+      handle_reply(std::move(message));
+      break;
+    default: {
+      OnewayHandler handler;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handler = oneway_handler_;
+      }
+      if (handler) handler(std::move(message));
+      break;
+    }
+  }
+}
+
+void RpcNode::handle_request(Message&& message) {
+  Reader r(message.payload);
+  const std::uint64_t request_id = r.u64();
+  const std::uint16_t method = r.u16();
+  const Bytes args = r.blob();
+  if (!r.done()) {
+    PHISH_LOG(kWarn) << "rpc: malformed request from "
+                     << to_string(message.src);
+    return;
+  }
+
+  MethodHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Duplicate? Answer from the reply cache without re-running the handler.
+    auto cached = reply_cache_.find(message.src);
+    if (cached != reply_cache_.end()) {
+      for (const CachedReply& entry : cached->second) {
+        if (entry.request_id == request_id) {
+          ++stats_.duplicate_requests;
+          // channel_.send never calls back into this RpcNode, so sending
+          // while holding our mutex is safe.
+          send_reply(message.src, request_id, entry.reply);
+          return;
+        }
+      }
+    }
+    auto it = methods_.find(method);
+    if (it == methods_.end()) {
+      PHISH_LOG(kDebug) << "rpc: no handler for method " << method << " on "
+                        << to_string(channel_.id());
+      return;  // caller times out, exactly as with a dead UDP peer
+    }
+    handler = it->second;
+  }
+
+  Bytes reply = handler(message.src, args);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& cache = reply_cache_[message.src];
+    cache.push_back(CachedReply{request_id, reply});
+    while (cache.size() > reply_cache_capacity_) cache.pop_front();
+  }
+  send_reply(message.src, request_id, reply);
+}
+
+void RpcNode::handle_reply(Message&& message) {
+  Reader r(message.payload);
+  const std::uint64_t request_id = r.u64();
+  Bytes reply = r.blob();
+  if (!r.done()) {
+    PHISH_LOG(kWarn) << "rpc: malformed reply from " << to_string(message.src);
+    return;
+  }
+  Completion on_done;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;  // late duplicate reply
+    timers_.cancel(it->second.timer);
+    on_done = std::move(it->second.on_done);
+    pending_.erase(it);
+    ++stats_.calls_succeeded;
+  }
+  if (on_done) on_done(RpcResult{true, std::move(reply)});
+}
+
+void RpcNode::transmit(std::uint64_t request_id, const PendingCall& call) {
+  Writer w;
+  w.u64(request_id);
+  w.u16(call.method);
+  w.blob(call.args.data(), call.args.size());
+  channel_.send(call.dst, kRpcRequest, w.take());
+}
+
+void RpcNode::on_timeout(std::uint64_t request_id) {
+  Completion on_done;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    PendingCall& call = it->second;
+    if (call.attempts >= call.policy.max_attempts) {
+      on_done = std::move(call.on_done);
+      pending_.erase(it);
+      ++stats_.calls_failed;
+    } else {
+      ++call.attempts;
+      ++stats_.retransmissions;
+      call.current_timeout_ns = static_cast<std::uint64_t>(
+          static_cast<double>(call.current_timeout_ns) * call.policy.backoff);
+      transmit(request_id, call);
+      call.timer = timers_.schedule(call.current_timeout_ns,
+                                    [this, request_id] {
+                                      on_timeout(request_id);
+                                    });
+    }
+  }
+  if (on_done) on_done(RpcResult{false, {}});
+}
+
+void RpcNode::send_reply(NodeId dst, std::uint64_t request_id,
+                         const Bytes& reply) {
+  Writer w;
+  w.u64(request_id);
+  w.blob(reply.data(), reply.size());
+  channel_.send(dst, kRpcReply, w.take());
+}
+
+}  // namespace phish::net

@@ -1,0 +1,127 @@
+// Split-phase remote procedure calls over unreliable datagrams.
+//
+// The paper: "almost all communications are done with split-phase operations;
+// that is, the runtime system almost always works while waiting for a reply
+// message.  In order to achieve split-phase communications, all communications
+// are implemented on top of UDP/IP messages."
+//
+// RpcNode layers exactly that on a Channel:
+//   * call()  — asynchronous request with retransmission and exponential
+//               backoff; the caller keeps working and a completion callback
+//               fires with the reply (or failure after the retry budget).
+//   * serve() — register a method handler; duplicate requests (retransmits
+//               that crossed a reply in flight) are answered from a bounded
+//               reply cache without re-running the handler, making methods
+//               effectively at-most-once.
+//   * send_oneway()/set_oneway_handler() — raw datagrams for traffic that has
+//               application-level reliability (argument sends are made
+//               idempotent by closure slot fill-flags instead).
+//
+// Thread-safety: safe for concurrent use (the UDP runtime calls in from
+// receiver and timer threads); no lock is held while user callbacks run.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/channel.hpp"
+#include "net/timer_service.hpp"
+
+namespace phish::net {
+
+/// Channel message types at and above this value are reserved for RPC frames.
+constexpr std::uint16_t kRpcTypeBase = 0xff00;
+constexpr std::uint16_t kRpcRequest = 0xff01;
+constexpr std::uint16_t kRpcReply = 0xff02;
+
+struct RetryPolicy {
+  std::uint64_t timeout_ns = 200'000'000;  // first retransmit after 200 ms
+  int max_attempts = 5;
+  double backoff = 2.0;
+};
+
+struct RpcResult {
+  bool ok = false;
+  Bytes reply;
+};
+
+struct RpcStats {
+  std::uint64_t calls_started = 0;
+  std::uint64_t calls_succeeded = 0;
+  std::uint64_t calls_failed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicate_requests = 0;  // served from the reply cache
+};
+
+class RpcNode {
+ public:
+  using MethodHandler = std::function<Bytes(NodeId src, const Bytes& args)>;
+  using OnewayHandler = std::function<void(Message&&)>;
+  using Completion = std::function<void(RpcResult)>;
+
+  RpcNode(Channel& channel, TimerService& timers,
+          std::size_t reply_cache_capacity = 1024);
+  ~RpcNode();
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  NodeId id() const { return channel_.id(); }
+
+  /// Register the handler for a method id (< kRpcTypeBase).
+  void serve(std::uint16_t method, MethodHandler handler);
+
+  /// Asynchronous call.  `on_done` fires exactly once, possibly on a
+  /// transport or timer thread.
+  void call(NodeId dst, std::uint16_t method, Bytes args, Completion on_done,
+            RetryPolicy policy = {});
+
+  /// Raw datagram with an application message type (< kRpcTypeBase).
+  void send_oneway(NodeId dst, std::uint16_t type, Bytes payload);
+
+  /// Handler for incoming non-RPC datagrams.
+  void set_oneway_handler(OnewayHandler handler);
+
+  RpcStats stats() const;
+
+ private:
+  struct PendingCall {
+    NodeId dst;
+    std::uint16_t method = 0;
+    Bytes args;
+    Completion on_done;
+    RetryPolicy policy;
+    int attempts = 0;
+    std::uint64_t current_timeout_ns = 0;
+    TimerToken timer;
+  };
+
+  struct CachedReply {
+    std::uint64_t request_id;
+    Bytes reply;
+  };
+
+  void on_message(Message&& message);
+  void handle_request(Message&& message);
+  void handle_reply(Message&& message);
+  void transmit(std::uint64_t request_id, const PendingCall& call);
+  void on_timeout(std::uint64_t request_id);
+  void send_reply(NodeId dst, std::uint64_t request_id, const Bytes& reply);
+
+  Channel& channel_;
+  TimerService& timers_;
+  const std::size_t reply_cache_capacity_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint16_t, MethodHandler> methods_;
+  OnewayHandler oneway_handler_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t next_request_id_;
+  // Reply cache per peer, bounded FIFO.
+  std::unordered_map<NodeId, std::deque<CachedReply>> reply_cache_;
+  RpcStats stats_;
+};
+
+}  // namespace phish::net

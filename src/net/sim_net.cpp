@@ -1,0 +1,117 @@
+#include "net/sim_net.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace phish::net {
+
+SimNetParams SimNetParams::cm5_like() {
+  SimNetParams p;
+  p.send_overhead = 2 * sim::kMicrosecond;
+  p.recv_overhead = 2 * sim::kMicrosecond;
+  p.latency = 5 * sim::kMicrosecond;
+  p.bytes_per_second = 125e6;  // ~100x the Ethernet figure
+  p.jitter = 0;
+  return p;
+}
+
+void SimChannel::send(NodeId dst, std::uint16_t type, Bytes payload) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  net_.route(Message{id_, dst, type, std::move(payload)});
+}
+
+SimChannel& SimNetwork::channel(NodeId id) {
+  if (!id.valid()) throw std::invalid_argument("SimNetwork: nil node id");
+  if (id.value >= channels_.size()) {
+    channels_.resize(id.value + 1);
+    dead_.resize(id.value + 1, false);
+  }
+  auto& slot = channels_[id.value];
+  if (!slot) slot.reset(new SimChannel(*this, id));
+  return *slot;
+}
+
+sim::SimTime SimNetwork::send_cpu_cost(std::size_t size) const {
+  const auto wire = static_cast<sim::SimTime>(
+      static_cast<double>(size) / params_.bytes_per_second * 1e9);
+  return params_.send_overhead + wire;
+}
+
+ChannelStats SimNetwork::total_stats() const {
+  ChannelStats total;
+  for (const auto& ch : channels_) {
+    if (ch) total.merge(ch->stats_);
+  }
+  return total;
+}
+
+void SimNetwork::partition(NodeId id, bool dead) {
+  if (id.value >= dead_.size()) dead_.resize(id.value + 1, false);
+  dead_[id.value] = dead;
+}
+
+bool SimNetwork::is_partitioned(NodeId id) const {
+  return id.value < dead_.size() && dead_[id.value];
+}
+
+void SimNetwork::set_cluster(NodeId id, int cluster) {
+  if (!id.valid()) throw std::invalid_argument("set_cluster: nil node id");
+  if (id.value >= clusters_.size()) clusters_.resize(id.value + 1, 0);
+  clusters_[id.value] = cluster;
+}
+
+int SimNetwork::cluster_of(NodeId id) const {
+  return id.value < clusters_.size() ? clusters_[id.value] : 0;
+}
+
+void SimNetwork::route(Message&& message) {
+  if (is_partitioned(message.src) || is_partitioned(message.dst)) {
+    if (message.src.value < channels_.size() && channels_[message.src.value]) {
+      ++channels_[message.src.value]->stats_.messages_dropped;
+    }
+    return;
+  }
+  if (params_.drop_probability > 0.0 && rng_.chance(params_.drop_probability)) {
+    if (message.src.value < channels_.size() && channels_[message.src.value]) {
+      ++channels_[message.src.value]->stats_.messages_dropped;
+    }
+    return;
+  }
+  // Messages crossing a cluster boundary ride the (usually slower)
+  // inter-cluster link.
+  const bool crossing = cluster_of(message.src) != cluster_of(message.dst);
+  if (crossing) ++inter_cluster_messages_;
+  const double bw = crossing ? params_.inter_cluster_bytes_per_second
+                             : params_.bytes_per_second;
+  const sim::SimTime base_latency =
+      crossing ? params_.inter_cluster_latency : params_.latency;
+  const auto wire = static_cast<sim::SimTime>(
+      static_cast<double>(message.payload.size()) / bw * 1e9);
+  sim::SimTime delay = base_latency + wire;
+  if (params_.jitter > 0) {
+    delay += rng_.below(params_.jitter + 1);
+  }
+  ++in_flight_;
+  sim_.schedule(delay, [this, msg = std::move(message)]() mutable {
+    --in_flight_;
+    // Destination may have died while the message was in flight.
+    if (is_partitioned(msg.dst)) return;
+    if (msg.dst.value >= channels_.size() || !channels_[msg.dst.value]) {
+      PHISH_LOG(kDebug) << "sim_net: message to unknown node "
+                        << to_string(msg.dst);
+      return;
+    }
+    SimChannel& ch = *channels_[msg.dst.value];
+    if (!ch.receiver_) {
+      PHISH_LOG(kDebug) << "sim_net: no receiver on " << to_string(msg.dst);
+      return;
+    }
+    ++ch.stats_.messages_received;
+    ch.stats_.bytes_received += msg.payload.size();
+    ch.receiver_(std::move(msg));
+  });
+}
+
+}  // namespace phish::net

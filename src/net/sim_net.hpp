@@ -1,0 +1,126 @@
+// Simulated network: delivers messages through the discrete-event simulator
+// with a configurable cost model.
+//
+// The default parameters model the paper's characterization of a 1994
+// workstation Ethernet relative to a CM-5: per-message software overhead two
+// orders of magnitude higher (hundreds of microseconds), ~1 ms one-way
+// latency, and ~1.25 MB/s of usable bandwidth.  The network ablation bench
+// (A7) sweeps these.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace phish::net {
+
+struct SimNetParams {
+  /// CPU time the *sender* burns per message (software overhead).  Charged to
+  /// the sending worker via send_cpu_cost(); the paper identifies this as the
+  /// dominant cost of workstation networking.
+  sim::SimTime send_overhead = 200 * sim::kMicrosecond;
+  /// CPU time the *receiver* burns per message.
+  sim::SimTime recv_overhead = 200 * sim::kMicrosecond;
+  /// One-way wire latency.
+  sim::SimTime latency = 500 * sim::kMicrosecond;
+  /// Usable bandwidth; transfer time = size / bandwidth.
+  double bytes_per_second = 1.25e6;
+  /// Uniform random extra delay in [0, jitter].
+  sim::SimTime jitter = 50 * sim::kMicrosecond;
+  /// Probability a message is silently dropped (loss injection for the fault
+  /// tolerance and RPC retransmission tests).
+  double drop_probability = 0.0;
+  /// Seed for jitter/drop randomness.
+  std::uint64_t seed = 0x5eed'0000'0001ULL;
+
+  // ---- Heterogeneous-network extension (paper §6 future work). ----
+  // Nodes can be assigned to clusters (SimNetwork::set_cluster); messages
+  // crossing a cluster boundary use these wire characteristics instead of
+  // `latency`/`bytes_per_second`.  Defaults equal the intra-cluster values,
+  // i.e. a flat network.
+  sim::SimTime inter_cluster_latency = 500 * sim::kMicrosecond;
+  double inter_cluster_bytes_per_second = 1.25e6;
+
+  /// A CM-5-like interconnect for the Strata-analog comparisons: overheads and
+  /// latency two orders of magnitude below the workstation defaults.
+  static SimNetParams cm5_like();
+};
+
+class SimNetwork;
+
+class SimChannel final : public Channel {
+ public:
+  NodeId id() const override { return id_; }
+  void send(NodeId dst, std::uint16_t type, Bytes payload) override;
+  void set_receiver(Receiver receiver) override {
+    receiver_ = std::move(receiver);
+  }
+  const ChannelStats& stats() const override { return stats_; }
+
+ private:
+  friend class SimNetwork;
+  SimChannel(SimNetwork& net, NodeId id) : net_(net), id_(id) {}
+
+  SimNetwork& net_;
+  NodeId id_;
+  Receiver receiver_;
+  ChannelStats stats_;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(sim::Simulator& simulator, SimNetParams params = {})
+      : sim_(simulator), params_(params), rng_(params.seed) {}
+
+  /// Create (or fetch) the channel for a node id.  Node ids are dense small
+  /// integers assigned by the caller.
+  SimChannel& channel(NodeId id);
+
+  /// CPU cost the sender should charge itself for a message of `size` bytes.
+  sim::SimTime send_cpu_cost(std::size_t size) const;
+  /// CPU cost the receiver should charge itself per delivered message.
+  sim::SimTime recv_cpu_cost() const { return params_.recv_overhead; }
+
+  const SimNetParams& params() const { return params_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Sum of all channels' counters.
+  ChannelStats total_stats() const;
+
+  /// Drop every message to/from this node from now on (simulates a machine
+  /// crash for the fault-tolerance experiments).
+  void partition(NodeId id, bool dead = true);
+  bool is_partitioned(NodeId id) const;
+
+  /// Assign a node to a cluster (heterogeneous-network extension).  Nodes
+  /// default to cluster 0.
+  void set_cluster(NodeId id, int cluster);
+  int cluster_of(NodeId id) const;
+  /// Messages that crossed a cluster boundary (for the topology ablation).
+  std::uint64_t inter_cluster_messages() const {
+    return inter_cluster_messages_;
+  }
+
+  /// Messages currently on the wire (scheduled but not yet delivered).
+  /// Zero means this simulated instant is network-quiescent — the condition
+  /// the checkpoint service waits for.
+  std::uint64_t messages_in_flight() const { return in_flight_; }
+
+ private:
+  friend class SimChannel;
+  void route(Message&& message);
+
+  sim::Simulator& sim_;
+  SimNetParams params_;
+  Xoshiro256 rng_;
+  std::vector<std::unique_ptr<SimChannel>> channels_;
+  std::vector<bool> dead_;
+  std::vector<int> clusters_;
+  std::uint64_t inter_cluster_messages_ = 0;
+  std::uint64_t in_flight_ = 0;
+};
+
+}  // namespace phish::net

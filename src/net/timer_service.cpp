@@ -1,0 +1,62 @@
+#include "net/timer_service.hpp"
+
+#include "util/timer.hpp"
+
+namespace phish::net {
+
+ThreadTimerService::ThreadTimerService() : thread_([this] { loop(); }) {}
+
+ThreadTimerService::~ThreadTimerService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+TimerToken ThreadTimerService::schedule(std::uint64_t delay_ns,
+                                        std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  const std::uint64_t deadline = monotonic_ns() + delay_ns;
+  entries_.emplace(std::make_pair(deadline, id), std::move(fn));
+  deadline_of_[id] = deadline;
+  cv_.notify_all();
+  return TimerToken{id};
+}
+
+void ThreadTimerService::cancel(TimerToken token) {
+  if (!token.valid()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = deadline_of_.find(token.id);
+  if (it == deadline_of_.end()) return;
+  entries_.erase(std::make_pair(it->second, token.id));
+  deadline_of_.erase(it);
+}
+
+std::uint64_t ThreadTimerService::now_ns() const { return monotonic_ns(); }
+
+void ThreadTimerService::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (entries_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !entries_.empty(); });
+      continue;
+    }
+    const auto next = entries_.begin()->first;
+    const std::uint64_t now = monotonic_ns();
+    if (next.first > now) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(next.first - now));
+      continue;
+    }
+    auto fn = std::move(entries_.begin()->second);
+    deadline_of_.erase(next.second);
+    entries_.erase(entries_.begin());
+    lock.unlock();
+    fn();  // run without the lock so callbacks can (re)schedule timers
+    lock.lock();
+  }
+}
+
+}  // namespace phish::net

@@ -1,0 +1,92 @@
+// Timer abstraction so the RPC layer (retransmission timeouts) and the
+// heartbeat/failure detectors run identically over simulated time and real
+// time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "sim/simulator.hpp"
+
+namespace phish::net {
+
+struct TimerToken {
+  std::uint64_t id = 0;
+  bool valid() const noexcept { return id != 0; }
+};
+
+class TimerService {
+ public:
+  virtual ~TimerService() = default;
+
+  /// Run `fn` once, `delay_ns` from now.
+  virtual TimerToken schedule(std::uint64_t delay_ns,
+                              std::function<void()> fn) = 0;
+
+  /// Best-effort cancel; the callback may already be running.
+  virtual void cancel(TimerToken token) = 0;
+
+  /// Current time in nanoseconds on this service's clock.
+  virtual std::uint64_t now_ns() const = 0;
+};
+
+/// Timer service over the discrete-event simulator (single-threaded).
+class SimTimerService final : public TimerService {
+ public:
+  explicit SimTimerService(sim::Simulator& simulator) : sim_(simulator) {}
+
+  TimerToken schedule(std::uint64_t delay_ns,
+                      std::function<void()> fn) override {
+    const sim::EventId ev = sim_.schedule(delay_ns, std::move(fn));
+    return TimerToken{ev.seq};
+  }
+
+  void cancel(TimerToken token) override {
+    sim_.cancel(sim::EventId{token.id});
+  }
+
+  std::uint64_t now_ns() const override { return sim_.now(); }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+/// Timer service over a dedicated real-time thread (for the UDP runtime).
+/// Callbacks run on the timer thread; they must not block for long.
+class ThreadTimerService final : public TimerService {
+ public:
+  ThreadTimerService();
+  ~ThreadTimerService() override;
+
+  ThreadTimerService(const ThreadTimerService&) = delete;
+  ThreadTimerService& operator=(const ThreadTimerService&) = delete;
+
+  TimerToken schedule(std::uint64_t delay_ns,
+                      std::function<void()> fn) override;
+  void cancel(TimerToken token) override;
+  std::uint64_t now_ns() const override;
+
+ private:
+  void loop();
+
+  struct Entry {
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  // Key: (deadline_ns, id) for stable ordering.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::function<void()>>
+      entries_;
+  std::map<std::uint64_t, std::uint64_t> deadline_of_;  // id -> deadline
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace phish::net

@@ -1,0 +1,141 @@
+#include "runtime/simdist/job_manager.hpp"
+
+#include "util/log.hpp"
+
+namespace phish::rt {
+
+PhishJobManager::PhishJobManager(
+    sim::Simulator& simulator, net::SimNetwork& network,
+    net::TimerService& timers, const TaskRegistry& registry, net::NodeId me,
+    net::NodeId jobq, OwnerTrace trace, std::unique_ptr<IdlenessPolicy> policy,
+    JobManagerParams params, SimWorkerParams worker_params,
+    std::function<net::NodeId()> alloc_node, std::uint64_t seed)
+    : sim_(simulator),
+      network_(network),
+      timers_(timers),
+      registry_(registry),
+      me_(me),
+      jobq_(jobq),
+      trace_(std::move(trace)),
+      policy_(std::move(policy)),
+      params_(params),
+      worker_params_(worker_params),
+      alloc_node_(std::move(alloc_node)),
+      seed_(seed),
+      rpc_(network.channel(me), timers) {}
+
+void PhishJobManager::start() {
+  // Decide the initial state from the trace and begin polling immediately.
+  schedule_poll(0);
+}
+
+void PhishJobManager::schedule_poll(sim::SimTime delay) {
+  sim_.schedule(delay, [this] { poll(); });
+}
+
+void PhishJobManager::poll() {
+  switch (state_) {
+    case State::kOwnerBusy:
+      if (idle_now()) {
+        request_job();
+      } else {
+        schedule_poll(params_.logout_poll);
+      }
+      break;
+    case State::kIdleNoJob:
+      if (!idle_now()) {
+        state_ = State::kOwnerBusy;
+        schedule_poll(params_.logout_poll);
+      } else {
+        request_job();
+      }
+      break;
+    case State::kRunningWorker: {
+      SimWorker* worker = current_worker();
+      if (worker == nullptr) break;  // terminated; callback handles next step
+      if (!idle_now()) {
+        // "If the PhishJobManager discovers that the workstation is no
+        // longer idle, it terminates the worker process."
+        ++stats_.workers_reclaimed;
+        worker->reclaim_by_owner();  // fires on_worker_terminated
+      } else {
+        schedule_poll(params_.owner_poll);
+      }
+      break;
+    }
+    case State::kWaitingReply:
+      break;  // reply callback drives the next transition
+  }
+}
+
+void PhishJobManager::request_job() {
+  state_ = State::kWaitingReply;
+  ++stats_.job_requests;
+  rpc_.call(
+      jobq_, proto::kRpcRequestJob, {},
+      [this](net::RpcResult result) {
+        if (state_ != State::kWaitingReply) return;
+        if (!result.ok) {
+          // JobQ unreachable; treat like an empty pool and retry.
+          ++stats_.empty_replies;
+          state_ = State::kIdleNoJob;
+          schedule_poll(params_.job_poll);
+          return;
+        }
+        auto assignment = JobAssignment::decode(result.reply);
+        if (!assignment || !assignment->job) {
+          ++stats_.empty_replies;
+          state_ = State::kIdleNoJob;
+          schedule_poll(params_.job_poll);
+          return;
+        }
+        ++stats_.jobs_received;
+        start_worker(*assignment->job);
+      },
+      params_.rpc_policy);
+}
+
+void PhishJobManager::start_worker(const JobSpec& spec) {
+  if (!registry_.has(spec.root_task)) {
+    PHISH_LOG(kError) << "jobmanager " << net::to_string(me_)
+                      << ": unknown application '" << spec.root_task << "'";
+    state_ = State::kIdleNoJob;
+    schedule_poll(params_.job_poll);
+    return;
+  }
+  const net::NodeId worker_node = alloc_node_();
+  auto worker = std::make_unique<SimWorker>(
+      sim_, network_, timers_, registry_, worker_node, spec.clearinghouse,
+      worker_params_, mix64(seed_ ^ ++worker_counter_));
+  worker->set_on_terminated([this](SimWorker::State how) {
+    on_worker_terminated(how);
+  });
+  ++stats_.workers_started;
+  current_job_ = spec.job_id;
+  worker_started_at_ = sim_.now();
+  state_ = State::kRunningWorker;
+  workers_.push_back(std::move(worker));
+  workers_.back()->start();
+  schedule_poll(params_.owner_poll);
+}
+
+void PhishJobManager::on_worker_terminated(SimWorker::State how) {
+  if (state_ != State::kRunningWorker) return;
+  stats_.harvested_time += sim_.now() - worker_started_at_;
+  if (how != SimWorker::State::kDeparted ||
+      workers_.back()->depart_reason() !=
+          SimWorker::DepartReason::kOwnerReclaimed) {
+    ++stats_.workers_self_terminated;
+  }
+  current_job_.reset();
+  // Defer the next decision out of the worker's call stack.
+  if (idle_now()) {
+    state_ = State::kIdleNoJob;
+    schedule_poll(1);  // the workstation is free: ask for another job now
+  } else {
+    state_ = State::kOwnerBusy;
+    schedule_poll(1);
+  }
+}
+
+}  // namespace phish::rt

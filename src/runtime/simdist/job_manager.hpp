@@ -1,0 +1,111 @@
+// The PhishJobManager: the per-workstation macro-scheduler daemon.
+//
+// "The PhishJobManager, a background daemon, resides on every workstation
+// that is part of the Phish network and tries to obtain a job from the
+// PhishJobQ when the workstation becomes idle."  The prototype's polling
+// cadence, reproduced here as defaults:
+//   * while the owner is logged in, check for logout every 5 minutes;
+//   * while idle with an empty job pool, request a job every 30 seconds;
+//   * while a worker runs, check for the owner's return every 2 seconds —
+//     and if the owner is back, terminate the worker (which first migrates
+//     its tasks to another participant).
+//
+// Owner sovereignty: the idleness decision is delegated to an IdlenessPolicy
+// over the workstation's OwnerTrace.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/jobq.hpp"
+#include "runtime/simdist/owner_trace.hpp"
+#include "runtime/simdist/sim_worker.hpp"
+
+namespace phish::rt {
+
+struct JobManagerParams {
+  sim::SimTime logout_poll = 300 * sim::kSecond;  // paper: 5 minutes
+  sim::SimTime job_poll = 30 * sim::kSecond;      // paper: 30 seconds
+  sim::SimTime owner_poll = 2 * sim::kSecond;     // paper: 2 seconds
+  net::RetryPolicy rpc_policy{200 * sim::kMillisecond, 5, 2.0};
+};
+
+class PhishJobManager {
+ public:
+  enum class State {
+    kOwnerBusy,     // owner at the machine; poll for logout
+    kWaitingReply,  // job request in flight
+    kIdleNoJob,     // idle, pool was empty; poll for a job
+    kRunningWorker, // worker process active; poll for the owner's return
+  };
+
+  struct Stats {
+    std::uint64_t job_requests = 0;
+    std::uint64_t jobs_received = 0;
+    std::uint64_t empty_replies = 0;
+    std::uint64_t workers_started = 0;
+    std::uint64_t workers_reclaimed = 0;
+    std::uint64_t workers_self_terminated = 0;
+    sim::SimTime harvested_time = 0;  // total time a worker was running
+  };
+
+  PhishJobManager(sim::Simulator& simulator, net::SimNetwork& network,
+                  net::TimerService& timers, const TaskRegistry& registry,
+                  net::NodeId me, net::NodeId jobq, OwnerTrace trace,
+                  std::unique_ptr<IdlenessPolicy> policy,
+                  JobManagerParams params, SimWorkerParams worker_params,
+                  std::function<net::NodeId()> alloc_node,
+                  std::uint64_t seed);
+
+  void start();
+
+  State state() const noexcept { return state_; }
+  const Stats& stats() const noexcept { return stats_; }
+  net::NodeId id() const noexcept { return me_; }
+  /// Worker currently running on this workstation (nullptr when none).
+  SimWorker* current_worker() {
+    return workers_.empty() || workers_.back()->terminated()
+               ? nullptr
+               : workers_.back().get();
+  }
+  /// Every worker incarnation this workstation ever ran (terminated workers
+  /// stay alive as forwarding stubs).
+  const std::vector<std::unique_ptr<SimWorker>>& workers() const {
+    return workers_;
+  }
+  /// Current job being worked on, if any.
+  std::optional<std::uint64_t> current_job() const { return current_job_; }
+
+ private:
+  void poll();
+  void schedule_poll(sim::SimTime delay);
+  void request_job();
+  void start_worker(const JobSpec& spec);
+  void on_worker_terminated(SimWorker::State how);
+  bool idle_now() const { return policy_->idle(trace_, sim_.now()); }
+
+  sim::Simulator& sim_;
+  net::SimNetwork& network_;
+  net::TimerService& timers_;
+  const TaskRegistry& registry_;
+  net::NodeId me_;
+  net::NodeId jobq_;
+  OwnerTrace trace_;
+  std::unique_ptr<IdlenessPolicy> policy_;
+  JobManagerParams params_;
+  SimWorkerParams worker_params_;
+  std::function<net::NodeId()> alloc_node_;
+  std::uint64_t seed_;
+
+  net::RpcNode rpc_;
+  State state_ = State::kOwnerBusy;
+  Stats stats_;
+  std::vector<std::unique_ptr<SimWorker>> workers_;
+  std::optional<std::uint64_t> current_job_;
+  sim::SimTime worker_started_at_ = 0;
+  std::uint64_t worker_counter_ = 0;
+};
+
+}  // namespace phish::rt

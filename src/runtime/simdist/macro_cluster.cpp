@@ -1,0 +1,135 @@
+#include "runtime/simdist/macro_cluster.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace phish::rt {
+
+MacroCluster::MacroCluster(const TaskRegistry& registry, MacroConfig config)
+    : registry_(registry),
+      config_(config),
+      network_(sim_, config.net),
+      timers_(sim_),
+      seeder_(config.seed) {
+  const net::NodeId jobq_node = alloc_node();
+  jobq_rpc_ = std::make_unique<net::RpcNode>(network_.channel(jobq_node),
+                                             timers_);
+  jobq_ = std::make_unique<PhishJobQ>(*jobq_rpc_, config_.assign_policy);
+  jobq_->start();
+}
+
+int MacroCluster::add_workstation(OwnerTrace trace,
+                                  std::unique_ptr<IdlenessPolicy> policy) {
+  if (started_) {
+    throw std::logic_error("MacroCluster: add workstations before run()");
+  }
+  if (!policy) policy = std::make_unique<NobodyLoggedIn>();
+  const net::NodeId node = alloc_node();
+  managers_.push_back(std::make_unique<PhishJobManager>(
+      sim_, network_, timers_, registry_, node, jobq_rpc_->id(),
+      std::move(trace), std::move(policy), config_.manager, config_.worker,
+      [this] { return alloc_node(); }, seeder_.next()));
+  return static_cast<int>(managers_.size()) - 1;
+}
+
+std::uint64_t MacroCluster::submit_job(std::string name,
+                                       const std::string& root_task,
+                                       std::vector<Value> args,
+                                       sim::SimTime at) {
+  if (started_) {
+    throw std::logic_error("MacroCluster: submit jobs before run()");
+  }
+  auto job = std::make_unique<Job>();
+  job->record.name = std::move(name);
+  job->record.submitted_at = at;
+  job->root_task = root_task;
+  job->args = std::move(args);
+
+  // Stand up the Clearinghouse now (its node id must be in the JobSpec);
+  // start it and the first worker at submission time.
+  const net::NodeId ch_node = alloc_node();
+  job->ch_rpc = std::make_unique<net::RpcNode>(network_.channel(ch_node),
+                                               timers_);
+  job->clearinghouse = std::make_unique<Clearinghouse>(
+      *job->ch_rpc, timers_, config_.clearinghouse);
+
+  JobSpec spec;
+  spec.name = job->record.name;
+  spec.root_task = root_task;
+  spec.clearinghouse = ch_node;
+  job->record.job_id = jobq_->submit(spec);
+
+  Job* raw = job.get();
+  sim_.schedule_at(at, [this, raw] { launch_job(*raw); });
+  jobs_.push_back(std::move(job));
+  return jobs_.back()->record.job_id;
+}
+
+void MacroCluster::launch_job(Job& job) {
+  job.clearinghouse->start();
+  const std::uint64_t job_id = job.record.job_id;
+  job.clearinghouse->set_on_result([this, &job, job_id](const Value& value) {
+    job.record.completed = true;
+    job.record.completed_at = sim_.now();
+    job.record.result = value;
+    // In the prototype the submitting program notifies the JobQ; here the
+    // harness plays that role with a direct call (same machine, same
+    // process in the paper's default deployment).
+    jobq_->complete(job_id);
+  });
+  // First worker on the submitting workstation, carrying the root task.
+  job.first_worker = std::make_unique<SimWorker>(
+      sim_, network_, timers_, registry_, alloc_node(),
+      job.ch_rpc->id(), config_.worker, seeder_.next());
+  job.first_worker->set_root(registry_.id_of(job.root_task), job.args);
+  job.first_worker->start();
+}
+
+std::vector<JobRecord> MacroCluster::run() {
+  if (!started_) {
+    started_ = true;
+    for (auto& m : managers_) m->start();
+  }
+  constexpr sim::SimTime kSlice = sim::kSecond;
+  for (;;) {
+    sim_.run_until(sim_.now() + kSlice);
+    if (sim_.now() > config_.max_sim_time) {
+      throw std::runtime_error("MacroCluster: jobs did not complete in time");
+    }
+    bool all_done = true;
+    for (const auto& job : jobs_) {
+      if (!job->record.completed) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+  }
+  // Let shutdowns and unregisters drain.
+  sim_.run_until(sim_.now() + 5 * sim::kSecond);
+  return collect();
+}
+
+std::vector<JobRecord> MacroCluster::run_until(sim::SimTime deadline) {
+  if (!started_) {
+    started_ = true;
+    for (auto& m : managers_) m->start();
+  }
+  sim_.run_until(deadline);
+  return collect();
+}
+
+std::vector<JobRecord> MacroCluster::collect() {
+  const auto by_job = jobq_->assignments_by_job();
+  std::vector<JobRecord> records;
+  for (const auto& job : jobs_) {
+    JobRecord r = job->record;
+    auto it = by_job.find(r.job_id);
+    r.assignments = it == by_job.end() ? 0 : it->second;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace phish::rt

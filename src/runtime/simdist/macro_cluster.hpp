@@ -1,0 +1,105 @@
+// MacroCluster: a simulated Phish network under macro-level scheduling.
+//
+// Reproduces the deployment of the paper's Figure 2: one PhishJobQ, a
+// PhishJobManager on every workstation (each with its own owner trace and
+// idleness policy), and jobs that are submitted over time.  Submitting a job
+// stands up its Clearinghouse and its first worker — mirroring "this simple
+// command starts up the Clearinghouse and the first worker on the local
+// workstation ... and automatically submits the job to the PhishJobQ.  Thus,
+// as other workstations become idle, they automatically begin working on
+// the job."
+//
+// The space-sharing experiments (ablation A4) and the adaptive-parallelism
+// demonstrations run on this harness.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/clearinghouse.hpp"
+#include "core/jobq.hpp"
+#include "runtime/simdist/job_manager.hpp"
+
+namespace phish::rt {
+
+struct MacroConfig {
+  net::SimNetParams net;
+  SimWorkerParams worker;
+  JobManagerParams manager;
+  ClearinghouseConfig clearinghouse;
+  JobAssignPolicy assign_policy = JobAssignPolicy::kRoundRobin;
+  std::uint64_t seed = 0x5eed'0000'0030ULL;
+  sim::SimTime max_sim_time = 24 * 3'600 * sim::kSecond;
+};
+
+struct JobRecord {
+  std::uint64_t job_id = 0;
+  std::string name;
+  sim::SimTime submitted_at = 0;
+  sim::SimTime completed_at = 0;
+  bool completed = false;
+  Value result;
+  /// Workstations that ever ran a worker for this job (from JobQ stats).
+  std::uint64_t assignments = 0;
+
+  double turnaround_seconds() const {
+    return sim::to_seconds(completed_at - submitted_at);
+  }
+};
+
+class MacroCluster {
+ public:
+  MacroCluster(const TaskRegistry& registry, MacroConfig config);
+
+  /// Add a workstation with the given owner behaviour; returns its index.
+  int add_workstation(OwnerTrace trace,
+                      std::unique_ptr<IdlenessPolicy> policy = nullptr);
+
+  /// Submit root_task(args...) at simulated time `at`.  Creates the job's
+  /// Clearinghouse and first worker.  Returns the job id.
+  std::uint64_t submit_job(std::string name, const std::string& root_task,
+                           std::vector<Value> args, sim::SimTime at);
+
+  /// Run until all submitted jobs complete (throws on max_sim_time).
+  std::vector<JobRecord> run();
+
+  /// Run until the given simulated time, regardless of completion state.
+  std::vector<JobRecord> run_until(sim::SimTime deadline);
+
+  PhishJobQ& jobq() { return *jobq_; }
+  PhishJobManager& manager(int index) { return *managers_.at(index); }
+  int workstations() const { return static_cast<int>(managers_.size()); }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct Job {
+    JobRecord record;
+    std::unique_ptr<net::RpcNode> ch_rpc;
+    std::unique_ptr<Clearinghouse> clearinghouse;
+    std::unique_ptr<SimWorker> first_worker;
+    std::string root_task;
+    std::vector<Value> args;
+  };
+
+  net::NodeId alloc_node() {
+    return net::NodeId{next_node_++};
+  }
+  void launch_job(Job& job);
+  std::vector<JobRecord> collect();
+
+  const TaskRegistry& registry_;
+  MacroConfig config_;
+  sim::Simulator sim_;
+  net::SimNetwork network_;
+  net::SimTimerService timers_;
+  std::uint32_t next_node_ = 0;
+  std::unique_ptr<net::RpcNode> jobq_rpc_;
+  std::unique_ptr<PhishJobQ> jobq_;
+  std::vector<std::unique_ptr<PhishJobManager>> managers_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  Xoshiro256 seeder_;
+  bool started_ = false;
+};
+
+}  // namespace phish::rt

@@ -1,0 +1,90 @@
+#include "runtime/simdist/owner_trace.hpp"
+
+#include <algorithm>
+
+namespace phish::rt {
+
+OwnerTrace OwnerTrace::always_idle() { return OwnerTrace{}; }
+
+OwnerTrace OwnerTrace::always_busy() {
+  OwnerTrace t;
+  t.busy_forever_ = true;
+  return t;
+}
+
+OwnerTrace OwnerTrace::intervals(std::vector<Interval> busy) {
+  std::sort(busy.begin(), busy.end());
+  OwnerTrace t;
+  for (const Interval& iv : busy) {
+    if (iv.second <= iv.first) continue;  // empty
+    if (!t.busy_.empty() && iv.first <= t.busy_.back().second) {
+      t.busy_.back().second = std::max(t.busy_.back().second, iv.second);
+    } else {
+      t.busy_.push_back(iv);
+    }
+  }
+  return t;
+}
+
+OwnerTrace OwnerTrace::poisson_sessions(std::uint64_t seed,
+                                        sim::SimTime mean_gap,
+                                        sim::SimTime mean_session,
+                                        sim::SimTime horizon) {
+  Xoshiro256 rng(seed);
+  std::vector<Interval> busy;
+  sim::SimTime t = 0;
+  while (t < horizon) {
+    t += static_cast<sim::SimTime>(
+        rng.exponential(static_cast<double>(mean_gap)));
+    if (t >= horizon) break;
+    const auto len = static_cast<sim::SimTime>(
+        rng.exponential(static_cast<double>(mean_session)));
+    busy.emplace_back(t, std::min(t + std::max<sim::SimTime>(len, 1), horizon));
+    t += len;
+  }
+  return intervals(std::move(busy));
+}
+
+OwnerTrace OwnerTrace::nine_to_five(sim::SimTime day_length,
+                                    sim::SimTime work_start,
+                                    sim::SimTime work_end, int days) {
+  std::vector<Interval> busy;
+  for (int d = 0; d < days; ++d) {
+    const sim::SimTime base = static_cast<sim::SimTime>(d) * day_length;
+    busy.emplace_back(base + work_start, base + work_end);
+  }
+  return intervals(std::move(busy));
+}
+
+bool OwnerTrace::busy_at(sim::SimTime t) const {
+  if (busy_forever_) return true;
+  // First interval with start > t; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      busy_.begin(), busy_.end(), t,
+      [](sim::SimTime v, const Interval& iv) { return v < iv.first; });
+  if (it == busy_.begin()) return false;
+  --it;
+  return t < it->second;
+}
+
+std::optional<sim::SimTime> OwnerTrace::next_transition_after(
+    sim::SimTime t) const {
+  if (busy_forever_) return std::nullopt;
+  for (const Interval& iv : busy_) {
+    if (iv.first > t) return iv.first;
+    if (iv.second > t) return iv.second;
+  }
+  return std::nullopt;
+}
+
+sim::SimTime OwnerTrace::busy_time(sim::SimTime horizon) const {
+  if (busy_forever_) return horizon;
+  sim::SimTime total = 0;
+  for (const Interval& iv : busy_) {
+    if (iv.first >= horizon) break;
+    total += std::min(iv.second, horizon) - iv.first;
+  }
+  return total;
+}
+
+}  // namespace phish::rt

@@ -1,0 +1,210 @@
+#include "runtime/simdist/sim_cluster.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace phish::rt {
+
+namespace {
+/// The Clearinghouse occupies node 0; workers occupy nodes 1..P.
+constexpr net::NodeId kClearinghouseNode{0};
+
+net::NodeId worker_node(int index) {
+  return net::NodeId{static_cast<std::uint32_t>(index + 1)};
+}
+}  // namespace
+
+SimCluster::SimCluster(const TaskRegistry& registry, SimJobConfig config)
+    : registry_(registry),
+      config_(config),
+      network_(sim_, config.net),
+      timers_(sim_) {
+  if (config_.participants < 1) {
+    throw std::invalid_argument("SimCluster: need at least one participant");
+  }
+  ch_rpc_ = std::make_unique<net::RpcNode>(network_.channel(kClearinghouseNode),
+                                           timers_);
+  clearinghouse_ = std::make_unique<Clearinghouse>(*ch_rpc_, timers_,
+                                                   config_.clearinghouse);
+  Xoshiro256 seeder(config_.seed);
+  for (int i = 0; i < config_.participants; ++i) {
+    if (static_cast<std::size_t>(i) < config_.worker_clusters.size()) {
+      network_.set_cluster(worker_node(i), config_.worker_clusters[i]);
+    }
+    workers_.push_back(std::make_unique<SimWorker>(
+        sim_, network_, timers_, registry_, worker_node(i),
+        kClearinghouseNode, config_.worker, seeder.fork(i + 1).next(),
+        config_.exec_order, config_.steal_order));
+  }
+}
+
+void SimCluster::crash_at(int index, sim::SimTime when) {
+  sim_.schedule_at(when, [this, index] { workers_.at(index)->crash(); });
+}
+
+void SimCluster::reclaim_at(int index, sim::SimTime when) {
+  sim_.schedule_at(when, [this, index] {
+    workers_.at(index)->reclaim_by_owner();
+  });
+}
+
+Bytes JobCheckpoint::encode() const {
+  Writer w;
+  w.u64(taken_at);
+  w.u32(static_cast<std::uint32_t>(worker_states.size()));
+  for (const Bytes& state : worker_states) {
+    w.blob(state.data(), state.size());
+  }
+  return w.take();
+}
+
+std::optional<JobCheckpoint> JobCheckpoint::decode(const Bytes& bytes) {
+  Reader r(bytes);
+  JobCheckpoint c;
+  c.taken_at = r.u64();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > (1u << 16)) return std::nullopt;
+  for (std::uint32_t i = 0; i < n; ++i) c.worker_states.push_back(r.blob());
+  if (!r.done()) return std::nullopt;
+  return c;
+}
+
+SimJobResult SimCluster::run(TaskId root, std::vector<Value> args) {
+  if (ran_) throw std::logic_error("SimCluster::run may only be called once");
+  ran_ = true;
+  workers_[0]->set_root(root, std::move(args));
+  return drive();
+}
+
+SimJobResult SimCluster::resume(const JobCheckpoint& checkpoint) {
+  if (ran_) throw std::logic_error("SimCluster::run may only be called once");
+  if (checkpoint.worker_states.size() !=
+      static_cast<std::size_t>(config_.participants)) {
+    throw std::invalid_argument(
+        "SimCluster::resume: checkpoint has " +
+        std::to_string(checkpoint.worker_states.size()) +
+        " worker states but this cluster has " +
+        std::to_string(config_.participants) + " participants");
+  }
+  ran_ = true;
+  for (int i = 0; i < config_.participants; ++i) {
+    workers_[i]->set_restore_state(
+        checkpoint.worker_states[static_cast<std::size_t>(i)]);
+  }
+  return drive();
+}
+
+void SimCluster::request_checkpoint_at(sim::SimTime when) {
+  sim_.schedule_at(when, [this] { try_checkpoint(); });
+}
+
+void SimCluster::try_checkpoint() {
+  if (checkpoint_.has_value()) return;           // already have one
+  if (clearinghouse_->result().has_value()) return;  // job over: pointless
+  bool quiescent = network_.messages_in_flight() == 0;
+  for (const auto& w : workers_) {
+    if (w->terminated() || w->state() != SimWorker::State::kActive ||
+        !w->checkpoint_quiescent()) {
+      quiescent = false;
+      break;
+    }
+  }
+  if (!quiescent) {
+    // Dataflow (or a worker's buffered sends) is in flight: a snapshot now
+    // would miss it.  Try again shortly; quiescent instants are frequent
+    // because sends flush at task boundaries.
+    sim_.schedule(sim::kMillisecond, [this] { try_checkpoint(); });
+    return;
+  }
+  JobCheckpoint checkpoint;
+  checkpoint.taken_at = sim_.now();
+  for (const auto& w : workers_) {
+    checkpoint.worker_states.push_back(w->export_core_state());
+  }
+  checkpoint_ = std::move(checkpoint);
+  PHISH_LOG(kInfo) << "checkpoint taken at t="
+                   << sim::to_seconds(sim_.now()) << "s";
+}
+
+SimJobResult SimCluster::drive() {
+  clearinghouse_->start();
+  sim::SimTime result_time = 0;
+  clearinghouse_->set_on_result(
+      [this, &result_time](const Value&) { result_time = sim_.now(); });
+
+  Xoshiro256 start_rng(mix64(config_.seed ^ 0x57a7ULL));
+  sim::SimTime first_start = ~sim::SimTime{0};
+  for (int i = 0; i < config_.participants; ++i) {
+    // Worker 0 carries the root and starts first: it models the submitting
+    // workstation, whose worker exists before any other joins the job.
+    const sim::SimTime when =
+        static_cast<sim::SimTime>(i) * config_.start_stagger +
+        (i > 0 && config_.start_jitter > 0
+             ? 1 + start_rng.below(config_.start_jitter)
+             : 0);
+    first_start = std::min(first_start, when);
+    sim_.schedule_at(when, [this, i] { workers_[i]->start(); });
+  }
+
+  // Drive the simulation until the job completes and every worker has wound
+  // down (or the time budget expires).
+  constexpr sim::SimTime kSlice = 100 * sim::kMillisecond;
+  for (;;) {
+    sim_.run_until(sim_.now() + kSlice);
+    if (sim_.now() > config_.max_sim_time) {
+      throw std::runtime_error(
+          "SimCluster: job did not complete within max_sim_time (simulated " +
+          std::to_string(sim::to_seconds(sim_.now())) + " s)");
+    }
+    if (!clearinghouse_->result().has_value()) continue;
+    bool all_done = true;
+    for (const auto& w : workers_) {
+      if (!w->terminated()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    // Give shutdown broadcasts a grace period, then force any stragglers
+    // (e.g. a worker that registered after the result arrived).
+    if (sim_.now() > result_time + 5 * sim::kSecond) {
+      for (auto& w : workers_) {
+        if (!w->terminated()) w->reclaim_by_owner();
+      }
+    }
+  }
+  clearinghouse_->stop();
+  // Drain residual traffic (stats reports, unregisters), then detach the
+  // callback that captures this frame's result_time.
+  sim_.run_until(sim_.now() + sim::kSecond);
+  clearinghouse_->set_on_result({});
+
+  SimJobResult result;
+  const auto value = clearinghouse_->result();
+  if (!value) throw std::runtime_error("SimCluster: no result recorded");
+  result.value = *value;
+  result.makespan_seconds = sim::to_seconds(result_time - first_start);
+  for (const auto& w : workers_) {
+    result.per_worker.push_back(w->stats());
+    result.aggregate.merge(w->stats());
+    result.participant_seconds.push_back(sim::to_seconds(w->lifetime()));
+    result.messages_sent += w->channel_stats().messages_sent;
+  }
+  double total = 0.0;
+  for (double t : result.participant_seconds) total += t;
+  result.average_participant_seconds =
+      total / static_cast<double>(result.participant_seconds.size());
+  result.inter_cluster_messages = network_.inter_cluster_messages();
+  result.events_fired = sim_.events_fired();
+  result.io_log = clearinghouse_->io_log();
+  return result;
+}
+
+SimJobResult run_sim_job(const TaskRegistry& registry, TaskId root,
+                         std::vector<Value> args, SimJobConfig config) {
+  SimCluster cluster(registry, config);
+  return cluster.run(root, std::move(args));
+}
+
+}  // namespace phish::rt

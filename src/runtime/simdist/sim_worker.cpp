@@ -1,0 +1,416 @@
+#include "runtime/simdist/sim_worker.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace phish::rt {
+
+SimWorker::SimWorker(sim::Simulator& simulator, net::SimNetwork& network,
+                     net::TimerService& timers, const TaskRegistry& registry,
+                     net::NodeId me, net::NodeId clearinghouse,
+                     SimWorkerParams params, std::uint64_t seed,
+                     ExecOrder exec_order, StealOrder steal_order)
+    : sim_(simulator),
+      network_(network),
+      timers_(timers),
+      me_(me),
+      clearinghouse_(clearinghouse),
+      params_(params),
+      rng_(mix64(seed ^ me.value)),
+      rpc_(network.channel(me), timers),
+      core_(me, registry,
+            [this] {
+              WorkerCore::Hooks hooks;
+              hooks.send_remote = [this](const ContRef& cont, Value value) {
+                Bytes payload =
+                    proto::ArgumentMsg{cont, std::move(value)}.encode();
+                cpu_debt_ += network_.send_cpu_cost(payload.size());
+                auto action = [this, home = cont.home,
+                               p = std::move(payload)]() {
+                  if (home == clearinghouse_) {
+                    // The job result must survive loss: deliver via RPC,
+                    // which retransmits until acknowledged.
+                    rpc_.call(home, proto::kRpcResult, p,
+                              [](net::RpcResult) {}, params_.rpc_policy);
+                  } else {
+                    rpc_.send_oneway(home, proto::kArgument, p);
+                  }
+                };
+                // A send issued mid-task leaves the machine only when the
+                // task's simulated execution finishes; the outbox is flushed
+                // at now + task cost (execute-then-advance would otherwise
+                // deliver results "before" the work that produced them).
+                if (executing_) {
+                  outbox_.push_back(std::move(action));
+                } else {
+                  action();
+                }
+              };
+              hooks.emit_io = [this](const std::string& text) {
+                // Application output rides the same buffered path as
+                // argument sends (it leaves when the task's cost elapses).
+                auto action = [this, text] { emit_io(text); };
+                if (executing_) {
+                  outbox_.push_back(std::move(action));
+                } else {
+                  action();
+                }
+              };
+              return hooks;
+            }(),
+            exec_order, steal_order),
+      heartbeat_timer_(simulator, params.heartbeat_period,
+                       [this] {
+                         rpc_.send_oneway(clearinghouse_, proto::kHeartbeat,
+                                          {});
+                       }),
+      update_timer_(simulator, params.update_period,
+                    [this] { refresh_membership(); }) {
+  rpc_.set_oneway_handler(
+      [this](net::Message&& m) { handle_oneway(std::move(m)); });
+  rpc_.serve(proto::kRpcSteal, [this](net::NodeId src, const Bytes& args) {
+    return serve_steal(src, args);
+  });
+}
+
+void SimWorker::set_root(TaskId task, std::vector<Value> args) {
+  root_ = std::make_pair(task, std::move(args));
+}
+
+void SimWorker::start() {
+  if (state_ != State::kCreated) return;
+  state_ = State::kRegistering;
+  start_time_ = sim_.now();
+  rpc_.call(
+      clearinghouse_, proto::kRpcRegister, {},
+      [this](net::RpcResult result) {
+        if (state_ != State::kRegistering) return;
+        if (!result.ok) {
+          PHISH_LOG(kWarn) << net::to_string(me_)
+                           << ": registration failed; retrying";
+          state_ = State::kCreated;
+          sim_.schedule(sim::kSecond, [this] { start(); });
+          return;
+        }
+        auto membership = proto::Membership::decode(result.reply);
+        if (membership) on_registered(*membership);
+      },
+      params_.rpc_policy);
+}
+
+void SimWorker::on_registered(const proto::Membership& membership) {
+  state_ = State::kActive;
+  peers_.clear();
+  for (net::NodeId p : membership.participants) {
+    if (p != me_) peers_.push_back(p);
+  }
+  // A zero period disables the timer (e.g. measurement runs that model the
+  // paper's Phish, which had no heartbeats).
+  if (params_.heartbeat_period > 0) heartbeat_timer_.start(1);
+  if (params_.update_period > 0) update_timer_.start();
+  if (root_) {
+    core_.spawn(root_->first, std::move(root_->second),
+                clearinghouse_continuation(clearinghouse_), 0);
+    root_.reset();
+  }
+  if (restore_state_) {
+    core_.import_state(*restore_state_);
+    restore_state_.reset();
+  }
+  schedule_step(0);
+}
+
+void SimWorker::schedule_step(sim::SimTime delay) {
+  const sim::SimTime when = sim_.now() + delay;
+  if (step_scheduled_) {
+    if (when >= next_step_time_) return;  // an earlier step is already set
+    sim_.cancel(step_event_);
+  }
+  step_scheduled_ = true;
+  next_step_time_ = when;
+  step_event_ = sim_.schedule(delay, [this] {
+    step_scheduled_ = false;
+    step();
+  });
+}
+
+void SimWorker::step() {
+  if (state_ != State::kActive) return;
+  sim::SimTime cost = scaled(cpu_debt_);
+  cpu_debt_ = 0;
+
+  if (auto task = core_.pop_for_execution()) {
+    executing_ = true;
+    core_.execute(*task);  // sends inside are buffered; costs join cpu_debt_
+    executing_ = false;
+    cost += scaled(params_.task_overhead +
+                   core_.last_charge() * params_.charge_unit + cpu_debt_);
+    cpu_debt_ = 0;
+    consecutive_failed_steals_ = 0;
+    if (!outbox_.empty()) {
+      // Messages produced by this task leave when its execution completes.
+      sim_.schedule(cost, [this, batch = std::move(outbox_)] {
+        if (state_ == State::kDead) return;  // crashed before the flush
+        for (const auto& send : batch) send();
+      });
+      outbox_.clear();
+    }
+    schedule_step(cost);
+    return;
+  }
+  if (steal_in_flight_) return;  // reply callback will reschedule
+  attempt_steal();
+}
+
+void SimWorker::attempt_steal() {
+  if (state_ != State::kActive || steal_in_flight_) return;
+  std::optional<net::NodeId> victim = pick_victim();
+  if (!victim) {
+    // Nobody to steal from yet; refresh membership and retry.
+    ++consecutive_failed_steals_;
+    ++core_.stats().steal_requests_sent;
+    ++core_.stats().failed_steals;
+    if (consecutive_failed_steals_ >= params_.max_failed_steals) {
+      depart(DepartReason::kParallelismShrank);
+      return;
+    }
+    refresh_membership();
+    schedule_step(params_.steal_retry_delay);
+    return;
+  }
+  steal_in_flight_ = true;
+  ++core_.stats().steal_requests_sent;
+  const Bytes payload = proto::StealRequest{me_}.encode();
+  cpu_debt_ += network_.send_cpu_cost(payload.size());
+  rpc_.call(
+      *victim, proto::kRpcSteal, payload,
+      [this, v = *victim](net::RpcResult result) {
+        on_steal_reply(v, std::move(result));
+      },
+      params_.rpc_policy);
+}
+
+void SimWorker::on_steal_reply(net::NodeId victim, net::RpcResult result) {
+  steal_in_flight_ = false;
+  if (state_ != State::kActive) return;
+  cpu_debt_ += network_.recv_cpu_cost();
+
+  bool got_task = false;
+  if (result.ok) {
+    auto reply = proto::StealReply::decode(result.reply);
+    if (reply && reply->task) {
+      core_.install_stolen(std::move(*reply->task));
+      got_task = true;
+    }
+  } else {
+    // Victim unreachable — it may be gone; refresh our view.
+    refresh_membership();
+    (void)victim;
+  }
+
+  if (got_task) {
+    consecutive_failed_steals_ = 0;
+    schedule_step(0);
+    return;
+  }
+  ++core_.stats().failed_steals;
+  if (++consecutive_failed_steals_ >= params_.max_failed_steals) {
+    depart(DepartReason::kParallelismShrank);
+    return;
+  }
+  // A stale membership view can hide the participants that actually have
+  // work (e.g. one that registered after our snapshot); refresh it every few
+  // consecutive failures rather than waiting out the full update period.
+  if (consecutive_failed_steals_ % 8 == 0) refresh_membership();
+  schedule_step(params_.steal_retry_delay);
+}
+
+Bytes SimWorker::serve_steal(net::NodeId, const Bytes& args) {
+  auto request = proto::StealRequest::decode(args);
+  proto::StealReply reply;
+  if (request && state_ == State::kActive) {
+    reply.task = core_.try_steal(request->thief);
+  }
+  const Bytes encoded = reply.encode();
+  // Victim pays for receiving the request and sending the reply.
+  cpu_debt_ += network_.recv_cpu_cost() + network_.send_cpu_cost(encoded.size());
+  return encoded;
+}
+
+void SimWorker::handle_oneway(net::Message&& message) {
+  switch (message.type) {
+    case proto::kArgument: {
+      auto arg = proto::ArgumentMsg::decode(message.payload);
+      if (!arg) return;
+      if (state_ == State::kDeparted && forward_to_.valid()) {
+        // Forwarding stub: our closures moved; pass the argument along.
+        rpc_.send_oneway(forward_to_, proto::kArgument, message.payload);
+        return;
+      }
+      if (terminated()) return;
+      cpu_debt_ += network_.recv_cpu_cost();
+      const auto outcome = core_.deliver_remote(arg->cont.target,
+                                                arg->cont.slot,
+                                                std::move(arg->value));
+      if (outcome == WorkerCore::Deliver::kBecameReady &&
+          state_ == State::kActive) {
+        schedule_step(0);
+      }
+      break;
+    }
+    case proto::kShutdown: {
+      if (state_ == State::kActive || state_ == State::kRegistering) finish();
+      break;
+    }
+    case proto::kDead: {
+      auto dead = proto::DeadMsg::decode(message.payload);
+      if (!dead || terminated()) return;
+      peers_.erase(std::remove(peers_.begin(), peers_.end(), dead->who),
+                   peers_.end());
+      const std::size_t redone = core_.handle_participant_death(dead->who);
+      if (redone > 0 && state_ == State::kActive) schedule_step(0);
+      break;
+    }
+    case proto::kMigrate: {
+      if (state_ == State::kDeparted && forward_to_.valid()) {
+        // We left too; pass the cargo to our own successor.
+        rpc_.send_oneway(forward_to_, proto::kMigrate, message.payload);
+        return;
+      }
+      auto migrate = proto::MigrateMsg::decode(message.payload);
+      if (!migrate || state_ != State::kActive) return;
+      cpu_debt_ += network_.recv_cpu_cost();
+      for (Closure& c : migrate->closures) {
+        core_.install_migrated(std::move(c));
+      }
+      schedule_step(0);
+      break;
+    }
+    default:
+      PHISH_LOG(kDebug) << net::to_string(me_) << ": unexpected message type "
+                        << message.type;
+  }
+}
+
+void SimWorker::depart(DepartReason reason) {
+  if (terminated()) return;
+  depart_reason_ = reason;
+  // Move every remaining closure (ready and waiting) to a surviving peer and
+  // leave a forwarding stub behind.
+  std::vector<Closure> cargo = core_.drain_for_migration();
+  if (!cargo.empty()) {
+    std::optional<net::NodeId> successor = pick_peer();
+    if (successor) {
+      forward_to_ = *successor;
+      proto::MigrateMsg msg;
+      msg.from = me_;
+      msg.closures = std::move(cargo);
+      rpc_.send_oneway(*successor, proto::kMigrate, msg.encode());
+    } else {
+      PHISH_LOG(kWarn) << net::to_string(me_)
+                       << ": departing with closures but no successor; "
+                       << cargo.size() << " closures lost (job will redo)";
+    }
+  }
+  state_ = State::kDeparted;
+  end_time_ = sim_.now();
+  heartbeat_timer_.stop();
+  update_timer_.stop();
+  send_stats_and_unregister();
+  if (on_terminated_) on_terminated_(state_);
+}
+
+void SimWorker::finish() {
+  state_ = State::kFinished;
+  end_time_ = sim_.now();
+  heartbeat_timer_.stop();
+  update_timer_.stop();
+  core_.clear_steal_ledger();
+  send_stats_and_unregister();
+  if (on_terminated_) on_terminated_(state_);
+}
+
+void SimWorker::send_stats_and_unregister() {
+  proto::StatsMsg stats;
+  stats.who = me_;
+  stats.stats = core_.stats();
+  stats.start_ns = start_time_;
+  stats.end_ns = end_time_;
+  rpc_.send_oneway(clearinghouse_, proto::kStatsReport, stats.encode());
+  rpc_.call(clearinghouse_, proto::kRpcUnregister, {}, [](net::RpcResult) {},
+            params_.rpc_policy);
+}
+
+void SimWorker::refresh_membership() {
+  if (terminated()) return;
+  rpc_.call(
+      clearinghouse_, proto::kRpcUpdate, {},
+      [this](net::RpcResult result) {
+        if (!result.ok || terminated()) return;
+        auto membership = proto::Membership::decode(result.reply);
+        if (!membership) return;
+        peers_.clear();
+        for (net::NodeId p : membership->participants) {
+          if (p != me_) peers_.push_back(p);
+        }
+      },
+      params_.rpc_policy);
+}
+
+std::optional<net::NodeId> SimWorker::pick_peer() {
+  if (peers_.empty()) return std::nullopt;
+  return peers_[rng_.below(peers_.size())];
+}
+
+std::optional<net::NodeId> SimWorker::pick_victim() {
+  if (peers_.empty()) return std::nullopt;
+  switch (params_.victim_policy) {
+    case VictimPolicy::kUniformRandom:
+      return peers_[rng_.below(peers_.size())];
+    case VictimPolicy::kRoundRobin:
+      return peers_[round_robin_cursor_++ % peers_.size()];
+    case VictimPolicy::kFixedFirst:
+      return peers_.front();
+    case VictimPolicy::kClusterLocal: {
+      // Random victim within our cluster until repeated failures suggest the
+      // local cluster is out of work; then random among everyone.
+      if (consecutive_failed_steals_ < params_.cluster_escalate_after) {
+        const int my_cluster = network_.cluster_of(me_);
+        std::vector<net::NodeId> local;
+        for (net::NodeId p : peers_) {
+          if (network_.cluster_of(p) == my_cluster) local.push_back(p);
+        }
+        if (!local.empty()) return local[rng_.below(local.size())];
+      }
+      return peers_[rng_.below(peers_.size())];
+    }
+  }
+  return peers_.front();
+}
+
+void SimWorker::reclaim_by_owner() {
+  if (terminated()) return;
+  depart(DepartReason::kOwnerReclaimed);
+}
+
+void SimWorker::crash() {
+  if (terminated()) return;
+  state_ = State::kDead;
+  end_time_ = sim_.now();
+  heartbeat_timer_.stop();
+  update_timer_.stop();
+  if (step_scheduled_) {
+    sim_.cancel(step_event_);
+    step_scheduled_ = false;
+  }
+  network_.partition(me_);
+  if (on_terminated_) on_terminated_(state_);
+}
+
+void SimWorker::emit_io(const std::string& text) {
+  rpc_.send_oneway(clearinghouse_, proto::kIo,
+                   proto::IoMsg{me_, text}.encode());
+}
+
+}  // namespace phish::rt

@@ -1,0 +1,221 @@
+// A Phish worker as a discrete-event-simulation actor.
+//
+// The worker drives the same WorkerCore as the other runtimes, but time is
+// simulated: each executed task advances the worker's clock by a scheduling
+// overhead plus the work the task reported via Context::charge, and every
+// message charges the sender/receiver the configured software overhead — the
+// cost structure the paper identifies as dominant on workstation networks.
+//
+// Behaviour per the paper:
+//   * registers with the Clearinghouse on start, unregisters on exit,
+//     heartbeats periodically, and refreshes its membership view on a timer
+//     ("once every 2 minutes to obtain an update");
+//   * executes ready tasks LIFO; when out of work becomes a thief, picking a
+//     victim uniformly at random and stealing FIFO via a steal RPC;
+//   * after `max_failed_steals` consecutive failed steals concludes the
+//     job's parallelism has shrunk, migrates its remaining (waiting)
+//     closures to a peer, and terminates, returning its workstation to the
+//     macro scheduler;
+//   * on an owner-reclaim request does the same immediately ("the process's
+//     data migrates before termination to another process of the same
+//     parallel job");
+//   * on a death notice redoes the tasks its dead thieves stole (via the
+//     WorkerCore steal ledger);
+//   * after departing, leaves a forwarding stub so in-flight arguments reach
+//     the successor that received its closures.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/clearinghouse.hpp"
+#include "core/worker_core.hpp"
+#include "net/rpc.hpp"
+#include "net/sim_net.hpp"
+#include "util/rng.hpp"
+
+namespace phish::rt {
+
+/// How a thief chooses its victim (ablation A3).  The paper: "the thief
+/// chooses uniformly at random a victim participant"; the alternatives show
+/// why that choice matters.
+enum class VictimPolicy : std::uint8_t {
+  kUniformRandom,  // the paper's policy
+  kRoundRobin,     // cycle deterministically through the membership
+  kFixedFirst,     // always the first participant (pathological hot-spot)
+  /// Heterogeneous-network extension (paper §6: "preserve locality with
+  /// respect to those network cuts that have the least bandwidth"): steal
+  /// from victims in the thief's own network cluster first, crossing the
+  /// cut only after `cluster_escalate_after` consecutive local failures.
+  kClusterLocal,
+};
+
+struct SimWorkerParams {
+  /// Scheduling overhead charged per task executed (task packaging,
+  /// queue manipulation, network polling — the serial-slowdown sources).
+  sim::SimTime task_overhead = 5 * sim::kMicrosecond;
+  /// Simulated time per unit of application work (Context::charge).
+  sim::SimTime charge_unit = 2 * sim::kMicrosecond;
+  /// Pause between failed steal attempts.
+  sim::SimTime steal_retry_delay = 2 * sim::kMillisecond;
+  /// Consecutive failed steals before the thief concludes parallelism has
+  /// shrunk and terminates.  Default: effectively never (measurement runs).
+  int max_failed_steals = std::numeric_limits<int>::max();
+  /// Liveness heartbeat to the Clearinghouse.  0 disables (the paper's
+  /// prototype had no heartbeats; crash recovery is our extension).
+  sim::SimTime heartbeat_period = 1 * sim::kSecond;
+  /// Membership refresh period (paper: 2 minutes; scaled down by default so
+  /// short simulated jobs still see refreshes).  0 disables.
+  sim::SimTime update_period = 10 * sim::kSecond;
+  /// Retransmission policy for steal/registration RPCs.
+  net::RetryPolicy rpc_policy{200 * sim::kMillisecond, 5, 2.0};
+  /// Relative CPU speed (2.0 = twice as fast); scales all compute costs.
+  double cpu_speed = 1.0;
+  /// Victim selection (ablation A3 / topology extension).
+  VictimPolicy victim_policy = VictimPolicy::kUniformRandom;
+  /// kClusterLocal: consecutive failed local steals before trying a victim
+  /// across the cluster cut.
+  int cluster_escalate_after = 4;
+};
+
+class SimWorker {
+ public:
+  enum class State {
+    kCreated,
+    kRegistering,
+    kActive,
+    kDeparted,   // left (shrunk parallelism / owner reclaim); stub forwards
+    kFinished,   // job completed normally
+    kDead,       // crashed (fault-injection)
+  };
+
+  enum class DepartReason { kParallelismShrank, kOwnerReclaimed };
+
+  SimWorker(sim::Simulator& simulator, net::SimNetwork& network,
+            net::TimerService& timers, const TaskRegistry& registry,
+            net::NodeId me, net::NodeId clearinghouse, SimWorkerParams params,
+            std::uint64_t seed,
+            ExecOrder exec_order = ExecOrder::kLifo,
+            StealOrder steal_order = StealOrder::kFifo);
+
+  SimWorker(const SimWorker&) = delete;
+  SimWorker& operator=(const SimWorker&) = delete;
+
+  /// Give this worker the job's root task; it is spawned once registration
+  /// completes (only one participant of a job should carry a root).
+  void set_root(TaskId task, std::vector<Value> args);
+
+  /// Checkpoint restore: install a WorkerCore state (export_state from the
+  /// same node id) once registration completes.  Mutually exclusive with
+  /// set_root.
+  void set_restore_state(Bytes state) { restore_state_ = std::move(state); }
+
+  /// True when this worker holds nothing that a checkpoint would miss:
+  /// no buffered sends awaiting their task-cost flush and no steal RPC
+  /// outstanding.  (The network's own in-flight count is checked by the
+  /// checkpoint service.)
+  bool checkpoint_quiescent() const noexcept {
+    return outbox_.empty() && !steal_in_flight_;
+  }
+
+  /// Serialize the closure state (checkpointing; quiescent instants only).
+  Bytes export_core_state() const { return core_.export_state(); }
+
+  /// Begin: register with the Clearinghouse.
+  void start();
+
+  /// Simulate the owner reclaiming the workstation (macro scheduler / owner
+  /// trace): migrate state and terminate.
+  void reclaim_by_owner();
+
+  /// Simulate a crash: the machine vanishes without any cleanup.
+  void crash();
+
+  // ---- Observers. ----
+  State state() const noexcept { return state_; }
+  bool terminated() const noexcept {
+    return state_ == State::kDeparted || state_ == State::kFinished ||
+           state_ == State::kDead;
+  }
+  net::NodeId id() const noexcept { return me_; }
+  const WorkerStats& stats() const noexcept { return core_.stats(); }
+  const net::ChannelStats& channel_stats() const {
+    return network_.channel(me_).stats();
+  }
+  sim::SimTime start_time() const noexcept { return start_time_; }
+  sim::SimTime end_time() const noexcept { return end_time_; }
+  /// Wall-clock lifetime of this participant, the paper's T_P(i).
+  sim::SimTime lifetime() const noexcept { return end_time_ - start_time_; }
+  std::optional<DepartReason> depart_reason() const noexcept {
+    return depart_reason_;
+  }
+
+  /// Application output (forwarded to the Clearinghouse's I/O log).
+  void emit_io(const std::string& text);
+
+  /// Fires once when the worker terminates for any reason (finished,
+  /// departed, crashed).  The macro scheduler uses this to put the
+  /// workstation back under PhishJobManager control.
+  void set_on_terminated(std::function<void(State)> fn) {
+    on_terminated_ = std::move(fn);
+  }
+
+ private:
+  void on_registered(const proto::Membership& membership);
+  void schedule_step(sim::SimTime delay);
+  void step();
+  void attempt_steal();
+  void on_steal_reply(net::NodeId victim, net::RpcResult result);
+  void handle_oneway(net::Message&& message);
+  Bytes serve_steal(net::NodeId src, const Bytes& args);
+  void depart(DepartReason reason);
+  void finish();
+  void send_stats_and_unregister();
+  void refresh_membership();
+  sim::SimTime scaled(sim::SimTime cpu_time) const {
+    return static_cast<sim::SimTime>(static_cast<double>(cpu_time) /
+                                     params_.cpu_speed);
+  }
+  std::optional<net::NodeId> pick_peer();
+  std::optional<net::NodeId> pick_victim();
+
+  sim::Simulator& sim_;
+  net::SimNetwork& network_;
+  net::TimerService& timers_;
+  net::NodeId me_;
+  net::NodeId clearinghouse_;
+  SimWorkerParams params_;
+  Xoshiro256 rng_;
+
+  net::RpcNode rpc_;
+  WorkerCore core_;
+
+  State state_ = State::kCreated;
+  std::optional<DepartReason> depart_reason_;
+  std::optional<std::pair<TaskId, std::vector<Value>>> root_;
+  std::optional<Bytes> restore_state_;
+  std::vector<net::NodeId> peers_;  // membership minus self
+  std::size_t round_robin_cursor_ = 0;
+  int consecutive_failed_steals_ = 0;
+  bool steal_in_flight_ = false;
+  net::NodeId forward_to_;  // successor after departure
+
+  // Step scheduling.
+  bool step_scheduled_ = false;
+  sim::EventId step_event_{};
+  sim::SimTime next_step_time_ = 0;
+  sim::SimTime cpu_debt_ = 0;  // message-handling CPU to charge at next step
+  bool executing_ = false;     // inside core_.execute()
+  std::vector<std::function<void()>> outbox_;  // sends buffered mid-task
+
+  sim::SimTime start_time_ = 0;
+  sim::SimTime end_time_ = 0;
+  std::function<void(State)> on_terminated_;
+
+  sim::PeriodicTimer heartbeat_timer_;
+  sim::PeriodicTimer update_timer_;
+};
+
+}  // namespace phish::rt

@@ -1,0 +1,297 @@
+#include "runtime/threads/threads_runtime.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace phish::rt {
+namespace {
+
+int make_poll_socket() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error("threads runtime: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    throw std::runtime_error("threads runtime: bind() failed");
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+}  // namespace
+
+ThreadsRuntime::ThreadsRuntime(const TaskRegistry& registry,
+                               ThreadsConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("threads runtime: need at least one worker");
+  }
+  workers_.reserve(config_.workers);
+  for (int i = 0; i < config_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->rng = Xoshiro256(mix64(config_.seed ^ static_cast<std::uint64_t>(i)));
+    if (config_.phish_overheads) w->poll_fd = make_poll_socket();
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(config_.workers);
+  for (int i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back([this, i] {
+      std::uint64_t seen_generation = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(pool_mutex_);
+          pool_cv_.wait(lock, [&] {
+            return shutdown_ || job_generation_ != seen_generation;
+          });
+          if (shutdown_) return;
+          seen_generation = job_generation_;
+        }
+        worker_loop(i);
+        if (idle_workers_.fetch_add(1) + 1 == config_.workers) {
+          pool_cv_.notify_all();  // last worker parked; job fully quiesced
+        }
+      }
+    });
+  }
+}
+
+ThreadsRuntime::~ThreadsRuntime() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& w : workers_) {
+    if (w->poll_fd >= 0) ::close(w->poll_fd);
+  }
+}
+
+ThreadsRunResult ThreadsRuntime::run(TaskId root, std::vector<Value> args) {
+  if (job_active_.exchange(true)) {
+    throw std::logic_error("threads runtime: run() is not reentrant");
+  }
+  // Fresh cores per job.
+  for (int i = 0; i < config_.workers; ++i) {
+    Worker& w = *workers_[i];
+    WorkerCore::Hooks hooks;
+    hooks.send_remote = [this, i](const ContRef& cont, Value value) {
+      deliver(cont, std::move(value), i);
+    };
+    std::lock_guard<std::mutex> lock(w.core_mutex);
+    w.core = std::make_unique<WorkerCore>(net::NodeId{
+                                              static_cast<std::uint32_t>(i)},
+                                          registry_, std::move(hooks),
+                                          config_.exec_order,
+                                          config_.steal_order);
+    std::lock_guard<std::mutex> inbox_lock(w.inbox_mutex);
+    w.inbox.clear();
+  }
+  result_.reset();
+  done_.store(false);
+  idle_workers_.store(0);
+  in_transit_.store(0);
+  {
+    std::lock_guard<std::mutex> lock(workers_[0]->core_mutex);
+    workers_[0]->core->spawn(root, std::move(args), root_continuation(), 0);
+  }
+
+  Stopwatch watch;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    ++job_generation_;
+  }
+  pool_cv_.notify_all();
+
+  // Wait for completion; check for global quiescence without a result (a
+  // malformed task graph) so callers get an exception instead of a hang.
+  {
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    while (!pool_cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
+      return idle_workers_.load() == config_.workers;
+    })) {
+      if (!done_.load() && quiescent_without_result()) {
+        done_.store(true);  // release the workers
+        pool_cv_.wait(lock, [&] {
+          return idle_workers_.load() == config_.workers;
+        });
+        job_active_.store(false);
+        throw std::runtime_error(
+            "threads runtime: task graph quiesced without producing a "
+            "result (missing send to continuation?)");
+      }
+    }
+  }
+
+  ThreadsRunResult result;
+  result.elapsed_seconds = watch.elapsed_seconds();
+  {
+    std::lock_guard<std::mutex> lock(result_mutex_);
+    if (!result_) {
+      job_active_.store(false);
+      throw std::runtime_error("threads runtime: no result recorded");
+    }
+    result.value = std::move(*result_);
+  }
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->core_mutex);
+    result.per_worker.push_back(w->core->stats());
+    result.aggregate.merge(w->core->stats());
+  }
+  job_active_.store(false);
+  return result;
+}
+
+ThreadsRunResult ThreadsRuntime::run(const std::string& root,
+                                     std::vector<Value> args) {
+  return run(registry_.id_of(root), std::move(args));
+}
+
+bool ThreadsRuntime::quiescent_without_result() {
+  // Take every core lock, then every inbox lock (global lock order), so the
+  // check sees a consistent snapshot: no worker can be mid-execution or
+  // mid-delivery while we hold its locks.
+  std::vector<std::unique_lock<std::mutex>> core_locks;
+  core_locks.reserve(workers_.size());
+  for (auto& w : workers_) core_locks.emplace_back(w->core_mutex);
+  std::vector<std::unique_lock<std::mutex>> inbox_locks;
+  inbox_locks.reserve(workers_.size());
+  for (auto& w : workers_) inbox_locks.emplace_back(w->inbox_mutex);
+
+  if (done_.load() || in_transit_.load() != 0) return false;
+  for (auto& w : workers_) {
+    if (!w->core || w->core->has_ready() || !w->inbox.empty()) return false;
+  }
+  return true;
+}
+
+void ThreadsRuntime::worker_loop(int index) {
+  Worker& w = *workers_[index];
+  int unproductive_rounds = 0;
+  while (!done_.load(std::memory_order_acquire)) {
+    bool progressed = false;
+    bool out_of_local_work = false;
+    {
+      // Execute a bounded batch per lock acquisition so thieves blocked on
+      // this core's mutex get a window at the deque between batches.
+      constexpr int kBatch = 8;
+      std::lock_guard<std::mutex> lock(w.core_mutex);
+      progressed |= drain_inbox(w);
+      for (int i = 0; i < kBatch; ++i) {
+        auto task = w.core->pop_for_execution();
+        if (!task) {
+          out_of_local_work = true;
+          break;
+        }
+        w.core->execute(*task);
+        progressed = true;
+        if (config_.phish_overheads) {
+          // Phish's per-task obligations: split-phase network poll (a real
+          // non-blocking syscall) and a dynamic-membership check.
+          std::uint8_t buf[64];
+          (void)::recv(w.poll_fd, buf, sizeof buf, 0);  // expected: EAGAIN
+          (void)membership_epoch_.load(std::memory_order_relaxed);
+        }
+        drain_inbox(w);
+        if (done_.load(std::memory_order_acquire)) return;
+      }
+    }
+    if (done_.load(std::memory_order_acquire)) return;
+    // Become a thief only when the local ready list is empty (idle-initiated:
+    // idle workers search out work; busy workers never shed it).
+    if (out_of_local_work && config_.workers > 1 && try_steal_for(index)) {
+      progressed = true;
+    }
+
+    if (progressed) {
+      unproductive_rounds = 0;
+    } else if (++unproductive_rounds > config_.spin_rounds_before_yield) {
+      // Nap briefly: bounded because deliveries are polled, not signalled.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+bool ThreadsRuntime::drain_inbox(Worker& w) {
+  std::vector<InboxMessage> batch;
+  {
+    std::lock_guard<std::mutex> lock(w.inbox_mutex);
+    batch.swap(w.inbox);
+  }
+  for (InboxMessage& m : batch) {
+    const auto outcome =
+        w.core->deliver_remote(m.cont.target, m.cont.slot, std::move(m.value));
+    if (outcome == WorkerCore::Deliver::kUnknown) {
+      PHISH_LOG(kError) << "threads runtime: argument for unknown closure "
+                        << to_string(m.cont.target);
+    }
+  }
+  return !batch.empty();
+}
+
+bool ThreadsRuntime::try_steal_for(int thief_index) {
+  Worker& thief = *workers_[thief_index];
+  // Choose a victim uniformly at random among the other workers.
+  const auto pick = static_cast<int>(
+      thief.rng.below(static_cast<std::uint64_t>(config_.workers - 1)));
+  const int victim_index = pick >= thief_index ? pick + 1 : pick;
+  Worker& victim = *workers_[victim_index];
+
+  std::optional<Closure> stolen;
+  {
+    std::lock_guard<std::mutex> lock(victim.core_mutex);
+    stolen = victim.core->try_steal(
+        net::NodeId{static_cast<std::uint32_t>(thief_index)});
+    // Mark the task in transit *before* releasing the victim's lock so the
+    // quiescence detector can never observe it in neither deque.
+    if (stolen) in_transit_.fetch_add(1);
+  }
+  std::lock_guard<std::mutex> lock(thief.core_mutex);
+  ++thief.core->stats().steal_requests_sent;
+  if (!stolen) {
+    ++thief.core->stats().failed_steals;
+    return false;
+  }
+  thief.core->install_stolen(std::move(*stolen));
+  in_transit_.fetch_sub(1);
+  return true;
+}
+
+void ThreadsRuntime::deliver(const ContRef& cont, Value value,
+                             int sender_index) {
+  (void)sender_index;
+  if (cont.home == kResultNode) {
+    {
+      std::lock_guard<std::mutex> lock(result_mutex_);
+      result_ = std::move(value);
+    }
+    done_.store(true, std::memory_order_release);
+    pool_cv_.notify_all();
+    return;
+  }
+  if (!cont.home.valid() ||
+      cont.home.value >= static_cast<std::uint32_t>(config_.workers)) {
+    PHISH_LOG(kError) << "threads runtime: send to unknown worker "
+                      << net::to_string(cont.home);
+    return;
+  }
+  Worker& target = *workers_[cont.home.value];
+  std::lock_guard<std::mutex> lock(target.inbox_mutex);
+  target.inbox.push_back(InboxMessage{cont, std::move(value)});
+}
+
+}  // namespace phish::rt

@@ -1,0 +1,421 @@
+#include "runtime/udp/udp_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace phish::rt {
+
+UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
+                     const TaskRegistry& registry, net::NodeId me,
+                     net::NodeId clearinghouse, const UdpJobConfig& config,
+                     std::uint64_t seed)
+    : network_(network),
+      timers_(timers),
+      registry_(registry),
+      me_(me),
+      clearinghouse_(clearinghouse),
+      config_(config),
+      channel_(network.channel(me)),
+      rpc_(channel_, timers),
+      core_(me, registry,
+            [this] {
+              WorkerCore::Hooks hooks;
+              hooks.send_remote = [this](const ContRef& cont, Value value) {
+                const Bytes payload =
+                    proto::ArgumentMsg{cont, std::move(value)}.encode();
+                if (cont.home == clearinghouse_) {
+                  rpc_.call(cont.home, proto::kRpcResult, payload,
+                            [](net::RpcResult) {}, config_.rpc_policy);
+                } else {
+                  rpc_.send_oneway(cont.home, proto::kArgument, payload);
+                }
+              };
+              hooks.emit_io = [this](const std::string& text) {
+                rpc_.send_oneway(clearinghouse_, proto::kIo,
+                                 proto::IoMsg{me_, text}.encode());
+              };
+              return hooks;
+            }(),
+            config.exec_order, config.steal_order),
+      rng_(mix64(seed ^ me.value)) {
+  rpc_.set_oneway_handler(
+      [this](net::Message&& m) { handle_message(std::move(m)); });
+  rpc_.serve(proto::kRpcSteal, [this](net::NodeId, const Bytes& args) {
+    auto request = proto::StealRequest::decode(args);
+    proto::StealReply reply;
+    if (request && !stop_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      reply.task = core_.try_steal(request->thief);
+    }
+    return reply.encode();
+  });
+}
+
+UdpWorker::~UdpWorker() {
+  request_stop();
+  join();
+}
+
+void UdpWorker::set_root(TaskId task, std::vector<Value> args) {
+  root_ = std::make_pair(task, std::move(args));
+}
+
+void UdpWorker::start() {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void UdpWorker::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+}
+
+void UdpWorker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+WorkerStats UdpWorker::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return core_.stats();
+}
+
+void UdpWorker::thread_main() {
+  if (!do_register()) {
+    PHISH_LOG(kWarn) << net::to_string(me_) << ": registration failed; worker "
+                     << "exiting without joining the job";
+    return;
+  }
+  rpc_.send_oneway(clearinghouse_, proto::kHeartbeat, {});
+  if (root_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    core_.spawn(root_->first, std::move(root_->second),
+                clearinghouse_continuation(clearinghouse_), 0);
+    root_.reset();
+  }
+  run_loop();
+  send_stats_and_unregister();
+}
+
+bool UdpWorker::do_register() {
+  // Registration is synchronous from the worker's point of view: nothing to
+  // do until the Clearinghouse knows us.
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false, ok = false;
+  rpc_.call(
+      clearinghouse_, proto::kRpcRegister, {},
+      [&](net::RpcResult result) {
+        std::lock_guard<std::mutex> lock(m);
+        done = true;
+        if (result.ok) {
+          auto membership = proto::Membership::decode(result.reply);
+          if (membership) {
+            std::lock_guard<std::mutex> self_lock(mutex_);
+            peers_.clear();
+            for (net::NodeId p : membership->participants) {
+              if (p != me_) peers_.push_back(p);
+            }
+            ok = true;
+          }
+        }
+        cv.notify_all();
+      },
+      config_.rpc_policy);
+  // RpcNode guarantees the completion fires exactly once (reply, retry
+  // exhaustion, or destruction), so waiting without a timeout is safe — and
+  // necessary: the callback captures these stack variables by reference.
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done; });
+  return ok;
+}
+
+void UdpWorker::run_loop() {
+  int consecutive_failed_steals = 0;
+  std::uint64_t last_heartbeat = timers_.now_ns();
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Heartbeats are sent from the worker's own loop (not a timer thread):
+    // both busy and idle iterations come around far more often than the
+    // period, and there is no callback lifetime to manage.
+    const std::uint64_t now = timers_.now_ns();
+    if (now - last_heartbeat >= config_.heartbeat_period_ns) {
+      rpc_.send_oneway(clearinghouse_, proto::kHeartbeat, {});
+      last_heartbeat = now;
+    }
+    bool did_work = false;
+    {
+      // Bounded batch per lock hold, as in the threads runtime, so the
+      // receiver thread can serve steals and deliver arguments in between.
+      constexpr int kBatch = 8;
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int i = 0; i < kBatch; ++i) {
+        auto task = core_.pop_for_execution();
+        if (!task) break;
+        core_.execute(*task);
+        did_work = true;
+        if (stop_.load(std::memory_order_acquire)) return;
+      }
+    }
+    if (did_work) {
+      consecutive_failed_steals = 0;
+      continue;
+    }
+    if (attempt_steal()) {
+      consecutive_failed_steals = 0;
+      continue;
+    }
+    // Periodically refresh the membership view while failing, so a
+    // participant that joined after our registration becomes visible.
+    if (consecutive_failed_steals > 0 && consecutive_failed_steals % 8 == 0) {
+      refresh_membership();
+    }
+    if (++consecutive_failed_steals >= config_.max_failed_steals) {
+      // Parallelism has shrunk: migrate leftovers and exit (the macro
+      // scheduler would reassign this machine).
+      departed_for_shrink_.store(true, std::memory_order_release);
+      std::vector<Closure> cargo;
+      std::optional<net::NodeId> successor;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cargo = core_.drain_for_migration();
+        successor = pick_peer();
+      }
+      if (successor) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          forward_to_ = *successor;  // stub: forward in-flight arguments
+        }
+        if (!cargo.empty()) {
+          proto::MigrateMsg msg;
+          msg.from = me_;
+          msg.closures = std::move(cargo);
+          rpc_.send_oneway(*successor, proto::kMigrate, msg.encode());
+        }
+      }
+      return;
+    }
+    // Nothing local, nothing stolen: nap until a message or retry time.
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_cv_.wait_for(lock, std::chrono::nanoseconds(config_.steal_retry_ns));
+  }
+}
+
+bool UdpWorker::attempt_steal() {
+  std::optional<net::NodeId> victim;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++core_.stats().steal_requests_sent;
+    victim = pick_peer();
+  }
+  if (!victim) {
+    // Nobody to steal from in our (possibly stale) view: refresh it.
+    refresh_membership();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++core_.stats().failed_steals;
+    return false;
+  }
+  // Split-phase in spirit, but a thief has nothing else to do, so wait for
+  // the reply (bounded by the RPC retry budget).
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false, got = false;
+  rpc_.call(
+      *victim, proto::kRpcSteal, proto::StealRequest{me_}.encode(),
+      [&](net::RpcResult result) {
+        if (result.ok) {
+          auto reply = proto::StealReply::decode(result.reply);
+          if (reply && reply->task) {
+            std::lock_guard<std::mutex> self_lock(mutex_);
+            core_.install_stolen(std::move(*reply->task));
+            got = true;
+          }
+        }
+        std::lock_guard<std::mutex> lock(m);
+        done = true;
+        cv.notify_all();
+      },
+      config_.rpc_policy);
+  // See do_register: the completion is guaranteed, and it captures locals.
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done; });
+  if (!got) {
+    std::lock_guard<std::mutex> self_lock(mutex_);
+    ++core_.stats().failed_steals;
+  }
+  return got;
+}
+
+void UdpWorker::handle_message(net::Message&& message) {
+  switch (message.type) {
+    case proto::kArgument: {
+      auto arg = proto::ArgumentMsg::decode(message.payload);
+      if (!arg) return;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (forward_to_.valid()) {
+          // We departed and our closures moved: pass the argument along
+          // (the UdpWorker object outlives its thread, so the stub works
+          // until the whole job tears down).
+          rpc_.send_oneway(forward_to_, proto::kArgument, message.payload);
+          return;
+        }
+        core_.deliver_remote(arg->cont.target, arg->cont.slot,
+                             std::move(arg->value));
+      }
+      wake_cv_.notify_all();
+      break;
+    }
+    case proto::kShutdown:
+      request_stop();
+      break;
+    case proto::kDead: {
+      auto dead = proto::DeadMsg::decode(message.payload);
+      if (!dead) return;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        peers_.erase(std::remove(peers_.begin(), peers_.end(), dead->who),
+                     peers_.end());
+        core_.handle_participant_death(dead->who);
+      }
+      wake_cv_.notify_all();
+      break;
+    }
+    case proto::kMigrate: {
+      auto migrate = proto::MigrateMsg::decode(message.payload);
+      if (!migrate) return;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (forward_to_.valid()) {
+          rpc_.send_oneway(forward_to_, proto::kMigrate, message.payload);
+          return;
+        }
+        for (Closure& c : migrate->closures) {
+          core_.install_migrated(std::move(c));
+        }
+      }
+      wake_cv_.notify_all();
+      break;
+    }
+    default:
+      PHISH_LOG(kDebug) << net::to_string(me_)
+                        << ": unexpected message type " << message.type;
+  }
+}
+
+void UdpWorker::send_stats_and_unregister() {
+  proto::StatsMsg stats;
+  stats.who = me_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.stats = core_.stats();
+  }
+  stats.end_ns = timers_.now_ns();
+  rpc_.send_oneway(clearinghouse_, proto::kStatsReport, stats.encode());
+  rpc_.call(clearinghouse_, proto::kRpcUnregister, {}, [](net::RpcResult) {},
+            config_.rpc_policy);
+}
+
+void UdpWorker::refresh_membership() {
+  // Fire-and-forget update; the completion runs on a transport thread and
+  // must not capture stack locals.
+  rpc_.call(
+      clearinghouse_, proto::kRpcUpdate, {},
+      [this](net::RpcResult result) {
+        if (!result.ok || stop_.load(std::memory_order_acquire)) return;
+        auto membership = proto::Membership::decode(result.reply);
+        if (!membership) return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        peers_.clear();
+        for (net::NodeId p : membership->participants) {
+          if (p != me_) peers_.push_back(p);
+        }
+      },
+      config_.rpc_policy);
+}
+
+std::optional<net::NodeId> UdpWorker::pick_peer() {
+  if (peers_.empty()) return std::nullopt;
+  return peers_[rng_.below(peers_.size())];
+}
+
+// ---- UdpJob. ----
+
+UdpJob::UdpJob(const TaskRegistry& registry, UdpJobConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("udp runtime: need at least one worker");
+  }
+}
+
+UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
+  net::UdpNetwork network(config_.net);
+  net::ThreadTimerService timers;
+
+  const net::NodeId ch_node{0};
+  net::RpcNode ch_rpc(network.channel(ch_node), timers);
+  Clearinghouse clearinghouse(ch_rpc, timers, config_.clearinghouse);
+
+  std::mutex result_mutex;
+  std::condition_variable result_cv;
+  std::optional<Value> result_value;
+  clearinghouse.set_on_result([&](const Value& v) {
+    std::lock_guard<std::mutex> lock(result_mutex);
+    result_value = v;
+    result_cv.notify_all();
+  });
+  clearinghouse.start();
+
+  std::vector<std::unique_ptr<UdpWorker>> workers;
+  Xoshiro256 seeder(config_.seed);
+  for (int i = 0; i < config_.workers; ++i) {
+    workers.push_back(std::make_unique<UdpWorker>(
+        network, timers, registry_,
+        net::NodeId{static_cast<std::uint32_t>(i + 1)}, ch_node, config_,
+        seeder.next()));
+  }
+  workers[0]->set_root(root, std::move(args));
+
+  Stopwatch watch;
+  for (auto& w : workers) w->start();
+
+  bool finished;
+  {
+    std::unique_lock<std::mutex> lock(result_mutex);
+    finished = result_cv.wait_for(
+        lock, std::chrono::duration<double>(config_.timeout_seconds),
+        [&] { return result_value.has_value(); });
+  }
+  const double elapsed = watch.elapsed_seconds();
+
+  // Wind everything down (the shutdown broadcast already went out if the job
+  // finished; make it idempotent either way).
+  for (auto& w : workers) w->request_stop();
+  for (auto& w : workers) w->join();
+  clearinghouse.stop();
+
+  if (!finished) {
+    throw std::runtime_error("udp runtime: job timed out after " +
+                             std::to_string(config_.timeout_seconds) + " s");
+  }
+
+  UdpJobResult result;
+  {
+    std::lock_guard<std::mutex> lock(result_mutex);
+    result.value = std::move(*result_value);
+  }
+  result.elapsed_seconds = elapsed;
+  for (auto& w : workers) {
+    const WorkerStats s = w->stats_snapshot();
+    result.per_worker.push_back(s);
+    result.aggregate.merge(s);
+    result.messages_sent += w->channel_stats().messages_sent;
+  }
+  return result;
+}
+
+UdpJobResult UdpJob::run(const std::string& root, std::vector<Value> args) {
+  return run(registry_.id_of(root), std::move(args));
+}
+
+}  // namespace phish::rt

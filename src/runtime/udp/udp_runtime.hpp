@@ -1,0 +1,138 @@
+// The real thing: Phish over UDP/IP sockets.
+//
+// This runtime is the paper's prototype re-implemented: every worker is a
+// process-like unit with its own UDP socket (here: its own threads inside
+// one process, on loopback — see DESIGN.md §3.3); the Clearinghouse is an
+// RPC server on its own socket; all dataflow is split-phase datagrams; steal
+// requests are RPCs with retransmission; workers register, heartbeat, fetch
+// membership updates, and unregister; the job's result is delivered reliably
+// and triggers a shutdown broadcast.
+//
+// The same WorkerCore and Clearinghouse classes run here as in the simulated
+// runtime — only the event loop and the clock differ — so the behaviour the
+// benches measure in simulation is the behaviour this code ships on real
+// sockets.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/clearinghouse.hpp"
+#include "core/worker_core.hpp"
+#include "net/udp_net.hpp"
+#include "util/rng.hpp"
+
+namespace phish::rt {
+
+struct UdpJobConfig {
+  int workers = 2;
+  net::UdpParams net;  // base_port must be free; nodes use base_port + id
+  ExecOrder exec_order = ExecOrder::kLifo;
+  StealOrder steal_order = StealOrder::kFifo;
+  std::uint64_t seed = 0x5eed'0000'0040ULL;
+  /// Consecutive failed steals before a worker concludes the parallelism has
+  /// shrunk and exits.
+  int max_failed_steals = std::numeric_limits<int>::max();
+  std::uint64_t steal_retry_ns = 2'000'000;        // 2 ms
+  std::uint64_t heartbeat_period_ns = 500'000'000; // 500 ms
+  net::RetryPolicy rpc_policy{100'000'000, 6, 1.5};
+  ClearinghouseConfig clearinghouse;
+  /// Watchdog: give up if the job has not finished in this much real time.
+  double timeout_seconds = 120.0;
+};
+
+struct UdpJobResult {
+  Value value;
+  double elapsed_seconds = 0.0;
+  WorkerStats aggregate;
+  std::vector<WorkerStats> per_worker;
+  /// Datagrams sent by the workers (from their channel counters).
+  std::uint64_t messages_sent = 0;
+};
+
+/// One worker process-equivalent: a UDP socket, a WorkerCore, and a thread.
+class UdpWorker {
+ public:
+  UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
+            const TaskRegistry& registry, net::NodeId me,
+            net::NodeId clearinghouse, const UdpJobConfig& config,
+            std::uint64_t seed);
+  ~UdpWorker();
+
+  UdpWorker(const UdpWorker&) = delete;
+  UdpWorker& operator=(const UdpWorker&) = delete;
+
+  /// Give this worker the job's root task (before start()).
+  void set_root(TaskId task, std::vector<Value> args);
+
+  /// Launch the worker thread (register -> work/steal -> unregister).
+  void start();
+
+  /// Ask the worker to wind down (as the shutdown broadcast does).
+  void request_stop();
+
+  /// Block until the worker thread exits.
+  void join();
+
+  net::NodeId id() const { return me_; }
+  WorkerStats stats_snapshot() const;
+  const net::ChannelStats& channel_stats() const { return channel_.stats(); }
+  bool departed_for_shrink() const {
+    return departed_for_shrink_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void thread_main();
+  bool do_register();
+  void run_loop();
+  bool attempt_steal();
+  void handle_message(net::Message&& message);
+  void send_stats_and_unregister();
+  void refresh_membership();
+  std::optional<net::NodeId> pick_peer();  // callers hold mutex_
+
+  net::UdpNetwork& network_;
+  net::TimerService& timers_;
+  const TaskRegistry& registry_;
+  net::NodeId me_;
+  net::NodeId clearinghouse_;
+  const UdpJobConfig& config_;
+
+  net::UdpChannel& channel_;
+  net::RpcNode rpc_;
+
+  mutable std::mutex mutex_;  // guards core_, peers_, rng_, forward_to_
+  WorkerCore core_;
+  std::vector<net::NodeId> peers_;
+  net::NodeId forward_to_;  // successor after a shrink departure
+  Xoshiro256 rng_;
+
+  std::condition_variable wake_cv_;  // signalled on new work / shutdown
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> departed_for_shrink_{false};
+  std::optional<std::pair<TaskId, std::vector<Value>>> root_;
+  std::thread thread_;
+};
+
+/// Harness: stand up a Clearinghouse and N workers on loopback UDP, run one
+/// job, tear everything down.
+class UdpJob {
+ public:
+  UdpJob(const TaskRegistry& registry, UdpJobConfig config);
+
+  /// Throws std::runtime_error on watchdog timeout.
+  UdpJobResult run(TaskId root, std::vector<Value> args);
+  UdpJobResult run(const std::string& root, std::vector<Value> args);
+
+ private:
+  const TaskRegistry& registry_;
+  UdpJobConfig config_;
+};
+
+}  // namespace phish::rt

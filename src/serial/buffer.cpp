@@ -1,0 +1,31 @@
+#include "serial/buffer.hpp"
+
+namespace phish {
+
+void Writer::blob(const void* data, std::size_t size) {
+  u32(static_cast<std::uint32_t>(size));
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+void Writer::raw(const Bytes& data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+Bytes Reader::blob() {
+  const std::uint32_t n = u32();
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return {};
+  }
+  Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::str() {
+  const Bytes b = blob();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace phish

@@ -1,0 +1,119 @@
+// Byte-buffer serialization for Phish's wire protocol.
+//
+// Every message the runtime sends (steal requests, argument sends,
+// registration, heartbeats, job assignments) is encoded with Writer and
+// decoded with Reader.  The format is explicit little-endian with
+// length-prefixed strings/blobs, so it is stable across hosts — the paper's
+// Phish ran on a heterogeneous Unix network over UDP/IP, and this layer plays
+// the same role.
+//
+// Reader never throws on hot paths; malformed input flips an error flag that
+// callers check once per message (torn UDP datagrams must not crash a worker).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phish {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a growing byte vector.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Bytes initial) : bytes_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    append_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) byte string.
+  void blob(const void* data, std::size_t size);
+  void str(std::string_view s) { blob(s.data(), s.size()); }
+
+  /// Raw append with no length prefix (for nesting pre-encoded payloads).
+  void raw(const Bytes& data);
+
+  const Bytes& bytes() const noexcept { return bytes_; }
+  Bytes take() noexcept { return std::move(bytes_); }
+  std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes bytes_;
+};
+
+/// Consumes primitive values from a byte span.  On underflow or overflow the
+/// reader enters a failed state: subsequent reads return zero values and
+/// ok() returns false.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const Bytes& bytes) : Reader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() { return read_le<std::uint8_t>(); }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  /// Length-prefixed byte string; returns empty and fails on bad length.
+  Bytes blob();
+  std::string str();
+
+  /// All bytes not yet consumed (does not advance).
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool ok() const noexcept { return !failed_; }
+
+  /// True when the whole buffer was consumed without error — the normal
+  /// "message fully parsed" check.
+  bool done() const noexcept { return ok() && remaining() == 0; }
+
+ private:
+  template <typename T>
+  T read_le() {
+    if (failed_ || size_ - pos_ < sizeof(T)) {
+      failed_ = true;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace phish

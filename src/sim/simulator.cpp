@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace phish::sim {
+
+EventId Simulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) {
+    throw std::logic_error("Simulator::schedule_at: time in the past");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+bool Simulator::cancel(EventId id) {
+  // Lazy cancellation: mark the sequence number; the event is dropped (and the
+  // tombstone reclaimed) when it reaches the head of the queue.  Cancelling an
+  // event that already fired leaves a permanent tombstone, so callers must
+  // clear their handles once an event fires — PeriodicTimer does, and it is
+  // the only caller that cancels.
+  if (!id.valid() || id.seq >= next_seq_) return false;
+  return cancelled_.insert(id.seq).second;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Peek past cancelled events without firing live ones early.
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.seq)) {
+      cancelled_.erase(top.seq);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void PeriodicTimer::start(SimTime initial_delay) {
+  stop();
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTimer::stop() {
+  if (pending_.valid()) {
+    sim_.cancel(pending_);
+    pending_ = EventId{};
+  }
+  running_ = false;
+}
+
+void PeriodicTimer::arm(SimTime delay) {
+  pending_ = sim_.schedule(delay, [this] {
+    pending_ = EventId{};
+    if (!running_) return;
+    on_tick_();
+    // on_tick_ may have stopped the timer.
+    if (running_ && !pending_.valid()) arm(period_);
+  });
+}
+
+}  // namespace phish::sim

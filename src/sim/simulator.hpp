@@ -1,0 +1,129 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substitute testbed for the paper's network of SparcStation 1's
+// (see DESIGN.md §3.1).  Workstations, workers, the Clearinghouse, the
+// PhishJobQ, and the network itself are all expressed as events scheduled on
+// one Simulator.  Determinism: events fire in (time, sequence) order, so two
+// runs with the same seeds produce byte-identical statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace phish::sim {
+
+/// Simulated time in nanoseconds.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+inline double to_seconds(SimTime t) {
+  return static_cast<double>(t) * 1e-9;
+}
+inline SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const noexcept { return seq != 0; }
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run `delay` after the current time.  Returns a handle
+  /// usable with cancel().
+  EventId schedule(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule at an absolute simulated time (must be >= now()).
+  EventId schedule_at(SimTime when, Callback fn);
+
+  /// Cancel a pending event.  Safe to call on already-fired or already-
+  /// cancelled events (no-op).  Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Number of events scheduled but not yet fired or cancelled.
+  std::size_t pending() const noexcept {
+    return queue_.size() >= cancelled_.size()
+               ? queue_.size() - cancelled_.size()
+               : 0;
+  }
+
+  /// Fire the next event.  Returns false when no events remain.
+  bool step();
+
+  /// Run until the event queue drains or `limit` events have fired.
+  /// Returns the number of events fired.
+  std::uint64_t run(std::uint64_t limit =
+                        std::numeric_limits<std::uint64_t>::max());
+
+  /// Run until simulated time reaches `deadline` (events at exactly
+  /// `deadline` do fire) or the queue drains.
+  void run_until(SimTime deadline);
+
+  /// Total events fired over the simulator's lifetime.
+  std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+};
+
+/// Periodic timer helper: reschedules itself every `period` until stopped.
+/// Used by the PhishJobManager polling loops and Clearinghouse heartbeats.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& simulator, SimTime period,
+                std::function<void()> on_tick)
+      : sim_(simulator), period_(period), on_tick_(std::move(on_tick)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start(SimTime initial_delay);
+  void start() { start(period_); }
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  /// Change the period; takes effect at the next tick.
+  void set_period(SimTime period) noexcept { period_ = period; }
+
+ private:
+  void arm(SimTime delay);
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void()> on_tick_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace phish::sim

@@ -1,0 +1,116 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace phish {
+namespace {
+
+std::int64_t parse_int(const std::string& name, const std::string& text) {
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: '" +
+                                text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t default_value) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : parse_int(name, it->second);
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": not a number: '" +
+                                it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: '" + v +
+                              "'");
+}
+
+std::vector<std::int64_t> Flags::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& dflt) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  std::vector<std::int64_t> result;
+  const std::string& text = it->second;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto comma = text.find(',', start);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    result.push_back(parse_int(name, text.substr(start, end - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return result;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!used_.count(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace phish

@@ -1,0 +1,44 @@
+// Tiny command-line flag parser for the bench binaries and examples.
+// Supports --name=value and --name value; unknown flags are an error so typos
+// in experiment sweeps fail loudly instead of silently using defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace phish {
+
+class Flags {
+ public:
+  /// Parse argv.  Throws std::invalid_argument on malformed input.
+  /// Positional (non --flag) arguments are collected in order.
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& default_value) const;
+  std::int64_t get_int(const std::string& name,
+                       std::int64_t default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated integer list, e.g. --workers=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names that were supplied but never read; used by benches to reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace phish

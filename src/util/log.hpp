@@ -1,0 +1,45 @@
+// Minimal leveled logging.  The runtimes log through this so tests can raise
+// the threshold to keep output quiet while examples can turn on tracing.
+// Thread-safe: each emit formats into a local buffer and writes it in one call.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace phish {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// RAII message builder: phish::Log(LogLevel::kInfo) << "x=" << x;
+class Log {
+ public:
+  explicit Log(LogLevel level) : level_(level) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() {
+    if (level_ >= log_threshold()) detail::log_emit(level_, out_.str());
+  }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    if (level_ >= log_threshold()) out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+#define PHISH_LOG(level) ::phish::Log(::phish::LogLevel::level)
+
+}  // namespace phish

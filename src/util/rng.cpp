@@ -1,0 +1,12 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace phish {
+
+double Xoshiro256::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; 1 - uniform() is in (0, 1] so log() is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+}  // namespace phish

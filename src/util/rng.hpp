@@ -1,0 +1,131 @@
+// Deterministic pseudo-random number generation for the Phish reproduction.
+//
+// Every randomized component in this repository (victim selection, network
+// jitter, drop injection, owner traces, workload generators) draws from one of
+// these generators with an explicit seed, so every experiment is exactly
+// reproducible.  We implement splitmix64 (for seeding and cheap hashing) and
+// xoshiro256** (the workhorse generator), both public-domain algorithms by
+// Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace phish {
+
+/// splitmix64: one 64-bit state, one output per step.  Used to expand a single
+/// seed into the larger state of xoshiro256** and as a cheap integer mixer.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of a 64-bit value (one splitmix64 step with state = x).
+/// Handy for deriving independent stream seeds: mix64(seed ^ stream_id).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  return SplitMix64(x).next();
+}
+
+/// xoshiro256**: fast, high-quality 64-bit generator with 256-bit state.
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions, though we provide bias-free bounded draws
+/// directly (Lemire's method) to keep hot paths cheap and portable.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire 2019).
+  /// bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // 128-bit multiply-shift; rejection loop runs < 1 time in expectation.
+    for (;;) {
+      const std::uint64_t x = next();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Derive an independent generator for a named substream.  The derivation is
+  /// a pure function of (current state's first word, stream id), so forks are
+  /// reproducible regardless of interleaving.
+  Xoshiro256 fork(std::uint64_t stream_id) const noexcept {
+    return Xoshiro256(mix64(state_[0] ^ mix64(stream_id)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace phish

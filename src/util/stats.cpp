@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace phish {
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& [k, v] : bins_) t += v;
+  return t;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [k, v] : other.bins_) bins_[k] += v;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [k, v] : bins_) {
+    if (!first) out << ' ';
+    out << k << ':' << v;
+    first = false;
+  }
+  return out.str();
+}
+
+std::uint64_t Log2Histogram::quantile_upper_bound(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return i == 0 ? 0 : (1ULL << i) - 1;
+    }
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+}  // namespace phish

@@ -1,0 +1,114 @@
+// Streaming statistics and histograms used throughout the benchmarks and the
+// scheduler's own bookkeeping (Table 2 statistics, Figure 4/5 series, pfold's
+// energy histogram).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phish {
+
+/// Single-pass summary statistics (Welford's online algorithm for variance).
+/// Numerically stable; O(1) space.
+class StreamingStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const noexcept;
+
+  /// Merge another summary into this one (parallel Welford combine).
+  void merge(const StreamingStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integer-keyed histogram with exact counts.  pfold uses this for its energy
+/// histogram; benches use it for distribution summaries (e.g. steals per
+/// worker).  Keys are sparse, so storage is a map.
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1) { bins_[key] += weight; }
+
+  std::uint64_t count(std::int64_t key) const {
+    auto it = bins_.find(key);
+    return it == bins_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const noexcept;
+  bool empty() const noexcept { return bins_.empty(); }
+  std::size_t distinct() const noexcept { return bins_.size(); }
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+  bool operator==(const Histogram& other) const { return bins_ == other.bins_; }
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+
+  /// Render as "key:count key:count ..." in ascending key order.
+  std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+};
+
+/// Fixed-resolution latency/size histogram with power-of-two buckets,
+/// suitable for hot paths (no allocation after construction).
+class Log2Histogram {
+ public:
+  // bucket_of returns 0 for value 0 and 64 - clz(v) otherwise, i.e. 0..64,
+  // so 65 buckets are needed.
+  static constexpr int kBuckets = 65;
+
+  void add(std::uint64_t value) noexcept {
+    ++buckets_[bucket_of(value)];
+    ++total_;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t bucket(int i) const noexcept { return buckets_[i]; }
+
+  /// Smallest value v such that at least fraction q of samples are <= upper
+  /// bound of v's bucket.  Returns an upper bound of the quantile's bucket.
+  std::uint64_t quantile_upper_bound(double q) const noexcept;
+
+  static int bucket_of(std::uint64_t value) noexcept {
+    if (value == 0) return 0;
+    return 64 - __builtin_clzll(value);
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace phish

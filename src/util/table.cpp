@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace phish {
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row arity " +
+                                std::to_string(row.size()) + " != header " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string TextTable::num(std::uint64_t value) { return std::to_string(value); }
+std::string TextTable::num(std::int64_t value) { return std::to_string(value); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "  " : "") << std::setw(static_cast<int>(width[c]))
+          << std::left << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(width[c], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace phish

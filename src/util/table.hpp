@@ -1,0 +1,33 @@
+// Plain-text table rendering for the benchmark harness.  Every bench prints a
+// human-readable table (like the paper's) and machine-readable "key=value"
+// rows; this class handles the former.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phish {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+  static std::string num(std::uint64_t value);
+  static std::string num(std::int64_t value);
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phish

@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for the real-time measurements (Table 1) and the
+// UDP runtime's timeouts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace phish {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(monotonic_ns()) {}
+  void reset() noexcept { start_ = monotonic_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return monotonic_ns() - start_; }
+  double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace phish

@@ -1,0 +1,71 @@
+#include "apps/nqueens/nqueens.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/local_runner.hpp"
+
+namespace phish::apps {
+namespace {
+
+// OEIS A000170: number of n-queens solutions.
+constexpr std::int64_t kKnown[] = {1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724};
+
+TEST(NQueensSerial, KnownValues) {
+  for (int n = 1; n <= 10; ++n) {
+    EXPECT_EQ(nqueens_serial(n), kKnown[n]) << "n=" << n;
+  }
+}
+
+TEST(NQueensSerial, Eleven) { EXPECT_EQ(nqueens_serial(11), 2680); }
+
+TEST(NQueensParallel, MatchesSerial) {
+  TaskRegistry reg;
+  const TaskId root = register_nqueens(reg);
+  LocalRunner runner(reg);
+  for (std::int64_t n = 1; n <= 9; ++n) {
+    EXPECT_EQ(runner.run(root, {Value(n)}).as_int(),
+              kKnown[static_cast<int>(n)])
+        << "n=" << n;
+  }
+}
+
+TEST(NQueensParallel, GrainCutoffsPreserveResult) {
+  for (int cutoff : {0, 1, 3, 5, 8, 100}) {
+    TaskRegistry reg;
+    const TaskId root = register_nqueens(reg, cutoff);
+    LocalRunner runner(reg);
+    EXPECT_EQ(runner.run(root, {Value(std::int64_t{8})}).as_int(), 92)
+        << "cutoff=" << cutoff;
+  }
+}
+
+TEST(NQueensParallel, UnsolvableBoardsReturnZero) {
+  TaskRegistry reg;
+  const TaskId root = register_nqueens(reg, /*sequential_rows=*/0);
+  LocalRunner runner(reg);
+  EXPECT_EQ(runner.run(root, {Value(std::int64_t{2})}).as_int(), 0);
+  EXPECT_EQ(runner.run(root, {Value(std::int64_t{3})}).as_int(), 0);
+}
+
+TEST(NQueensParallel, CoarserGrainExecutesFewerTasks) {
+  TaskRegistry fine_reg, coarse_reg;
+  const TaskId fine_root = register_nqueens(fine_reg, 1);
+  const TaskId coarse_root = register_nqueens(coarse_reg, 5);
+  LocalRunner fine(fine_reg), coarse(coarse_reg);
+  fine.run(fine_root, {Value(std::int64_t{9})});
+  coarse.run(coarse_root, {Value(std::int64_t{9})});
+  EXPECT_GT(fine.stats().tasks_executed,
+            4 * coarse.stats().tasks_executed);
+}
+
+TEST(NQueensParallel, WorkingSetStaysSmall) {
+  TaskRegistry reg;
+  const TaskId root = register_nqueens(reg, 2);
+  LocalRunner runner(reg);
+  runner.run(root, {Value(std::int64_t{9})});
+  EXPECT_GT(runner.stats().tasks_executed, 1000u);
+  EXPECT_LT(runner.stats().max_tasks_in_use, 120u);
+}
+
+}  // namespace
+}  // namespace phish::apps

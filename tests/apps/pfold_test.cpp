@@ -1,0 +1,125 @@
+#include "apps/pfold/pfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/local_runner.hpp"
+
+namespace phish::apps {
+namespace {
+
+TEST(PfoldSerial, TrivialPolymers) {
+  EXPECT_EQ(pfold_count(1), 1u);
+  // Two monomers: first step fixed to +x, exactly one folding.
+  EXPECT_EQ(pfold_count(2), 1u);
+  // Three monomers: second step can go +x, +y, or -y (not back) = 3.
+  EXPECT_EQ(pfold_count(3), 3u);
+}
+
+TEST(PfoldSerial, CountsAreSelfAvoidingWalks) {
+  // With the first step fixed, the folding count of an n-monomer polymer is
+  // the number of (n-1)-step self-avoiding walks divided by 4 (symmetry):
+  // SAW counts on Z^2 (OEIS A001411): 4, 12, 36, 100, 284, 780, 2172, 5916.
+  EXPECT_EQ(pfold_count(2), 4u / 4);
+  EXPECT_EQ(pfold_count(3), 12u / 4);
+  EXPECT_EQ(pfold_count(4), 36u / 4);
+  EXPECT_EQ(pfold_count(5), 100u / 4);
+  EXPECT_EQ(pfold_count(6), 284u / 4);
+  EXPECT_EQ(pfold_count(7), 780u / 4);
+  EXPECT_EQ(pfold_count(8), 2172u / 4);
+  EXPECT_EQ(pfold_count(9), 5916u / 4);
+}
+
+TEST(PfoldSerial, EnergyHistogramSmallCases) {
+  // 4 monomers: 9 foldings; exactly two (the U shapes x,+y,-x and x,-y,-x)
+  // have one contact (monomer 4 touching monomer 1); the rest have zero.
+  const Histogram h = pfold_serial(4);
+  EXPECT_EQ(h.total(), 9u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(0), 7u);
+}
+
+TEST(PfoldSerial, EnergyConservedAcrossSizes) {
+  // Total foldings grows with n; contact energies are non-negative and at
+  // most ~n; spot-check structure for n = 6.
+  const Histogram h = pfold_serial(6);
+  EXPECT_EQ(h.total(), 71u);
+  std::uint64_t weighted = 0;
+  for (const auto& [energy, count] : h.bins()) {
+    EXPECT_GE(energy, 0);
+    EXPECT_LE(energy, 6);
+    weighted += count;
+  }
+  EXPECT_EQ(weighted, 71u);
+}
+
+TEST(PfoldSerial, NodeCountReported) {
+  std::uint64_t nodes = 0;
+  pfold_serial(6, &nodes);
+  EXPECT_GT(nodes, pfold_count(6)) << "internal nodes exist";
+}
+
+TEST(PfoldHistogramCodec, RoundTrip) {
+  Histogram h;
+  h.add(-3, 7);
+  h.add(0, 1000000);
+  h.add(12, 1);
+  EXPECT_EQ(decode_histogram(encode_histogram(h)), h);
+}
+
+TEST(PfoldHistogramCodec, EmptyHistogram) {
+  EXPECT_EQ(decode_histogram(encode_histogram(Histogram{})), Histogram{});
+}
+
+TEST(PfoldHistogramCodec, CorruptBlobThrows) {
+  Bytes b = encode_histogram([] {
+    Histogram h;
+    h.add(1);
+    return h;
+  }());
+  b.push_back(0xff);
+  EXPECT_THROW(decode_histogram(b), std::invalid_argument);
+}
+
+TEST(PfoldParallel, MatchesSerialExactly) {
+  TaskRegistry reg;
+  const TaskId root = register_pfold(reg, /*sequential_monomers=*/3);
+  LocalRunner runner(reg);
+  for (std::int64_t n = 1; n <= 10; ++n) {
+    const Histogram expected = pfold_serial(static_cast<int>(n));
+    const Histogram actual =
+        decode_histogram(runner.run(root, {Value(n)}).as_blob());
+    EXPECT_EQ(actual, expected) << "n=" << n;
+  }
+}
+
+TEST(PfoldParallel, CutoffsPreserveHistogram) {
+  const Histogram expected = pfold_serial(9);
+  for (int cutoff : {0, 1, 4, 9, 50}) {
+    TaskRegistry reg;
+    const TaskId root = register_pfold(reg, cutoff);
+    LocalRunner runner(reg);
+    const Histogram actual =
+        decode_histogram(runner.run(root, {Value(std::int64_t{9})}).as_blob());
+    EXPECT_EQ(actual, expected) << "cutoff=" << cutoff;
+  }
+}
+
+TEST(PfoldParallel, WorkingSetStaysSmall) {
+  TaskRegistry reg;
+  const TaskId root = register_pfold(reg, 4);
+  LocalRunner runner(reg);
+  runner.run(root, {Value(std::int64_t{12})});
+  EXPECT_GT(runner.stats().tasks_executed, 1000u);
+  EXPECT_LT(runner.stats().max_tasks_in_use, 100u);
+}
+
+TEST(PfoldParallel, MostSynchronizationsAreLocal) {
+  TaskRegistry reg;
+  const TaskId root = register_pfold(reg, 4);
+  LocalRunner runner(reg);
+  runner.run(root, {Value(std::int64_t{11})});
+  EXPECT_EQ(runner.stats().non_local_synchs, 1u);
+}
+
+}  // namespace
+}  // namespace phish::apps

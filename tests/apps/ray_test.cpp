@@ -1,0 +1,135 @@
+#include "apps/ray/ray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/local_runner.hpp"
+
+namespace phish::apps {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 5);
+  EXPECT_DOUBLE_EQ(sum.y, 7);
+  EXPECT_DOUBLE_EQ(sum.z, 9);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4);
+  EXPECT_DOUBLE_EQ((a * b).z, 18);
+}
+
+TEST(Vec3Test, Normalized) {
+  const Vec3 v{3, 0, 4};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  const Vec3 n = v.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(n.x, 0.6);
+  // Zero vector stays zero rather than dividing by zero.
+  EXPECT_DOUBLE_EQ(Vec3{}.normalized().norm(), 0.0);
+}
+
+TEST(RaySerial, ProducesPlausibleImage) {
+  const Scene scene = make_default_scene();
+  std::uint64_t rays = 0;
+  const Image img = render_serial(scene, 64, 48, &rays);
+  EXPECT_EQ(img.width, 64);
+  EXPECT_EQ(img.height, 48);
+  EXPECT_EQ(img.rgb.size(), 3u * 64 * 48);
+  EXPECT_GT(rays, 3000u) << "at least one ray per pixel";
+  // Image is not a constant field (scene has structure).
+  bool varied = false;
+  for (std::size_t i = 3; i < img.rgb.size(); ++i) {
+    if (img.rgb[i] != img.rgb[i % 3]) {
+      varied = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(RaySerial, DeterministicAcrossCalls) {
+  const Scene scene = make_default_scene();
+  EXPECT_EQ(render_serial(scene, 32, 32), render_serial(scene, 32, 32));
+}
+
+TEST(RaySerial, ReflectionDepthChangesImage) {
+  Scene flat = make_default_scene();
+  flat.max_depth = 0;
+  Scene shiny = make_default_scene();
+  shiny.max_depth = 4;
+  EXPECT_FALSE(render_serial(flat, 32, 32) == render_serial(shiny, 32, 32));
+}
+
+TEST(RayParallel, ByteIdenticalToSerial) {
+  const Scene scene = make_default_scene();
+  const Image expected = render_serial(scene, 48, 32);
+
+  TaskRegistry reg;
+  const TaskId root = register_ray(reg, scene, 48, 32, /*tile_pixels=*/128);
+  LocalRunner runner(reg);
+  const Image actual = decode_image_blob(runner.run(root, {}).as_blob());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(RayParallel, TileSizeDoesNotChangeOutput) {
+  const Scene scene = make_default_scene();
+  const Image expected = render_serial(scene, 40, 40);
+  for (int tile : {16, 100, 399, 1600, 10000}) {
+    TaskRegistry reg;
+    const TaskId root = register_ray(reg, scene, 40, 40, tile);
+    LocalRunner runner(reg);
+    const Image actual = decode_image_blob(runner.run(root, {}).as_blob());
+    EXPECT_EQ(actual, expected) << "tile=" << tile;
+  }
+}
+
+TEST(RayParallel, OddDimensionsSplitCorrectly) {
+  const Scene scene = make_default_scene();
+  const Image expected = render_serial(scene, 37, 23);
+  TaskRegistry reg;
+  const TaskId root = register_ray(reg, scene, 37, 23, 64);
+  LocalRunner runner(reg);
+  EXPECT_EQ(decode_image_blob(runner.run(root, {}).as_blob()), expected);
+}
+
+TEST(RayParallel, CoarseGrainMeansFewTasks) {
+  const Scene scene = make_default_scene();
+  TaskRegistry reg;
+  const TaskId root = register_ray(reg, scene, 64, 64, 1024);
+  LocalRunner runner(reg);
+  runner.run(root, {});
+  // 64*64/1024 = 4 leaf tiles (plus splits and merges): single digits.
+  EXPECT_LT(runner.stats().tasks_executed, 20u);
+}
+
+TEST(RayPpm, WritesValidHeader) {
+  const Scene scene = make_default_scene();
+  const Image img = render_serial(scene, 8, 4);
+  const std::string path = "/tmp/phish_ray_test.ppm";
+  write_ppm(img, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 8);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> data(3 * 8 * 4);
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(data.size()));
+  std::remove(path.c_str());
+}
+
+TEST(RayPpm, ThrowsOnBadPath) {
+  const Image img;
+  EXPECT_THROW(write_ppm(img, "/nonexistent-dir/x.ppm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace phish::apps

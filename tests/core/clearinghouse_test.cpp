@@ -1,0 +1,272 @@
+// Clearinghouse protocol tests over the simulated network (single-threaded,
+// deterministic).
+#include "core/clearinghouse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_net.hpp"
+
+namespace phish {
+namespace {
+
+class ClearinghouseTest : public ::testing::Test {
+ protected:
+  static constexpr net::NodeId kCh{0};
+
+  ClearinghouseTest()
+      : network_(sim_, quiet_params()),
+        timers_(sim_),
+        ch_rpc_(network_.channel(kCh), timers_) {}
+
+  static net::SimNetParams quiet_params() {
+    net::SimNetParams p;
+    p.jitter = 0;
+    return p;
+  }
+
+  /// Failure detection re-arms its timer forever, which would keep
+  /// sim_.run() from draining; tests not about crash detection disable it.
+  static ClearinghouseConfig no_failure_detection() {
+    ClearinghouseConfig cfg;
+    cfg.detect_failures = false;
+    return cfg;
+  }
+
+  /// A minimal scripted worker node.
+  struct FakeWorker {
+    net::RpcNode rpc;
+    std::vector<std::uint16_t> received_types;
+    std::vector<net::NodeId> dead_notices;
+
+    FakeWorker(net::SimNetwork& network, net::TimerService& timers,
+               net::NodeId id)
+        : rpc(network.channel(id), timers) {
+      rpc.set_oneway_handler([this](net::Message&& m) {
+        received_types.push_back(m.type);
+        if (m.type == proto::kDead) {
+          if (auto d = proto::DeadMsg::decode(m.payload)) {
+            dead_notices.push_back(d->who);
+          }
+        }
+      });
+    }
+
+    void register_with(net::NodeId ch, proto::Membership* out = nullptr) {
+      rpc.call(ch, proto::kRpcRegister, {}, [out](net::RpcResult r) {
+        ASSERT_TRUE(r.ok);
+        if (out) {
+          auto m = proto::Membership::decode(r.reply);
+          ASSERT_TRUE(m.has_value());
+          *out = *m;
+        }
+      });
+    }
+    void heartbeat(net::NodeId ch) {
+      rpc.send_oneway(ch, proto::kHeartbeat, {});
+    }
+  };
+
+  sim::Simulator sim_;
+  net::SimNetwork network_;
+  net::SimTimerService timers_;
+  net::RpcNode ch_rpc_;
+};
+
+TEST_F(ClearinghouseTest, RegistrationBuildsMembership) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+
+  proto::Membership m1, m2;
+  w1.register_with(kCh, &m1);
+  sim_.run();
+  w2.register_with(kCh, &m2);
+  sim_.run();
+
+  EXPECT_EQ(m1.participants.size(), 1u);
+  EXPECT_EQ(m2.participants.size(), 2u);
+  EXPECT_GT(m2.epoch, m1.epoch);
+  EXPECT_EQ(ch.membership().participants.size(), 2u);
+}
+
+TEST_F(ClearinghouseTest, DuplicateRegistrationIsIdempotent) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  w1.register_with(kCh);
+  sim_.run();
+  const std::uint64_t epoch = ch.membership().epoch;
+  w1.register_with(kCh);
+  sim_.run();
+  EXPECT_EQ(ch.membership().participants.size(), 1u);
+  EXPECT_EQ(ch.membership().epoch, epoch) << "no change, no epoch bump";
+}
+
+TEST_F(ClearinghouseTest, UnregisterRemoves) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  w1.register_with(kCh);
+  sim_.run();
+  w1.rpc.call(kCh, proto::kRpcUnregister, {}, [](net::RpcResult) {});
+  sim_.run();
+  EXPECT_TRUE(ch.membership().participants.empty());
+}
+
+TEST_F(ClearinghouseTest, ResultTriggersShutdownBroadcast) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh);
+  w2.register_with(kCh);
+  sim_.run();
+
+  std::optional<Value> callback_value;
+  ch.set_on_result([&](const Value& v) { callback_value = v; });
+
+  const proto::ArgumentMsg arg{clearinghouse_continuation(kCh),
+                               Value(std::int64_t{42})};
+  w1.rpc.send_oneway(kCh, proto::kArgument, arg.encode());
+  sim_.run();
+
+  ASSERT_TRUE(ch.result().has_value());
+  EXPECT_EQ(ch.result()->as_int(), 42);
+  ASSERT_TRUE(callback_value.has_value());
+  EXPECT_EQ(callback_value->as_int(), 42);
+  EXPECT_EQ(std::count(w1.received_types.begin(), w1.received_types.end(),
+                       proto::kShutdown),
+            1);
+  EXPECT_EQ(std::count(w2.received_types.begin(), w2.received_types.end(),
+                       proto::kShutdown),
+            1);
+}
+
+TEST_F(ClearinghouseTest, DuplicateResultIgnored) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  w1.register_with(kCh);
+  sim_.run();
+  const auto cont = clearinghouse_continuation(kCh);
+  w1.rpc.send_oneway(kCh, proto::kArgument,
+                     proto::ArgumentMsg{cont, Value(std::int64_t{1})}.encode());
+  sim_.run();
+  w1.rpc.send_oneway(kCh, proto::kArgument,
+                     proto::ArgumentMsg{cont, Value(std::int64_t{2})}.encode());
+  sim_.run();
+  EXPECT_EQ(ch.result()->as_int(), 1) << "redo duplicates must not overwrite";
+}
+
+TEST_F(ClearinghouseTest, HeartbeatTimeoutDeclaresDeath) {
+  ClearinghouseConfig cfg;
+  cfg.heartbeat_timeout_ns = 3 * sim::kSecond;
+  cfg.failure_check_period_ns = sim::kSecond;
+  Clearinghouse ch(ch_rpc_, timers_, cfg);
+  ch.start();
+
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh);
+  w2.register_with(kCh);
+  // The failure detector re-arms forever, so drive bounded slices of time
+  // rather than draining the queue.
+  sim_.run_until(100 * sim::kMillisecond);
+
+  std::vector<net::NodeId> deaths;
+  ch.set_on_death([&](net::NodeId n) { deaths.push_back(n); });
+
+  // w2 heartbeats; w1 goes silent.
+  for (int t = 1; t <= 10; ++t) {
+    sim_.schedule_at(static_cast<sim::SimTime>(t) * sim::kSecond,
+                     [&] { w2.heartbeat(kCh); });
+  }
+  sim_.run_until(8 * sim::kSecond);
+
+  ASSERT_EQ(deaths.size(), 1u);
+  EXPECT_EQ(deaths[0], (net::NodeId{1}));
+  EXPECT_EQ(ch.membership().participants.size(), 1u);
+  EXPECT_EQ(ch.declared_dead().size(), 1u);
+  // The survivor was told.
+  EXPECT_EQ(w2.dead_notices.size(), 1u);
+  EXPECT_EQ(w2.dead_notices[0], (net::NodeId{1}));
+  // The dead worker is not told (it is dead).
+  EXPECT_TRUE(w1.dead_notices.empty());
+}
+
+TEST_F(ClearinghouseTest, FailureDetectionDisabled) {
+  ClearinghouseConfig cfg;
+  cfg.detect_failures = false;
+  Clearinghouse ch(ch_rpc_, timers_, cfg);
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  w1.register_with(kCh);
+  sim_.run();
+  sim_.run_until(60 * sim::kSecond);
+  EXPECT_EQ(ch.membership().participants.size(), 1u) << "never declared dead";
+}
+
+TEST_F(ClearinghouseTest, CollectsStatsReports) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  proto::StatsMsg msg;
+  msg.who = net::NodeId{1};
+  msg.stats.tasks_executed = 12345;
+  msg.start_ns = 10;
+  msg.end_ns = 99;
+  w1.rpc.send_oneway(kCh, proto::kStatsReport, msg.encode());
+  sim_.run();
+  const auto reports = ch.stats_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].who, (net::NodeId{1}));
+  EXPECT_EQ(reports[0].stats.tasks_executed, 12345u);
+  EXPECT_EQ(reports[0].end_ns, 99u);
+}
+
+TEST_F(ClearinghouseTest, CollectsIo) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  w1.rpc.send_oneway(kCh, proto::kIo,
+                     proto::IoMsg{net::NodeId{1}, "hello"}.encode());
+  w1.rpc.send_oneway(kCh, proto::kIo,
+                     proto::IoMsg{net::NodeId{1}, "world"}.encode());
+  sim_.run();
+  const auto log = ch.io_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].text, "hello");
+  EXPECT_EQ(log[1].text, "world");
+}
+
+TEST_F(ClearinghouseTest, MalformedMessagesIgnored) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  w1.rpc.send_oneway(kCh, proto::kArgument, Bytes{1, 2, 3});
+  w1.rpc.send_oneway(kCh, proto::kStatsReport, Bytes{});
+  w1.rpc.send_oneway(kCh, proto::kIo, Bytes{0xff});
+  EXPECT_NO_THROW(sim_.run());
+  EXPECT_FALSE(ch.result().has_value());
+  EXPECT_TRUE(ch.stats_reports().empty());
+}
+
+TEST_F(ClearinghouseTest, MembershipChangeCallback) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  std::vector<std::size_t> sizes;
+  ch.set_on_membership_change([&](std::size_t n) { sizes.push_back(n); });
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh);
+  sim_.run();
+  w2.register_with(kCh);
+  sim_.run();
+  w1.rpc.call(kCh, proto::kRpcUnregister, {}, [](net::RpcResult) {});
+  sim_.run();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace phish

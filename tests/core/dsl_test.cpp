@@ -1,0 +1,190 @@
+#include "core/dsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/fib/fib.hpp"
+#include "core/local_runner.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "runtime/threads/threads_runtime.hpp"
+
+namespace phish::dsl {
+namespace {
+
+/// fib in five lines: the DSL generates everything apps/fib wires by hand.
+TaskId register_dsl_fib(TaskRegistry& reg) {
+  return register_expand_reduce(
+      reg, "dsl.fib",
+      [](Context&, const std::vector<Value>& args) {
+        const std::int64_t n = args[0].as_int();
+        if (n < 2) return Expansion::make_leaf(Value(n));
+        return Expansion::make_children({{Value(n - 1)}, {Value(n - 2)}});
+      },
+      [](Context&, std::vector<Value>& kids) {
+        return Value(kids[0].as_int() + kids[1].as_int());
+      });
+}
+
+TEST(Dsl, FibMatchesHandWiredVersion) {
+  TaskRegistry reg;
+  const TaskId root = register_dsl_fib(reg);
+  LocalRunner runner(reg);
+  for (std::int64_t n = 0; n <= 14; ++n) {
+    EXPECT_EQ(runner.run(root, {Value(n)}).as_int(), apps::fib_serial(n))
+        << n;
+  }
+}
+
+TEST(Dsl, LeafOnlyRoot) {
+  TaskRegistry reg;
+  const TaskId root = register_expand_reduce(
+      reg, "dsl.leafy",
+      [](Context&, const std::vector<Value>& args) {
+        return Expansion::make_leaf(Value(args[0].as_int() * 2));
+      },
+      [](Context&, std::vector<Value>&) { return Value(); });
+  LocalRunner runner(reg);
+  EXPECT_EQ(runner.run(root, {Value(std::int64_t{21})}).as_int(), 42);
+}
+
+TEST(Dsl, VariableArityChildren) {
+  // Sum of 1..n by splitting into n single-leaf children at the root.
+  TaskRegistry reg;
+  const TaskId root = register_expand_reduce(
+      reg, "dsl.sumn",
+      [](Context&, const std::vector<Value>& args) {
+        const std::int64_t n = args[0].as_int();
+        const std::int64_t depth = args[1].as_int();
+        if (depth == 1) return Expansion::make_leaf(Value(n));
+        std::vector<std::vector<Value>> kids;
+        for (std::int64_t i = 1; i <= n; ++i) {
+          kids.push_back({Value(i), Value(std::int64_t{1})});
+        }
+        return Expansion::make_children(std::move(kids));
+      },
+      [](Context&, std::vector<Value>& kids) {
+        std::int64_t total = 0;
+        for (const Value& v : kids) total += v.as_int();
+        return Value(total);
+      });
+  LocalRunner runner(reg);
+  EXPECT_EQ(runner
+                .run(root, {Value(std::int64_t{100}), Value(std::int64_t{0})})
+                .as_int(),
+            5050);
+}
+
+TEST(Dsl, SingleChildChainWorks) {
+  // Degenerate recursion: each level has exactly one child (a countdown).
+  TaskRegistry reg;
+  const TaskId root = register_expand_reduce(
+      reg, "dsl.chain",
+      [](Context&, const std::vector<Value>& args) {
+        const std::int64_t n = args[0].as_int();
+        if (n == 0) return Expansion::make_leaf(Value(std::int64_t{0}));
+        return Expansion::make_children({{Value(n - 1)}});
+      },
+      [](Context&, std::vector<Value>& kids) {
+        return Value(kids[0].as_int() + 1);
+      });
+  LocalRunner runner(reg);
+  EXPECT_EQ(runner.run(root, {Value(std::int64_t{50})}).as_int(), 50);
+}
+
+TEST(Dsl, ReduceSeesChildrenInSpawnOrder) {
+  TaskRegistry reg;
+  const TaskId root = register_expand_reduce(
+      reg, "dsl.ordered",
+      [](Context&, const std::vector<Value>& args) {
+        if (args[0].as_int() != 0) {
+          return Expansion::make_leaf(args[0]);
+        }
+        return Expansion::make_children(
+            {{Value(std::int64_t{10})},
+             {Value(std::int64_t{20})},
+             {Value(std::int64_t{30})}});
+      },
+      [](Context&, std::vector<Value>& kids) {
+        // Positional semantics: 10*1 + 20*2 + 30*3 only if order held.
+        std::int64_t acc = 0;
+        for (std::size_t i = 0; i < kids.size(); ++i) {
+          acc += kids[i].as_int() * static_cast<std::int64_t>(i + 1);
+        }
+        return Value(acc);
+      });
+  LocalRunner runner(reg);
+  EXPECT_EQ(runner.run(root, {Value(std::int64_t{0})}).as_int(),
+            10 * 1 + 20 * 2 + 30 * 3);
+}
+
+TEST(Dsl, ChargePropagatesFromExpand) {
+  TaskRegistry reg;
+  const TaskId root = register_expand_reduce(
+      reg, "dsl.charged",
+      [](Context& cx, const std::vector<Value>&) {
+        cx.charge(12345);
+        return Expansion::make_leaf(Value(std::int64_t{1}));
+      },
+      [](Context&, std::vector<Value>&) { return Value(); });
+  LocalRunner runner(reg);
+  WorkerCore& core = runner.core();
+  core.spawn(root, {}, root_continuation(), 0);
+  auto c = core.pop_for_execution();
+  ASSERT_TRUE(c.has_value());
+  core.execute(*c);
+  EXPECT_EQ(core.last_charge(), 12345u);
+}
+
+TEST(Dsl, RejectsEmptyExpansion) {
+  TaskRegistry reg;
+  const TaskId root = register_expand_reduce(
+      reg, "dsl.broken",
+      [](Context&, const std::vector<Value>&) { return Expansion{}; },
+      [](Context&, std::vector<Value>&) { return Value(); });
+  LocalRunner runner(reg);
+  EXPECT_THROW(runner.run(root, {}), std::logic_error);
+}
+
+TEST(Dsl, RejectsMissingFunctions) {
+  TaskRegistry reg;
+  EXPECT_THROW(register_expand_reduce(reg, "x", nullptr,
+                                      [](Context&, std::vector<Value>&) {
+                                        return Value();
+                                      }),
+               std::invalid_argument);
+  EXPECT_THROW(register_expand_reduce(
+                   reg, "y",
+                   [](Context&, const std::vector<Value>&) {
+                     return Expansion{};
+                   },
+                   nullptr),
+               std::invalid_argument);
+}
+
+TEST(Dsl, RunsOnThreadsRuntime) {
+  TaskRegistry reg;
+  const TaskId root = register_dsl_fib(reg);
+  rt::ThreadsConfig cfg;
+  cfg.workers = 4;
+  rt::ThreadsRuntime runtime(reg, cfg);
+  EXPECT_EQ(runtime.run(root, {Value(std::int64_t{17})}).value.as_int(),
+            apps::fib_serial(17));
+}
+
+TEST(Dsl, RunsOnSimulatedNetworkWithStealing) {
+  TaskRegistry reg;
+  const TaskId root = register_dsl_fib(reg);
+  rt::SimJobConfig cfg;
+  cfg.participants = 4;
+  cfg.seed = 3;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  const auto result = rt::run_sim_job(reg, root, {Value(std::int64_t{16})},
+                                      cfg);
+  EXPECT_EQ(result.value.as_int(), apps::fib_serial(16));
+  EXPECT_GT(result.aggregate.tasks_stolen_by_me, 0u)
+      << "DSL-generated tasks must be stealable like any closure";
+}
+
+}  // namespace
+}  // namespace phish::dsl

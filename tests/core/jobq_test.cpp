@@ -1,0 +1,212 @@
+#include "core/jobq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_net.hpp"
+
+namespace phish {
+namespace {
+
+JobSpec make_spec(const std::string& name, std::uint32_t ch_node = 100) {
+  JobSpec s;
+  s.name = name;
+  s.root_task = name + ".root";
+  s.clearinghouse = net::NodeId{ch_node};
+  return s;
+}
+
+TEST(JobSpecCodec, RoundTrip) {
+  JobSpec s = make_spec("ray");
+  s.job_id = 7;
+  const auto back = JobSpec::decode(s.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->job_id, 7u);
+  EXPECT_EQ(back->name, "ray");
+  EXPECT_EQ(back->root_task, "ray.root");
+  EXPECT_EQ(back->clearinghouse, (net::NodeId{100}));
+}
+
+TEST(JobAssignmentCodec, RoundTripEmptyAndFull) {
+  JobAssignment empty;
+  const auto back_empty = JobAssignment::decode(empty.encode());
+  ASSERT_TRUE(back_empty.has_value());
+  EXPECT_FALSE(back_empty->job.has_value());
+
+  JobAssignment full;
+  full.job = make_spec("pfold");
+  full.job->job_id = 3;
+  const auto back_full = JobAssignment::decode(full.encode());
+  ASSERT_TRUE(back_full.has_value());
+  ASSERT_TRUE(back_full->job.has_value());
+  EXPECT_EQ(back_full->job->name, "pfold");
+  EXPECT_EQ(back_full->job->job_id, 3u);
+}
+
+class JobQTest : public ::testing::Test {
+ protected:
+  JobQTest()
+      : network_(sim_), timers_(sim_), rpc_(network_.channel(net::NodeId{0}),
+                                            timers_) {}
+
+  sim::Simulator sim_;
+  net::SimNetwork network_;
+  net::SimTimerService timers_;
+  net::RpcNode rpc_;
+};
+
+TEST_F(JobQTest, SubmitAssignsIds) {
+  PhishJobQ q(rpc_);
+  const auto a = q.submit(make_spec("a"));
+  const auto b = q.submit(make_spec("b"));
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(q.pool_size(), 2u);
+}
+
+TEST_F(JobQTest, EmptyPoolGivesNothing) {
+  PhishJobQ q(rpc_);
+  EXPECT_FALSE(q.request(net::NodeId{1}).has_value());
+  EXPECT_EQ(q.stats().empty_replies, 1u);
+}
+
+TEST_F(JobQTest, RoundRobinCyclesThroughJobs) {
+  PhishJobQ q(rpc_);
+  q.submit(make_spec("a"));
+  q.submit(make_spec("b"));
+  q.submit(make_spec("c"));
+  std::vector<std::string> order;
+  for (int i = 0; i < 6; ++i) {
+    order.push_back(q.request(net::NodeId{1})->name);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c", "a", "b", "c"}));
+}
+
+TEST_F(JobQTest, AssignmentKeepsJobInPool) {
+  // The paper's crucial semantics: assignment does not consume the job.
+  PhishJobQ q(rpc_);
+  q.submit(make_spec("a"));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.request(net::NodeId{1}));
+  EXPECT_EQ(q.pool_size(), 1u);
+}
+
+TEST_F(JobQTest, CompleteRemovesJob) {
+  PhishJobQ q(rpc_);
+  const auto a = q.submit(make_spec("a"));
+  const auto b = q.submit(make_spec("b"));
+  EXPECT_TRUE(q.complete(a));
+  EXPECT_FALSE(q.complete(a)) << "second completion is unknown";
+  EXPECT_EQ(q.pool_size(), 1u);
+  EXPECT_EQ(q.request(net::NodeId{1})->job_id, b);
+}
+
+TEST_F(JobQTest, RoundRobinStaysConsistentAfterCompletion) {
+  PhishJobQ q(rpc_);
+  const auto a = q.submit(make_spec("a"));
+  q.submit(make_spec("b"));
+  q.submit(make_spec("c"));
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "a");
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "b");
+  q.complete(a);
+  // Pool is now [b, c]; cursor should continue without skipping or crashing.
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "c");
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "b");
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "c");
+}
+
+TEST_F(JobQTest, FirstJobPolicy) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFirstJob);
+  q.submit(make_spec("a"));
+  q.submit(make_spec("b"));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q.request(net::NodeId{1})->name, "a");
+  }
+}
+
+TEST_F(JobQTest, LeastServedPolicyBalances) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kLeastServed);
+  q.submit(make_spec("a"));
+  q.submit(make_spec("b"));
+  q.submit(make_spec("c"));
+  for (int i = 0; i < 9; ++i) q.request(net::NodeId{1});
+  const auto by_job = q.assignments_by_job();
+  for (const auto& [id, n] : by_job) {
+    EXPECT_EQ(n, 3u) << "job " << id;
+  }
+}
+
+TEST_F(JobQTest, StatsTrackEverything) {
+  PhishJobQ q(rpc_);
+  const auto a = q.submit(make_spec("a"));
+  q.request(net::NodeId{1});
+  q.request(net::NodeId{2});
+  q.complete(a);
+  q.request(net::NodeId{3});
+  const auto s = q.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.assignments, 2u);
+  EXPECT_EQ(s.empty_replies, 1u);
+}
+
+TEST_F(JobQTest, OnAssignCallback) {
+  PhishJobQ q(rpc_);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> seen;
+  q.set_on_assign([&](std::uint64_t job, net::NodeId who) {
+    seen.emplace_back(job, who.value);
+  });
+  const auto a = q.submit(make_spec("a"));
+  q.request(net::NodeId{9});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, a);
+  EXPECT_EQ(seen[0].second, 9u);
+}
+
+TEST_F(JobQTest, RpcInterface) {
+  PhishJobQ q(rpc_);
+  q.start();
+  net::RpcNode client(network_.channel(net::NodeId{1}), timers_);
+
+  // Submit over RPC.
+  std::uint64_t job_id = 0;
+  client.call(net::NodeId{0}, proto::kRpcSubmitJob, make_spec("rpc").encode(),
+              [&](net::RpcResult r) {
+                ASSERT_TRUE(r.ok);
+                Reader reader(r.reply);
+                job_id = reader.u64();
+              });
+  sim_.run();
+  EXPECT_NE(job_id, 0u);
+  EXPECT_EQ(q.pool_size(), 1u);
+
+  // Request over RPC.
+  std::optional<JobSpec> got;
+  client.call(net::NodeId{0}, proto::kRpcRequestJob, {},
+              [&](net::RpcResult r) {
+                ASSERT_TRUE(r.ok);
+                auto a = JobAssignment::decode(r.reply);
+                ASSERT_TRUE(a.has_value());
+                got = a->job;
+              });
+  sim_.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->name, "rpc");
+
+  // Complete over RPC.
+  bool done_ok = false;
+  Writer w;
+  w.u64(job_id);
+  client.call(net::NodeId{0}, proto::kRpcJobDone, w.take(),
+              [&](net::RpcResult r) {
+                ASSERT_TRUE(r.ok);
+                Reader reader(r.reply);
+                done_ok = reader.boolean();
+              });
+  sim_.run();
+  EXPECT_TRUE(done_ok);
+  EXPECT_EQ(q.pool_size(), 0u);
+}
+
+}  // namespace
+}  // namespace phish

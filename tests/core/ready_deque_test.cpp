@@ -1,0 +1,90 @@
+#include "core/ready_deque.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phish {
+namespace {
+
+Closure make_task(std::uint64_t seq) {
+  Closure c;
+  c.id = ClosureId{net::NodeId{0}, seq};
+  c.task = 0;
+  return c;
+}
+
+std::uint64_t seq_of(const Closure& c) { return c.id.seq; }
+
+TEST(ReadyDeque, StartsEmpty) {
+  ReadyDeque d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_FALSE(d.pop_for_execution().has_value());
+  EXPECT_FALSE(d.pop_for_steal().has_value());
+}
+
+TEST(ReadyDeque, LifoExecutionOrder) {
+  // Paper Figure 1(b): spawns go to the head; the owner works the head.
+  ReadyDeque d;
+  for (std::uint64_t i = 1; i <= 4; ++i) d.push(make_task(i));
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 4u);
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 3u);
+  d.push(make_task(5));
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 5u);
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 2u);
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 1u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ReadyDeque, FifoStealOrder) {
+  // Paper Figure 1(c): thieves take the tail — the oldest task.
+  ReadyDeque d;
+  for (std::uint64_t i = 1; i <= 4; ++i) d.push(make_task(i));
+  EXPECT_EQ(seq_of(*d.pop_for_steal()), 1u);
+  EXPECT_EQ(seq_of(*d.pop_for_steal()), 2u);
+  // Owner and thief interleave on opposite ends.
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 4u);
+  EXPECT_EQ(seq_of(*d.pop_for_steal()), 3u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ReadyDeque, AblationFifoExecution) {
+  ReadyDeque d(ExecOrder::kFifo, StealOrder::kFifo);
+  for (std::uint64_t i = 1; i <= 3; ++i) d.push(make_task(i));
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 1u);
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 2u);
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 3u);
+}
+
+TEST(ReadyDeque, AblationLifoSteal) {
+  ReadyDeque d(ExecOrder::kLifo, StealOrder::kLifo);
+  for (std::uint64_t i = 1; i <= 3; ++i) d.push(make_task(i));
+  EXPECT_EQ(seq_of(*d.pop_for_steal()), 3u);
+  EXPECT_EQ(seq_of(*d.pop_for_steal()), 2u);
+}
+
+TEST(ReadyDeque, DrainReturnsEverything) {
+  ReadyDeque d;
+  for (std::uint64_t i = 1; i <= 5; ++i) d.push(make_task(i));
+  auto all = d.drain();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ReadyDeque, RemoveById) {
+  ReadyDeque d;
+  for (std::uint64_t i = 1; i <= 3; ++i) d.push(make_task(i));
+  EXPECT_TRUE(d.remove(ClosureId{net::NodeId{0}, 2}));
+  EXPECT_FALSE(d.remove(ClosureId{net::NodeId{0}, 2}));
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 3u);
+  EXPECT_EQ(seq_of(*d.pop_for_execution()), 1u);
+}
+
+TEST(ReadyDeque, PoliciesAreReported) {
+  ReadyDeque d(ExecOrder::kFifo, StealOrder::kLifo);
+  EXPECT_EQ(d.exec_order(), ExecOrder::kFifo);
+  EXPECT_EQ(d.steal_order(), StealOrder::kLifo);
+}
+
+}  // namespace
+}  // namespace phish

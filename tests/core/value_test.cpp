@@ -1,0 +1,175 @@
+#include "core/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/closure.hpp"
+
+namespace phish {
+namespace {
+
+TEST(Value, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_EQ(v.kind(), Value::Kind::kNil);
+}
+
+TEST(Value, IntAccess) {
+  Value v(std::int64_t{-12345});
+  EXPECT_EQ(v.kind(), Value::Kind::kInt);
+  EXPECT_EQ(v.as_int(), -12345);
+  EXPECT_THROW(v.as_double(), std::bad_variant_access);
+  EXPECT_THROW(v.as_blob(), std::bad_variant_access);
+}
+
+TEST(Value, DoubleAccess) {
+  Value v(2.75);
+  EXPECT_EQ(v.kind(), Value::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.75);
+  EXPECT_THROW(v.as_int(), std::bad_variant_access);
+}
+
+TEST(Value, BlobAccess) {
+  Value v(Bytes{1, 2, 3});
+  EXPECT_EQ(v.kind(), Value::Kind::kBlob);
+  EXPECT_EQ(v.as_blob(), (Bytes{1, 2, 3}));
+  EXPECT_THROW(v.as_int(), std::bad_variant_access);
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value(std::int64_t{1}), Value(std::int64_t{1}));
+  EXPECT_FALSE(Value(std::int64_t{1}) == Value(std::int64_t{2}));
+  EXPECT_FALSE(Value(std::int64_t{1}) == Value(1.0));
+  EXPECT_EQ(Value(), Value());
+  EXPECT_EQ(Value(Bytes{9}), Value(Bytes{9}));
+}
+
+TEST(Value, EncodeDecodeRoundTrip) {
+  const Value values[] = {Value(), Value(std::int64_t{-7}), Value(3.5),
+                          Value(Bytes{0, 255, 128})};
+  for (const Value& v : values) {
+    Writer w;
+    v.encode(w);
+    Reader r(w.bytes());
+    const Value back = Value::decode(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Value, ByteSize) {
+  EXPECT_EQ(Value().byte_size(), 1u);
+  EXPECT_EQ(Value(std::int64_t{1}).byte_size(), 9u);
+  EXPECT_EQ(Value(1.0).byte_size(), 9u);
+  EXPECT_EQ(Value(Bytes(10)).byte_size(), 15u);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value().to_string(), "nil");
+  EXPECT_EQ(Value(std::int64_t{42}).to_string(), "42");
+  EXPECT_EQ(Value(Bytes(3)).to_string(), "blob[3]");
+}
+
+TEST(Ids, ClosureIdRoundTrip) {
+  const ClosureId id{net::NodeId{7}, 123456789ULL};
+  Writer w;
+  id.encode(w);
+  Reader r(w.bytes());
+  EXPECT_EQ(ClosureId::decode(r), id);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Ids, ContRefRoundTrip) {
+  const ContRef c{ClosureId{net::NodeId{3}, 42}, 5, net::NodeId{9}};
+  Writer w;
+  c.encode(w);
+  Reader r(w.bytes());
+  EXPECT_EQ(ContRef::decode(r), c);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Ids, Validity) {
+  EXPECT_FALSE(ClosureId{}.valid());
+  EXPECT_TRUE((ClosureId{net::NodeId{0}, 1}).valid());
+  EXPECT_FALSE(ContRef{}.valid());
+}
+
+TEST(Ids, HashDistinguishes) {
+  std::hash<ClosureId> h;
+  EXPECT_NE(h(ClosureId{net::NodeId{1}, 1}), h(ClosureId{net::NodeId{1}, 2}));
+  EXPECT_NE(h(ClosureId{net::NodeId{1}, 1}), h(ClosureId{net::NodeId{2}, 1}));
+}
+
+TEST(Closure, FillTracksMissing) {
+  Closure c;
+  c.args.resize(3);
+  c.filled.assign(3, false);
+  c.missing = 3;
+  EXPECT_FALSE(c.ready());
+  EXPECT_TRUE(c.fill(0, Value(std::int64_t{1})));
+  EXPECT_TRUE(c.fill(2, Value(std::int64_t{3})));
+  EXPECT_FALSE(c.ready());
+  EXPECT_TRUE(c.fill(1, Value(std::int64_t{2})));
+  EXPECT_TRUE(c.ready());
+}
+
+TEST(Closure, DuplicateFillIsRejected) {
+  Closure c;
+  c.args.resize(1);
+  c.filled.assign(1, false);
+  c.missing = 1;
+  EXPECT_TRUE(c.fill(0, Value(std::int64_t{1})));
+  EXPECT_FALSE(c.fill(0, Value(std::int64_t{99})));
+  EXPECT_EQ(c.args[0].as_int(), 1) << "first write wins";
+  EXPECT_TRUE(c.ready());
+}
+
+TEST(Closure, OutOfRangeSlotIsRejected) {
+  Closure c;
+  c.args.resize(1);
+  c.filled.assign(1, false);
+  c.missing = 1;
+  EXPECT_FALSE(c.fill(5, Value(std::int64_t{1})));
+  EXPECT_FALSE(c.ready());
+}
+
+TEST(Closure, EncodeDecodeRoundTrip) {
+  Closure c;
+  c.id = ClosureId{net::NodeId{4}, 77};
+  c.task = 3;
+  c.cont = ContRef{ClosureId{net::NodeId{1}, 5}, 2, net::NodeId{1}};
+  c.depth = 9;
+  c.args = {Value(std::int64_t{10}), Value(), Value(Bytes{1, 2})};
+  c.filled = {true, false, true};
+  c.missing = 1;
+
+  Writer w;
+  c.encode(w);
+  Reader r(w.bytes());
+  const Closure back = Closure::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back.id, c.id);
+  EXPECT_EQ(back.task, c.task);
+  EXPECT_EQ(back.cont, c.cont);
+  EXPECT_EQ(back.depth, c.depth);
+  EXPECT_EQ(back.missing, c.missing);
+  ASSERT_EQ(back.args.size(), 3u);
+  EXPECT_EQ(back.args[0], c.args[0]);
+  EXPECT_EQ(back.args[2], c.args[2]);
+  EXPECT_EQ(back.filled, c.filled);
+}
+
+TEST(Closure, DecodeRejectsAbsurdSlotCount) {
+  Writer w;
+  ClosureId{net::NodeId{1}, 1}.encode(w);
+  w.u32(0);                              // task
+  ContRef{}.encode(w);                   // cont
+  w.u32(0);                              // depth
+  w.u32(0x7fffffff);                     // absurd arg count
+  w.u32(0);                              // missing
+  Reader r(w.bytes());
+  const Closure c = Closure::decode(r);
+  EXPECT_TRUE(c.args.empty());
+}
+
+}  // namespace
+}  // namespace phish

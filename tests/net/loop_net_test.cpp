@@ -1,0 +1,108 @@
+#include "net/loop_net.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phish::net {
+namespace {
+
+TEST(LoopNet, QueuesUntilDelivered) {
+  LoopNetwork net;
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  int received = 0;
+  b.set_receiver([&](Message&&) { ++received; });
+
+  a.send(NodeId{1}, 1, {});
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.in_flight(), 1u);
+  EXPECT_TRUE(net.deliver_one());
+  EXPECT_EQ(received, 1);
+  EXPECT_FALSE(net.deliver_one());
+}
+
+TEST(LoopNet, DrainDeliversCascades) {
+  LoopNetwork net;
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  auto& c = net.channel(NodeId{2});
+  int c_received = 0;
+  // b forwards to c on receipt: drain must deliver the induced message too.
+  b.set_receiver([&](Message&& m) {
+    net.channel(NodeId{1}).send(NodeId{2}, m.type, std::move(m.payload));
+  });
+  c.set_receiver([&](Message&&) { ++c_received; });
+
+  a.send(NodeId{1}, 9, {});
+  const std::size_t delivered = net.drain();
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(c_received, 1);
+}
+
+TEST(LoopNet, FifoOrder) {
+  LoopNetwork net;
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  std::vector<std::uint16_t> types;
+  b.set_receiver([&](Message&& m) { types.push_back(m.type); });
+  for (std::uint16_t t = 1; t <= 5; ++t) a.send(NodeId{1}, t, {});
+  net.drain();
+  EXPECT_EQ(types, (std::vector<std::uint16_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(LoopNet, MessageToUnattachedNodeDropsSilently) {
+  LoopNetwork net;
+  auto& a = net.channel(NodeId{0});
+  a.send(NodeId{3}, 1, {});
+  EXPECT_NO_THROW(net.drain());
+}
+
+TEST(LoopNet, DropAllInFlight) {
+  LoopNetwork net;
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  int received = 0;
+  b.set_receiver([&](Message&&) { ++received; });
+  a.send(NodeId{1}, 1, {});
+  a.send(NodeId{1}, 2, {});
+  net.drop_all_in_flight();
+  net.drain();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(LoopNet, DropProbabilityInjectsLoss) {
+  LoopNetwork net(/*seed=*/5);
+  net.set_drop_probability(1.0);
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  int received = 0;
+  b.set_receiver([&](Message&&) { ++received; });
+  for (int i = 0; i < 10; ++i) a.send(NodeId{1}, 1, {});
+  net.drain();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(a.stats().messages_dropped, 10u);
+  EXPECT_EQ(a.stats().messages_sent, 10u);
+}
+
+TEST(LoopNet, StatsTrackTraffic) {
+  LoopNetwork net;
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  b.set_receiver([](Message&&) {});
+  a.send(NodeId{1}, 1, Bytes(7));
+  net.drain();
+  EXPECT_EQ(a.stats().messages_sent, 1u);
+  EXPECT_EQ(a.stats().bytes_sent, 7u);
+  EXPECT_EQ(b.stats().messages_received, 1u);
+  EXPECT_EQ(b.stats().bytes_received, 7u);
+}
+
+TEST(LoopNet, ChannelIsStablePerId) {
+  LoopNetwork net;
+  auto& a1 = net.channel(NodeId{4});
+  auto& a2 = net.channel(NodeId{4});
+  EXPECT_EQ(&a1, &a2);
+  EXPECT_EQ(a1.id(), (NodeId{4}));
+}
+
+}  // namespace
+}  // namespace phish::net

@@ -1,0 +1,215 @@
+#include "net/sim_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace phish::net {
+namespace {
+
+SimNetParams quiet_params() {
+  SimNetParams p;
+  p.jitter = 0;
+  p.drop_probability = 0.0;
+  return p;
+}
+
+TEST(SimNet, DeliversMessage) {
+  sim::Simulator s;
+  SimNetwork net(s, quiet_params());
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+
+  std::vector<Message> received;
+  b.set_receiver([&](Message&& m) { received.push_back(std::move(m)); });
+
+  Writer w;
+  w.str("steal?");
+  a.send(NodeId{1}, 7, w.take());
+  s.run();
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].src, (NodeId{0}));
+  EXPECT_EQ(received[0].dst, (NodeId{1}));
+  EXPECT_EQ(received[0].type, 7);
+  Reader r(received[0].payload);
+  EXPECT_EQ(r.str(), "steal?");
+}
+
+TEST(SimNet, DeliveryTakesLatencyPlusWireTime) {
+  sim::Simulator s;
+  SimNetParams p = quiet_params();
+  p.latency = 1000;
+  p.bytes_per_second = 1e9;  // 1 byte per ns
+  SimNetwork net(s, p);
+  net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+
+  sim::SimTime arrival = 0;
+  b.set_receiver([&](Message&&) { arrival = s.now(); });
+
+  net.channel(NodeId{0}).send(NodeId{1}, 1, Bytes(500));
+  s.run();
+  EXPECT_EQ(arrival, 1000u + 500u);
+}
+
+TEST(SimNet, JitterIsBoundedAndDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator s;
+    SimNetParams p = quiet_params();
+    p.latency = 100;
+    p.jitter = 50;
+    p.seed = seed;
+    p.bytes_per_second = 1e18;  // negligible wire time
+    SimNetwork net(s, p);
+    net.channel(NodeId{0});
+    auto& b = net.channel(NodeId{1});
+    std::vector<sim::SimTime> arrivals;
+    b.set_receiver([&](Message&&) { arrivals.push_back(s.now()); });
+    for (int i = 0; i < 20; ++i) net.channel(NodeId{0}).send(NodeId{1}, 1, {});
+    s.run();
+    return arrivals;
+  };
+  const auto a1 = run_once(7);
+  const auto a2 = run_once(7);
+  EXPECT_EQ(a1, a2) << "same seed must give identical delivery times";
+  for (auto t : a1) {
+    EXPECT_GE(t, 100u);
+    EXPECT_LE(t, 150u);
+  }
+}
+
+TEST(SimNet, SendCpuCostScalesWithSize) {
+  sim::Simulator s;
+  SimNetParams p = quiet_params();
+  p.send_overhead = 1000;
+  p.bytes_per_second = 1e9;
+  SimNetwork net(s, p);
+  EXPECT_EQ(net.send_cpu_cost(0), 1000u);
+  EXPECT_EQ(net.send_cpu_cost(500), 1000u + 500u);
+  EXPECT_EQ(net.recv_cpu_cost(), p.recv_overhead);
+}
+
+TEST(SimNet, StatsCountSendsAndReceives) {
+  sim::Simulator s;
+  SimNetwork net(s, quiet_params());
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  b.set_receiver([](Message&&) {});
+  a.send(NodeId{1}, 1, Bytes(10));
+  a.send(NodeId{1}, 1, Bytes(20));
+  s.run();
+  EXPECT_EQ(a.stats().messages_sent, 2u);
+  EXPECT_EQ(a.stats().bytes_sent, 30u);
+  EXPECT_EQ(b.stats().messages_received, 2u);
+  EXPECT_EQ(b.stats().bytes_received, 30u);
+  const ChannelStats total = net.total_stats();
+  EXPECT_EQ(total.messages_sent, 2u);
+  EXPECT_EQ(total.messages_received, 2u);
+}
+
+TEST(SimNet, DropProbabilityOneDropsEverything) {
+  sim::Simulator s;
+  SimNetParams p = quiet_params();
+  p.drop_probability = 1.0;
+  SimNetwork net(s, p);
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  int received = 0;
+  b.set_receiver([&](Message&&) { ++received; });
+  for (int i = 0; i < 10; ++i) a.send(NodeId{1}, 1, {});
+  s.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(a.stats().messages_dropped, 10u);
+}
+
+TEST(SimNet, DropProbabilityIsApproximatelyHonored) {
+  sim::Simulator s;
+  SimNetParams p = quiet_params();
+  p.drop_probability = 0.3;
+  SimNetwork net(s, p);
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  int received = 0;
+  b.set_receiver([&](Message&&) { ++received; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) a.send(NodeId{1}, 1, {});
+  s.run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.05);
+}
+
+TEST(SimNet, PartitionSimulatesCrash) {
+  sim::Simulator s;
+  SimNetwork net(s, quiet_params());
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  int received = 0;
+  b.set_receiver([&](Message&&) { ++received; });
+
+  a.send(NodeId{1}, 1, {});
+  s.run();
+  EXPECT_EQ(received, 1);
+
+  net.partition(NodeId{1});
+  EXPECT_TRUE(net.is_partitioned(NodeId{1}));
+  a.send(NodeId{1}, 1, {});
+  s.run();
+  EXPECT_EQ(received, 1);
+
+  net.partition(NodeId{1}, false);
+  a.send(NodeId{1}, 1, {});
+  s.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(SimNet, PartitionDropsInFlightMessages) {
+  sim::Simulator s;
+  SimNetwork net(s, quiet_params());
+  auto& a = net.channel(NodeId{0});
+  auto& b = net.channel(NodeId{1});
+  int received = 0;
+  b.set_receiver([&](Message&&) { ++received; });
+  a.send(NodeId{1}, 1, {});
+  net.partition(NodeId{1});  // dies while the message is on the wire
+  s.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(SimNet, MessageToUnknownNodeIsDropped) {
+  sim::Simulator s;
+  SimNetwork net(s, quiet_params());
+  auto& a = net.channel(NodeId{0});
+  a.send(NodeId{55}, 1, {});
+  EXPECT_NO_THROW(s.run());
+}
+
+TEST(SimNet, NilNodeIdRejected) {
+  sim::Simulator s;
+  SimNetwork net(s, quiet_params());
+  EXPECT_THROW(net.channel(kNilNode), std::invalid_argument);
+}
+
+TEST(SimNet, Cm5LikeParamsAreFaster) {
+  const SimNetParams ws;  // workstation defaults
+  const SimNetParams cm5 = SimNetParams::cm5_like();
+  EXPECT_LT(cm5.send_overhead * 50, ws.send_overhead);
+  EXPECT_LT(cm5.latency * 50, ws.latency);
+  EXPECT_GT(cm5.bytes_per_second, ws.bytes_per_second * 50);
+}
+
+TEST(SimNet, SelfSendDelivers) {
+  sim::Simulator s;
+  SimNetwork net(s, quiet_params());
+  auto& a = net.channel(NodeId{0});
+  int received = 0;
+  a.set_receiver([&](Message&& m) {
+    EXPECT_EQ(m.src, m.dst);
+    ++received;
+  });
+  a.send(NodeId{0}, 1, {});
+  s.run();
+  EXPECT_EQ(received, 1);
+}
+
+}  // namespace
+}  // namespace phish::net

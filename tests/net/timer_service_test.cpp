@@ -1,0 +1,116 @@
+#include "net/timer_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace phish::net {
+namespace {
+
+TEST(SimTimerService, FiresThroughSimulator) {
+  sim::Simulator s;
+  SimTimerService timers(s);
+  bool fired = false;
+  timers.schedule(100, [&] { fired = true; });
+  EXPECT_EQ(timers.now_ns(), 0u);
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(timers.now_ns(), 100u);
+}
+
+TEST(SimTimerService, CancelPreventsFiring) {
+  sim::Simulator s;
+  SimTimerService timers(s);
+  bool fired = false;
+  const TimerToken t = timers.schedule(100, [&] { fired = true; });
+  timers.cancel(t);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(ThreadTimerService, FiresApproximatelyOnTime) {
+  ThreadTimerService timers;
+  std::atomic<bool> fired{false};
+  const std::uint64_t t0 = timers.now_ns();
+  timers.schedule(20'000'000, [&] { fired = true; });  // 20 ms
+  for (int i = 0; i < 200 && !fired; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(fired.load());
+  EXPECT_GE(timers.now_ns() - t0, 19'000'000u);
+}
+
+TEST(ThreadTimerService, CancelBeforeFire) {
+  ThreadTimerService timers;
+  std::atomic<bool> fired{false};
+  const TimerToken t = timers.schedule(50'000'000, [&] { fired = true; });
+  timers.cancel(t);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(ThreadTimerService, CancelAfterFireIsSafe) {
+  ThreadTimerService timers;
+  std::atomic<bool> fired{false};
+  const TimerToken t = timers.schedule(1'000'000, [&] { fired = true; });
+  for (int i = 0; i < 200 && !fired; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(fired.load());
+  EXPECT_NO_THROW(timers.cancel(t));
+  EXPECT_NO_THROW(timers.cancel(TimerToken{}));
+}
+
+TEST(ThreadTimerService, MultipleTimersFireInOrder) {
+  ThreadTimerService timers;
+  std::mutex m;
+  std::vector<int> order;
+  std::atomic<int> fired{0};
+  timers.schedule(30'000'000, [&] {
+    std::lock_guard<std::mutex> l(m);
+    order.push_back(3);
+    ++fired;
+  });
+  timers.schedule(10'000'000, [&] {
+    std::lock_guard<std::mutex> l(m);
+    order.push_back(1);
+    ++fired;
+  });
+  timers.schedule(20'000'000, [&] {
+    std::lock_guard<std::mutex> l(m);
+    order.push_back(2);
+    ++fired;
+  });
+  for (int i = 0; i < 400 && fired < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::lock_guard<std::mutex> l(m);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadTimerService, CallbackCanScheduleMore) {
+  ThreadTimerService timers;
+  std::atomic<int> count{0};
+  std::function<void()> tick = [&] {
+    if (++count < 3) timers.schedule(2'000'000, tick);
+  };
+  timers.schedule(2'000'000, tick);
+  for (int i = 0; i < 400 && count < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadTimerService, DestructionWithPendingTimersIsClean) {
+  std::atomic<bool> fired{false};
+  {
+    ThreadTimerService timers;
+    timers.schedule(10'000'000'000ULL, [&] { fired = true; });  // 10 s
+  }  // destructor must not hang or fire
+  EXPECT_FALSE(fired.load());
+}
+
+}  // namespace
+}  // namespace phish::net

@@ -1,0 +1,119 @@
+// Decoder robustness: every wire decoder must reject or safely absorb
+// arbitrary bytes — a torn or hostile UDP datagram must never crash a
+// worker, the Clearinghouse, or the JobQ.  (The paper's system lived on an
+// open university network; so does ours.)
+#include <gtest/gtest.h>
+
+#include "apps/pfold/pfold.hpp"
+#include "core/jobq.hpp"
+#include "core/protocol.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "util/rng.hpp"
+
+namespace phish {
+namespace {
+
+Bytes random_bytes(Xoshiro256& rng, std::size_t max_len) {
+  Bytes b(rng.below(max_len + 1));
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.below(256));
+  return b;
+}
+
+class FuzzDecode : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDecode, AllDecodersSurviveGarbage) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    const Bytes b = random_bytes(rng, 256);
+    // None of these may crash; they may return nullopt or garbage values.
+    (void)proto::ArgumentMsg::decode(b);
+    (void)proto::DeadMsg::decode(b);
+    (void)proto::MigrateMsg::decode(b);
+    (void)proto::StatsMsg::decode(b);
+    (void)proto::IoMsg::decode(b);
+    (void)proto::Membership::decode(b);
+    (void)proto::StealRequest::decode(b);
+    (void)proto::StealReply::decode(b);
+    (void)JobSpec::decode(b);
+    (void)JobAssignment::decode(b);
+    (void)rt::JobCheckpoint::decode(b);
+    Reader r(b);
+    (void)Closure::decode(r);
+    Reader r2(b);
+    (void)Value::decode(r2);
+  }
+}
+
+TEST_P(FuzzDecode, TruncationsOfValidMessagesAreRejectedOrSafe) {
+  Xoshiro256 rng(GetParam() ^ 0x7777);
+  // Build a valid message of each kind, then decode every prefix.
+  proto::MigrateMsg migrate;
+  migrate.from = net::NodeId{3};
+  Closure c;
+  c.id = ClosureId{net::NodeId{3}, 9};
+  c.task = 1;
+  c.args = {Value(std::int64_t{5}), Value(Bytes{1, 2, 3})};
+  c.filled = {true, true};
+  migrate.closures.push_back(c);
+  const Bytes full = migrate.encode();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<long>(len));
+    EXPECT_FALSE(proto::MigrateMsg::decode(prefix).has_value())
+        << "truncated at " << len;
+  }
+  // And with random corruption of single bytes: decode must not crash, and
+  // if it succeeds the result must still be structurally sane.
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes corrupt = full;
+    corrupt[rng.below(corrupt.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+    auto decoded = proto::MigrateMsg::decode(corrupt);
+    if (decoded) {
+      EXPECT_LE(decoded->closures.size(), 1u << 24);
+    }
+  }
+}
+
+TEST_P(FuzzDecode, GarbageDatagramsDoNotDisturbARunningJob) {
+  // Inject random datagrams (random type, random payload) at every node of
+  // a simulated job while it runs; the job must still produce the exact
+  // answer.
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/6);
+  rt::SimJobConfig cfg;
+  cfg.participants = 3;
+  cfg.seed = GetParam();
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  rt::SimCluster cluster(reg, cfg);
+
+  Xoshiro256 rng(GetParam() ^ 0xabcd);
+  auto& sim = cluster.simulator();
+  auto& net = cluster.network();
+  // Attacker node 99 sprays garbage every 5 ms for the first 300 ms.
+  auto& attacker = net.channel(net::NodeId{99});
+  for (int t = 1; t <= 60; ++t) {
+    sim.schedule_at(static_cast<sim::SimTime>(t) * 5 * sim::kMillisecond,
+                    [&attacker, &rng] {
+                      const net::NodeId target{
+                          static_cast<std::uint32_t>(rng.below(5))};
+                      const auto type =
+                          static_cast<std::uint16_t>(rng.below(0x10000));
+                      Bytes payload(rng.below(64));
+                      for (auto& byte : payload) {
+                        byte = static_cast<std::uint8_t>(rng.below(256));
+                      }
+                      attacker.send(target, type, std::move(payload));
+                    });
+  }
+  const auto result = cluster.run(root, {Value(std::int64_t{12})});
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+            apps::pfold_serial(12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode,
+                         ::testing::Values(1u, 99u, 31337u));
+
+}  // namespace
+}  // namespace phish

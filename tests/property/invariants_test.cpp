@@ -1,0 +1,267 @@
+// Property tests: scheduler invariants that must hold for every workload,
+// policy combination, participant count, and seed.  Parameterized sweeps
+// (INSTANTIATE_TEST_SUITE_P) cover the cross-product.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "runtime/threads/threads_runtime.hpp"
+
+namespace phish::rt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Conservation laws on a clean (fault-free) simulated run.
+// ---------------------------------------------------------------------------
+
+struct CleanRunParams {
+  const char* app;
+  int participants;
+  std::uint64_t seed;
+};
+
+void PrintTo(const CleanRunParams& p, std::ostream* os) {
+  *os << p.app << "/P" << p.participants << "/seed" << p.seed;
+}
+
+class CleanRunInvariants : public ::testing::TestWithParam<CleanRunParams> {
+ protected:
+  static SimJobResult run_case(const CleanRunParams& p) {
+    TaskRegistry reg;
+    TaskId root;
+    std::vector<Value> args;
+    if (std::string(p.app) == "fib") {
+      root = apps::register_fib(reg, /*sequential_cutoff=*/8);
+      args = {Value(std::int64_t{17})};
+    } else if (std::string(p.app) == "nqueens") {
+      root = apps::register_nqueens(reg, /*sequential_rows=*/4);
+      args = {Value(std::int64_t{8})};
+    } else {
+      root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+      args = {Value(std::int64_t{12})};
+    }
+    SimJobConfig cfg;
+    cfg.participants = p.participants;
+    cfg.seed = p.seed;
+    cfg.clearinghouse.detect_failures = false;
+    cfg.worker.heartbeat_period = 0;
+    cfg.worker.update_period = 0;
+    return run_sim_job(reg, root, std::move(args), cfg);
+  }
+};
+
+TEST_P(CleanRunInvariants, ConservationLaws) {
+  const auto r = run_case(GetParam());
+  const auto& a = r.aggregate;
+
+  // Every allocated closure is consumed exactly once: by execution or by
+  // leaving its worker (steal or migration double-count on arrival).
+  EXPECT_EQ(a.closures_created,
+            a.tasks_executed + a.tasks_stolen_from_me + a.tasks_migrated_out);
+
+  // Steals balance: every task surrendered was installed somewhere.
+  EXPECT_EQ(a.tasks_stolen_by_me, a.tasks_stolen_from_me);
+
+  // Nothing left allocated after a clean completion.
+  EXPECT_EQ(a.tasks_in_use, 0u);
+
+  // Non-local synchronizations are a subset of synchronizations.
+  EXPECT_LE(a.non_local_synchs, a.synchronizations);
+
+  // The working set can never exceed total allocations.
+  EXPECT_LE(a.max_tasks_in_use, a.closures_created);
+
+  // No dataflow was lost or duplicated on a clean run.
+  EXPECT_EQ(a.args_duplicate, 0u);
+  EXPECT_EQ(a.args_unknown_closure, 0u);
+  EXPECT_EQ(a.tasks_redone, 0u);
+}
+
+TEST_P(CleanRunInvariants, WorkIsIndependentOfParticipants) {
+  // tasks executed and synchronizations depend only on the program.
+  const auto r = run_case(GetParam());
+  CleanRunParams one = GetParam();
+  one.participants = 1;
+  const auto r1 = run_case(one);
+  EXPECT_EQ(r.aggregate.tasks_executed, r1.aggregate.tasks_executed);
+  EXPECT_EQ(r.aggregate.synchronizations, r1.aggregate.synchronizations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CleanRunInvariants,
+    ::testing::Values(CleanRunParams{"fib", 2, 1},
+                      CleanRunParams{"fib", 5, 2},
+                      CleanRunParams{"nqueens", 3, 3},
+                      CleanRunParams{"nqueens", 8, 4},
+                      CleanRunParams{"pfold", 2, 5},
+                      CleanRunParams{"pfold", 4, 6},
+                      CleanRunParams{"pfold", 7, 7},
+                      CleanRunParams{"pfold", 12, 8}));
+
+// ---------------------------------------------------------------------------
+// Policy matrix: every scheduling-policy combination computes the right
+// answer (they differ only in efficiency).
+// ---------------------------------------------------------------------------
+
+struct PolicyParams {
+  ExecOrder exec;
+  StealOrder steal;
+  VictimPolicy victim;
+};
+
+void PrintTo(const PolicyParams& p, std::ostream* os) {
+  *os << (p.exec == ExecOrder::kLifo ? "LIFO" : "FIFO") << "-"
+      << (p.steal == StealOrder::kFifo ? "FIFOsteal" : "LIFOsteal") << "-"
+      << static_cast<int>(p.victim);
+}
+
+class PolicyMatrix : public ::testing::TestWithParam<PolicyParams> {};
+
+TEST_P(PolicyMatrix, PfoldExactUnderAnyPolicy) {
+  const PolicyParams p = GetParam();
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  SimJobConfig cfg;
+  cfg.participants = 5;
+  cfg.seed = 42;
+  cfg.exec_order = p.exec;
+  cfg.steal_order = p.steal;
+  cfg.worker.victim_policy = p.victim;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  const auto result = run_sim_job(reg, root, {Value(std::int64_t{12})}, cfg);
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+            apps::pfold_serial(12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyMatrix,
+    ::testing::Values(
+        PolicyParams{ExecOrder::kLifo, StealOrder::kFifo,
+                     VictimPolicy::kUniformRandom},
+        PolicyParams{ExecOrder::kLifo, StealOrder::kLifo,
+                     VictimPolicy::kUniformRandom},
+        PolicyParams{ExecOrder::kFifo, StealOrder::kFifo,
+                     VictimPolicy::kUniformRandom},
+        PolicyParams{ExecOrder::kFifo, StealOrder::kLifo,
+                     VictimPolicy::kUniformRandom},
+        PolicyParams{ExecOrder::kLifo, StealOrder::kFifo,
+                     VictimPolicy::kRoundRobin},
+        PolicyParams{ExecOrder::kLifo, StealOrder::kFifo,
+                     VictimPolicy::kFixedFirst},
+        PolicyParams{ExecOrder::kLifo, StealOrder::kFifo,
+                     VictimPolicy::kClusterLocal}));
+
+// ---------------------------------------------------------------------------
+// Fault-injection sweep: a worker crash at ANY point of the job must leave
+// the answer exact (redo + idempotent slots).
+// ---------------------------------------------------------------------------
+
+class CrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashSweep, HistogramExactWithCrashAtVaryingTimes) {
+  const int crash_ms = GetParam();
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  SimJobConfig cfg;
+  cfg.participants = 4;
+  cfg.seed = 1000 + static_cast<std::uint64_t>(crash_ms);
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1500 * sim::kMillisecond;
+  cfg.clearinghouse.failure_check_period_ns = 300 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 150 * sim::kMillisecond;
+  cfg.max_sim_time = 3'600 * sim::kSecond;
+  SimCluster cluster(reg, cfg);
+  cluster.crash_at(3, static_cast<sim::SimTime>(crash_ms) *
+                          sim::kMillisecond);
+  const auto result = cluster.run(root, {Value(std::int64_t{13})});
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+            apps::pfold_serial(13))
+      << "crash at " << crash_ms << " ms corrupted the result";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrashSweep,
+                         ::testing::Values(25, 50, 80, 120, 200, 400));
+
+// ---------------------------------------------------------------------------
+// Owner-reclaim sweep: migration at any point preserves exactness.
+// ---------------------------------------------------------------------------
+
+class ReclaimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReclaimSweep, HistogramExactWithReclaimAtVaryingTimes) {
+  const int reclaim_ms = GetParam();
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  SimJobConfig cfg;
+  cfg.participants = 4;
+  cfg.seed = 2000 + static_cast<std::uint64_t>(reclaim_ms);
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  SimCluster cluster(reg, cfg);
+  cluster.reclaim_at(2, static_cast<sim::SimTime>(reclaim_ms) *
+                            sim::kMillisecond);
+  const auto result = cluster.run(root, {Value(std::int64_t{13})});
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+            apps::pfold_serial(13));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReclaimSweep,
+                         ::testing::Values(20, 40, 70, 110, 180, 300));
+
+// ---------------------------------------------------------------------------
+// Grain sweep on the threads runtime: every cutoff computes the same value,
+// and coarser grain means fewer tasks.
+// ---------------------------------------------------------------------------
+
+class GrainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrainSweep, FibExactAtEveryGrain) {
+  const int cutoff = GetParam();
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg, cutoff);
+  ThreadsConfig cfg;
+  cfg.workers = 2;
+  ThreadsRuntime rt(reg, cfg);
+  const auto result = rt.run(root, {Value(std::int64_t{21})});
+  EXPECT_EQ(result.value.as_int(), apps::fib_serial(21));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GrainSweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 15, 21, 50));
+
+// ---------------------------------------------------------------------------
+// Seed sweep: determinism holds for every seed, and the answer never
+// depends on the seed.
+// ---------------------------------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, DeterministicAndSeedIndependentAnswer) {
+  const std::uint64_t seed = GetParam();
+  auto run_once = [&] {
+    TaskRegistry reg;
+    const TaskId root = apps::register_nqueens(reg, /*sequential_rows=*/4);
+    SimJobConfig cfg;
+    cfg.participants = 5;
+    cfg.seed = seed;
+    cfg.clearinghouse.detect_failures = false;
+    cfg.worker.heartbeat_period = 0;
+    cfg.worker.update_period = 0;
+    return run_sim_job(reg, root, {Value(std::int64_t{8})}, cfg);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.value.as_int(), 92);
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SeedSweep,
+                         ::testing::Values(1, 7, 42, 1994, 0xdeadbeef));
+
+}  // namespace
+}  // namespace phish::rt

@@ -1,0 +1,203 @@
+// Checkpointing (paper §6 future work): snapshot a running job at a
+// quiescent simulated instant, restore it into a brand-new cluster, and
+// finish with exactly the right answer.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+
+namespace phish::rt {
+namespace {
+
+SimJobConfig checkpoint_config(int participants, std::uint64_t seed) {
+  SimJobConfig cfg;
+  cfg.participants = participants;
+  cfg.seed = seed;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  return cfg;
+}
+
+TEST(WorkerCoreState, ExportImportRoundTrip) {
+  TaskRegistry reg;
+  const TaskId leaf = reg.add("leaf", [](Context& cx, Closure& c) {
+    cx.send(c.cont, c.args[0]);
+  });
+  const TaskId sum = reg.add("sum", [](Context& cx, Closure& c) {
+    cx.send(c.cont, c.args[0].as_int() + c.args[1].as_int());
+  });
+
+  WorkerCore::Hooks hooks;
+  std::vector<Value> sent;
+  hooks.send_remote = [&](const ContRef&, Value v) {
+    sent.push_back(std::move(v));
+  };
+  const ContRef out{ClosureId{net::NodeId{9}, 1}, 0, net::NodeId{9}};
+
+  WorkerCore original(net::NodeId{0}, reg, hooks);
+  const ClosureId join = original.create_waiting(sum, 2, out, 0);
+  original.deliver_remote(join, 0, Value(std::int64_t{10}));
+  original.spawn(leaf, {Value(std::int64_t{1})}, original.slot_ref(join, 1),
+                 0);
+  original.spawn(leaf, {Value(std::int64_t{7})}, out, 0);
+
+  const Bytes state = original.export_state();
+
+  WorkerCore restored(net::NodeId{0}, reg, hooks);
+  restored.import_state(state);
+  EXPECT_EQ(restored.ready_count(), 2u);
+  EXPECT_EQ(restored.waiting_count(), 1u);
+
+  // Execution after restore completes the graph exactly as the original
+  // would have: leaf(7) -> out, leaf(1) fills the join, sum -> out.
+  while (auto c = restored.pop_for_execution()) restored.execute(*c);
+  ASSERT_EQ(sent.size(), 2u);
+  // LIFO: head task is leaf(7) (pushed last).
+  EXPECT_EQ(sent[0].as_int(), 7);
+  EXPECT_EQ(sent[1].as_int(), 11);
+}
+
+TEST(WorkerCoreState, ImportRequiresFreshCore) {
+  TaskRegistry reg;
+  const TaskId leaf = reg.add("leaf", [](Context&, Closure&) {});
+  WorkerCore::Hooks hooks;
+  hooks.send_remote = [](const ContRef&, Value) {};
+  WorkerCore a(net::NodeId{0}, reg, hooks);
+  a.spawn(leaf, {}, ContRef{ClosureId{net::NodeId{9}, 1}, 0, net::NodeId{9}},
+          0);
+  const Bytes state = a.export_state();
+  EXPECT_THROW(a.import_state(state), std::logic_error);
+}
+
+TEST(WorkerCoreState, ImportRejectsForeignState) {
+  TaskRegistry reg;
+  WorkerCore::Hooks hooks;
+  hooks.send_remote = [](const ContRef&, Value) {};
+  WorkerCore a(net::NodeId{0}, reg, hooks);
+  WorkerCore b(net::NodeId{1}, reg, hooks);
+  EXPECT_THROW(b.import_state(a.export_state()), std::invalid_argument);
+}
+
+TEST(WorkerCoreState, ImportPreservesIdAllocator) {
+  // Closures created after a restore must not collide with checkpointed ids.
+  TaskRegistry reg;
+  const TaskId leaf = reg.add("leaf", [](Context&, Closure&) {});
+  WorkerCore::Hooks hooks;
+  hooks.send_remote = [](const ContRef&, Value) {};
+  WorkerCore a(net::NodeId{0}, reg, hooks);
+  const ContRef out{ClosureId{net::NodeId{9}, 1}, 0, net::NodeId{9}};
+  for (int i = 0; i < 5; ++i) a.spawn(leaf, {}, out, 0);
+  WorkerCore b(net::NodeId{0}, reg, hooks);
+  b.import_state(a.export_state());
+  const ClosureId fresh = b.create_waiting(leaf, 1, out, 0);
+  EXPECT_GT(fresh.seq, 5u);
+}
+
+TEST(JobCheckpointCodec, RoundTrip) {
+  JobCheckpoint c;
+  c.taken_at = 12345;
+  c.worker_states = {Bytes{1, 2, 3}, Bytes{}, Bytes{9}};
+  const auto back = JobCheckpoint::decode(c.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->taken_at, 12345u);
+  EXPECT_EQ(back->worker_states, c.worker_states);
+}
+
+TEST(JobCheckpointCodec, RejectsCorrupt) {
+  JobCheckpoint c;
+  c.worker_states = {Bytes{1}};
+  Bytes b = c.encode();
+  b.pop_back();
+  EXPECT_FALSE(JobCheckpoint::decode(b).has_value());
+}
+
+TEST(Checkpoint, SnapshotAndResumeYieldsExactResult) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  const Histogram expected = apps::pfold_serial(14);
+
+  // Phase 1: run with a checkpoint request mid-job, to completion (the
+  // original cluster finishing proves the snapshot is non-destructive).
+  SimCluster original(reg, checkpoint_config(4, 71));
+  original.request_checkpoint_at(100 * sim::kMillisecond);
+  const auto full = original.run(root, {Value(std::int64_t{14})});
+  EXPECT_EQ(apps::decode_histogram(full.value.as_blob()), expected);
+  ASSERT_TRUE(original.checkpoint().has_value())
+      << "job too short for the checkpoint? increase polymer";
+
+  // The snapshot must hold real mid-job state.
+  std::size_t total_state_bytes = 0;
+  for (const auto& s : original.checkpoint()->worker_states) {
+    total_state_bytes += s.size();
+  }
+  EXPECT_GT(total_state_bytes, 100u);
+
+  // Phase 2: restore into a brand-new cluster (fresh simulator, network,
+  // clearinghouse) and run only the remainder.
+  SimCluster restored(reg, checkpoint_config(4, 72));
+  const auto resumed = restored.resume(*original.checkpoint());
+  EXPECT_EQ(apps::decode_histogram(resumed.value.as_blob()), expected);
+  // The remainder is strictly less work than the whole job.
+  EXPECT_LT(resumed.aggregate.tasks_executed, full.aggregate.tasks_executed);
+}
+
+TEST(Checkpoint, SerializedCheckpointSurvivesEncodeDecode) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, 5);
+  const Histogram expected = apps::pfold_serial(13);
+
+  SimCluster original(reg, checkpoint_config(3, 81));
+  original.request_checkpoint_at(50 * sim::kMillisecond);
+  original.run(root, {Value(std::int64_t{13})});
+  ASSERT_TRUE(original.checkpoint().has_value());
+
+  // Simulate writing to disk and reading back.
+  const Bytes on_disk = original.checkpoint()->encode();
+  const auto loaded = JobCheckpoint::decode(on_disk);
+  ASSERT_TRUE(loaded.has_value());
+
+  SimCluster restored(reg, checkpoint_config(3, 82));
+  const auto resumed = restored.resume(*loaded);
+  EXPECT_EQ(apps::decode_histogram(resumed.value.as_blob()), expected);
+}
+
+TEST(Checkpoint, ResumeRejectsWrongParticipantCount) {
+  TaskRegistry reg;
+  apps::register_pfold(reg, 5);
+  JobCheckpoint c;
+  c.worker_states = {Bytes{}, Bytes{}};
+  SimCluster cluster(reg, checkpoint_config(3, 91));
+  EXPECT_THROW(cluster.resume(c), std::invalid_argument);
+}
+
+TEST(Checkpoint, NoCheckpointAfterJobCompletes) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/10);
+  SimCluster cluster(reg, checkpoint_config(2, 95));
+  // Request far beyond the job's end.
+  cluster.request_checkpoint_at(3'000 * sim::kSecond);
+  cluster.run(root, {Value(std::int64_t{12})});
+  EXPECT_FALSE(cluster.checkpoint().has_value());
+}
+
+TEST(Checkpoint, RestoredRunIsDeterministic) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, 5);
+  SimCluster original(reg, checkpoint_config(4, 101));
+  original.request_checkpoint_at(80 * sim::kMillisecond);
+  original.run(root, {Value(std::int64_t{14})});
+  ASSERT_TRUE(original.checkpoint().has_value());
+
+  auto resume_once = [&](std::uint64_t seed) {
+    SimCluster c(reg, checkpoint_config(4, seed));
+    return c.resume(*original.checkpoint());
+  };
+  const auto a = resume_once(500);
+  const auto b = resume_once(500);
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.aggregate.tasks_executed, b.aggregate.tasks_executed);
+}
+
+}  // namespace
+}  // namespace phish::rt

@@ -1,0 +1,164 @@
+// Application I/O through the Clearinghouse (Context::print) and macro
+// scheduling under the load-threshold idleness policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/apps.hpp"
+#include "core/local_runner.hpp"
+#include "runtime/simdist/macro_cluster.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "runtime/threads/threads_runtime.hpp"
+
+namespace phish::rt {
+namespace {
+
+TEST(TaskIo, PrintReachesClearinghouseIoLog) {
+  // A task announces progress with ctx.print; the line must arrive in the
+  // Clearinghouse's I/O log ("a user need only watch the Clearinghouse to
+  // see job output").
+  TaskRegistry reg;
+  const TaskId chatty = reg.add("chatty", [](Context& cx, Closure& c) {
+    cx.print("working on it");
+    cx.print("done");
+    cx.send(c.cont, Value(std::int64_t{1}));
+  });
+  SimJobConfig cfg;
+  cfg.participants = 1;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  cfg.net.jitter = 0;
+  const auto result = run_sim_job(reg, chatty, {}, cfg);
+  // Datagram arrival order depends on wire time (payload size), so assert
+  // contents, not order — like real UDP, like real Phish.
+  ASSERT_EQ(result.io_log.size(), 2u);
+  std::vector<std::string> texts{result.io_log[0].text,
+                                 result.io_log[1].text};
+  std::sort(texts.begin(), texts.end());
+  EXPECT_EQ(texts, (std::vector<std::string>{"done", "working on it"}));
+  // I/O is attributed to the emitting worker.
+  EXPECT_EQ(result.io_log[0].who, (net::NodeId{1}));
+}
+
+TEST(TaskIo, PrintTimingFollowsTaskCost) {
+  // Output buffered during a task leaves when the task's simulated cost
+  // elapses, like every other send.
+  TaskRegistry reg;
+  const TaskId slow = reg.add("slow", [](Context& cx, Closure& c) {
+    cx.charge(1'000'000);  // 2 simulated seconds at 2 us/unit
+    cx.print("finished the slow part");
+    cx.send(c.cont, Value());
+  });
+  SimJobConfig cfg;
+  cfg.participants = 1;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  const auto result = run_sim_job(reg, slow, {}, cfg);
+  ASSERT_EQ(result.io_log.size(), 1u);
+  EXPECT_GT(result.makespan_seconds, 1.9);
+}
+
+TEST(TaskIo, LocalRunnerPrintsToStdoutWithoutCrashing) {
+  TaskRegistry reg;
+  const TaskId t = reg.add("t", [](Context& cx, Closure& c) {
+    cx.print("local runner output path");
+    cx.send(c.cont, Value(std::int64_t{7}));
+  });
+  LocalRunner runner(reg);
+  EXPECT_EQ(runner.run(t, {}).as_int(), 7);
+}
+
+TEST(TaskIo, ThreadsRuntimePrintGoesToStdout) {
+  TaskRegistry reg;
+  const TaskId t = reg.add("t", [](Context& cx, Closure& c) {
+    cx.print("threads runtime output path");
+    cx.send(c.cont, Value(std::int64_t{7}));
+  });
+  ThreadsConfig cfg;
+  cfg.workers = 2;
+  ThreadsRuntime rt(reg, cfg);
+  EXPECT_EQ(rt.run(t, {}).value.as_int(), 7);
+}
+
+TEST(MacroPolicies, LoadThresholdPolicyHarvestsIdleMachines) {
+  TaskRegistry reg;
+  apps::register_pfold(reg, /*sequential_monomers=*/6);
+  MacroConfig cfg;
+  cfg.seed = 7;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.manager.logout_poll = 2 * sim::kSecond;
+  cfg.manager.job_poll = sim::kSecond;
+  cfg.manager.owner_poll = 200 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 2 * sim::kSecond;
+  cfg.worker.max_failed_steals = 100;
+  MacroCluster cluster(reg, cfg);
+  // Permissive threshold: background load never blocks harvesting.
+  cluster.add_workstation(
+      OwnerTrace::always_idle(),
+      std::make_unique<LoadBelowThreshold>(/*threshold=*/0.9,
+                                           /*background_load=*/0.1,
+                                           /*seed=*/1));
+  cluster.add_workstation(
+      OwnerTrace::always_idle(),
+      std::make_unique<LoadBelowThreshold>(0.9, 0.1, 2));
+  cluster.submit_job("pfold", "pfold.root", {Value(std::int64_t{13})}, 0);
+  const auto records = cluster.run();
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_EQ(apps::decode_histogram(records[0].result.as_blob()),
+            apps::pfold_serial(13));
+  EXPECT_GT(records[0].assignments, 0u);
+}
+
+TEST(MacroPolicies, StrictLoadThresholdKeepsMachinesOut) {
+  TaskRegistry reg;
+  apps::register_fib(reg, /*sequential_cutoff=*/12);
+  MacroConfig cfg;
+  cfg.seed = 11;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.manager.logout_poll = 2 * sim::kSecond;
+  cfg.manager.job_poll = sim::kSecond;
+  cfg.manager.owner_poll = 200 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 0;
+  MacroCluster cluster(reg, cfg);
+  // Impossible threshold: machine is never deemed idle.
+  cluster.add_workstation(
+      OwnerTrace::always_idle(),
+      std::make_unique<LoadBelowThreshold>(/*threshold=*/0.0,
+                                           /*background_load=*/0.5, 1));
+  cluster.submit_job("fib", "fib.task", {Value(std::int64_t{20})}, 0);
+  const auto records = cluster.run();
+  EXPECT_TRUE(records[0].completed);  // first worker finishes alone
+  EXPECT_EQ(cluster.manager(0).stats().workers_started, 0u);
+}
+
+TEST(MacroPolicies, LateJobGetsPickedUpByWaitingManagers) {
+  // Managers idle before any job exists must keep polling (the 30-second
+  // loop) and pick the job up when it appears.
+  TaskRegistry reg;
+  apps::register_pfold(reg, 6);
+  MacroConfig cfg;
+  cfg.seed = 13;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.manager.logout_poll = 2 * sim::kSecond;
+  cfg.manager.job_poll = sim::kSecond;
+  cfg.manager.owner_poll = 200 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.max_failed_steals = 100;
+  MacroCluster cluster(reg, cfg);
+  cluster.add_workstation(OwnerTrace::always_idle());
+  cluster.add_workstation(OwnerTrace::always_idle());
+  // Job appears 10 simulated seconds in.
+  cluster.submit_job("late", "pfold.root", {Value(std::int64_t{13})},
+                     10 * sim::kSecond);
+  const auto records = cluster.run();
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_GE(sim::to_seconds(records[0].completed_at), 10.0);
+  const auto q = cluster.jobq().stats();
+  EXPECT_GT(q.empty_replies, 5u) << "managers polled an empty pool first";
+}
+
+}  // namespace
+}  // namespace phish::rt

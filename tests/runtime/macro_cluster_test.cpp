@@ -1,0 +1,156 @@
+// Macro-level scheduling end-to-end: PhishJobQ + PhishJobManager +
+// Clearinghouse + workers on the simulated network.
+#include "runtime/simdist/macro_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+
+namespace phish::rt {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+MacroConfig fast_macro_config(std::uint64_t seed = 1) {
+  MacroConfig cfg;
+  cfg.seed = seed;
+  cfg.clearinghouse.detect_failures = false;
+  // Scale the daemon polling down so tests run quickly in simulated time.
+  cfg.manager.logout_poll = 2 * kSecond;
+  cfg.manager.job_poll = kSecond;
+  cfg.manager.owner_poll = 200 * kMillisecond;
+  cfg.worker.heartbeat_period = kSecond;
+  // Modest steal patience so workers leave finished jobs promptly.
+  cfg.worker.max_failed_steals = 50;
+  cfg.worker.steal_retry_delay = 5 * kMillisecond;
+  cfg.max_sim_time = 3600 * kSecond;
+  return cfg;
+}
+
+TaskRegistry& shared_registry() {
+  static TaskRegistry* reg = [] {
+    auto* r = new TaskRegistry();
+    apps::register_fib(*r, /*sequential_cutoff=*/12);
+    apps::register_pfold(*r, /*sequential_monomers=*/5);
+    apps::register_nqueens(*r, /*sequential_rows=*/4);
+    return r;
+  }();
+  return *reg;
+}
+
+TEST(MacroCluster, SingleJobIdleNetworkCompletes) {
+  MacroCluster cluster(shared_registry(), fast_macro_config(3));
+  for (int i = 0; i < 4; ++i) {
+    cluster.add_workstation(OwnerTrace::always_idle());
+  }
+  cluster.submit_job("pfold-13", "pfold.root", {Value(std::int64_t{13})}, 0);
+  const auto records = cluster.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_EQ(apps::decode_histogram(records[0].result.as_blob()),
+            apps::pfold_serial(13));
+  // Idle workstations joined the job via the JobQ.
+  EXPECT_GT(records[0].assignments, 0u);
+}
+
+TEST(MacroCluster, BusyWorkstationsNeverJoin) {
+  MacroCluster cluster(shared_registry(), fast_macro_config(5));
+  cluster.add_workstation(OwnerTrace::always_busy());
+  cluster.add_workstation(OwnerTrace::always_busy());
+  cluster.submit_job("fib-20", "fib.task", {Value(std::int64_t{20})}, 0);
+  const auto records = cluster.run();
+  EXPECT_TRUE(records[0].completed);  // the first worker alone finishes it
+  EXPECT_EQ(records[0].assignments, 0u) << "owners kept their machines";
+  EXPECT_EQ(cluster.manager(0).stats().workers_started, 0u);
+}
+
+TEST(MacroCluster, TwoJobsSpaceShare) {
+  MacroCluster cluster(shared_registry(), fast_macro_config(7));
+  for (int i = 0; i < 6; ++i) {
+    cluster.add_workstation(OwnerTrace::always_idle());
+  }
+  cluster.submit_job("pfold-a", "pfold.root", {Value(std::int64_t{13})}, 0);
+  cluster.submit_job("pfold-b", "pfold.root", {Value(std::int64_t{13})},
+                     10 * kMillisecond);
+  const auto records = cluster.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_TRUE(records[1].completed);
+  // Round-robin spread the workstations over both jobs.
+  EXPECT_GT(records[0].assignments, 0u);
+  EXPECT_GT(records[1].assignments, 0u);
+}
+
+TEST(MacroCluster, OwnerReturnEvictsWorkerAndJobStillCompletes) {
+  MacroCluster cluster(shared_registry(), fast_macro_config(11));
+  // Workstation 0 idle at first, owner returns at t=1s and stays.
+  cluster.add_workstation(
+      OwnerTrace::intervals({{1 * kSecond, 100000 * kSecond}}));
+  cluster.add_workstation(OwnerTrace::always_idle());
+  cluster.submit_job("pfold", "pfold.root", {Value(std::int64_t{14})}, 0);
+  const auto records = cluster.run();
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_EQ(apps::decode_histogram(records[0].result.as_blob()),
+            apps::pfold_serial(14));
+  // Workstation 0's manager must have reclaimed its worker when the owner
+  // returned (if it had received one by then).
+  const auto& stats0 = cluster.manager(0).stats();
+  if (stats0.workers_started > 0) {
+    EXPECT_GE(stats0.workers_reclaimed + stats0.workers_self_terminated,
+              stats0.workers_started);
+  }
+}
+
+TEST(MacroCluster, WorkstationMovesOnAfterJobCompletes) {
+  MacroCluster cluster(shared_registry(), fast_macro_config(13));
+  for (int i = 0; i < 3; ++i) {
+    cluster.add_workstation(OwnerTrace::always_idle());
+  }
+  cluster.submit_job("first", "pfold.root", {Value(std::int64_t{13})}, 0);
+  cluster.submit_job("second", "pfold.root", {Value(std::int64_t{13})},
+                     20 * kMillisecond);
+  const auto records = cluster.run();
+  EXPECT_TRUE(records[0].completed && records[1].completed);
+  // At least one workstation served both jobs over its lifetime.
+  std::uint64_t total_workers = 0;
+  for (int i = 0; i < 3; ++i) {
+    total_workers += cluster.manager(i).stats().workers_started;
+  }
+  EXPECT_GT(total_workers, 2u);
+}
+
+TEST(MacroCluster, JobQStatsConsistent) {
+  MacroCluster cluster(shared_registry(), fast_macro_config(17));
+  cluster.add_workstation(OwnerTrace::always_idle());
+  cluster.submit_job("fib", "fib.task", {Value(std::int64_t{22})}, 0);
+  cluster.run();
+  const auto stats = cluster.jobq().stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.assignments + stats.empty_replies, stats.requests);
+}
+
+TEST(MacroCluster, RejectsLateConfiguration) {
+  MacroCluster cluster(shared_registry(), fast_macro_config(19));
+  cluster.add_workstation(OwnerTrace::always_idle());
+  cluster.submit_job("fib", "fib.task", {Value(std::int64_t{15})}, 0);
+  cluster.run();
+  EXPECT_THROW(cluster.add_workstation(OwnerTrace::always_idle()),
+               std::logic_error);
+  EXPECT_THROW(cluster.submit_job("x", "fib.task", {}, 0), std::logic_error);
+}
+
+TEST(MacroCluster, RunUntilWithoutCompletion) {
+  MacroCluster cluster(shared_registry(), fast_macro_config(23));
+  cluster.add_workstation(OwnerTrace::always_busy());
+  // Submit a job whose only first-worker must do everything; run_until a
+  // short deadline and observe it incomplete.
+  cluster.submit_job("pfold-15", "pfold.root", {Value(std::int64_t{15})}, 0);
+  const auto records = cluster.run_until(5 * kMillisecond);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].completed);
+}
+
+}  // namespace
+}  // namespace phish::rt

@@ -1,0 +1,129 @@
+#include "runtime/simdist/owner_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phish::rt {
+namespace {
+
+using sim::kSecond;
+
+TEST(OwnerTrace, AlwaysIdle) {
+  const OwnerTrace t = OwnerTrace::always_idle();
+  EXPECT_FALSE(t.busy_at(0));
+  EXPECT_FALSE(t.busy_at(1000 * kSecond));
+  EXPECT_FALSE(t.next_transition_after(0).has_value());
+  EXPECT_EQ(t.busy_time(100 * kSecond), 0u);
+}
+
+TEST(OwnerTrace, AlwaysBusy) {
+  const OwnerTrace t = OwnerTrace::always_busy();
+  EXPECT_TRUE(t.busy_at(0));
+  EXPECT_TRUE(t.busy_at(1000 * kSecond));
+  EXPECT_EQ(t.busy_time(100 * kSecond), 100 * kSecond);
+}
+
+TEST(OwnerTrace, IntervalsBoundaries) {
+  const OwnerTrace t =
+      OwnerTrace::intervals({{10 * kSecond, 20 * kSecond}});
+  EXPECT_FALSE(t.busy_at(10 * kSecond - 1));
+  EXPECT_TRUE(t.busy_at(10 * kSecond));  // closed start
+  EXPECT_TRUE(t.busy_at(20 * kSecond - 1));
+  EXPECT_FALSE(t.busy_at(20 * kSecond));  // open end
+}
+
+TEST(OwnerTrace, IntervalsSortAndMerge) {
+  const OwnerTrace t = OwnerTrace::intervals({
+      {30 * kSecond, 40 * kSecond},
+      {10 * kSecond, 20 * kSecond},
+      {15 * kSecond, 25 * kSecond},  // overlaps the second
+      {50 * kSecond, 50 * kSecond},  // empty: dropped
+  });
+  ASSERT_EQ(t.busy_intervals().size(), 2u);
+  EXPECT_EQ(t.busy_intervals()[0].first, 10 * kSecond);
+  EXPECT_EQ(t.busy_intervals()[0].second, 25 * kSecond);
+  EXPECT_EQ(t.busy_intervals()[1].first, 30 * kSecond);
+}
+
+TEST(OwnerTrace, NextTransition) {
+  const OwnerTrace t = OwnerTrace::intervals({{10 * kSecond, 20 * kSecond}});
+  EXPECT_EQ(t.next_transition_after(0), 10 * kSecond);
+  EXPECT_EQ(t.next_transition_after(10 * kSecond), 20 * kSecond);
+  EXPECT_EQ(t.next_transition_after(15 * kSecond), 20 * kSecond);
+  EXPECT_FALSE(t.next_transition_after(20 * kSecond).has_value());
+}
+
+TEST(OwnerTrace, BusyTime) {
+  const OwnerTrace t = OwnerTrace::intervals(
+      {{10 * kSecond, 20 * kSecond}, {30 * kSecond, 50 * kSecond}});
+  EXPECT_EQ(t.busy_time(15 * kSecond), 5 * kSecond);
+  EXPECT_EQ(t.busy_time(25 * kSecond), 10 * kSecond);
+  EXPECT_EQ(t.busy_time(40 * kSecond), 20 * kSecond);
+  EXPECT_EQ(t.busy_time(100 * kSecond), 30 * kSecond);
+}
+
+TEST(OwnerTrace, NineToFive) {
+  const sim::SimTime day = 24 * 3600 * kSecond;
+  const OwnerTrace t = OwnerTrace::nine_to_five(
+      day, 9 * 3600 * kSecond, 17 * 3600 * kSecond, 2);
+  EXPECT_FALSE(t.busy_at(8 * 3600 * kSecond));
+  EXPECT_TRUE(t.busy_at(12 * 3600 * kSecond));
+  EXPECT_FALSE(t.busy_at(18 * 3600 * kSecond));
+  EXPECT_TRUE(t.busy_at(day + 12 * 3600 * kSecond));
+  EXPECT_EQ(t.busy_time(2 * day), 2 * 8 * 3600 * kSecond);
+}
+
+TEST(OwnerTrace, PoissonSessionsDeterministic) {
+  const auto a = OwnerTrace::poisson_sessions(42, 600 * kSecond,
+                                              1200 * kSecond,
+                                              24 * 3600 * kSecond);
+  const auto b = OwnerTrace::poisson_sessions(42, 600 * kSecond,
+                                              1200 * kSecond,
+                                              24 * 3600 * kSecond);
+  EXPECT_EQ(a.busy_intervals(), b.busy_intervals());
+  EXPECT_FALSE(a.busy_intervals().empty());
+}
+
+TEST(OwnerTrace, PoissonSessionsRoughDutyCycle) {
+  // mean gap 10 min, mean session 20 min -> ~2/3 busy on average.
+  const sim::SimTime horizon = 14 * 24 * 3600 * kSecond;
+  const auto t = OwnerTrace::poisson_sessions(7, 600 * kSecond,
+                                              1200 * kSecond, horizon);
+  const double duty = static_cast<double>(t.busy_time(horizon)) /
+                      static_cast<double>(horizon);
+  EXPECT_GT(duty, 0.5);
+  EXPECT_LT(duty, 0.8);
+}
+
+TEST(IdlenessPolicies, NobodyLoggedIn) {
+  const NobodyLoggedIn policy;
+  const OwnerTrace t = OwnerTrace::intervals({{10 * kSecond, 20 * kSecond}});
+  EXPECT_TRUE(policy.idle(t, 0));
+  EXPECT_FALSE(policy.idle(t, 15 * kSecond));
+  EXPECT_TRUE(policy.idle(t, 25 * kSecond));
+  EXPECT_STREQ(policy.name(), "nobody-logged-in");
+}
+
+TEST(IdlenessPolicies, LoadBelowThresholdRespectsOwner) {
+  // Whatever the background load, an owner at the machine means busy.
+  const LoadBelowThreshold policy(0.99, 0.0, 1);
+  const OwnerTrace t = OwnerTrace::always_busy();
+  EXPECT_FALSE(policy.idle(t, 5 * kSecond));
+}
+
+TEST(IdlenessPolicies, LoadBelowThresholdFiltersBackgroundLoad) {
+  // Background load uniform in [0, 1.0]; threshold 0.5 -> idle about half
+  // the time; threshold 2.0 -> always idle.
+  const OwnerTrace t = OwnerTrace::always_idle();
+  const LoadBelowThreshold strict(0.5, 0.5, 99);
+  const LoadBelowThreshold lax(2.0, 0.5, 99);
+  int idle_strict = 0;
+  for (int s = 0; s < 1000; ++s) {
+    if (strict.idle(t, static_cast<sim::SimTime>(s) * kSecond)) ++idle_strict;
+    EXPECT_TRUE(lax.idle(t, static_cast<sim::SimTime>(s) * kSecond));
+  }
+  EXPECT_GT(idle_strict, 300);
+  EXPECT_LT(idle_strict, 700);
+}
+
+}  // namespace
+}  // namespace phish::rt

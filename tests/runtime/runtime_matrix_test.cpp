@@ -1,0 +1,98 @@
+// Runtime x application x worker-count matrix (TEST_P): every application
+// produces its serial ground truth on every runtime at every parallelism.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "runtime/threads/threads_runtime.hpp"
+
+namespace phish::rt {
+namespace {
+
+struct MatrixParams {
+  const char* app;
+  int workers;
+};
+
+void PrintTo(const MatrixParams& p, std::ostream* os) {
+  *os << p.app << "/w" << p.workers;
+}
+
+class ThreadsMatrix : public ::testing::TestWithParam<MatrixParams> {};
+
+TEST_P(ThreadsMatrix, AppProducesGroundTruth) {
+  const MatrixParams p = GetParam();
+  TaskRegistry reg;
+  ThreadsConfig cfg;
+  cfg.workers = p.workers;
+  const std::string app = p.app;
+  if (app == "fib") {
+    const TaskId root = apps::register_fib(reg, 8);
+    ThreadsRuntime rt(reg, cfg);
+    EXPECT_EQ(rt.run(root, {Value(std::int64_t{19})}).value.as_int(),
+              apps::fib_serial(19));
+  } else if (app == "nqueens") {
+    const TaskId root = apps::register_nqueens(reg, 4);
+    ThreadsRuntime rt(reg, cfg);
+    EXPECT_EQ(rt.run(root, {Value(std::int64_t{8})}).value.as_int(), 92);
+  } else if (app == "pfold") {
+    const TaskId root = apps::register_pfold(reg, 5);
+    ThreadsRuntime rt(reg, cfg);
+    EXPECT_EQ(apps::decode_histogram(
+                  rt.run(root, {Value(std::int64_t{11})}).value.as_blob()),
+              apps::pfold_serial(11));
+  } else {  // ray
+    const apps::Scene scene = apps::make_default_scene();
+    const TaskId root = apps::register_ray(reg, scene, 32, 24, 64);
+    ThreadsRuntime rt(reg, cfg);
+    EXPECT_EQ(apps::decode_image_blob(rt.run(root, {}).value.as_blob()),
+              apps::render_serial(scene, 32, 24));
+  }
+}
+
+class SimdistMatrix : public ::testing::TestWithParam<MatrixParams> {};
+
+TEST_P(SimdistMatrix, AppProducesGroundTruth) {
+  const MatrixParams p = GetParam();
+  TaskRegistry reg;
+  SimJobConfig cfg;
+  cfg.participants = p.workers;
+  cfg.seed = 1234;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  const std::string app = p.app;
+  if (app == "fib") {
+    const TaskId root = apps::register_fib(reg, 8);
+    const auto r = run_sim_job(reg, root, {Value(std::int64_t{19})}, cfg);
+    EXPECT_EQ(r.value.as_int(), apps::fib_serial(19));
+  } else if (app == "nqueens") {
+    const TaskId root = apps::register_nqueens(reg, 4);
+    const auto r = run_sim_job(reg, root, {Value(std::int64_t{8})}, cfg);
+    EXPECT_EQ(r.value.as_int(), 92);
+  } else if (app == "pfold") {
+    const TaskId root = apps::register_pfold(reg, 5);
+    const auto r = run_sim_job(reg, root, {Value(std::int64_t{11})}, cfg);
+    EXPECT_EQ(apps::decode_histogram(r.value.as_blob()),
+              apps::pfold_serial(11));
+  } else {  // ray: pixel blobs as dataflow over the simulated network
+    const apps::Scene scene = apps::make_default_scene();
+    const TaskId root = apps::register_ray(reg, scene, 32, 24, 64);
+    const auto r = run_sim_job(reg, root, {}, cfg);
+    EXPECT_EQ(apps::decode_image_blob(r.value.as_blob()),
+              apps::render_serial(scene, 32, 24));
+  }
+}
+
+constexpr MatrixParams kMatrix[] = {
+    {"fib", 1},     {"fib", 3},     {"fib", 6},
+    {"nqueens", 1}, {"nqueens", 3}, {"nqueens", 6},
+    {"pfold", 1},   {"pfold", 3},   {"pfold", 6},
+    {"ray", 1},     {"ray", 3},     {"ray", 6},
+};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThreadsMatrix, ::testing::ValuesIn(kMatrix));
+INSTANTIATE_TEST_SUITE_P(Sweep, SimdistMatrix, ::testing::ValuesIn(kMatrix));
+
+}  // namespace
+}  // namespace phish::rt

@@ -1,0 +1,183 @@
+#include "runtime/threads/threads_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+
+namespace phish::rt {
+namespace {
+
+using apps::fib_serial;
+
+ThreadsConfig config_for(int workers) {
+  ThreadsConfig c;
+  c.workers = workers;
+  return c;
+}
+
+TEST(ThreadsRuntime, SingleWorkerFib) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg);
+  ThreadsRuntime rt(reg, config_for(1));
+  const auto result = rt.run(root, {Value(std::int64_t{15})});
+  EXPECT_EQ(result.value.as_int(), fib_serial(15));
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  EXPECT_EQ(result.aggregate.tasks_stolen_from_me, 0u) << "no one to steal";
+}
+
+TEST(ThreadsRuntime, MultiWorkerFibCorrect) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg);
+  for (int workers : {2, 3, 4, 8}) {
+    ThreadsRuntime rt(reg, config_for(workers));
+    const auto result = rt.run(root, {Value(std::int64_t{17})});
+    EXPECT_EQ(result.value.as_int(), fib_serial(17)) << workers << " workers";
+    EXPECT_EQ(result.per_worker.size(), static_cast<std::size_t>(workers));
+  }
+}
+
+TEST(ThreadsRuntime, RunByName) {
+  TaskRegistry reg;
+  apps::register_fib(reg);
+  ThreadsRuntime rt(reg, config_for(2));
+  EXPECT_EQ(rt.run("fib.task", {Value(std::int64_t{12})}).value.as_int(),
+            fib_serial(12));
+}
+
+TEST(ThreadsRuntime, ReusableAcrossJobs) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg);
+  ThreadsRuntime rt(reg, config_for(2));
+  for (std::int64_t n = 5; n <= 12; ++n) {
+    EXPECT_EQ(rt.run(root, {Value(n)}).value.as_int(), fib_serial(n));
+  }
+}
+
+TEST(ThreadsRuntime, NQueensAcrossWorkerCounts) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_nqueens(reg, /*sequential_rows=*/4);
+  for (int workers : {1, 2, 4}) {
+    ThreadsRuntime rt(reg, config_for(workers));
+    EXPECT_EQ(rt.run(root, {Value(std::int64_t{9})}).value.as_int(), 352)
+        << workers << " workers";
+  }
+}
+
+TEST(ThreadsRuntime, PfoldHistogramMatchesSerial) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  const Histogram expected = apps::pfold_serial(12);
+  ThreadsRuntime rt(reg, config_for(4));
+  const auto result = rt.run(root, {Value(std::int64_t{12})});
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()), expected);
+}
+
+TEST(ThreadsRuntime, RayImageMatchesSerial) {
+  TaskRegistry reg;
+  const apps::Scene scene = apps::make_default_scene();
+  const TaskId root = apps::register_ray(reg, scene, 40, 30, 64);
+  const apps::Image expected = apps::render_serial(scene, 40, 30);
+  ThreadsRuntime rt(reg, config_for(3));
+  const auto result = rt.run(root, {});
+  EXPECT_EQ(apps::decode_image_blob(result.value.as_blob()), expected);
+}
+
+TEST(ThreadsRuntime, StatsConserveTaskCounts) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg);
+  ThreadsRuntime rt(reg, config_for(4));
+  const auto result = rt.run(root, {Value(std::int64_t{16})});
+  // Every closure created is executed exactly once, globally.  A stolen
+  // closure is allocation-counted on both its victim and its thief, so
+  // subtract the steals.
+  EXPECT_EQ(result.aggregate.tasks_executed,
+            result.aggregate.closures_created -
+                result.aggregate.tasks_stolen_by_me);
+  // Steals balance.
+  EXPECT_EQ(result.aggregate.tasks_stolen_by_me,
+            result.aggregate.tasks_stolen_from_me);
+  // Exactly one non-local send per remote dependency; at minimum the result.
+  EXPECT_GE(result.aggregate.non_local_synchs, 1u);
+}
+
+TEST(ThreadsRuntime, WorkIsActuallyDistributed) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg);
+  ThreadsRuntime rt(reg, config_for(4));
+  const auto result = rt.run(root, {Value(std::int64_t{20})});
+  int workers_that_executed = 0;
+  for (const auto& s : result.per_worker) {
+    if (s.tasks_executed > 0) ++workers_that_executed;
+  }
+  EXPECT_GE(workers_that_executed, 2)
+      << "stealing must spread a 20-deep fib tree across workers";
+  EXPECT_GT(result.aggregate.tasks_stolen_by_me, 0u);
+}
+
+TEST(ThreadsRuntime, MaxTasksInUseStaysSmallWithManyWorkers) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg);
+  ThreadsRuntime rt(reg, config_for(4));
+  const auto result = rt.run(root, {Value(std::int64_t{18})});
+  EXPECT_GT(result.aggregate.tasks_executed, 10000u);
+  EXPECT_LT(result.aggregate.max_tasks_in_use, 120u)
+      << "the paper's memory-locality claim: working set ~ depth, not size";
+}
+
+TEST(ThreadsRuntime, PhishOverheadModeStillCorrect) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg);
+  ThreadsConfig cfg = config_for(2);
+  cfg.phish_overheads = true;
+  ThreadsRuntime rt(reg, cfg);
+  EXPECT_EQ(rt.run(root, {Value(std::int64_t{14})}).value.as_int(),
+            fib_serial(14));
+}
+
+TEST(ThreadsRuntime, MalformedGraphThrowsInsteadOfHanging) {
+  TaskRegistry reg;
+  const TaskId bad = reg.add("bad.noop", [](Context&, Closure&) {
+    // Never sends to its continuation.
+  });
+  ThreadsRuntime rt(reg, config_for(2));
+  EXPECT_THROW(rt.run(bad, {}), std::runtime_error);
+  // The runtime must remain usable afterwards.
+  const TaskId good = reg.add("good.id", [](Context& cx, Closure& c) {
+    cx.send(c.cont, c.args[0]);
+  });
+  EXPECT_EQ(rt.run(good, {Value(std::int64_t{3})}).value.as_int(), 3);
+}
+
+TEST(ThreadsRuntime, RejectsZeroWorkers) {
+  TaskRegistry reg;
+  EXPECT_THROW(ThreadsRuntime(reg, config_for(0)), std::invalid_argument);
+}
+
+TEST(ThreadsRuntime, AblationPoliciesStillCorrect) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg);
+  for (ExecOrder eo : {ExecOrder::kLifo, ExecOrder::kFifo}) {
+    for (StealOrder so : {StealOrder::kFifo, StealOrder::kLifo}) {
+      ThreadsConfig cfg = config_for(2);
+      cfg.exec_order = eo;
+      cfg.steal_order = so;
+      ThreadsRuntime rt(reg, cfg);
+      EXPECT_EQ(rt.run(root, {Value(std::int64_t{13})}).value.as_int(),
+                fib_serial(13));
+    }
+  }
+}
+
+TEST(ThreadsRuntime, DeterministicSingleWorkerStats) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, 4);
+  ThreadsRuntime rt(reg, config_for(1));
+  const auto r1 = rt.run(root, {Value(std::int64_t{10})});
+  const auto r2 = rt.run(root, {Value(std::int64_t{10})});
+  EXPECT_EQ(r1.aggregate.tasks_executed, r2.aggregate.tasks_executed);
+  EXPECT_EQ(r1.aggregate.synchronizations, r2.aggregate.synchronizations);
+  EXPECT_EQ(r1.aggregate.max_tasks_in_use, r2.aggregate.max_tasks_in_use);
+}
+
+}  // namespace
+}  // namespace phish::rt

@@ -1,0 +1,65 @@
+// Concurrency stress for the threads runtime: many back-to-back multi-worker
+// jobs with mixed workloads, hunting for races in the inbox/steal/quiescence
+// machinery.  Single-core hosts interleave aggressively under contention, so
+// repetition is an effective race probe here.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "runtime/threads/threads_runtime.hpp"
+
+namespace phish::rt {
+namespace {
+
+TEST(ThreadsStress, RepeatedJobsManyWorkers) {
+  TaskRegistry reg;
+  const TaskId fib_root = apps::register_fib(reg, /*sequential_cutoff=*/10);
+  const TaskId pfold_root = apps::register_pfold(reg, 5);
+  ThreadsConfig cfg;
+  cfg.workers = 6;
+  ThreadsRuntime rt(reg, cfg);
+  const Histogram pfold_expected = apps::pfold_serial(11);
+  for (int round = 0; round < 15; ++round) {
+    const auto fib = rt.run(fib_root, {Value(std::int64_t{18})});
+    ASSERT_EQ(fib.value.as_int(), apps::fib_serial(18)) << round;
+    const auto pf = rt.run(pfold_root, {Value(std::int64_t{11})});
+    ASSERT_EQ(apps::decode_histogram(pf.value.as_blob()), pfold_expected)
+        << round;
+    // Clean termination every round.
+    ASSERT_EQ(fib.aggregate.tasks_in_use, 0u);
+    ASSERT_EQ(pf.aggregate.tasks_in_use, 0u);
+  }
+}
+
+TEST(ThreadsStress, AlternatingRuntimesShareNothing) {
+  // Two independent runtimes over the same registry must not interfere.
+  TaskRegistry reg;
+  const TaskId root = apps::register_nqueens(reg, 4);
+  ThreadsConfig a_cfg, b_cfg;
+  a_cfg.workers = 2;
+  b_cfg.workers = 5;
+  ThreadsRuntime a(reg, a_cfg), b(reg, b_cfg);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.run(root, {Value(std::int64_t{8})}).value.as_int(), 92);
+    EXPECT_EQ(b.run(root, {Value(std::int64_t{8})}).value.as_int(), 92);
+  }
+}
+
+TEST(ThreadsStress, FineGrainManyWorkersNoLostWakeups) {
+  // Fully fine-grained fib floods the inboxes with cross-worker argument
+  // sends; quiescence must never be declared spuriously and no argument may
+  // be dropped.
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg, 0);
+  ThreadsConfig cfg;
+  cfg.workers = 8;
+  ThreadsRuntime rt(reg, cfg);
+  for (int round = 0; round < 5; ++round) {
+    const auto r = rt.run(root, {Value(std::int64_t{16})});
+    ASSERT_EQ(r.value.as_int(), apps::fib_serial(16)) << round;
+    ASSERT_EQ(r.aggregate.args_unknown_closure, 0u);
+    ASSERT_EQ(r.aggregate.args_duplicate, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace phish::rt

@@ -1,0 +1,119 @@
+// Heterogeneous network topology + cluster-local stealing (paper §6).
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+
+namespace phish::rt {
+namespace {
+
+TEST(Topology, ClusterAssignmentDefaultsToZero) {
+  sim::Simulator s;
+  net::SimNetwork net(s, {});
+  EXPECT_EQ(net.cluster_of(net::NodeId{5}), 0);
+  net.set_cluster(net::NodeId{5}, 2);
+  EXPECT_EQ(net.cluster_of(net::NodeId{5}), 2);
+  EXPECT_EQ(net.cluster_of(net::NodeId{4}), 0);
+}
+
+TEST(Topology, InterClusterMessagesUseSlowLink) {
+  sim::Simulator s;
+  net::SimNetParams p;
+  p.jitter = 0;
+  p.latency = 1000;
+  p.inter_cluster_latency = 50'000;
+  p.bytes_per_second = 1e9;
+  p.inter_cluster_bytes_per_second = 1e6;
+  net::SimNetwork net(s, p);
+  net.set_cluster(net::NodeId{1}, 1);
+
+  sim::SimTime local_arrival = 0, remote_arrival = 0;
+  auto& n0 = net.channel(net::NodeId{0});
+  auto& n1 = net.channel(net::NodeId{1});
+  auto& n2 = net.channel(net::NodeId{2});
+  n1.set_receiver([&](net::Message&&) { remote_arrival = s.now(); });
+  n2.set_receiver([&](net::Message&&) { local_arrival = s.now(); });
+
+  n0.send(net::NodeId{2}, 1, Bytes(1000));  // same cluster (0)
+  n0.send(net::NodeId{1}, 1, Bytes(1000));  // crosses the cut
+  s.run();
+
+  EXPECT_EQ(local_arrival, 1000u + 1000u);          // 1 us wire at 1 GB/s
+  EXPECT_EQ(remote_arrival, 50'000u + 1'000'000u);  // 1 ms wire at 1 MB/s
+  EXPECT_EQ(net.inter_cluster_messages(), 1u);
+}
+
+TEST(Topology, InFlightCounterTracksWire) {
+  sim::Simulator s;
+  net::SimNetParams p;
+  p.jitter = 0;
+  net::SimNetwork net(s, p);
+  auto& n0 = net.channel(net::NodeId{0});
+  auto& n1 = net.channel(net::NodeId{1});
+  n1.set_receiver([](net::Message&&) {});
+  EXPECT_EQ(net.messages_in_flight(), 0u);
+  n0.send(net::NodeId{1}, 1, {});
+  n0.send(net::NodeId{1}, 1, {});
+  EXPECT_EQ(net.messages_in_flight(), 2u);
+  s.run();
+  EXPECT_EQ(net.messages_in_flight(), 0u);
+}
+
+TEST(Topology, DroppedMessagesDoNotLeakInFlight) {
+  sim::Simulator s;
+  net::SimNetParams p;
+  p.jitter = 0;
+  p.drop_probability = 1.0;
+  net::SimNetwork net(s, p);
+  auto& n0 = net.channel(net::NodeId{0});
+  net.channel(net::NodeId{1}).set_receiver([](net::Message&&) {});
+  n0.send(net::NodeId{1}, 1, {});
+  s.run();
+  EXPECT_EQ(net.messages_in_flight(), 0u);
+}
+
+TEST(Topology, ClusterLocalJobStillExact) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/6);
+  SimJobConfig cfg;
+  cfg.participants = 6;
+  cfg.seed = 5;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 0;
+  cfg.worker.victim_policy = VictimPolicy::kClusterLocal;
+  cfg.worker_clusters = {0, 0, 0, 1, 1, 1};
+  cfg.net.inter_cluster_latency = 20 * sim::kMillisecond;
+  cfg.net.inter_cluster_bytes_per_second = 1e5;
+  const auto result = rt::run_sim_job(reg, root, {Value(std::int64_t{13})},
+                                      cfg);
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+            apps::pfold_serial(13));
+  EXPECT_GT(result.inter_cluster_messages, 0u)
+      << "work must still cross the cut at least once (root in cluster 0)";
+}
+
+TEST(Topology, ClusterLocalReducesCutTraffic) {
+  auto run_with = [&](VictimPolicy policy) {
+    TaskRegistry reg;
+    const TaskId root = apps::register_pfold(reg, 5);
+    SimJobConfig cfg;
+    cfg.participants = 8;
+    cfg.seed = 9;
+    cfg.clearinghouse.detect_failures = false;
+    cfg.worker.heartbeat_period = 0;
+    cfg.worker.update_period = 0;
+    cfg.worker.victim_policy = policy;
+    cfg.worker_clusters = {0, 0, 0, 0, 1, 1, 1, 1};
+    cfg.net.inter_cluster_latency = 20 * sim::kMillisecond;
+    cfg.net.inter_cluster_bytes_per_second = 1.25e5;
+    return rt::run_sim_job(reg, root, {Value(std::int64_t{15})}, cfg);
+  };
+  const auto flat = run_with(VictimPolicy::kUniformRandom);
+  const auto local = run_with(VictimPolicy::kClusterLocal);
+  EXPECT_EQ(flat.value.as_blob(), local.value.as_blob());
+  EXPECT_LT(local.inter_cluster_messages, flat.inter_cluster_messages);
+}
+
+}  // namespace
+}  // namespace phish::rt

@@ -1,0 +1,189 @@
+#include "serial/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace phish {
+namespace {
+
+TEST(Buffer, RoundTripPrimitives) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, RoundTripStringsAndBlobs) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  const Bytes blob{1, 2, 3, 255};
+  w.blob(blob.data(), blob.size());
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.blob(), blob);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[1], 0x03);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Buffer, ExtremeValues) {
+  Writer w;
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.i64(std::numeric_limits<std::int64_t>::max());
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, UnderflowSetsFailedState) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // underflow
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+  // Once failed, everything returns zero values.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Buffer, TruncatedBlobFails) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8(1);     // but only 1 does
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Buffer, EmptyReaderIsDone) {
+  Reader r(nullptr, 0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Buffer, RemainingTracksPosition) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Buffer, RawAppendsWithoutPrefix) {
+  Writer inner;
+  inner.u16(0x1234);
+  Writer outer;
+  outer.raw(inner.bytes());
+  Reader r(outer.bytes());
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Buffer, TakeMovesBytes) {
+  Writer w;
+  w.u8(9);
+  Bytes b = w.take();
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 9);
+}
+
+TEST(Buffer, FuzzRoundTripRandomSequences) {
+  // Property test: any sequence of typed writes reads back identically.
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    Writer w;
+    std::vector<int> kinds;
+    std::vector<std::uint64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+    const int ops = static_cast<int>(rng.below(20)) + 1;
+    for (int i = 0; i < ops; ++i) {
+      const int kind = static_cast<int>(rng.below(3));
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0: {
+          const std::uint64_t v = rng.next();
+          ints.push_back(v);
+          w.u64(v);
+          break;
+        }
+        case 1: {
+          const double v = rng.uniform() * 1e12 - 5e11;
+          doubles.push_back(v);
+          w.f64(v);
+          break;
+        }
+        case 2: {
+          std::string s;
+          const auto len = rng.below(64);
+          for (std::uint64_t j = 0; j < len; ++j) {
+            s.push_back(static_cast<char>(rng.below(256)));
+          }
+          strings.push_back(s);
+          w.str(s);
+          break;
+        }
+      }
+    }
+    Reader r(w.bytes());
+    std::size_t ii = 0, di = 0, si = 0;
+    for (int kind : kinds) {
+      switch (kind) {
+        case 0: ASSERT_EQ(r.u64(), ints[ii++]); break;
+        case 1: ASSERT_DOUBLE_EQ(r.f64(), doubles[di++]); break;
+        case 2: ASSERT_EQ(r.str(), strings[si++]); break;
+      }
+    }
+    ASSERT_TRUE(r.done());
+  }
+}
+
+}  // namespace
+}  // namespace phish

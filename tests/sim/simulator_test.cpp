@@ -1,0 +1,248 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace phish::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(5, [&] { order.push_back(1); });
+  s.schedule(5, [&] { order.push_back(2); });
+  s.schedule(5, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NowAdvancesDuringCallback) {
+  Simulator s;
+  SimTime seen = 0;
+  s.schedule(42, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  std::vector<SimTime> times;
+  s.schedule(10, [&] {
+    times.push_back(s.now());
+    s.schedule(10, [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  SimTime seen = 0;
+  s.schedule(10, [&] {
+    s.schedule_at(100, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator s;
+  s.schedule(50, [&] {
+    EXPECT_THROW(s.schedule_at(10, [] {}), std::logic_error);
+  });
+  s.run();
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceIsFalse) {
+  Simulator s;
+  const EventId id = s.schedule(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  s.run();
+}
+
+TEST(Simulator, CancelInvalidIdIsFalse) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(EventId{}));
+  EXPECT_FALSE(s.cancel(EventId{9999}));
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RunWithLimitStopsEarly) {
+  Simulator s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.schedule(i + 1, [&] { ++count; });
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.run(), 7u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilFiresUpToDeadlineInclusive) {
+  Simulator s;
+  std::vector<int> fired;
+  s.schedule(10, [&] { fired.push_back(10); });
+  s.schedule(20, [&] { fired.push_back(20); });
+  s.schedule(30, [&] { fired.push_back(30); });
+  s.run_until(20);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(s.now(), 20u);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500u);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHead) {
+  Simulator s;
+  bool fired_late = false;
+  const EventId id = s.schedule(5, [] { FAIL() << "cancelled event fired"; });
+  s.schedule(10, [&] { fired_late = true; });
+  s.cancel(id);
+  s.run_until(10);
+  EXPECT_TRUE(fired_late);
+}
+
+TEST(Simulator, EventsFiredCounts) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_fired(), 5u);
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  Simulator s;
+  const EventId a = s.schedule(1, [] {});
+  s.schedule(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator s;
+  SimTime last = 0;
+  int count = 0;
+  for (int i = 1000; i >= 1; --i) {
+    s.schedule(static_cast<SimTime>(i * 3 % 997), [&, i] {
+      EXPECT_GE(s.now(), last);
+      last = s.now();
+      ++count;
+      (void)i;
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+  Simulator s;
+  std::vector<SimTime> ticks;
+  PeriodicTimer t(s, 100, [&] { ticks.push_back(s.now()); });
+  t.start();
+  s.run_until(350);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(PeriodicTimer, InitialDelayDiffersFromPeriod) {
+  Simulator s;
+  std::vector<SimTime> ticks;
+  PeriodicTimer t(s, 100, [&] { ticks.push_back(s.now()); });
+  t.start(/*initial_delay=*/10);
+  s.run_until(250);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 110, 210}));
+}
+
+TEST(PeriodicTimer, StopHaltsTicks) {
+  Simulator s;
+  int ticks = 0;
+  PeriodicTimer t(s, 10, [&] { ++ticks; });
+  t.start();
+  s.schedule(35, [&] { t.stop(); });
+  s.run_until(1000);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, StopFromWithinTick) {
+  Simulator s;
+  int ticks = 0;
+  PeriodicTimer t(s, 10, [&] {
+    if (++ticks == 2) t.stop();
+  });
+  t.start();
+  s.run_until(1000);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimer, RestartAfterStop) {
+  Simulator s;
+  int ticks = 0;
+  PeriodicTimer t(s, 10, [&] { ++ticks; });
+  t.start();
+  s.run_until(25);
+  t.stop();
+  s.run_until(100);
+  EXPECT_EQ(ticks, 2);
+  t.start();
+  s.run_until(135);
+  EXPECT_EQ(ticks, 5);  // ticks at 110, 120, 130
+}
+
+TEST(PeriodicTimer, SetPeriodTakesEffectNextTick) {
+  Simulator s;
+  std::vector<SimTime> ticks;
+  PeriodicTimer t(s, 10, [&] { ticks.push_back(s.now()); });
+  t.start();
+  s.schedule(15, [&] { t.set_period(50); });
+  s.run_until(130);
+  // Ticks at 10, 20 (already armed), then every 50: 70, 120.
+  EXPECT_EQ(ticks, (std::vector<SimTime>{10, 20, 70, 120}));
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMillisecond), 1e-3);
+  EXPECT_DOUBLE_EQ(to_seconds(kMicrosecond), 1e-6);
+  EXPECT_EQ(from_seconds(2.5), 2'500'000'000ull);
+}
+
+}  // namespace
+}  // namespace phish::sim

@@ -1,0 +1,100 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace phish {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make({"--workers=8", "--name=pfold"});
+  EXPECT_EQ(f.get_int("workers", 1), 8);
+  EXPECT_EQ(f.get_string("name", ""), "pfold");
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f = make({"--workers", "16"});
+  EXPECT_EQ(f.get_int("workers", 1), 16);
+}
+
+TEST(Flags, BareBooleanFlag) {
+  Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=off"}).get_bool("x", true));
+  EXPECT_THROW(make({"--x=maybe"}).get_bool("x", true), std::invalid_argument);
+}
+
+TEST(Flags, Defaults) {
+  Flags f = make({});
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_EQ(f.get_string("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, DoubleParsing) {
+  Flags f = make({"--p=0.125"});
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0.0), 0.125);
+  EXPECT_THROW(make({"--p=abc"}).get_double("p", 0.0), std::invalid_argument);
+}
+
+TEST(Flags, IntRejectsGarbage) {
+  EXPECT_THROW(make({"--n=12x"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--n="}).get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, NegativeIntegers) {
+  // "--n -5": -5 does not start with "--" so it is consumed as the value.
+  Flags f = make({"--n", "-5"});
+  EXPECT_EQ(f.get_int("n", 0), -5);
+}
+
+TEST(Flags, IntList) {
+  Flags f = make({"--workers=1,2,4,8,16"});
+  const std::vector<std::int64_t> expected{1, 2, 4, 8, 16};
+  EXPECT_EQ(f.get_int_list("workers", {}), expected);
+}
+
+TEST(Flags, IntListDefault) {
+  Flags f = make({});
+  const std::vector<std::int64_t> dflt{3, 5};
+  EXPECT_EQ(f.get_int_list("workers", dflt), dflt);
+}
+
+TEST(Flags, Positional) {
+  Flags f = make({"input.txt", "--n=1", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(Flags, UnusedDetectsTypos) {
+  Flags f = make({"--workrs=8", "--seed=1"});
+  (void)f.get_int("seed", 0);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "workrs");
+}
+
+TEST(Flags, LastValueWins) {
+  Flags f = make({"--n=1", "--n=2"});
+  EXPECT_EQ(f.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace phish

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace phish {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : saved_(log_threshold()) {}
+  ~LogTest() override { set_log_threshold(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, ThresholdRoundTrip) {
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  set_log_threshold(LogLevel::kTrace);
+  EXPECT_EQ(log_threshold(), LogLevel::kTrace);
+}
+
+TEST_F(LogTest, SuppressedMessagesDoNotFormat) {
+  set_log_threshold(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  PHISH_LOG(kDebug) << "value=" << expensive();
+  // The stream argument IS evaluated (C++ semantics), but nothing is
+  // emitted; what we can assert is that logging below threshold is safe.
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, EmittingAboveThresholdDoesNotCrash) {
+  set_log_threshold(LogLevel::kTrace);
+  PHISH_LOG(kTrace) << "trace line " << 1;
+  PHISH_LOG(kError) << "error line " << 2.5 << " mixed " << "types";
+  SUCCEED();
+}
+
+TEST_F(LogTest, ConcurrentEmissionIsSafe) {
+  set_log_threshold(LogLevel::kOff);  // keep stderr clean; path still runs
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        PHISH_LOG(kError) << "thread " << t << " iteration " << i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace phish

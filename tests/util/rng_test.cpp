@@ -1,0 +1,136 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace phish {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for splitmix64 with seed 0 (widely published).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Mix64, IsPureFunction) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound) << "bound=" << bound;
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, RangeIsInclusive) {
+  Xoshiro256 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all five values should appear";
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Xoshiro256, ChanceFrequencyMatchesP) {
+  Xoshiro256 rng(29);
+  const int n = 50000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Xoshiro256, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(3.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Xoshiro256, ForkIsIndependentAndReproducible) {
+  Xoshiro256 parent(99);
+  Xoshiro256 child1 = parent.fork(1);
+  Xoshiro256 child1_again = Xoshiro256(99).fork(1);
+  Xoshiro256 child2 = parent.fork(2);
+  EXPECT_EQ(child1.next(), child1_again.next());
+  EXPECT_NE(child1.next(), child2.next());
+}
+
+TEST(Xoshiro256, UniformVictimSelectionIsRoughlyUniform) {
+  // Mirrors how the micro scheduler picks steal victims.
+  Xoshiro256 rng(1234);
+  constexpr int kVictims = 8;
+  std::vector<int> counts(kVictims, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(kVictims)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / kVictims, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace phish

@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace phish {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownSequence) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  Xoshiro256 rng(42);
+  StreamingStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0 - 50.0;
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmptyIsIdentity) {
+  StreamingStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+
+  StreamingStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(-1);
+  h.add(7, 10);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(-1), 1u);
+  EXPECT_EQ(h.count(7), 10u);
+  EXPECT_EQ(h.count(999), 0u);
+  EXPECT_EQ(h.total(), 13u);
+  EXPECT_EQ(h.distinct(), 3u);
+}
+
+TEST(Histogram, MergePreservesTotals) {
+  Histogram a, b;
+  a.add(1, 5);
+  a.add(2, 2);
+  b.add(2, 3);
+  b.add(9, 1);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(2), 5u);
+  EXPECT_EQ(a.count(9), 1u);
+  EXPECT_EQ(a.total(), 11u);
+}
+
+TEST(Histogram, EqualityIsStructural) {
+  Histogram a, b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(1);
+  EXPECT_EQ(a, b);
+  b.add(1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Histogram, ToStringIsSortedByKey) {
+  Histogram h;
+  h.add(5);
+  h.add(-3, 2);
+  h.add(0);
+  EXPECT_EQ(h.to_string(), "-3:2 0:1 5:1");
+}
+
+TEST(Log2Histogram, BucketOf) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(Log2Histogram::bucket_of(1ULL << 63), 64);
+  EXPECT_LT(Log2Histogram::bucket_of(~0ULL), Log2Histogram::kBuckets);
+}
+
+TEST(Log2Histogram, TotalAndQuantile) {
+  Log2Histogram h;
+  for (std::uint64_t i = 0; i < 100; ++i) h.add(i);
+  EXPECT_EQ(h.total(), 100u);
+  // Median of 0..99 is <= 63 (bucket upper bound for bucket of ~50).
+  EXPECT_LE(h.quantile_upper_bound(0.5), 127u);
+  EXPECT_GE(h.quantile_upper_bound(0.99), 63u);
+}
+
+}  // namespace
+}  // namespace phish

@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace phish {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"app", "slowdown"});
+  t.add_row({"fib", "5.90"});
+  t.add_row({"ray", "1.04"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("app"), std::string::npos);
+  EXPECT_NE(s.find("slowdown"), std::string::npos);
+  EXPECT_NE(s.find("fib"), std::string::npos);
+  EXPECT_NE(s.find("5.90"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"x", "y"});
+  t.add_row({"long-value", "1"});
+  t.add_row({"s", "2"});
+  const std::string s = t.to_string();
+  // Every line should place column 2 at the same offset.
+  const auto first_line_end = s.find('\n');
+  const std::string header = s.substr(0, first_line_end);
+  EXPECT_GE(header.size(), std::string("long-value  y").size() - 1);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.5, 2), "1.50");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::num(std::int64_t{-7}), "-7");
+}
+
+TEST(TextTable, EmptyTableStillRendersHeader) {
+  TextTable t({"col"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phish
