@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_exec_order"
+  "../bench/ablate_exec_order.pdb"
+  "CMakeFiles/ablate_exec_order.dir/ablate_exec_order.cpp.o"
+  "CMakeFiles/ablate_exec_order.dir/ablate_exec_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_exec_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

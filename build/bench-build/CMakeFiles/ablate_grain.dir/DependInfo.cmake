@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_grain.cpp" "bench-build/CMakeFiles/ablate_grain.dir/ablate_grain.cpp.o" "gcc" "bench-build/CMakeFiles/ablate_grain.dir/ablate_grain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/phish_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/phish_rt_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/phish_rt_simdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/phish_rt_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phish_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/phish_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/phish_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phish_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_grain"
+  "../bench/ablate_grain.pdb"
+  "CMakeFiles/ablate_grain.dir/ablate_grain.cpp.o"
+  "CMakeFiles/ablate_grain.dir/ablate_grain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_heterogeneity"
+  "../bench/ablate_heterogeneity.pdb"
+  "CMakeFiles/ablate_heterogeneity.dir/ablate_heterogeneity.cpp.o"
+  "CMakeFiles/ablate_heterogeneity.dir/ablate_heterogeneity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_macro_sharing"
+  "../bench/ablate_macro_sharing.pdb"
+  "CMakeFiles/ablate_macro_sharing.dir/ablate_macro_sharing.cpp.o"
+  "CMakeFiles/ablate_macro_sharing.dir/ablate_macro_sharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_macro_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_steal_budget"
+  "../bench/ablate_steal_budget.pdb"
+  "CMakeFiles/ablate_steal_budget.dir/ablate_steal_budget.cpp.o"
+  "CMakeFiles/ablate_steal_budget.dir/ablate_steal_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_steal_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_steal_order"
+  "../bench/ablate_steal_order.pdb"
+  "CMakeFiles/ablate_steal_order.dir/ablate_steal_order.cpp.o"
+  "CMakeFiles/ablate_steal_order.dir/ablate_steal_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_steal_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

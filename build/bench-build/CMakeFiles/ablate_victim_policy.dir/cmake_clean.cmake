@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_victim_policy"
+  "../bench/ablate_victim_policy.pdb"
+  "CMakeFiles/ablate_victim_policy.dir/ablate_victim_policy.cpp.o"
+  "CMakeFiles/ablate_victim_policy.dir/ablate_victim_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_victim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/deque_micro"
+  "../bench/deque_micro.pdb"
+  "CMakeFiles/deque_micro.dir/deque_micro.cpp.o"
+  "CMakeFiles/deque_micro.dir/deque_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deque_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pfold_time"
+  "../bench/fig4_pfold_time.pdb"
+  "CMakeFiles/fig4_pfold_time.dir/fig4_pfold_time.cpp.o"
+  "CMakeFiles/fig4_pfold_time.dir/fig4_pfold_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pfold_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

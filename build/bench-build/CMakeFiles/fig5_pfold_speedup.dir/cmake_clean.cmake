@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_pfold_speedup"
+  "../bench/fig5_pfold_speedup.pdb"
+  "CMakeFiles/fig5_pfold_speedup.dir/fig5_pfold_speedup.cpp.o"
+  "CMakeFiles/fig5_pfold_speedup.dir/fig5_pfold_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pfold_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

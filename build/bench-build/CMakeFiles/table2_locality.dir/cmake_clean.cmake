@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_locality"
+  "../bench/table2_locality.pdb"
+  "CMakeFiles/table2_locality.dir/table2_locality.cpp.o"
+  "CMakeFiles/table2_locality.dir/table2_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/adaptive_cluster"
+  "../examples/adaptive_cluster.pdb"
+  "CMakeFiles/adaptive_cluster.dir/adaptive_cluster.cpp.o"
+  "CMakeFiles/adaptive_cluster.dir/adaptive_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

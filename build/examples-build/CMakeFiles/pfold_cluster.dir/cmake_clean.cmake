@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pfold_cluster"
+  "../examples/pfold_cluster.pdb"
+  "CMakeFiles/pfold_cluster.dir/pfold_cluster.cpp.o"
+  "CMakeFiles/pfold_cluster.dir/pfold_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfold_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

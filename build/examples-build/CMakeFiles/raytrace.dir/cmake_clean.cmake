@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/raytrace"
+  "../examples/raytrace.pdb"
+  "CMakeFiles/raytrace.dir/raytrace.cpp.o"
+  "CMakeFiles/raytrace.dir/raytrace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_apps.dir/fib/fib.cpp.o"
+  "CMakeFiles/phish_apps.dir/fib/fib.cpp.o.d"
+  "CMakeFiles/phish_apps.dir/nqueens/nqueens.cpp.o"
+  "CMakeFiles/phish_apps.dir/nqueens/nqueens.cpp.o.d"
+  "CMakeFiles/phish_apps.dir/pfold/pfold.cpp.o"
+  "CMakeFiles/phish_apps.dir/pfold/pfold.cpp.o.d"
+  "CMakeFiles/phish_apps.dir/ray/ray.cpp.o"
+  "CMakeFiles/phish_apps.dir/ray/ray.cpp.o.d"
+  "libphish_apps.a"
+  "libphish_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

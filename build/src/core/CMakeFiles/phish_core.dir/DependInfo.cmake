@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clearinghouse.cpp" "src/core/CMakeFiles/phish_core.dir/clearinghouse.cpp.o" "gcc" "src/core/CMakeFiles/phish_core.dir/clearinghouse.cpp.o.d"
+  "/root/repo/src/core/dsl.cpp" "src/core/CMakeFiles/phish_core.dir/dsl.cpp.o" "gcc" "src/core/CMakeFiles/phish_core.dir/dsl.cpp.o.d"
+  "/root/repo/src/core/jobq.cpp" "src/core/CMakeFiles/phish_core.dir/jobq.cpp.o" "gcc" "src/core/CMakeFiles/phish_core.dir/jobq.cpp.o.d"
+  "/root/repo/src/core/ready_deque.cpp" "src/core/CMakeFiles/phish_core.dir/ready_deque.cpp.o" "gcc" "src/core/CMakeFiles/phish_core.dir/ready_deque.cpp.o.d"
+  "/root/repo/src/core/task_registry.cpp" "src/core/CMakeFiles/phish_core.dir/task_registry.cpp.o" "gcc" "src/core/CMakeFiles/phish_core.dir/task_registry.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/phish_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/phish_core.dir/value.cpp.o.d"
+  "/root/repo/src/core/worker_core.cpp" "src/core/CMakeFiles/phish_core.dir/worker_core.cpp.o" "gcc" "src/core/CMakeFiles/phish_core.dir/worker_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phish_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/phish_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/phish_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

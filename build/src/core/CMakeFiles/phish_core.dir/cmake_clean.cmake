@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_core.dir/clearinghouse.cpp.o"
+  "CMakeFiles/phish_core.dir/clearinghouse.cpp.o.d"
+  "CMakeFiles/phish_core.dir/dsl.cpp.o"
+  "CMakeFiles/phish_core.dir/dsl.cpp.o.d"
+  "CMakeFiles/phish_core.dir/jobq.cpp.o"
+  "CMakeFiles/phish_core.dir/jobq.cpp.o.d"
+  "CMakeFiles/phish_core.dir/ready_deque.cpp.o"
+  "CMakeFiles/phish_core.dir/ready_deque.cpp.o.d"
+  "CMakeFiles/phish_core.dir/task_registry.cpp.o"
+  "CMakeFiles/phish_core.dir/task_registry.cpp.o.d"
+  "CMakeFiles/phish_core.dir/value.cpp.o"
+  "CMakeFiles/phish_core.dir/value.cpp.o.d"
+  "CMakeFiles/phish_core.dir/worker_core.cpp.o"
+  "CMakeFiles/phish_core.dir/worker_core.cpp.o.d"
+  "libphish_core.a"
+  "libphish_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

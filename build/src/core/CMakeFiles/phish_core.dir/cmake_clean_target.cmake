@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphish_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/loop_net.cpp" "src/net/CMakeFiles/phish_net.dir/loop_net.cpp.o" "gcc" "src/net/CMakeFiles/phish_net.dir/loop_net.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/net/CMakeFiles/phish_net.dir/rpc.cpp.o" "gcc" "src/net/CMakeFiles/phish_net.dir/rpc.cpp.o.d"
+  "/root/repo/src/net/sim_net.cpp" "src/net/CMakeFiles/phish_net.dir/sim_net.cpp.o" "gcc" "src/net/CMakeFiles/phish_net.dir/sim_net.cpp.o.d"
+  "/root/repo/src/net/timer_service.cpp" "src/net/CMakeFiles/phish_net.dir/timer_service.cpp.o" "gcc" "src/net/CMakeFiles/phish_net.dir/timer_service.cpp.o.d"
+  "/root/repo/src/net/udp_net.cpp" "src/net/CMakeFiles/phish_net.dir/udp_net.cpp.o" "gcc" "src/net/CMakeFiles/phish_net.dir/udp_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phish_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/phish_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phish_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_net.dir/loop_net.cpp.o"
+  "CMakeFiles/phish_net.dir/loop_net.cpp.o.d"
+  "CMakeFiles/phish_net.dir/rpc.cpp.o"
+  "CMakeFiles/phish_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/phish_net.dir/sim_net.cpp.o"
+  "CMakeFiles/phish_net.dir/sim_net.cpp.o.d"
+  "CMakeFiles/phish_net.dir/timer_service.cpp.o"
+  "CMakeFiles/phish_net.dir/timer_service.cpp.o.d"
+  "CMakeFiles/phish_net.dir/udp_net.cpp.o"
+  "CMakeFiles/phish_net.dir/udp_net.cpp.o.d"
+  "libphish_net.a"
+  "libphish_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

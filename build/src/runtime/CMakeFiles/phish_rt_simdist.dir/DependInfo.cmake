@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/simdist/job_manager.cpp" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/job_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/job_manager.cpp.o.d"
+  "/root/repo/src/runtime/simdist/macro_cluster.cpp" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/macro_cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/macro_cluster.cpp.o.d"
+  "/root/repo/src/runtime/simdist/owner_trace.cpp" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/owner_trace.cpp.o" "gcc" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/owner_trace.cpp.o.d"
+  "/root/repo/src/runtime/simdist/sim_cluster.cpp" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/sim_cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/sim_cluster.cpp.o.d"
+  "/root/repo/src/runtime/simdist/sim_worker.cpp" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/sim_worker.cpp.o" "gcc" "src/runtime/CMakeFiles/phish_rt_simdist.dir/simdist/sim_worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/phish_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/phish_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/phish_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phish_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

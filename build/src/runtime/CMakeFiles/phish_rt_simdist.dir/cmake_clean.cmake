@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_rt_simdist.dir/simdist/job_manager.cpp.o"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/job_manager.cpp.o.d"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/macro_cluster.cpp.o"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/macro_cluster.cpp.o.d"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/owner_trace.cpp.o"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/owner_trace.cpp.o.d"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/sim_cluster.cpp.o"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/sim_cluster.cpp.o.d"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/sim_worker.cpp.o"
+  "CMakeFiles/phish_rt_simdist.dir/simdist/sim_worker.cpp.o.d"
+  "libphish_rt_simdist.a"
+  "libphish_rt_simdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_rt_simdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

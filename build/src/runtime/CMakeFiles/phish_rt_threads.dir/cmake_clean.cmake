@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_rt_threads.dir/threads/threads_runtime.cpp.o"
+  "CMakeFiles/phish_rt_threads.dir/threads/threads_runtime.cpp.o.d"
+  "libphish_rt_threads.a"
+  "libphish_rt_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_rt_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

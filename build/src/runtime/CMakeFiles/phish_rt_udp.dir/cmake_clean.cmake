@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_rt_udp.dir/udp/udp_runtime.cpp.o"
+  "CMakeFiles/phish_rt_udp.dir/udp/udp_runtime.cpp.o.d"
+  "libphish_rt_udp.a"
+  "libphish_rt_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_rt_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

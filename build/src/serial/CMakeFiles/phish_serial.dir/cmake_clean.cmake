@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_serial.dir/buffer.cpp.o"
+  "CMakeFiles/phish_serial.dir/buffer.cpp.o.d"
+  "libphish_serial.a"
+  "libphish_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_sim.dir/simulator.cpp.o"
+  "CMakeFiles/phish_sim.dir/simulator.cpp.o.d"
+  "libphish_sim.a"
+  "libphish_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phish_util.dir/flags.cpp.o"
+  "CMakeFiles/phish_util.dir/flags.cpp.o.d"
+  "CMakeFiles/phish_util.dir/log.cpp.o"
+  "CMakeFiles/phish_util.dir/log.cpp.o.d"
+  "CMakeFiles/phish_util.dir/rng.cpp.o"
+  "CMakeFiles/phish_util.dir/rng.cpp.o.d"
+  "CMakeFiles/phish_util.dir/stats.cpp.o"
+  "CMakeFiles/phish_util.dir/stats.cpp.o.d"
+  "CMakeFiles/phish_util.dir/table.cpp.o"
+  "CMakeFiles/phish_util.dir/table.cpp.o.d"
+  "libphish_util.a"
+  "libphish_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phish_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/fib_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/fib_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/fib_test.cpp.o.d"
+  "/root/repo/tests/apps/nqueens_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/nqueens_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/nqueens_test.cpp.o.d"
+  "/root/repo/tests/apps/pfold_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/pfold_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/pfold_test.cpp.o.d"
+  "/root/repo/tests/apps/ray_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/ray_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/ray_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phish_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/phish_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/phish_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/phish_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phish_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/chase_lev_test.cpp" "tests/CMakeFiles/test_core.dir/core/chase_lev_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/chase_lev_test.cpp.o.d"
+  "/root/repo/tests/core/clearinghouse_test.cpp" "tests/CMakeFiles/test_core.dir/core/clearinghouse_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/clearinghouse_test.cpp.o.d"
+  "/root/repo/tests/core/dsl_test.cpp" "tests/CMakeFiles/test_core.dir/core/dsl_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dsl_test.cpp.o.d"
+  "/root/repo/tests/core/jobq_test.cpp" "tests/CMakeFiles/test_core.dir/core/jobq_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/jobq_test.cpp.o.d"
+  "/root/repo/tests/core/ready_deque_test.cpp" "tests/CMakeFiles/test_core.dir/core/ready_deque_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ready_deque_test.cpp.o.d"
+  "/root/repo/tests/core/value_test.cpp" "tests/CMakeFiles/test_core.dir/core/value_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/value_test.cpp.o.d"
+  "/root/repo/tests/core/worker_core_test.cpp" "tests/CMakeFiles/test_core.dir/core/worker_core_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/worker_core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phish_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/phish_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/phish_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phish_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/phish_rt_simdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/phish_rt_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/phish_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/chase_lev_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/chase_lev_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/clearinghouse_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/clearinghouse_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dsl_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dsl_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/jobq_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/jobq_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ready_deque_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ready_deque_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/value_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/value_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/worker_core_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/worker_core_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

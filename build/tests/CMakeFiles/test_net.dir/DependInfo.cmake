@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/loop_net_test.cpp" "tests/CMakeFiles/test_net.dir/net/loop_net_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/loop_net_test.cpp.o.d"
+  "/root/repo/tests/net/rpc_test.cpp" "tests/CMakeFiles/test_net.dir/net/rpc_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/rpc_test.cpp.o.d"
+  "/root/repo/tests/net/sim_net_test.cpp" "tests/CMakeFiles/test_net.dir/net/sim_net_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/sim_net_test.cpp.o.d"
+  "/root/repo/tests/net/timer_service_test.cpp" "tests/CMakeFiles/test_net.dir/net/timer_service_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/timer_service_test.cpp.o.d"
+  "/root/repo/tests/net/udp_net_test.cpp" "tests/CMakeFiles/test_net.dir/net/udp_net_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/udp_net_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phish_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/phish_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/phish_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

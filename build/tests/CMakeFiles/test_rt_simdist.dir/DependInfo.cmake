@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/checkpoint_test.cpp" "tests/CMakeFiles/test_rt_simdist.dir/runtime/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt_simdist.dir/runtime/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/runtime/io_and_policies_test.cpp" "tests/CMakeFiles/test_rt_simdist.dir/runtime/io_and_policies_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt_simdist.dir/runtime/io_and_policies_test.cpp.o.d"
+  "/root/repo/tests/runtime/macro_cluster_test.cpp" "tests/CMakeFiles/test_rt_simdist.dir/runtime/macro_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt_simdist.dir/runtime/macro_cluster_test.cpp.o.d"
+  "/root/repo/tests/runtime/owner_trace_test.cpp" "tests/CMakeFiles/test_rt_simdist.dir/runtime/owner_trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt_simdist.dir/runtime/owner_trace_test.cpp.o.d"
+  "/root/repo/tests/runtime/runtime_matrix_test.cpp" "tests/CMakeFiles/test_rt_simdist.dir/runtime/runtime_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt_simdist.dir/runtime/runtime_matrix_test.cpp.o.d"
+  "/root/repo/tests/runtime/sim_cluster_test.cpp" "tests/CMakeFiles/test_rt_simdist.dir/runtime/sim_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt_simdist.dir/runtime/sim_cluster_test.cpp.o.d"
+  "/root/repo/tests/runtime/topology_test.cpp" "tests/CMakeFiles/test_rt_simdist.dir/runtime/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt_simdist.dir/runtime/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phish_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/phish_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phish_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/phish_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/phish_rt_simdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/phish_rt_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/phish_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phish_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

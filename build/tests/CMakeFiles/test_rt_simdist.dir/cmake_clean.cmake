@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_simdist.dir/runtime/checkpoint_test.cpp.o"
+  "CMakeFiles/test_rt_simdist.dir/runtime/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_rt_simdist.dir/runtime/io_and_policies_test.cpp.o"
+  "CMakeFiles/test_rt_simdist.dir/runtime/io_and_policies_test.cpp.o.d"
+  "CMakeFiles/test_rt_simdist.dir/runtime/macro_cluster_test.cpp.o"
+  "CMakeFiles/test_rt_simdist.dir/runtime/macro_cluster_test.cpp.o.d"
+  "CMakeFiles/test_rt_simdist.dir/runtime/owner_trace_test.cpp.o"
+  "CMakeFiles/test_rt_simdist.dir/runtime/owner_trace_test.cpp.o.d"
+  "CMakeFiles/test_rt_simdist.dir/runtime/runtime_matrix_test.cpp.o"
+  "CMakeFiles/test_rt_simdist.dir/runtime/runtime_matrix_test.cpp.o.d"
+  "CMakeFiles/test_rt_simdist.dir/runtime/sim_cluster_test.cpp.o"
+  "CMakeFiles/test_rt_simdist.dir/runtime/sim_cluster_test.cpp.o.d"
+  "CMakeFiles/test_rt_simdist.dir/runtime/topology_test.cpp.o"
+  "CMakeFiles/test_rt_simdist.dir/runtime/topology_test.cpp.o.d"
+  "test_rt_simdist"
+  "test_rt_simdist.pdb"
+  "test_rt_simdist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_simdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_threads.dir/runtime/threads_runtime_test.cpp.o"
+  "CMakeFiles/test_rt_threads.dir/runtime/threads_runtime_test.cpp.o.d"
+  "CMakeFiles/test_rt_threads.dir/runtime/threads_stress_test.cpp.o"
+  "CMakeFiles/test_rt_threads.dir/runtime/threads_stress_test.cpp.o.d"
+  "test_rt_threads"
+  "test_rt_threads.pdb"
+  "test_rt_threads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_udp.dir/runtime/udp_runtime_test.cpp.o"
+  "CMakeFiles/test_rt_udp.dir/runtime/udp_runtime_test.cpp.o.d"
+  "test_rt_udp"
+  "test_rt_udp.pdb"
+  "test_rt_udp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
