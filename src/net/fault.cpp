@@ -1,0 +1,175 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace phish::net {
+
+const char* to_string(NodeFaultKind kind) noexcept {
+  switch (kind) {
+    case NodeFaultKind::kCrash:
+      return "crash";
+    case NodeFaultKind::kPartition:
+      return "partition";
+    case NodeFaultKind::kHeal:
+      return "heal";
+    case NodeFaultKind::kRestart:
+      return "restart";
+    case NodeFaultKind::kReclaim:
+      return "reclaim";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t link_key(NodeId src, NodeId dst) noexcept {
+  return (static_cast<std::uint64_t>(src.value) << 32) | dst.value;
+}
+
+/// Uniform double in [0, 1) from a hash of (seed, link, seq) — the whole
+/// determinism story lives in this one pure function.
+double link_draw(std::uint64_t seed, NodeId src, NodeId dst,
+                 std::uint64_t seq) noexcept {
+  const std::uint64_t h =
+      mix64(seed ^ mix64(link_key(src, dst)) ^ mix64(seq ^ 0x5eedfau));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::is_lossless(std::uint16_t type) const noexcept {
+  return std::find(lossless_types.begin(), lossless_types.end(), type) !=
+         lossless_types.end();
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "FaultPlan{seed=" << seed;
+  for (const LinkRule& r : links) {
+    out << "; link " << (r.src == kNilNode ? "*" : to_string(r.src)) << "->"
+        << (r.dst == kNilNode ? "*" : to_string(r.dst));
+    if (r.first_seq != 1 ||
+        r.last_seq != std::numeric_limits<std::uint64_t>::max()) {
+      out << " seq[" << r.first_seq << ","
+          << (r.last_seq == std::numeric_limits<std::uint64_t>::max()
+                  ? std::string("inf")
+                  : std::to_string(r.last_seq))
+          << "]";
+    }
+    if (r.drop > 0) out << " drop=" << r.drop;
+    if (r.duplicate > 0) out << " dup=" << r.duplicate;
+    if (r.reorder > 0) {
+      out << " reorder=" << r.reorder << "(depth " << r.reorder_depth << ")";
+    }
+    if (r.delay > 0) {
+      out << " delay=" << r.delay << "(+" << r.extra_delay_ns << "ns)";
+    }
+  }
+  for (const NodeEvent& e : events) {
+    out << "; " << to_string(e.kind) << " worker " << e.worker << " @ "
+        << e.at_ns << "ns";
+  }
+  if (!lossless_types.empty()) {
+    out << "; lossless={";
+    for (std::size_t i = 0; i < lossless_types.size(); ++i) {
+      out << (i ? "," : "") << lossless_types[i];
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+SendDecision FaultInjector::decide(NodeId src, NodeId dst, std::uint16_t type,
+                                   std::uint64_t seq) const {
+  for (const LinkRule& rule : plan_.links) {
+    if (!rule.matches(src, dst, seq)) continue;
+    const double u = link_draw(plan_.seed, src, dst, seq);
+    double band = rule.drop;
+    // A lossless type skips the drop band (delivered instead) but keeps the
+    // same uniform draw, so other links' decisions are unaffected.
+    if (u < band) {
+      if (plan_.is_lossless(type)) return {};
+      return {SendAction::kDrop, 0, 0};
+    }
+    band += rule.duplicate;
+    if (u < band) return {SendAction::kDuplicate, 0, 0};
+    band += rule.reorder;
+    if (u < band) return {SendAction::kHold, 0, rule.reorder_depth};
+    band += rule.delay;
+    if (u < band) return {SendAction::kDelay, rule.extra_delay_ns, 0};
+    return {};  // first matching rule decides
+  }
+  return {};
+}
+
+SendDecision FaultInjector::on_send(NodeId src, NodeId dst,
+                                    std::uint16_t type) {
+  return decide(src, dst, type, ++link_seq_[link_key(src, dst)]);
+}
+
+void FaultyChannel::send(NodeId dst, std::uint16_t type, Bytes payload) {
+  // Decide under the lock, emit outside it (the inner send may do syscalls,
+  // and its receiver path must never find us locked).
+  struct Out {
+    NodeId dst;
+    std::uint16_t type;
+    Bytes payload;
+  };
+  std::vector<Out> emit;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SendDecision decision = injector_.on_send(id(), dst, type);
+    switch (decision.action) {
+      case SendAction::kDrop:
+        ++fault_stats_.dropped;
+        break;
+      case SendAction::kDuplicate:
+        ++fault_stats_.duplicated;
+        emit.push_back({dst, type, payload});  // copy for the duplicate
+        emit.push_back({dst, type, std::move(payload)});
+        break;
+      case SendAction::kHold:
+        ++fault_stats_.reordered;
+        // +1 because the aging loop below runs for this send call too.
+        held_.push_back({dst, type, std::move(payload),
+                         decision.hold_for + 1});
+        break;
+      case SendAction::kDelay:  // no clock at channel level: deliver
+        ++fault_stats_.delayed;
+        [[fallthrough]];
+      case SendAction::kDeliver:
+        emit.push_back({dst, type, std::move(payload)});
+        break;
+    }
+    // Every send call ages held messages; release the ripe ones after the
+    // current message so they land out of order, as promised.
+    for (std::size_t i = 0; i < held_.size();) {
+      if (--held_[i].remaining <= 0) {
+        emit.push_back({held_[i].dst, held_[i].type,
+                        std::move(held_[i].payload)});
+        held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (Out& o : emit) inner_.send(o.dst, o.type, std::move(o.payload));
+}
+
+FaultStats FaultyChannel::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_stats_;
+}
+
+void FaultyChannel::flush() {
+  std::vector<Held> ripe;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ripe.swap(held_);
+  }
+  for (Held& h : ripe) inner_.send(h.dst, h.type, std::move(h.payload));
+}
+
+}  // namespace phish::net

@@ -93,25 +93,66 @@ void SimNetwork::route(Message&& message) {
   if (params_.jitter > 0) {
     delay += rng_.below(params_.jitter + 1);
   }
-  ++in_flight_;
+  int copies = 1;
+  if (fault_injector_) {
+    const SendDecision d =
+        fault_injector_->on_send(message.src, message.dst, message.type);
+    switch (d.action) {
+      case SendAction::kDrop:
+        ++fault_stats_.dropped;
+        if (message.src.value < channels_.size() &&
+            channels_[message.src.value]) {
+          ++channels_[message.src.value]->stats_.messages_dropped;
+        }
+        return;
+      case SendAction::kDuplicate:
+        ++fault_stats_.duplicated;
+        copies = 2;
+        break;
+      case SendAction::kHold:
+        // In virtual time "reorder" is a delay long enough to be overtaken
+        // by anything sent within hold_for full round trips.
+        ++fault_stats_.reordered;
+        delay += static_cast<sim::SimTime>(d.hold_for) *
+                 2 * (base_latency + params_.jitter);
+        break;
+      case SendAction::kDelay:
+        ++fault_stats_.delayed;
+        delay += d.extra_delay_ns;
+        break;
+      case SendAction::kDeliver:
+        break;
+    }
+  }
+  in_flight_ += static_cast<std::uint64_t>(copies);
+  for (int copy = 1; copy < copies; ++copy) {
+    Message dup{message.src, message.dst, message.type, message.payload};
+    sim_.schedule(delay, [this, msg = std::move(dup)]() mutable {
+      deliver(std::move(msg));
+    });
+  }
   sim_.schedule(delay, [this, msg = std::move(message)]() mutable {
-    --in_flight_;
-    // Destination may have died while the message was in flight.
-    if (is_partitioned(msg.dst)) return;
-    if (msg.dst.value >= channels_.size() || !channels_[msg.dst.value]) {
-      PHISH_LOG(kDebug) << "sim_net: message to unknown node "
-                        << to_string(msg.dst);
-      return;
-    }
-    SimChannel& ch = *channels_[msg.dst.value];
-    if (!ch.receiver_) {
-      PHISH_LOG(kDebug) << "sim_net: no receiver on " << to_string(msg.dst);
-      return;
-    }
-    ++ch.stats_.messages_received;
-    ch.stats_.bytes_received += msg.payload.size();
-    ch.receiver_(std::move(msg));
+    deliver(std::move(msg));
   });
+}
+
+void SimNetwork::deliver(Message&& msg) {
+  --in_flight_;
+  // Destination may have died while the message was in flight.
+  if (is_partitioned(msg.dst)) return;
+  if (msg.dst.value >= channels_.size() || !channels_[msg.dst.value]) {
+    PHISH_LOG(kDebug) << "sim_net: message to unknown node "
+                      << to_string(msg.dst);
+    return;
+  }
+  SimChannel& ch = *channels_[msg.dst.value];
+  if (!ch.receiver_) {
+    PHISH_LOG(kDebug) << "sim_net: no receiver on " << to_string(msg.dst);
+    return;
+  }
+  ++ch.stats_.messages_received;
+  ch.stats_.bytes_received += msg.payload.size();
+  ch.receiver_(std::move(msg));
 }
 
 }  // namespace phish::net

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "net/fault.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -109,13 +110,26 @@ class SimNetwork {
   /// the checkpoint service waits for.
   std::uint64_t messages_in_flight() const { return in_flight_; }
 
+  /// Install a fault injector consulted for every routed message (nullptr
+  /// to remove).  Unlike the FaultyChannel decorator, the native hook can
+  /// express timed faults: kDelay adds virtual latency and kHold becomes a
+  /// delay long enough to overtake later traffic.  Not owned; the caller
+  /// keeps it alive for the network's lifetime.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
  private:
   friend class SimChannel;
   void route(Message&& message);
+  void deliver(Message&& message);
 
   sim::Simulator& sim_;
   SimNetParams params_;
   Xoshiro256 rng_;
+  FaultInjector* fault_injector_ = nullptr;
+  FaultStats fault_stats_;
   std::vector<std::unique_ptr<SimChannel>> channels_;
   std::vector<bool> dead_;
   std::vector<int> clusters_;

@@ -49,6 +49,41 @@ void SimCluster::reclaim_at(int index, sim::SimTime when) {
   });
 }
 
+void SimCluster::apply_fault_plan(const net::FaultPlan& plan) {
+  if (!plan.links.empty()) {
+    fault_injector_ = std::make_unique<net::FaultInjector>(plan);
+    network_.set_fault_injector(fault_injector_.get());
+  }
+  for (const net::NodeEvent& e : plan.events) {
+    if (e.worker < 0 || e.worker >= config_.participants) {
+      throw std::invalid_argument("apply_fault_plan: worker index " +
+                                  std::to_string(e.worker) + " out of range");
+    }
+    switch (e.kind) {
+      case net::NodeFaultKind::kCrash:
+        crash_at(e.worker, e.at_ns);
+        break;
+      case net::NodeFaultKind::kReclaim:
+        reclaim_at(e.worker, e.at_ns);
+        break;
+      case net::NodeFaultKind::kPartition:
+        sim_.schedule_at(e.at_ns, [this, w = e.worker] {
+          network_.partition(worker_node(w));
+        });
+        break;
+      case net::NodeFaultKind::kHeal:
+      case net::NodeFaultKind::kRestart:
+        sim_.schedule_at(e.at_ns, [this, w = e.worker] {
+          // A crashed worker stays dead; only a network cut heals.
+          if (workers_.at(w)->state() != SimWorker::State::kDead) {
+            network_.partition(worker_node(w), false);
+          }
+        });
+        break;
+    }
+  }
+}
+
 Bytes JobCheckpoint::encode() const {
   Writer w;
   w.u64(taken_at);

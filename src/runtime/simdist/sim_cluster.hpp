@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/clearinghouse.hpp"
+#include "net/fault.hpp"
 #include "runtime/simdist/sim_worker.hpp"
 
 namespace phish::rt {
@@ -79,6 +80,12 @@ class SimCluster {
   void crash_at(int index, sim::SimTime when);
   /// Schedule an owner reclaim of worker `index` at simulated time `when`.
   void reclaim_at(int index, sim::SimTime when);
+  /// Install a whole fault schedule before run(): the plan's link rules are
+  /// injected natively into the simulated network (virtual-time drop /
+  /// duplicate / reorder / delay) and its node events are scheduled —
+  /// kCrash -> SimWorker::crash, kReclaim -> reclaim_by_owner, kPartition /
+  /// kHeal / kRestart -> network partition toggles.
+  void apply_fault_plan(const net::FaultPlan& plan);
 
   /// Run root(args...) to completion and collect the results.
   /// Throws std::runtime_error if the job does not finish in max_sim_time.
@@ -114,6 +121,7 @@ class SimCluster {
   std::optional<JobCheckpoint> checkpoint_;
   sim::Simulator sim_;
   net::SimNetwork network_;
+  std::unique_ptr<net::FaultInjector> fault_injector_;
   net::SimTimerService timers_;
   std::unique_ptr<net::RpcNode> ch_rpc_;
   std::unique_ptr<Clearinghouse> clearinghouse_;

@@ -209,6 +209,13 @@ void SimWorker::on_steal_reply(net::NodeId victim, net::RpcResult result) {
     (void)victim;
   }
 
+  if (reclaim_pending_) {
+    // The deferred owner reclaim fires now; any closure installed above
+    // migrates out through the normal departure path.
+    reclaim_pending_ = false;
+    depart(DepartReason::kOwnerReclaimed);
+    return;
+  }
   if (got_task) {
     consecutive_failed_steals_ = 0;
     schedule_step(0);
@@ -391,6 +398,14 @@ std::optional<net::NodeId> SimWorker::pick_victim() {
 
 void SimWorker::reclaim_by_owner() {
   if (terminated()) return;
+  // An in-flight steal may yet deliver a closure (possibly on a
+  // retransmitted reply).  The victim's ledger only redoes work for thieves
+  // that die, so departing now would strand it; wait for the reply and let
+  // the closure migrate out with the rest.
+  if (steal_in_flight_) {
+    reclaim_pending_ = true;
+    return;
+  }
   depart(DepartReason::kOwnerReclaimed);
 }
 

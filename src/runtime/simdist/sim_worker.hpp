@@ -200,6 +200,10 @@ class SimWorker {
   std::size_t round_robin_cursor_ = 0;
   int consecutive_failed_steals_ = 0;
   bool steal_in_flight_ = false;
+  // Owner reclaim arrived while a steal RPC was outstanding: departure is
+  // deferred until the reply resolves, else a closure riding a retransmitted
+  // reply is lost with no redo (the thief departed, it didn't die).
+  bool reclaim_pending_ = false;
   net::NodeId forward_to_;  // successor after departure
 
   // Step scheduling.

@@ -19,7 +19,12 @@ UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
       clearinghouse_(clearinghouse),
       config_(config),
       channel_(network.channel(me)),
-      rpc_(channel_, timers),
+      faulty_(config.fault_plan ? std::make_unique<net::FaultyChannel>(
+                                      channel_, *config.fault_plan)
+                                : nullptr),
+      rpc_(faulty_ ? static_cast<net::Channel&>(*faulty_)
+                   : static_cast<net::Channel&>(channel_),
+           timers),
       core_(me, registry,
             [this] {
               WorkerCore::Hooks hooks;

@@ -25,6 +25,7 @@
 
 #include "core/clearinghouse.hpp"
 #include "core/worker_core.hpp"
+#include "net/fault.hpp"
 #include "net/udp_net.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +46,11 @@ struct UdpJobConfig {
   ClearinghouseConfig clearinghouse;
   /// Watchdog: give up if the job has not finished in this much real time.
   double timeout_seconds = 120.0;
+  /// Chaos testing: wrap every worker's channel in a FaultyChannel applying
+  /// this plan's link rules (drop/duplicate/reorder) to outbound datagrams.
+  /// Node events are ignored here — real time is not scriptable; use the
+  /// simdist runtime for crash/reclaim schedules.
+  std::optional<net::FaultPlan> fault_plan;
 };
 
 struct UdpJobResult {
@@ -105,6 +111,8 @@ class UdpWorker {
   const UdpJobConfig& config_;
 
   net::UdpChannel& channel_;
+  /// Present when config.fault_plan is set; rpc_ then speaks through it.
+  std::unique_ptr<net::FaultyChannel> faulty_;
   net::RpcNode rpc_;
 
   mutable std::mutex mutex_;  // guards core_, peers_, rng_, forward_to_

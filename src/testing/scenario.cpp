@@ -1,0 +1,106 @@
+#include "testing/scenario.hpp"
+
+#include <algorithm>
+
+#include "core/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace phish::testing {
+
+ChaosProfile ChaosProfile::udp(int workers) {
+  ChaosProfile p;
+  p.workers = workers;
+  p.max_drop = 0.12;
+  p.max_duplicate = 0.08;
+  p.max_reorder = 0.08;
+  p.max_delay = 0.0;
+  p.node_events = false;
+  return p;
+}
+
+net::FaultPlan make_chaos_plan(std::uint64_t seed,
+                               const ChaosProfile& profile) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  // Phish's reliability envelope: RPC frames retransmit and heartbeats are
+  // periodic, so they may be dropped; plain-oneway dataflow (arguments,
+  // migration batches, death notices) has no retransmit path and must not
+  // be — it stays fair game for duplicate/reorder/delay.
+  plan.lossless_types = {proto::kArgument, proto::kMigrate, proto::kDead};
+  Xoshiro256 rng(mix64(seed ^ 0xc4a05'5eedULL));
+
+  // One blanket rule mangling every link.  Roughly one seed in four gets a
+  // heavier "bad segment" rule for a single sender first (first match wins),
+  // modelling one workstation behind a lossy transceiver.
+  if (profile.workers > 1 && rng.chance(0.25)) {
+    net::LinkRule bad;
+    bad.src = net::NodeId{static_cast<std::uint32_t>(
+        1 + rng.below(static_cast<std::uint64_t>(profile.workers)))};
+    bad.drop = profile.max_drop;
+    bad.duplicate = profile.max_duplicate;
+    bad.reorder = profile.max_reorder;
+    plan.links.push_back(bad);
+  }
+  net::LinkRule all;
+  all.drop = rng.uniform() * profile.max_drop;
+  all.duplicate = rng.uniform() * profile.max_duplicate;
+  all.reorder = rng.uniform() * profile.max_reorder;
+  all.delay = rng.uniform() * profile.max_delay;
+  if (all.delay > 0 && profile.max_extra_delay_ns > 0) {
+    all.extra_delay_ns = 1 + rng.below(profile.max_extra_delay_ns);
+  }
+  all.reorder_depth = static_cast<int>(1 + rng.below(4));
+  plan.links.push_back(all);
+
+  if (!profile.node_events || profile.workers < 2) return plan;
+
+  const auto victim = [&] {
+    return static_cast<int>(
+        1 + rng.below(static_cast<std::uint64_t>(profile.workers - 1)));
+  };
+  const auto when = [&] {
+    return profile.min_event_ns +
+           rng.below(profile.event_horizon_ns - profile.min_event_ns + 1);
+  };
+
+  // One node-event *category* per plan (crash XOR reclaim XOR partition);
+  // the sweep over seeds covers them all.  Mixing categories can compose
+  // failure modes the protocol never claimed to survive:
+  //   * a crash after a reclaim may land on the migration successor, and
+  //     migrated closures are in nobody's steal ledger — no redo path;
+  //   * a reclaim during another worker's partition can pick the cut worker
+  //     as migration successor and lose the (oneway) kMigrate batch.
+  const std::uint64_t category = rng.below(4);
+  if (category == 1 && profile.max_crashes > 0) {
+    const int n = 1 + static_cast<int>(
+                          rng.below(static_cast<unsigned>(profile.max_crashes)));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back({when(), net::NodeFaultKind::kCrash, victim()});
+    }
+  } else if (category == 2 && profile.max_reclaims > 0) {
+    const int n = 1 + static_cast<int>(rng.below(
+                          static_cast<unsigned>(profile.max_reclaims)));
+    for (int i = 0; i < n; ++i) {
+      plan.events.push_back({when(), net::NodeFaultKind::kReclaim, victim()});
+    }
+  } else if (category == 3 && profile.max_partitions > 0) {
+    // A transient (healed) partition is survivable only while the cut worker
+    // provably holds no closures: every way to *acquire* work — registration,
+    // steal replies, migration-free startup — rides RPC, which retransmits
+    // past the heal, but work *results* are oneways that a cut would lose.
+    // So the window starts at t=0, before the victim can have any work.
+    const int w = victim();
+    const std::uint64_t heal =
+        40'000'000 + rng.below(profile.max_partition_ns);
+    plan.events.push_back({0, net::NodeFaultKind::kPartition, w});
+    plan.events.push_back({heal, net::NodeFaultKind::kHeal, w});
+  }
+  // category 0 (or an exhausted max_*): link faults only.
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const net::NodeEvent& a, const net::NodeEvent& b) {
+              return a.at_ns < b.at_ns;
+            });
+  return plan;
+}
+
+}  // namespace phish::testing

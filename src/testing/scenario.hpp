@@ -1,0 +1,75 @@
+// Seeded chaos scenarios: one 64-bit seed -> one reproducible FaultPlan.
+//
+// The chaos harness (tests/harness/) runs every application on every runtime
+// under many of these plans; a failing run prints nothing but the seed and
+// the plan, which is all anyone needs to replay it byte-for-byte.  The
+// generator maps the paper's failure modes onto plan elements:
+//
+//   paper failure mode                plan element
+//   ------------------------------    ---------------------------------
+//   message loss on the Ethernet      LinkRule.drop
+//   UDP duplication / reordering      LinkRule.duplicate / .reorder
+//   congested segments                LinkRule.delay (+extra_delay_ns)
+//   machine crash                     NodeEvent kCrash
+//   transient network outage          NodeEvent kPartition ... kHeal
+//   owner returns to workstation      NodeEvent kReclaim
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "net/fault.hpp"
+
+namespace phish::testing {
+
+/// Intensity knobs for the plan generator.  Defaults are calibrated so that
+/// every runtime's retry budgets can always win: faults slow a job down but
+/// never make success improbable.
+struct ChaosProfile {
+  /// Worker indices eligible for node events are [1, workers).  Index 0 is
+  /// never crashed: it models the submitting workstation, which sources the
+  /// root task and (as in the paper's usage) outlives the job.
+  int workers = 4;
+  // Per-link fault probabilities are drawn uniformly from [0, max_*].
+  double max_drop = 0.15;
+  double max_duplicate = 0.10;
+  double max_reorder = 0.10;
+  double max_delay = 0.10;
+  std::uint64_t max_extra_delay_ns = 20'000'000;  // 20 ms
+  // Each plan draws ONE node-event category — crashes, reclaims, or a
+  // transient partition — or none (see make_chaos_plan for why mixing
+  // categories composes unsurvivable failure modes); the counts below cap
+  // the chosen category.  Set one to 0 to exclude that category.
+  int max_crashes = 1;
+  int max_reclaims = 1;
+  int max_partitions = 1;
+  /// Crash / reclaim events fire in [min_event_ns, event_horizon_ns].
+  std::uint64_t min_event_ns = 20'000'000;        // 20 ms
+  std::uint64_t event_horizon_ns = 500'000'000;   // 500 ms
+  /// A partition window runs [0, 40ms + U(0, max_partition_ns)]: it must
+  /// start before the victim can hold work, and must end well under the
+  /// failure detector's heartbeat timeout or the cut becomes a false death.
+  std::uint64_t max_partition_ns = 300'000'000;   // 300 ms
+  /// Generate node events at all (off for runtimes without a virtual clock).
+  bool node_events = true;
+
+  /// Link-faults-only profile for the UDP runtime: milder rates, no node
+  /// events, no delay band (real sockets have no scriptable clock).
+  static ChaosProfile udp(int workers);
+};
+
+/// Expand a seed into a full fault schedule under the given profile.
+net::FaultPlan make_chaos_plan(std::uint64_t seed,
+                               const ChaosProfile& profile = {});
+
+/// Seed-replay hook shared by the randomized tests: returns `fallback`
+/// unless the named environment variable is set to a (decimal or 0x-hex)
+/// integer, in which case every test in the binary runs under that seed.
+inline std::uint64_t seed_from_env(const char* var,
+                                   std::uint64_t fallback) noexcept {
+  const char* text = std::getenv(var);
+  if (!text || !*text) return fallback;
+  return std::strtoull(text, nullptr, 0);
+}
+
+}  // namespace phish::testing

@@ -4,10 +4,26 @@
 
 #include <atomic>
 #include <numeric>
+#include <sstream>
 #include <thread>
+
+#include "testing/scenario.hpp"
+#include "util/rng.hpp"
 
 namespace phish {
 namespace {
+
+// The concurrent tests draw their owner-side interleaving from a seeded RNG;
+// PHISH_TEST_SEED=<n> replays a failure with the exact schedule it printed.
+std::uint64_t stress_seed(std::uint64_t fallback) {
+  return testing::seed_from_env("PHISH_TEST_SEED", fallback);
+}
+
+std::string replay_note(std::uint64_t seed) {
+  std::ostringstream os;
+  os << "seed " << seed << " (replay with PHISH_TEST_SEED=" << seed << ")";
+  return os.str();
+}
 
 TEST(ChaseLev, EmptyPopAndSteal) {
   ChaseLevDeque<int> d;
@@ -69,6 +85,9 @@ TEST(ChaseLev, ConcurrentStealersReceiveEachItemOnce) {
   // Owner pushes kN items and pops; 3 thieves steal concurrently; every item
   // must be delivered exactly once overall.
   constexpr int kN = 20000;
+  const std::uint64_t seed = stress_seed(20000);
+  SCOPED_TRACE(replay_note(seed));
+  Xoshiro256 rng(mix64(seed));
   ChaseLevDeque<int> d;
   std::atomic<bool> start{false};
   std::atomic<long long> sum{0};
@@ -92,7 +111,7 @@ TEST(ChaseLev, ConcurrentStealersReceiveEachItemOnce) {
     d.push(i);
     pushed += i;
     // Owner occasionally pops too.
-    if (i % 7 == 0) {
+    if (rng.chance(1.0 / 7)) {
       if (auto v = d.pop()) {
         sum.fetch_add(*v);
         received.fetch_add(1);
@@ -114,6 +133,9 @@ TEST(ChaseLev, ConcurrentStealersReceiveEachItemOnce) {
 }
 
 TEST(ChaseLev, StressGrowthUnderConcurrentSteals) {
+  const std::uint64_t seed = stress_seed(50000);
+  SCOPED_TRACE(replay_note(seed));
+  Xoshiro256 rng(mix64(seed));
   ChaseLevDeque<int> d(2);  // force many growths
   std::atomic<bool> done{false};
   std::atomic<int> stolen{0};
@@ -127,7 +149,7 @@ TEST(ChaseLev, StressGrowthUnderConcurrentSteals) {
   constexpr int kN = 50000;
   for (int i = 0; i < kN; ++i) {
     d.push(i);
-    if (i % 3 == 0 && d.pop()) ++popped;
+    if (rng.chance(1.0 / 3) && d.pop()) ++popped;
   }
   while (d.pop()) ++popped;
   done.store(true, std::memory_order_release);

@@ -1,0 +1,154 @@
+// Seeded chaos sweep: every runtime x application under scripted fault
+// schedules (drop / duplicate / reorder / delay, crash, reclaim, transient
+// partition).  Every case must produce the fault-free serial answer; a
+// failure prints the exact seed and the full FaultPlan, which replay the run
+// byte-for-byte:
+//
+//   PHISH_CHAOS_SEED=<seed> PHISH_CHAOS_RUNTIME=<rt> PHISH_CHAOS_APP=<app>
+//       ./test_chaos --gtest_filter='*ReplaySeedFromEnv*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "core/protocol.hpp"
+#include "harness/scenario_runner.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "testing/scenario.hpp"
+
+namespace phish::testing {
+namespace {
+
+class ChaosSweep : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSweep, MatchesFaultFreeReference) {
+  const ChaosOutcome o = run_chaos_case(GetParam());
+  EXPECT_TRUE(o.ok) << o.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ChaosSweep,
+                         ::testing::ValuesIn(chaos_matrix()));
+
+TEST(ChaosMatrix, CoversAllRuntimesWithAtLeastFiftyCases) {
+  const auto cases = chaos_matrix();
+  EXPECT_GE(cases.size(), 50u);
+  int by_runtime[3] = {0, 0, 0};
+  for (const ChaosCase& c : cases) {
+    ++by_runtime[static_cast<int>(c.runtime)];
+  }
+  EXPECT_GT(by_runtime[static_cast<int>(ChaosRuntime::kThreads)], 0);
+  EXPECT_GT(by_runtime[static_cast<int>(ChaosRuntime::kSimdist)], 0);
+  EXPECT_GT(by_runtime[static_cast<int>(ChaosRuntime::kUdp)], 0);
+}
+
+TEST(ChaosReplay, SimdistCaseReplaysBitForBit) {
+  // The whole point of the seed: the same case runs to the same simulated
+  // history, fingerprinted by event and message counts.
+  const ChaosCase c{ChaosRuntime::kSimdist, "pfold", 1003, 0};
+  const ChaosOutcome a = run_chaos_case(c);
+  const ChaosOutcome b = run_chaos_case(c);
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.plan.describe(), b.plan.describe());
+}
+
+TEST(ChaosReplay, PlanGenerationIsAPureFunctionOfTheSeed) {
+  ChaosProfile profile;
+  profile.workers = 5;
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(make_chaos_plan(seed, profile).describe(),
+              make_chaos_plan(seed, profile).describe());
+  }
+  EXPECT_NE(make_chaos_plan(7, profile).describe(),
+            make_chaos_plan(8, profile).describe());
+}
+
+TEST(ChaosReplay, ReplaySeedFromEnv) {
+  // Replay hook: with PHISH_CHAOS_SEED unset this runs one fixed schedule;
+  // with it set (plus optional PHISH_CHAOS_RUNTIME / PHISH_CHAOS_APP) it
+  // re-runs exactly the schedule a failing sweep case printed.
+  ChaosCase c{ChaosRuntime::kSimdist, "pfold",
+              seed_from_env("PHISH_CHAOS_SEED", 2001), 0};
+  if (const char* rt = std::getenv("PHISH_CHAOS_RUNTIME")) {
+    const std::string name = rt;
+    if (name == "threads") c.runtime = ChaosRuntime::kThreads;
+    if (name == "udp") c.runtime = ChaosRuntime::kUdp;
+  }
+  static std::string app;  // ChaosCase keeps a borrowed pointer
+  if (const char* a = std::getenv("PHISH_CHAOS_APP")) {
+    app = a;
+    c.app = app.c_str();
+  }
+  const ChaosOutcome o = run_chaos_case(c);
+  EXPECT_TRUE(o.ok) << o.failure;
+}
+
+TEST(ChaosScripted, EarlyPartitionHealsAndJobCompletes) {
+  // A hand-written plan (not generator output) driving the partition path
+  // end-to-end: worker 2 is cut from t=0 to t=120ms — its registration RPC
+  // retransmits past the heal, after which it joins and the job finishes
+  // exactly, with messy links on top.
+  net::FaultPlan plan;
+  plan.seed = 77;
+  net::LinkRule all;
+  all.drop = 0.05;
+  all.duplicate = 0.05;
+  all.reorder = 0.05;
+  plan.links.push_back(all);
+  plan.lossless_types = {proto::kArgument, proto::kMigrate, proto::kDead};
+  plan.events.push_back({0, net::NodeFaultKind::kPartition, 2});
+  plan.events.push_back({120'000'000, net::NodeFaultKind::kHeal, 2});
+
+  TaskRegistry reg;
+  const TaskId root = apps::register_nqueens(reg, /*sequential_rows=*/4);
+  rt::SimJobConfig cfg;
+  cfg.participants = 4;
+  cfg.seed = 4242;
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1500 * sim::kMillisecond;
+  cfg.clearinghouse.failure_check_period_ns = 300 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 150 * sim::kMillisecond;
+  cfg.worker.rpc_policy = {100 * sim::kMillisecond, 10, 1.5};
+  rt::SimCluster cluster(reg, cfg);
+  cluster.apply_fault_plan(plan);
+  const auto result = cluster.run(root, {Value(std::int64_t{8})});
+  EXPECT_EQ(result.value.as_int(), 92) << plan.describe();
+  EXPECT_EQ(result.aggregate.tasks_redone, 0u)
+      << "partition under the heartbeat timeout must not read as a death";
+}
+
+TEST(ChaosScripted, CrashPlanTriggersRedoAndStaysExact) {
+  // Deterministic crash-category plan: worker death mid-job under lossy
+  // links must engage the steal-ledger redo machinery and still be exact.
+  net::FaultPlan plan;
+  plan.seed = 99;
+  net::LinkRule all;
+  all.drop = 0.10;
+  all.duplicate = 0.05;
+  plan.links.push_back(all);
+  plan.lossless_types = {proto::kArgument, proto::kMigrate, proto::kDead};
+  plan.events.push_back({60'000'000, net::NodeFaultKind::kCrash, 3});
+
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  rt::SimJobConfig cfg;
+  cfg.participants = 4;
+  cfg.seed = 99;
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1500 * sim::kMillisecond;
+  cfg.clearinghouse.failure_check_period_ns = 300 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 150 * sim::kMillisecond;
+  cfg.worker.rpc_policy = {100 * sim::kMillisecond, 10, 1.5};
+  rt::SimCluster cluster(reg, cfg);
+  cluster.apply_fault_plan(plan);
+  const auto result = cluster.run(root, {Value(std::int64_t{13})});
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+            apps::pfold_serial(13))
+      << plan.describe();
+}
+
+}  // namespace
+}  // namespace phish::testing

@@ -1,0 +1,68 @@
+// Chaos-scenario runner: one seeded ChaosCase -> one verdict.
+//
+// A case names a runtime, an application, and a 64-bit seed.  The runner
+// expands the seed into a FaultPlan (testing::make_chaos_plan), runs the
+// application under that plan on that runtime, and compares the result
+// against the fault-free serial reference.  On any mismatch — wrong value,
+// violated ledger invariant, or a thrown watchdog timeout — the returned
+// outcome carries a failure string containing the exact seed and the full
+// plan, which is everything needed to replay the run byte-for-byte
+// (PHISH_CHAOS_SEED=<seed> re-runs it; see chaos_test.cpp).
+//
+// Per-runtime fault coverage (see DESIGN.md "Fault model & chaos harness"):
+//   simdist  full plans: link faults natively in SimNetwork (virtual-time
+//            drop/duplicate/reorder/delay) + scheduled node events
+//            (crash / partition+heal / owner reclaim).
+//   udp      link faults only, through the FaultyChannel decorator on every
+//            worker's real socket; real time is not scriptable, so node
+//            events are off.
+//   threads  no network to break: the chaos dimension is the seeded
+//            scheduling perturbation (worker count, execution and steal
+//            orders, overhead mode drawn from the seed).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/worker_stats.hpp"
+#include "net/fault.hpp"
+
+namespace phish::testing {
+
+enum class ChaosRuntime : std::uint8_t { kThreads, kSimdist, kUdp };
+
+const char* to_string(ChaosRuntime rt) noexcept;
+
+struct ChaosCase {
+  ChaosRuntime runtime = ChaosRuntime::kSimdist;
+  const char* app = "fib";  // "fib" | "nqueens" | "pfold"
+  std::uint64_t seed = 1;
+  /// UDP only: loopback port block for this case (0 = derive from seed).
+  std::uint16_t base_port = 0;
+};
+
+void PrintTo(const ChaosCase& c, std::ostream* os);
+
+struct ChaosOutcome {
+  bool ok = false;
+  /// Empty when ok; otherwise the mismatch, the seed, and plan.describe().
+  std::string failure;
+  net::FaultPlan plan;
+  WorkerStats aggregate;
+  /// Deterministic fingerprints (simdist only; 0 elsewhere) — equal across
+  /// replays of the same case by construction.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t events_fired = 0;
+};
+
+/// Run one case to completion.  Never throws: runtime exceptions (watchdog
+/// timeouts, setup errors) become ok=false outcomes with the replay line.
+ChaosOutcome run_chaos_case(const ChaosCase& c);
+
+/// The sweep executed by chaos_test.cpp: >= 50 cases spanning all three
+/// runtimes and all three applications.
+std::vector<ChaosCase> chaos_matrix();
+
+}  // namespace phish::testing

@@ -1,0 +1,235 @@
+// SimNetwork fault behaviour: seeded drop determinism, the native
+// FaultInjector hook (virtual-time drop / duplicate / delay / reorder), and
+// inter-cluster latency routing.
+#include "net/sim_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace phish::net {
+namespace {
+
+struct Arrival {
+  std::uint16_t type;
+  sim::SimTime at;
+};
+
+TEST(SimNetFault, DropProbabilityIsDeterministicUnderFixedSeed) {
+  auto run = [] {
+    sim::Simulator s;
+    SimNetParams params;
+    params.jitter = 0;
+    params.drop_probability = 0.5;
+    params.seed = 1234;
+    SimNetwork net(s, params);
+    std::vector<std::uint16_t> delivered;
+    net.channel(NodeId{1}).set_receiver(
+        [&](Message&& m) { delivered.push_back(m.type); });
+    auto& sender = net.channel(NodeId{0});
+    for (std::uint16_t i = 0; i < 100; ++i) sender.send(NodeId{1}, i, {});
+    s.run();
+    return delivered;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b) << "same seed must drop the same messages";
+  EXPECT_GT(a.size(), 20u);
+  EXPECT_LT(a.size(), 80u) << "half the messages should be gone";
+}
+
+TEST(SimNetFault, DifferentSeedDropsDifferentMessages) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s;
+    SimNetParams params;
+    params.jitter = 0;
+    params.drop_probability = 0.5;
+    params.seed = seed;
+    SimNetwork net(s, params);
+    std::vector<std::uint16_t> delivered;
+    net.channel(NodeId{1}).set_receiver(
+        [&](Message&& m) { delivered.push_back(m.type); });
+    auto& sender = net.channel(NodeId{0});
+    for (std::uint16_t i = 0; i < 100; ++i) sender.send(NodeId{1}, i, {});
+    s.run();
+    return delivered;
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(SimNetFault, NativeInjectorDropsAndCounts) {
+  sim::Simulator s;
+  SimNetParams params;
+  params.jitter = 0;
+  SimNetwork net(s, params);
+  FaultPlan plan;
+  LinkRule rule;
+  rule.drop = 1.0;
+  plan.links.push_back(rule);
+  FaultInjector injector(plan);
+  net.set_fault_injector(&injector);
+
+  int received = 0;
+  net.channel(NodeId{1}).set_receiver([&](Message&&) { ++received; });
+  auto& sender = net.channel(NodeId{0});
+  for (int i = 0; i < 7; ++i) sender.send(NodeId{1}, 0, {});
+  s.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.fault_stats().dropped, 7u);
+  EXPECT_EQ(sender.stats().messages_dropped, 7u);
+}
+
+TEST(SimNetFault, NativeInjectorDuplicatesInVirtualTime) {
+  sim::Simulator s;
+  SimNetParams params;
+  params.jitter = 0;
+  SimNetwork net(s, params);
+  FaultPlan plan;
+  LinkRule rule;
+  rule.duplicate = 1.0;
+  plan.links.push_back(rule);
+  FaultInjector injector(plan);
+  net.set_fault_injector(&injector);
+
+  int received = 0;
+  net.channel(NodeId{1}).set_receiver([&](Message&&) { ++received; });
+  net.channel(NodeId{0}).send(NodeId{1}, 0, {});
+  s.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(net.fault_stats().duplicated, 1u);
+}
+
+TEST(SimNetFault, NativeInjectorDelayAddsExactVirtualLatency) {
+  sim::Simulator s;
+  SimNetParams params;
+  params.jitter = 0;
+  SimNetwork net(s, params);
+  FaultPlan plan;
+  LinkRule rule;  // delay exactly the first message by 5 ms
+  rule.first_seq = 1;
+  rule.last_seq = 1;
+  rule.delay = 1.0;
+  rule.extra_delay_ns = 5 * sim::kMillisecond;
+  plan.links.push_back(rule);
+  FaultInjector injector(plan);
+  net.set_fault_injector(&injector);
+
+  std::vector<Arrival> arrivals;
+  net.channel(NodeId{1}).set_receiver(
+      [&](Message&& m) { arrivals.push_back({m.type, s.now()}); });
+  auto& sender = net.channel(NodeId{0});
+  sender.send(NodeId{1}, 1, {});  // delayed
+  sender.send(NodeId{1}, 2, {});  // normal
+  s.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // The delayed message arrives last, exactly extra_delay_ns after its twin.
+  EXPECT_EQ(arrivals[0].type, 2);
+  EXPECT_EQ(arrivals[1].type, 1);
+  EXPECT_EQ(arrivals[1].at - arrivals[0].at, 5 * sim::kMillisecond);
+  EXPECT_EQ(net.fault_stats().delayed, 1u);
+}
+
+TEST(SimNetFault, NativeInjectorReorderOvertakesLaterTraffic) {
+  sim::Simulator s;
+  SimNetParams params;
+  params.jitter = 0;
+  SimNetwork net(s, params);
+  FaultPlan plan;
+  LinkRule rule;  // hold the first message long enough for one overtake
+  rule.first_seq = 1;
+  rule.last_seq = 1;
+  rule.reorder = 1.0;
+  rule.reorder_depth = 1;
+  plan.links.push_back(rule);
+  FaultInjector injector(plan);
+  net.set_fault_injector(&injector);
+
+  std::vector<std::uint16_t> order;
+  net.channel(NodeId{1}).set_receiver(
+      [&](Message&& m) { order.push_back(m.type); });
+  auto& sender = net.channel(NodeId{0});
+  sender.send(NodeId{1}, 1, {});
+  sender.send(NodeId{1}, 2, {});
+  s.run();
+  EXPECT_EQ(order, (std::vector<std::uint16_t>{2, 1}));
+  EXPECT_EQ(net.fault_stats().reordered, 1u);
+}
+
+TEST(SimNetFault, LosslessTypesPassThroughFullDrop) {
+  sim::Simulator s;
+  SimNetParams params;
+  params.jitter = 0;
+  SimNetwork net(s, params);
+  FaultPlan plan;
+  LinkRule rule;
+  rule.drop = 1.0;
+  plan.links.push_back(rule);
+  plan.lossless_types = {1};  // proto::kArgument
+  FaultInjector injector(plan);
+  net.set_fault_injector(&injector);
+
+  std::vector<std::uint16_t> delivered;
+  net.channel(NodeId{1}).set_receiver(
+      [&](Message&& m) { delivered.push_back(m.type); });
+  auto& sender = net.channel(NodeId{0});
+  sender.send(NodeId{1}, 1, {});  // lossless: must arrive
+  sender.send(NodeId{1}, 3, {});  // droppable: must not
+  s.run();
+  EXPECT_EQ(delivered, (std::vector<std::uint16_t>{1}));
+}
+
+TEST(SimNetFault, InterClusterLatencyRoutesByClusterAssignment) {
+  sim::Simulator s;
+  SimNetParams params;
+  params.jitter = 0;
+  params.latency = 500 * sim::kMicrosecond;
+  params.inter_cluster_latency = 10 * sim::kMillisecond;
+  SimNetwork net(s, params);
+  net.set_cluster(NodeId{2}, 1);  // nodes 0 and 1 stay in cluster 0
+
+  std::vector<sim::SimTime> local_arrival, remote_arrival;
+  net.channel(NodeId{1}).set_receiver(
+      [&](Message&&) { local_arrival.push_back(s.now()); });
+  net.channel(NodeId{2}).set_receiver(
+      [&](Message&&) { remote_arrival.push_back(s.now()); });
+  auto& sender = net.channel(NodeId{0});
+  sender.send(NodeId{1}, 0, {});  // intra-cluster
+  sender.send(NodeId{2}, 0, {});  // crosses the cluster cut
+  s.run();
+  ASSERT_EQ(local_arrival.size(), 1u);
+  ASSERT_EQ(remote_arrival.size(), 1u);
+  EXPECT_EQ(remote_arrival[0] - local_arrival[0],
+            params.inter_cluster_latency - params.latency);
+  EXPECT_EQ(net.inter_cluster_messages(), 1u);
+}
+
+TEST(SimNetFault, InjectorAndPartitionCompose) {
+  // Partition beats the injector: a cut node receives nothing even when the
+  // injector would duplicate, and fault stats only count injector decisions.
+  sim::Simulator s;
+  SimNetParams params;
+  params.jitter = 0;
+  SimNetwork net(s, params);
+  FaultPlan plan;
+  LinkRule rule;
+  rule.duplicate = 1.0;
+  plan.links.push_back(rule);
+  FaultInjector injector(plan);
+  net.set_fault_injector(&injector);
+
+  int received = 0;
+  net.channel(NodeId{1}).set_receiver([&](Message&&) { ++received; });
+  net.partition(NodeId{1});
+  net.channel(NodeId{0}).send(NodeId{1}, 0, {});
+  s.run();
+  EXPECT_EQ(received, 0);
+  net.partition(NodeId{1}, false);
+  net.channel(NodeId{0}).send(NodeId{1}, 0, {});
+  s.run();
+  EXPECT_EQ(received, 2) << "healed node gets the duplicate pair";
+}
+
+}  // namespace
+}  // namespace phish::net

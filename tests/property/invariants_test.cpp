@@ -3,12 +3,29 @@
 // (INSTANTIATE_TEST_SUITE_P) cover the cross-product.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "apps/apps.hpp"
 #include "runtime/simdist/sim_cluster.hpp"
 #include "runtime/threads/threads_runtime.hpp"
+#include "testing/scenario.hpp"
 
 namespace phish::rt {
 namespace {
+
+// Every sweep seed can be overridden for replay — PHISH_TEST_SEED=<n> re-runs
+// each case with that seed — and every failure message carries the seed that
+// produced it.
+std::uint64_t replay_seed(std::uint64_t fallback) {
+  return phish::testing::seed_from_env("PHISH_TEST_SEED", fallback);
+}
+
+std::string replay_note(std::uint64_t seed) {
+  std::ostringstream os;
+  os << "seed " << seed << " (replay with PHISH_TEST_SEED=" << seed << ")";
+  return os.str();
+}
 
 // ---------------------------------------------------------------------------
 // Conservation laws on a clean (fault-free) simulated run.
@@ -42,7 +59,7 @@ class CleanRunInvariants : public ::testing::TestWithParam<CleanRunParams> {
     }
     SimJobConfig cfg;
     cfg.participants = p.participants;
-    cfg.seed = p.seed;
+    cfg.seed = replay_seed(p.seed);
     cfg.clearinghouse.detect_failures = false;
     cfg.worker.heartbeat_period = 0;
     cfg.worker.update_period = 0;
@@ -51,6 +68,7 @@ class CleanRunInvariants : public ::testing::TestWithParam<CleanRunParams> {
 };
 
 TEST_P(CleanRunInvariants, ConservationLaws) {
+  SCOPED_TRACE(replay_note(replay_seed(GetParam().seed)));
   const auto r = run_case(GetParam());
   const auto& a = r.aggregate;
 
@@ -79,6 +97,7 @@ TEST_P(CleanRunInvariants, ConservationLaws) {
 
 TEST_P(CleanRunInvariants, WorkIsIndependentOfParticipants) {
   // tasks executed and synchronizations depend only on the program.
+  SCOPED_TRACE(replay_note(replay_seed(GetParam().seed)));
   const auto r = run_case(GetParam());
   CleanRunParams one = GetParam();
   one.participants = 1;
@@ -119,11 +138,13 @@ class PolicyMatrix : public ::testing::TestWithParam<PolicyParams> {};
 
 TEST_P(PolicyMatrix, PfoldExactUnderAnyPolicy) {
   const PolicyParams p = GetParam();
+  const std::uint64_t seed = replay_seed(42);
+  SCOPED_TRACE(replay_note(seed));
   TaskRegistry reg;
   const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
   SimJobConfig cfg;
   cfg.participants = 5;
-  cfg.seed = 42;
+  cfg.seed = seed;
   cfg.exec_order = p.exec;
   cfg.steal_order = p.steal;
   cfg.worker.victim_policy = p.victim;
@@ -162,11 +183,14 @@ class CrashSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(CrashSweep, HistogramExactWithCrashAtVaryingTimes) {
   const int crash_ms = GetParam();
+  const std::uint64_t seed =
+      replay_seed(1000 + static_cast<std::uint64_t>(crash_ms));
+  SCOPED_TRACE(replay_note(seed));
   TaskRegistry reg;
   const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
   SimJobConfig cfg;
   cfg.participants = 4;
-  cfg.seed = 1000 + static_cast<std::uint64_t>(crash_ms);
+  cfg.seed = seed;
   cfg.clearinghouse.detect_failures = true;
   cfg.clearinghouse.heartbeat_timeout_ns = 1500 * sim::kMillisecond;
   cfg.clearinghouse.failure_check_period_ns = 300 * sim::kMillisecond;
@@ -192,11 +216,14 @@ class ReclaimSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(ReclaimSweep, HistogramExactWithReclaimAtVaryingTimes) {
   const int reclaim_ms = GetParam();
+  const std::uint64_t seed =
+      replay_seed(2000 + static_cast<std::uint64_t>(reclaim_ms));
+  SCOPED_TRACE(replay_note(seed));
   TaskRegistry reg;
   const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
   SimJobConfig cfg;
   cfg.participants = 4;
-  cfg.seed = 2000 + static_cast<std::uint64_t>(reclaim_ms);
+  cfg.seed = seed;
   cfg.clearinghouse.detect_failures = false;
   cfg.worker.heartbeat_period = 0;
   cfg.worker.update_period = 0;
@@ -220,10 +247,13 @@ class GrainSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(GrainSweep, FibExactAtEveryGrain) {
   const int cutoff = GetParam();
+  const std::uint64_t seed = replay_seed(static_cast<std::uint64_t>(cutoff));
+  SCOPED_TRACE(replay_note(seed));
   TaskRegistry reg;
   const TaskId root = apps::register_fib(reg, cutoff);
   ThreadsConfig cfg;
   cfg.workers = 2;
+  cfg.seed = seed;
   ThreadsRuntime rt(reg, cfg);
   const auto result = rt.run(root, {Value(std::int64_t{21})});
   EXPECT_EQ(result.value.as_int(), apps::fib_serial(21));
@@ -240,7 +270,8 @@ INSTANTIATE_TEST_SUITE_P(Sweep, GrainSweep,
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SeedSweep, DeterministicAndSeedIndependentAnswer) {
-  const std::uint64_t seed = GetParam();
+  const std::uint64_t seed = replay_seed(GetParam());
+  SCOPED_TRACE(replay_note(seed));
   auto run_once = [&] {
     TaskRegistry reg;
     const TaskId root = apps::register_nqueens(reg, /*sequential_rows=*/4);
