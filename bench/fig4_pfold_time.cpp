@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/trace_file.hpp"
 #include "pfold_sweep.hpp"
 
 namespace phish::bench {
@@ -20,6 +21,10 @@ int run(int argc, char** argv) {
   const PfoldSweepConfig cfg = sweep_config_from_flags(flags);
   const auto participants =
       flags.get_int_list("participants", {1, 2, 4, 8, 16, 24, 32});
+  // Optional: write a trace of the last sweep point.  A *.json path gets
+  // Chrome/Perfetto JSON directly; anything else gets the binary .phtrace
+  // container for the phish-trace CLI.
+  const std::string trace_path = flags.get_string("trace", "");
   reject_unknown_flags(flags);
 
   banner("Figure 4", "pfold average execution time vs participants (simulated "
@@ -27,10 +32,20 @@ int run(int argc, char** argv) {
   std::printf("polymer=%d monomers, grain cutoff=%d\n\n", cfg.polymer,
               cfg.cutoff);
 
+  obs::BenchReport report("fig4_pfold_time");
+  report.set("runtime", "simdist");
+  report.set("seed", cfg.seed);
+  report.set("polymer", cfg.polymer);
+  report.set("cutoff", cfg.cutoff);
+
   TextTable table({"P", "avg time (s)", "makespan (s)", "tasks", "steals"});
   double t1 = 0.0;
   for (std::int64_t p : participants) {
-    const auto result = run_pfold_at(cfg, static_cast<int>(p));
+    obs::Tracer tracer;
+    const bool trace_this =
+        !trace_path.empty() && p == participants.back();
+    const auto result = run_pfold_at(cfg, static_cast<int>(p),
+                                     trace_this ? &tracer : nullptr);
     if (p == 1) t1 = result.average_participant_seconds;
     table.add_row({TextTable::num(static_cast<std::int64_t>(p)),
                    TextTable::num(result.average_participant_seconds, 3),
@@ -39,12 +54,28 @@ int run(int argc, char** argv) {
                    TextTable::num(result.aggregate.tasks_stolen_by_me)});
     kv("fig4.P" + std::to_string(p) + ".avg_seconds",
        result.average_participant_seconds);
+    report_sim_result(report, "P" + std::to_string(p), result);
+    if (trace_this) {
+      obs::TraceData data;
+      data.runtime = "simdist";
+      data.clock = obs::ClockDomain::kVirtual;
+      data.seed = cfg.seed + static_cast<std::uint64_t>(p);
+      data.participants = static_cast<std::uint32_t>(p);
+      data.take_from(tracer);
+      const bool json = trace_path.size() > 5 &&
+                        trace_path.rfind(".json") == trace_path.size() - 5;
+      const bool ok = json ? obs::write_chrome_trace(trace_path, data)
+                           : obs::write_trace_file(trace_path, data);
+      if (ok) std::printf("ARTIFACT %s\n", trace_path.c_str());
+    }
   }
   std::printf("%s", table.to_string().c_str());
   if (t1 > 0.0) {
     std::printf("\nreference: perfect scaling would reach T1/32 = %.3f s at "
                 "P=32\n", t1 / 32.0);
   }
+  report.set_metrics(obs::Registry::global().snapshot());
+  report.write();
   return 0;
 }
 

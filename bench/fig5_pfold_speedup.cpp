@@ -27,8 +27,17 @@ int run(int argc, char** argv) {
   std::printf("polymer=%d monomers, grain cutoff=%d\n\n", cfg.polymer,
               cfg.cutoff);
 
+  obs::BenchReport report("fig5_pfold_speedup");
+  report.set("runtime", "simdist");
+  report.set("seed", cfg.seed);
+  report.set("polymer", cfg.polymer);
+  report.set("cutoff", cfg.cutoff);
+
   const auto base = run_pfold_at(cfg, 1);
   const double t1 = base.participant_seconds[0];
+  report.set("t1_seconds", t1);
+  report_sim_result(report, "P1", base);
+  report.set("P1.speedup", 1.0);
 
   TextTable table({"P", "S_P", "perfect", "efficiency"});
   table.add_row({"1", "1.00", "1", "1.00"});
@@ -42,10 +51,16 @@ int run(int argc, char** argv) {
                    TextTable::num(static_cast<std::int64_t>(p)),
                    TextTable::num(sp / static_cast<double>(p), 3)});
     kv("fig5.P" + std::to_string(p) + ".speedup", sp);
+    const std::string prefix = "P" + std::to_string(p);
+    report_sim_result(report, prefix, result);
+    report.set(prefix + ".speedup", sp);
+    report.set(prefix + ".efficiency", sp / static_cast<double>(p));
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\npaper shape: near-linear through 32 participants, slight "
               "droop at 32 from fixed registration overheads.\n");
+  report.set_metrics(obs::Registry::global().snapshot());
+  report.write();
   return 0;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "apps/pfold/pfold.hpp"
+#include "obs/bench_report.hpp"
 #include "runtime/simdist/sim_cluster.hpp"
 #include "util/flags.hpp"
 
@@ -37,7 +38,8 @@ inline PfoldSweepConfig sweep_config_from_flags(const Flags& flags) {
 }
 
 inline rt::SimJobResult run_pfold_at(const PfoldSweepConfig& cfg,
-                                     int participants) {
+                                     int participants,
+                                     obs::Tracer* tracer = nullptr) {
   TaskRegistry registry;
   const TaskId root = apps::register_pfold(registry, cfg.cutoff);
   rt::SimJobConfig job;
@@ -47,8 +49,24 @@ inline rt::SimJobResult run_pfold_at(const PfoldSweepConfig& cfg,
   job.worker.heartbeat_period = 0;
   job.worker.update_period = 0;
   job.max_sim_time = 36'000 * sim::kSecond;
+  job.tracer = tracer;
   return rt::run_sim_job(registry, root,
                          {Value(std::int64_t{cfg.polymer})}, job);
+}
+
+/// Record one simulated run's Table-2 counters under `prefix.*` in a
+/// BENCH_*.json report (the machine-readable twin of the stdout tables).
+inline void report_sim_result(obs::BenchReport& report,
+                              const std::string& prefix,
+                              const rt::SimJobResult& r) {
+  report.set(prefix + ".avg_seconds", r.average_participant_seconds);
+  report.set(prefix + ".makespan_seconds", r.makespan_seconds);
+  report.set(prefix + ".tasks_executed", r.aggregate.tasks_executed);
+  report.set(prefix + ".max_tasks_in_use", r.aggregate.max_tasks_in_use);
+  report.set(prefix + ".tasks_stolen", r.aggregate.tasks_stolen_by_me);
+  report.set(prefix + ".synchronizations", r.aggregate.synchronizations);
+  report.set(prefix + ".non_local_synchs", r.aggregate.non_local_synchs);
+  report.set(prefix + ".messages_sent", r.messages_sent);
 }
 
 /// The paper's speedup definition: S_P = P * T_1 / sum_i T_P(i).

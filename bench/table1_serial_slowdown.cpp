@@ -26,6 +26,7 @@
 
 #include "apps/apps.hpp"
 #include "bench_util.hpp"
+#include "obs/bench_report.hpp"
 #include "runtime/threads/threads_runtime.hpp"
 
 namespace phish::bench {
@@ -133,6 +134,10 @@ int run(int argc, char** argv) {
         reps));
   }
 
+  obs::BenchReport report("table1_serial_slowdown");
+  report.set("runtime", "threads");
+  report.set("workers", 1);
+  report.set("reps", reps);
   TextTable table({"app", "serial(s)", "static-1p(s)", "slowdown(static)",
                    "phish-1p(s)", "slowdown(phish)"});
   for (const Row& r : rows) {
@@ -144,7 +149,14 @@ int run(int argc, char** argv) {
                    TextTable::num(s_phish, 2)});
     kv("table1." + r.app + ".slowdown_static", s_static);
     kv("table1." + r.app + ".slowdown_phish", s_phish);
+    report.set(r.app + ".serial_seconds", r.serial_s);
+    report.set(r.app + ".static_seconds", r.static_s);
+    report.set(r.app + ".phish_seconds", r.phish_s);
+    report.set(r.app + ".slowdown_static", s_static);
+    report.set(r.app + ".slowdown_phish", s_phish);
   }
+  report.set_metrics(obs::Registry::global().snapshot());
+  report.write();
   std::printf("%s", table.to_string().c_str());
   std::printf(
       "\npaper (1994): fib 4.44/5.90, nqueens 1.09/1.12, ray 1.00/1.04\n"

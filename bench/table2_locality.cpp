@@ -75,6 +75,11 @@ int run(int argc, char** argv) {
   });
   std::printf("%s", table.to_string().c_str());
 
+  obs::BenchReport report("table2_locality");
+  report.set("runtime", "simdist");
+  report.set("seed", cfg.seed);
+  report.set("polymer", cfg.polymer);
+  report.set("cutoff", cfg.cutoff);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const std::string prefix =
         "table2.P" + std::to_string(participants[i]) + ".";
@@ -85,7 +90,11 @@ int run(int argc, char** argv) {
     kv(prefix + "non_local_synchs", results[i].aggregate.non_local_synchs);
     kv(prefix + "messages", results[i].messages_sent);
     kv(prefix + "avg_seconds", results[i].average_participant_seconds);
+    report_sim_result(report, "P" + std::to_string(participants[i]),
+                      results[i]);
   }
+  report.set_metrics(obs::Registry::global().snapshot());
+  report.write();
   std::printf("\npaper: 10.39M tasks, max 59 in use, 70/133 stolen, 55/122 "
               "non-local synchs, 1598/1998 messages, 182/94 sec.\n");
   return 0;

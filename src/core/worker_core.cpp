@@ -31,7 +31,11 @@ void WorkerCore::spawn(TaskId task, std::vector<Value> args, ContRef cont,
   c.depth = depth;
   stats_.note_alloc();
   ++stats_.tasks_spawned;
+  const ClosureId id = c.id;
   deque_.push(std::move(c));
+  if (tracing()) {
+    trace_instant(obs::EventType::kSpawn, id, deque_.size());
+  }
 }
 
 ClosureId WorkerCore::create_waiting(TaskId task, std::uint16_t nslots,
@@ -57,6 +61,10 @@ ClosureId WorkerCore::create_waiting(TaskId task, std::uint16_t nslots,
 
 void WorkerCore::send_argument(const ContRef& cont, Value value) {
   ++stats_.synchronizations;
+  if (tracing()) {
+    trace_instant(obs::EventType::kArgSend, cont.target,
+                  cont.home == me_ ? 0 : 1);
+  }
   if (cont.home == me_) {
     const Deliver result = deliver_remote(cont.target, cont.slot,
                                           std::move(value));
@@ -80,11 +88,23 @@ void WorkerCore::execute(Closure& closure) {
   const TaskDesc& desc = registry_.get(closure.task);
   stolen_in_.erase(closure.id);  // past the point where aborting could help
   last_charge_ = 0;
+  const std::uint64_t t_start =
+      tracing() && trace_execute_spans_ ? trace_now() : 0;
   Context ctx(*this, closure);
   desc.fn(ctx, closure);
   ++stats_.tasks_executed;
   stats_.executed_depth_total += closure.depth;
   stats_.note_free();
+  if (tracing() && trace_execute_spans_) {
+    obs::TraceEvent e = obs::make_event(
+        obs::EventType::kExecute, static_cast<std::uint16_t>(me_.value),
+        t_start);
+    e.t_end = trace_now();
+    e.closure_origin = closure.id.origin.value;
+    e.closure_seq = closure.id.seq;
+    e.arg = deque_.size();
+    trace_->emit(e);
+  }
 }
 
 std::optional<Closure> WorkerCore::try_steal(net::NodeId thief) {
@@ -96,6 +116,10 @@ std::optional<Closure> WorkerCore::try_steal(net::NodeId thief) {
   stats_.note_free();  // it leaves this worker
   // Record a redo snapshot in case the thief dies before completing it.
   steal_ledger_.emplace(victim_task->id, LedgerEntry{*victim_task, thief});
+  if (tracing()) {
+    trace_instant(obs::EventType::kStealServed, victim_task->id,
+                  deque_.size());
+  }
   return victim_task;
 }
 
@@ -104,8 +128,26 @@ void WorkerCore::install_stolen(Closure closure) {
   stats_.note_alloc();
   // Track where this task's result is claimed, so the task can be aborted if
   // that participant dies before we run it.
-  stolen_in_.emplace(closure.id, closure.cont.home);
+  const ClosureId id = closure.id;
+  stolen_in_.emplace(id, closure.cont.home);
   deque_.push(std::move(closure));
+  if (tracing()) {
+    trace_instant(obs::EventType::kStealSuccess, id, deque_.size());
+  }
+}
+
+void WorkerCore::note_steal_request_sent() {
+  ++stats_.steal_requests_sent;
+  if (tracing()) {
+    trace_instant(obs::EventType::kStealRequest, ClosureId{}, 0);
+  }
+}
+
+void WorkerCore::note_steal_failed() {
+  ++stats_.failed_steals;
+  if (tracing()) {
+    trace_instant(obs::EventType::kStealFail, ClosureId{}, 0);
+  }
 }
 
 WorkerCore::Deliver WorkerCore::deliver_remote(const ClosureId& target,
@@ -120,6 +162,9 @@ WorkerCore::Deliver WorkerCore::deliver_remote(const ClosureId& target,
   if (!c.fill(slot, std::move(value))) {
     ++stats_.args_duplicate;
     return Deliver::kDuplicate;
+  }
+  if (tracing()) {
+    trace_instant(obs::EventType::kArgRecv, target, slot);
   }
   if (c.ready()) {
     deque_.push(std::move(c));
@@ -141,11 +186,17 @@ std::vector<Closure> WorkerCore::drain_for_migration() {
   waiting_.clear();
   stats_.tasks_migrated_out += out.size();
   for (std::size_t i = 0; i < out.size(); ++i) stats_.note_free();
+  if (tracing()) {
+    trace_instant(obs::EventType::kMigrateOut, ClosureId{}, out.size());
+  }
   return out;
 }
 
 void WorkerCore::install_migrated(Closure closure) {
   stats_.note_alloc();
+  if (tracing()) {
+    trace_instant(obs::EventType::kMigrateIn, closure.id, 0);
+  }
   if (closure.ready()) {
     deque_.push(std::move(closure));
   } else {
@@ -163,6 +214,9 @@ std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
     if (it->second.thief == dead) {
       stats_.note_alloc();
       ++stats_.tasks_redone;
+      if (tracing()) {
+        trace_instant(obs::EventType::kRedo, it->first, dead.value);
+      }
       deque_.push(std::move(it->second.snapshot));
       it = steal_ledger_.erase(it);
       ++redone;
@@ -237,6 +291,19 @@ void WorkerCore::emit_io(const std::string& text) {
   } else {
     std::fputs((text + "\n").c_str(), stdout);
   }
+}
+
+void WorkerCore::trace_instant(obs::EventType type, const ClosureId& id,
+                               std::uint64_t arg) {
+  if (!tracing()) return;
+  obs::TraceEvent e = obs::make_event(
+      type, static_cast<std::uint16_t>(me_.value), trace_now());
+  if (id.valid()) {
+    e.closure_origin = id.origin.value;
+    e.closure_seq = id.seq;
+  }
+  e.arg = arg;
+  trace_->emit(e);
 }
 
 const Closure* WorkerCore::find_waiting(const ClosureId& id) const {

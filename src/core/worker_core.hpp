@@ -22,6 +22,8 @@
 #include "core/ready_deque.hpp"
 #include "core/task_registry.hpp"
 #include "core/worker_stats.hpp"
+#include "obs/clock.hpp"
+#include "obs/tracer.hpp"
 
 namespace phish {
 
@@ -85,6 +87,12 @@ class WorkerCore {
   /// Thief side of a steal: install a stolen closure for execution.
   void install_stolen(Closure closure);
 
+  /// Thief-side bookkeeping shared by all runtimes: a steal request left
+  /// this worker / a request came back empty.  Counts the stat and traces
+  /// the event, so runtimes don't hand-roll either.
+  void note_steal_request_sent();
+  void note_steal_failed();
+
   /// Deliver an argument that arrived from the network for a closure hosted
   /// here.
   enum class Deliver { kFilled, kBecameReady, kDuplicate, kUnknown };
@@ -141,10 +149,34 @@ class WorkerCore {
   /// Route application output through Hooks::emit_io (stdout by default).
   void emit_io(const std::string& text);
 
+  // ---- Observability. ----
+
+  /// Attach a trace sink and clock.  Pass nulls to detach.  When
+  /// `emit_execute_spans` is false the core skips kExecute records (the
+  /// simulated runtime emits its own spans in virtual time, where task cost
+  /// is known only after execution).
+  void set_trace(obs::TraceShard* shard, const obs::Clock* clock,
+                 bool emit_execute_spans = true) {
+    trace_ = (shard != nullptr && clock != nullptr) ? shard : nullptr;
+    trace_clock_ = clock;
+    trace_execute_spans_ = emit_execute_spans;
+  }
+  obs::TraceShard* trace_shard() const noexcept { return trace_; }
+  const obs::Clock* trace_clock() const noexcept { return trace_clock_; }
+
+  /// Record an instant event on this worker's shard (no-op when detached).
+  void trace_instant(obs::EventType type, const ClosureId& id,
+                     std::uint64_t arg);
+
  private:
   friend class Context;
 
   ClosureId next_id() { return ClosureId{me_, next_seq_++}; }
+
+  bool tracing() const noexcept {
+    return PHISH_OBS_TRACING && trace_ != nullptr && trace_->enabled();
+  }
+  std::uint64_t trace_now() const { return trace_clock_->now_ns(); }
 
   net::NodeId me_;
   const TaskRegistry& registry_;
@@ -154,6 +186,9 @@ class WorkerCore {
   std::unordered_map<ClosureId, Closure> waiting_;
   std::uint64_t next_seq_ = 1;
   WorkerStats stats_;
+  obs::TraceShard* trace_ = nullptr;
+  const obs::Clock* trace_clock_ = nullptr;
+  bool trace_execute_spans_ = true;
 
   struct LedgerEntry {
     Closure snapshot;     // full copy: enough to redo the task

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "serial/buffer.hpp"
 
@@ -128,5 +129,27 @@ struct WorkerStats {
     return s;
   }
 };
+
+/// The one aggregation path every runtime reports through: per-participant
+/// stats plus the paper-convention merge.  Replaces the hand-rolled
+/// push_back/merge loops that used to live in each runtime.
+struct StatsSnapshot {
+  WorkerStats aggregate;
+  std::vector<WorkerStats> per_worker;
+
+  void add(const WorkerStats& s) {
+    per_worker.push_back(s);
+    aggregate.merge(s);
+  }
+};
+
+/// Collect a snapshot from any range of participants; `get` maps an element
+/// to its WorkerStats (and may lock around the read).
+template <typename Range, typename GetStats>
+StatsSnapshot collect_stats(const Range& participants, GetStats get) {
+  StatsSnapshot snap;
+  for (const auto& p : participants) snap.add(get(p));
+  return snap;
+}
 
 }  // namespace phish

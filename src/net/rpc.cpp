@@ -59,6 +59,7 @@ void RpcNode::call(NodeId dst, std::uint16_t method, Bytes args,
 }
 
 void RpcNode::send_oneway(NodeId dst, std::uint16_t type, Bytes payload) {
+  trace_message(obs::EventType::kRpcSend, type);
   channel_.send(dst, type, std::move(payload));
 }
 
@@ -73,6 +74,7 @@ RpcStats RpcNode::stats() const {
 }
 
 void RpcNode::on_message(Message&& message) {
+  trace_message(obs::EventType::kRpcRecv, message.type);
   switch (message.type) {
     case kRpcRequest:
       handle_request(std::move(message));
@@ -165,6 +167,7 @@ void RpcNode::transmit(std::uint64_t request_id, const PendingCall& call) {
   w.u64(request_id);
   w.u16(call.method);
   w.blob(call.args.data(), call.args.size());
+  trace_message(obs::EventType::kRpcSend, kRpcRequest);
   channel_.send(call.dst, kRpcRequest, w.take());
 }
 
@@ -199,6 +202,7 @@ void RpcNode::send_reply(NodeId dst, std::uint64_t request_id,
   Writer w;
   w.u64(request_id);
   w.blob(reply.data(), reply.size());
+  trace_message(obs::EventType::kRpcSend, kRpcReply);
   channel_.send(dst, kRpcReply, w.take());
 }
 

@@ -28,6 +28,8 @@
 
 #include "net/channel.hpp"
 #include "net/timer_service.hpp"
+#include "obs/clock.hpp"
+#include "obs/tracer.hpp"
 
 namespace phish::net {
 
@@ -86,7 +88,23 @@ class RpcNode {
 
   RpcStats stats() const;
 
+  /// Observability: record every datagram this node sends/receives
+  /// (kRpcSend/kRpcRecv, arg = wire message type).  Nulls detach.
+  void set_trace(obs::TraceShard* shard, const obs::Clock* clock) {
+    trace_ = (shard != nullptr && clock != nullptr) ? shard : nullptr;
+    trace_clock_ = clock;
+  }
+
  private:
+  void trace_message(obs::EventType type, std::uint16_t wire_type) noexcept {
+    if (trace_ == nullptr || !trace_->enabled()) return;
+    obs::TraceEvent e = obs::make_event(
+        type, static_cast<std::uint16_t>(channel_.id().value),
+        trace_clock_->now_ns());
+    e.arg = wire_type;
+    trace_->emit(e);
+  }
+
   struct PendingCall {
     NodeId dst;
     std::uint16_t method = 0;
@@ -113,6 +131,8 @@ class RpcNode {
   Channel& channel_;
   TimerService& timers_;
   const std::size_t reply_cache_capacity_;
+  obs::TraceShard* trace_ = nullptr;
+  const obs::Clock* trace_clock_ = nullptr;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint16_t, MethodHandler> methods_;

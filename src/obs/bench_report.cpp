@@ -1,0 +1,116 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+
+#ifndef PHISH_GIT_SHA
+#define PHISH_GIT_SHA "unknown"
+#endif
+
+namespace phish::obs {
+
+namespace {
+
+std::string render_string(const std::string& s) {
+  return "\"" + JsonWriter::escape(s) + "\"";
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, render_string(value));
+}
+void BenchReport::set(const std::string& key, const char* value) {
+  set(key, std::string(value));
+}
+void BenchReport::set(const std::string& key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  fields_.emplace_back(key, buf);
+}
+void BenchReport::set(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+void BenchReport::set(const std::string& key, std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+void BenchReport::set(const std::string& key, int value) {
+  set(key, static_cast<std::int64_t>(value));
+}
+void BenchReport::set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+}
+
+void BenchReport::set_histogram(const std::string& key,
+                                const HistogramSummary& h) {
+  set(key + ".count", h.count);
+  set(key + ".mean", h.mean());
+  set(key + ".p50", h.quantile(0.50));
+  set(key + ".p90", h.quantile(0.90));
+  set(key + ".p99", h.quantile(0.99));
+}
+
+void BenchReport::set_metrics(const MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  json.begin_object();
+  for (const auto& [name, v] : snapshot.counters) json.kv(name, v);
+  for (const auto& [name, v] : snapshot.gauges) json.kv(name, v);
+  for (const auto& [name, h] : snapshot.histograms) {
+    json.key(name);
+    json.begin_object();
+    json.kv("count", h.count);
+    json.kv("mean", h.mean());
+    json.kv("p50", h.quantile(0.50));
+    json.kv("p90", h.quantile(0.90));
+    json.kv("p99", h.quantile(0.99));
+    json.end_object();
+  }
+  json.end_object();
+  metrics_json_ = json.take();
+}
+
+const char* BenchReport::git_sha() { return PHISH_GIT_SHA; }
+
+std::string BenchReport::json() const {
+  std::string out = "{\"bench\":" + render_string(name_) +
+                    ",\"git_sha\":" + render_string(git_sha());
+  for (const auto& [key, value] : fields_) {
+    out += ",";
+    out += render_string(key);
+    out += ":";
+    out += value;
+  }
+  if (!metrics_json_.empty()) {
+    out += ",\"metrics\":" + metrics_json_;
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string BenchReport::path() const {
+  const char* dir = std::getenv("PHISH_BENCH_DIR");
+  const std::string base = "BENCH_" + name_ + ".json";
+  if (dir && *dir) return std::string(dir) + "/" + base;
+  return base;
+}
+
+bool BenchReport::write() const {
+  const std::string target = path();
+  const std::string payload = json();
+  std::FILE* f = std::fopen(target.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "bench report: cannot open %s\n", target.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  std::fclose(f);
+  std::printf("ARTIFACT %s\n", target.c_str());
+  return ok;
+}
+
+}  // namespace phish::obs

@@ -1,0 +1,58 @@
+// Machine-readable bench artifacts: BENCH_<name>.json.
+//
+// Every fig/table bench builds one BenchReport, fills it with the quantities
+// its stdout table shows (plus seed, runtime, participant counts), and
+// write()s it next to the binary (or into $PHISH_BENCH_DIR).  The payload
+// always carries the git sha the binary was configured from, so a stored
+// artifact is attributable to a commit — this is the file the perf
+// trajectory is judged against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace phish::obs {
+
+class BenchReport {
+ public:
+  /// `name` becomes the artifact file name: BENCH_<name>.json.
+  explicit BenchReport(std::string name);
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, int value);
+  void set(const std::string& key, bool value);
+
+  /// Summarized histogram: count, mean, p50/p90/p99 under `key.*`.
+  void set_histogram(const std::string& key, const HistogramSummary& h);
+
+  /// Attach a whole metrics snapshot under "metrics".
+  void set_metrics(const MetricsSnapshot& snapshot);
+
+  /// Git sha the build was configured at ("unknown" outside a checkout).
+  static const char* git_sha();
+
+  std::string json() const;
+
+  /// Output path: $PHISH_BENCH_DIR/BENCH_<name>.json, or ./BENCH_<name>.json.
+  std::string path() const;
+
+  /// Serialize to path(); logs to stdout and returns false on I/O failure.
+  bool write() const;
+
+ private:
+  // Values are pre-rendered JSON fragments; insertion order is kept so the
+  // artifact reads in the order the bench reported.
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::string metrics_json_;
+};
+
+}  // namespace phish::obs

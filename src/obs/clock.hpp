@@ -1,0 +1,42 @@
+// Clock domains for the observability subsystem.
+//
+// Trace timestamps must be meaningful within one run but the notion of "now"
+// differs per runtime: the simulated-distributed runtime lives in virtual
+// time (sim::Simulator::now), while the threads and UDP runtimes live in
+// steady wall-clock time.  obs::Clock is the one interface both sides of
+// that divide implement, so the tracer, the exporters, and the phish-trace
+// CLI never need to know which domain produced a trace.
+#pragma once
+
+#include <cstdint>
+
+#include "util/timer.hpp"
+
+namespace phish::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds since an arbitrary per-run epoch.  Monotone within a run.
+  virtual std::uint64_t now_ns() const = 0;
+};
+
+/// Wall-clock domain (threads and UDP runtimes): std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override { return monotonic_ns(); }
+};
+
+/// Virtual-time domain: adapts any `now()`-shaped source (sim::Simulator) so
+/// obs does not depend on the simulator library.
+template <typename Source>
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(const Source& source) : source_(source) {}
+  std::uint64_t now_ns() const override { return source_.now(); }
+
+ private:
+  const Source& source_;
+};
+
+}  // namespace phish::obs

@@ -1,0 +1,58 @@
+// The structured trace event: one fixed-size binary record per scheduler
+// action, covering the full task lifecycle the paper's evaluation reasons
+// about (spawn, execute, steal, synchronization, migration, fault recovery)
+// plus the RPC layer underneath it.
+#pragma once
+
+#include <cstdint>
+
+namespace phish::obs {
+
+enum class EventType : std::uint16_t {
+  kSpawn = 1,          // ready closure created locally
+  kExecute = 2,        // span: t_start..t_end of one task execution
+  kStealRequest = 3,   // thief: request sent (or about to be)
+  kStealSuccess = 4,   // thief: stolen closure installed
+  kStealFail = 5,      // thief: request found nothing / victim unreachable
+  kStealServed = 6,    // victim: surrendered a task to a thief
+  kArgSend = 7,        // synchronization initiated here (arg = 1 if remote)
+  kArgRecv = 8,        // argument delivered into a hosted closure
+  kMigrateOut = 9,     // departure: closures drained (arg = count)
+  kMigrateIn = 10,     // migrated closure installed
+  kReclaim = 11,       // owner reclaimed this workstation
+  kCrash = 12,         // fault injection killed this worker
+  kRedo = 13,          // ledger snapshot re-enqueued after a thief died
+  kRpcSend = 14,       // datagram left this node (arg = message type)
+  kRpcRecv = 15,       // datagram arrived at this node (arg = message type)
+};
+
+const char* to_string(EventType type) noexcept;
+
+/// Fixed-size (40-byte) binary record.  Instant events carry t_start ==
+/// t_end; spans (kExecute) carry both.  `closure_origin`/`closure_seq` name
+/// the closure involved (zero when the event is not about one closure), and
+/// `arg` is a per-type payload: remote flag for kArgSend, drained count for
+/// kMigrateOut, wire message type for kRpcSend/kRpcRecv, ready-deque depth
+/// after the operation for kSpawn/kExecute.
+struct TraceEvent {
+  std::uint64_t t_start = 0;
+  std::uint64_t t_end = 0;
+  std::uint64_t closure_seq = 0;
+  std::uint64_t arg = 0;
+  std::uint32_t closure_origin = 0;
+  std::uint16_t type = 0;
+  std::uint16_t worker = 0;
+};
+static_assert(sizeof(TraceEvent) == 40, "TraceEvent must stay fixed-size");
+
+inline TraceEvent make_event(EventType type, std::uint16_t worker,
+                             std::uint64_t t) {
+  TraceEvent e;
+  e.type = static_cast<std::uint16_t>(type);
+  e.worker = worker;
+  e.t_start = t;
+  e.t_end = t;
+  return e;
+}
+
+}  // namespace phish::obs

@@ -1,0 +1,110 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+
+namespace phish::obs {
+
+void JsonWriter::comma_for_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& s) {
+  comma_for_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* s) { value(std::string(s)); }
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double v) {
+  comma_for_value();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace phish::obs

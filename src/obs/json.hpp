@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer for the observability exporters.
+//
+// Deterministic output is a hard requirement (the Chrome-trace golden test
+// compares bytes across replays), so formatting is fixed: no whitespace
+// except where emitted explicitly, "%.17g" doubles, and keys appear in the
+// order the caller wrote them.  There is deliberately no parser here — the
+// exporters only produce JSON; consumers are Perfetto and scripts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phish::obs {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  void key(const std::string& name);
+
+  void value(const std::string& s);
+  void value(const char* s);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+  void null();
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() noexcept { return std::move(out_); }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma_for_value();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace phish::obs

@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+namespace phish::obs {
+
+namespace detail {
+
+std::size_t stripe_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+}  // namespace detail
+
+std::uint64_t HistogramSummary::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target && buckets[b] > 0) {
+      // Upper bound of bucket b: 2^(b+1) - 1 (bucket 0 holds {0, 1}).
+      return b >= 63 ? ~std::uint64_t{0} : (std::uint64_t{2} << b) - 1;
+    }
+  }
+  return 0;
+}
+
+void HistogramSummary::merge(const HistogramSummary& other) noexcept {
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSummary Histogram::summarize() const noexcept {
+  HistogramSummary out;
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < out.buckets.size(); ++b) {
+      const std::uint64_t n = shard.buckets[b].load(std::memory_order_relaxed);
+      out.buckets[b] += n;
+      out.count += n;
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->summarize();
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->set(0);
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace phish::obs

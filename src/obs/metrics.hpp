@@ -1,0 +1,158 @@
+// Metrics registry: named counters, gauges, and histograms with cheap
+// thread-striped shards and a merge/snapshot API.
+//
+// Handles are resolved by name once (mutex + map) and cached by the caller;
+// after that every update is wait-free:
+//
+//   * Counter::inc     — one relaxed fetch_add on a per-thread stripe
+//     (stripes are cache-line padded, so concurrent writers from different
+//     threads never contend on a line);
+//   * Gauge::set/add   — one relaxed store/fetch_add;
+//   * Histogram::observe — one relaxed fetch_add on a log2 bucket stripe.
+//
+// snapshot() merges all stripes into plain structs — the single aggregation
+// path the runtimes and bench exporters report through (superseding per-call
+// hand-rolled summation).  Registry::global() is the process-wide instance;
+// tests may construct private registries.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace phish::obs {
+
+namespace detail {
+constexpr std::size_t kStripes = 16;
+/// Stable small index for the calling thread, assigned on first use.
+std::size_t stripe_index() noexcept;
+struct alignas(64) Stripe {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    stripes_[detail::stripe_index()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : stripes_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() noexcept {
+    for (auto& s : stripes_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::Stripe, detail::kStripes> stripes_;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged, immutable view of one histogram: log2 buckets (bucket i counts
+/// samples in [2^i, 2^(i+1))) plus count/sum, good enough for the latency
+/// percentiles the benches report.
+struct HistogramSummary {
+  std::array<std::uint64_t, 64> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  double mean() const noexcept {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  /// Upper bound of the bucket containing quantile q in [0,1] (0 if empty).
+  std::uint64_t quantile(double q) const noexcept;
+  void merge(const HistogramSummary& other) noexcept;
+};
+
+class Histogram {
+ public:
+  void observe(std::uint64_t v) noexcept {
+    const std::size_t stripe = detail::stripe_index();
+    shards_[stripe].buckets[bucket_of(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    shards_[stripe].sum.fetch_add(v, std::memory_order_relaxed);
+  }
+  HistogramSummary summarize() const noexcept;
+  void reset() noexcept {
+    for (auto& shard : shards_) {
+      for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+      shard.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, 64> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, detail::kStripes> shards_;
+};
+
+/// Plain-struct result of Registry::snapshot().
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry (the runtimes and benches report here).
+  static Registry& global();
+
+  /// Create-or-get by name.  Returned references live as long as the
+  /// registry; resolve once and cache.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric (bench reps; the handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace phish::obs

@@ -1,0 +1,106 @@
+// Lock-free single-producer / single-consumer ring of fixed-size records.
+//
+// This is the tracer's hot-path sink: each worker thread owns exactly one
+// ring as its producer, and the exporter (or a live monitor) is the single
+// consumer.  Guarantees:
+//
+//   * try_push never blocks and never allocates; when the ring is full the
+//     record is dropped and `dropped()` counts it (back-pressure must never
+//     stall the scheduler being observed);
+//   * producer and consumer touch disjoint cache lines for their indices
+//     (no false sharing on the only contended state);
+//   * correct under TSan: slots are published with a release store of the
+//     head and consumed after an acquire load, so a snapshot taken while the
+//     producer runs sees only fully-written records.
+//
+// Capacity is rounded up to a power of two so index masking is one AND.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace phish::obs {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_hint = 1u << 16)
+      : mask_(round_up_pow2(capacity_hint) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer only.  Returns false (and counts a drop) when full.
+  bool try_push(const T& value) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only.  Appends every available record to `out` and consumes
+  /// them; returns how many were taken.
+  std::size_t drain(std::vector<T>& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (std::uint64_t i = tail; i != head; ++i) {
+      out.push_back(slots_[i & mask_]);
+    }
+    tail_.store(head, std::memory_order_release);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  /// Consumer only.  Reads without consuming: the producer cannot overwrite
+  /// the copied range because it never advances past tail + capacity.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    out.reserve(static_cast<std::size_t>(head - tail));
+    for (std::uint64_t i = tail; i != head; ++i) {
+      out.push_back(slots_[i & mask_]);
+    }
+    return out;
+  }
+
+  std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Total records ever accepted (pushed minus drops).
+  std::uint64_t pushed() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  const std::uint64_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};   // producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};   // consumer-owned
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace phish::obs

@@ -1,0 +1,177 @@
+#include "obs/trace_file.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace phish::obs {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x31454341'52544850ULL;  // "PHTRACE1"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+Bytes encode_trace(const TraceData& data) {
+  Writer w;
+  w.u64(kMagic);
+  w.u32(kVersion);
+  w.str(data.runtime);
+  w.u8(static_cast<std::uint8_t>(data.clock));
+  w.u64(data.seed);
+  w.u32(data.participants);
+  w.u64(data.dropped);
+  w.u64(data.events.size());
+  for (const TraceEvent& e : data.events) {
+    w.u64(e.t_start);
+    w.u64(e.t_end);
+    w.u64(e.closure_seq);
+    w.u64(e.arg);
+    w.u32(e.closure_origin);
+    w.u16(e.type);
+    w.u16(e.worker);
+  }
+  return w.take();
+}
+
+std::optional<TraceData> decode_trace(const Bytes& bytes) {
+  Reader r(bytes);
+  if (r.u64() != kMagic || r.u32() != kVersion) return std::nullopt;
+  TraceData data;
+  data.runtime = r.str();
+  data.clock = static_cast<ClockDomain>(r.u8());
+  data.seed = r.u64();
+  data.participants = r.u32();
+  data.dropped = r.u64();
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count > (std::uint64_t{1} << 32)) return std::nullopt;
+  data.events.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    TraceEvent e;
+    e.t_start = r.u64();
+    e.t_end = r.u64();
+    e.closure_seq = r.u64();
+    e.arg = r.u64();
+    e.closure_origin = r.u32();
+    e.type = r.u16();
+    e.worker = r.u16();
+    data.events.push_back(e);
+  }
+  if (!r.done()) return std::nullopt;
+  return data;
+}
+
+bool write_trace_file(const std::string& path, const TraceData& data) {
+  const Bytes bytes = encode_trace(data);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::optional<TraceData> read_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  Bytes bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return decode_trace(bytes);
+}
+
+std::string chrome_trace_json(const TraceData& data) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("otherData");
+  json.begin_object();
+  json.kv("runtime", data.runtime);
+  json.kv("clock_domain",
+          data.clock == ClockDomain::kVirtual ? "virtual" : "steady");
+  json.kv("seed", data.seed);
+  json.kv("participants", static_cast<std::uint64_t>(data.participants));
+  json.kv("events_dropped", data.dropped);
+  json.end_object();
+  json.key("traceEvents");
+  json.begin_array();
+
+  // Name the per-worker threads first (Perfetto shows these as track names).
+  std::set<std::uint16_t> workers;
+  for (const TraceEvent& e : data.events) workers.insert(e.worker);
+  for (const std::uint16_t w : workers) {
+    json.begin_object();
+    json.kv("name", "thread_name");
+    json.kv("ph", "M");
+    json.kv("pid", 0);
+    json.kv("tid", static_cast<std::int64_t>(w));
+    json.key("args");
+    json.begin_object();
+    json.kv("name", "worker " + std::to_string(w));
+    json.end_object();
+    json.end_object();
+  }
+
+  for (const TraceEvent& e : data.events) {
+    const auto type = static_cast<EventType>(e.type);
+    json.begin_object();
+    json.kv("name", to_string(type));
+    json.kv("cat", "phish");
+    if (type == EventType::kExecute) {
+      json.kv("ph", "X");
+      json.kv("ts", static_cast<double>(e.t_start) / 1000.0);
+      json.kv("dur", static_cast<double>(e.t_end - e.t_start) / 1000.0);
+    } else {
+      json.kv("ph", "i");
+      json.kv("ts", static_cast<double>(e.t_start) / 1000.0);
+      json.kv("s", "t");
+    }
+    json.kv("pid", 0);
+    json.kv("tid", static_cast<std::int64_t>(e.worker));
+    json.key("args");
+    json.begin_object();
+    if (e.closure_origin != 0 || e.closure_seq != 0) {
+      json.kv("closure", "n" + std::to_string(e.closure_origin) + "#" +
+                             std::to_string(e.closure_seq));
+    }
+    json.kv("arg", e.arg);
+    json.end_object();
+    json.end_object();
+
+    // Ready-deque depth rides along as a counter track: spawn/execute/steal
+    // events carry the post-operation depth in `arg`.
+    if (type == EventType::kSpawn || type == EventType::kExecute ||
+        type == EventType::kStealSuccess || type == EventType::kStealServed) {
+      json.begin_object();
+      json.kv("name", "ready_depth_w" + std::to_string(e.worker));
+      json.kv("ph", "C");
+      json.kv("ts", static_cast<double>(type == EventType::kExecute
+                                            ? e.t_end
+                                            : e.t_start) /
+                        1000.0);
+      json.kv("pid", 0);
+      json.key("args");
+      json.begin_object();
+      json.kv("depth", e.arg);
+      json.end_object();
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+bool write_chrome_trace(const std::string& path, const TraceData& data) {
+  const std::string out = chrome_trace_json(data);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace phish::obs

@@ -1,0 +1,56 @@
+// Binary trace container (.phtrace) and the Chrome/Perfetto trace.json
+// exporter.
+//
+// A TraceData is one run's collected events plus the metadata a reader
+// needs to interpret them: which runtime produced it, which clock domain
+// the timestamps live in (virtual simulated time vs steady wall-clock),
+// the seed, and how many events the rings dropped.  The binary format is
+// the serial/buffer little-endian encoding, so the phish-trace CLI can load
+// traces from any runtime; the Chrome export turns kExecute records into
+// duration spans and everything else into instant events, with per-worker
+// ready-deque-depth counter tracks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/tracer.hpp"
+#include "serial/buffer.hpp"
+
+namespace phish::obs {
+
+enum class ClockDomain : std::uint8_t {
+  kSteady = 0,   // wall-clock ns (threads / UDP runtimes)
+  kVirtual = 1,  // simulated ns (simdist runtime)
+};
+
+struct TraceData {
+  std::string runtime;  // "threads" | "simdist" | "udp" | ...
+  ClockDomain clock = ClockDomain::kSteady;
+  std::uint64_t seed = 0;
+  std::uint32_t participants = 0;
+  std::uint64_t dropped = 0;  // ring overflow drops across all shards
+  std::vector<TraceEvent> events;
+
+  /// Drain `tracer` into this TraceData (events end up sorted).
+  void take_from(Tracer& tracer) {
+    events = tracer.collect();
+    dropped = tracer.total_dropped();
+  }
+};
+
+Bytes encode_trace(const TraceData& data);
+std::optional<TraceData> decode_trace(const Bytes& bytes);
+
+/// Write/read the binary container.  Returns false / nullopt on I/O failure.
+bool write_trace_file(const std::string& path, const TraceData& data);
+std::optional<TraceData> read_trace_file(const std::string& path);
+
+/// Chrome trace-event JSON (load in Perfetto or chrome://tracing).
+/// Byte-deterministic for a given TraceData.
+std::string chrome_trace_json(const TraceData& data);
+bool write_chrome_trace(const std::string& path, const TraceData& data);
+
+}  // namespace phish::obs

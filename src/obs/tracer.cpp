@@ -1,0 +1,68 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+namespace phish::obs {
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kSpawn: return "spawn";
+    case EventType::kExecute: return "execute";
+    case EventType::kStealRequest: return "steal_request";
+    case EventType::kStealSuccess: return "steal_success";
+    case EventType::kStealFail: return "steal_fail";
+    case EventType::kStealServed: return "steal_served";
+    case EventType::kArgSend: return "arg_send";
+    case EventType::kArgRecv: return "arg_recv";
+    case EventType::kMigrateOut: return "migrate_out";
+    case EventType::kMigrateIn: return "migrate_in";
+    case EventType::kReclaim: return "reclaim";
+    case EventType::kCrash: return "crash";
+    case EventType::kRedo: return "redo";
+    case EventType::kRpcSend: return "rpc_send";
+    case EventType::kRpcRecv: return "rpc_recv";
+  }
+  return "unknown";
+}
+
+TraceShard* Tracer::shard(std::uint16_t tid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : shards_) {
+    if (s->tid() == tid) return s.get();
+  }
+  shards_.push_back(std::unique_ptr<TraceShard>(
+      new TraceShard(&enabled_, tid, shard_capacity_)));
+  return shards_.back().get();
+}
+
+std::vector<TraceEvent> Tracer::collect() {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& s : shards_) {
+      s->ring_.drain(events);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.t_start != b.t_start) return a.t_start < b.t_start;
+              if (a.worker != b.worker) return a.worker < b.worker;
+              if (a.type != b.type) return a.type < b.type;
+              return a.closure_seq < b.closure_seq;
+            });
+  return events;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->dropped();
+  return total;
+}
+
+std::size_t Tracer::shard_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_.size();
+}
+
+}  // namespace phish::obs

@@ -25,6 +25,12 @@ SimCluster::SimCluster(const TaskRegistry& registry, SimJobConfig config)
   }
   ch_rpc_ = std::make_unique<net::RpcNode>(network_.channel(kClearinghouseNode),
                                            timers_);
+  if (config_.tracer != nullptr) {
+    ch_rpc_->set_trace(
+        config_.tracer->shard(
+            static_cast<std::uint16_t>(kClearinghouseNode.value)),
+        &virtual_clock_);
+  }
   clearinghouse_ = std::make_unique<Clearinghouse>(*ch_rpc_, timers_,
                                                    config_.clearinghouse);
   Xoshiro256 seeder(config_.seed);
@@ -36,6 +42,12 @@ SimCluster::SimCluster(const TaskRegistry& registry, SimJobConfig config)
         sim_, network_, timers_, registry_, worker_node(i),
         kClearinghouseNode, config_.worker, seeder.fork(i + 1).next(),
         config_.exec_order, config_.steal_order));
+    if (config_.tracer != nullptr) {
+      workers_.back()->set_trace(
+          config_.tracer->shard(
+              static_cast<std::uint16_t>(worker_node(i).value)),
+          &virtual_clock_);
+    }
   }
 }
 
@@ -220,9 +232,11 @@ SimJobResult SimCluster::drive() {
   if (!value) throw std::runtime_error("SimCluster: no result recorded");
   result.value = *value;
   result.makespan_seconds = sim::to_seconds(result_time - first_start);
+  StatsSnapshot snap =
+      collect_stats(workers_, [](const auto& w) { return w->stats(); });
+  result.aggregate = std::move(snap.aggregate);
+  result.per_worker = std::move(snap.per_worker);
   for (const auto& w : workers_) {
-    result.per_worker.push_back(w->stats());
-    result.aggregate.merge(w->stats());
     result.participant_seconds.push_back(sim::to_seconds(w->lifetime()));
     result.messages_sent += w->channel_stats().messages_sent;
   }

@@ -18,6 +18,8 @@
 
 #include "core/clearinghouse.hpp"
 #include "net/fault.hpp"
+#include "obs/clock.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/simdist/sim_worker.hpp"
 
 namespace phish::rt {
@@ -40,6 +42,9 @@ struct SimJobConfig {
   std::vector<int> worker_clusters;
   /// Give up if the job has not completed by this much simulated time.
   sim::SimTime max_sim_time = 3'600 * sim::kSecond;
+  /// Optional event tracer (virtual-clock domain).  Worker i writes to
+  /// tracer->shard(i + 1); the Clearinghouse's RPC traffic goes to shard 0.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// A consistent snapshot of a running job (paper §6: "support for
@@ -120,6 +125,7 @@ class SimCluster {
   SimJobConfig config_;
   std::optional<JobCheckpoint> checkpoint_;
   sim::Simulator sim_;
+  obs::VirtualClock<sim::Simulator> virtual_clock_{sim_};
   net::SimNetwork network_;
   std::unique_ptr<net::FaultInjector> fault_injector_;
   net::SimTimerService timers_;

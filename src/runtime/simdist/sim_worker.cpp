@@ -148,6 +148,18 @@ void SimWorker::step() {
                    core_.last_charge() * params_.charge_unit + cpu_debt_);
     cpu_debt_ = 0;
     consecutive_failed_steals_ = 0;
+    if (trace_shard_ != nullptr && trace_shard_->enabled()) {
+      // Virtual-time span: the task occupies [now, now + cost] of simulated
+      // time (the core's wall-clock span would be zero-length here).
+      obs::TraceEvent e = obs::make_event(
+          obs::EventType::kExecute, static_cast<std::uint16_t>(me_.value),
+          sim_.now());
+      e.t_end = sim_.now() + cost;
+      e.closure_origin = task->id.origin.value;
+      e.closure_seq = task->id.seq;
+      e.arg = core_.ready_count();
+      trace_shard_->emit(e);
+    }
     if (!outbox_.empty()) {
       // Messages produced by this task leave when its execution completes.
       sim_.schedule(cost, [this, batch = std::move(outbox_)] {
@@ -169,8 +181,8 @@ void SimWorker::attempt_steal() {
   if (!victim) {
     // Nobody to steal from yet; refresh membership and retry.
     ++consecutive_failed_steals_;
-    ++core_.stats().steal_requests_sent;
-    ++core_.stats().failed_steals;
+    core_.note_steal_request_sent();
+    core_.note_steal_failed();
     if (consecutive_failed_steals_ >= params_.max_failed_steals) {
       depart(DepartReason::kParallelismShrank);
       return;
@@ -180,7 +192,8 @@ void SimWorker::attempt_steal() {
     return;
   }
   steal_in_flight_ = true;
-  ++core_.stats().steal_requests_sent;
+  steal_sent_at_ = sim_.now();
+  core_.note_steal_request_sent();
   const Bytes payload = proto::StealRequest{me_}.encode();
   cpu_debt_ += network_.send_cpu_cost(payload.size());
   rpc_.call(
@@ -201,6 +214,7 @@ void SimWorker::on_steal_reply(net::NodeId victim, net::RpcResult result) {
     auto reply = proto::StealReply::decode(result.reply);
     if (reply && reply->task) {
       core_.install_stolen(std::move(*reply->task));
+      steal_latency_.observe(sim_.now() - steal_sent_at_);
       got_task = true;
     }
   } else {
@@ -221,7 +235,7 @@ void SimWorker::on_steal_reply(net::NodeId victim, net::RpcResult result) {
     schedule_step(0);
     return;
   }
-  ++core_.stats().failed_steals;
+  core_.note_steal_failed();
   if (++consecutive_failed_steals_ >= params_.max_failed_steals) {
     depart(DepartReason::kParallelismShrank);
     return;
@@ -303,6 +317,8 @@ void SimWorker::handle_oneway(net::Message&& message) {
 void SimWorker::depart(DepartReason reason) {
   if (terminated()) return;
   depart_reason_ = reason;
+  core_.trace_instant(obs::EventType::kReclaim, ClosureId{},
+                      reason == DepartReason::kOwnerReclaimed ? 1 : 0);
   // Move every remaining closure (ready and waiting) to a surviving peer and
   // leave a forwarding stub behind.
   std::vector<Closure> cargo = core_.drain_for_migration();
@@ -411,6 +427,7 @@ void SimWorker::reclaim_by_owner() {
 
 void SimWorker::crash() {
   if (terminated()) return;
+  core_.trace_instant(obs::EventType::kCrash, ClosureId{}, 0);
   state_ = State::kDead;
   end_time_ = sim_.now();
   heartbeat_timer_.stop();

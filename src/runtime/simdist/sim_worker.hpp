@@ -34,6 +34,7 @@
 #include "core/worker_core.hpp"
 #include "net/rpc.hpp"
 #include "net/sim_net.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace phish::rt {
@@ -162,6 +163,16 @@ class SimWorker {
     on_terminated_ = std::move(fn);
   }
 
+  /// Attach a trace sink (virtual-clock domain).  The core's own kExecute
+  /// spans are suppressed: virtual time does not advance inside execute(),
+  /// so this worker emits [now, now + cost] spans itself once the task's
+  /// simulated cost is known.
+  void set_trace(obs::TraceShard* shard, const obs::Clock* clock) {
+    trace_shard_ = (shard != nullptr && clock != nullptr) ? shard : nullptr;
+    core_.set_trace(shard, clock, /*emit_execute_spans=*/false);
+    rpc_.set_trace(shard, clock);
+  }
+
  private:
   void on_registered(const proto::Membership& membership);
   void schedule_step(sim::SimTime delay);
@@ -217,6 +228,10 @@ class SimWorker {
   sim::SimTime start_time_ = 0;
   sim::SimTime end_time_ = 0;
   std::function<void(State)> on_terminated_;
+  obs::TraceShard* trace_shard_ = nullptr;
+  sim::SimTime steal_sent_at_ = 0;  // virtual-time steal latency
+  obs::Histogram& steal_latency_ =
+      obs::Registry::global().histogram("steal.latency_ns");
 
   sim::PeriodicTimer heartbeat_timer_;
   sim::PeriodicTimer update_timer_;

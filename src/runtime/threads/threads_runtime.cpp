@@ -14,6 +14,11 @@
 namespace phish::rt {
 namespace {
 
+const obs::SteadyClock& steady_clock() {
+  static const obs::SteadyClock clock;
+  return clock;
+}
+
 int make_poll_socket() {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) throw std::runtime_error("threads runtime: socket() failed");
@@ -34,7 +39,9 @@ int make_poll_socket() {
 
 ThreadsRuntime::ThreadsRuntime(const TaskRegistry& registry,
                                ThreadsConfig config)
-    : registry_(registry), config_(config) {
+    : registry_(registry),
+      config_(config),
+      steal_latency_(obs::Registry::global().histogram("steal.latency_ns")) {
   if (config_.workers < 1) {
     throw std::invalid_argument("threads runtime: need at least one worker");
   }
@@ -98,6 +105,10 @@ ThreadsRunResult ThreadsRuntime::run(TaskId root, std::vector<Value> args) {
                                           registry_, std::move(hooks),
                                           config_.exec_order,
                                           config_.steal_order);
+    if (config_.tracer != nullptr) {
+      w.core->set_trace(config_.tracer->shard(static_cast<std::uint16_t>(i)),
+                        &steady_clock());
+    }
     std::lock_guard<std::mutex> inbox_lock(w.inbox_mutex);
     w.inbox.clear();
   }
@@ -147,11 +158,12 @@ ThreadsRunResult ThreadsRuntime::run(TaskId root, std::vector<Value> args) {
     }
     result.value = std::move(*result_);
   }
-  for (auto& w : workers_) {
+  StatsSnapshot snap = collect_stats(workers_, [](const auto& w) {
     std::lock_guard<std::mutex> lock(w->core_mutex);
-    result.per_worker.push_back(w->core->stats());
-    result.aggregate.merge(w->core->stats());
-  }
+    return w->core->stats();
+  });
+  result.aggregate = std::move(snap.aggregate);
+  result.per_worker = std::move(snap.per_worker);
   job_active_.store(false);
   return result;
 }
@@ -251,6 +263,7 @@ bool ThreadsRuntime::try_steal_for(int thief_index) {
   const int victim_index = pick >= thief_index ? pick + 1 : pick;
   Worker& victim = *workers_[victim_index];
 
+  const std::uint64_t t0 = monotonic_ns();
   std::optional<Closure> stolen;
   {
     std::lock_guard<std::mutex> lock(victim.core_mutex);
@@ -261,12 +274,13 @@ bool ThreadsRuntime::try_steal_for(int thief_index) {
     if (stolen) in_transit_.fetch_add(1);
   }
   std::lock_guard<std::mutex> lock(thief.core_mutex);
-  ++thief.core->stats().steal_requests_sent;
+  thief.core->note_steal_request_sent();
   if (!stolen) {
-    ++thief.core->stats().failed_steals;
+    thief.core->note_steal_failed();
     return false;
   }
   thief.core->install_stolen(std::move(*stolen));
+  steal_latency_.observe(monotonic_ns() - t0);
   in_transit_.fetch_sub(1);
   return true;
 }

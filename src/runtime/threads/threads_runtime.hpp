@@ -32,6 +32,8 @@
 
 #include "core/local_runner.hpp"
 #include "core/worker_core.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/rng.hpp"
 
 namespace phish::rt {
@@ -47,6 +49,9 @@ struct ThreadsConfig {
   /// Consecutive empty scheduling rounds (own queue, inbox, and a failed
   /// steal) after which a worker naps briefly instead of spinning.
   int spin_rounds_before_yield = 64;
+  /// Optional event tracer (wall-clock domain).  Worker i writes to
+  /// tracer->shard(i); null disables tracing entirely.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ThreadsRunResult {
@@ -95,6 +100,7 @@ class ThreadsRuntime {
 
   const TaskRegistry& registry_;
   ThreadsConfig config_;
+  obs::Histogram& steal_latency_;  // successful-steal latency, global registry
   std::vector<std::unique_ptr<Worker>> workers_;
 
   // Per-job state.

@@ -7,6 +7,14 @@
 #include "util/timer.hpp"
 
 namespace phish::rt {
+namespace {
+
+const obs::SteadyClock& steady_clock() {
+  static const obs::SteadyClock clock;
+  return clock;
+}
+
+}  // namespace
 
 UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
                      const TaskRegistry& registry, net::NodeId me,
@@ -46,6 +54,12 @@ UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
             }(),
             config.exec_order, config.steal_order),
       rng_(mix64(seed ^ me.value)) {
+  if (config.tracer != nullptr) {
+    obs::TraceShard* shard =
+        config.tracer->shard(static_cast<std::uint16_t>(me.value));
+    core_.set_trace(shard, &steady_clock());
+    rpc_.set_trace(shard, &steady_clock());
+  }
   rpc_.set_oneway_handler(
       [this](net::Message&& m) { handle_message(std::move(m)); });
   rpc_.serve(proto::kRpcSteal, [this](net::NodeId, const Bytes& args) {
@@ -210,16 +224,17 @@ bool UdpWorker::attempt_steal() {
   std::optional<net::NodeId> victim;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++core_.stats().steal_requests_sent;
+    core_.note_steal_request_sent();
     victim = pick_peer();
   }
   if (!victim) {
     // Nobody to steal from in our (possibly stale) view: refresh it.
     refresh_membership();
     std::lock_guard<std::mutex> lock(mutex_);
-    ++core_.stats().failed_steals;
+    core_.note_steal_failed();
     return false;
   }
+  const std::uint64_t steal_sent_at = monotonic_ns();
   // Split-phase in spirit, but a thief has nothing else to do, so wait for
   // the reply (bounded by the RPC retry budget).
   std::mutex m;
@@ -246,7 +261,9 @@ bool UdpWorker::attempt_steal() {
   cv.wait(lock, [&] { return done; });
   if (!got) {
     std::lock_guard<std::mutex> self_lock(mutex_);
-    ++core_.stats().failed_steals;
+    core_.note_steal_failed();
+  } else {
+    steal_latency_.observe(monotonic_ns() - steal_sent_at);
   }
   return got;
 }
@@ -359,6 +376,11 @@ UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
 
   const net::NodeId ch_node{0};
   net::RpcNode ch_rpc(network.channel(ch_node), timers);
+  if (config_.tracer != nullptr) {
+    ch_rpc.set_trace(
+        config_.tracer->shard(static_cast<std::uint16_t>(ch_node.value)),
+        &steady_clock());
+  }
   Clearinghouse clearinghouse(ch_rpc, timers, config_.clearinghouse);
 
   std::mutex result_mutex;
@@ -410,10 +432,11 @@ UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
     result.value = std::move(*result_value);
   }
   result.elapsed_seconds = elapsed;
+  StatsSnapshot snap = collect_stats(
+      workers, [](const auto& w) { return w->stats_snapshot(); });
+  result.aggregate = std::move(snap.aggregate);
+  result.per_worker = std::move(snap.per_worker);
   for (auto& w : workers) {
-    const WorkerStats s = w->stats_snapshot();
-    result.per_worker.push_back(s);
-    result.aggregate.merge(s);
     result.messages_sent += w->channel_stats().messages_sent;
   }
   return result;

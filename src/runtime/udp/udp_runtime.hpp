@@ -27,6 +27,8 @@
 #include "core/worker_core.hpp"
 #include "net/fault.hpp"
 #include "net/udp_net.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/rng.hpp"
 
 namespace phish::rt {
@@ -51,6 +53,9 @@ struct UdpJobConfig {
   /// Node events are ignored here — real time is not scriptable; use the
   /// simdist runtime for crash/reclaim schedules.
   std::optional<net::FaultPlan> fault_plan;
+  /// Optional event tracer (wall-clock domain).  Worker i writes to
+  /// tracer->shard(i + 1); the Clearinghouse's RPC traffic goes to shard 0.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct UdpJobResult {
@@ -121,6 +126,8 @@ class UdpWorker {
   net::NodeId forward_to_;  // successor after a shrink departure
   Xoshiro256 rng_;
 
+  obs::Histogram& steal_latency_ =
+      obs::Registry::global().histogram("steal.latency_ns");
   std::condition_variable wake_cv_;  // signalled on new work / shutdown
   std::atomic<bool> stop_{false};
   std::atomic<bool> departed_for_shrink_{false};

@@ -1,0 +1,233 @@
+// phish-trace: inspect .phtrace binary traces from any runtime.
+//
+//   phish-trace summary <run.phtrace>          event counts, drops, time span
+//   phish-trace steals  <run.phtrace>          steal latency percentiles
+//   phish-trace util    <run.phtrace>          per-worker utilization
+//   phish-trace depth   <run.phtrace>          ready-deque depth over time
+//   phish-trace export  <run.phtrace> --out=trace.json   Chrome/Perfetto JSON
+//
+// All timestamps are in the trace's own clock domain (virtual ns for simdist
+// traces, steady wall-clock ns for threads/udp traces); the tool prints
+// which one it is reading.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_file.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace phish::obs {
+namespace {
+
+const char* domain_name(ClockDomain d) {
+  return d == ClockDomain::kVirtual ? "virtual (simulated ns)"
+                                    : "steady (wall-clock ns)";
+}
+
+void print_header(const TraceData& data) {
+  std::printf("runtime=%s  clock=%s  seed=%llu  participants=%u  events=%zu"
+              "  dropped=%llu\n",
+              data.runtime.c_str(), domain_name(data.clock),
+              static_cast<unsigned long long>(data.seed), data.participants,
+              data.events.size(),
+              static_cast<unsigned long long>(data.dropped));
+}
+
+std::pair<std::uint64_t, std::uint64_t> time_span(const TraceData& data) {
+  std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+  for (const TraceEvent& e : data.events) {
+    lo = std::min(lo, e.t_start);
+    hi = std::max(hi, e.t_end);
+  }
+  if (lo > hi) lo = hi = 0;
+  return {lo, hi};
+}
+
+int cmd_summary(const TraceData& data) {
+  print_header(data);
+  const auto [lo, hi] = time_span(data);
+  std::printf("span: %.6f s\n\n", static_cast<double>(hi - lo) / 1e9);
+  std::map<EventType, std::uint64_t> counts;
+  for (const TraceEvent& e : data.events) {
+    ++counts[static_cast<EventType>(e.type)];
+  }
+  TextTable table({"event", "count"});
+  for (const auto& [type, count] : counts) {
+    table.add_row({to_string(type),
+                   TextTable::num(static_cast<std::int64_t>(count))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_steals(const TraceData& data) {
+  print_header(data);
+  // Per worker, pair each steal request with the next success/fail on the
+  // same worker (a thief has at most one steal outstanding in every
+  // runtime).  Events are sorted by time, so one forward pass suffices.
+  std::map<std::uint16_t, std::uint64_t> open;  // worker -> request time
+  std::vector<std::uint64_t> won, lost;
+  for (const TraceEvent& e : data.events) {
+    const auto type = static_cast<EventType>(e.type);
+    if (type == EventType::kStealRequest) {
+      open[e.worker] = e.t_start;
+    } else if (type == EventType::kStealSuccess ||
+               type == EventType::kStealFail) {
+      auto it = open.find(e.worker);
+      if (it == open.end()) continue;  // e.g. a steal begun before tracing
+      (type == EventType::kStealSuccess ? won : lost)
+          .push_back(e.t_start - it->second);
+      open.erase(it);
+    }
+  }
+  auto report = [](const char* label, std::vector<std::uint64_t>& lat) {
+    if (lat.empty()) {
+      std::printf("%s: none\n", label);
+      return;
+    }
+    std::sort(lat.begin(), lat.end());
+    auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(lat.size() - 1));
+      return static_cast<double>(lat[idx]) / 1e3;  // us
+    };
+    double sum = 0;
+    for (std::uint64_t v : lat) sum += static_cast<double>(v);
+    std::printf("%s: n=%zu  mean=%.1f us  p50=%.1f us  p90=%.1f us  "
+                "p99=%.1f us  max=%.1f us\n",
+                label, lat.size(), sum / static_cast<double>(lat.size()) / 1e3,
+                at(0.50), at(0.90), at(0.99),
+                static_cast<double>(lat.back()) / 1e3);
+  };
+  report("successful steals", won);
+  report("failed steals", lost);
+  return 0;
+}
+
+int cmd_util(const TraceData& data) {
+  print_header(data);
+  const auto [lo, hi] = time_span(data);
+  const double window = static_cast<double>(hi - lo);
+  std::map<std::uint16_t, std::uint64_t> busy;
+  std::map<std::uint16_t, std::uint64_t> tasks;
+  for (const TraceEvent& e : data.events) {
+    if (static_cast<EventType>(e.type) != EventType::kExecute) continue;
+    busy[e.worker] += e.t_end - e.t_start;
+    ++tasks[e.worker];
+  }
+  TextTable table({"worker", "tasks", "busy (s)", "utilization"});
+  for (const auto& [worker, ns] : busy) {
+    table.add_row(
+        {TextTable::num(static_cast<std::int64_t>(worker)),
+         TextTable::num(static_cast<std::int64_t>(tasks[worker])),
+         TextTable::num(static_cast<double>(ns) / 1e9, 3),
+         TextTable::num(window > 0 ? static_cast<double>(ns) / window : 0.0,
+                        3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_depth(const TraceData& data, int buckets) {
+  print_header(data);
+  const auto [lo, hi] = time_span(data);
+  if (hi == lo || buckets < 1) {
+    std::printf("trace too short for a depth profile\n");
+    return 0;
+  }
+  // kSpawn/kExecute/kStealSuccess/kStealServed record the ready-deque depth
+  // after the operation in `arg`; average them per (worker, time bucket).
+  struct Cell {
+    std::uint64_t sum = 0, n = 0;
+  };
+  std::map<std::uint16_t, std::vector<Cell>> per_worker;
+  for (const TraceEvent& e : data.events) {
+    const auto type = static_cast<EventType>(e.type);
+    if (type != EventType::kSpawn && type != EventType::kExecute &&
+        type != EventType::kStealSuccess && type != EventType::kStealServed) {
+      continue;
+    }
+    auto& cells = per_worker[e.worker];
+    if (cells.empty()) cells.resize(static_cast<std::size_t>(buckets));
+    const auto b = static_cast<std::size_t>(
+        static_cast<double>(e.t_start - lo) / static_cast<double>(hi - lo) *
+        (buckets - 1));
+    cells[b].sum += e.arg;
+    ++cells[b].n;
+  }
+  std::uint64_t peak = 1;
+  for (const auto& [worker, cells] : per_worker) {
+    for (const Cell& c : cells) {
+      if (c.n > 0) peak = std::max(peak, c.sum / c.n);
+    }
+  }
+  std::printf("ready-deque depth over time (avg per bucket; scale 0..%llu)\n",
+              static_cast<unsigned long long>(peak));
+  const char glyphs[] = " .:-=+*#%@";
+  for (const auto& [worker, cells] : per_worker) {
+    std::string line;
+    for (const Cell& c : cells) {
+      if (c.n == 0) {
+        line += ' ';
+        continue;
+      }
+      const std::uint64_t avg = c.sum / c.n;
+      const auto g = static_cast<std::size_t>(
+          static_cast<double>(avg) / static_cast<double>(peak) * 9.0);
+      line += glyphs[g];
+    }
+    std::printf("w%-4u |%s|\n", worker, line.c_str());
+  }
+  return 0;
+}
+
+int cmd_export(const TraceData& data, const std::string& out) {
+  if (!write_chrome_trace(out, data)) {
+    std::fprintf(stderr, "phish-trace: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  print_header(data);
+  std::printf("ARTIFACT %s\n", out.c_str());
+  std::printf("open in https://ui.perfetto.dev or chrome://tracing\n");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: phish-trace <summary|steals|util|depth|export> <run.phtrace>\n"
+      "       depth takes --buckets=N (default 64)\n"
+      "       export takes --out=trace.json\n");
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if (flags.positional().size() < 2) return usage();
+  const std::string command = flags.positional()[0];
+  const std::string path = flags.positional()[1];
+  auto data = read_trace_file(path);
+  if (!data) {
+    std::fprintf(stderr, "phish-trace: cannot read trace %s\n", path.c_str());
+    return 1;
+  }
+  if (command == "summary") return cmd_summary(*data);
+  if (command == "steals") return cmd_steals(*data);
+  if (command == "util") return cmd_util(*data);
+  if (command == "depth") {
+    return cmd_depth(*data, static_cast<int>(flags.get_int("buckets", 64)));
+  }
+  if (command == "export") {
+    const std::string out = flags.get_string("out", "trace.json");
+    return cmd_export(*data, out);
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace phish::obs
+
+int main(int argc, char** argv) { return phish::obs::run(argc, argv); }

@@ -1,0 +1,146 @@
+// Metrics registry: striped counters under contention, log2 histogram
+// bucketing and quantiles, snapshot/merge, and reset keeping cached handles
+// valid (benches resolve once and reuse across reps).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace phish::obs {
+namespace {
+
+TEST(Counter, CountsAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+}
+
+TEST(Histogram, BucketOfIsFloorLog2) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 9u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 63u);
+}
+
+TEST(Histogram, SummarizeAndQuantiles) {
+  Histogram h;
+  // 90 small samples and 10 large ones: p50 must land in the small bucket,
+  // p99 in the large one.
+  for (int i = 0; i < 90; ++i) h.observe(100);    // bucket 6, bound 127
+  for (int i = 0; i < 10; ++i) h.observe(10'000);  // bucket 13
+  const HistogramSummary s = h.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 90u * 100 + 10u * 10'000);
+  EXPECT_DOUBLE_EQ(s.mean(), (90.0 * 100 + 10.0 * 10'000) / 100.0);
+  EXPECT_LT(s.quantile(0.50), 256u);
+  EXPECT_GE(s.quantile(0.99), 8192u);
+  EXPECT_GE(s.quantile(1.0), s.quantile(0.5));
+}
+
+TEST(Histogram, SummaryMergeAddsCounts) {
+  Histogram a, b;
+  a.observe(10);
+  b.observe(10);
+  b.observe(1000);
+  HistogramSummary sa = a.summarize();
+  sa.merge(b.summarize());
+  EXPECT_EQ(sa.count, 3u);
+  EXPECT_EQ(sa.sum, 1020u);
+  EXPECT_EQ(sa.buckets[Histogram::bucket_of(10)], 2u);
+  EXPECT_EQ(sa.buckets[Histogram::bucket_of(1000)], 1u);
+}
+
+TEST(Histogram, ObserveFromManyThreads) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(64);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSummary s = h.summarize();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.sum, kThreads * kPerThread * 64);
+}
+
+TEST(Registry, HandlesAreStableAcrossLookupsAndReset) {
+  Registry reg;
+  Counter& c1 = reg.counter("steals");
+  Counter& c2 = reg.counter("steals");
+  EXPECT_EQ(&c1, &c2);  // same metric, not a copy
+  c1.inc(5);
+  reg.reset();
+  EXPECT_EQ(c2.value(), 0u);
+  c1.inc(3);  // the pre-reset handle still works
+  EXPECT_EQ(reg.counter("steals").value(), 3u);
+}
+
+TEST(Registry, SnapshotMergesEverything) {
+  Registry reg;
+  reg.counter("a").inc(7);
+  reg.gauge("depth").set(-2);
+  reg.histogram("lat").observe(100);
+  reg.histogram("lat").observe(200);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 7u);
+  EXPECT_EQ(snap.gauges.at("depth"), -2);
+  EXPECT_EQ(snap.histograms.at("lat").count, 2u);
+  EXPECT_EQ(snap.histograms.at("lat").sum, 300u);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  Registry& a = Registry::global();
+  Registry& b = Registry::global();
+  EXPECT_EQ(&a, &b);
+  // The runtimes resolve this handle; creating it here must be idempotent.
+  Histogram& h = a.histogram("steal.latency_ns");
+  EXPECT_EQ(&h, &b.histogram("steal.latency_ns"));
+}
+
+TEST(Registry, ConcurrentLookupAndUpdate) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("shared").inc();
+        reg.histogram("h").observe(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared").value(), kThreads * 1000u);
+  EXPECT_EQ(reg.histogram("h").summarize().count, kThreads * 1000u);
+}
+
+}  // namespace
+}  // namespace phish::obs

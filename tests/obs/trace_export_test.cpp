@@ -1,0 +1,125 @@
+// Trace container + exporters: binary round-trip, Chrome JSON determinism
+// and shape, and the BENCH_*.json report format.
+#include "obs/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/bench_report.hpp"
+
+namespace phish::obs {
+namespace {
+
+TraceData sample_trace() {
+  TraceData data;
+  data.runtime = "simdist";
+  data.clock = ClockDomain::kVirtual;
+  data.seed = 0xfeed;
+  data.participants = 2;
+  data.dropped = 1;
+  TraceEvent spawn = make_event(EventType::kSpawn, 1, 100);
+  spawn.closure_origin = 2;
+  spawn.closure_seq = 7;
+  spawn.arg = 3;
+  TraceEvent exec = make_event(EventType::kExecute, 1, 200);
+  exec.t_end = 450;
+  data.events = {spawn, exec};
+  return data;
+}
+
+TEST(TraceFile, EncodeDecodeRoundTrip) {
+  const TraceData data = sample_trace();
+  const auto decoded = decode_trace(encode_trace(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->runtime, "simdist");
+  EXPECT_EQ(decoded->clock, ClockDomain::kVirtual);
+  EXPECT_EQ(decoded->seed, 0xfeedu);
+  EXPECT_EQ(decoded->participants, 2u);
+  EXPECT_EQ(decoded->dropped, 1u);
+  ASSERT_EQ(decoded->events.size(), 2u);
+  EXPECT_EQ(decoded->events[0].closure_seq, 7u);
+  EXPECT_EQ(decoded->events[0].closure_origin, 2u);
+  EXPECT_EQ(decoded->events[0].arg, 3u);
+  EXPECT_EQ(decoded->events[1].t_end, 450u);
+  EXPECT_EQ(decoded->events[1].type,
+            static_cast<std::uint16_t>(EventType::kExecute));
+}
+
+TEST(TraceFile, RejectsGarbage) {
+  Bytes junk;
+  for (int i = 0; i < 64; ++i) junk.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_FALSE(decode_trace(junk).has_value());
+  EXPECT_FALSE(decode_trace(Bytes{}).has_value());
+}
+
+TEST(TraceFile, FileRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/phish_obs_roundtrip.phtrace";
+  const TraceData data = sample_trace();
+  ASSERT_TRUE(write_trace_file(path, data));
+  const auto read = read_trace_file(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->runtime, data.runtime);
+  EXPECT_EQ(read->events.size(), data.events.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_trace_file(path).has_value());
+}
+
+TEST(ChromeTrace, HasTraceEventShape) {
+  const std::string json = chrome_trace_json(sample_trace());
+  // Loadable by Perfetto/chrome://tracing: a traceEvents array with "ph"
+  // phases, complete ("X") spans for kExecute, instants ("i") otherwise.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("execute"), std::string::npos);
+  EXPECT_NE(json.find("spawn"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ChromeTrace, ByteDeterministicForSameData) {
+  EXPECT_EQ(chrome_trace_json(sample_trace()),
+            chrome_trace_json(sample_trace()));
+}
+
+TEST(BenchReport, JsonCarriesProvenanceAndFields) {
+  BenchReport report("unit_test");
+  report.set("runtime", "simdist");
+  report.set("participants", 4);
+  report.set("seconds", 1.5);
+  report.set("ok", true);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"runtime\":\"simdist\""), std::string::npos);
+  EXPECT_NE(json.find("\"participants\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(std::string(BenchReport::git_sha()), "");
+}
+
+TEST(BenchReport, HistogramAndMetricsSections) {
+  Registry reg;
+  reg.counter("tasks").inc(9);
+  reg.histogram("lat").observe(1000);
+  BenchReport report("unit_test2");
+  report.set_histogram("steal_latency", reg.histogram("lat").summarize());
+  report.set_metrics(reg.snapshot());
+  const std::string json = report.json();
+  EXPECT_NE(json.find("steal_latency"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"tasks\":9"), std::string::npos);
+}
+
+TEST(BenchReport, PathHonorsBenchDirEnv) {
+  BenchReport report("envtest");
+  ASSERT_EQ(setenv("PHISH_BENCH_DIR", "/tmp/phish-bench", 1), 0);
+  EXPECT_EQ(report.path(), "/tmp/phish-bench/BENCH_envtest.json");
+  unsetenv("PHISH_BENCH_DIR");
+  EXPECT_EQ(report.path(), "BENCH_envtest.json");
+}
+
+}  // namespace
+}  // namespace phish::obs
