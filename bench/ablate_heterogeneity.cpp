@@ -55,8 +55,9 @@ int run(int argc, char** argv) {
     params.cpu_speed = speeds[i];
     workers.push_back(std::make_unique<rt::SimWorker>(
         simulator, network, timers, registry,
-        net::NodeId{static_cast<std::uint32_t>(i + 1)}, net::NodeId{0},
-        params, 1234 + static_cast<std::uint64_t>(i)));
+        net::NodeId{static_cast<std::uint32_t>(i + 1)},
+        std::vector<net::NodeId>{net::NodeId{0}}, params,
+        1234 + static_cast<std::uint64_t>(i)));
   }
   workers[0]->set_root(root, {Value(std::int64_t{polymer})});
   for (int i = 0; i < kP; ++i) {

@@ -37,6 +37,11 @@ int run(int argc, char** argv) {
   report.set("seed", cfg.seed);
   report.set("polymer", cfg.polymer);
   report.set("cutoff", cfg.cutoff);
+  report.set("failures", cfg.inject_failures ? 1 : 0);
+  if (cfg.inject_failures) {
+    std::printf("failure injection ON: primary Clearinghouse crash at 500 ms, "
+                "worker 1 crash at 300 ms + rejoin at 2 s (P>2)\n\n");
+  }
 
   TextTable table({"P", "avg time (s)", "makespan (s)", "tasks", "steals"});
   double t1 = 0.0;
@@ -44,8 +49,10 @@ int run(int argc, char** argv) {
     obs::Tracer tracer;
     const bool trace_this =
         !trace_path.empty() && p == participants.back();
+    RecoveryTracker::Snapshot recovery;
     const auto result = run_pfold_at(cfg, static_cast<int>(p),
-                                     trace_this ? &tracer : nullptr);
+                                     trace_this ? &tracer : nullptr,
+                                     cfg.inject_failures ? &recovery : nullptr);
     if (p == 1) t1 = result.average_participant_seconds;
     table.add_row({TextTable::num(static_cast<std::int64_t>(p)),
                    TextTable::num(result.average_participant_seconds, 3),
@@ -55,6 +62,11 @@ int run(int argc, char** argv) {
     kv("fig4.P" + std::to_string(p) + ".avg_seconds",
        result.average_participant_seconds);
     report_sim_result(report, "P" + std::to_string(p), result);
+    if (cfg.inject_failures) {
+      report_recovery(report, "P" + std::to_string(p), recovery);
+      kv("fig4.P" + std::to_string(p) + ".recovery.mttr_ns",
+         recovery.last_mttr_ns);
+    }
     if (trace_this) {
       obs::TraceData data;
       data.runtime = "simdist";

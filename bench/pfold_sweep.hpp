@@ -27,6 +27,12 @@ struct PfoldSweepConfig {
   int polymer = 18;     // monomers
   int cutoff = 7;       // sequential_monomers grain
   std::uint64_t seed = 1994;
+  /// Failure-injection mode (--failures=1): crash the primary Clearinghouse
+  /// (warm standby promotes) and crash-then-rejoin one worker mid-job, and
+  /// report recovery counters + MTTR alongside the usual statistics.  The
+  /// 1994 measurement conventions (no heartbeats, no detection) do not apply
+  /// in this mode: it measures recovery, not locality.
+  bool inject_failures = false;
 };
 
 inline PfoldSweepConfig sweep_config_from_flags(const Flags& flags) {
@@ -34,12 +40,14 @@ inline PfoldSweepConfig sweep_config_from_flags(const Flags& flags) {
   cfg.polymer = static_cast<int>(flags.get_int("polymer", cfg.polymer));
   cfg.cutoff = static_cast<int>(flags.get_int("cutoff", cfg.cutoff));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1994));
+  cfg.inject_failures = flags.get_int("failures", 0) != 0;
   return cfg;
 }
 
-inline rt::SimJobResult run_pfold_at(const PfoldSweepConfig& cfg,
-                                     int participants,
-                                     obs::Tracer* tracer = nullptr) {
+inline rt::SimJobResult run_pfold_at(
+    const PfoldSweepConfig& cfg, int participants,
+    obs::Tracer* tracer = nullptr,
+    RecoveryTracker::Snapshot* recovery = nullptr) {
   TaskRegistry registry;
   const TaskId root = apps::register_pfold(registry, cfg.cutoff);
   rt::SimJobConfig job;
@@ -50,8 +58,39 @@ inline rt::SimJobResult run_pfold_at(const PfoldSweepConfig& cfg,
   job.worker.update_period = 0;
   job.max_sim_time = 36'000 * sim::kSecond;
   job.tracer = tracer;
-  return rt::run_sim_job(registry, root,
-                         {Value(std::int64_t{cfg.polymer})}, job);
+  if (cfg.inject_failures) {
+    job.enable_backup = true;
+    job.clearinghouse.detect_failures = true;
+    job.clearinghouse.heartbeat_timeout_ns = 700 * sim::kMillisecond;
+    job.clearinghouse.failure_check_period_ns = 150 * sim::kMillisecond;
+    job.clearinghouse.replicate_period_ns = 150 * sim::kMillisecond;
+    job.clearinghouse.lease_timeout_ns = 600 * sim::kMillisecond;
+    job.clearinghouse.lease_check_period_ns = 150 * sim::kMillisecond;
+    job.worker.heartbeat_period = 100 * sim::kMillisecond;
+  }
+  rt::SimCluster cluster(registry, job);
+  if (cfg.inject_failures) {
+    cluster.crash_primary_at(500 * sim::kMillisecond);
+    if (participants > 2) {
+      cluster.crash_at(1, 300 * sim::kMillisecond);
+      cluster.rejoin_at(1, 2 * sim::kSecond);
+    }
+  }
+  rt::SimJobResult result =
+      cluster.run(root, {Value(std::int64_t{cfg.polymer})});
+  if (recovery != nullptr) *recovery = cluster.recovery().snapshot();
+  return result;
+}
+
+/// Failover counters + last MTTR for one failure-injected run; the full
+/// `recovery.mttr_ns` histogram rides the report's metrics snapshot.
+inline void report_recovery(obs::BenchReport& report, const std::string& prefix,
+                            const RecoveryTracker::Snapshot& s) {
+  report.set(prefix + ".recovery.detects", s.detects);
+  report.set(prefix + ".recovery.promotions", s.promotions);
+  report.set(prefix + ".recovery.rejoins", s.rejoins);
+  report.set(prefix + ".recovery.mttr_count", s.mttr_count);
+  report.set(prefix + ".recovery.mttr_ns", s.last_mttr_ns);
 }
 
 /// Record one simulated run's Table-2 counters under `prefix.*` in a

@@ -37,10 +37,19 @@ int run(int argc, char** argv) {
   std::printf("polymer=%d monomers, grain cutoff=%d\n\n", cfg.polymer,
               cfg.cutoff);
 
+  if (cfg.inject_failures) {
+    std::printf("failure injection ON: primary Clearinghouse crash at 500 ms, "
+                "worker 1 crash at 300 ms + rejoin at 2 s (P>2)\n\n");
+  }
+
   std::vector<rt::SimJobResult> results;
+  std::vector<RecoveryTracker::Snapshot> recoveries;
   std::vector<std::string> header{"statistic"};
   for (std::int64_t p : participants) {
-    results.push_back(run_pfold_at(cfg, static_cast<int>(p)));
+    RecoveryTracker::Snapshot recovery;
+    results.push_back(run_pfold_at(cfg, static_cast<int>(p), nullptr,
+                                   cfg.inject_failures ? &recovery : nullptr));
+    recoveries.push_back(recovery);
     header.push_back(std::to_string(p) + " participants");
   }
 
@@ -80,6 +89,7 @@ int run(int argc, char** argv) {
   report.set("seed", cfg.seed);
   report.set("polymer", cfg.polymer);
   report.set("cutoff", cfg.cutoff);
+  report.set("failures", cfg.inject_failures ? 1 : 0);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const std::string prefix =
         "table2.P" + std::to_string(participants[i]) + ".";
@@ -92,6 +102,11 @@ int run(int argc, char** argv) {
     kv(prefix + "avg_seconds", results[i].average_participant_seconds);
     report_sim_result(report, "P" + std::to_string(participants[i]),
                       results[i]);
+    if (cfg.inject_failures) {
+      report_recovery(report, "P" + std::to_string(participants[i]),
+                      recoveries[i]);
+      kv(prefix + "recovery.mttr_ns", recoveries[i].last_mttr_ns);
+    }
   }
   report.set_metrics(obs::Registry::global().snapshot());
   report.write();

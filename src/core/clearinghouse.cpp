@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/recovery.hpp"
 #include "util/log.hpp"
 
 namespace phish {
@@ -12,9 +13,9 @@ Clearinghouse::Clearinghouse(net::RpcNode& rpc, net::TimerService& timers,
 
 Clearinghouse::~Clearinghouse() { stop(); }
 
-void Clearinghouse::start() {
-  rpc_.serve(proto::kRpcRegister, [this](net::NodeId src, const Bytes&) {
-    return handle_register(src);
+void Clearinghouse::install_primary_handlers() {
+  rpc_.serve(proto::kRpcRegister, [this](net::NodeId src, const Bytes& args) {
+    return handle_register(src, args);
   });
   rpc_.serve(proto::kRpcUnregister, [this](net::NodeId src, const Bytes&) {
     return handle_unregister(src);
@@ -34,23 +35,79 @@ void Clearinghouse::start() {
   });
   rpc_.set_oneway_handler(
       [this](net::Message&& m) { handle_oneway(std::move(m)); });
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    running_ = true;
-  }
+}
+
+void Clearinghouse::start() {
+  install_primary_handlers();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = true;
+  role_ = Role::kPrimary;
   if (config_.detect_failures) {
     failure_timer_ = timers_.schedule(config_.failure_check_period_ns,
                                       [this] { check_failures(); });
+  }
+  if (peer_.valid() && !replicate_timer_.valid()) {
+    replicate_timer_ = timers_.schedule(config_.replicate_period_ns,
+                                        [this] { replicate_tick(); });
+  }
+}
+
+void Clearinghouse::start_standby(net::NodeId primary) {
+  // Only the delta method is served: every other RPC (register, update,
+  // result) goes unanswered, so a worker that tries the standby too early
+  // times out and rotates back to the primary.
+  rpc_.serve(proto::kRpcChDelta, [this](net::NodeId src, const Bytes& args) {
+    return handle_delta(src, args);
+  });
+  rpc_.set_oneway_handler(
+      [this](net::Message&& m) { handle_oneway(std::move(m)); });
+  std::lock_guard<std::mutex> lock(mutex_);
+  role_ = Role::kStandby;
+  peer_ = primary;
+  running_ = true;
+  last_delta_ns_ = timers_.now_ns();  // fresh lease until the first delta
+  lease_timer_ = timers_.schedule(config_.lease_check_period_ns,
+                                  [this] { lease_tick(); });
+}
+
+void Clearinghouse::set_standby(net::NodeId standby) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peer_ = standby;
+  if (running_ && role_ == Role::kPrimary && !replicate_timer_.valid()) {
+    replicate_timer_ = timers_.schedule(config_.replicate_period_ns,
+                                        [this] { replicate_tick(); });
   }
 }
 
 void Clearinghouse::stop() {
   std::lock_guard<std::mutex> lock(mutex_);
   running_ = false;
-  if (failure_timer_.valid()) {
-    timers_.cancel(failure_timer_);
-    failure_timer_ = net::TimerToken{};
+  for (net::TimerToken* t : {&failure_timer_, &replicate_timer_,
+                             &lease_timer_}) {
+    if (t->valid()) {
+      timers_.cancel(*t);
+      *t = net::TimerToken{};
+    }
   }
+}
+
+void Clearinghouse::halt() {
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    role_ = Role::kHalted;
+  }
+  rpc_.set_paused(true);
+}
+
+Clearinghouse::Role Clearinghouse::role() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return role_;
+}
+
+std::uint64_t Clearinghouse::view() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return view_;
 }
 
 void Clearinghouse::set_on_result(std::function<void(const Value&)> fn) {
@@ -67,6 +124,11 @@ void Clearinghouse::set_on_membership_change(
     std::function<void(std::size_t)> fn) {
   std::lock_guard<std::mutex> lock(mutex_);
   on_membership_change_ = std::move(fn);
+}
+
+void Clearinghouse::set_on_promoted(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_promoted_ = std::move(fn);
 }
 
 proto::Membership Clearinghouse::membership() const {
@@ -106,13 +168,46 @@ std::map<net::NodeId, std::uint64_t> Clearinghouse::join_times() const {
   return join_times_;
 }
 
-Bytes Clearinghouse::handle_register(net::NodeId src) {
+Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
+  auto reg = proto::RegisterMsg::decode(args);
+  const std::uint32_t inc = reg ? reg->incarnation : 1;
   std::function<void(std::size_t)> notify;
+  std::function<void(net::NodeId)> notify_death;
   std::size_t count = 0;
   bool already_done = false;
+  bool implicit_death = false;
+  bool rejoined = false;
+  std::vector<net::NodeId> death_targets;
+  std::uint64_t view = 0;
   Bytes reply;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    const auto known = incarnations_.find(src);
+    const std::uint32_t prev =
+        known == incarnations_.end() ? 0 : known->second;
+    if (inc < prev) {
+      // A previous incarnation's register arriving late: don't resurrect it.
+      return membership_locked().encode();
+    }
+    if (inc > prev) {
+      // `inc > 1` means some earlier incarnation of this node existed, even
+      // if we never saw it (a standby promotes without the incarnation map;
+      // incarnations start at 1 by construction).
+      rejoined = prev > 0 || inc > 1;
+      auto it = std::find(participants_.begin(), participants_.end(), src);
+      if (it != participants_.end() && rejoined) {
+        // Still listed under the older incarnation: the crash beat the
+        // heartbeat timeout (or a freshly promoted primary holds a stale
+        // snapshot).  That incarnation is implicitly dead — survivors must
+        // redo its stolen work before the replacement is admitted.
+        participants_.erase(it);
+        dead_.push_back(src);
+        ++epoch_;
+        implicit_death = true;
+        death_targets = participants_;  // src is already gone from the list
+      }
+    }
+    incarnations_[src] = inc;
     if (std::find(participants_.begin(), participants_.end(), src) ==
         participants_.end()) {
       participants_.push_back(src);
@@ -122,9 +217,19 @@ Bytes Clearinghouse::handle_register(net::NodeId src) {
     last_heartbeat_[src] = timers_.now_ns();
     reply = membership_locked().encode();
     notify = on_membership_change_;
+    notify_death = on_death_;
     count = participants_.size();
     already_done = result_.has_value();
+    view = view_;
   }
+  if (implicit_death) {
+    PHISH_LOG(kInfo) << "clearinghouse: " << net::to_string(src)
+                     << " re-registered as incarnation " << inc
+                     << "; declaring its previous incarnation dead";
+    broadcast_death(src, death_targets, view);
+    if (notify_death) notify_death(src);
+  }
+  if (rejoined && tracker_ != nullptr) tracker_->note_rejoin();
   if (already_done) {
     // The job finished while this worker was joining (the shutdown broadcast
     // predates its membership): tell it directly.
@@ -159,13 +264,64 @@ Bytes Clearinghouse::handle_update() {
   return membership_locked().encode();
 }
 
-void Clearinghouse::handle_oneway(net::Message&& message) {
-  switch (message.type) {
-    case proto::kHeartbeat: {
-      std::lock_guard<std::mutex> lock(mutex_);
-      last_heartbeat_[message.src] = timers_.now_ns();
-      break;
+Bytes Clearinghouse::handle_delta(net::NodeId, const Bytes& args) {
+  auto d = proto::ChDeltaMsg::decode(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  proto::ChDeltaAck ack;
+  if (!d || role_ != Role::kStandby || d->view < view_) {
+    // Not a standby any more (or a stale sender): fence the caller.  A
+    // demoted/partitioned primary seeing promoted=true with a higher view
+    // silences itself.
+    ack.applied_seq = applied_seq_;
+    ack.io_count = io_log_.size();
+    ack.stats_count = stats_reports_.size();
+    ack.view = view_;
+    ack.promoted = role_ == Role::kPrimary;
+    return ack.encode();
+  }
+  last_delta_ns_ = timers_.now_ns();
+  if (d->seq > applied_seq_) {
+    applied_seq_ = d->seq;
+    if (d->view > view_) view_ = d->view;
+    if (d->epoch > epoch_) epoch_ = d->epoch;
+    participants_ = d->participants;
+    dead_ = d->dead;
+    if (d->result && !result_) result_ = *d->result;
+    // Append exactly the unseen suffix of each replicated tail (a
+    // retransmitted delta may overlap what we already hold).
+    for (std::size_t i = 0; i < d->io.size(); ++i) {
+      if (d->io_base + i == io_log_.size()) io_log_.push_back(d->io[i]);
     }
+    for (std::size_t i = 0; i < d->stats.size(); ++i) {
+      if (d->stats_base + i == stats_reports_.size()) {
+        stats_reports_.push_back(d->stats[i]);
+      }
+    }
+  }
+  ack.applied_seq = applied_seq_;
+  ack.io_count = io_log_.size();
+  ack.stats_count = stats_reports_.size();
+  ack.view = view_;
+  ack.promoted = false;
+  return ack.encode();
+}
+
+void Clearinghouse::handle_oneway(net::Message&& message) {
+  if (message.type == proto::kHeartbeat) {
+    // Both roles track liveness: workers heartbeat every replica, so a
+    // promoted standby starts with a warm map instead of declaring everyone
+    // dead at once.
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_heartbeat_[message.src] = timers_.now_ns();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A standby's only other legitimate input is the delta RPC; io or stats
+    // that strayed here would corrupt the watermark-replicated logs.
+    if (role_ != Role::kPrimary) return;
+  }
+  switch (message.type) {
     case proto::kArgument: {
       auto arg = proto::ArgumentMsg::decode(message.payload);
       if (!arg) {
@@ -218,9 +374,10 @@ void Clearinghouse::check_failures() {
   std::vector<net::NodeId> survivors;
   std::function<void(net::NodeId)> notify_death;
   std::function<void(std::size_t)> notify_membership;
+  std::uint64_t view = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!running_) return;
+    if (!running_ || role_ != Role::kPrimary) return;
     const std::uint64_t now = timers_.now_ns();
     for (auto it = participants_.begin(); it != participants_.end();) {
       const auto hb = last_heartbeat_.find(*it);
@@ -238,6 +395,7 @@ void Clearinghouse::check_failures() {
     survivors = participants_;
     notify_death = on_death_;
     notify_membership = on_membership_change_;
+    view = view_;
     // Re-arm.
     failure_timer_ = timers_.schedule(config_.failure_check_period_ns,
                                       [this] { check_failures(); });
@@ -245,15 +403,164 @@ void Clearinghouse::check_failures() {
   for (net::NodeId dead : newly_dead) {
     PHISH_LOG(kInfo) << "clearinghouse: participant " << net::to_string(dead)
                      << " declared dead";
-    const Bytes payload = proto::DeadMsg{dead}.encode();
-    for (net::NodeId p : survivors) {
-      rpc_.send_oneway(p, proto::kDead, payload);
-    }
+    broadcast_death(dead, survivors, view);
     if (notify_death) notify_death(dead);
   }
   if (!newly_dead.empty() && notify_membership) {
     notify_membership(survivors.size());
   }
+}
+
+void Clearinghouse::broadcast_death(net::NodeId dead,
+                                    const std::vector<net::NodeId>& to,
+                                    std::uint64_t view) {
+  // Death notices drive redo; a lost one would strand stolen work forever.
+  // They ride the acked RPC path (retransmitted until each peer confirms),
+  // not the old best-effort kDead oneway.
+  const Bytes payload =
+      proto::ControlMsg{proto::ControlMsg::kDeadNotice, dead, view}.encode();
+  for (net::NodeId p : to) {
+    rpc_.call(p, proto::kRpcControl, payload, [](net::RpcResult) {},
+              config_.control_policy);
+  }
+}
+
+void Clearinghouse::replicate_tick() {
+  Bytes payload;
+  net::NodeId standby{};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ || role_ != Role::kPrimary || !peer_.valid()) return;
+    replicate_timer_ = timers_.schedule(config_.replicate_period_ns,
+                                        [this] { replicate_tick(); });
+    if (delta_in_flight_) return;  // don't pile deltas on a slow standby
+    proto::ChDeltaMsg d;
+    d.seq = ++delta_seq_;
+    d.view = view_;
+    d.epoch = epoch_;
+    d.participants = participants_;
+    d.dead = dead_;
+    d.result = result_;
+    d.io_base = io_acked_;
+    for (std::size_t i = io_acked_;
+         i < io_log_.size() && d.io.size() < config_.max_delta_tail; ++i) {
+      d.io.push_back(io_log_[i]);
+    }
+    d.stats_base = stats_acked_;
+    for (std::size_t i = stats_acked_;
+         i < stats_reports_.size() && d.stats.size() < config_.max_delta_tail;
+         ++i) {
+      d.stats.push_back(stats_reports_[i]);
+    }
+    payload = d.encode();
+    standby = peer_;
+    delta_in_flight_ = true;
+  }
+  rpc_.call(
+      standby, proto::kRpcChDelta, std::move(payload),
+      [this](net::RpcResult r) {
+        bool demoted = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          delta_in_flight_ = false;
+          if (!r.ok) return;  // next tick retries from the same watermarks
+          auto ack = proto::ChDeltaAck::decode(r.reply);
+          if (!ack) return;
+          if (ack->promoted && ack->view > view_) {
+            // The standby promoted past us while we were cut off.  Exactly
+            // one replica may act as primary: go silent.
+            role_ = Role::kDemoted;
+            running_ = false;
+            for (net::TimerToken* t : {&failure_timer_, &replicate_timer_}) {
+              if (t->valid()) {
+                timers_.cancel(*t);
+                *t = net::TimerToken{};
+              }
+            }
+            demoted = true;
+          } else {
+            io_acked_ = std::max(io_acked_,
+                                 static_cast<std::size_t>(ack->io_count));
+            stats_acked_ = std::max(
+                stats_acked_, static_cast<std::size_t>(ack->stats_count));
+          }
+        }
+        if (demoted) {
+          PHISH_LOG(kInfo) << "clearinghouse " << net::to_string(rpc_.id())
+                           << ": superseded by promoted standby; demoting";
+          rpc_.set_paused(true);
+        }
+      },
+      config_.replicate_policy);
+}
+
+void Clearinghouse::lease_tick() {
+  std::uint64_t now = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ || role_ != Role::kStandby) return;
+    now = timers_.now_ns();
+    if (now - last_delta_ns_ <= config_.lease_timeout_ns) {
+      lease_timer_ = timers_.schedule(config_.lease_check_period_ns,
+                                      [this] { lease_tick(); });
+      return;
+    }
+    lease_timer_ = net::TimerToken{};
+  }
+  PHISH_LOG(kInfo) << "clearinghouse " << net::to_string(rpc_.id())
+                   << ": primary missed its lease; promoting";
+  if (tracker_ != nullptr) tracker_->note_detect(now);
+  promote();
+}
+
+void Clearinghouse::promote() {
+  std::vector<net::NodeId> targets;
+  std::optional<Value> result;
+  std::uint64_t view = 0;
+  std::uint64_t now = 0;
+  std::function<void()> on_promoted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (role_ != Role::kStandby) return;
+    role_ = Role::kPrimary;
+    ++view_;  // strictly above every view the old primary served
+    view = view_;
+    now = timers_.now_ns();
+    if (lease_timer_.valid()) {
+      timers_.cancel(lease_timer_);
+      lease_timer_ = net::TimerToken{};
+    }
+    // Full heartbeat grace: measure deaths from the promotion instant, not
+    // from heartbeats the dying primary never shared with us.
+    for (net::NodeId p : participants_) last_heartbeat_[p] = now;
+    targets = participants_;
+    result = result_;
+    if (config_.detect_failures) {
+      failure_timer_ = timers_.schedule(config_.failure_check_period_ns,
+                                        [this] { check_failures(); });
+    }
+    on_promoted = on_promoted_;
+  }
+  install_primary_handlers();
+  PHISH_LOG(kInfo) << "clearinghouse " << net::to_string(rpc_.id())
+                   << ": promoted to primary (view " << view << ", "
+                   << targets.size() << " participants)";
+  const Bytes announce =
+      proto::ControlMsg{proto::ControlMsg::kNewPrimary, rpc_.id(), view}
+          .encode();
+  for (net::NodeId p : targets) {
+    rpc_.call(p, proto::kRpcControl, announce, [](net::RpcResult) {},
+              config_.control_policy);
+  }
+  if (tracker_ != nullptr) tracker_->note_promote(now);
+  if (result) {
+    // The job had already finished: the old primary died mid-shutdown, so
+    // finish the broadcast it started.
+    for (net::NodeId p : targets) {
+      rpc_.send_oneway(p, proto::kShutdown, {});
+    }
+  }
+  if (on_promoted) on_promoted();
 }
 
 }  // namespace phish

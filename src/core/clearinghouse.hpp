@@ -41,6 +41,19 @@ struct ClearinghouseConfig {
   /// Disable crash detection entirely (e.g. measurement runs with no
   /// failures, where timeouts would only add noise).
   bool detect_failures = true;
+  /// Warm standby: the primary pushes a state delta this often; the delta
+  /// stream doubles as the primary's lease renewal.
+  std::uint64_t replicate_period_ns = 250'000'000ULL;  // 250 ms
+  /// Standby: promote once no delta has arrived for this long.
+  std::uint64_t lease_timeout_ns = 1'000'000'000ULL;  // 1 s
+  std::uint64_t lease_check_period_ns = 250'000'000ULL;
+  /// Retransmission policies for replication deltas and for reliable
+  /// control notices (death notices, new-primary announcements).
+  net::RetryPolicy replicate_policy{};
+  net::RetryPolicy control_policy{};
+  /// Cap on the io/stats tail entries shipped per delta (bounds frame size;
+  /// the ack watermarks carry the rest on later ticks).
+  std::size_t max_delta_tail = 256;
 };
 
 /// Root continuation for a job whose Clearinghouse lives at `ch`.
@@ -48,8 +61,15 @@ inline ContRef clearinghouse_continuation(net::NodeId ch) {
   return ContRef{ClosureId{ch, 0}, 0, ch};
 }
 
+class RecoveryTracker;
+
 class Clearinghouse {
  public:
+  /// Replica role.  kDemoted is a former primary that learned (via a
+  /// view-fenced delta ack) that the standby promoted past it; it goes
+  /// silent so exactly one replica acts as primary.
+  enum class Role : std::uint8_t { kPrimary, kStandby, kDemoted, kHalted };
+
   Clearinghouse(net::RpcNode& rpc, net::TimerService& timers,
                 ClearinghouseConfig config = {});
   ~Clearinghouse();
@@ -57,12 +77,31 @@ class Clearinghouse {
   Clearinghouse(const Clearinghouse&) = delete;
   Clearinghouse& operator=(const Clearinghouse&) = delete;
 
-  /// Install RPC handlers and start the failure detector.
+  /// Install RPC handlers and start the failure detector (primary role).
   void start();
+  /// Warm standby: apply deltas from `primary`, record worker heartbeats,
+  /// and promote when the primary misses its lease.
+  void start_standby(net::NodeId primary);
+  /// Primary side: begin pushing state deltas to `standby`.
+  void set_standby(net::NodeId standby);
   /// Stop timers (handlers stay installed; the job is over anyway).
   void stop();
+  /// Simulate a coordinator crash: stop timers and drop all traffic, both
+  /// directions, at the RPC layer.  Irreversible for this object.
+  void halt();
+  /// Standby -> primary.  Normally driven by the lease watchdog; public so
+  /// tests can force the transition.
+  void promote();
 
   net::NodeId id() const { return rpc_.id(); }
+  Role role() const;
+  std::uint64_t view() const;
+  /// True for a replica currently acting as the coordinator.
+  bool acting_primary() const { return role() == Role::kPrimary; }
+
+  void set_recovery_tracker(RecoveryTracker* tracker) { tracker_ = tracker; }
+  /// Fires after this standby finishes promoting itself.
+  void set_on_promoted(std::function<void()> fn);
 
   /// Fires when the job's result arrives (after the shutdown broadcast).
   void set_on_result(std::function<void(const Value&)> fn);
@@ -82,12 +121,20 @@ class Clearinghouse {
   std::map<net::NodeId, std::uint64_t> join_times() const;
 
  private:
-  Bytes handle_register(net::NodeId src);
+  void install_primary_handlers();
+  Bytes handle_register(net::NodeId src, const Bytes& args);
   Bytes handle_unregister(net::NodeId src);
   Bytes handle_update();
+  Bytes handle_delta(net::NodeId src, const Bytes& args);
   void handle_oneway(net::Message&& message);
   void accept_result(net::NodeId src, Value value);
   void check_failures();
+  void replicate_tick();
+  void lease_tick();
+  /// Reliable death notice to each target (acked kRpcControl; satellite of
+  /// the old lossy kDead oneway).
+  void broadcast_death(net::NodeId dead, const std::vector<net::NodeId>& to,
+                       std::uint64_t view);
   proto::Membership membership_locked() const;  // callers hold mutex_
 
   net::RpcNode& rpc_;
@@ -95,8 +142,12 @@ class Clearinghouse {
   ClearinghouseConfig config_;
 
   mutable std::mutex mutex_;
+  Role role_ = Role::kPrimary;
+  std::uint64_t view_ = 1;  // bumps on every promotion, fences stale primaries
+  net::NodeId peer_{};      // standby (when primary) / primary (when standby)
   std::uint64_t epoch_ = 1;
   std::vector<net::NodeId> participants_;
+  std::map<net::NodeId, std::uint32_t> incarnations_;
   std::map<net::NodeId, std::uint64_t> last_heartbeat_;
   std::map<net::NodeId, std::uint64_t> join_times_;
   std::vector<net::NodeId> dead_;
@@ -104,11 +155,23 @@ class Clearinghouse {
   std::vector<proto::StatsMsg> stats_reports_;
   std::vector<proto::IoMsg> io_log_;
   net::TimerToken failure_timer_{};
+  net::TimerToken replicate_timer_{};
+  net::TimerToken lease_timer_{};
+  // Primary-side replication cursor.
+  std::uint64_t delta_seq_ = 0;
+  std::size_t io_acked_ = 0;
+  std::size_t stats_acked_ = 0;
+  bool delta_in_flight_ = false;
+  // Standby-side lease.
+  std::uint64_t applied_seq_ = 0;
+  std::uint64_t last_delta_ns_ = 0;
   bool running_ = false;
+  RecoveryTracker* tracker_ = nullptr;
 
   std::function<void(const Value&)> on_result_;
   std::function<void(net::NodeId)> on_death_;
   std::function<void(std::size_t)> on_membership_change_;
+  std::function<void()> on_promoted_;
 };
 
 }  // namespace phish

@@ -40,6 +40,12 @@ constexpr std::uint16_t kRpcSteal = 4;       // thief -> victim
 // Job result delivery is an RPC (not a one-way datagram) so it survives
 // message loss: the sender retransmits until the Clearinghouse acknowledges.
 constexpr std::uint16_t kRpcResult = 5;      // worker -> clearinghouse
+// Control-plane replication and reliable notifications.  Death notices used
+// to ride raw kDead oneways: one dropped datagram left a peer forever
+// unaware a participant died.  kRpcControl puts them (and new-primary
+// announcements) on the acked, retransmitting RPC path.
+constexpr std::uint16_t kRpcChDelta = 6;     // primary ch -> standby ch
+constexpr std::uint16_t kRpcControl = 7;     // clearinghouse -> worker
 
 // Macro level (PhishJobQ).
 constexpr std::uint16_t kRpcSubmitJob = 10;   // user -> jobq
@@ -196,6 +202,173 @@ struct StealRequest {
     Reader r(b);
     StealRequest m;
     m.thief = net::NodeId{r.u32()};
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// Registration arguments.  An empty payload decodes as incarnation 1, so
+/// pre-failover senders stay wire-compatible.  A worker that rejoins a
+/// running job after a crash registers with a higher incarnation; the
+/// Clearinghouse treats a re-registration with a newer incarnation as proof
+/// the old incarnation died (declare-dead + redo broadcast) before admitting
+/// the new one.
+struct RegisterMsg {
+  std::uint32_t incarnation = 1;
+
+  Bytes encode() const {
+    Writer w;
+    w.u32(incarnation);
+    return w.take();
+  }
+  static std::optional<RegisterMsg> decode(const Bytes& b) {
+    RegisterMsg m;
+    if (b.empty()) return m;  // legacy empty registration
+    Reader r(b);
+    m.incarnation = r.u32();
+    if (!r.done() || m.incarnation == 0) return std::nullopt;
+    return m;
+  }
+};
+
+/// Reliable control notification (rides kRpcControl, so it retransmits until
+/// acknowledged).  One message type for the clearinghouse-to-worker control
+/// plane: death notices and new-primary announcements.
+struct ControlMsg {
+  enum Kind : std::uint8_t {
+    kDeadNotice = 1,  // `who` was declared dead: redo its stolen work
+    kNewPrimary = 2,  // `who` is the acting Clearinghouse as of `view`
+  };
+  std::uint8_t kind = kDeadNotice;
+  net::NodeId who;
+  std::uint64_t view = 0;  // kNewPrimary: promotion view number
+
+  Bytes encode() const {
+    Writer w;
+    w.u8(kind);
+    w.u32(who.value);
+    w.u64(view);
+    return w.take();
+  }
+  static std::optional<ControlMsg> decode(const Bytes& b) {
+    Reader r(b);
+    ControlMsg m;
+    m.kind = r.u8();
+    m.who = net::NodeId{r.u32()};
+    m.view = r.u64();
+    if (!r.done()) return std::nullopt;
+    if (m.kind != kDeadNotice && m.kind != kNewPrimary) return std::nullopt;
+    return m;
+  }
+};
+
+/// Epoch-numbered control-plane state delta, primary -> standby.  Small
+/// state (membership, dead list, result) travels as a full snapshot every
+/// delta; unbounded logs (I/O, stats reports) travel as tails past the
+/// standby's acknowledged watermark, which the reply carries back.
+struct ChDeltaMsg {
+  std::uint64_t seq = 0;    // monotone replication sequence number
+  std::uint64_t view = 0;   // sender's primary view (fencing)
+  std::uint64_t epoch = 0;  // membership epoch at the primary
+  std::vector<net::NodeId> participants;
+  std::vector<net::NodeId> dead;
+  std::optional<Value> result;
+  std::uint64_t io_base = 0;  // index of io[0] in the primary's full log
+  std::vector<IoMsg> io;
+  std::uint64_t stats_base = 0;
+  std::vector<StatsMsg> stats;
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(seq);
+    w.u64(view);
+    w.u64(epoch);
+    w.u32(static_cast<std::uint32_t>(participants.size()));
+    for (net::NodeId p : participants) w.u32(p.value);
+    w.u32(static_cast<std::uint32_t>(dead.size()));
+    for (net::NodeId d : dead) w.u32(d.value);
+    w.boolean(result.has_value());
+    if (result) result->encode(w);
+    w.u64(io_base);
+    w.u32(static_cast<std::uint32_t>(io.size()));
+    for (const IoMsg& m : io) {
+      const Bytes b = m.encode();
+      w.blob(b.data(), b.size());
+    }
+    w.u64(stats_base);
+    w.u32(static_cast<std::uint32_t>(stats.size()));
+    for (const StatsMsg& m : stats) {
+      const Bytes b = m.encode();
+      w.blob(b.data(), b.size());
+    }
+    return w.take();
+  }
+  static std::optional<ChDeltaMsg> decode(const Bytes& b) {
+    Reader r(b);
+    ChDeltaMsg m;
+    m.seq = r.u64();
+    m.view = r.u64();
+    m.epoch = r.u64();
+    const std::uint32_t np = r.u32();
+    if (!r.ok() || np > (1u << 20)) return std::nullopt;
+    m.participants.reserve(np);
+    for (std::uint32_t i = 0; i < np; ++i) {
+      m.participants.push_back(net::NodeId{r.u32()});
+    }
+    const std::uint32_t nd = r.u32();
+    if (!r.ok() || nd > (1u << 20)) return std::nullopt;
+    m.dead.reserve(nd);
+    for (std::uint32_t i = 0; i < nd; ++i) {
+      m.dead.push_back(net::NodeId{r.u32()});
+    }
+    if (r.boolean()) m.result = Value::decode(r);
+    m.io_base = r.u64();
+    const std::uint32_t nio = r.u32();
+    if (!r.ok() || nio > (1u << 24)) return std::nullopt;
+    for (std::uint32_t i = 0; i < nio; ++i) {
+      auto io = IoMsg::decode(r.blob());
+      if (!io) return std::nullopt;
+      m.io.push_back(std::move(*io));
+    }
+    m.stats_base = r.u64();
+    const std::uint32_t ns = r.u32();
+    if (!r.ok() || ns > (1u << 24)) return std::nullopt;
+    for (std::uint32_t i = 0; i < ns; ++i) {
+      auto s = StatsMsg::decode(r.blob());
+      if (!s) return std::nullopt;
+      m.stats.push_back(std::move(*s));
+    }
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// Reply to kRpcChDelta: the standby's applied watermarks, plus its role so
+/// a healed old primary discovers it has been superseded (view fencing).
+struct ChDeltaAck {
+  std::uint64_t applied_seq = 0;
+  std::uint64_t io_count = 0;     // io entries the standby now holds
+  std::uint64_t stats_count = 0;  // stats reports the standby now holds
+  std::uint64_t view = 0;         // standby's current view
+  bool promoted = false;          // standby considers itself primary
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(applied_seq);
+    w.u64(io_count);
+    w.u64(stats_count);
+    w.u64(view);
+    w.boolean(promoted);
+    return w.take();
+  }
+  static std::optional<ChDeltaAck> decode(const Bytes& b) {
+    Reader r(b);
+    ChDeltaAck m;
+    m.applied_seq = r.u64();
+    m.io_count = r.u64();
+    m.stats_count = r.u64();
+    m.view = r.u64();
+    m.promoted = r.boolean();
     if (!r.done()) return std::nullopt;
     return m;
   }

@@ -1,0 +1,50 @@
+#include "core/recovery.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace phish {
+
+void RecoveryTracker::note_detect(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++s_.detects;
+  detect_ns_ = now_ns;
+  obs::Registry::global().counter("recovery.failover.detects").inc();
+}
+
+void RecoveryTracker::note_promote(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++s_.promotions;
+  promote_ns_ = now_ns;
+  if (detect_ns_ == 0) detect_ns_ = now_ns;  // promoted without a lease miss
+  s_.awaiting_first_steal = true;
+  obs::Registry::global().counter("recovery.failover.promotions").inc();
+  if (now_ns >= detect_ns_) {
+    obs::Registry::global()
+        .histogram("recovery.detect_to_promote_ns")
+        .observe(now_ns - detect_ns_);
+  }
+}
+
+void RecoveryTracker::note_steal(std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!s_.awaiting_first_steal) return;
+  s_.awaiting_first_steal = false;
+  ++s_.mttr_count;
+  s_.last_mttr_ns = now_ns >= detect_ns_ ? now_ns - detect_ns_ : 0;
+  obs::Registry::global()
+      .histogram("recovery.mttr_ns")
+      .observe(s_.last_mttr_ns);
+}
+
+void RecoveryTracker::note_rejoin() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++s_.rejoins;
+  obs::Registry::global().counter("recovery.rejoins").inc();
+}
+
+RecoveryTracker::Snapshot RecoveryTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return s_;
+}
+
+}  // namespace phish

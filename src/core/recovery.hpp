@@ -1,0 +1,55 @@
+// Recovery-time accounting for the crash-tolerant control plane.
+//
+// One tracker instance lives per job (owned by the runtime) and is shared by
+// the standby Clearinghouse and the workers.  It stitches the three
+// timestamps of a failover into the MTTR the ISSUE asks for:
+//
+//   note_detect   — standby's lease watchdog noticed the primary went quiet
+//   note_promote  — standby finished installing itself as primary
+//   note_steal    — first successful steal completed after the promotion
+//
+// MTTR = first-post-failover-steal - detect, recorded into the global obs
+// registry as the `recovery.mttr_ns` histogram (plus `recovery.detect_to_
+// promote_ns` for the control-plane share), so benches and chaos runs export
+// it through the existing BENCH_*.json path.  Worker rejoins are counted the
+// same way (`recovery.rejoins`).
+//
+// Thread-safe: the UDP runtime calls in from many worker threads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace phish {
+
+class RecoveryTracker {
+ public:
+  struct Snapshot {
+    std::uint64_t detects = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rejoins = 0;
+    std::uint64_t mttr_count = 0;     // completed detect->steal windows
+    std::uint64_t last_mttr_ns = 0;   // most recent completed window
+    bool awaiting_first_steal = false;
+  };
+
+  /// Standby detected a missed lease at `now_ns` (its timer clock).
+  void note_detect(std::uint64_t now_ns);
+  /// Standby finished promoting itself at `now_ns`.
+  void note_promote(std::uint64_t now_ns);
+  /// A worker completed a successful steal at `now_ns`.  Cheap no-op unless
+  /// a failover window is open, so workers may call it on every steal.
+  void note_steal(std::uint64_t now_ns);
+  /// A previously dead (or fresh) worker registered into the running job.
+  void note_rejoin();
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot s_;
+  std::uint64_t detect_ns_ = 0;
+  std::uint64_t promote_ns_ = 0;
+};
+
+}  // namespace phish

@@ -119,6 +119,27 @@ class WorkerCore {
   /// Forget ledger entries whose redo window has passed (job completed).
   void clear_steal_ledger() { steal_ledger_.clear(); }
 
+  /// Crash recovery, the crashed worker's side: a rejoining incarnation
+  /// starts with no closures (survivors redo what it had stolen) and no
+  /// ledgers, but keeps the id allocator running — reusing a previous life's
+  /// ClosureIds would let late messages addressed to the old incarnation
+  /// land in the new one's closures.  Stats also survive: they describe the
+  /// participant, not the incarnation.
+  void reset_for_rejoin() {
+    (void)deque_.drain();
+    waiting_.clear();
+    steal_ledger_.clear();
+    stolen_in_.clear();
+    last_charge_ = 0;
+  }
+
+  /// Fresh core standing in for a later incarnation of a node id (the UDP
+  /// runtime rebuilds the worker object on rejoin): start the id band at
+  /// `base` so ids cannot collide with the previous incarnation's.
+  void set_seq_base(std::uint64_t base) {
+    if (base > next_seq_) next_seq_ = base;
+  }
+
   // ---- Checkpointing (paper §6 future work). ----
 
   /// Serialize this worker's entire closure state (ready list + waiting

@@ -65,19 +65,27 @@ struct LinkRule {
 /// owner return) plus transient network outages.  Consumed by runtimes that
 /// own a virtual clock (SimCluster); link faults alone apply elsewhere.
 enum class NodeFaultKind : std::uint8_t {
-  kCrash,      // machine vanishes permanently; redo machinery must recover
+  kCrash,      // machine vanishes; redo machinery must recover
   kPartition,  // node unreachable (network cut); the process keeps running
   kHeal,       // partition ends
-  kRestart,    // synonym for kHeal: the transient outage is over
+  kRestart,    // a crashed worker rejoins as a fresh incarnation; on a
+               // merely partitioned (still-running) node, same as kHeal
   kReclaim,    // owner returns: worker migrates its closures and departs
 };
 
 const char* to_string(NodeFaultKind kind) noexcept;
 
+/// NodeEvent::worker value addressing the coordinator (the primary
+/// Clearinghouse) instead of a worker: kCrash halts the primary mid-job,
+/// exercising warm-standby promotion.
+inline constexpr int kCoordinatorWorker = -1;
+
 struct NodeEvent {
   std::uint64_t at_ns = 0;  // virtual time
   NodeFaultKind kind = NodeFaultKind::kCrash;
-  int worker = 0;  // worker *index* (SimCluster order), not a NodeId
+  /// Worker *index* (SimCluster order), not a NodeId; kCoordinatorWorker
+  /// targets the primary Clearinghouse.
+  int worker = 0;
 };
 
 /// A seeded, scriptable schedule of faults.
@@ -88,11 +96,12 @@ struct FaultPlan {
   /// Message types that are never *dropped* (they remain eligible for
   /// duplicate / reorder / delay, which the protocol must absorb through
   /// idempotent slot fills).  Phish layers reliability selectively: RPC
-  /// frames retransmit and heartbeats are periodic, so losing them is part
-  /// of the contract — but plain-oneway dataflow (kArgument, kMigrate,
-  /// kDead) has no retransmit path, exactly as in the paper's prototype.
-  /// Dropping those would model a failure mode the protocol never claimed
-  /// to survive and simply hang the job.
+  /// frames retransmit (death notices now ride that acked path) and
+  /// heartbeats are periodic, so losing them is part of the contract — but
+  /// plain-oneway dataflow (kArgument, kMigrate) has no retransmit path,
+  /// exactly as in the paper's prototype.  Dropping those would model a
+  /// failure mode the protocol never claimed to survive and simply hang
+  /// the job.
   std::vector<std::uint16_t> lossless_types;
 
   bool empty() const noexcept { return links.empty() && events.empty(); }

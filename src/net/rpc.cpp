@@ -1,5 +1,6 @@
 #include "net/rpc.hpp"
 
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -49,16 +50,22 @@ void RpcNode::call(NodeId dst, std::uint16_t method, Bytes args,
   call.on_done = std::move(on_done);
   call.policy = policy;
   call.attempts = 1;
-  call.current_timeout_ns = policy.timeout_ns;
+  call.current_timeout_ns = initial_timeout_locked(dst, policy, request_id);
   auto [it, inserted] = pending_.emplace(request_id, std::move(call));
   ++stats_.calls_started;
+  it->second.sent_ns = timers_.now_ns();
   transmit(request_id, it->second);
   it->second.timer = timers_.schedule(
-      it->second.current_timeout_ns,
+      jitter_locked(it->second.current_timeout_ns, policy.jitter, request_id,
+                    /*attempt=*/1),
       [this, request_id] { on_timeout(request_id); });
 }
 
 void RpcNode::send_oneway(NodeId dst, std::uint16_t type, Bytes payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (paused_) return;
+  }
   trace_message(obs::EventType::kRpcSend, type);
   channel_.send(dst, type, std::move(payload));
 }
@@ -73,7 +80,57 @@ RpcStats RpcNode::stats() const {
   return stats_;
 }
 
+void RpcNode::set_jitter_seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jitter_seed_ = seed;
+}
+
+void RpcNode::set_paused(bool paused) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = paused;
+}
+
+bool RpcNode::paused() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return paused_;
+}
+
+RttEstimate RpcNode::rtt_estimate(NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rtt_.find(peer);
+  return it == rtt_.end() ? RttEstimate{} : it->second;
+}
+
+std::uint64_t RpcNode::initial_timeout_locked(NodeId dst,
+                                              const RetryPolicy& policy,
+                                              std::uint64_t) const {
+  if (!policy.adaptive) return policy.timeout_ns;
+  auto it = rtt_.find(dst);
+  if (it == rtt_.end() || !it->second.valid) return policy.timeout_ns;
+  const double rto = it->second.srtt_ns + 4.0 * it->second.rttvar_ns;
+  const auto clamped = static_cast<std::uint64_t>(rto);
+  if (clamped < policy.min_timeout_ns) return policy.min_timeout_ns;
+  if (clamped > policy.timeout_ns) return policy.timeout_ns;
+  return clamped;
+}
+
+std::uint64_t RpcNode::jitter_locked(std::uint64_t base_ns, double fraction,
+                                     std::uint64_t request_id,
+                                     int attempt) const {
+  if (fraction <= 0.0) return base_ns;
+  const std::uint64_t h = mix64(jitter_seed_ ^ mix64(request_id) ^
+                                mix64(0x6a17'7e12ULL + attempt));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1p-53;
+  return base_ns +
+         static_cast<std::uint64_t>(static_cast<double>(base_ns) * fraction * u);
+}
+
 void RpcNode::on_message(Message&& message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (paused_) return;  // a "killed" node hears nothing
+  }
   trace_message(obs::EventType::kRpcRecv, message.type);
   switch (message.type) {
     case kRpcRequest:
@@ -155,6 +212,27 @@ void RpcNode::handle_reply(Message&& message) {
     auto it = pending_.find(request_id);
     if (it == pending_.end()) return;  // late duplicate reply
     timers_.cancel(it->second.timer);
+    // Karn's rule: a retransmitted call's reply is ambiguous (it may answer
+    // any earlier transmit), so only first-attempt replies feed the
+    // estimator.
+    if (it->second.attempts == 1) {
+      const std::uint64_t now = timers_.now_ns();
+      if (now >= it->second.sent_ns) {
+        const double r = static_cast<double>(now - it->second.sent_ns);
+        RttEstimate& est = rtt_[message.src];
+        if (!est.valid) {
+          est.valid = true;
+          est.srtt_ns = r;
+          est.rttvar_ns = r / 2.0;
+        } else {
+          const double err = r - est.srtt_ns;
+          est.srtt_ns += err / 8.0;
+          est.rttvar_ns += (std::abs(err) - est.rttvar_ns) / 4.0;
+        }
+        ++est.samples;
+        ++stats_.rtt_samples;
+      }
+    }
     on_done = std::move(it->second.on_done);
     pending_.erase(it);
     ++stats_.calls_succeeded;
@@ -163,6 +241,7 @@ void RpcNode::handle_reply(Message&& message) {
 }
 
 void RpcNode::transmit(std::uint64_t request_id, const PendingCall& call) {
+  if (paused_) return;  // callers hold mutex_
   Writer w;
   w.u64(request_id);
   w.u16(call.method);
@@ -187,11 +266,12 @@ void RpcNode::on_timeout(std::uint64_t request_id) {
       ++stats_.retransmissions;
       call.current_timeout_ns = static_cast<std::uint64_t>(
           static_cast<double>(call.current_timeout_ns) * call.policy.backoff);
+      call.sent_ns = timers_.now_ns();
       transmit(request_id, call);
-      call.timer = timers_.schedule(call.current_timeout_ns,
-                                    [this, request_id] {
-                                      on_timeout(request_id);
-                                    });
+      call.timer = timers_.schedule(
+          jitter_locked(call.current_timeout_ns, call.policy.jitter,
+                        request_id, call.attempts),
+          [this, request_id] { on_timeout(request_id); });
     }
   }
   if (on_done) on_done(RpcResult{false, {}});

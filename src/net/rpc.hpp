@@ -39,9 +39,29 @@ constexpr std::uint16_t kRpcRequest = 0xff01;
 constexpr std::uint16_t kRpcReply = 0xff02;
 
 struct RetryPolicy {
-  std::uint64_t timeout_ns = 200'000'000;  // first retransmit after 200 ms
+  std::uint64_t timeout_ns = 200'000'000;  // cold-start RTO (no RTT samples)
   int max_attempts = 5;
   double backoff = 2.0;
+  /// Fraction of each timeout added as deterministic pseudo-random jitter in
+  /// [0, jitter), derived from (jitter seed, request id, attempt): many
+  /// workers backing off from the same loss burst must not retransmit in
+  /// lockstep.
+  double jitter = 0.1;
+  /// Start from the per-peer Jacobson RTO (srtt + 4*rttvar, clamped to
+  /// [min_timeout_ns, timeout_ns]) once a peer has an RTT sample; timeout_ns
+  /// stays the cold-start value and the adaptive ceiling, so a policy tuned
+  /// for a chaos profile never waits *longer* than configured, only recovers
+  /// faster on a quiet link.
+  bool adaptive = true;
+  std::uint64_t min_timeout_ns = 5'000'000;
+};
+
+/// Per-peer smoothed RTT state (Jacobson/Karn, RFC 6298 gains).
+struct RttEstimate {
+  bool valid = false;
+  double srtt_ns = 0;
+  double rttvar_ns = 0;
+  std::uint64_t samples = 0;
 };
 
 struct RpcResult {
@@ -55,6 +75,7 @@ struct RpcStats {
   std::uint64_t calls_failed = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t duplicate_requests = 0;  // served from the reply cache
+  std::uint64_t rtt_samples = 0;  // replies accepted into an estimator
 };
 
 class RpcNode {
@@ -88,6 +109,20 @@ class RpcNode {
 
   RpcStats stats() const;
 
+  /// Seed for deterministic backoff jitter; replays of the same seed produce
+  /// the same retransmit schedule.  Default 0 is itself deterministic.
+  void set_jitter_seed(std::uint64_t seed);
+
+  /// Paused nodes drop everything — inbound frames, outbound requests,
+  /// replies, and oneways — while timers keep running, so a "killed" process
+  /// looks to its peers exactly like a crashed one (calls time out) without
+  /// tearing down the object.
+  void set_paused(bool paused);
+  bool paused() const;
+
+  /// Smoothed RTT state toward `peer` (valid=false until the first sample).
+  RttEstimate rtt_estimate(NodeId peer) const;
+
   /// Observability: record every datagram this node sends/receives
   /// (kRpcSend/kRpcRecv, arg = wire message type).  Nulls detach.
   void set_trace(obs::TraceShard* shard, const obs::Clock* clock) {
@@ -113,6 +148,7 @@ class RpcNode {
     RetryPolicy policy;
     int attempts = 0;
     std::uint64_t current_timeout_ns = 0;
+    std::uint64_t sent_ns = 0;  // last transmit time, for RTT sampling
     TimerToken timer;
   };
 
@@ -127,6 +163,12 @@ class RpcNode {
   void transmit(std::uint64_t request_id, const PendingCall& call);
   void on_timeout(std::uint64_t request_id);
   void send_reply(NodeId dst, std::uint64_t request_id, const Bytes& reply);
+  /// First timeout for a call to `dst`: adaptive RTO when a sample exists,
+  /// the policy's cold-start otherwise, plus deterministic jitter.
+  std::uint64_t initial_timeout_locked(NodeId dst, const RetryPolicy& policy,
+                                       std::uint64_t request_id) const;
+  std::uint64_t jitter_locked(std::uint64_t base_ns, double fraction,
+                              std::uint64_t request_id, int attempt) const;
 
   Channel& channel_;
   TimerService& timers_;
@@ -141,6 +183,9 @@ class RpcNode {
   std::uint64_t next_request_id_;
   // Reply cache per peer, bounded FIFO.
   std::unordered_map<NodeId, std::deque<CachedReply>> reply_cache_;
+  std::unordered_map<NodeId, RttEstimate> rtt_;
+  std::uint64_t jitter_seed_ = 0;
+  bool paused_ = false;
   RpcStats stats_;
 };
 

@@ -105,8 +105,9 @@ void PhishJobManager::start_worker(const JobSpec& spec) {
   }
   const net::NodeId worker_node = alloc_node_();
   auto worker = std::make_unique<SimWorker>(
-      sim_, network_, timers_, registry_, worker_node, spec.clearinghouse,
-      worker_params_, mix64(seed_ ^ ++worker_counter_));
+      sim_, network_, timers_, registry_, worker_node,
+      std::vector<net::NodeId>{spec.clearinghouse}, worker_params_,
+      mix64(seed_ ^ ++worker_counter_));
   worker->set_on_terminated([this](SimWorker::State how) {
     on_worker_terminated(how);
   });

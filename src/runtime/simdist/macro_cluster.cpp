@@ -81,7 +81,8 @@ void MacroCluster::launch_job(Job& job) {
   // First worker on the submitting workstation, carrying the root task.
   job.first_worker = std::make_unique<SimWorker>(
       sim_, network_, timers_, registry_, alloc_node(),
-      job.ch_rpc->id(), config_.worker, seeder_.next());
+      std::vector<net::NodeId>{job.ch_rpc->id()}, config_.worker,
+      seeder_.next());
   job.first_worker->set_root(registry_.id_of(job.root_task), job.args);
   job.first_worker->start();
 }

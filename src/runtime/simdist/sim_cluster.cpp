@@ -25,6 +25,7 @@ SimCluster::SimCluster(const TaskRegistry& registry, SimJobConfig config)
   }
   ch_rpc_ = std::make_unique<net::RpcNode>(network_.channel(kClearinghouseNode),
                                            timers_);
+  ch_rpc_->set_jitter_seed(mix64(config_.seed ^ 0xc0de'0000ULL));
   if (config_.tracer != nullptr) {
     ch_rpc_->set_trace(
         config_.tracer->shard(
@@ -33,15 +34,30 @@ SimCluster::SimCluster(const TaskRegistry& registry, SimJobConfig config)
   }
   clearinghouse_ = std::make_unique<Clearinghouse>(*ch_rpc_, timers_,
                                                    config_.clearinghouse);
+  clearinghouse_->set_recovery_tracker(&recovery_);
+  // The replica ring every worker fails over across: primary first.
+  std::vector<net::NodeId> replicas{kClearinghouseNode};
+  if (config_.enable_backup) {
+    const net::NodeId backup_node{
+        static_cast<std::uint32_t>(config_.participants + 1)};
+    replicas.push_back(backup_node);
+    backup_rpc_ =
+        std::make_unique<net::RpcNode>(network_.channel(backup_node), timers_);
+    backup_rpc_->set_jitter_seed(mix64(config_.seed ^ 0xc0de'0001ULL));
+    backup_ = std::make_unique<Clearinghouse>(*backup_rpc_, timers_,
+                                              config_.clearinghouse);
+    backup_->set_recovery_tracker(&recovery_);
+  }
   Xoshiro256 seeder(config_.seed);
   for (int i = 0; i < config_.participants; ++i) {
     if (static_cast<std::size_t>(i) < config_.worker_clusters.size()) {
       network_.set_cluster(worker_node(i), config_.worker_clusters[i]);
     }
     workers_.push_back(std::make_unique<SimWorker>(
-        sim_, network_, timers_, registry_, worker_node(i),
-        kClearinghouseNode, config_.worker, seeder.fork(i + 1).next(),
+        sim_, network_, timers_, registry_, worker_node(i), replicas,
+        config_.worker, seeder.fork(i + 1).next(),
         config_.exec_order, config_.steal_order));
+    workers_.back()->set_recovery_tracker(&recovery_);
     if (config_.tracer != nullptr) {
       workers_.back()->set_trace(
           config_.tracer->shard(
@@ -61,12 +77,49 @@ void SimCluster::reclaim_at(int index, sim::SimTime when) {
   });
 }
 
+void SimCluster::rejoin_at(int index, sim::SimTime when) {
+  sim_.schedule_at(when, [this, index] { workers_.at(index)->rejoin(); });
+}
+
+void SimCluster::crash_primary_at(sim::SimTime when) {
+  sim_.schedule_at(when, [this] { clearinghouse_->halt(); });
+}
+
+Clearinghouse& SimCluster::acting_clearinghouse() {
+  if (backup_ != nullptr && backup_->acting_primary() &&
+      !clearinghouse_->acting_primary()) {
+    return *backup_;
+  }
+  return *clearinghouse_;
+}
+
 void SimCluster::apply_fault_plan(const net::FaultPlan& plan) {
   if (!plan.links.empty()) {
     fault_injector_ = std::make_unique<net::FaultInjector>(plan);
     network_.set_fault_injector(fault_injector_.get());
   }
   for (const net::NodeEvent& e : plan.events) {
+    if (e.worker == net::kCoordinatorWorker) {
+      // The coordinator cannot migrate or rejoin; only crash (halt) and
+      // transient cuts make sense for it.
+      switch (e.kind) {
+        case net::NodeFaultKind::kCrash:
+        case net::NodeFaultKind::kReclaim:
+          crash_primary_at(e.at_ns);
+          break;
+        case net::NodeFaultKind::kPartition:
+          sim_.schedule_at(e.at_ns,
+                           [this] { network_.partition(kClearinghouseNode); });
+          break;
+        case net::NodeFaultKind::kHeal:
+        case net::NodeFaultKind::kRestart:
+          sim_.schedule_at(e.at_ns, [this] {
+            network_.partition(kClearinghouseNode, false);
+          });
+          break;
+      }
+      continue;
+    }
     if (e.worker < 0 || e.worker >= config_.participants) {
       throw std::invalid_argument("apply_fault_plan: worker index " +
                                   std::to_string(e.worker) + " out of range");
@@ -84,10 +137,20 @@ void SimCluster::apply_fault_plan(const net::FaultPlan& plan) {
         });
         break;
       case net::NodeFaultKind::kHeal:
-      case net::NodeFaultKind::kRestart:
         sim_.schedule_at(e.at_ns, [this, w = e.worker] {
           // A crashed worker stays dead; only a network cut heals.
           if (workers_.at(w)->state() != SimWorker::State::kDead) {
+            network_.partition(worker_node(w), false);
+          }
+        });
+        break;
+      case net::NodeFaultKind::kRestart:
+        sim_.schedule_at(e.at_ns, [this, w = e.worker] {
+          // A crashed worker comes back as a fresh incarnation; a merely
+          // partitioned one just gets its network cut healed.
+          if (workers_.at(w)->state() == SimWorker::State::kDead) {
+            workers_.at(w)->rejoin();
+          } else {
             network_.partition(worker_node(w), false);
           }
         });
@@ -176,9 +239,21 @@ void SimCluster::try_checkpoint() {
 
 SimJobResult SimCluster::drive() {
   clearinghouse_->start();
+  if (backup_ != nullptr) {
+    backup_->start_standby(kClearinghouseNode);
+    clearinghouse_->set_standby(backup_rpc_->id());
+  }
   sim::SimTime result_time = 0;
-  clearinghouse_->set_on_result(
-      [this, &result_time](const Value&) { result_time = sim_.now(); });
+  const auto record_result = [this, &result_time](const Value&) {
+    if (result_time == 0) result_time = sim_.now();
+  };
+  clearinghouse_->set_on_result(record_result);
+  if (backup_ != nullptr) backup_->set_on_result(record_result);
+  const auto job_result = [this]() -> std::optional<Value> {
+    auto v = clearinghouse_->result();
+    if (!v && backup_ != nullptr) v = backup_->result();
+    return v;
+  };
 
   Xoshiro256 start_rng(mix64(config_.seed ^ 0x57a7ULL));
   sim::SimTime first_start = ~sim::SimTime{0};
@@ -204,7 +279,7 @@ SimJobResult SimCluster::drive() {
           "SimCluster: job did not complete within max_sim_time (simulated " +
           std::to_string(sim::to_seconds(sim_.now())) + " s)");
     }
-    if (!clearinghouse_->result().has_value()) continue;
+    if (!job_result().has_value()) continue;
     bool all_done = true;
     for (const auto& w : workers_) {
       if (!w->terminated()) {
@@ -222,13 +297,15 @@ SimJobResult SimCluster::drive() {
     }
   }
   clearinghouse_->stop();
+  if (backup_ != nullptr) backup_->stop();
   // Drain residual traffic (stats reports, unregisters), then detach the
-  // callback that captures this frame's result_time.
+  // callbacks that capture this frame's result_time.
   sim_.run_until(sim_.now() + sim::kSecond);
   clearinghouse_->set_on_result({});
+  if (backup_ != nullptr) backup_->set_on_result({});
 
   SimJobResult result;
-  const auto value = clearinghouse_->result();
+  const auto value = job_result();
   if (!value) throw std::runtime_error("SimCluster: no result recorded");
   result.value = *value;
   result.makespan_seconds = sim::to_seconds(result_time - first_start);
@@ -246,7 +323,7 @@ SimJobResult SimCluster::drive() {
       total / static_cast<double>(result.participant_seconds.size());
   result.inter_cluster_messages = network_.inter_cluster_messages();
   result.events_fired = sim_.events_fired();
-  result.io_log = clearinghouse_->io_log();
+  result.io_log = acting_clearinghouse().io_log();
   return result;
 }
 

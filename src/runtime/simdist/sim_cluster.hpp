@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/clearinghouse.hpp"
+#include "core/recovery.hpp"
 #include "net/fault.hpp"
 #include "obs/clock.hpp"
 #include "obs/tracer.hpp"
@@ -42,6 +43,11 @@ struct SimJobConfig {
   std::vector<int> worker_clusters;
   /// Give up if the job has not completed by this much simulated time.
   sim::SimTime max_sim_time = 3'600 * sim::kSecond;
+  /// Run a warm-standby Clearinghouse replica (node P+1): the primary pushes
+  /// epoch-numbered state deltas to it, and it promotes itself when the
+  /// primary misses its lease.  Off by default so failure-free measurement
+  /// runs carry no replication traffic.
+  bool enable_backup = false;
   /// Optional event tracer (virtual-clock domain).  Worker i writes to
   /// tracer->shard(i + 1); the Clearinghouse's RPC traffic goes to shard 0.
   obs::Tracer* tracer = nullptr;
@@ -85,6 +91,12 @@ class SimCluster {
   void crash_at(int index, sim::SimTime when);
   /// Schedule an owner reclaim of worker `index` at simulated time `when`.
   void reclaim_at(int index, sim::SimTime when);
+  /// Schedule a rejoin of a (by-then crashed) worker: fresh incarnation,
+  /// re-registers into the running job and starts stealing.
+  void rejoin_at(int index, sim::SimTime when);
+  /// Schedule a crash of the primary Clearinghouse (requires enable_backup
+  /// for the job to survive it).
+  void crash_primary_at(sim::SimTime when);
   /// Install a whole fault schedule before run(): the plan's link rules are
   /// injected natively into the simulated network (virtual-time drop /
   /// duplicate / reorder / delay) and its node events are scheduled —
@@ -114,6 +126,11 @@ class SimCluster {
   sim::Simulator& simulator() { return sim_; }
   net::SimNetwork& network() { return network_; }
   Clearinghouse& clearinghouse() { return *clearinghouse_; }
+  /// The warm standby, or nullptr when enable_backup is off.
+  Clearinghouse* backup() { return backup_.get(); }
+  /// Whichever replica is currently acting as coordinator.
+  Clearinghouse& acting_clearinghouse();
+  RecoveryTracker& recovery() { return recovery_; }
   SimWorker& worker(int index) { return *workers_.at(index); }
   int participants() const { return config_.participants; }
 
@@ -131,6 +148,9 @@ class SimCluster {
   net::SimTimerService timers_;
   std::unique_ptr<net::RpcNode> ch_rpc_;
   std::unique_ptr<Clearinghouse> clearinghouse_;
+  std::unique_ptr<net::RpcNode> backup_rpc_;
+  std::unique_ptr<Clearinghouse> backup_;
+  RecoveryTracker recovery_;
   std::vector<std::unique_ptr<SimWorker>> workers_;
   bool ran_ = false;
 };

@@ -8,17 +8,18 @@ namespace phish::rt {
 
 SimWorker::SimWorker(sim::Simulator& simulator, net::SimNetwork& network,
                      net::TimerService& timers, const TaskRegistry& registry,
-                     net::NodeId me, net::NodeId clearinghouse,
+                     net::NodeId me, std::vector<net::NodeId> clearinghouse,
                      SimWorkerParams params, std::uint64_t seed,
                      ExecOrder exec_order, StealOrder steal_order)
     : sim_(simulator),
       network_(network),
       timers_(timers),
       me_(me),
-      clearinghouse_(clearinghouse),
+      clearinghouse_(clearinghouse.front()),
       params_(params),
       rng_(mix64(seed ^ me.value)),
       rpc_(network.channel(me), timers),
+      client_(rpc_, std::move(clearinghouse)),
       core_(me, registry,
             [this] {
               WorkerCore::Hooks hooks;
@@ -28,11 +29,12 @@ SimWorker::SimWorker(sim::Simulator& simulator, net::SimNetwork& network,
                 cpu_debt_ += network_.send_cpu_cost(payload.size());
                 auto action = [this, home = cont.home,
                                p = std::move(payload)]() {
-                  if (home == clearinghouse_) {
-                    // The job result must survive loss: deliver via RPC,
+                  if (client_.is_replica(home)) {
+                    // The job result must survive loss and coordinator
+                    // failover: deliver via RPC through the replica ring,
                     // which retransmits until acknowledged.
-                    rpc_.call(home, proto::kRpcResult, p,
-                              [](net::RpcResult) {}, params_.rpc_policy);
+                    client_.call(proto::kRpcResult, p, [](net::RpcResult) {},
+                                 params_.rpc_policy);
                   } else {
                     rpc_.send_oneway(home, proto::kArgument, p);
                   }
@@ -62,15 +64,20 @@ SimWorker::SimWorker(sim::Simulator& simulator, net::SimNetwork& network,
             exec_order, steal_order),
       heartbeat_timer_(simulator, params.heartbeat_period,
                        [this] {
-                         rpc_.send_oneway(clearinghouse_, proto::kHeartbeat,
-                                          {});
+                         // Every replica hears heartbeats, so a promoted
+                         // standby starts with a warm liveness map.
+                         client_.send_oneway_all(proto::kHeartbeat, {});
                        }),
       update_timer_(simulator, params.update_period,
                     [this] { refresh_membership(); }) {
+  rpc_.set_jitter_seed(mix64(seed ^ 0x6a77'7e12'0badULL ^ me.value));
   rpc_.set_oneway_handler(
       [this](net::Message&& m) { handle_oneway(std::move(m)); });
   rpc_.serve(proto::kRpcSteal, [this](net::NodeId src, const Bytes& args) {
     return serve_steal(src, args);
+  });
+  rpc_.serve(proto::kRpcControl, [this](net::NodeId, const Bytes& args) {
+    return handle_control(args);
   });
 }
 
@@ -82,9 +89,10 @@ void SimWorker::start() {
   if (state_ != State::kCreated) return;
   state_ = State::kRegistering;
   start_time_ = sim_.now();
-  rpc_.call(
-      clearinghouse_, proto::kRpcRegister, {},
-      [this](net::RpcResult result) {
+  client_.call(
+      proto::kRpcRegister, proto::RegisterMsg{incarnation_}.encode(),
+      [this, inc = incarnation_](net::RpcResult result) {
+        if (incarnation_ != inc) return;  // callback from a past life
         if (state_ != State::kRegistering) return;
         if (!result.ok) {
           PHISH_LOG(kWarn) << net::to_string(me_)
@@ -215,6 +223,7 @@ void SimWorker::on_steal_reply(net::NodeId victim, net::RpcResult result) {
     if (reply && reply->task) {
       core_.install_stolen(std::move(*reply->task));
       steal_latency_.observe(sim_.now() - steal_sent_at_);
+      if (tracker_ != nullptr) tracker_->note_steal(timers_.now_ns());
       got_task = true;
     }
   } else {
@@ -284,15 +293,6 @@ void SimWorker::handle_oneway(net::Message&& message) {
       if (state_ == State::kActive || state_ == State::kRegistering) finish();
       break;
     }
-    case proto::kDead: {
-      auto dead = proto::DeadMsg::decode(message.payload);
-      if (!dead || terminated()) return;
-      peers_.erase(std::remove(peers_.begin(), peers_.end(), dead->who),
-                   peers_.end());
-      const std::size_t redone = core_.handle_participant_death(dead->who);
-      if (redone > 0 && state_ == State::kActive) schedule_step(0);
-      break;
-    }
     case proto::kMigrate: {
       if (state_ == State::kDeparted && forward_to_.valid()) {
         // We left too; pass the cargo to our own successor.
@@ -312,6 +312,31 @@ void SimWorker::handle_oneway(net::Message&& message) {
       PHISH_LOG(kDebug) << net::to_string(me_) << ": unexpected message type "
                         << message.type;
   }
+}
+
+Bytes SimWorker::handle_control(const Bytes& args) {
+  // Acked control plane (death notices, new-primary announcements).  The
+  // RPC reply is the ack; an empty body is all the caller needs.
+  auto msg = proto::ControlMsg::decode(args);
+  if (!msg) return {};
+  switch (msg->kind) {
+    case proto::ControlMsg::kDeadNotice:
+      apply_death(msg->who);
+      break;
+    case proto::ControlMsg::kNewPrimary:
+      client_.adopt(msg->who, msg->view);
+      break;
+    default:
+      break;
+  }
+  return {};
+}
+
+void SimWorker::apply_death(net::NodeId dead) {
+  if (terminated() || dead == me_) return;
+  peers_.erase(std::remove(peers_.begin(), peers_.end(), dead), peers_.end());
+  const std::size_t redone = core_.handle_participant_death(dead);
+  if (redone > 0 && state_ == State::kActive) schedule_step(0);
 }
 
 void SimWorker::depart(DepartReason reason) {
@@ -360,16 +385,17 @@ void SimWorker::send_stats_and_unregister() {
   stats.stats = core_.stats();
   stats.start_ns = start_time_;
   stats.end_ns = end_time_;
-  rpc_.send_oneway(clearinghouse_, proto::kStatsReport, stats.encode());
-  rpc_.call(clearinghouse_, proto::kRpcUnregister, {}, [](net::RpcResult) {},
-            params_.rpc_policy);
+  client_.send_oneway(proto::kStatsReport, stats.encode());
+  client_.call(proto::kRpcUnregister, {}, [](net::RpcResult) {},
+               params_.rpc_policy);
 }
 
 void SimWorker::refresh_membership() {
   if (terminated()) return;
-  rpc_.call(
-      clearinghouse_, proto::kRpcUpdate, {},
-      [this](net::RpcResult result) {
+  client_.call(
+      proto::kRpcUpdate, {},
+      [this, inc = incarnation_](net::RpcResult result) {
+        if (incarnation_ != inc) return;  // callback from a past life
         if (!result.ok || terminated()) return;
         auto membership = proto::Membership::decode(result.reply);
         if (!membership) return;
@@ -440,9 +466,28 @@ void SimWorker::crash() {
   if (on_terminated_) on_terminated_(state_);
 }
 
+void SimWorker::rejoin() {
+  if (state_ != State::kDead) return;
+  network_.partition(me_, false);  // the replacement machine comes online
+  ++incarnation_;
+  // Survivors redo everything the dead life had stolen; the new life starts
+  // empty but keeps its id allocator (late messages addressed to the old
+  // incarnation must not land in new closures).
+  core_.reset_for_rejoin();
+  peers_.clear();
+  steal_in_flight_ = false;
+  reclaim_pending_ = false;
+  consecutive_failed_steals_ = 0;
+  cpu_debt_ = 0;
+  outbox_.clear();
+  forward_to_ = net::NodeId{};
+  depart_reason_.reset();
+  state_ = State::kCreated;
+  start();
+}
+
 void SimWorker::emit_io(const std::string& text) {
-  rpc_.send_oneway(clearinghouse_, proto::kIo,
-                   proto::IoMsg{me_, text}.encode());
+  client_.send_oneway(proto::kIo, proto::IoMsg{me_, text}.encode());
 }
 
 }  // namespace phish::rt

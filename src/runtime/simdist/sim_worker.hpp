@@ -30,7 +30,9 @@
 #include <optional>
 #include <vector>
 
+#include "core/ch_client.hpp"
 #include "core/clearinghouse.hpp"
+#include "core/recovery.hpp"
 #include "core/worker_core.hpp"
 #include "net/rpc.hpp"
 #include "net/sim_net.hpp"
@@ -94,10 +96,12 @@ class SimWorker {
 
   enum class DepartReason { kParallelismShrank, kOwnerReclaimed };
 
+  /// `clearinghouse` is the replica ring (primary first, then any warm
+  /// standby); all coordinator traffic fails over across it.
   SimWorker(sim::Simulator& simulator, net::SimNetwork& network,
             net::TimerService& timers, const TaskRegistry& registry,
-            net::NodeId me, net::NodeId clearinghouse, SimWorkerParams params,
-            std::uint64_t seed,
+            net::NodeId me, std::vector<net::NodeId> clearinghouse,
+            SimWorkerParams params, std::uint64_t seed,
             ExecOrder exec_order = ExecOrder::kLifo,
             StealOrder steal_order = StealOrder::kFifo);
 
@@ -133,6 +137,17 @@ class SimWorker {
 
   /// Simulate a crash: the machine vanishes without any cleanup.
   void crash();
+
+  /// Bring a crashed worker back as a fresh incarnation: heal its network
+  /// cut, discard the dead life's closures (survivors redo them), and
+  /// re-register into the running job at the current epoch.
+  void rejoin();
+
+  std::uint32_t incarnation() const noexcept { return incarnation_; }
+
+  /// MTTR instrumentation: note_steal fires on every successful steal (the
+  /// tracker ignores it outside a recovery window).
+  void set_recovery_tracker(RecoveryTracker* tracker) { tracker_ = tracker; }
 
   // ---- Observers. ----
   State state() const noexcept { return state_; }
@@ -180,6 +195,8 @@ class SimWorker {
   void attempt_steal();
   void on_steal_reply(net::NodeId victim, net::RpcResult result);
   void handle_oneway(net::Message&& message);
+  Bytes handle_control(const Bytes& args);
+  void apply_death(net::NodeId dead);
   Bytes serve_steal(net::NodeId src, const Bytes& args);
   void depart(DepartReason reason);
   void finish();
@@ -196,12 +213,15 @@ class SimWorker {
   net::SimNetwork& network_;
   net::TimerService& timers_;
   net::NodeId me_;
-  net::NodeId clearinghouse_;
+  net::NodeId clearinghouse_;  // original primary; home of the root cont
   SimWorkerParams params_;
   Xoshiro256 rng_;
 
   net::RpcNode rpc_;
+  ClearinghouseClient client_;
   WorkerCore core_;
+  std::uint32_t incarnation_ = 1;
+  RecoveryTracker* tracker_ = nullptr;
 
   State state_ = State::kCreated;
   std::optional<DepartReason> depart_reason_;

@@ -18,13 +18,13 @@ const obs::SteadyClock& steady_clock() {
 
 UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
                      const TaskRegistry& registry, net::NodeId me,
-                     net::NodeId clearinghouse, const UdpJobConfig& config,
-                     std::uint64_t seed)
+                     std::vector<net::NodeId> clearinghouse,
+                     const UdpJobConfig& config, std::uint64_t seed)
     : network_(network),
       timers_(timers),
       registry_(registry),
       me_(me),
-      clearinghouse_(clearinghouse),
+      clearinghouse_(clearinghouse.front()),
       config_(config),
       channel_(network.channel(me)),
       faulty_(config.fault_plan ? std::make_unique<net::FaultyChannel>(
@@ -33,27 +33,31 @@ UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
       rpc_(faulty_ ? static_cast<net::Channel&>(*faulty_)
                    : static_cast<net::Channel&>(channel_),
            timers),
+      client_(rpc_, std::move(clearinghouse)),
       core_(me, registry,
             [this] {
               WorkerCore::Hooks hooks;
               hooks.send_remote = [this](const ContRef& cont, Value value) {
                 const Bytes payload =
                     proto::ArgumentMsg{cont, std::move(value)}.encode();
-                if (cont.home == clearinghouse_) {
-                  rpc_.call(cont.home, proto::kRpcResult, payload,
-                            [](net::RpcResult) {}, config_.rpc_policy);
+                if (client_.is_replica(cont.home)) {
+                  // The job result must survive loss and coordinator
+                  // failover: RPC through the replica ring.
+                  client_.call(proto::kRpcResult, payload,
+                               [](net::RpcResult) {}, config_.rpc_policy);
                 } else {
                   rpc_.send_oneway(cont.home, proto::kArgument, payload);
                 }
               };
               hooks.emit_io = [this](const std::string& text) {
-                rpc_.send_oneway(clearinghouse_, proto::kIo,
-                                 proto::IoMsg{me_, text}.encode());
+                client_.send_oneway(proto::kIo,
+                                    proto::IoMsg{me_, text}.encode());
               };
               return hooks;
             }(),
             config.exec_order, config.steal_order),
       rng_(mix64(seed ^ me.value)) {
+  rpc_.set_jitter_seed(mix64(seed ^ 0x6a77'7e12'0badULL ^ me.value));
   if (config.tracer != nullptr) {
     obs::TraceShard* shard =
         config.tracer->shard(static_cast<std::uint16_t>(me.value));
@@ -70,6 +74,9 @@ UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
       reply.task = core_.try_steal(request->thief);
     }
     return reply.encode();
+  });
+  rpc_.serve(proto::kRpcControl, [this](net::NodeId, const Bytes& args) {
+    return handle_control(args);
   });
 }
 
@@ -91,6 +98,35 @@ void UdpWorker::request_stop() {
   wake_cv_.notify_all();
 }
 
+void UdpWorker::kill() {
+  killed_.store(true, std::memory_order_release);
+  // A killed machine neither sends nor hears anything; in-flight RPCs die
+  // by retry exhaustion, which is what unblocks the worker loop.
+  rpc_.set_paused(true);
+  request_stop();
+}
+
+void UdpWorker::rejoin() {
+  join();  // wait out the dead life's last (failing) in-flight RPCs
+  if (!killed_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++incarnation_;
+    // Survivors redo everything the dead life had stolen; the new life
+    // starts empty but in a fresh ClosureId band, so late datagrams
+    // addressed to the old incarnation cannot land in new closures.
+    core_.reset_for_rejoin();
+    core_.set_seq_base(static_cast<std::uint64_t>(incarnation_) << 32);
+    peers_.clear();
+    forward_to_ = net::NodeId{};
+  }
+  departed_for_shrink_.store(false, std::memory_order_release);
+  killed_.store(false, std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  rpc_.set_paused(false);
+  start();
+}
+
 void UdpWorker::join() {
   if (thread_.joinable()) thread_.join();
 }
@@ -106,7 +142,7 @@ void UdpWorker::thread_main() {
                      << "exiting without joining the job";
     return;
   }
-  rpc_.send_oneway(clearinghouse_, proto::kHeartbeat, {});
+  client_.send_oneway_all(proto::kHeartbeat, {});
   if (root_) {
     std::lock_guard<std::mutex> lock(mutex_);
     core_.spawn(root_->first, std::move(root_->second),
@@ -114,7 +150,9 @@ void UdpWorker::thread_main() {
     root_.reset();
   }
   run_loop();
-  send_stats_and_unregister();
+  // A killed worker vanishes silently; the Clearinghouse must detect it via
+  // missed heartbeats (that is the failure mode under test).
+  if (!killed_.load(std::memory_order_acquire)) send_stats_and_unregister();
 }
 
 bool UdpWorker::do_register() {
@@ -123,8 +161,8 @@ bool UdpWorker::do_register() {
   std::mutex m;
   std::condition_variable cv;
   bool done = false, ok = false;
-  rpc_.call(
-      clearinghouse_, proto::kRpcRegister, {},
+  client_.call(
+      proto::kRpcRegister, proto::RegisterMsg{incarnation_}.encode(),
       [&](net::RpcResult result) {
         std::lock_guard<std::mutex> lock(m);
         done = true;
@@ -159,7 +197,9 @@ void UdpWorker::run_loop() {
     // period, and there is no callback lifetime to manage.
     const std::uint64_t now = timers_.now_ns();
     if (now - last_heartbeat >= config_.heartbeat_period_ns) {
-      rpc_.send_oneway(clearinghouse_, proto::kHeartbeat, {});
+      // Every replica hears heartbeats, so a promoted standby starts with a
+      // warm liveness map.
+      client_.send_oneway_all(proto::kHeartbeat, {});
       last_heartbeat = now;
     }
     bool did_work = false;
@@ -264,6 +304,7 @@ bool UdpWorker::attempt_steal() {
     core_.note_steal_failed();
   } else {
     steal_latency_.observe(monotonic_ns() - steal_sent_at);
+    if (tracker_ != nullptr) tracker_->note_steal(timers_.now_ns());
   }
   return got;
 }
@@ -291,18 +332,6 @@ void UdpWorker::handle_message(net::Message&& message) {
     case proto::kShutdown:
       request_stop();
       break;
-    case proto::kDead: {
-      auto dead = proto::DeadMsg::decode(message.payload);
-      if (!dead) return;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        peers_.erase(std::remove(peers_.begin(), peers_.end(), dead->who),
-                     peers_.end());
-        core_.handle_participant_death(dead->who);
-      }
-      wake_cv_.notify_all();
-      break;
-    }
     case proto::kMigrate: {
       auto migrate = proto::MigrateMsg::decode(message.payload);
       if (!migrate) return;
@@ -325,6 +354,32 @@ void UdpWorker::handle_message(net::Message&& message) {
   }
 }
 
+Bytes UdpWorker::handle_control(const Bytes& args) {
+  // Acked control plane (death notices, new-primary announcements).  The
+  // RPC reply is the ack; an empty body is all the caller needs.
+  auto msg = proto::ControlMsg::decode(args);
+  if (!msg) return {};
+  switch (msg->kind) {
+    case proto::ControlMsg::kDeadNotice: {
+      if (msg->who == me_) break;  // our own previous incarnation
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        peers_.erase(std::remove(peers_.begin(), peers_.end(), msg->who),
+                     peers_.end());
+        core_.handle_participant_death(msg->who);
+      }
+      wake_cv_.notify_all();
+      break;
+    }
+    case proto::ControlMsg::kNewPrimary:
+      client_.adopt(msg->who, msg->view);
+      break;
+    default:
+      break;
+  }
+  return {};
+}
+
 void UdpWorker::send_stats_and_unregister() {
   proto::StatsMsg stats;
   stats.who = me_;
@@ -333,16 +388,16 @@ void UdpWorker::send_stats_and_unregister() {
     stats.stats = core_.stats();
   }
   stats.end_ns = timers_.now_ns();
-  rpc_.send_oneway(clearinghouse_, proto::kStatsReport, stats.encode());
-  rpc_.call(clearinghouse_, proto::kRpcUnregister, {}, [](net::RpcResult) {},
-            config_.rpc_policy);
+  client_.send_oneway(proto::kStatsReport, stats.encode());
+  client_.call(proto::kRpcUnregister, {}, [](net::RpcResult) {},
+               config_.rpc_policy);
 }
 
 void UdpWorker::refresh_membership() {
   // Fire-and-forget update; the completion runs on a transport thread and
   // must not capture stack locals.
-  rpc_.call(
-      clearinghouse_, proto::kRpcUpdate, {},
+  client_.call(
+      proto::kRpcUpdate, {},
       [this](net::RpcResult result) {
         if (!result.ok || stop_.load(std::memory_order_acquire)) return;
         auto membership = proto::Membership::decode(result.reply);
@@ -376,35 +431,100 @@ UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
 
   const net::NodeId ch_node{0};
   net::RpcNode ch_rpc(network.channel(ch_node), timers);
+  ch_rpc.set_jitter_seed(mix64(config_.seed ^ 0xc0de'0000ULL));
   if (config_.tracer != nullptr) {
     ch_rpc.set_trace(
         config_.tracer->shard(static_cast<std::uint16_t>(ch_node.value)),
         &steady_clock());
   }
   Clearinghouse clearinghouse(ch_rpc, timers, config_.clearinghouse);
+  RecoveryTracker recovery;
+  clearinghouse.set_recovery_tracker(&recovery);
+
+  // The replica ring every worker fails over across: primary first.
+  std::vector<net::NodeId> replicas{ch_node};
+  std::unique_ptr<net::RpcNode> backup_rpc;
+  std::unique_ptr<Clearinghouse> backup;
+  if (config_.enable_backup) {
+    const net::NodeId backup_node{
+        static_cast<std::uint32_t>(config_.workers + 1)};
+    replicas.push_back(backup_node);
+    backup_rpc =
+        std::make_unique<net::RpcNode>(network.channel(backup_node), timers);
+    backup_rpc->set_jitter_seed(mix64(config_.seed ^ 0xc0de'0001ULL));
+    backup = std::make_unique<Clearinghouse>(*backup_rpc, timers,
+                                             config_.clearinghouse);
+    backup->set_recovery_tracker(&recovery);
+  }
 
   std::mutex result_mutex;
   std::condition_variable result_cv;
   std::optional<Value> result_value;
-  clearinghouse.set_on_result([&](const Value& v) {
+  const auto record_result = [&](const Value& v) {
     std::lock_guard<std::mutex> lock(result_mutex);
-    result_value = v;
+    if (!result_value) result_value = v;
     result_cv.notify_all();
-  });
+  };
+  clearinghouse.set_on_result(record_result);
   clearinghouse.start();
+  if (backup != nullptr) {
+    backup->set_on_result(record_result);
+    backup->start_standby(ch_node);
+    clearinghouse.set_standby(backup_rpc->id());
+  }
 
   std::vector<std::unique_ptr<UdpWorker>> workers;
   Xoshiro256 seeder(config_.seed);
   for (int i = 0; i < config_.workers; ++i) {
     workers.push_back(std::make_unique<UdpWorker>(
         network, timers, registry_,
-        net::NodeId{static_cast<std::uint32_t>(i + 1)}, ch_node, config_,
+        net::NodeId{static_cast<std::uint32_t>(i + 1)}, replicas, config_,
         seeder.next()));
+    workers.back()->set_recovery_tracker(&recovery);
   }
   workers[0]->set_root(root, std::move(args));
 
   Stopwatch watch;
   for (auto& w : workers) w->start();
+
+  // Scripted control-plane chaos: coarse wall-clock kills, driven from a
+  // dedicated thread so the main thread stays parked on the result.
+  std::thread chaos;
+  if (config_.kill_primary_after_ns > 0 ||
+      config_.kill_worker_after_ns > 0) {
+    chaos = std::thread([&] {
+      struct Event {
+        std::uint64_t at_ns;
+        std::function<void()> fire;
+      };
+      std::vector<Event> events;
+      if (config_.kill_primary_after_ns > 0) {
+        events.push_back({config_.kill_primary_after_ns,
+                          [&] { clearinghouse.halt(); }});
+      }
+      const int k = config_.kill_worker_index;
+      if (config_.kill_worker_after_ns > 0 && k > 0 &&
+          k < static_cast<int>(workers.size())) {
+        events.push_back(
+            {config_.kill_worker_after_ns, [&, k] { workers[k]->kill(); }});
+        if (config_.rejoin_worker_after_ns > config_.kill_worker_after_ns) {
+          events.push_back({config_.rejoin_worker_after_ns,
+                            [&, k] { workers[k]->rejoin(); }});
+        }
+      }
+      std::sort(events.begin(), events.end(),
+                [](const Event& a, const Event& b) { return a.at_ns < b.at_ns; });
+      const auto t0 = std::chrono::steady_clock::now();
+      for (Event& e : events) {
+        std::this_thread::sleep_until(t0 + std::chrono::nanoseconds(e.at_ns));
+        {
+          std::lock_guard<std::mutex> lock(result_mutex);
+          if (result_value.has_value()) return;  // job already over
+        }
+        e.fire();
+      }
+    });
+  }
 
   bool finished;
   {
@@ -415,11 +535,13 @@ UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
   }
   const double elapsed = watch.elapsed_seconds();
 
+  if (chaos.joinable()) chaos.join();
   // Wind everything down (the shutdown broadcast already went out if the job
   // finished; make it idempotent either way).
   for (auto& w : workers) w->request_stop();
   for (auto& w : workers) w->join();
   clearinghouse.stop();
+  if (backup != nullptr) backup->stop();
 
   if (!finished) {
     throw std::runtime_error("udp runtime: job timed out after " +
@@ -439,6 +561,7 @@ UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
   for (auto& w : workers) {
     result.messages_sent += w->channel_stats().messages_sent;
   }
+  result.recovery = recovery.snapshot();
   return result;
 }
 

@@ -23,7 +23,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/ch_client.hpp"
 #include "core/clearinghouse.hpp"
+#include "core/recovery.hpp"
 #include "core/worker_core.hpp"
 #include "net/fault.hpp"
 #include "net/udp_net.hpp"
@@ -56,6 +58,19 @@ struct UdpJobConfig {
   /// Optional event tracer (wall-clock domain).  Worker i writes to
   /// tracer->shard(i + 1); the Clearinghouse's RPC traffic goes to shard 0.
   obs::Tracer* tracer = nullptr;
+  /// Warm-standby Clearinghouse replica on node workers+1 (port
+  /// base_port + workers + 1): receives state deltas from the primary and
+  /// promotes itself when the primary misses its lease.
+  bool enable_backup = false;
+  /// Scripted control-plane chaos, in wall-clock ns from job start (0 = off;
+  /// unlike link faults these are coarse enough for real time).
+  /// Requires enable_backup for the job to survive a primary kill.
+  std::uint64_t kill_primary_after_ns = 0;
+  /// Kill worker `kill_worker_index` (never use 0 — it carries the root)
+  /// after this long, then optionally bring it back as a fresh incarnation.
+  std::uint64_t kill_worker_after_ns = 0;
+  int kill_worker_index = 1;
+  std::uint64_t rejoin_worker_after_ns = 0;
 };
 
 struct UdpJobResult {
@@ -65,15 +80,19 @@ struct UdpJobResult {
   std::vector<WorkerStats> per_worker;
   /// Datagrams sent by the workers (from their channel counters).
   std::uint64_t messages_sent = 0;
+  /// Failover / rejoin counters and the last MTTR, when chaos was scripted.
+  RecoveryTracker::Snapshot recovery{};
 };
 
 /// One worker process-equivalent: a UDP socket, a WorkerCore, and a thread.
 class UdpWorker {
  public:
+  /// `clearinghouse` is the replica ring (primary first, then any warm
+  /// standby); all coordinator traffic fails over across it.
   UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
             const TaskRegistry& registry, net::NodeId me,
-            net::NodeId clearinghouse, const UdpJobConfig& config,
-            std::uint64_t seed);
+            std::vector<net::NodeId> clearinghouse,
+            const UdpJobConfig& config, std::uint64_t seed);
   ~UdpWorker();
 
   UdpWorker(const UdpWorker&) = delete;
@@ -88,10 +107,26 @@ class UdpWorker {
   /// Ask the worker to wind down (as the shutdown broadcast does).
   void request_stop();
 
+  /// Simulate a machine crash: drop all traffic both ways at the RPC layer
+  /// and stop the worker loop with no unregister and no stats report — the
+  /// Clearinghouse must find out the hard way (missed heartbeats).
+  void kill();
+
+  /// Bring a killed worker back as a fresh incarnation: joins the old
+  /// thread, resets the core (survivors redo the dead life's work), bumps
+  /// the incarnation, and re-registers into the running job.  Blocks until
+  /// the old life's last in-flight RPCs resolve.
+  void rejoin();
+
+  /// MTTR instrumentation: fires on every successful steal (the tracker
+  /// ignores steals outside a recovery window).
+  void set_recovery_tracker(RecoveryTracker* tracker) { tracker_ = tracker; }
+
   /// Block until the worker thread exits.
   void join();
 
   net::NodeId id() const { return me_; }
+  std::uint32_t incarnation() const { return incarnation_; }
   WorkerStats stats_snapshot() const;
   const net::ChannelStats& channel_stats() const { return channel_.stats(); }
   bool departed_for_shrink() const {
@@ -104,6 +139,7 @@ class UdpWorker {
   void run_loop();
   bool attempt_steal();
   void handle_message(net::Message&& message);
+  Bytes handle_control(const Bytes& args);
   void send_stats_and_unregister();
   void refresh_membership();
   std::optional<net::NodeId> pick_peer();  // callers hold mutex_
@@ -112,13 +148,17 @@ class UdpWorker {
   net::TimerService& timers_;
   const TaskRegistry& registry_;
   net::NodeId me_;
-  net::NodeId clearinghouse_;
+  net::NodeId clearinghouse_;  // original primary; home of the root cont
   const UdpJobConfig& config_;
 
   net::UdpChannel& channel_;
   /// Present when config.fault_plan is set; rpc_ then speaks through it.
   std::unique_ptr<net::FaultyChannel> faulty_;
   net::RpcNode rpc_;
+  ClearinghouseClient client_;
+  std::uint32_t incarnation_ = 1;
+  RecoveryTracker* tracker_ = nullptr;
+  std::atomic<bool> killed_{false};
 
   mutable std::mutex mutex_;  // guards core_, peers_, rng_, forward_to_
   WorkerCore core_;

@@ -24,9 +24,11 @@ net::FaultPlan make_chaos_plan(std::uint64_t seed,
   plan.seed = seed;
   // Phish's reliability envelope: RPC frames retransmit and heartbeats are
   // periodic, so they may be dropped; plain-oneway dataflow (arguments,
-  // migration batches, death notices) has no retransmit path and must not
-  // be — it stays fair game for duplicate/reorder/delay.
-  plan.lossless_types = {proto::kArgument, proto::kMigrate, proto::kDead};
+  // migration batches) has no retransmit path and must not be — it stays
+  // fair game for duplicate/reorder/delay.  Death notices used to be in
+  // this list; they now ride the acked kRpcControl path and survive drops
+  // on their own.
+  plan.lossless_types = {proto::kArgument, proto::kMigrate};
   Xoshiro256 rng(mix64(seed ^ 0xc4a05'5eedULL));
 
   // One blanket rule mangling every link.  Roughly one seed in four gets a
@@ -70,7 +72,16 @@ net::FaultPlan make_chaos_plan(std::uint64_t seed,
   //     migrated closures are in nobody's steal ledger — no redo path;
   //   * a reclaim during another worker's partition can pick the cut worker
   //     as migration successor and lose the (oneway) kMigrate batch.
-  const std::uint64_t category = rng.below(4);
+  std::vector<int> categories{0, 1, 2, 3};
+  if (profile.coordinator_crash) categories.push_back(4);
+  if (profile.crash_rejoin) categories.push_back(5);
+  if (profile.failover_only) {
+    categories.clear();
+    if (profile.coordinator_crash) categories.push_back(4);
+    if (profile.crash_rejoin) categories.push_back(5);
+    if (categories.empty()) categories.push_back(0);
+  }
+  const int category = categories[rng.below(categories.size())];
   if (category == 1 && profile.max_crashes > 0) {
     const int n = 1 + static_cast<int>(
                           rng.below(static_cast<unsigned>(profile.max_crashes)));
@@ -94,6 +105,20 @@ net::FaultPlan make_chaos_plan(std::uint64_t seed,
         40'000'000 + rng.below(profile.max_partition_ns);
     plan.events.push_back({0, net::NodeFaultKind::kPartition, w});
     plan.events.push_back({heal, net::NodeFaultKind::kHeal, w});
+  } else if (category == 4) {
+    // Crash the primary Clearinghouse mid-job: the warm standby must notice
+    // the missed lease, promote itself, and the job must still finish.
+    plan.events.push_back(
+        {when(), net::NodeFaultKind::kCrash, net::kCoordinatorWorker});
+  } else if (category == 5) {
+    // Kill one worker, then bring it back as a fresh incarnation: the full
+    // crash -> detect -> redo -> rejoin -> finish round trip.
+    const int w = victim();
+    const std::uint64_t t_crash = when();
+    const std::uint64_t t_rejoin =
+        t_crash + 100'000'000 + rng.below(profile.max_rejoin_delay_ns + 1);
+    plan.events.push_back({t_crash, net::NodeFaultKind::kCrash, w});
+    plan.events.push_back({t_rejoin, net::NodeFaultKind::kRestart, w});
   }
   // category 0 (or an exhausted max_*): link faults only.
   std::sort(plan.events.begin(), plan.events.end(),

@@ -52,6 +52,19 @@ struct ChaosProfile {
   std::uint64_t max_partition_ns = 300'000'000;   // 300 ms
   /// Generate node events at all (off for runtimes without a virtual clock).
   bool node_events = true;
+  // Control-plane failover categories.  When set, the category draw may
+  // also pick:
+  //   * a coordinator crash (NodeEvent.worker == net::kCoordinatorWorker,
+  //     kind kCrash) — the runner must stand up a warm-standby replica or
+  //     the job cannot finish;
+  //   * a crash-then-rejoin pair on one worker (kCrash, then kRestart after
+  //     100ms + U(0, max_rejoin_delay_ns)): the dead worker re-registers
+  //     into the running job as a fresh incarnation.
+  bool coordinator_crash = false;
+  bool crash_rejoin = false;
+  std::uint64_t max_rejoin_delay_ns = 400'000'000;  // 400 ms
+  /// Restrict the draw to the failover categories above (targeted sweeps).
+  bool failover_only = false;
 
   /// Link-faults-only profile for the UDP runtime: milder rates, no node
   /// events, no delay band (real sockets have no scriptable clock).

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/recovery.hpp"
 #include "net/sim_net.hpp"
 
 namespace phish {
@@ -32,27 +33,39 @@ class ClearinghouseTest : public ::testing::Test {
     return cfg;
   }
 
-  /// A minimal scripted worker node.
+  /// A minimal scripted worker node.  Death notices and new-primary
+  /// announcements arrive on the acked kRpcControl path.
   struct FakeWorker {
     net::RpcNode rpc;
     std::vector<std::uint16_t> received_types;
     std::vector<net::NodeId> dead_notices;
+    std::vector<std::pair<net::NodeId, std::uint64_t>> new_primaries;
 
     FakeWorker(net::SimNetwork& network, net::TimerService& timers,
                net::NodeId id)
         : rpc(network.channel(id), timers) {
       rpc.set_oneway_handler([this](net::Message&& m) {
         received_types.push_back(m.type);
-        if (m.type == proto::kDead) {
-          if (auto d = proto::DeadMsg::decode(m.payload)) {
-            dead_notices.push_back(d->who);
+      });
+      rpc.serve(proto::kRpcControl, [this](net::NodeId, const Bytes& args) {
+        if (auto msg = proto::ControlMsg::decode(args)) {
+          if (msg->kind == proto::ControlMsg::kDeadNotice) {
+            dead_notices.push_back(msg->who);
+          } else if (msg->kind == proto::ControlMsg::kNewPrimary) {
+            new_primaries.emplace_back(msg->who, msg->view);
           }
         }
+        return Bytes{};
       });
     }
 
-    void register_with(net::NodeId ch, proto::Membership* out = nullptr) {
-      rpc.call(ch, proto::kRpcRegister, {}, [out](net::RpcResult r) {
+    /// incarnation 0 = legacy empty registration payload.
+    void register_with(net::NodeId ch, proto::Membership* out = nullptr,
+                       std::uint32_t incarnation = 0) {
+      const Bytes payload =
+          incarnation == 0 ? Bytes{}
+                           : proto::RegisterMsg{incarnation}.encode();
+      rpc.call(ch, proto::kRpcRegister, payload, [out](net::RpcResult r) {
         ASSERT_TRUE(r.ok);
         if (out) {
           auto m = proto::Membership::decode(r.reply);
@@ -250,6 +263,118 @@ TEST_F(ClearinghouseTest, MalformedMessagesIgnored) {
   EXPECT_NO_THROW(sim_.run());
   EXPECT_FALSE(ch.result().has_value());
   EXPECT_TRUE(ch.stats_reports().empty());
+}
+
+TEST_F(ClearinghouseTest, ReplicationMirrorsStateToStandby) {
+  ClearinghouseConfig cfg;
+  cfg.detect_failures = false;
+  cfg.replicate_period_ns = 100 * sim::kMillisecond;
+  Clearinghouse primary(ch_rpc_, timers_, cfg);
+  net::RpcNode backup_rpc(network_.channel(net::NodeId{9}), timers_);
+  Clearinghouse backup(backup_rpc, timers_, cfg);
+  primary.start();
+  backup.start_standby(kCh);
+  primary.set_standby(net::NodeId{9});
+
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh);
+  w2.register_with(kCh);
+  sim_.run_until(50 * sim::kMillisecond);
+  w1.rpc.send_oneway(kCh, proto::kIo,
+                     proto::IoMsg{net::NodeId{1}, "hello"}.encode());
+  // The replicate timer re-arms forever; drive a bounded slice.
+  sim_.run_until(sim::kSecond);
+
+  EXPECT_EQ(backup.role(), Clearinghouse::Role::kStandby);
+  EXPECT_EQ(backup.membership().participants.size(), 2u);
+  EXPECT_EQ(backup.membership().epoch, primary.membership().epoch);
+  const auto log = backup.io_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].text, "hello");
+  primary.stop();
+  backup.stop();
+}
+
+TEST_F(ClearinghouseTest, StandbyPromotesWhenPrimaryHalts) {
+  ClearinghouseConfig cfg;
+  cfg.detect_failures = false;
+  cfg.replicate_period_ns = 100 * sim::kMillisecond;
+  cfg.lease_timeout_ns = 500 * sim::kMillisecond;
+  cfg.lease_check_period_ns = 100 * sim::kMillisecond;
+  Clearinghouse primary(ch_rpc_, timers_, cfg);
+  net::RpcNode backup_rpc(network_.channel(net::NodeId{9}), timers_);
+  Clearinghouse backup(backup_rpc, timers_, cfg);
+  RecoveryTracker tracker;
+  backup.set_recovery_tracker(&tracker);
+  primary.start();
+  backup.start_standby(kCh);
+  primary.set_standby(net::NodeId{9});
+
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  w1.register_with(kCh);
+  sim_.run_until(sim::kSecond);
+  ASSERT_EQ(backup.membership().participants.size(), 1u);
+
+  sim_.schedule_at(2 * sim::kSecond, [&] { primary.halt(); });
+  sim_.run_until(5 * sim::kSecond);
+
+  EXPECT_TRUE(backup.acting_primary());
+  EXPECT_EQ(backup.view(), 2u);
+  // Participants were told who the new coordinator is, reliably.
+  ASSERT_FALSE(w1.new_primaries.empty());
+  EXPECT_EQ(w1.new_primaries.back().first, (net::NodeId{9}));
+  EXPECT_EQ(w1.new_primaries.back().second, 2u);
+  const auto snap = tracker.snapshot();
+  EXPECT_GE(snap.detects, 1u);
+  EXPECT_EQ(snap.promotions, 1u);
+  backup.stop();
+}
+
+TEST_F(ClearinghouseTest, RejoinWithHigherIncarnationImpliesDeath) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  RecoveryTracker tracker;
+  ch.set_recovery_tracker(&tracker);
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh, nullptr, 1);
+  w2.register_with(kCh, nullptr, 1);
+  sim_.run();
+  const std::uint64_t epoch_before = ch.membership().epoch;
+
+  // w1 crashes and comes back before the failure detector would notice.
+  proto::Membership m;
+  w1.register_with(kCh, &m, 2);
+  sim_.run();
+
+  // The old incarnation is implicitly dead: survivors are told (so they
+  // redo its stolen work), then the replacement is admitted.
+  ASSERT_EQ(w2.dead_notices.size(), 1u);
+  EXPECT_EQ(w2.dead_notices[0], (net::NodeId{1}));
+  EXPECT_EQ(ch.membership().participants.size(), 2u);
+  EXPECT_GT(ch.membership().epoch, epoch_before);
+  EXPECT_EQ(ch.declared_dead().size(), 1u);
+  EXPECT_GE(tracker.snapshot().rejoins, 1u);
+  EXPECT_EQ(m.participants.size(), 2u);
+}
+
+TEST_F(ClearinghouseTest, StaleIncarnationRegisterDoesNotResurrect) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh, nullptr, 2);
+  w2.register_with(kCh, nullptr, 1);
+  sim_.run();
+  const std::uint64_t epoch = ch.membership().epoch;
+
+  // A delayed register from incarnation 1 must not disturb incarnation 2.
+  w1.register_with(kCh, nullptr, 1);
+  sim_.run();
+  EXPECT_EQ(ch.membership().participants.size(), 2u);
+  EXPECT_EQ(ch.membership().epoch, epoch);
+  EXPECT_TRUE(w2.dead_notices.empty());
 }
 
 TEST_F(ClearinghouseTest, MembershipChangeCallback) {

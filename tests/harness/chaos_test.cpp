@@ -98,7 +98,7 @@ TEST(ChaosScripted, EarlyPartitionHealsAndJobCompletes) {
   all.duplicate = 0.05;
   all.reorder = 0.05;
   plan.links.push_back(all);
-  plan.lossless_types = {proto::kArgument, proto::kMigrate, proto::kDead};
+  plan.lossless_types = {proto::kArgument, proto::kMigrate};
   plan.events.push_back({0, net::NodeFaultKind::kPartition, 2});
   plan.events.push_back({120'000'000, net::NodeFaultKind::kHeal, 2});
 
@@ -129,7 +129,7 @@ TEST(ChaosScripted, CrashPlanTriggersRedoAndStaysExact) {
   all.drop = 0.10;
   all.duplicate = 0.05;
   plan.links.push_back(all);
-  plan.lossless_types = {proto::kArgument, proto::kMigrate, proto::kDead};
+  plan.lossless_types = {proto::kArgument, proto::kMigrate};
   plan.events.push_back({60'000'000, net::NodeFaultKind::kCrash, 3});
 
   TaskRegistry reg;

@@ -1,0 +1,77 @@
+// Control-plane failover on the UDP runtime: real sockets, scripted
+// kill-the-primary / kill-and-rejoin chaos in wall-clock time.
+//
+// These tests measure real-time failure detection (heartbeat and lease
+// timeouts against a wall clock), so they run RUN_SERIAL in ctest: a loaded
+// machine starves the heartbeat threads and turns timing into noise.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "runtime/udp/udp_runtime.hpp"
+
+namespace phish::testing {
+namespace {
+
+rt::UdpJobConfig udp_failover_config(std::uint16_t base_port,
+                                     std::uint64_t seed) {
+  rt::UdpJobConfig cfg;
+  cfg.workers = 3;
+  cfg.net.base_port = base_port;
+  cfg.seed = seed;
+  cfg.enable_backup = true;
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 2'000'000'000ULL;
+  cfg.clearinghouse.failure_check_period_ns = 300'000'000ULL;
+  cfg.clearinghouse.replicate_period_ns = 100'000'000ULL;
+  cfg.clearinghouse.lease_timeout_ns = 400'000'000ULL;
+  cfg.clearinghouse.lease_check_period_ns = 100'000'000ULL;
+  cfg.heartbeat_period_ns = 200'000'000ULL;
+  cfg.timeout_seconds = 60.0;
+  return cfg;
+}
+
+/// fib(n) without the exponential recursion of apps::fib_serial (the
+/// reference for fib(45) must not itself take seconds).
+std::int64_t fib_iterative(int n) {
+  std::int64_t a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+TEST(UdpFailover, PrimaryKillPromotesBackupAndFinishes) {
+  TaskRegistry reg;
+  // fib(45)/cutoff 22 runs ~2.3s wall on 3 loopback workers: the 400ms kill
+  // lands mid-job and promotion (~0.9s) leaves ample post-failover stealing.
+  const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/22);
+  rt::UdpJobConfig cfg = udp_failover_config(34200, 0x0ddf'a110);
+  cfg.kill_primary_after_ns = 400'000'000ULL;
+  rt::UdpJob job(reg, cfg);
+  const auto result = job.run(root, {Value(std::int64_t{45})});
+  EXPECT_EQ(result.value.as_int(), fib_iterative(45));
+  EXPECT_GE(result.recovery.detects, 1u);
+  EXPECT_EQ(result.recovery.promotions, 1u);
+  EXPECT_GE(result.recovery.mttr_count, 1u);
+}
+
+TEST(UdpFailover, KilledWorkerRejoinsMidJob) {
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/22);
+  rt::UdpJobConfig cfg = udp_failover_config(34300, 0x1d30);
+  cfg.enable_backup = false;
+  cfg.kill_worker_after_ns = 300'000'000ULL;
+  cfg.kill_worker_index = 1;
+  cfg.rejoin_worker_after_ns = 1'200'000'000ULL;
+  rt::UdpJob job(reg, cfg);
+  const auto result = job.run(root, {Value(std::int64_t{45})});
+  EXPECT_EQ(result.value.as_int(), fib_iterative(45));
+  EXPECT_GE(result.recovery.rejoins, 1u);
+}
+
+}  // namespace
+}  // namespace phish::testing

@@ -125,10 +125,20 @@ ChaosOutcome run_threads(const ChaosCase& c) {
   return o;
 }
 
-ChaosOutcome run_simdist(const ChaosCase& c) {
-  ChaosOutcome o;
+/// Simdist plans draw from the full category space, including control-plane
+/// failover (primary crash; worker crash-then-rejoin).
+ChaosProfile simdist_profile(const ChaosCase& c) {
   ChaosProfile profile;
   profile.workers = 3 + static_cast<int>(c.seed % 3);
+  profile.coordinator_crash = true;
+  profile.crash_rejoin = true;
+  profile.failover_only = c.failover_only;
+  return profile;
+}
+
+ChaosOutcome run_simdist(const ChaosCase& c) {
+  ChaosOutcome o;
+  const ChaosProfile profile = simdist_profile(c);
   o.plan = make_chaos_plan(c.seed, profile);
 
   SimJobConfig cfg;
@@ -144,6 +154,11 @@ ChaosOutcome run_simdist(const ChaosCase& c) {
   // Budget RPC retries so link-level drops cannot plausibly exhaust a call:
   // at <= 15% drop each way, ten attempts fail with p ~ 3e-6.
   cfg.worker.rpc_policy = {100 * sim::kMillisecond, 10, 1.5};
+  // Warm-standby coordinator: plans may crash the primary mid-job.
+  cfg.enable_backup = true;
+  cfg.clearinghouse.replicate_period_ns = 150 * sim::kMillisecond;
+  cfg.clearinghouse.lease_timeout_ns = 600 * sim::kMillisecond;
+  cfg.clearinghouse.lease_check_period_ns = 150 * sim::kMillisecond;
 
   TaskRegistry reg;
   const AppSpec spec = register_app(reg, c.app);
@@ -233,12 +248,9 @@ ChaosOutcome run_chaos_case(const ChaosCase& c) {
       case ChaosRuntime::kThreads:
         o.plan.seed = c.seed;
         break;
-      case ChaosRuntime::kSimdist: {
-        ChaosProfile profile;
-        profile.workers = 3 + static_cast<int>(c.seed % 3);
-        o.plan = make_chaos_plan(c.seed, profile);
+      case ChaosRuntime::kSimdist:
+        o.plan = make_chaos_plan(c.seed, simdist_profile(c));
         break;
-      }
       case ChaosRuntime::kUdp:
         o.plan = make_chaos_plan(
             c.seed, ChaosProfile::udp(2 + static_cast<int>(c.seed % 2)));
@@ -281,6 +293,15 @@ std::vector<ChaosCase> chaos_matrix() {
       cases.push_back({ChaosRuntime::kUdp, kApps[a],
                        7000 + 10 * static_cast<std::uint64_t>(a) + i, port});
       port = static_cast<std::uint16_t>(port + 64);
+    }
+  }
+  // Targeted failover sweep: every plan either crashes the primary
+  // Clearinghouse (warm standby promotes) or crash-rejoins a worker.
+  for (int a = 0; a < 3; ++a) {
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      cases.push_back({ChaosRuntime::kSimdist, kApps[a],
+                       5000 + 10 * static_cast<std::uint64_t>(a) + i, 0,
+                       /*failover_only=*/true});
     }
   }
   return cases;

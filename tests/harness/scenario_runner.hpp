@@ -41,6 +41,9 @@ struct ChaosCase {
   std::uint64_t seed = 1;
   /// UDP only: loopback port block for this case (0 = derive from seed).
   std::uint16_t base_port = 0;
+  /// Simdist only: restrict the plan to the failover categories (primary
+  /// Clearinghouse crash / worker crash-then-rejoin) for targeted sweeps.
+  bool failover_only = false;
 };
 
 void PrintTo(const ChaosCase& c, std::ostream* os);

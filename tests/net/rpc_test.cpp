@@ -141,6 +141,8 @@ TEST_F(RpcLoopTest, ExponentialBackoffBetweenRetries) {
   policy.max_attempts = 4;
   policy.timeout_ns = 100;
   policy.backoff = 2.0;
+  policy.jitter = 0.0;  // exact-timing assertions below
+  policy.adaptive = false;
   bool failed = false;
   client_.call(NodeId{5}, 9, {}, [&](RpcResult r) { failed = !r.ok; }, policy);
   // Attempts at t=0, 100, 300, 700; failure at 1500.
@@ -225,6 +227,118 @@ TEST_F(RpcLoopTest, DestructionFailsPendingCalls) {
   EXPECT_FALSE(ok);
 }
 
+TEST_F(RpcLoopTest, KarnRuleIgnoresRetransmittedSamples) {
+  server_.serve(1, [](NodeId, const Bytes&) { return Bytes{}; });
+  std::optional<RpcResult> result;
+  client_.call(NodeId{1}, 1, {}, [&](RpcResult r) { result = std::move(r); });
+  net_.drop_all_in_flight();  // lose attempt 1
+  sim_.run(1);                // retransmission timer -> attempt 2
+  net_.drain();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  // The reply matched a retransmitted request: the RTT sample is ambiguous
+  // (Karn's rule) and must not enter the estimator.
+  EXPECT_EQ(client_.stats().rtt_samples, 0u);
+  EXPECT_FALSE(client_.rtt_estimate(NodeId{1}).valid);
+
+  result.reset();
+  client_.call(NodeId{1}, 1, {}, [&](RpcResult r) { result = std::move(r); });
+  net_.drain();  // clean first-attempt reply
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(client_.stats().rtt_samples, 1u);
+  EXPECT_TRUE(client_.rtt_estimate(NodeId{1}).valid);
+}
+
+TEST_F(RpcLoopTest, PausedServerLooksCrashed) {
+  int handler_runs = 0;
+  server_.serve(1, [&](NodeId, const Bytes&) {
+    ++handler_runs;
+    return Bytes{};
+  });
+  server_.set_paused(true);
+  RetryPolicy policy;
+  policy.timeout_ns = 100;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  policy.adaptive = false;
+  std::optional<RpcResult> result;
+  client_.call(NodeId{1}, 1, {}, [&](RpcResult r) { result = std::move(r); },
+               policy);
+  net_.drain();  // attempt 1 reaches the paused node and is dropped
+  sim_.run();    // remaining attempts + final failure
+  net_.drain();  // retransmits also dropped while paused
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(handler_runs, 0) << "a paused node must not execute handlers";
+
+  // Unpause: the node serves again with no reconstruction.
+  server_.set_paused(false);
+  result.reset();
+  client_.call(NodeId{1}, 1, {}, [&](RpcResult r) { result = std::move(r); },
+               policy);
+  net_.drain();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(handler_runs, 1);
+}
+
+TEST_F(RpcLoopTest, PausedClientDropsOutbound) {
+  int handler_runs = 0;
+  server_.serve(1, [&](NodeId, const Bytes&) {
+    ++handler_runs;
+    return Bytes{};
+  });
+  client_.set_paused(true);
+  RetryPolicy policy;
+  policy.timeout_ns = 100;
+  policy.max_attempts = 2;
+  policy.jitter = 0.0;
+  policy.adaptive = false;
+  std::optional<RpcResult> result;
+  client_.call(NodeId{1}, 1, {}, [&](RpcResult r) { result = std::move(r); },
+               policy);
+  client_.send_oneway(NodeId{1}, 17, {});
+  net_.drain();
+  sim_.run();
+  net_.drain();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok) << "paused nodes fail calls by retry exhaustion";
+  EXPECT_EQ(handler_runs, 0);
+}
+
+// Deterministic backoff jitter: the retransmit schedule is a pure function
+// of the jitter seed, so chaos replays reproduce byte-for-byte, while
+// different seeds decorrelate workers backing off from one loss burst.
+TEST(RpcJitter, ScheduleIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    SimTimerService timers(sim);
+    LoopNetwork net;
+    RpcNode client(net.channel(NodeId{0}), timers);
+    client.set_jitter_seed(seed);
+    RetryPolicy policy;
+    policy.timeout_ns = 1000;
+    policy.max_attempts = 4;
+    policy.backoff = 2.0;
+    policy.jitter = 0.5;
+    policy.adaptive = false;
+    bool failed = false;
+    client.call(NodeId{5}, 9, {}, [&](RpcResult r) { failed = !r.ok; },
+                policy);
+    sim.run();
+    EXPECT_TRUE(failed);
+    return sim.now();
+  };
+  const auto a1 = run_once(111);
+  const auto a2 = run_once(111);
+  const auto b = run_once(222);
+  EXPECT_EQ(a1, a2) << "same seed, same retransmit schedule";
+  EXPECT_NE(a1, b) << "different seed, decorrelated schedule";
+  // Jitter only stretches timeouts, never shortens them.
+  EXPECT_GE(a1, 1000u + 2000u + 4000u + 8000u);
+}
+
 // --- Simulated-network end-to-end (timers and transport share the clock). ---
 
 TEST(RpcSim, CallOverSimNetwork) {
@@ -247,6 +361,28 @@ TEST(RpcSim, CallOverSimNetwork) {
   EXPECT_EQ(decode_u64(result->reply), 123u);
   // Round trip took at least 2x latency.
   EXPECT_GE(s.now(), 2 * params.latency);
+}
+
+TEST(RpcSim, AdaptiveRttTracksNetworkLatency) {
+  sim::Simulator s;
+  SimNetParams params;
+  params.jitter = 0;
+  SimNetwork net(s, params);
+  SimTimerService timers(s);
+  RpcNode server(net.channel(NodeId{1}), timers);
+  RpcNode client(net.channel(NodeId{0}), timers);
+  server.serve(1, [](NodeId, const Bytes& args) { return args; });
+  for (int i = 0; i < 8; ++i) {
+    client.call(NodeId{1}, 1, {}, [](RpcResult r) { EXPECT_TRUE(r.ok); });
+    s.run();
+  }
+  const RttEstimate est = client.rtt_estimate(NodeId{1});
+  ASSERT_TRUE(est.valid);
+  EXPECT_EQ(est.samples, 8u);
+  EXPECT_EQ(client.stats().rtt_samples, 8u);
+  // RTT = 2x one-way latency on a jitter-free link; srtt converges there.
+  const double rtt = 2.0 * static_cast<double>(params.latency);
+  EXPECT_NEAR(est.srtt_ns, rtt, 0.1 * rtt);
 }
 
 TEST(RpcSim, SurvivesHeavyLoss) {

@@ -16,8 +16,11 @@ namespace phish::net {
 namespace {
 
 // Each test uses a distinct base port so parallel/ordered runs never collide.
+// The base is offset by PID because ctest runs every case as its own process:
+// a fixed start would hand concurrent cases the same ports.
 std::uint16_t next_base_port() {
-  static std::atomic<std::uint16_t> port{30100};
+  static std::atomic<std::uint16_t> port{static_cast<std::uint16_t>(
+      30100 + (::getpid() % 150) * 16)};
   return port.fetch_add(16);
 }
 

@@ -4,6 +4,7 @@
 #include "runtime/udp/udp_runtime.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 
@@ -12,9 +13,12 @@
 namespace phish::rt {
 namespace {
 
-// Distinct port ranges per test to avoid rebind collisions.
+// Distinct port ranges per test to avoid rebind collisions.  The base is
+// offset by PID because ctest runs every case as its own process: a fixed
+// start would hand concurrent cases the same ports.
 std::uint16_t next_base_port() {
-  static std::atomic<std::uint16_t> port{33000};
+  static std::atomic<std::uint16_t> port{static_cast<std::uint16_t>(
+      35000 + (::getpid() % 70) * 64)};
   return port.fetch_add(64);
 }
 
