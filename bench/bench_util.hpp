@@ -5,6 +5,8 @@
 // prefixed with "RESULT " for scripted extraction.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -39,6 +41,47 @@ inline double time_best_of(int reps, const std::function<void()>& fn) {
     Stopwatch watch;
     fn();
     const double s = watch.elapsed_seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// Best-of-N timing for *short* callables (sub-millisecond), in seconds per
+/// call.  A single call is far below the noise floor of a shared host (timer
+/// granularity, frequency ramp-up, scheduler jitter), and best-of-N over
+/// such a window is biased by whichever rep got lucky — which poisons any
+/// ratio built on it.  So: calibrate an iteration count that stretches each
+/// timed rep to at least `min_window_s`, then report best-of-N of the
+/// per-iteration average.  The calibration pass doubles as warm-up, so the
+/// measured reps run at ramped clocks like the long-running benches they
+/// are compared against.
+/// Calibrate an iteration count that stretches one timed batch of `fn` to
+/// at least `min_window_s`.  The probe runs double as warm-up.
+inline std::uint64_t scaled_iters(const std::function<void()>& fn,
+                                  double min_window_s = 0.02) {
+  std::uint64_t iters = 1;
+  for (;;) {
+    Stopwatch watch;
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    const double s = watch.elapsed_seconds();
+    if (s >= min_window_s) return iters;
+    // Jump straight to the projected count (with slack) instead of doubling
+    // forever; cap the growth factor so one wild underestimate cannot
+    // trigger a near-infinite batch.
+    const double factor =
+        s > 0 ? std::min(100.0, 1.25 * min_window_s / s) : 100.0;
+    iters = static_cast<std::uint64_t>(iters * factor) + 1;
+  }
+}
+
+inline double time_scaled(int reps, const std::function<void()>& fn,
+                          double min_window_s = 0.02) {
+  const std::uint64_t iters = scaled_iters(fn, min_window_s);
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    for (std::uint64_t j = 0; j < iters; ++j) fn();
+    const double s = watch.elapsed_seconds() / static_cast<double>(iters);
     if (s < best) best = s;
   }
   return best;

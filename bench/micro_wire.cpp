@@ -16,7 +16,6 @@ Closure sample_closure() {
   c.task = 7;
   c.cont = ContRef{ClosureId{net::NodeId{1}, 42}, 1, net::NodeId{1}};
   c.args = {Value(std::int64_t{5}), Value(2.5), Value(Bytes(64))};
-  c.filled = {true, true, true};
   c.depth = 12;
   return c;
 }

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare fresh BENCH_*.json artifacts to bench/baseline/.
+
+Usage:
+    scripts/check_perf_regression.py --fresh <dir> [--baseline bench/baseline]
+                                     [--tolerance 0.15]
+
+The gate reads two artifact families:
+
+  BENCH_table1_serial_slowdown.json
+      Gated keys: *.slowdown_static, *.slowdown_phish.  These are ratios of
+      two timings taken on the same host in the same process, so they cancel
+      machine speed and are comparable across hosts.
+
+  BENCH_deque_micro.json
+      Gated keys: *.ops_per_calibration_op.  Raw ns/task is machine-bound;
+      the artifact divides it by a pure-ALU calibration loop timed in the
+      same run, which again cancels machine speed.
+
+For every gated key present in BOTH the baseline and the fresh artifact the
+gate requires  fresh <= baseline * (1 + tolerance)  (lower is better for all
+gated keys).  Keys present on only one side are reported but do not fail the
+gate, so adding a new benchmark row does not require touching the baseline
+in the same commit.  Improvements beyond the tolerance are flagged as a
+reminder to re-baseline (see bench/baseline/README.md) but do not fail.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/missing files.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+# (artifact file, gated key suffixes)
+GATED = [
+    ("BENCH_table1_serial_slowdown.json",
+     (".slowdown_static", ".slowdown_phish")),
+    ("BENCH_deque_micro.json", (".ops_per_calibration_op",)),
+]
+
+
+def flatten(obj, prefix=""):
+    """Flatten nested JSON objects to {dotted.key: leaf} (lists ignored)."""
+    out = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            key = f"{prefix}.{k}" if prefix else k
+            out.update(flatten(v, key))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix] = float(obj)
+    return out
+
+
+def gated_values(path, suffixes):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    flat = flatten(data)
+    return {k: v for k, v in flat.items()
+            if k.endswith(suffixes) and not k.startswith("metrics.")}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", required=True,
+                    help="directory holding freshly generated BENCH_*.json")
+    ap.add_argument("--baseline", default="bench/baseline",
+                    help="directory holding committed baseline artifacts")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    args = ap.parse_args()
+
+    failures = []
+    improvements = []
+    compared = 0
+
+    for artifact, suffixes in GATED:
+        base_path = os.path.join(args.baseline, artifact)
+        fresh_path = os.path.join(args.fresh, artifact)
+        if not os.path.exists(base_path):
+            print(f"error: missing baseline artifact {base_path}")
+            return 2
+        if not os.path.exists(fresh_path):
+            print(f"error: missing fresh artifact {fresh_path} "
+                  f"(did the bench binary run?)")
+            return 2
+        base = gated_values(base_path, suffixes)
+        fresh = gated_values(fresh_path, suffixes)
+        for key in sorted(set(base) | set(fresh)):
+            if key not in base:
+                print(f"  new (ungated): {artifact}:{key} = {fresh[key]:.4g}")
+                continue
+            if key not in fresh:
+                print(f"  warning: baseline key {artifact}:{key} absent from "
+                      f"fresh artifact")
+                continue
+            b, f = base[key], fresh[key]
+            if not (math.isfinite(b) and math.isfinite(f)) or b <= 0:
+                print(f"  warning: non-finite/degenerate pair for {key}: "
+                      f"baseline={b} fresh={f}")
+                continue
+            compared += 1
+            ratio = f / b
+            line = (f"  {artifact}:{key}: baseline={b:.4g} fresh={f:.4g} "
+                    f"({ratio - 1.0:+.1%} vs baseline)")
+            if ratio > 1.0 + args.tolerance:
+                failures.append(line)
+                print("REGRESSION" + line)
+            elif ratio < 1.0 - args.tolerance:
+                improvements.append(line)
+                print("improved " + line)
+            else:
+                print("ok       " + line)
+
+    if compared == 0:
+        print("error: no gated keys compared; baseline and fresh artifacts "
+              "share no keys")
+        return 2
+
+    if improvements:
+        print(f"\n{len(improvements)} metric(s) improved past tolerance; "
+              f"consider re-baselining (bench/baseline/README.md).")
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed more than "
+              f"{args.tolerance:.0%} vs bench/baseline:")
+        for line in failures:
+            print(line)
+        return 1
+    print(f"\nOK: {compared} gated metric(s) within {args.tolerance:.0%} of "
+          f"baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,26 +8,35 @@
 // design left on the table (answer on a workstation network: nothing that
 // matters — the network dominates — but in shared memory it shows).
 //
-// Stores T by pointer internally; T must be movable.  The deque grows by
-// doubling; shrinking is not implemented (matches common practice).
+// Storage: a non-pointer T is boxed (heap-allocated) per push; a pointer T
+// is stored directly in the slots, so pushing pooled Closure* costs no
+// allocation — the configuration the pooled hot path uses.  The deque grows
+// by doubling; shrinking is not implemented (matches common practice).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 namespace phish {
 
 template <typename T>
 class ChaseLevDeque {
+  static constexpr bool kDirect = std::is_pointer_v<T>;
+  // Slot payload: T itself when T is a pointer, a heap box otherwise.
+  using Boxed = std::conditional_t<kDirect, std::remove_pointer_t<T>, T>;
+
  public:
   explicit ChaseLevDeque(std::size_t initial_capacity = 64)
       : array_(new Array(round_up(initial_capacity))) {}
 
   ~ChaseLevDeque() {
-    // Drain anything left (single-threaded at destruction).
+    // Drain anything left (single-threaded at destruction).  Boxed payloads
+    // are freed; direct pointers belong to the caller's pool and are only
+    // dropped from the deque.
     while (pop()) {
     }
     Array* a = array_.load(std::memory_order_relaxed);
@@ -46,7 +55,11 @@ class ChaseLevDeque {
     if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
       a = grow(a, t, b);
     }
-    a->put(b, new T(std::move(value)));
+    if constexpr (kDirect) {
+      a->put(b, value);
+    } else {
+      a->put(b, new Boxed(std::move(value)));
+    }
     std::atomic_thread_fence(std::memory_order_release);
     bottom_.store(b + 1, std::memory_order_relaxed);
   }
@@ -64,7 +77,7 @@ class ChaseLevDeque {
       bottom_.store(b + 1, std::memory_order_relaxed);
       return std::nullopt;
     }
-    T* item = a->get(b);
+    Boxed* item = a->get(b);
     if (t == b) {
       // Last element: race against thieves with a CAS on top.
       if (!top_.compare_exchange_strong(t, t + 1,
@@ -76,9 +89,7 @@ class ChaseLevDeque {
       }
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
-    T out = std::move(*item);
-    delete item;
-    return out;
+    return unbox(item);
   }
 
   /// Any thread: steal from the top (FIFO).
@@ -88,14 +99,32 @@ class ChaseLevDeque {
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return std::nullopt;  // empty
     Array* a = array_.load(std::memory_order_consume);
-    T* item = a->get(t);
+    Boxed* item = a->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return std::nullopt;  // lost the race
     }
-    T out = std::move(*item);
-    delete item;
-    return out;
+    return unbox(item);
+  }
+
+  /// Any thread: steal up to `max` items in one call, capped at half of the
+  /// (approximate) current size — steal-half — but at least one attempt.
+  /// Each item is still taken with its own CAS, so the usual Chase–Lev
+  /// guarantees hold per item; the batch is not atomic as a whole, which is
+  /// fine for work stealing (a half-batch is just a smaller steal).
+  /// Returns the number of items appended to `out`.
+  std::size_t steal_batch(std::vector<T>& out, std::size_t max) {
+    if (max == 0) return 0;
+    std::size_t want = size_approx() / 2;
+    if (want < 1) want = 1;
+    if (want > max) want = max;
+    std::size_t got = 0;
+    for (; got < want; ++got) {
+      auto item = steal();
+      if (!item) break;
+      out.push_back(std::move(*item));
+    }
+    return got;
   }
 
   /// Approximate size (racy; exact when quiescent).
@@ -112,17 +141,27 @@ class ChaseLevDeque {
     explicit Array(std::size_t n) : capacity(n), mask(n - 1), slots(n) {}
     std::size_t capacity;
     std::size_t mask;
-    std::vector<std::atomic<T*>> slots;
+    std::vector<std::atomic<Boxed*>> slots;
 
-    T* get(std::int64_t i) const {
+    Boxed* get(std::int64_t i) const {
       return slots[static_cast<std::size_t>(i) & mask].load(
           std::memory_order_relaxed);
     }
-    void put(std::int64_t i, T* p) {
+    void put(std::int64_t i, Boxed* p) {
       slots[static_cast<std::size_t>(i) & mask].store(
           p, std::memory_order_relaxed);
     }
   };
+
+  static T unbox(Boxed* item) {
+    if constexpr (kDirect) {
+      return item;
+    } else {
+      T out = std::move(*item);
+      delete item;
+      return out;
+    }
+  }
 
   static std::size_t round_up(std::size_t n) {
     std::size_t p = 1;

@@ -15,14 +15,17 @@ TaskId register_expand_reduce(TaskRegistry& registry, const std::string& name,
   const TaskId reduce_id = registry.add(
       name + ".reduce",
       [shared_reduce](Context& cx, Closure& c) {
-        cx.send(c.cont, (*shared_reduce)(cx, c.args));
+        // The public ReduceFn works on a plain vector; move the slots out.
+        std::vector<Value> results = c.args.take_vector();
+        cx.send(c.cont, (*shared_reduce)(cx, results));
       });
 
   auto shared_expand = std::make_shared<ExpandFn>(std::move(expand));
   const TaskId expand_id = registry.add(
       name,
       [shared_expand, reduce_id, name](Context& cx, Closure& c) {
-        Expansion e = (*shared_expand)(cx, c.args);
+        const std::vector<Value> args(c.args.begin(), c.args.end());
+        Expansion e = (*shared_expand)(cx, args);
         if (e.leaf) {
           cx.send(c.cont, std::move(*e.leaf));
           return;

@@ -27,6 +27,10 @@ struct ClosureId {
   constexpr bool valid() const noexcept { return origin.valid(); }
   constexpr auto operator<=>(const ClosureId&) const = default;
 
+  /// Exact encoded size; encode() below and every cost model derive from
+  /// this one constant.
+  static constexpr std::size_t kWireBytes = 4 + 8;  // origin u32 + seq u64
+
   void encode(Writer& w) const {
     w.u32(origin.value);
     w.u64(seq);
@@ -43,16 +47,32 @@ inline std::string to_string(const ClosureId& id) {
   return net::to_string(id.origin) + "#" + std::to_string(id.seq);
 }
 
+struct Closure;
+
 /// A continuation: "send your result to slot `slot` of closure `target`,
 /// which lives on worker `home`".  `home` is a location hint — the closure's
 /// creator initially, updated if the closure migrates.
+///
+/// `local_hint` is a purely node-local accelerator: when the target closure
+/// was created on this node, it points straight into the creator's closure
+/// pool so local argument delivery can skip the waiting-table lookup.  It is
+/// never encoded, never compared, and must be revalidated (`hint->id ==
+/// target`) before use — pool closures are recycled, so a stale hint names a
+/// different (or no) closure.
 struct ContRef {
   ClosureId target;
   std::uint16_t slot = 0;
   net::NodeId home;
+  Closure* local_hint = nullptr;
 
   constexpr bool valid() const noexcept { return target.valid(); }
-  constexpr auto operator<=>(const ContRef&) const = default;
+  constexpr bool operator==(const ContRef& other) const noexcept {
+    // Identity only: the hint is a cache, not part of the continuation.
+    return target == other.target && slot == other.slot && home == other.home;
+  }
+
+  /// Exact encoded size: target + slot u16 + home u32.
+  static constexpr std::size_t kWireBytes = ClosureId::kWireBytes + 2 + 4;
 
   void encode(Writer& w) const {
     target.encode(w);

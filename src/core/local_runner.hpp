@@ -31,6 +31,11 @@ class LocalRunner {
       : core_(net::NodeId{0}, registry, make_hooks(), exec_order,
               steal_order) {}
 
+  /// Full policy control (the differential tests run every CoreOptions
+  /// combination through identical graphs).
+  LocalRunner(const TaskRegistry& registry, const CoreOptions& options)
+      : core_(net::NodeId{0}, registry, make_hooks(), options) {}
+
   /// Run `task(args...)` to completion and return the value it (eventually)
   /// sends to the root continuation.  Throws if the graph drains without
   /// producing a result (a task forgot to send to its continuation).

@@ -109,7 +109,11 @@ struct MigrateMsg {
     const std::uint32_t n = r.u32();
     if (!r.ok() || n > (1u << 24)) return std::nullopt;
     m.closures.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) m.closures.push_back(Closure::decode(r));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Closure c = Closure::decode(r);
+      if (!r.ok()) return std::nullopt;  // truncated or structurally invalid
+      m.closures.push_back(std::move(c));
+    }
     if (!r.done()) return std::nullopt;
     return m;
   }
@@ -188,21 +192,26 @@ struct Membership {
   }
 };
 
-/// Steal RPC: request carries the thief's id; the reply carries at most one
-/// closure.
+/// Steal RPC: request carries the thief's id and how many tasks it will
+/// accept; the reply carries up to that many closures (the victim also caps
+/// the batch at half its ready list — steal-half — and at
+/// WorkerCore::kMaxStealBatch).
 struct StealRequest {
   net::NodeId thief;
+  std::uint16_t max_tasks = 1;
 
   Bytes encode() const {
     Writer w;
     w.u32(thief.value);
+    w.u16(max_tasks);
     return w.take();
   }
   static std::optional<StealRequest> decode(const Bytes& b) {
     Reader r(b);
     StealRequest m;
     m.thief = net::NodeId{r.u32()};
-    if (!r.done()) return std::nullopt;
+    m.max_tasks = r.u16();
+    if (!r.done() || m.max_tasks == 0) return std::nullopt;
     return m;
   }
 };
@@ -375,18 +384,29 @@ struct ChDeltaAck {
 };
 
 struct StealReply {
-  std::optional<Closure> task;
+  std::vector<Closure> tasks;
+
+  bool empty() const noexcept { return tasks.empty(); }
 
   Bytes encode() const {
     Writer w;
-    w.boolean(task.has_value());
-    if (task) task->encode(w);
+    w.u32(static_cast<std::uint32_t>(tasks.size()));
+    for (const Closure& c : tasks) c.encode(w);
     return w.take();
   }
   static std::optional<StealReply> decode(const Bytes& b) {
     Reader r(b);
     StealReply m;
-    if (r.boolean()) m.task = Closure::decode(r);
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || n > (1u << 16)) return std::nullopt;
+    m.tasks.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Closure c = Closure::decode(r);
+      // Closure::decode fails the reader on truncated or structurally
+      // absurd payloads; bail before installing garbage.
+      if (!r.ok()) return std::nullopt;
+      m.tasks.push_back(std::move(c));
+    }
     if (!r.done()) return std::nullopt;
     return m;
   }

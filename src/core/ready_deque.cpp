@@ -1,15 +1,27 @@
 #include "core/ready_deque.hpp"
 
-#include <algorithm>
-
 namespace phish {
 
-bool ReadyDeque::remove(const ClosureId& id) {
-  auto it = std::find_if(tasks_.begin(), tasks_.end(),
-                         [&](const Closure& c) { return c.id == id; });
-  if (it == tasks_.end()) return false;
-  tasks_.erase(it);
-  return true;
+Closure* ReadyDeque::remove(const ClosureId& id) noexcept {
+  for (std::size_t i = 0; i < count_; ++i) {
+    Closure* c = at(i);
+    if (c->id != id) continue;
+    // Close the gap toward the head (removal is rare: fault recovery only).
+    for (std::size_t j = i; j > 0; --j) {
+      buf_[(head_ + j) & mask_()] = buf_[(head_ + j - 1) & mask_()];
+    }
+    head_ = (head_ + 1) & mask_();
+    --count_;
+    return c;
+  }
+  return nullptr;
+}
+
+void ReadyDeque::grow_() {
+  std::vector<Closure*> bigger(buf_.size() * 2);
+  for (std::size_t i = 0; i < count_; ++i) bigger[i] = at(i);
+  buf_ = std::move(bigger);
+  head_ = 0;
 }
 
 }  // namespace phish

@@ -7,12 +7,15 @@
 // pairing is what preserves memory and communication locality.
 //
 // Both disciplines are configurable so the ablation benches can invert them.
+//
+// Storage is a power-of-two ring of Closure* — the closures themselves live
+// in the worker's ClosurePool — so push/pop move one pointer, not a closure.
+// Thieves can take a batch (steal-half) in one call; with max = 1 the
+// behavior is exactly the classic steal-one.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
-#include <utility>
+#include <vector>
 
 #include "core/closure.hpp"
 
@@ -32,55 +35,95 @@ enum class StealOrder : std::uint8_t {
 
 class ReadyDeque {
  public:
-  ReadyDeque() = default;
+  ReadyDeque() : buf_(kInitialCapacity) {}
   ReadyDeque(ExecOrder exec_order, StealOrder steal_order)
-      : exec_order_(exec_order), steal_order_(steal_order) {}
+      : buf_(kInitialCapacity),
+        exec_order_(exec_order),
+        steal_order_(steal_order) {}
 
   /// Spawn/enable: newly ready closures go at the head (paper's discipline).
-  void push(Closure closure) { tasks_.push_front(std::move(closure)); }
-
-  /// The owner takes its next task (head under LIFO).
-  std::optional<Closure> pop_for_execution() {
-    if (tasks_.empty()) return std::nullopt;
-    Closure c = exec_order_ == ExecOrder::kLifo ? take_front() : take_back();
-    return c;
+  void push(Closure* closure) {
+    if (count_ == buf_.size()) grow_();
+    head_ = (head_ - 1) & mask_();
+    buf_[head_] = closure;
+    ++count_;
   }
 
-  /// A thief takes a task (tail under FIFO).
-  std::optional<Closure> pop_for_steal() {
-    if (tasks_.empty()) return std::nullopt;
-    Closure c = steal_order_ == StealOrder::kFifo ? take_back() : take_front();
-    return c;
+  /// The owner takes its next task (head under LIFO); nullptr when empty.
+  Closure* pop_for_execution() noexcept {
+    if (count_ == 0) return nullptr;
+    return exec_order_ == ExecOrder::kLifo ? take_front_() : take_back_();
   }
 
-  bool empty() const noexcept { return tasks_.empty(); }
-  std::size_t size() const noexcept { return tasks_.size(); }
+  /// A thief takes a task (tail under FIFO); nullptr when empty.
+  Closure* pop_for_steal() noexcept {
+    if (count_ == 0) return nullptr;
+    return steal_order_ == StealOrder::kFifo ? take_back_() : take_front_();
+  }
+
+  /// Batched steal: up to `max` tasks from the steal end, capped at half of
+  /// what is queued (steal-half), but always at least one when non-empty.
+  /// Returns the number written to `out`, in the order a sequence of
+  /// pop_for_steal() calls would have produced them.
+  std::size_t pop_for_steal_batch(Closure** out, std::size_t max) noexcept {
+    if (count_ == 0 || max == 0) return 0;
+    std::size_t take = count_ / 2;
+    if (take < 1) take = 1;
+    if (take > max) take = max;
+    for (std::size_t i = 0; i < take; ++i) out[i] = pop_for_steal();
+    return take;
+  }
+
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
 
   ExecOrder exec_order() const noexcept { return exec_order_; }
   StealOrder steal_order() const noexcept { return steal_order_; }
 
-  /// Drain everything (task migration when the owner reclaims the machine).
-  std::deque<Closure> drain() { return std::exchange(tasks_, {}); }
+  /// Drain everything, head first (task migration when the owner reclaims
+  /// the machine).
+  std::vector<Closure*> drain() {
+    std::vector<Closure*> out;
+    out.reserve(count_);
+    while (Closure* c = take_front_or_null_()) out.push_back(c);
+    return out;
+  }
 
   /// Remove a queued closure by id (fault recovery aborts orphaned steals).
-  bool remove(const ClosureId& id);
+  /// Returns the removed closure so the caller can release it to its pool.
+  Closure* remove(const ClosureId& id) noexcept;
 
-  /// Inspect without removing (tests and stats).
-  const std::deque<Closure>& tasks() const noexcept { return tasks_; }
+  /// Inspect without removing: element `i`, head-relative (0 == next LIFO
+  /// execution victim).  Used by checkpoint export and tests.
+  const Closure* at(std::size_t i) const noexcept {
+    return buf_[(head_ + i) & mask_()];
+  }
+  Closure* at(std::size_t i) noexcept { return buf_[(head_ + i) & mask_()]; }
 
  private:
-  Closure take_front() {
-    Closure c = std::move(tasks_.front());
-    tasks_.pop_front();
+  static constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+  std::size_t mask_() const noexcept { return buf_.size() - 1; }
+
+  Closure* take_front_() noexcept {
+    Closure* c = buf_[head_];
+    head_ = (head_ + 1) & mask_();
+    --count_;
     return c;
   }
-  Closure take_back() {
-    Closure c = std::move(tasks_.back());
-    tasks_.pop_back();
-    return c;
+  Closure* take_back_() noexcept {
+    --count_;
+    return buf_[(head_ + count_) & mask_()];
+  }
+  Closure* take_front_or_null_() noexcept {
+    return count_ == 0 ? nullptr : take_front_();
   }
 
-  std::deque<Closure> tasks_;
+  void grow_();
+
+  std::vector<Closure*> buf_;  // power-of-two ring
+  std::size_t head_ = 0;       // index of the head element (when count_ > 0)
+  std::size_t count_ = 0;
   ExecOrder exec_order_ = ExecOrder::kLifo;
   StealOrder steal_order_ = StealOrder::kFifo;
 };

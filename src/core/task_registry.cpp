@@ -14,13 +14,6 @@ TaskId TaskRegistry::add(std::string name, TaskFn fn) {
   return id;
 }
 
-const TaskDesc& TaskRegistry::get(TaskId id) const {
-  if (id >= tasks_.size()) {
-    throw std::out_of_range("unknown task id " + std::to_string(id));
-  }
-  return tasks_[id];
-}
-
 TaskId TaskRegistry::id_of(const std::string& name) const {
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {

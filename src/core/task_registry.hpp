@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,7 +36,13 @@ class TaskRegistry {
   /// agree across the network.
   TaskId add(std::string name, TaskFn fn);
 
-  const TaskDesc& get(TaskId id) const;
+  // Inline: get() runs once per executed task, so it must not cost a call.
+  const TaskDesc& get(TaskId id) const {
+    if (id >= tasks_.size()) {
+      throw std::out_of_range("unknown task id " + std::to_string(id));
+    }
+    return tasks_[id];
+  }
   TaskId id_of(const std::string& name) const;
   bool has(const std::string& name) const;
   std::size_t size() const noexcept { return tasks_.size(); }

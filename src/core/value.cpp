@@ -8,13 +8,13 @@ void Value::encode(Writer& w) const {
     case Kind::kNil:
       break;
     case Kind::kInt:
-      w.i64(std::get<std::int64_t>(data_));
+      w.i64(int_);
       break;
     case Kind::kDouble:
-      w.f64(std::get<double>(data_));
+      w.f64(double_);
       break;
     case Kind::kBlob: {
-      const Bytes& b = std::get<Bytes>(data_);
+      const Bytes& b = blob_;
       w.blob(b.data(), b.size());
       break;
     }
@@ -32,7 +32,8 @@ Value Value::decode(Reader& r) {
     case Kind::kBlob:
       return Value(r.blob());
   }
-  return Value();  // malformed kind byte; reader is already failed or garbage
+  r.fail();  // unknown kind byte: the buffer is not a Value encoding
+  return Value();
 }
 
 std::size_t Value::byte_size() const noexcept {
@@ -43,7 +44,7 @@ std::size_t Value::byte_size() const noexcept {
     case Kind::kDouble:
       return 9;
     case Kind::kBlob:
-      return 5 + std::get<Bytes>(data_).size();
+      return 5 + blob_.size();
   }
   return 1;
 }
@@ -53,11 +54,11 @@ std::string Value::to_string() const {
     case Kind::kNil:
       return "nil";
     case Kind::kInt:
-      return std::to_string(std::get<std::int64_t>(data_));
+      return std::to_string(int_);
     case Kind::kDouble:
-      return std::to_string(std::get<double>(data_));
+      return std::to_string(double_);
     case Kind::kBlob:
-      return "blob[" + std::to_string(std::get<Bytes>(data_).size()) + "]";
+      return "blob[" + std::to_string(blob_.size()) + "]";
   }
   return "?";
 }

@@ -5,12 +5,19 @@
 // value is the unit of all dataflow: 64-bit integers (fib, nqueens counts),
 // doubles, and byte blobs (pfold histograms, ray tiles) cover the paper's
 // applications.
+//
+// Storage is a hand-rolled tagged union rather than std::variant: every
+// spawn/fill/complete moves a handful of Values, and the variant's
+// jump-table dispatch for copy/move/destroy is the single largest cost on
+// the task hot path.  With an explicit kind tag the common scalar cases
+// compile to a tag check plus one 8-byte store.
 #pragma once
 
 #include <cstdint>
+#include <new>
 #include <stdexcept>
 #include <string>
-#include <variant>
+#include <variant>  // std::bad_variant_access: the API's mismatch error
 
 #include "serial/buffer.hpp"
 
@@ -20,31 +27,62 @@ class Value {
  public:
   enum class Kind : std::uint8_t { kNil = 0, kInt = 1, kDouble = 2, kBlob = 3 };
 
-  Value() = default;
-  Value(std::int64_t v) : data_(v) {}          // NOLINT(google-explicit-constructor)
-  Value(double v) : data_(v) {}                // NOLINT(google-explicit-constructor)
-  Value(Bytes v) : data_(std::move(v)) {}      // NOLINT(google-explicit-constructor)
+  Value() noexcept : kind_(Kind::kNil) { int_ = 0; }
+  Value(std::int64_t v) noexcept : kind_(Kind::kInt) { int_ = v; }  // NOLINT(google-explicit-constructor)
+  Value(double v) noexcept : kind_(Kind::kDouble) { double_ = v; }  // NOLINT(google-explicit-constructor)
+  Value(Bytes v) : kind_(Kind::kBlob) {                             // NOLINT(google-explicit-constructor)
+    ::new (&blob_) Bytes(std::move(v));
+  }
+
+  Value(const Value& other) { copy_from_(other); }
+  Value(Value&& other) noexcept { move_from_(other); }
+
+  Value& operator=(const Value& other) {
+    if (this != &other) {
+      destroy_();
+      copy_from_(other);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept {
+    if (this != &other) {
+      destroy_();
+      move_from_(other);
+    }
+    return *this;
+  }
+
+  ~Value() { destroy_(); }
 
   /// Convenience for integer literals.
   static Value of_int(std::int64_t v) { return Value(v); }
 
-  Kind kind() const noexcept { return static_cast<Kind>(data_.index()); }
-  bool is_nil() const noexcept { return kind() == Kind::kNil; }
+  Kind kind() const noexcept { return kind_; }
+  bool is_nil() const noexcept { return kind_ == Kind::kNil; }
 
   std::int64_t as_int() const {
-    if (kind() != Kind::kInt) throw std::bad_variant_access();
-    return std::get<std::int64_t>(data_);
+    if (kind_ != Kind::kInt) throw std::bad_variant_access();
+    return int_;
   }
   double as_double() const {
-    if (kind() != Kind::kDouble) throw std::bad_variant_access();
-    return std::get<double>(data_);
+    if (kind_ != Kind::kDouble) throw std::bad_variant_access();
+    return double_;
   }
   const Bytes& as_blob() const {
-    if (kind() != Kind::kBlob) throw std::bad_variant_access();
-    return std::get<Bytes>(data_);
+    if (kind_ != Kind::kBlob) throw std::bad_variant_access();
+    return blob_;
   }
 
-  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+      case Kind::kNil: return true;
+      case Kind::kInt: return int_ == other.int_;
+      case Kind::kDouble: return double_ == other.double_;
+      case Kind::kBlob: return blob_ == other.blob_;
+    }
+    return false;
+  }
 
   void encode(Writer& w) const;
   static Value decode(Reader& r);
@@ -55,7 +93,32 @@ class Value {
   std::string to_string() const;
 
  private:
-  std::variant<std::monostate, std::int64_t, double, Bytes> data_;
+  void destroy_() noexcept {
+    if (kind_ == Kind::kBlob) blob_.~Bytes();
+  }
+  void copy_from_(const Value& other) {
+    kind_ = other.kind_;
+    if (kind_ == Kind::kBlob) {
+      ::new (&blob_) Bytes(other.blob_);
+    } else {
+      int_ = other.int_;  // covers nil (garbage ok) / int / double bits
+    }
+  }
+  void move_from_(Value& other) noexcept {
+    kind_ = other.kind_;
+    if (kind_ == Kind::kBlob) {
+      ::new (&blob_) Bytes(std::move(other.blob_));
+    } else {
+      int_ = other.int_;
+    }
+  }
+
+  Kind kind_;
+  union {
+    std::int64_t int_;
+    double double_;
+    Bytes blob_;
+  };
 };
 
 }  // namespace phish

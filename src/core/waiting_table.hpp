@@ -1,0 +1,135 @@
+// Waiting-closure table: ClosureId -> Closure*, open addressing.
+//
+// Every join in the task graph passes through this table once (inserted when
+// created, erased when its last argument arrives), so on fine grains it is
+// as hot as the ready list.  std::unordered_map pays a node allocation per
+// insert; this flat table probes linearly over a power-of-two slot array and
+// allocates only when it grows, which together with the closure pool makes
+// the create-join/fill/ready cycle allocation-free in steady state.
+//
+// The table does not own the closures; the WorkerCore's pool does.  Deletion
+// uses backward-shift compaction, so lookups never need tombstones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/closure.hpp"
+
+namespace phish {
+
+class WaitingTable {
+ public:
+  WaitingTable() : slots_(kInitialSlots) {}
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Insert a closure under its id.  The id must not already be present
+  /// (ids are unique by construction; create_waiting never reuses one).
+  void insert(Closure* c) {
+    if ((count_ + 1) * 10 >= slots_.size() * 7) grow_();
+    std::size_t i = ideal_(c->id);
+    while (slots_[i] != nullptr) i = (i + 1) & mask_();
+    place_(i, c);
+    ++count_;
+  }
+
+  Closure* find(const ClosureId& id) const noexcept {
+    std::size_t i = ideal_(id);
+    while (slots_[i] != nullptr) {
+      if (slots_[i]->id == id) return slots_[i];
+      i = (i + 1) & mask_();
+    }
+    return nullptr;
+  }
+
+  /// Remove and return the closure with this id, or nullptr.
+  Closure* erase(const ClosureId& id) noexcept {
+    std::size_t i = ideal_(id);
+    while (slots_[i] != nullptr) {
+      if (slots_[i]->id == id) {
+        Closure* c = slots_[i];
+        erase_at_(i);
+        --count_;
+        return c;
+      }
+      i = (i + 1) & mask_();
+    }
+    return nullptr;
+  }
+
+  /// Remove a closure we already hold a pointer to, without re-probing:
+  /// every resident closure carries its bucket index in `wait_slot`
+  /// (maintained by insert/grow/backward-shift).  The bucket check makes a
+  /// call on a non-resident closure a harmless no-op rather than corruption.
+  void erase_entry(Closure* c) noexcept {
+    const std::size_t i = c->wait_slot;
+    if (i >= slots_.size() || slots_[i] != c) return;
+    erase_at_(i);
+    --count_;
+  }
+
+  /// Visit every waiting closure (order unspecified).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (Closure* c : slots_) {
+      if (c != nullptr) fn(c);
+    }
+  }
+
+  /// Drop every entry (closures stay owned by the pool / caller).
+  void clear() noexcept {
+    for (Closure*& c : slots_) c = nullptr;
+    count_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 16;  // power of two
+
+  std::size_t mask_() const noexcept { return slots_.size() - 1; }
+  std::size_t ideal_(const ClosureId& id) const noexcept {
+    return std::hash<ClosureId>{}(id)&mask_();
+  }
+
+  void erase_at_(std::size_t i) noexcept {
+    // Backward-shift: pull later probe-chain members into the hole so every
+    // remaining entry stays reachable from its ideal slot.
+    slots_[i] = nullptr;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_();
+      if (slots_[j] == nullptr) return;
+      const std::size_t k = ideal_(slots_[j]->id);
+      const bool movable = (j > i) ? (k <= i || k > j) : (k <= i && k > j);
+      if (movable) {
+        place_(i, slots_[j]);
+        slots_[j] = nullptr;
+        i = j;
+      }
+    }
+  }
+
+  void place_(std::size_t i, Closure* c) noexcept {
+    slots_[i] = c;
+    c->wait_slot = static_cast<std::uint32_t>(i);
+  }
+
+  void grow_() {
+    std::vector<Closure*> old = std::move(slots_);
+    slots_.assign(old.size() * 2, nullptr);
+    for (Closure* c : old) {
+      if (c == nullptr) continue;
+      std::size_t i = ideal_(c->id);
+      while (slots_[i] != nullptr) i = (i + 1) & mask_();
+      place_(i, c);
+    }
+  }
+
+  std::vector<Closure*> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace phish

@@ -8,85 +8,30 @@
 namespace phish {
 
 WorkerCore::WorkerCore(net::NodeId me, const TaskRegistry& registry,
-                       Hooks hooks, ExecOrder exec_order,
-                       StealOrder steal_order)
+                       Hooks hooks, const CoreOptions& options)
     : me_(me),
       registry_(registry),
       hooks_(std::move(hooks)),
-      deque_(exec_order, steal_order) {
+      options_(options),
+      pool_(options.pooled_alloc),
+      deque_(options.exec_order, options.steal_order) {
   if (!hooks_.send_remote) {
     throw std::invalid_argument("WorkerCore: send_remote hook is required");
   }
 }
 
-void WorkerCore::spawn(TaskId task, std::vector<Value> args, ContRef cont,
-                       std::uint32_t depth) {
-  Closure c;
-  c.id = next_id();
-  c.task = task;
-  c.cont = cont;
-  c.filled.assign(args.size(), true);
-  c.args = std::move(args);
-  c.missing = 0;
-  c.depth = depth;
-  stats_.note_alloc();
-  ++stats_.tasks_spawned;
-  const ClosureId id = c.id;
-  deque_.push(std::move(c));
-  if (tracing()) {
-    trace_instant(obs::EventType::kSpawn, id, deque_.size());
-  }
-}
-
-ClosureId WorkerCore::create_waiting(TaskId task, std::uint16_t nslots,
-                                     ContRef cont, std::uint32_t depth) {
-  Closure c;
-  c.id = next_id();
-  c.task = task;
-  c.cont = cont;
-  c.args.resize(nslots);
-  c.filled.assign(nslots, false);
-  c.missing = nslots;
-  c.depth = depth;
-  stats_.note_alloc();
-  const ClosureId id = c.id;
-  if (nslots == 0) {
-    // Degenerate join: ready immediately.
-    deque_.push(std::move(c));
-  } else {
-    waiting_.emplace(id, std::move(c));
-  }
-  return id;
-}
-
-void WorkerCore::send_argument(const ContRef& cont, Value value) {
-  ++stats_.synchronizations;
-  if (tracing()) {
-    trace_instant(obs::EventType::kArgSend, cont.target,
-                  cont.home == me_ ? 0 : 1);
-  }
-  if (cont.home == me_) {
-    const Deliver result = deliver_remote(cont.target, cont.slot,
-                                          std::move(value));
-    if (result == Deliver::kUnknown) {
-      // A local send to an unknown closure is a programming error, not a
-      // network artifact.
-      PHISH_LOG(kError) << "local send to unknown closure "
-                        << to_string(cont.target);
-    }
-    return;
-  }
-  ++stats_.non_local_synchs;
-  hooks_.send_remote(cont, std::move(value));
-}
-
-std::optional<Closure> WorkerCore::pop_for_execution() {
-  return deque_.pop_for_execution();
+void WorkerCore::local_send_unknown_(const ClosureId& target) {
+  ++stats_.args_unknown_closure;
+  // A local send to an unknown closure is a programming error, not a
+  // network artifact.
+  PHISH_LOG(kError) << "local send to unknown closure " << to_string(target);
 }
 
 void WorkerCore::execute(Closure& closure) {
   const TaskDesc& desc = registry_.get(closure.task);
-  stolen_in_.erase(closure.id);  // past the point where aborting could help
+  if (!stolen_in_.empty() && closure.id.valid()) {
+    stolen_in_.erase(closure.id);  // past the point where aborting could help
+  }
   last_charge_ = 0;
   const std::uint64_t t_start =
       tracing() && trace_execute_spans_ ? trace_now() : 0;
@@ -108,31 +53,47 @@ void WorkerCore::execute(Closure& closure) {
 }
 
 std::optional<Closure> WorkerCore::try_steal(net::NodeId thief) {
+  std::vector<Closure> got = try_steal_batch(thief, 1);
+  if (got.empty()) return std::nullopt;
+  return std::move(got.front());
+}
+
+std::vector<Closure> WorkerCore::try_steal_batch(net::NodeId thief,
+                                                 std::uint32_t max_tasks) {
   ++stats_.steal_requests_received;
-  std::optional<Closure> victim_task = deque_.pop_for_steal();
-  if (!victim_task) return std::nullopt;
-  ++stats_.tasks_stolen_from_me;
-  stats_.stolen_depth_total += victim_task->depth;
-  stats_.note_free();  // it leaves this worker
-  // Record a redo snapshot in case the thief dies before completing it.
-  steal_ledger_.emplace(victim_task->id, LedgerEntry{*victim_task, thief});
-  if (tracing()) {
-    trace_instant(obs::EventType::kStealServed, victim_task->id,
-                  deque_.size());
+  std::vector<Closure> out;
+  if (max_tasks == 0) return out;
+  if (max_tasks > kMaxStealBatch) max_tasks = kMaxStealBatch;
+  Closure* taken[kMaxStealBatch];
+  const std::size_t got = deque_.pop_for_steal_batch(taken, max_tasks);
+  out.reserve(got);
+  for (std::size_t i = 0; i < got; ++i) {
+    Closure* c = taken[i];
+    materialize(c);
+    ++stats_.tasks_stolen_from_me;
+    stats_.stolen_depth_total += c->depth;
+    stats_.note_free();  // it leaves this worker
+    // Record a redo snapshot in case the thief dies before completing it.
+    steal_ledger_.emplace(c->id, LedgerEntry{*c, thief});
+    if (tracing()) {
+      trace_instant(obs::EventType::kStealServed, c->id, deque_.size());
+    }
+    out.push_back(std::move(*c));
+    pool_.release(c);
   }
-  return victim_task;
+  return out;
 }
 
 void WorkerCore::install_stolen(Closure closure) {
   ++stats_.tasks_stolen_by_me;
   stats_.note_alloc();
+  Closure* c = adopt(std::move(closure));
   // Track where this task's result is claimed, so the task can be aborted if
   // that participant dies before we run it.
-  const ClosureId id = closure.id;
-  stolen_in_.emplace(id, closure.cont.home);
-  deque_.push(std::move(closure));
+  stolen_in_.emplace(c->id, c->cont.home);
+  deque_.push(c);
   if (tracing()) {
-    trace_instant(obs::EventType::kStealSuccess, id, deque_.size());
+    trace_instant(obs::EventType::kStealSuccess, c->id, deque_.size());
   }
 }
 
@@ -153,36 +114,25 @@ void WorkerCore::note_steal_failed() {
 WorkerCore::Deliver WorkerCore::deliver_remote(const ClosureId& target,
                                                std::uint16_t slot,
                                                Value value) {
-  auto it = waiting_.find(target);
-  if (it == waiting_.end()) {
+  Closure* c = waiting_.find(target);
+  if (c == nullptr) {
     ++stats_.args_unknown_closure;
     return Deliver::kUnknown;
   }
-  Closure& c = it->second;
-  if (!c.fill(slot, std::move(value))) {
-    ++stats_.args_duplicate;
-    return Deliver::kDuplicate;
-  }
-  if (tracing()) {
-    trace_instant(obs::EventType::kArgRecv, target, slot);
-  }
-  if (c.ready()) {
-    deque_.push(std::move(c));
-    waiting_.erase(it);
-    return Deliver::kBecameReady;
-  }
-  return Deliver::kFilled;
+  return fill_waiting_(c, target, slot, std::move(value));
 }
 
 std::vector<Closure> WorkerCore::drain_for_migration() {
   std::vector<Closure> out;
-  auto ready = deque_.drain();
-  for (Closure& c : ready) {
-    out.push_back(std::move(c));
+  for (Closure* c : deque_.drain()) {
+    materialize(c);  // the receiving worker addresses these by id
+    out.push_back(std::move(*c));
+    pool_.release(c);
   }
-  for (auto& [id, c] : waiting_) {
-    out.push_back(std::move(c));
-  }
+  waiting_.for_each([&](Closure* c) {
+    out.push_back(std::move(*c));
+    pool_.release(c);
+  });
   waiting_.clear();
   stats_.tasks_migrated_out += out.size();
   for (std::size_t i = 0; i < out.size(); ++i) stats_.note_free();
@@ -194,14 +144,14 @@ std::vector<Closure> WorkerCore::drain_for_migration() {
 
 void WorkerCore::install_migrated(Closure closure) {
   stats_.note_alloc();
+  Closure* c = adopt(std::move(closure));
   if (tracing()) {
-    trace_instant(obs::EventType::kMigrateIn, closure.id, 0);
+    trace_instant(obs::EventType::kMigrateIn, c->id, 0);
   }
-  if (closure.ready()) {
-    deque_.push(std::move(closure));
+  if (c->ready()) {
+    deque_.push(c);
   } else {
-    const ClosureId id = closure.id;
-    waiting_.emplace(id, std::move(closure));
+    waiting_.insert(c);
   }
 }
 
@@ -217,7 +167,7 @@ std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
       if (tracing()) {
         trace_instant(obs::EventType::kRedo, it->first, dead.value);
       }
-      deque_.push(std::move(it->second.snapshot));
+      deque_.push(adopt(std::move(it->second.snapshot)));
       it = steal_ledger_.erase(it);
       ++redone;
     } else {
@@ -229,7 +179,10 @@ std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
   //    completed ones are harmless (their sends dead-letter).
   for (auto it = stolen_in_.begin(); it != stolen_in_.end();) {
     if (it->second == dead) {
-      if (deque_.remove(it->first)) stats_.note_free();
+      if (Closure* removed = deque_.remove(it->first)) {
+        stats_.note_free();
+        pool_.release(removed);
+      }
       it = stolen_in_.erase(it);
     } else {
       ++it;
@@ -238,16 +191,19 @@ std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
   return redone;
 }
 
-Bytes WorkerCore::export_state() const {
+Bytes WorkerCore::export_state() {
   Writer w;
   w.u32(me_.value);
+  // Snapshots are addressed globally, so every lazily spawned closure gets
+  // its name now — before next_seq_ is recorded, so the restored allocator
+  // cannot reissue the ids just handed out.
+  for (std::size_t i = 0; i < deque_.size(); ++i) materialize(deque_.at(i));
   w.u64(next_seq_);
   // Ready tasks, head to tail (re-pushing in reverse order restores them).
-  const auto& ready = deque_.tasks();
-  w.u32(static_cast<std::uint32_t>(ready.size()));
-  for (const Closure& c : ready) c.encode(w);
+  w.u32(static_cast<std::uint32_t>(deque_.size()));
+  for (std::size_t i = 0; i < deque_.size(); ++i) deque_.at(i)->encode(w);
   w.u32(static_cast<std::uint32_t>(waiting_.size()));
-  for (const auto& [id, c] : waiting_) c.encode(w);
+  waiting_.for_each([&w](Closure* c) { c->encode(w); });
   return w.take();
 }
 
@@ -271,14 +227,14 @@ void WorkerCore::import_state(const Bytes& state) {
   // Encoded head-first; push back-to-front so the head ends up at the head.
   for (auto it = ready.rbegin(); it != ready.rend(); ++it) {
     stats_.note_alloc();
-    deque_.push(std::move(*it));
+    deque_.push(adopt(std::move(*it)));
   }
   const std::uint32_t waiting_count = r.ok() ? r.u32() : 0;
   for (std::uint32_t i = 0; i < waiting_count && r.ok(); ++i) {
     Closure c = Closure::decode(r);
+    if (!r.ok()) break;
     stats_.note_alloc();
-    const ClosureId id = c.id;
-    waiting_.emplace(id, std::move(c));
+    waiting_.insert(adopt(std::move(c)));
   }
   if (!r.done()) {
     throw std::invalid_argument("WorkerCore::import_state: corrupt state");
@@ -304,11 +260,6 @@ void WorkerCore::trace_instant(obs::EventType type, const ClosureId& id,
   }
   e.arg = arg;
   trace_->emit(e);
-}
-
-const Closure* WorkerCore::find_waiting(const ClosureId& id) const {
-  auto it = waiting_.find(id);
-  return it == waiting_.end() ? nullptr : &it->second;
 }
 
 }  // namespace phish

@@ -12,6 +12,14 @@
 // them from simulator events with messages on the SimNetwork, and the UDP
 // runtime drives them from real sockets.  External synchronization is the
 // runtime's job; WorkerCore itself is not thread-safe.
+//
+// Hot-path design (see DESIGN.md §"The task hot path"):
+//   * closures live in a per-core ClosurePool and move by pointer; the
+//     spawn/execute/complete cycle allocates nothing in steady state;
+//   * a locally spawned closure is *lazy*: it carries no ClosureId until a
+//     thief, a migration, a redo snapshot, or a checkpoint needs a globally
+//     valid name, at which point it is materialized (assigned an id);
+//   * thieves can take a batch (steal-half) in one request.
 #pragma once
 
 #include <functional>
@@ -19,8 +27,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/closure_pool.hpp"
 #include "core/ready_deque.hpp"
 #include "core/task_registry.hpp"
+#include "core/waiting_table.hpp"
 #include "core/worker_stats.hpp"
 #include "obs/clock.hpp"
 #include "obs/tracer.hpp"
@@ -28,6 +38,51 @@
 namespace phish {
 
 class Context;
+class WorkerCore;
+
+/// Scheduling and hot-path policy knobs for one WorkerCore.
+struct CoreOptions {
+  ExecOrder exec_order = ExecOrder::kLifo;
+  StealOrder steal_order = StealOrder::kFifo;
+  /// Defer ClosureId assignment for locally spawned ready closures until a
+  /// thief/migration/snapshot needs one (Cilk-THE spirit).  When tracing is
+  /// attached ids are assigned eagerly anyway so trace events stay named.
+  bool lazy_spawn = true;
+  /// Pool closures (freelist reuse) instead of new/delete per closure.  The
+  /// differential tests run both settings through identical scheduler code.
+  bool pooled_alloc = true;
+};
+
+/// Move-only handle to a closure popped for execution.  Dereference to
+/// execute it; destruction returns the closure to the core's pool, so the
+/// usual `while (auto c = core.pop_for_execution()) core.execute(*c);` loop
+/// recycles closures with no further ceremony.
+class PoppedTask {
+ public:
+  PoppedTask() noexcept = default;
+  PoppedTask(Closure* closure, WorkerCore* core) noexcept
+      : closure_(closure), core_(core) {}
+  PoppedTask(const PoppedTask&) = delete;
+  PoppedTask& operator=(const PoppedTask&) = delete;
+  PoppedTask(PoppedTask&& other) noexcept
+      : closure_(other.closure_), core_(other.core_) {
+    other.closure_ = nullptr;
+  }
+  inline PoppedTask& operator=(PoppedTask&& other) noexcept;
+  inline ~PoppedTask();
+
+  explicit operator bool() const noexcept { return closure_ != nullptr; }
+  bool has_value() const noexcept { return closure_ != nullptr; }
+  Closure& operator*() const noexcept { return *closure_; }
+  Closure* operator->() const noexcept { return closure_; }
+  Closure* get() const noexcept { return closure_; }
+
+ private:
+  inline void release_() noexcept;
+
+  Closure* closure_ = nullptr;
+  WorkerCore* core_ = nullptr;
+};
 
 class WorkerCore {
  public:
@@ -42,17 +97,33 @@ class WorkerCore {
     std::function<void(const std::string&)> emit_io;
   };
 
+  /// Most callers: default hot path (pooled + lazy) with the paper's
+  /// scheduling orders, or the ablation orders.
   WorkerCore(net::NodeId me, const TaskRegistry& registry, Hooks hooks,
              ExecOrder exec_order = ExecOrder::kLifo,
-             StealOrder steal_order = StealOrder::kFifo);
+             StealOrder steal_order = StealOrder::kFifo)
+      : WorkerCore(me, registry, std::move(hooks),
+                   CoreOptions{exec_order, steal_order, true, true}) {}
+
+  /// Full control (differential tests run the seed allocation behavior with
+  /// pooled_alloc/lazy_spawn off).
+  WorkerCore(net::NodeId me, const TaskRegistry& registry, Hooks hooks,
+             const CoreOptions& options);
 
   net::NodeId id() const noexcept { return me_; }
   const TaskRegistry& registry() const noexcept { return registry_; }
+  const CoreOptions& options() const noexcept { return options_; }
 
   // ---- Task-facing operations (called by tasks through Context). ----
 
   /// Create a ready closure and push it at the head of the ready list.
-  void spawn(TaskId task, std::vector<Value> args, ContRef cont,
+  /// Accepts an ArgSlots (or anything convertible: an initializer list of
+  /// Values, a std::vector<Value>).
+  void spawn(TaskId task, ArgSlots args, ContRef cont, std::uint32_t depth);
+
+  /// Hot-path overload for brace-literal arguments: fills the pooled
+  /// closure's slots in place, with no ArgSlots temporary.
+  void spawn(TaskId task, std::initializer_list<Value> args, ContRef cont,
              std::uint32_t depth);
 
   /// Create a waiting closure with `nslots` empty argument slots.  It becomes
@@ -60,9 +131,17 @@ class WorkerCore {
   ClosureId create_waiting(TaskId task, std::uint16_t nslots, ContRef cont,
                            std::uint32_t depth);
 
-  /// Continuation reference to slot `slot` of a closure created here.
+  /// Continuation reference to slot `slot` of a closure created here.  When
+  /// `id` names the most recently created waiting closure (the make-join-
+  /// then-wire-slots idiom), the ref carries a pool pointer so local sends
+  /// skip the waiting-table lookup; the hint never leaves this node (wire
+  /// encoding drops it) and is id-revalidated before every use.
   ContRef slot_ref(const ClosureId& id, std::uint16_t slot) const {
-    return ContRef{id, slot, me_};
+    ContRef c{id, slot, me_};
+    if (last_waiting_ != nullptr && last_waiting_->id == id) {
+      c.local_hint = last_waiting_;
+    }
+    return c;
   }
 
   /// Send an argument to a continuation.  Local targets are filled in place
@@ -73,16 +152,27 @@ class WorkerCore {
   // ---- Scheduler-facing operations (called by the runtime). ----
 
   /// Pop the next task for local execution (head of the list under LIFO).
-  std::optional<Closure> pop_for_execution();
+  /// The returned handle owns the closure; destroying it recycles the
+  /// closure, so execute() before letting it go out of scope.
+  PoppedTask pop_for_execution() {
+    return PoppedTask(deque_.pop_for_execution(), this);
+  }
 
-  /// Execute a popped closure: runs the task function with a Context bound to
-  /// this core.  Frees the closure afterwards.
+  /// Execute a popped closure: runs the task function with a Context bound
+  /// to this core.  The closure's storage is reclaimed by the PoppedTask
+  /// handle it came from.
   void execute(Closure& closure);
 
   /// Victim side of a steal: surrender the tail task, recording it in the
   /// steal ledger for possible redo if the thief later crashes.
   /// `thief` identifies who is taking it.
   std::optional<Closure> try_steal(net::NodeId thief);
+
+  /// Victim side of a batched steal: up to `max_tasks` tasks (capped at
+  /// half the ready list — steal-half — and at kMaxStealBatch), each
+  /// ledgered individually.  max_tasks == 1 reproduces try_steal exactly.
+  std::vector<Closure> try_steal_batch(net::NodeId thief,
+                                       std::uint32_t max_tasks);
 
   /// Thief side of a steal: install a stolen closure for execution.
   void install_stolen(Closure closure);
@@ -126,7 +216,8 @@ class WorkerCore {
   /// land in the new one's closures.  Stats also survive: they describe the
   /// participant, not the incarnation.
   void reset_for_rejoin() {
-    (void)deque_.drain();
+    for (Closure* c : deque_.drain()) pool_.release(c);
+    waiting_.for_each([this](Closure* c) { pool_.release(c); });
     waiting_.clear();
     steal_ledger_.clear();
     stolen_in_.clear();
@@ -144,8 +235,10 @@ class WorkerCore {
 
   /// Serialize this worker's entire closure state (ready list + waiting
   /// table + id allocator).  Meaningful only at a quiescent instant (no
-  /// messages in flight); the runtimes guarantee that.
-  Bytes export_state() const;
+  /// messages in flight); the runtimes guarantee that.  Not const: lazily
+  /// spawned ready closures are materialized (named) so the snapshot is
+  /// globally addressable.
+  Bytes export_state();
 
   /// Restore a state exported by a core with the same node id.  The core
   /// must be fresh (no closures, no allocations).
@@ -158,9 +251,12 @@ class WorkerCore {
   const WorkerStats& stats() const noexcept { return stats_; }
   WorkerStats& stats() noexcept { return stats_; }
   const ReadyDeque& ready_deque() const noexcept { return deque_; }
+  const ClosurePool& pool() const noexcept { return pool_; }
 
   /// Tests only: look up a waiting closure.
-  const Closure* find_waiting(const ClosureId& id) const;
+  const Closure* find_waiting(const ClosureId& id) const {
+    return waiting_.find(id);
+  }
 
   /// Work units reported (via Context::charge) by the most recent execute().
   /// The simulated-distributed runtime converts these to simulated time; the
@@ -189,10 +285,40 @@ class WorkerCore {
   void trace_instant(obs::EventType type, const ClosureId& id,
                      std::uint64_t arg);
 
+  /// Largest batch a single steal request can carry.
+  static constexpr std::uint32_t kMaxStealBatch = 64;
+
  private:
   friend class Context;
+  friend class PoppedTask;
 
   ClosureId next_id() { return ClosureId{me_, next_seq_++}; }
+
+  /// Shared tail of the spawn overloads: id policy, stats, ready push.
+  void finish_spawn_(Closure* c);
+
+  /// Out-of-line cold half of send_argument: count and log a local send
+  /// whose target closure does not exist on this worker.
+  void local_send_unknown_(const ClosureId& target);
+
+  /// Shared tail of local/remote argument delivery: idempotent fill, trace,
+  /// and promotion to the ready list when the last argument arrives.
+  Deliver fill_waiting_(Closure* c, const ClosureId& target,
+                        std::uint16_t slot, Value value);
+
+  /// Give a lazily spawned closure its globally valid name.
+  void materialize(Closure* c) {
+    if (!c->id.valid()) c->id = next_id();
+  }
+
+  /// Take ownership of a wire closure into the pool.
+  Closure* adopt(Closure&& value) {
+    Closure* c = pool_.acquire();
+    *c = std::move(value);
+    return c;
+  }
+
+  void release_closure(Closure* c) { pool_.release(c); }
 
   bool tracing() const noexcept {
     return PHISH_OBS_TRACING && trace_ != nullptr && trace_->enabled();
@@ -202,9 +328,15 @@ class WorkerCore {
   net::NodeId me_;
   const TaskRegistry& registry_;
   Hooks hooks_;
+  CoreOptions options_;
   std::uint64_t last_charge_ = 0;
+  ClosurePool pool_;
   ReadyDeque deque_;
-  std::unordered_map<ClosureId, Closure> waiting_;
+  WaitingTable waiting_;
+  // Most recently created waiting closure; feeds slot_ref's local_hint.
+  // Only set in pooled mode (pool storage is never freed, so a stale value
+  // is safe to id-check; a heap-mode pointer would dangle).
+  Closure* last_waiting_ = nullptr;
   std::uint64_t next_seq_ = 1;
   WorkerStats stats_;
   obs::TraceShard* trace_ = nullptr;
@@ -221,6 +353,136 @@ class WorkerCore {
   std::unordered_map<ClosureId, net::NodeId> stolen_in_;
 };
 
+inline PoppedTask& PoppedTask::operator=(PoppedTask&& other) noexcept {
+  if (this != &other) {
+    release_();
+    closure_ = other.closure_;
+    core_ = other.core_;
+    other.closure_ = nullptr;
+  }
+  return *this;
+}
+
+inline PoppedTask::~PoppedTask() { release_(); }
+
+inline void PoppedTask::release_() noexcept {
+  if (closure_ != nullptr) {
+    core_->release_closure(closure_);
+    closure_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path members are defined inline (in the header) so application
+// translation units can fold the whole spawn / make-join / send-argument
+// cycle into the task functions themselves.  The fine-grain Table 1 column
+// is dominated by these few dozen instructions; keeping them out-of-line
+// costs a cross-TU call per operation, several per task.  Cold halves
+// (tracing, the unknown-closure log) stay in worker_core.cpp.
+// ---------------------------------------------------------------------------
+
+inline void WorkerCore::finish_spawn_(Closure* c) {
+  // Lazy spawn: no id until a thief / migration / snapshot needs a global
+  // name.  Tracing wants named events, so ids are eager under a tracer.
+  if (!options_.lazy_spawn || tracing()) c->id = next_id();
+  stats_.note_alloc();
+  ++stats_.tasks_spawned;
+  deque_.push(c);
+  if (tracing()) {
+    trace_instant(obs::EventType::kSpawn, c->id, deque_.size());
+  }
+}
+
+inline void WorkerCore::spawn(TaskId task, ArgSlots args, ContRef cont,
+                              std::uint32_t depth) {
+  Closure* c = pool_.acquire();
+  c->task = task;
+  c->cont = cont;
+  c->args = std::move(args);
+  c->missing = 0;
+  c->depth = depth;
+  finish_spawn_(c);
+}
+
+inline void WorkerCore::spawn(TaskId task, std::initializer_list<Value> args,
+                              ContRef cont, std::uint32_t depth) {
+  Closure* c = pool_.acquire();
+  c->task = task;
+  c->cont = cont;
+  c->args.assign_filled(args);
+  c->missing = 0;
+  c->depth = depth;
+  finish_spawn_(c);
+}
+
+inline ClosureId WorkerCore::create_waiting(TaskId task, std::uint16_t nslots,
+                                            ContRef cont,
+                                            std::uint32_t depth) {
+  Closure* c = pool_.acquire();
+  // Joins always get an id up front: continuations name them by id.
+  c->id = next_id();
+  c->task = task;
+  c->cont = cont;
+  c->args.reset(nslots);
+  c->missing = nslots;
+  c->depth = depth;
+  stats_.note_alloc();
+  const ClosureId id = c->id;
+  if (nslots == 0) {
+    // Degenerate join: ready immediately.
+    deque_.push(c);
+  } else {
+    waiting_.insert(c);
+    if (pool_.pooled()) last_waiting_ = c;
+  }
+  return id;
+}
+
+inline WorkerCore::Deliver WorkerCore::fill_waiting_(Closure* c,
+                                                     const ClosureId& target,
+                                                     std::uint16_t slot,
+                                                     Value value) {
+  if (!c->fill(slot, std::move(value))) {
+    ++stats_.args_duplicate;
+    return Deliver::kDuplicate;
+  }
+  if (tracing()) {
+    trace_instant(obs::EventType::kArgRecv, target, slot);
+  }
+  if (c->ready()) {
+    waiting_.erase_entry(c);
+    deque_.push(c);
+    return Deliver::kBecameReady;
+  }
+  return Deliver::kFilled;
+}
+
+inline void WorkerCore::send_argument(const ContRef& cont, Value value) {
+  ++stats_.synchronizations;
+  if (tracing()) {
+    trace_instant(obs::EventType::kArgSend, cont.target,
+                  cont.home == me_ ? 0 : 1);
+  }
+  if (cont.home == me_) {
+    // Fast path: the ref carries a pool pointer to its target.  Pool
+    // storage is never freed while the core lives, so the deref is safe;
+    // the id check rejects a recycled (hence renamed) closure.  Heap mode
+    // never sets hints (see slot_ref), so no guard is needed here.
+    Closure* target = cont.local_hint;
+    if (target == nullptr || !(target->id == cont.target)) {
+      target = waiting_.find(cont.target);
+    }
+    if (target == nullptr ||
+        fill_waiting_(target, cont.target, cont.slot, std::move(value)) ==
+            Deliver::kUnknown) {
+      local_send_unknown_(cont.target);
+    }
+    return;
+  }
+  ++stats_.non_local_synchs;
+  hooks_.send_remote(cont, std::move(value));
+}
+
 /// Context: the API surface a running task sees.  Mirrors the calls the Phish
 /// preprocessor emitted into application code: spawning children, creating
 /// join (waiting) closures, and sending arguments to continuations.
@@ -229,12 +491,17 @@ class Context {
   Context(WorkerCore& core, const Closure& current)
       : core_(core), current_(current) {}
 
-  /// Spawn a ready child task; its result goes to `cont`.
-  void spawn(TaskId task, std::vector<Value> args, const ContRef& cont) {
+  /// Spawn a ready child task; its result goes to `cont`.  `args` accepts an
+  /// initializer list of Values or a std::vector<Value> (both become
+  /// ArgSlots, inline-stored up to ArgSlots::kInlineSlots values).
+  void spawn(TaskId task, ArgSlots args, const ContRef& cont) {
     core_.spawn(task, std::move(args), cont, current_.depth + 1);
   }
-  void spawn(const std::string& task, std::vector<Value> args,
+  void spawn(TaskId task, std::initializer_list<Value> args,
              const ContRef& cont) {
+    core_.spawn(task, args, cont, current_.depth + 1);
+  }
+  void spawn(const std::string& task, ArgSlots args, const ContRef& cont) {
     spawn(core_.registry().id_of(task), std::move(args), cont);
   }
 

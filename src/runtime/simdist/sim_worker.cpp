@@ -202,7 +202,9 @@ void SimWorker::attempt_steal() {
   steal_in_flight_ = true;
   steal_sent_at_ = sim_.now();
   core_.note_steal_request_sent();
-  const Bytes payload = proto::StealRequest{me_}.encode();
+  const std::uint16_t max_tasks = static_cast<std::uint16_t>(
+      params_.steal_batch < 1 ? 1 : params_.steal_batch);
+  const Bytes payload = proto::StealRequest{me_, max_tasks}.encode();
   cpu_debt_ += network_.send_cpu_cost(payload.size());
   rpc_.call(
       *victim, proto::kRpcSteal, payload,
@@ -220,8 +222,8 @@ void SimWorker::on_steal_reply(net::NodeId victim, net::RpcResult result) {
   bool got_task = false;
   if (result.ok) {
     auto reply = proto::StealReply::decode(result.reply);
-    if (reply && reply->task) {
-      core_.install_stolen(std::move(*reply->task));
+    if (reply && !reply->tasks.empty()) {
+      for (Closure& c : reply->tasks) core_.install_stolen(std::move(c));
       steal_latency_.observe(sim_.now() - steal_sent_at_);
       if (tracker_ != nullptr) tracker_->note_steal(timers_.now_ns());
       got_task = true;
@@ -260,7 +262,7 @@ Bytes SimWorker::serve_steal(net::NodeId, const Bytes& args) {
   auto request = proto::StealRequest::decode(args);
   proto::StealReply reply;
   if (request && state_ == State::kActive) {
-    reply.task = core_.try_steal(request->thief);
+    reply.tasks = core_.try_steal_batch(request->thief, request->max_tasks);
   }
   const Bytes encoded = reply.encode();
   // Victim pays for receiving the request and sending the reply.

@@ -81,6 +81,10 @@ struct SimWorkerParams {
   /// kClusterLocal: consecutive failed local steals before trying a victim
   /// across the cluster cut.
   int cluster_escalate_after = 4;
+  /// Most tasks one steal RPC may carry back (steal-half, capped).  Default
+  /// 1 = the paper's steal-one; larger batches amortize the RPC round trip
+  /// when victims run deep queues.
+  int steal_batch = 1;
 };
 
 class SimWorker {
@@ -126,7 +130,9 @@ class SimWorker {
   }
 
   /// Serialize the closure state (checkpointing; quiescent instants only).
-  Bytes export_core_state() const { return core_.export_state(); }
+  /// Not const: lazily spawned closures are materialized (named) so the
+  /// snapshot is globally addressable.
+  Bytes export_core_state() { return core_.export_state(); }
 
   /// Begin: register with the Clearinghouse.
   void start();

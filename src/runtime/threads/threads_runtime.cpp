@@ -45,6 +45,10 @@ ThreadsRuntime::ThreadsRuntime(const TaskRegistry& registry,
   if (config_.workers < 1) {
     throw std::invalid_argument("threads runtime: need at least one worker");
   }
+  if (config_.poll_period < 1 || config_.steal_batch < 1) {
+    throw std::invalid_argument(
+        "threads runtime: poll_period and steal_batch must be >= 1");
+  }
   workers_.reserve(config_.workers);
   for (int i = 0; i < config_.workers; ++i) {
     auto w = std::make_unique<Worker>();
@@ -194,16 +198,23 @@ bool ThreadsRuntime::quiescent_without_result() {
 void ThreadsRuntime::worker_loop(int index) {
   Worker& w = *workers_[index];
   int unproductive_rounds = 0;
+  int tasks_since_poll = 0;
+  // A solo worker has no thieves to yield the lock to, so it can run much
+  // longer batches per lock acquisition.  It also cannot receive inbox
+  // messages mid-job — deliver() only enqueues when a send crosses workers —
+  // so the per-task inbox check is dead work and is skipped (the per-batch
+  // drain stays, keeping the loop shape uniform).
+  const bool solo = config_.workers == 1;
+  const int exec_batch = solo ? 256 : 8;
   while (!done_.load(std::memory_order_acquire)) {
     bool progressed = false;
     bool out_of_local_work = false;
     {
       // Execute a bounded batch per lock acquisition so thieves blocked on
       // this core's mutex get a window at the deque between batches.
-      constexpr int kBatch = 8;
       std::lock_guard<std::mutex> lock(w.core_mutex);
       progressed |= drain_inbox(w);
-      for (int i = 0; i < kBatch; ++i) {
+      for (int i = 0; i < exec_batch; ++i) {
         auto task = w.core->pop_for_execution();
         if (!task) {
           out_of_local_work = true;
@@ -212,16 +223,21 @@ void ThreadsRuntime::worker_loop(int index) {
         w.core->execute(*task);
         progressed = true;
         if (config_.phish_overheads) {
-          // Phish's per-task obligations: split-phase network poll (a real
-          // non-blocking syscall) and a dynamic-membership check.
-          std::uint8_t buf[64];
-          (void)::recv(w.poll_fd, buf, sizeof buf, 0);  // expected: EAGAIN
+          // Phish's per-task obligations: a dynamic-membership check on
+          // every task, and a split-phase network poll (a real non-blocking
+          // syscall) amortized over poll_period tasks.
           (void)membership_epoch_.load(std::memory_order_relaxed);
+          if (++tasks_since_poll >= config_.poll_period) {
+            tasks_since_poll = 0;
+            std::uint8_t buf[64];
+            (void)::recv(w.poll_fd, buf, sizeof buf, 0);  // expected: EAGAIN
+          }
         }
-        drain_inbox(w);
-        if (done_.load(std::memory_order_acquire)) return;
+        if (!solo) drain_inbox(w);
       }
     }
+    // done_ is checked once per batch, not per task: the acquire load is on
+    // the hot path, and a batch is only tens of microseconds long.
     if (done_.load(std::memory_order_acquire)) return;
     // Become a thief only when the local ready list is empty (idle-initiated:
     // idle workers search out work; busy workers never shed it).
@@ -239,9 +255,14 @@ void ThreadsRuntime::worker_loop(int index) {
 }
 
 bool ThreadsRuntime::drain_inbox(Worker& w) {
+  // Fast path: no message has been pushed since the last drain.  The flag is
+  // published under inbox_mutex, so a true value is always eventually seen;
+  // a stale false just defers the drain to the next loop iteration.
+  if (!w.inbox_nonempty.load(std::memory_order_acquire)) return false;
   std::vector<InboxMessage> batch;
   {
     std::lock_guard<std::mutex> lock(w.inbox_mutex);
+    w.inbox_nonempty.store(false, std::memory_order_release);
     batch.swap(w.inbox);
   }
   for (InboxMessage& m : batch) {
@@ -264,24 +285,27 @@ bool ThreadsRuntime::try_steal_for(int thief_index) {
   Worker& victim = *workers_[victim_index];
 
   const std::uint64_t t0 = monotonic_ns();
-  std::optional<Closure> stolen;
+  std::vector<Closure> stolen;
   {
     std::lock_guard<std::mutex> lock(victim.core_mutex);
-    stolen = victim.core->try_steal(
-        net::NodeId{static_cast<std::uint32_t>(thief_index)});
-    // Mark the task in transit *before* releasing the victim's lock so the
-    // quiescence detector can never observe it in neither deque.
-    if (stolen) in_transit_.fetch_add(1);
+    stolen = victim.core->try_steal_batch(
+        net::NodeId{static_cast<std::uint32_t>(thief_index)},
+        static_cast<std::uint32_t>(config_.steal_batch));
+    // Mark the tasks in transit *before* releasing the victim's lock so the
+    // quiescence detector can never observe them in neither deque.
+    if (!stolen.empty()) {
+      in_transit_.fetch_add(static_cast<int>(stolen.size()));
+    }
   }
   std::lock_guard<std::mutex> lock(thief.core_mutex);
   thief.core->note_steal_request_sent();
-  if (!stolen) {
+  if (stolen.empty()) {
     thief.core->note_steal_failed();
     return false;
   }
-  thief.core->install_stolen(std::move(*stolen));
+  for (Closure& c : stolen) thief.core->install_stolen(std::move(c));
   steal_latency_.observe(monotonic_ns() - t0);
-  in_transit_.fetch_sub(1);
+  in_transit_.fetch_sub(static_cast<int>(stolen.size()));
   return true;
 }
 
@@ -306,6 +330,7 @@ void ThreadsRuntime::deliver(const ContRef& cont, Value value,
   Worker& target = *workers_[cont.home.value];
   std::lock_guard<std::mutex> lock(target.inbox_mutex);
   target.inbox.push_back(InboxMessage{cont, std::move(value)});
+  target.inbox_nonempty.store(true, std::memory_order_release);
 }
 
 }  // namespace phish::rt

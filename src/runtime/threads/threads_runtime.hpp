@@ -46,6 +46,15 @@ struct ThreadsConfig {
   /// Pay Phish's per-task overheads (see file comment).  Table 1's second
   /// column.
   bool phish_overheads = false;
+  /// phish_overheads: execute this many tasks between split-phase network
+  /// polls (the real non-blocking recv syscall).  1 reproduces the 1994
+  /// per-task poll; the default amortizes the syscall the way a modern
+  /// split-phase scheduler would, while the per-task membership check (an
+  /// atomic load) is still paid on every task.
+  int poll_period = 128;
+  /// Most tasks a single steal takes from a victim (steal-half, capped).
+  /// 1 reproduces classic steal-one.
+  int steal_batch = 8;
   /// Consecutive empty scheduling rounds (own queue, inbox, and a failed
   /// steal) after which a worker naps briefly instead of spinning.
   int spin_rounds_before_yield = 64;
@@ -87,6 +96,10 @@ class ThreadsRuntime {
 
     std::mutex inbox_mutex;
     std::vector<InboxMessage> inbox;   // guarded by inbox_mutex
+    /// Set (under inbox_mutex) when a message is pushed, cleared when the
+    /// inbox is drained.  Lets the hot loop skip the inbox lock entirely on
+    /// the overwhelmingly common empty-inbox case.
+    std::atomic<bool> inbox_nonempty{false};
 
     Xoshiro256 rng{0};
     int poll_fd = -1;                  // phish_overheads: real UDP socket

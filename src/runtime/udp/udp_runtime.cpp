@@ -71,7 +71,7 @@ UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
     proto::StealReply reply;
     if (request && !stop_.load(std::memory_order_acquire)) {
       std::lock_guard<std::mutex> lock(mutex_);
-      reply.task = core_.try_steal(request->thief);
+      reply.tasks = core_.try_steal_batch(request->thief, request->max_tasks);
     }
     return reply.encode();
   });
@@ -280,14 +280,18 @@ bool UdpWorker::attempt_steal() {
   std::mutex m;
   std::condition_variable cv;
   bool done = false, got = false;
+  const std::uint16_t max_tasks = static_cast<std::uint16_t>(
+      config_.steal_batch < 1 ? 1 : config_.steal_batch);
   rpc_.call(
-      *victim, proto::kRpcSteal, proto::StealRequest{me_}.encode(),
+      *victim, proto::kRpcSteal, proto::StealRequest{me_, max_tasks}.encode(),
       [&](net::RpcResult result) {
         if (result.ok) {
           auto reply = proto::StealReply::decode(result.reply);
-          if (reply && reply->task) {
+          if (reply && !reply->tasks.empty()) {
             std::lock_guard<std::mutex> self_lock(mutex_);
-            core_.install_stolen(std::move(*reply->task));
+            for (Closure& c : reply->tasks) {
+              core_.install_stolen(std::move(c));
+            }
             got = true;
           }
         }

@@ -44,6 +44,9 @@ struct UdpJobConfig {
   /// Consecutive failed steals before a worker concludes the parallelism has
   /// shrunk and exits.
   int max_failed_steals = std::numeric_limits<int>::max();
+  /// Most tasks one steal RPC may carry back (steal-half, capped); 1 is the
+  /// paper's steal-one.
+  int steal_batch = 1;
   std::uint64_t steal_retry_ns = 2'000'000;        // 2 ms
   std::uint64_t heartbeat_period_ns = 500'000'000; // 500 ms
   net::RetryPolicy rpc_policy{100'000'000, 6, 1.5};

@@ -91,6 +91,12 @@ class Reader {
   std::size_t remaining() const noexcept { return size_ - pos_; }
   bool ok() const noexcept { return !failed_; }
 
+  /// Decoders call this when the bytes parsed so far are structurally
+  /// invalid (absurd counts, unknown enum tags) even though the reads
+  /// themselves did not underflow; callers then see ok() == false exactly as
+  /// for a truncated buffer.
+  void fail() noexcept { failed_ = true; }
+
   /// True when the whole buffer was consumed without error — the normal
   /// "message fully parsed" check.
   bool done() const noexcept { return ok() && remaining() == 0; }

@@ -101,8 +101,7 @@ TEST(Ids, HashDistinguishes) {
 
 TEST(Closure, FillTracksMissing) {
   Closure c;
-  c.args.resize(3);
-  c.filled.assign(3, false);
+  c.args.reset(3);
   c.missing = 3;
   EXPECT_FALSE(c.ready());
   EXPECT_TRUE(c.fill(0, Value(std::int64_t{1})));
@@ -114,8 +113,7 @@ TEST(Closure, FillTracksMissing) {
 
 TEST(Closure, DuplicateFillIsRejected) {
   Closure c;
-  c.args.resize(1);
-  c.filled.assign(1, false);
+  c.args.reset(1);
   c.missing = 1;
   EXPECT_TRUE(c.fill(0, Value(std::int64_t{1})));
   EXPECT_FALSE(c.fill(0, Value(std::int64_t{99})));
@@ -125,8 +123,7 @@ TEST(Closure, DuplicateFillIsRejected) {
 
 TEST(Closure, OutOfRangeSlotIsRejected) {
   Closure c;
-  c.args.resize(1);
-  c.filled.assign(1, false);
+  c.args.reset(1);
   c.missing = 1;
   EXPECT_FALSE(c.fill(5, Value(std::int64_t{1})));
   EXPECT_FALSE(c.ready());
@@ -138,8 +135,10 @@ TEST(Closure, EncodeDecodeRoundTrip) {
   c.task = 3;
   c.cont = ContRef{ClosureId{net::NodeId{1}, 5}, 2, net::NodeId{1}};
   c.depth = 9;
-  c.args = {Value(std::int64_t{10}), Value(), Value(Bytes{1, 2})};
-  c.filled = {true, false, true};
+  // A half-filled join: slots 0 and 2 filled, slot 1 still missing.
+  c.args.reset(3);
+  c.args.install(0, Value(std::int64_t{10}), true);
+  c.args.install(2, Value(Bytes{1, 2}), true);
   c.missing = 1;
 
   Writer w;
@@ -155,7 +154,12 @@ TEST(Closure, EncodeDecodeRoundTrip) {
   ASSERT_EQ(back.args.size(), 3u);
   EXPECT_EQ(back.args[0], c.args[0]);
   EXPECT_EQ(back.args[2], c.args[2]);
-  EXPECT_EQ(back.filled, c.filled);
+  EXPECT_TRUE(back.args.filled(0));
+  EXPECT_FALSE(back.args.filled(1));
+  EXPECT_TRUE(back.args.filled(2));
+  EXPECT_EQ(back.args, c.args);
+  EXPECT_EQ(c.byte_size(), w.bytes().size())
+      << "byte_size() must match what encode() actually writes";
 }
 
 TEST(Closure, DecodeRejectsAbsurdSlotCount) {
@@ -169,6 +173,9 @@ TEST(Closure, DecodeRejectsAbsurdSlotCount) {
   Reader r(w.bytes());
   const Closure c = Closure::decode(r);
   EXPECT_TRUE(c.args.empty());
+  // The reader is failed, not left "ok with garbage": callers that check
+  // r.ok()/r.done() reject the payload outright.
+  EXPECT_FALSE(r.ok());
 }
 
 }  // namespace

@@ -150,5 +150,41 @@ TEST(ChaosScripted, CrashPlanTriggersRedoAndStaysExact) {
       << plan.describe();
 }
 
+TEST(ChaosScripted, LazyMaterializationSurvivesCrashesOnFineGrain) {
+  // Fully fine-grained fib maximizes the lazy hot path: every spawn defers
+  // its ClosureId until a thief forces materialization, and a crash then
+  // replays ledgered redo snapshots that were captured from materialized
+  // closures.  Two workers die mid-job under lossy links; the answer must
+  // still be exact — a duplicated or missing materialized id would surface
+  // here as a dropped or double-counted subtree.
+  net::FaultPlan plan;
+  plan.seed = 1234;
+  net::LinkRule all;
+  all.drop = 0.10;
+  all.duplicate = 0.05;
+  all.reorder = 0.05;
+  plan.links.push_back(all);
+  plan.lossless_types = {proto::kArgument, proto::kMigrate};
+  plan.events.push_back({40'000'000, net::NodeFaultKind::kCrash, 2});
+  plan.events.push_back({90'000'000, net::NodeFaultKind::kCrash, 4});
+
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/0);
+  rt::SimJobConfig cfg;
+  cfg.participants = 5;
+  cfg.seed = 1234;
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1500 * sim::kMillisecond;
+  cfg.clearinghouse.failure_check_period_ns = 300 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 150 * sim::kMillisecond;
+  cfg.worker.rpc_policy = {100 * sim::kMillisecond, 10, 1.5};
+  rt::SimCluster cluster(reg, cfg);
+  cluster.apply_fault_plan(plan);
+  const auto result = cluster.run(root, {Value(std::int64_t{14})});
+  EXPECT_EQ(result.value.as_int(), apps::fib_serial(14)) << plan.describe();
+  EXPECT_GT(result.aggregate.tasks_stolen_from_me, 0u)
+      << "vacuous: no steal ever forced a lazy materialization";
+}
+
 }  // namespace
 }  // namespace phish::testing

@@ -4,6 +4,8 @@
 // open university network; so does ours.)
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "apps/pfold/pfold.hpp"
 #include "core/jobq.hpp"
 #include "core/protocol.hpp"
@@ -53,7 +55,6 @@ TEST_P(FuzzDecode, TruncationsOfValidMessagesAreRejectedOrSafe) {
   c.id = ClosureId{net::NodeId{3}, 9};
   c.task = 1;
   c.args = {Value(std::int64_t{5}), Value(Bytes{1, 2, 3})};
-  c.filled = {true, true};
   migrate.closures.push_back(c);
   const Bytes full = migrate.encode();
   for (std::size_t len = 0; len < full.size(); ++len) {
@@ -71,6 +72,72 @@ TEST_P(FuzzDecode, TruncationsOfValidMessagesAreRejectedOrSafe) {
     if (decoded) {
       EXPECT_LE(decoded->closures.size(), 1u << 24);
     }
+  }
+}
+
+TEST(FuzzDecodeRegression, TruncatedStealReplyClosureIsRejected) {
+  // Regression: a steal reply truncated exactly after the closure header —
+  // claiming N>0 argument slots but carrying none — used to decode with
+  // r.ok() still true, so the thief installed a garbage closure and crashed
+  // in registry.get() when it came up for execution.  The decoder must fail
+  // the reader on any structurally short payload.
+  Closure c;
+  c.id = ClosureId{net::NodeId{2}, 17};
+  c.task = 0;
+  c.cont = ContRef{ClosureId{net::NodeId{1}, 5}, 0, net::NodeId{1}};
+  c.args = {Value(std::int64_t{7}), Value(std::int64_t{8})};
+  proto::StealReply reply;
+  reply.tasks.push_back(c);
+  const Bytes full = reply.encode();
+  // Every strict prefix must be rejected — including the one ending right at
+  // the closure header boundary (count + header, zero slot bytes).
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<long>(len));
+    EXPECT_FALSE(proto::StealReply::decode(prefix).has_value())
+        << "truncated steal reply accepted at " << len;
+  }
+  EXPECT_TRUE(proto::StealReply::decode(full).has_value());
+}
+
+TEST(FuzzDecodeRegression, AbsurdClosurePayloadsFailTheReader) {
+  // Structurally absurd closures: enormous slot count, missing > nargs,
+  // invalid id, invalid task.  Each must fail the reader (not return a
+  // half-real closure with r.ok() == true).
+  struct Case {
+    const char* name;
+    std::function<void(Writer&)> write;
+  };
+  const ClosureId good_id{net::NodeId{1}, 1};
+  const auto header = [&](Writer& w, std::uint32_t nargs,
+                          std::uint32_t missing, bool valid_id,
+                          std::uint32_t task) {
+    (valid_id ? good_id : ClosureId{}).encode(w);
+    w.u32(task);
+    ContRef{}.encode(w);
+    w.u32(0);  // depth
+    w.u32(nargs);
+    w.u32(missing);
+  };
+  const std::vector<Case> cases = {
+      {"slot count beyond kMaxWireSlots",
+       [&](Writer& w) { header(w, Closure::kMaxWireSlots + 1, 0, true, 0); }},
+      {"missing exceeds nargs", [&](Writer& w) { header(w, 1, 2, true, 0); }},
+      {"invalid closure id", [&](Writer& w) { header(w, 0, 0, false, 0); }},
+      {"invalid task id",
+       [&](Writer& w) { header(w, 0, 0, true, kInvalidTask); }},
+      {"fill flags disagree with missing-count",
+       [&](Writer& w) {
+         header(w, 1, 1, true, 0);
+         w.boolean(true);  // slot claims filled, but missing says 1
+         Value(std::int64_t{3}).encode(w);
+       }},
+  };
+  for (const Case& test_case : cases) {
+    Writer w;
+    test_case.write(w);
+    Reader r(w.bytes());
+    (void)Closure::decode(r);
+    EXPECT_FALSE(r.ok()) << test_case.name;
   }
 }
 

@@ -104,13 +104,16 @@ TEST(ThreadsRuntime, WorkIsActuallyDistributed) {
   TaskRegistry reg;
   const TaskId root = apps::register_fib(reg);
   ThreadsRuntime rt(reg, config_for(4));
-  const auto result = rt.run(root, {Value(std::int64_t{20})});
+  // Deep enough (~150k closures) that the job outlives thread wake-up
+  // latency; a shallower tree can drain entirely on worker 0 before any
+  // thief's first steal attempt lands.
+  const auto result = rt.run(root, {Value(std::int64_t{24})});
   int workers_that_executed = 0;
   for (const auto& s : result.per_worker) {
     if (s.tasks_executed > 0) ++workers_that_executed;
   }
   EXPECT_GE(workers_that_executed, 2)
-      << "stealing must spread a 20-deep fib tree across workers";
+      << "stealing must spread a 24-deep fib tree across workers";
   EXPECT_GT(result.aggregate.tasks_stolen_by_me, 0u);
 }
 

@@ -61,5 +61,40 @@ TEST(ThreadsStress, FineGrainManyWorkersNoLostWakeups) {
   }
 }
 
+TEST(ThreadsStress, StealHeavyPoolChurnStaysConserved) {
+  // Hammer the per-worker closure pools from the steal side: fine-grained
+  // fib with many workers makes every core serve batched steals (lazy
+  // materialization + pool release on the victim, adopt + pool acquire on
+  // the thief) while its own spawn/execute cycle recycles the same arenas.
+  // Under TSan this is the concurrent spawn/steal lifetime check; in any
+  // build the conservation laws below catch a closure lost or double-freed
+  // by the churn.
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/0);
+  ThreadsConfig cfg;
+  cfg.workers = 6;
+  cfg.steal_batch = WorkerCore::kMaxStealBatch;
+  ThreadsRuntime rt(reg, cfg);
+  std::uint64_t total_stolen = 0;
+  for (int round = 0; round < 4; ++round) {
+    const auto r = rt.run(root, {Value(std::int64_t{17})});
+    ASSERT_EQ(r.value.as_int(), apps::fib_serial(17)) << round;
+    // Conservation: every closure created was executed exactly once.  A
+    // stolen closure is counted by note_alloc twice (victim spawn + thief
+    // install), so the aggregate ledger is executed + stolen == created.
+    ASSERT_EQ(r.aggregate.tasks_executed + r.aggregate.tasks_stolen_by_me,
+              r.aggregate.closures_created)
+        << round;
+    ASSERT_EQ(r.aggregate.tasks_in_use, 0u) << round;
+    ASSERT_EQ(r.aggregate.args_unknown_closure, 0u) << round;
+    ASSERT_EQ(r.aggregate.args_duplicate, 0u) << round;
+    total_stolen += r.aggregate.tasks_stolen_from_me;
+  }
+  // Guard against vacuousness across the whole run, not per round: on a
+  // single-CPU host a short round can finish before any thief gets a
+  // timeslice, and that is not a scheduler bug.
+  EXPECT_GT(total_stolen, 0u);
+}
+
 }  // namespace
 }  // namespace phish::rt
