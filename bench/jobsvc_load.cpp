@@ -1,0 +1,216 @@
+// PhishJobD load bench — open-loop job-submission sweep (DESIGN.md §11.5).
+//
+// Drives the full multi-tenant stack in virtual time: an open-loop arrival
+// process submits jobs through JobService admission control; admitted jobs
+// flow through MacroServiceBackend into a simulated Phish network (PhishJobQ
+// under weighted fair share, a PhishJobManager per workstation, migration on
+// preemption).  Two tenants share the pool — "batch" (weight 1, low
+// priority, the bulk of the arrivals) and "interactive" (weight 2, high
+// priority, occasional) — so the run exercises fair share, preemption, and
+// backpressure together.
+//
+// Reported (BENCH_jobsvc.json):
+//   * sustained jobs/sec (completions over the busy interval, virtual time);
+//   * rejection rate (admission control under the offered load);
+//   * p50/p99 submit-to-first-task latency (first workstation joins);
+//   * preemptions issued / workers evicted.
+//
+// Conservation gate (the CI smoke leg): every accepted job must complete —
+// accepted == completed + cancelled and completed > 0 — else exit nonzero.
+// Virtual time makes the whole thing deterministic for a fixed seed.
+#include <cmath>
+#include <cstdio>
+
+#include "apps/fib/fib.hpp"
+#include "bench_util.hpp"
+#include "jobsvc/service.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/clock.hpp"
+#include "runtime/simdist/macro_service.hpp"
+#include "util/rng.hpp"
+
+namespace phish::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  const int jobs = static_cast<int>(flags.get_int("jobs", smoke ? 40 : 150));
+  const double rate = flags.get_double("rate", 4.0);  // offered jobs/sec
+  const int workstations =
+      static_cast<int>(flags.get_int("workstations", 8));
+  const int fib_n = static_cast<int>(flags.get_int("fib", 14));
+  const int max_active =
+      static_cast<int>(flags.get_int("max-active", workstations));
+  const int max_backlog = static_cast<int>(flags.get_int("max-backlog", 8));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  reject_unknown_flags(flags);
+
+  banner("PhishJobD load", "open-loop multi-tenant submission sweep "
+                           "(virtual time)");
+  std::printf("%d jobs at %.1f jobs/s offered, %d workstations, "
+              "fib(%d) payload, max_active=%d max_backlog=%d\n\n",
+              jobs, rate, workstations, fib_n, max_active, max_backlog);
+
+  obs::Registry::global().reset();
+
+  TaskRegistry registry;
+  apps::register_fib(registry, /*sequential_cutoff=*/8);
+
+  rt::MacroConfig cfg;
+  cfg.assign_policy = JobAssignPolicy::kFairShare;
+  cfg.tenants["batch"] = TenantConfig{1.0};
+  cfg.tenants["interactive"] = TenantConfig{2.0};
+  cfg.clearinghouse.detect_failures = false;
+  cfg.manager.job_poll = sim::kSecond;
+  cfg.manager.owner_poll = 200 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 0;
+  cfg.worker.update_period = 2 * sim::kSecond;
+  cfg.worker.max_failed_steals = 50;
+  cfg.seed = seed;
+  cfg.max_sim_time = 4 * 3'600 * sim::kSecond;
+  rt::MacroCluster cluster(registry, cfg);
+  for (int i = 0; i < workstations; ++i) {
+    cluster.add_workstation(rt::OwnerTrace::always_idle());
+  }
+
+  const obs::VirtualClock<sim::Simulator> clock(cluster.simulator());
+  rt::MacroServiceBackend backend(cluster);
+  jobsvc::ServiceConfig svc_cfg;
+  svc_cfg.max_active = static_cast<std::size_t>(max_active);
+  svc_cfg.max_backlog = static_cast<std::size_t>(max_backlog);
+  jobsvc::JobService service(clock, backend, svc_cfg);
+  backend.bind(service);
+  {
+    jobsvc::TenantPolicy batch;
+    batch.weight = 1.0;
+    service.configure_tenant("batch", batch);
+    jobsvc::TenantPolicy interactive;
+    interactive.weight = 2.0;
+    service.configure_tenant("interactive", interactive);
+  }
+
+  // Open-loop arrivals: exponential interarrival times at the offered rate;
+  // every 5th job is the interactive tenant at high priority.
+  Xoshiro256 rng(seed);
+  sim::SimTime at = sim::kSecond;
+  sim::SimTime last_arrival = at;
+  for (int i = 0; i < jobs; ++i) {
+    const bool interactive = (i % 5) == 4;
+    cluster.simulator().schedule_at(at, [&service, fib_n, interactive] {
+      jobsvc::SubmitRequest req;
+      req.tenant = interactive ? "interactive" : "batch";
+      req.priority = interactive ? kPriorityHigh : kPriorityLow;
+      req.root_task = "fib.task";
+      req.args.emplace_back(static_cast<std::int64_t>(fib_n));
+      service.submit(std::move(req));
+    });
+    last_arrival = at;
+    const double u = rng.uniform();
+    at += static_cast<sim::SimTime>(
+        -std::log(u > 1e-12 ? u : 1e-12) / rate * sim::kSecond);
+  }
+
+  // Run until the service drains (all arrivals fired, nothing in flight).
+  for (;;) {
+    cluster.run_until(cluster.simulator().now() + sim::kSecond);
+    if (cluster.simulator().now() > cfg.max_sim_time) {
+      std::printf("FAILED: load did not drain before the time cap\n");
+      return 1;
+    }
+    if (cluster.simulator().now() > last_arrival &&
+        service.pending_jobs() == 0 && service.active_jobs() == 0) {
+      break;
+    }
+  }
+  cluster.run_until(cluster.simulator().now() + 5 * sim::kSecond);
+
+  const auto counters = service.counters();
+  const auto jq = cluster.jobq().stats();
+  std::uint64_t preempted_workers = 0;
+  for (int i = 0; i < cluster.workstations(); ++i) {
+    preempted_workers += cluster.manager(i).stats().workers_preempted;
+  }
+  const double busy_s =
+      sim::to_seconds(cluster.simulator().now()) - 1.0;  // first arrival at 1s
+  const double jobs_per_sec =
+      busy_s > 0 ? static_cast<double>(counters.completed) / busy_s : 0.0;
+  const double rejection_rate =
+      counters.submitted > 0
+          ? static_cast<double>(counters.submitted - counters.accepted) /
+                static_cast<double>(counters.submitted)
+          : 0.0;
+  const auto first_task =
+      obs::Registry::global()
+          .histogram("jobsvc.submit_to_first_task_ns")
+          .summarize();
+
+  std::printf("submitted  %8llu\n", (unsigned long long)counters.submitted);
+  std::printf("accepted   %8llu\n", (unsigned long long)counters.accepted);
+  std::printf("rejected   %8llu  (rate %llu, quota %llu, backlog %llu)\n",
+              (unsigned long long)(counters.submitted - counters.accepted),
+              (unsigned long long)counters.rejected_rate,
+              (unsigned long long)counters.rejected_quota,
+              (unsigned long long)counters.rejected_backlog);
+  std::printf("completed  %8llu\n", (unsigned long long)counters.completed);
+  std::printf("preempt    %8llu issued, %llu workers evicted\n",
+              (unsigned long long)jq.preemptions,
+              (unsigned long long)preempted_workers);
+  std::printf("throughput %8.2f jobs/s sustained (offered %.2f)\n",
+              jobs_per_sec, rate);
+  std::printf("first-task p50 %.1f ms, p99 %.1f ms\n\n",
+              first_task.quantile(0.5) / 1e6,
+              first_task.quantile(0.99) / 1e6);
+
+  kv("jobs_per_sec", jobs_per_sec);
+  kv("rejection_rate", rejection_rate);
+  kv("completed", counters.completed);
+  kv("preemptions", jq.preemptions);
+  kv("first_task_p50_ns", first_task.quantile(0.5));
+  kv("first_task_p99_ns", first_task.quantile(0.99));
+
+  obs::BenchReport report("jobsvc");
+  report.set("jobs", jobs);
+  report.set("offered_rate", rate);
+  report.set("workstations", workstations);
+  report.set("seed", seed);
+  report.set("submitted", counters.submitted);
+  report.set("accepted", counters.accepted);
+  report.set("rejected_rate_limited", counters.rejected_rate);
+  report.set("rejected_quota", counters.rejected_quota);
+  report.set("rejected_backlog", counters.rejected_backlog);
+  report.set("completed", counters.completed);
+  report.set("cancelled", counters.cancelled);
+  report.set("jobs_per_sec", jobs_per_sec);
+  report.set("rejection_rate", rejection_rate);
+  report.set("preemptions_issued", jq.preemptions);
+  report.set("workers_preempted", preempted_workers);
+  report.set_histogram("submit_to_first_task_ns", first_task);
+  report.set_histogram("turnaround_ns",
+                       obs::Registry::global()
+                           .histogram("jobsvc.turnaround_ns")
+                           .summarize());
+  report.set_metrics(obs::Registry::global().snapshot());
+  report.write();
+
+  // Conservation: an accepted job is a promise — it must complete (or be
+  // cancelled, which this bench never does).  Lost jobs fail the run.
+  if (counters.completed == 0 ||
+      counters.accepted != counters.completed + counters.cancelled) {
+    std::printf("FAILED: job conservation violated (accepted %llu vs "
+                "completed %llu + cancelled %llu)\n",
+                (unsigned long long)counters.accepted,
+                (unsigned long long)counters.completed,
+                (unsigned long long)counters.cancelled);
+    return 1;
+  }
+  std::printf("OK: all %llu accepted jobs completed\n",
+              (unsigned long long)counters.completed);
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

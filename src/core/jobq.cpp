@@ -6,6 +6,12 @@
 
 namespace phish {
 
+namespace {
+// Weights are configured by operators; clamp so a zero/negative weight
+// degrades to "almost never scheduled" instead of dividing by zero.
+double effective_weight(double w) { return w > 1e-9 ? w : 1e-9; }
+}  // namespace
+
 PhishJobQ::PhishJobQ(net::RpcNode& rpc, JobAssignPolicy policy)
     : rpc_(rpc), policy_(policy) {}
 
@@ -32,15 +38,40 @@ void PhishJobQ::start() {
     w.boolean(r.done() && complete(job_id));
     return w.take();
   });
+  rpc_.serve(proto::kRpcReleaseJob, [this](net::NodeId src, const Bytes&) {
+    Writer w;
+    w.boolean(release(src));
+    return w.take();
+  });
+}
+
+void PhishJobQ::configure_tenant(const std::string& tenant,
+                                 TenantConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenants_[tenant].config = config;
 }
 
 std::uint64_t PhishJobQ::submit(JobSpec spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (spec.job_id == 0) spec.job_id = next_job_id_++;
-  next_job_id_ = std::max(next_job_id_, spec.job_id + 1);
-  pool_.push_back(PooledJob{std::move(spec), 0});
-  ++stats_.submitted;
-  return pool_.back().spec.job_id;
+  std::vector<PreemptRequest> evictions;
+  std::function<void(const PreemptRequest&)> preempt;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spec.job_id == 0) spec.job_id = next_job_id_++;
+    next_job_id_ = std::max(next_job_id_, spec.job_id + 1);
+    if (spec.tenant.empty()) spec.tenant = kDefaultTenant;
+    tenants_.try_emplace(spec.tenant);  // implicit default tenant config
+    pool_.push_back(PooledJob{std::move(spec), 0});
+    ++stats_.submitted;
+    id = pool_.back().spec.job_id;
+    if (policy_ == JobAssignPolicy::kFairShare && preempt_fn_) {
+      evictions = plan_preemption_locked(pool_.back());
+      stats_.preemptions += evictions.size();
+      preempt = preempt_fn_;
+    }
+  }
+  for (const PreemptRequest& e : evictions) preempt(e);
+  return id;
 }
 
 std::optional<JobSpec> PhishJobQ::request(net::NodeId who) {
@@ -49,11 +80,15 @@ std::optional<JobSpec> PhishJobQ::request(net::NodeId who) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.requests;
+    // One worker per workstation: a new request from a workstation we still
+    // count as busy means its previous worker is gone (the release datagram
+    // may still be in flight); settle the ledger first.
+    release_locked(who);
     if (pool_.empty()) {
       ++stats_.empty_replies;
       return std::nullopt;
     }
-    std::size_t index = 0;
+    std::optional<std::size_t> index;
     switch (policy_) {
       case JobAssignPolicy::kRoundRobin:
         // Non-preemptive round-robin: advance a cursor through the pool.
@@ -65,21 +100,50 @@ std::optional<JobSpec> PhishJobQ::request(net::NodeId who) {
         index = 0;
         break;
       case JobAssignPolicy::kLeastServed: {
-        index = 0;
+        std::size_t best = 0;
         for (std::size_t i = 1; i < pool_.size(); ++i) {
-          if (pool_[i].assignments < pool_[index].assignments) index = i;
+          if (pool_[i].assignments < pool_[best].assignments) best = i;
         }
+        index = best;
         break;
       }
+      case JobAssignPolicy::kFairShare:
+        index = pick_fair_share_locked();
+        break;
     }
-    ++pool_[index].assignments;
+    if (!index) {  // non-empty pool but every tenant at quota
+      ++stats_.empty_replies;
+      return std::nullopt;
+    }
+    PooledJob& job = pool_[*index];
+    ++job.assignments;
     ++stats_.assignments;
-    ++assignments_by_job_[pool_[index].spec.job_id];
-    assigned = pool_[index].spec;
+    ++assignments_by_job_[job.spec.job_id];
+    grants_[who] = job.spec.job_id;
+    ++held_by_job_[job.spec.job_id];
+    assigned = job.spec;
     notify = on_assign_;
   }
   if (notify && assigned) notify(assigned->job_id, who);
   return assigned;
+}
+
+bool PhishJobQ::release(net::NodeId who) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (grants_.find(who) == grants_.end()) return false;
+  release_locked(who);
+  return true;
+}
+
+void PhishJobQ::release_locked(net::NodeId who) {
+  auto it = grants_.find(who);
+  if (it == grants_.end()) return;
+  auto held = held_by_job_.find(it->second);
+  if (held != held_by_job_.end() && held->second > 0) {
+    if (--held->second == 0) held_by_job_.erase(held);
+  }
+  grants_.erase(it);
+  ++stats_.releases;
 }
 
 bool PhishJobQ::complete(std::uint64_t job_id) {
@@ -90,11 +154,138 @@ bool PhishJobQ::complete(std::uint64_t job_id) {
   if (it == pool_.end()) return false;
   const std::size_t index = static_cast<std::size_t>(it - pool_.begin());
   pool_.erase(it);
-  // Keep the round-robin cursor consistent with the shrunken pool.
-  if (index < rr_index_ && rr_index_ > 0) --rr_index_;
-  if (!pool_.empty()) rr_index_ %= pool_.size();
+  // Keep the round-robin cursor pointing at the same *job* it pointed at
+  // before the erase: removing an earlier entry shifts the pool left under
+  // the cursor, and without the decrement the next request would skip one
+  // job in rotation order.
+  if (index < rr_index_) --rr_index_;
+  if (rr_index_ >= pool_.size()) rr_index_ = 0;
+  // The job's workstation grants die with it (managers will also release,
+  // which becomes a harmless no-op).
+  for (auto g = grants_.begin(); g != grants_.end();) {
+    g = g->second == job_id ? grants_.erase(g) : std::next(g);
+  }
+  held_by_job_.erase(job_id);
   ++stats_.completed;
   return true;
+}
+
+std::optional<std::size_t> PhishJobQ::pick_fair_share_locked() {
+  for (int prio = kPriorityClasses - 1; prio >= 0; --prio) {
+    // Tenant with the smallest held/weight ratio among those with a job in
+    // this class and headroom under their workstation quota.  Ties resolve
+    // lexicographically: the held counts separate candidates after the very
+    // first grant, so the tie-break only seeds the rotation.
+    const std::string* best_tenant = nullptr;
+    double best_ratio = 0;
+    for (const PooledJob& job : pool_) {
+      if (job.spec.priority != prio) continue;
+      const std::string& t = job.spec.tenant;
+      if (best_tenant && *best_tenant == t) continue;
+      const auto cfg = tenants_.find(t);
+      const TenantConfig& config =
+          cfg != tenants_.end() ? cfg->second.config : TenantConfig{};
+      const std::uint64_t held = tenant_held_locked(t);
+      if (held >= config.max_workstations) continue;
+      const double ratio =
+          static_cast<double>(held) / effective_weight(config.weight);
+      if (!best_tenant || ratio < best_ratio ||
+          (ratio == best_ratio && t < *best_tenant)) {
+        best_tenant = &job.spec.tenant;
+        best_ratio = ratio;
+      }
+    }
+    if (!best_tenant) continue;
+    // Within the tenant: spread workstations evenly — the job currently
+    // holding the fewest, ties to the least lifetime-served, then oldest.
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      const PooledJob& job = pool_[i];
+      if (job.spec.priority != prio || job.spec.tenant != *best_tenant) {
+        continue;
+      }
+      if (!best) {
+        best = i;
+        continue;
+      }
+      const auto held_of = [this](const PooledJob& j) {
+        const auto it = held_by_job_.find(j.spec.job_id);
+        return it == held_by_job_.end() ? std::uint64_t{0} : it->second;
+      };
+      const PooledJob& incumbent = pool_[*best];
+      if (std::make_pair(held_of(job), job.assignments) <
+          std::make_pair(held_of(incumbent), incumbent.assignments)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  return std::nullopt;
+}
+
+std::vector<PreemptRequest> PhishJobQ::plan_preemption_locked(
+    const PooledJob& job) {
+  // Victim order: lowest priority class first; within a class, the tenant
+  // most over its fair share; within the tenant, the job holding the most
+  // workstations; then the smallest workstation id (determinism).
+  struct Victim {
+    std::uint8_t priority;
+    double over_share;
+    std::uint64_t held;
+    net::NodeId workstation;
+    std::uint64_t job_id;
+  };
+  std::vector<Victim> victims;
+  for (const auto& [workstation, victim_job] : grants_) {
+    const std::uint8_t prio = job_priority_locked(victim_job);
+    if (prio >= job.spec.priority) continue;
+    const auto owner = std::find_if(
+        pool_.begin(), pool_.end(),
+        [&](const PooledJob& j) { return j.spec.job_id == victim_job; });
+    if (owner == pool_.end()) continue;
+    const auto held = held_by_job_.find(victim_job);
+    victims.push_back(Victim{
+        prio,
+        static_cast<double>(tenant_held_locked(owner->spec.tenant)) /
+            effective_weight(tenant_weight_locked(owner->spec.tenant)),
+        held == held_by_job_.end() ? 0 : held->second, workstation,
+        victim_job});
+  }
+  std::sort(victims.begin(), victims.end(), [](const Victim& a,
+                                               const Victim& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.over_share != b.over_share) return a.over_share > b.over_share;
+    if (a.held != b.held) return a.held > b.held;
+    return a.workstation < b.workstation;
+  });
+  std::vector<PreemptRequest> plan;
+  for (const Victim& v : victims) {
+    if (plan.size() >= preempt_batch_) break;
+    plan.push_back(PreemptRequest{v.workstation, v.job_id, job.spec.job_id});
+  }
+  return plan;
+}
+
+std::uint64_t PhishJobQ::tenant_held_locked(const std::string& tenant) const {
+  std::uint64_t held = 0;
+  for (const PooledJob& job : pool_) {
+    if (job.spec.tenant != tenant) continue;
+    const auto it = held_by_job_.find(job.spec.job_id);
+    if (it != held_by_job_.end()) held += it->second;
+  }
+  return held;
+}
+
+std::uint8_t PhishJobQ::job_priority_locked(std::uint64_t job_id) const {
+  for (const PooledJob& job : pool_) {
+    if (job.spec.job_id == job_id) return job.spec.priority;
+  }
+  return kPriorityNormal;
+}
+
+double PhishJobQ::tenant_weight_locked(const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.config.weight : 1.0;
 }
 
 std::size_t PhishJobQ::pool_size() const {
@@ -112,10 +303,31 @@ std::map<std::uint64_t, std::uint64_t> PhishJobQ::assignments_by_job() const {
   return assignments_by_job_;
 }
 
+std::map<std::uint64_t, std::uint64_t> PhishJobQ::held_by_job() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return held_by_job_;
+}
+
+std::map<std::string, std::uint64_t> PhishJobQ::held_by_tenant() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> held;
+  for (const PooledJob& job : pool_) {
+    const auto it = held_by_job_.find(job.spec.job_id);
+    if (it != held_by_job_.end()) held[job.spec.tenant] += it->second;
+  }
+  return held;
+}
+
 void PhishJobQ::set_on_assign(
     std::function<void(std::uint64_t, net::NodeId)> fn) {
   std::lock_guard<std::mutex> lock(mutex_);
   on_assign_ = std::move(fn);
+}
+
+void PhishJobQ::set_preempt_fn(
+    std::function<void(const PreemptRequest&)> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  preempt_fn_ = std::move(fn);
 }
 
 }  // namespace phish

@@ -14,13 +14,31 @@
 // workstations join one job.  A job leaves the pool only when it completes
 // (kRpcJobDone) or is withdrawn.
 //
-// Assignment policies beyond round-robin are pluggable (the paper: "future
-// implementations will provide opportunities for using and studying more
-// sophisticated job assignment algorithms").
+// The paper promised that "future implementations will provide opportunities
+// for using and studying more sophisticated job assignment algorithms"; the
+// kFairShare policy is that future implementation (DESIGN.md §11):
+//
+//   * every job belongs to a tenant with a configurable weight, and the
+//     workstation grant ledger (request/release) tracks which workstation
+//     currently runs a worker for which job;
+//   * assignment first restricts to the highest priority class with an
+//     eligible job, then picks the tenant with the smallest held/weight
+//     ratio (weighted fair share), then rotates round-robin within that
+//     tenant's jobs;
+//   * submitting a job of a higher priority class than some running job
+//     triggers preemption: the JobQ picks a victim workstation held by the
+//     lowest-priority job (most-over-share tenant first) and asks its
+//     manager to evict the worker via the migration path (paper case (d)),
+//     freeing the workstation to request — and fair-share-receive — the
+//     high-priority job.
+//
+// The paper's policies (round-robin, first-job, least-served) remain
+// available and untouched for the A4-style studies.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -32,13 +50,25 @@
 
 namespace phish {
 
+// Priority classes (kFairShare only; the paper's policies ignore them).
+constexpr std::uint8_t kPriorityLow = 0;
+constexpr std::uint8_t kPriorityNormal = 1;
+constexpr std::uint8_t kPriorityHigh = 2;
+constexpr std::uint8_t kPriorityClasses = 3;
+
+/// Default tenant for jobs submitted without one (legacy paths).
+inline constexpr const char* kDefaultTenant = "default";
+
 /// What a workstation needs to join a job: which application to run (by
-/// registered root-task name) and where the job's Clearinghouse lives.
+/// registered root-task name) and where the job's Clearinghouse lives, plus
+/// the accounting identity (tenant, priority) the fair-share policy uses.
 struct JobSpec {
   std::uint64_t job_id = 0;
   std::string name;         // human-readable ("ray my-scene")
   std::string root_task;    // registry name of the root task
   net::NodeId clearinghouse;
+  std::string tenant = kDefaultTenant;
+  std::uint8_t priority = kPriorityNormal;
 
   Bytes encode() const {
     Writer w;
@@ -46,6 +76,8 @@ struct JobSpec {
     w.str(name);
     w.str(root_task);
     w.u32(clearinghouse.value);
+    w.str(tenant);
+    w.u8(priority);
     return w.take();
   }
   static std::optional<JobSpec> decode(const Bytes& b) {
@@ -55,7 +87,12 @@ struct JobSpec {
     s.name = r.str();
     s.root_task = r.str();
     s.clearinghouse = net::NodeId{r.u32()};
-    if (!r.done()) return std::nullopt;
+    if (r.done()) return s;  // legacy spec without tenant/priority
+    s.tenant = r.str();
+    s.priority = r.u8();
+    if (!r.done() || s.priority >= kPriorityClasses || s.tenant.empty()) {
+      return std::nullopt;
+    }
     return s;
   }
 };
@@ -77,11 +114,8 @@ struct JobAssignment {
       if (!r.done()) return std::nullopt;
       return a;
     }
-    // Re-decode the remainder as a JobSpec.
-    Bytes rest;
-    rest.reserve(r.remaining());
-    while (r.remaining() > 0) rest.push_back(r.u8());
-    a.job = JobSpec::decode(rest);
+    // Re-decode the remainder as a JobSpec (bulk slice, not byte-at-a-time).
+    a.job = JobSpec::decode(r.rest());
     if (!a.job) return std::nullopt;
     return a;
   }
@@ -92,6 +126,16 @@ enum class JobAssignPolicy {
   kRoundRobin,   // the paper's policy
   kFirstJob,     // always the oldest job (baseline for A4-style studies)
   kLeastServed,  // job with the fewest assignments so far
+  kFairShare,    // weighted fair share over tenants + priority classes
+};
+
+/// Per-tenant scheduling configuration (kFairShare).
+struct TenantConfig {
+  /// Fair-share weight: tenants receive workstations in proportion to it.
+  double weight = 1.0;
+  /// Hard cap on workstations concurrently held by this tenant's jobs.
+  std::uint32_t max_workstations =
+      std::numeric_limits<std::uint32_t>::max();
 };
 
 struct JobQStats {
@@ -100,6 +144,16 @@ struct JobQStats {
   std::uint64_t requests = 0;
   std::uint64_t assignments = 0;
   std::uint64_t empty_replies = 0;
+  std::uint64_t releases = 0;     // workstation grants returned
+  std::uint64_t preemptions = 0;  // eviction requests issued
+};
+
+/// Eviction request the JobQ hands to its preempt hook; the owner of the
+/// transport (MacroCluster, PhishJobD) turns it into a kRpcPreempt call.
+struct PreemptRequest {
+  net::NodeId workstation;
+  std::uint64_t victim_job = 0;
+  std::uint64_t for_job = 0;
 };
 
 class PhishJobQ {
@@ -107,16 +161,27 @@ class PhishJobQ {
   explicit PhishJobQ(net::RpcNode& rpc,
                      JobAssignPolicy policy = JobAssignPolicy::kRoundRobin);
 
-  /// Install the RPC handlers (submit / request / done).
+  /// Install the RPC handlers (submit / request / done / release).
   void start();
 
   // ---- Local API (the submitting process and the harnesses use these; the
   // RPC handlers call into them too). ----
 
-  /// Add a job to the pool; returns its id.
+  /// Register or update a tenant's weight/quota (kFairShare).  Unknown
+  /// tenants named by a JobSpec are implicitly created with defaults.
+  void configure_tenant(const std::string& tenant, TenantConfig config);
+
+  /// Add a job to the pool; returns its id.  Under kFairShare this may fire
+  /// the preempt hook when the job outranks running work.
   std::uint64_t submit(JobSpec spec);
-  /// Hand out a job per the assignment policy; nullopt if the pool is empty.
+  /// Hand out a job per the assignment policy; nullopt if the pool is empty
+  /// (or every tenant is at quota).  Records a workstation grant for `who`
+  /// under kFairShare (any prior grant of `who` is released first — one
+  /// worker per workstation).
   std::optional<JobSpec> request(net::NodeId who);
+  /// Return `who`'s workstation grant (its worker terminated).  Returns
+  /// false if no grant was held.
+  bool release(net::NodeId who);
   /// Remove a finished job.  Returns false if unknown.
   bool complete(std::uint64_t job_id);
 
@@ -124,16 +189,37 @@ class PhishJobQ {
   JobQStats stats() const;
   /// Assignment count per job id (how many workstations each job received).
   std::map<std::uint64_t, std::uint64_t> assignments_by_job() const;
+  /// Workstations currently held per job / per tenant (grant ledger).
+  std::map<std::uint64_t, std::uint64_t> held_by_job() const;
+  std::map<std::string, std::uint64_t> held_by_tenant() const;
 
-  /// Fires when a job is assigned (job_id, workstation) — used by tests and
-  /// the macro experiment harness.
+  /// Fires when a job is assigned (job_id, workstation) — used by tests, the
+  /// macro experiment harness, and PhishJobD's first-task latency probe.
   void set_on_assign(std::function<void(std::uint64_t, net::NodeId)> fn);
+
+  /// Preemption transport: invoked (outside the pool lock) once per victim
+  /// workstation the fair-share policy decides to evict.
+  void set_preempt_fn(std::function<void(const PreemptRequest&)> fn);
+
+  /// Workstations evicted per triggering high-priority submit (default 1).
+  void set_preempt_batch(std::uint32_t n) { preempt_batch_ = n == 0 ? 1 : n; }
 
  private:
   struct PooledJob {
     JobSpec spec;
     std::uint64_t assignments = 0;
   };
+  struct Tenant {
+    TenantConfig config;
+  };
+
+  // All *_locked helpers assume mutex_ is held.
+  std::optional<std::size_t> pick_fair_share_locked();
+  std::vector<PreemptRequest> plan_preemption_locked(const PooledJob& job);
+  void release_locked(net::NodeId who);
+  std::uint64_t tenant_held_locked(const std::string& tenant) const;
+  std::uint8_t job_priority_locked(std::uint64_t job_id) const;
+  double tenant_weight_locked(const std::string& tenant) const;
 
   net::RpcNode& rpc_;
   JobAssignPolicy policy_;
@@ -144,7 +230,12 @@ class PhishJobQ {
   std::uint64_t next_job_id_ = 1;
   JobQStats stats_;
   std::map<std::uint64_t, std::uint64_t> assignments_by_job_;
+  std::map<std::string, Tenant> tenants_;
+  std::map<net::NodeId, std::uint64_t> grants_;       // workstation -> job
+  std::map<std::uint64_t, std::uint64_t> held_by_job_;
+  std::uint32_t preempt_batch_ = 1;
   std::function<void(std::uint64_t, net::NodeId)> on_assign_;
+  std::function<void(const PreemptRequest&)> preempt_fn_;
 };
 
 }  // namespace phish

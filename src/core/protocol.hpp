@@ -47,10 +47,16 @@ constexpr std::uint16_t kRpcResult = 5;      // worker -> clearinghouse
 constexpr std::uint16_t kRpcChDelta = 6;     // primary ch -> standby ch
 constexpr std::uint16_t kRpcControl = 7;     // clearinghouse -> worker
 
-// Macro level (PhishJobQ).
+// Macro level (PhishJobQ / PhishJobD).
 constexpr std::uint16_t kRpcSubmitJob = 10;   // user -> jobq
 constexpr std::uint16_t kRpcRequestJob = 11;  // jobmanager -> jobq
 constexpr std::uint16_t kRpcJobDone = 12;     // clearinghouse -> jobq
+// Fair-share accounting and priority preemption (DESIGN.md §11).  A manager
+// releases its workstation grant when its worker terminates; the JobQ evicts
+// a workstation from a low-priority job by asking its manager to preempt
+// (the worker migrates its tasks out first — the paper's case (d) path).
+constexpr std::uint16_t kRpcReleaseJob = 13;  // jobmanager -> jobq
+constexpr std::uint16_t kRpcPreempt = 14;     // jobq -> jobmanager
 
 // ---- Payloads. ----
 
@@ -407,6 +413,49 @@ struct StealReply {
       if (!r.ok()) return std::nullopt;
       m.tasks.push_back(std::move(c));
     }
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// kRpcReleaseJob: a PhishJobManager tells the JobQ its workstation no
+/// longer runs a worker for `job_id` (terminated, finished, or preempted),
+/// so the fair-share ledger can hand the workstation to another tenant.
+struct ReleaseJobMsg {
+  std::uint64_t job_id = 0;
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(job_id);
+    return w.take();
+  }
+  static std::optional<ReleaseJobMsg> decode(const Bytes& b) {
+    Reader r(b);
+    ReleaseJobMsg m;
+    m.job_id = r.u64();
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// kRpcPreempt: the JobQ asks a PhishJobManager to evict its running worker
+/// for `victim_job` so the workstation can serve the higher-priority
+/// `for_job`.  The manager replies boolean: true = eviction initiated.
+struct PreemptMsg {
+  std::uint64_t victim_job = 0;
+  std::uint64_t for_job = 0;
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(victim_job);
+    w.u64(for_job);
+    return w.take();
+  }
+  static std::optional<PreemptMsg> decode(const Bytes& b) {
+    Reader r(b);
+    PreemptMsg m;
+    m.victim_job = r.u64();
+    m.for_job = r.u64();
     if (!r.done()) return std::nullopt;
     return m;
   }

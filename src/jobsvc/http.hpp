@@ -1,0 +1,108 @@
+// A small embedded HTTP/1.1 server for PhishJobD.
+//
+// Scope: exactly what a localhost control endpoint needs — poll(2)-driven,
+// single service thread, non-blocking sockets, bounded request sizes,
+// Content-Length bodies (no chunked requests), connection keep-alive.  This
+// is deliberately not a general web server: PhishJobD serves a handful of
+// concurrent curl/CLI clients on 127.0.0.1, and the whole server fits in a
+// few hundred lines the tests can exercise end to end.
+//
+// Threading: start() spawns the service thread; the request handler runs on
+// it, so handlers must be thread-safe with respect to the rest of the
+// process (JobService is).  stop() joins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace phish::jobsvc {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", "DELETE", ...
+  std::string target;   // raw request target ("/v1/jobs?tenant=a")
+  std::string path;     // target up to '?'
+  std::map<std::string, std::string> query;  // decoded query parameters
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerConfig {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (tests).
+  std::uint16_t port = 0;
+  /// Reject requests whose head or body exceed these (413 / 431).
+  std::size_t max_head_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 1024 * 1024;
+  /// Concurrent connections; excess accepts are closed immediately.
+  std::size_t max_connections = 64;
+};
+
+class HttpServer {
+ public:
+  HttpServer(HttpServerConfig config, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind + listen + spawn the service thread.  Throws std::runtime_error
+  /// when the port cannot be bound.
+  void start();
+  void stop();
+
+  /// Port actually bound (resolves ephemeral port 0); valid after start().
+  std::uint16_t port() const noexcept { return port_; }
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t overflows = 0;  // head/body too large
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection;
+
+  void serve();
+  void handle_readable(Connection& conn);
+  bool try_dispatch(Connection& conn);
+  static std::string status_text(int status);
+
+  HttpServerConfig config_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: stop() wakes poll()
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+/// Percent-decode a URL component (nullopt on malformed escapes).
+std::optional<std::string> url_decode(const std::string& s);
+
+}  // namespace phish::jobsvc

@@ -1,0 +1,223 @@
+#include "jobsvc/jobd.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.hpp"
+
+namespace phish::jobsvc {
+
+namespace {
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+HttpResponse error_response(int status, const std::string& code) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("error", code);
+  w.end_object();
+  return HttpResponse::json(status, w.take() + "\n");
+}
+
+}  // namespace
+
+std::optional<std::uint8_t> parse_priority(const std::string& name) {
+  if (name == "low") return kPriorityLow;
+  if (name == "normal") return kPriorityNormal;
+  if (name == "high") return kPriorityHigh;
+  return std::nullopt;
+}
+
+const char* priority_name(std::uint8_t priority) {
+  switch (priority) {
+    case kPriorityLow: return "low";
+    case kPriorityHigh: return "high";
+    default: return "normal";
+  }
+}
+
+std::optional<SubmitRequest> parse_submit_body(const std::string& body) {
+  const auto doc = parse_json(body);
+  if (!doc || doc->kind() != JsonValue::Kind::kObject) return std::nullopt;
+  SubmitRequest req;
+  const auto root = doc->get_string("root_task");
+  if (!root || root->empty()) return std::nullopt;
+  req.root_task = *root;
+  if (const JsonValue* v = doc->get("name")) {
+    if (v->kind() != JsonValue::Kind::kString) return std::nullopt;
+    req.name = v->as_string();
+  }
+  if (const JsonValue* v = doc->get("tenant")) {
+    if (v->kind() != JsonValue::Kind::kString || v->as_string().empty()) {
+      return std::nullopt;
+    }
+    req.tenant = v->as_string();
+  }
+  if (const JsonValue* v = doc->get("priority")) {
+    if (v->kind() != JsonValue::Kind::kString) return std::nullopt;
+    const auto p = parse_priority(v->as_string());
+    if (!p) return std::nullopt;
+    req.priority = *p;
+  }
+  if (const JsonValue* v = doc->get("args")) {
+    if (v->kind() != JsonValue::Kind::kArray) return std::nullopt;
+    for (const JsonValue& a : v->as_array()) {
+      switch (a.kind()) {
+        case JsonValue::Kind::kInt:
+          req.args.emplace_back(a.as_int());
+          break;
+        case JsonValue::Kind::kDouble:
+          req.args.emplace_back(a.as_double());
+          break;
+        case JsonValue::Kind::kString: {
+          const std::string& s = a.as_string();
+          req.args.emplace_back(Bytes(s.begin(), s.end()));
+          break;
+        }
+        default:
+          return std::nullopt;  // null/bool/nested make no Value
+      }
+    }
+  }
+  return req;
+}
+
+std::string job_status_json(const JobStatus& status) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("job_id", status.job_id);
+  w.kv("tenant", status.tenant);
+  w.kv("name", status.name);
+  w.kv("root_task", status.root_task);
+  w.kv("priority", priority_name(status.priority));
+  w.kv("state", job_state_name(status.state));
+  w.kv("submitted_ns", status.submitted_ns);
+  w.kv("activated_ns", status.activated_ns);
+  w.kv("first_task_ns", status.first_task_ns);
+  w.kv("finished_ns", status.finished_ns);
+  if (status.has_result) {
+    switch (status.result.kind()) {
+      case Value::Kind::kInt:
+        w.kv("result", status.result.as_int());
+        break;
+      case Value::Kind::kDouble:
+        w.kv("result", status.result.as_double());
+        break;
+      case Value::Kind::kBlob:
+        // Blobs are opaque bytes; report the size, not the payload.
+        w.kv("result_blob_bytes",
+             static_cast<std::uint64_t>(status.result.as_blob().size()));
+        break;
+      case Value::Kind::kNil:
+        w.key("result");
+        w.null();
+        break;
+    }
+  }
+  w.end_object();
+  return w.take();
+}
+
+HttpHandler make_jobd_handler(JobService& service) {
+  return [&service](const HttpRequest& req) -> HttpResponse {
+    if (req.path == "/v1/healthz") {
+      if (req.method != "GET") return error_response(405, "method");
+      return HttpResponse::json(200, "{\"ok\":true}\n");
+    }
+
+    if (req.path == "/v1/stats") {
+      if (req.method != "GET") return error_response(405, "method");
+      const auto c = service.counters();
+      obs::JsonWriter w;
+      w.begin_object();
+      w.kv("submitted", c.submitted);
+      w.kv("accepted", c.accepted);
+      w.kv("rejected_bad_request", c.rejected_bad_request);
+      w.kv("rejected_rate_limited", c.rejected_rate);
+      w.kv("rejected_quota", c.rejected_quota);
+      w.kv("rejected_backlog_full", c.rejected_backlog);
+      w.kv("completed", c.completed);
+      w.kv("cancelled", c.cancelled);
+      w.kv("pending", static_cast<std::uint64_t>(service.pending_jobs()));
+      w.kv("active", static_cast<std::uint64_t>(service.active_jobs()));
+      w.end_object();
+      return HttpResponse::json(200, w.take() + "\n");
+    }
+
+    if (req.path == "/v1/jobs") {
+      if (req.method == "POST") {
+        auto submit = parse_submit_body(req.body);
+        if (!submit) return error_response(400, "bad_request");
+        const SubmitResult result = service.submit(std::move(*submit));
+        if (!result.accepted()) {
+          switch (result.reject) {
+            case Reject::kBadRequest:
+              return error_response(400, reject_name(result.reject));
+            case Reject::kRateLimited: {
+              obs::JsonWriter w;
+              w.begin_object();
+              w.kv("error", reject_name(result.reject));
+              w.kv("retry_after_ns", result.retry_after_ns);
+              w.end_object();
+              return HttpResponse::json(429, w.take() + "\n");
+            }
+            default:  // quota / backlog
+              return error_response(429, reject_name(result.reject));
+          }
+        }
+        obs::JsonWriter w;
+        w.begin_object();
+        w.kv("job_id", result.job_id);
+        w.end_object();
+        return HttpResponse::json(202, w.take() + "\n");
+      }
+      if (req.method == "GET") {
+        const auto tenant = req.query.find("tenant");
+        const auto jobs =
+            service.list(tenant == req.query.end() ? "" : tenant->second);
+        std::string out = "{\"jobs\":[";
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          if (i != 0) out += ",";
+          out += job_status_json(jobs[i]);
+        }
+        out += "]}\n";
+        return HttpResponse::json(200, std::move(out));
+      }
+      return error_response(405, "method");
+    }
+
+    constexpr const char* kJobPrefix = "/v1/jobs/";
+    if (req.path.rfind(kJobPrefix, 0) == 0) {
+      const auto id = parse_u64(req.path.substr(std::strlen(kJobPrefix)));
+      if (!id) return error_response(404, "not_found");
+      if (req.method == "GET") {
+        const auto status = service.status(*id);
+        if (!status) return error_response(404, "not_found");
+        return HttpResponse::json(200, job_status_json(*status) + "\n");
+      }
+      if (req.method == "DELETE") {
+        const auto status = service.status(*id);
+        if (!status) return error_response(404, "not_found");
+        if (service.cancel(*id)) {
+          return HttpResponse::json(200, "{\"cancelled\":true}\n");
+        }
+        // Known job we could not cancel: already finished, or running on a
+        // backend that cannot stop it.
+        return error_response(409, "not_cancellable");
+      }
+      return error_response(405, "method");
+    }
+
+    return error_response(404, "not_found");
+  };
+}
+
+}  // namespace phish::jobsvc

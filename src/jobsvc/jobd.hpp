@@ -1,0 +1,40 @@
+// PhishJobD's HTTP surface: routes + JSON codecs over a JobService.
+//
+// API (DESIGN.md §11.2):
+//   POST   /v1/jobs        submit  -> 202 {"job_id":N} | 400 | 429
+//   GET    /v1/jobs/<id>   status  -> 200 {...} | 404
+//   GET    /v1/jobs        list    -> 200 {"jobs":[...]}   (?tenant=NAME)
+//   DELETE /v1/jobs/<id>   cancel  -> 200 | 404 | 409 (running, can't)
+//   GET    /v1/stats       service counters + queue depths
+//   GET    /v1/healthz     200 {"ok":true}
+//
+// Submit body: {"root_task": "...", "name": "...", "tenant": "...",
+//               "priority": "low"|"normal"|"high",
+//               "args": [13, 2.5, "blob-as-string", ...]}
+// args map onto the task Value types: integers, doubles, and strings
+// (strings become blobs — byte payloads).
+#pragma once
+
+#include <string>
+
+#include "jobsvc/http.hpp"
+#include "jobsvc/json.hpp"
+#include "jobsvc/service.hpp"
+
+namespace phish::jobsvc {
+
+/// Parse a submit body into a SubmitRequest; nullopt on malformed JSON or
+/// bad field types (the caller answers 400).
+std::optional<SubmitRequest> parse_submit_body(const std::string& body);
+
+/// Render a JobStatus as a JSON object string.
+std::string job_status_json(const JobStatus& status);
+
+/// Stateless request router; returned handler captures `service` by
+/// reference (it must outlive the server).
+HttpHandler make_jobd_handler(JobService& service);
+
+std::optional<std::uint8_t> parse_priority(const std::string& name);
+const char* priority_name(std::uint8_t priority);
+
+}  // namespace phish::jobsvc

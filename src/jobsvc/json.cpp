@@ -1,0 +1,295 @@
+#include "jobsvc/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <variant>
+
+namespace phish::jobsvc {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    auto v = value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool eat_word(const char* w) {
+    const std::size_t n = std::char_traits<char>::length(w);
+    if (text_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n':
+        return eat_word("null") ? std::optional(JsonValue::make_null())
+                                : std::nullopt;
+      case 't':
+        return eat_word("true") ? std::optional(JsonValue::make_bool(true))
+                                : std::nullopt;
+      case 'f':
+        return eat_word("false") ? std::optional(JsonValue::make_bool(false))
+                                 : std::nullopt;
+      case '"':
+        return string_value();
+      case '[':
+        return array_value(depth);
+      case '{':
+        return object_value(depth);
+      default:
+        return number_value();
+    }
+  }
+
+  std::optional<JsonValue> string_value() {
+    std::string out;
+    if (!parse_string(out)) return std::nullopt;
+    return JsonValue::make_string(std::move(out));
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (code > 0x7f) return false;  // ASCII-only \u (see header)
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  std::optional<JsonValue> number_value() {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    if (!std::isdigit(static_cast<unsigned char>(
+            pos_ < text_.size() ? text_[pos_] : '\0'))) {
+      return std::nullopt;
+    }
+    bool integral = true;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return JsonValue::make_int(static_cast<std::int64_t>(v));
+      }
+      // Fell out of int64 range: hold it as a double like everyone else.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    return JsonValue::make_double(d);
+  }
+
+  std::optional<JsonValue> array_value(int depth) {
+    if (!eat('[')) return std::nullopt;
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (eat(']')) return JsonValue::make_array(std::move(items));
+    for (;;) {
+      auto v = value(depth + 1);
+      if (!v) return std::nullopt;
+      items.push_back(std::move(*v));
+      skip_ws();
+      if (eat(']')) return JsonValue::make_array(std::move(items));
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> object_value(int depth) {
+    if (!eat('{')) return std::nullopt;
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (eat('}')) return JsonValue::make_object(std::move(members));
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      auto v = value(depth + 1);
+      if (!v) return std::nullopt;
+      members[std::move(key)] = std::move(*v);
+      skip_ws();
+      if (eat('}')) return JsonValue::make_object(std::move(members));
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void JsonValue::expect(Kind k) const {
+  if (kind_ != k) throw std::bad_variant_access();
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> JsonValue::get_string(const std::string& key) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr || v->kind() != Kind::kString) return std::nullopt;
+  return v->as_string();
+}
+
+std::optional<std::int64_t> JsonValue::get_int(const std::string& key) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr || v->kind() != Kind::kInt) return std::nullopt;
+  return v->as_int();
+}
+
+std::optional<double> JsonValue::get_double(const std::string& key) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr ||
+      (v->kind() != Kind::kDouble && v->kind() != Kind::kInt)) {
+    return std::nullopt;
+  }
+  return v->as_double();
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+JsonValue JsonValue::make_int(std::int64_t v) {
+  JsonValue j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+JsonValue JsonValue::make_double(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+JsonValue JsonValue::make_array(std::vector<JsonValue> v) {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(v);
+  return j;
+}
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> v) {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  j.object_ = std::move(v);
+  return j;
+}
+
+std::optional<JsonValue> parse_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace phish::jobsvc

@@ -1,0 +1,89 @@
+// Minimal recursive-descent JSON parser for the PhishJobD request bodies.
+//
+// The obs library deliberately ships only a JSON *writer* (exporters never
+// consume JSON); the job service is the first component that must read it —
+// submit bodies arrive over HTTP as JSON documents.  The parser covers the
+// full RFC 8259 value grammar minus two conveniences the service never
+// needs: \u escapes decode only the ASCII range, and numbers are held as
+// either int64 or double (the caller picks with as_int/as_double).
+//
+// Depth is bounded so a hostile body of 100k '[' cannot blow the stack —
+// this parser sits on a network-facing endpoint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace phish::jobsvc {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     // number that parsed exactly as an integer
+    kDouble,  // any other number
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  bool as_bool() const { return expect(Kind::kBool), bool_; }
+  std::int64_t as_int() const { return expect(Kind::kInt), int_; }
+  double as_double() const {
+    // Integers quietly widen: {"weight": 2} is a fine double.
+    if (kind_ == Kind::kInt) return static_cast<double>(int_);
+    return expect(Kind::kDouble), double_;
+  }
+  const std::string& as_string() const {
+    return expect(Kind::kString), string_;
+  }
+  const std::vector<JsonValue>& as_array() const {
+    return expect(Kind::kArray), array_;
+  }
+  const std::map<std::string, JsonValue>& as_object() const {
+    return expect(Kind::kObject), object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+
+  // Typed convenience getters for optional members.
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::optional<std::int64_t> get_int(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_int(std::int64_t v);
+  static JsonValue make_double(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::map<std::string, JsonValue> v);
+
+ private:
+  void expect(Kind k) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse a complete JSON document.  nullopt on any syntax error, trailing
+/// garbage, or nesting deeper than 64 levels.
+std::optional<JsonValue> parse_json(const std::string& text);
+
+}  // namespace phish::jobsvc

@@ -1,0 +1,91 @@
+#include "jobsvc/local_backend.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace phish::jobsvc {
+
+LocalBackend::LocalBackend(const TaskRegistry& registry, int threads)
+    : registry_(registry) {
+  threads_.reserve(static_cast<std::size_t>(std::max(threads, 1)));
+  for (int i = 0; i < std::max(threads, 1); ++i) {
+    threads_.emplace_back([this] { worker(); });
+  }
+}
+
+LocalBackend::~LocalBackend() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void LocalBackend::bind(JobService& service) { service_ = &service; }
+
+void LocalBackend::launch(const JobStatus& job,
+                          const std::vector<Value>& args) {
+  // Unknown root task: fail fast as an empty completion rather than letting
+  // a pool thread throw.  (The HTTP layer already reports job state; a
+  // richer error channel is not worth a schema change here.)
+  if (!registry_.has(job.root_task)) {
+    PHISH_LOG(kError) << "jobd: unknown root task '" << job.root_task << "'";
+    if (service_ != nullptr) service_->note_done(job.job_id, std::nullopt);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(
+        Work{job.job_id, registry_.id_of(job.root_task), args});
+  }
+  cv_.notify_one();
+}
+
+bool LocalBackend::cancel_active(std::uint64_t job_id) {
+  // Only jobs still waiting for a pool thread can be stopped; a LocalRunner
+  // mid-graph runs to completion.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const Work& w) { return w.job_id == job_id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+void LocalBackend::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void LocalBackend::worker() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    if (service_ != nullptr) service_->note_first_task(work.job_id);
+    std::optional<Value> result;
+    try {
+      LocalRunner runner(registry_);
+      result = runner.run(work.root, std::move(work.args));
+    } catch (const std::exception& e) {
+      PHISH_LOG(kError) << "jobd: job " << work.job_id
+                        << " failed: " << e.what();
+    }
+    if (service_ != nullptr) service_->note_done(work.job_id, std::move(result));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace phish::jobsvc

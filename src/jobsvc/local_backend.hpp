@@ -1,0 +1,59 @@
+// LocalBackend: run admitted jobs on an in-process thread pool.
+//
+// The deployment story for the real daemon (tools/phish-jobd): each admitted
+// job is one complete task graph executed by a LocalRunner on a pool thread.
+// This is the single-workstation degenerate case of the paper's network —
+// no steals, no migration — but it exercises the entire service surface
+// (admission, queueing, status, cancellation of still-queued work) against
+// real applications, and is what the HTTP end-to-end tests drive.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/local_runner.hpp"
+#include "jobsvc/service.hpp"
+
+namespace phish::jobsvc {
+
+class LocalBackend final : public JobBackend {
+ public:
+  LocalBackend(const TaskRegistry& registry, int threads = 2);
+  ~LocalBackend() override;
+
+  /// Must be called (once) before the service launches jobs; the service is
+  /// constructed after the backend, hence the late bind.
+  void bind(JobService& service);
+
+  void launch(const JobStatus& job, const std::vector<Value>& args) override;
+  bool cancel_active(std::uint64_t job_id) override;
+
+  /// Block until every launched job has been reported done (tests).
+  void drain();
+
+ private:
+  struct Work {
+    std::uint64_t job_id = 0;
+    TaskId root{};
+    std::vector<Value> args;
+  };
+
+  void worker();
+
+  const TaskRegistry& registry_;
+  JobService* service_ = nullptr;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Work> queue_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace phish::jobsvc

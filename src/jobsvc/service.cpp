@@ -1,0 +1,311 @@
+#include "jobsvc/service.hpp"
+
+#include <algorithm>
+
+namespace phish::jobsvc {
+
+const char* reject_name(Reject r) {
+  switch (r) {
+    case Reject::kNone: return "none";
+    case Reject::kBadRequest: return "bad_request";
+    case Reject::kRateLimited: return "rate_limited";
+    case Reject::kQuotaExceeded: return "quota_exceeded";
+    case Reject::kBacklogFull: return "backlog_full";
+  }
+  return "unknown";
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kActive: return "active";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobService::JobService(const obs::Clock& clock, JobBackend& backend,
+                       ServiceConfig config)
+    : clock_(clock),
+      backend_(backend),
+      config_(config),
+      m_submitted_(obs::Registry::global().counter("jobsvc.submitted")),
+      m_accepted_(obs::Registry::global().counter("jobsvc.accepted")),
+      m_rejected_(obs::Registry::global().counter("jobsvc.rejected")),
+      m_completed_(obs::Registry::global().counter("jobsvc.completed")),
+      m_cancelled_(obs::Registry::global().counter("jobsvc.cancelled")),
+      m_pending_(obs::Registry::global().gauge("jobsvc.pending")),
+      m_active_(obs::Registry::global().gauge("jobsvc.active")),
+      m_queue_wait_ns_(
+          obs::Registry::global().histogram("jobsvc.queue_wait_ns")),
+      m_first_task_ns_(
+          obs::Registry::global().histogram("jobsvc.submit_to_first_task_ns")),
+      m_turnaround_ns_(
+          obs::Registry::global().histogram("jobsvc.turnaround_ns")) {}
+
+void JobService::configure_tenant(const std::string& tenant,
+                                  TenantPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& t = tenants_[tenant];
+  t.policy = policy;
+  t.configured = true;
+  t.bucket.primed = false;  // re-prime with the new burst on next submit
+}
+
+std::optional<TenantPolicy> JobService::tenant_policy(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.configured) return std::nullopt;
+  return it->second.policy;
+}
+
+JobService::Tenant& JobService::tenant_locked(const std::string& name) {
+  const auto [it, inserted] = tenants_.try_emplace(name);
+  if (inserted) it->second.policy = config_.default_policy;
+  return it->second;
+}
+
+bool JobService::take_token_locked(Tenant& tenant, std::uint64_t now,
+                                   std::uint64_t& retry_after_ns) {
+  const TenantPolicy& p = tenant.policy;
+  if (p.rate_per_sec <= 0) return true;  // unlimited
+  TokenBucket& b = tenant.bucket;
+  const double burst = std::max(p.burst, 1.0);
+  if (!b.primed) {
+    b.tokens = burst;
+    b.refilled_ns = now;
+    b.primed = true;
+  }
+  const double elapsed_s =
+      static_cast<double>(now - b.refilled_ns) / 1e9;
+  b.tokens = std::min(burst, b.tokens + elapsed_s * p.rate_per_sec);
+  b.refilled_ns = now;
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return true;
+  }
+  retry_after_ns = static_cast<std::uint64_t>(
+      (1.0 - b.tokens) / p.rate_per_sec * 1e9);
+  return false;
+}
+
+SubmitResult JobService::submit(SubmitRequest request) {
+  std::vector<Launch> launches;
+  SubmitResult result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t now = clock_.now_ns();
+    ++counters_.submitted;
+    m_submitted_.inc();
+    if (request.tenant.empty()) request.tenant = kDefaultTenant;
+    if (request.root_task.empty() || request.priority >= kPriorityClasses) {
+      ++counters_.rejected_bad_request;
+      m_rejected_.inc();
+      result.reject = Reject::kBadRequest;
+      return result;
+    }
+    Tenant& tenant = tenant_locked(request.tenant);
+    // Order matters: the rate limiter protects the service itself, so it
+    // fires first and a storm of submits cannot even reach the quota math.
+    if (!take_token_locked(tenant, now, result.retry_after_ns)) {
+      ++counters_.rejected_rate;
+      m_rejected_.inc();
+      result.reject = Reject::kRateLimited;
+      return result;
+    }
+    if (tenant.jobs_in_flight >= tenant.policy.max_jobs) {
+      ++counters_.rejected_quota;
+      m_rejected_.inc();
+      result.reject = Reject::kQuotaExceeded;
+      return result;
+    }
+    if (active_ >= config_.max_active &&
+        backlog_.size() >= config_.max_backlog) {
+      ++counters_.rejected_backlog;
+      m_rejected_.inc();
+      result.reject = Reject::kBacklogFull;
+      return result;
+    }
+    // Admitted.
+    const std::uint64_t id = next_job_id_++;
+    Job job;
+    job.status.job_id = id;
+    job.status.tenant = request.tenant;
+    job.status.name =
+        request.name.empty() ? request.root_task : std::move(request.name);
+    job.status.root_task = std::move(request.root_task);
+    job.status.priority = request.priority;
+    job.status.state = JobState::kPending;
+    job.status.submitted_ns = now;
+    job.args = std::move(request.args);
+    jobs_.emplace(id, std::move(job));
+    backlog_.push_back(id);
+    ++tenant.jobs_in_flight;
+    ++counters_.accepted;
+    m_accepted_.inc();
+    launches = promote_locked(now);
+    m_pending_.set(static_cast<std::int64_t>(backlog_.size()));
+    m_active_.set(static_cast<std::int64_t>(active_));
+    result.job_id = id;
+  }
+  // Fire launches outside the lock: the backend may synchronously call
+  // note_first_task / note_done back into us.
+  for (const Launch& l : launches) backend_.launch(l.status, l.args);
+  return result;
+}
+
+std::uint64_t JobService::pop_best_pending_locked() {
+  // Highest priority class first; FIFO within a class.
+  auto best = backlog_.begin();
+  for (auto it = std::next(backlog_.begin()); it != backlog_.end(); ++it) {
+    if (jobs_.at(*it).status.priority > jobs_.at(*best).status.priority) {
+      best = it;
+    }
+  }
+  const std::uint64_t id = *best;
+  backlog_.erase(best);
+  return id;
+}
+
+std::vector<JobService::Launch> JobService::promote_locked(std::uint64_t now) {
+  std::vector<Launch> launches;
+  while (active_ < config_.max_active && !backlog_.empty()) {
+    const std::uint64_t id = pop_best_pending_locked();
+    Job& job = jobs_.at(id);
+    job.status.state = JobState::kActive;
+    job.status.activated_ns = now;
+    m_queue_wait_ns_.observe(now - job.status.submitted_ns);
+    ++active_;
+    launches.push_back(Launch{job.status, job.args});
+  }
+  return launches;
+}
+
+std::optional<JobStatus> JobService::status(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.status;
+}
+
+std::vector<JobStatus> JobService::list(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobStatus> out;
+  for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+    if (!tenant.empty() && it->second.status.tenant != tenant) continue;
+    out.push_back(it->second.status);
+  }
+  return out;
+}
+
+bool JobService::cancel(std::uint64_t job_id) {
+  std::vector<Launch> launches;
+  bool cancelled = false;
+  bool ask_backend = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return false;
+    Job& job = it->second;
+    switch (job.status.state) {
+      case JobState::kPending: {
+        const auto pos =
+            std::find(backlog_.begin(), backlog_.end(), job_id);
+        if (pos != backlog_.end()) backlog_.erase(pos);
+        job.status.state = JobState::kCancelled;
+        job.status.finished_ns = clock_.now_ns();
+        --tenant_locked(job.status.tenant).jobs_in_flight;
+        ++counters_.cancelled;
+        m_cancelled_.inc();
+        m_pending_.set(static_cast<std::int64_t>(backlog_.size()));
+        cancelled = true;
+        break;
+      }
+      case JobState::kActive:
+        ask_backend = true;  // decided outside the lock
+        break;
+      case JobState::kDone:
+      case JobState::kCancelled:
+        return false;
+    }
+  }
+  if (ask_backend && backend_.cancel_active(job_id)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it != jobs_.end() && it->second.status.state == JobState::kActive) {
+      it->second.status.state = JobState::kCancelled;
+      it->second.status.finished_ns = clock_.now_ns();
+      --active_;
+      --tenant_locked(it->second.status.tenant).jobs_in_flight;
+      ++counters_.cancelled;
+      m_cancelled_.inc();
+      launches = promote_locked(clock_.now_ns());
+      m_pending_.set(static_cast<std::int64_t>(backlog_.size()));
+      m_active_.set(static_cast<std::int64_t>(active_));
+      cancelled = true;
+    }
+  }
+  for (const Launch& l : launches) backend_.launch(l.status, l.args);
+  return cancelled;
+}
+
+void JobService::note_first_task(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  JobStatus& s = it->second.status;
+  if (s.state != JobState::kActive || s.first_task_ns != 0) return;
+  s.first_task_ns = clock_.now_ns();
+  m_first_task_ns_.observe(s.first_task_ns - s.submitted_ns);
+}
+
+void JobService::note_done(std::uint64_t job_id, std::optional<Value> result) {
+  std::vector<Launch> launches;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return;
+    JobStatus& s = it->second.status;
+    if (s.state != JobState::kActive) return;  // cancelled job finished late
+    const std::uint64_t now = clock_.now_ns();
+    s.state = JobState::kDone;
+    s.finished_ns = now;
+    if (result) {
+      s.has_result = true;
+      s.result = std::move(*result);
+    }
+    // A job that never saw a workstation join still "started" by finishing.
+    if (s.first_task_ns == 0) {
+      s.first_task_ns = now;
+      m_first_task_ns_.observe(now - s.submitted_ns);
+    }
+    m_turnaround_ns_.observe(now - s.submitted_ns);
+    --active_;
+    --tenant_locked(s.tenant).jobs_in_flight;
+    ++counters_.completed;
+    m_completed_.inc();
+    launches = promote_locked(now);
+    m_pending_.set(static_cast<std::int64_t>(backlog_.size()));
+    m_active_.set(static_cast<std::int64_t>(active_));
+  }
+  for (const Launch& l : launches) backend_.launch(l.status, l.args);
+}
+
+std::size_t JobService::pending_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backlog_.size();
+}
+
+std::size_t JobService::active_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+JobService::Counters JobService::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace phish::jobsvc

@@ -1,0 +1,228 @@
+// PhishJobD's brain: the multi-tenant job service (DESIGN.md §11).
+//
+// The paper's deployment assumed one friendly user per PhishJobQ: "when a
+// Phish application begins execution, it is submitted to the PhishJobQ" —
+// directly, with no admission control, no accounting, and no isolation
+// between submitters.  JobService is the front end that makes the pool safe
+// to share: every job belongs to a tenant, submission passes through
+// admission control (per-tenant rate limits and job quotas, a global bounded
+// backlog), and admitted jobs flow to a pluggable JobBackend (the simulated
+// macro cluster, a thread pool, or a real network) which reports progress
+// back so clients can poll job status over HTTP.
+//
+// Transport-agnostic by design: this class knows nothing about HTTP — the
+// route layer (jobd.hpp) translates SubmitResult/JobState to status codes.
+// Time comes from an obs::Clock so the whole service — rate limiters
+// included — runs identically under the simulator's virtual clock (the load
+// bench) and the steady clock (the real daemon).
+//
+// Backpressure states (§11.3):
+//   admit   — active slot free, or backlog has room: job runs or queues;
+//   reject  — tenant over rate limit (kRateLimited, with a retry-after
+//             hint), tenant at its job quota (kQuotaExceeded), or the
+//             global backlog full (kBacklogFull).  Rejections are cheap and
+//             stateless; clients are expected to back off and resubmit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/jobq.hpp"
+#include "core/value.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace phish::jobsvc {
+
+struct SubmitRequest {
+  std::string tenant = kDefaultTenant;
+  std::string name;       // human label; defaults to root_task
+  std::string root_task;  // registry name of the application's root
+  std::vector<Value> args;
+  std::uint8_t priority = kPriorityNormal;
+};
+
+enum class Reject : std::uint8_t {
+  kNone,          // accepted
+  kBadRequest,    // malformed (empty root task, unknown priority...)
+  kRateLimited,   // tenant token bucket empty (HTTP 429)
+  kQuotaExceeded, // tenant at max concurrent jobs (HTTP 429)
+  kBacklogFull,   // global pending queue full (HTTP 429)
+};
+
+const char* reject_name(Reject r);
+
+struct SubmitResult {
+  std::uint64_t job_id = 0;  // valid only when accepted
+  Reject reject = Reject::kNone;
+  /// kRateLimited: nanoseconds until the bucket refills one token.
+  std::uint64_t retry_after_ns = 0;
+
+  bool accepted() const noexcept { return reject == Reject::kNone; }
+};
+
+enum class JobState : std::uint8_t {
+  kPending,    // admitted, waiting for an active slot
+  kActive,     // launched on the backend
+  kDone,       // backend reported completion
+  kCancelled,  // cancelled before completion
+};
+
+const char* job_state_name(JobState s);
+
+struct JobStatus {
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  std::string name;
+  std::string root_task;
+  std::uint8_t priority = kPriorityNormal;
+  JobState state = JobState::kPending;
+  // Clock-domain timestamps (obs::Clock::now_ns); 0 = not reached yet.
+  std::uint64_t submitted_ns = 0;
+  std::uint64_t activated_ns = 0;
+  std::uint64_t first_task_ns = 0;  // first workstation joined / first task ran
+  std::uint64_t finished_ns = 0;
+  bool has_result = false;
+  Value result;
+};
+
+/// Per-tenant admission policy.  weight/max_workstations mirror the JobQ's
+/// TenantConfig (the owner forwards them); the rest is service-side.
+struct TenantPolicy {
+  double weight = 1.0;
+  std::uint32_t max_workstations = std::numeric_limits<std::uint32_t>::max();
+  /// Max jobs concurrently pending+active for this tenant.
+  std::size_t max_jobs = std::numeric_limits<std::size_t>::max();
+  /// Sustained submit rate (token bucket).  0 = unlimited.
+  double rate_per_sec = 0.0;
+  /// Bucket capacity (burst size) in tokens.
+  double burst = 8.0;
+};
+
+struct ServiceConfig {
+  /// Jobs running on the backend at once (the paper's pool had no cap; a
+  /// shared service needs one so one tenant cannot monopolize launches).
+  std::size_t max_active = 8;
+  /// Bound on the pending queue; beyond it submissions get kBacklogFull.
+  std::size_t max_backlog = 64;
+  /// Policy for tenants never explicitly configured.
+  TenantPolicy default_policy;
+};
+
+/// Where admitted jobs go.  Implementations call note_first_task/note_done
+/// on the owning service as the job progresses.
+class JobBackend {
+ public:
+  virtual ~JobBackend() = default;
+  /// Launch an admitted job.  Called outside the service lock.
+  virtual void launch(const JobStatus& job, const std::vector<Value>& args) = 0;
+  /// Best-effort cancel of an active job; false = cannot (job runs on).
+  virtual bool cancel_active(std::uint64_t /*job_id*/) { return false; }
+};
+
+class JobService {
+ public:
+  JobService(const obs::Clock& clock, JobBackend& backend,
+             ServiceConfig config);
+
+  /// Register/update a tenant's policy.  Unknown tenants submitting jobs
+  /// get config.default_policy.
+  void configure_tenant(const std::string& tenant, TenantPolicy policy);
+  std::optional<TenantPolicy> tenant_policy(const std::string& tenant) const;
+
+  /// Admission control + launch/queue.  Thread-safe.
+  SubmitResult submit(SubmitRequest request);
+
+  std::optional<JobStatus> status(std::uint64_t job_id) const;
+  /// All jobs, newest first; optionally filtered by tenant.
+  std::vector<JobStatus> list(const std::string& tenant = "") const;
+
+  /// Cancel: pending jobs always cancel; active jobs only if the backend
+  /// can.  False when unknown, already finished, or uncancellable.
+  bool cancel(std::uint64_t job_id);
+
+  // ---- Backend progress feed. ----
+  /// First concrete progress (first workstation joined the job).
+  void note_first_task(std::uint64_t job_id);
+  void note_done(std::uint64_t job_id, std::optional<Value> result);
+
+  // ---- Introspection. ----
+  std::size_t pending_jobs() const;
+  std::size_t active_jobs() const;
+  struct Counters {
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_bad_request = 0;
+    std::uint64_t rejected_rate = 0;
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t rejected_backlog = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct TokenBucket {
+    double tokens = 0;
+    std::uint64_t refilled_ns = 0;
+    bool primed = false;
+  };
+  struct Tenant {
+    TenantPolicy policy;
+    bool configured = false;  // explicit configure_tenant vs default
+    TokenBucket bucket;
+    std::size_t jobs_in_flight = 0;  // pending + active
+  };
+  struct Job {
+    JobStatus status;
+    std::vector<Value> args;
+  };
+
+  /// Launch captured under the lock, fired after it is released (backends
+  /// may call back into the service synchronously).
+  struct Launch {
+    JobStatus status;
+    std::vector<Value> args;
+  };
+
+  // All *_locked helpers assume mutex_ is held.
+  Tenant& tenant_locked(const std::string& name);
+  bool take_token_locked(Tenant& tenant, std::uint64_t now,
+                         std::uint64_t& retry_after_ns);
+  /// Move pending jobs into free active slots; returns the launches to fire.
+  std::vector<Launch> promote_locked(std::uint64_t now);
+  std::uint64_t pop_best_pending_locked();
+
+  const obs::Clock& clock_;
+  JobBackend& backend_;
+  ServiceConfig config_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Tenant> tenants_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::deque<std::uint64_t> backlog_;  // pending job ids, FIFO per class
+  std::size_t active_ = 0;
+  std::uint64_t next_job_id_ = 1;
+  Counters counters_;
+
+  // Metrics (process-global obs registry; names under "jobsvc.").
+  obs::Counter& m_submitted_;
+  obs::Counter& m_accepted_;
+  obs::Counter& m_rejected_;
+  obs::Counter& m_completed_;
+  obs::Counter& m_cancelled_;
+  obs::Gauge& m_pending_;
+  obs::Gauge& m_active_;
+  obs::Histogram& m_queue_wait_ns_;
+  obs::Histogram& m_first_task_ns_;
+  obs::Histogram& m_turnaround_ns_;
+};
+
+}  // namespace phish::jobsvc

@@ -25,8 +25,47 @@ PhishJobManager::PhishJobManager(
       rpc_(network.channel(me), timers) {}
 
 void PhishJobManager::start() {
+  // The JobQ may ask us to evict our worker for higher-priority work.
+  rpc_.serve(proto::kRpcPreempt, [this](net::NodeId, const Bytes& args) {
+    return serve_preempt(args);
+  });
   // Decide the initial state from the trace and begin polling immediately.
   schedule_poll(0);
+}
+
+Bytes PhishJobManager::serve_preempt(const Bytes& args) {
+  const auto msg = proto::PreemptMsg::decode(args);
+  Writer w;
+  SimWorker* worker = current_worker();
+  // Only honour an eviction aimed at the job we are actually running — a
+  // retransmitted preempt for a worker that already moved on must not kill
+  // the successor.
+  if (!msg || state_ != State::kRunningWorker || worker == nullptr ||
+      !current_job_ || *current_job_ != msg->victim_job) {
+    w.boolean(false);
+    return w.take();
+  }
+  // Evict outside the RPC dispatch stack: the worker migrates its closures
+  // to a surviving participant first (case (d)), then terminates, and
+  // on_worker_terminated releases the grant and asks for the next job —
+  // which fair share will make the high-priority one.
+  sim_.schedule(0, [this, victim = msg->victim_job] {
+    SimWorker* w = current_worker();
+    if (state_ != State::kRunningWorker || w == nullptr || !current_job_ ||
+        *current_job_ != victim) {
+      return;
+    }
+    ++stats_.workers_preempted;
+    w->preempt_by_scheduler();
+  });
+  w.boolean(true);
+  return w.take();
+}
+
+void PhishJobManager::release_job(std::uint64_t job_id) {
+  rpc_.call(jobq_, proto::kRpcReleaseJob,
+            proto::ReleaseJobMsg{job_id}.encode(), [](net::RpcResult) {},
+            params_.rpc_policy);
 }
 
 void PhishJobManager::schedule_poll(sim::SimTime delay) {
@@ -123,11 +162,14 @@ void PhishJobManager::start_worker(const JobSpec& spec) {
 void PhishJobManager::on_worker_terminated(SimWorker::State how) {
   if (state_ != State::kRunningWorker) return;
   stats_.harvested_time += sim_.now() - worker_started_at_;
+  const auto reason = workers_.back()->depart_reason();
   if (how != SimWorker::State::kDeparted ||
-      workers_.back()->depart_reason() !=
-          SimWorker::DepartReason::kOwnerReclaimed) {
+      (reason != SimWorker::DepartReason::kOwnerReclaimed &&
+       reason != SimWorker::DepartReason::kPreempted)) {
     ++stats_.workers_self_terminated;
   }
+  // Settle the fair-share ledger: this workstation no longer serves the job.
+  if (current_job_) release_job(*current_job_);
   current_job_.reset();
   // Defer the next decision out of the worker's call stack.
   if (idle_now()) {

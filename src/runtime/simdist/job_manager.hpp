@@ -47,6 +47,7 @@ class PhishJobManager {
     std::uint64_t empty_replies = 0;
     std::uint64_t workers_started = 0;
     std::uint64_t workers_reclaimed = 0;
+    std::uint64_t workers_preempted = 0;  // evicted for higher-priority work
     std::uint64_t workers_self_terminated = 0;
     sim::SimTime harvested_time = 0;  // total time a worker was running
   };
@@ -84,6 +85,8 @@ class PhishJobManager {
   void request_job();
   void start_worker(const JobSpec& spec);
   void on_worker_terminated(SimWorker::State how);
+  Bytes serve_preempt(const Bytes& args);
+  void release_job(std::uint64_t job_id);
   bool idle_now() const { return policy_->idle(trace_, sim_.now()); }
 
   sim::Simulator& sim_;

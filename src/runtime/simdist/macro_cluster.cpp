@@ -1,5 +1,6 @@
 #include "runtime/simdist/macro_cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -17,6 +18,31 @@ MacroCluster::MacroCluster(const TaskRegistry& registry, MacroConfig config)
                                              timers_);
   jobq_ = std::make_unique<PhishJobQ>(*jobq_rpc_, config_.assign_policy);
   jobq_->start();
+  for (const auto& [tenant, tenant_config] : config_.tenants) {
+    jobq_->configure_tenant(tenant, tenant_config);
+  }
+  jobq_->set_preempt_batch(config_.preempt_batch);
+  // Record when the first workstation joins each job (PhishJobD's
+  // submit-to-first-task latency) and forward to any user hook.
+  jobq_->set_on_assign([this](std::uint64_t job_id, net::NodeId who) {
+    for (auto& job : jobs_) {
+      if (job->record.job_id == job_id) {
+        if (job->record.first_assigned_at == 0) {
+          job->record.first_assigned_at = sim_.now();
+        }
+        break;
+      }
+    }
+    if (on_assign_user_) on_assign_user_(job_id, who);
+  });
+  // Preemption transport: the JobQ names a victim workstation; ask its
+  // manager (over RPC, retried like any control message) to evict the
+  // worker through the migration path.
+  jobq_->set_preempt_fn([this](const PreemptRequest& req) {
+    jobq_rpc_->call(req.workstation, proto::kRpcPreempt,
+                    proto::PreemptMsg{req.victim_job, req.for_job}.encode(),
+                    [](net::RpcResult) {}, config_.manager.rpc_policy);
+  });
 }
 
 int MacroCluster::add_workstation(OwnerTrace trace,
@@ -36,34 +62,61 @@ int MacroCluster::add_workstation(OwnerTrace trace,
 std::uint64_t MacroCluster::submit_job(std::string name,
                                        const std::string& root_task,
                                        std::vector<Value> args,
-                                       sim::SimTime at) {
+                                       sim::SimTime at, std::string tenant,
+                                       std::uint8_t priority) {
   if (started_) {
-    throw std::logic_error("MacroCluster: submit jobs before run()");
+    throw std::logic_error(
+        "MacroCluster: submit jobs before run() (or use submit_job_dynamic)");
   }
+  return enqueue_job(std::move(name), root_task, std::move(args), at,
+                     std::move(tenant), priority, /*job_id=*/0);
+}
+
+std::uint64_t MacroCluster::submit_job_dynamic(std::string name,
+                                               const std::string& root_task,
+                                               std::vector<Value> args,
+                                               std::string tenant,
+                                               std::uint8_t priority,
+                                               std::uint64_t job_id) {
+  return enqueue_job(std::move(name), root_task, std::move(args), sim_.now(),
+                     std::move(tenant), priority, job_id);
+}
+
+std::uint64_t MacroCluster::enqueue_job(std::string name,
+                                        const std::string& root_task,
+                                        std::vector<Value> args,
+                                        sim::SimTime at, std::string tenant,
+                                        std::uint8_t priority,
+                                        std::uint64_t job_id) {
+  if (priority >= kPriorityClasses) {
+    throw std::invalid_argument("MacroCluster: bad priority class");
+  }
+  if (job_id == 0) job_id = next_job_id_;
+  next_job_id_ = std::max(next_job_id_, job_id) + 1;
+
   auto job = std::make_unique<Job>();
+  job->record.job_id = job_id;
   job->record.name = std::move(name);
+  job->record.tenant = tenant.empty() ? kDefaultTenant : std::move(tenant);
+  job->record.priority = priority;
   job->record.submitted_at = at;
   job->root_task = root_task;
   job->args = std::move(args);
 
-  // Stand up the Clearinghouse now (its node id must be in the JobSpec);
-  // start it and the first worker at submission time.
+  // Stand up the Clearinghouse object now (its node id must be in the
+  // JobSpec); it starts — and the job enters the JobQ pool — at `at`.
   const net::NodeId ch_node = alloc_node();
   job->ch_rpc = std::make_unique<net::RpcNode>(network_.channel(ch_node),
                                                timers_);
   job->clearinghouse = std::make_unique<Clearinghouse>(
       *job->ch_rpc, timers_, config_.clearinghouse);
 
-  JobSpec spec;
-  spec.name = job->record.name;
-  spec.root_task = root_task;
-  spec.clearinghouse = ch_node;
-  job->record.job_id = jobq_->submit(spec);
-
   Job* raw = job.get();
-  sim_.schedule_at(at, [this, raw] { launch_job(*raw); });
+  sim_.schedule_at(std::max(at, sim_.now()), [this, raw] {
+    launch_job(*raw);
+  });
   jobs_.push_back(std::move(job));
-  return jobs_.back()->record.job_id;
+  return job_id;
 }
 
 void MacroCluster::launch_job(Job& job) {
@@ -77,7 +130,25 @@ void MacroCluster::launch_job(Job& job) {
     // harness plays that role with a direct call (same machine, same
     // process in the paper's default deployment).
     jobq_->complete(job_id);
+    if (on_job_complete_) {
+      JobRecord record = job.record;
+      const auto by_job = jobq_->assignments_by_job();
+      const auto it = by_job.find(job_id);
+      record.assignments = it == by_job.end() ? 0 : it->second;
+      on_job_complete_(record);
+    }
   });
+  // Enter the JobQ pool.  "This simple command ... automatically submits the
+  // job to the PhishJobQ" — submission time is when idle workstations can
+  // first see the job, and (kFairShare) when preemption may trigger.
+  JobSpec spec;
+  spec.job_id = job_id;
+  spec.name = job.record.name;
+  spec.root_task = job.root_task;
+  spec.clearinghouse = job.ch_rpc->id();
+  spec.tenant = job.record.tenant;
+  spec.priority = job.record.priority;
+  jobq_->submit(std::move(spec));
   // First worker on the submitting workstation, carrying the root task.
   job.first_worker = std::make_unique<SimWorker>(
       sim_, network_, timers_, registry_, alloc_node(),

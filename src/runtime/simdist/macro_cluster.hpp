@@ -10,9 +10,14 @@
 // the job."
 //
 // The space-sharing experiments (ablation A4) and the adaptive-parallelism
-// demonstrations run on this harness.
+// demonstrations run on this harness.  The multi-tenant job service
+// (PhishJobD, DESIGN.md §11) drives it too: jobs may carry a tenant and a
+// priority class, may be submitted dynamically while the simulation runs,
+// and under JobAssignPolicy::kFairShare a high-priority submission preempts
+// a workstation from low-priority work over kRpcPreempt.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +34,10 @@ struct MacroConfig {
   JobManagerParams manager;
   ClearinghouseConfig clearinghouse;
   JobAssignPolicy assign_policy = JobAssignPolicy::kRoundRobin;
+  /// Tenant weights/quotas applied to the JobQ (kFairShare).
+  std::map<std::string, TenantConfig> tenants;
+  /// Workstations evicted per triggering high-priority submit.
+  std::uint32_t preempt_batch = 1;
   std::uint64_t seed = 0x5eed'0000'0030ULL;
   sim::SimTime max_sim_time = 24 * 3'600 * sim::kSecond;
 };
@@ -36,7 +45,10 @@ struct MacroConfig {
 struct JobRecord {
   std::uint64_t job_id = 0;
   std::string name;
+  std::string tenant = kDefaultTenant;
+  std::uint8_t priority = kPriorityNormal;
   sim::SimTime submitted_at = 0;
+  sim::SimTime first_assigned_at = 0;  // 0 = never joined by a workstation
   sim::SimTime completed_at = 0;
   bool completed = false;
   Value result;
@@ -56,16 +68,40 @@ class MacroCluster {
   int add_workstation(OwnerTrace trace,
                       std::unique_ptr<IdlenessPolicy> policy = nullptr);
 
-  /// Submit root_task(args...) at simulated time `at`.  Creates the job's
-  /// Clearinghouse and first worker.  Returns the job id.
+  /// Submit root_task(args...) at simulated time `at`.  The job enters the
+  /// JobQ pool and its Clearinghouse + first worker start at `at`.  Returns
+  /// the job id.  Must be called before run() (harness-style setup); use
+  /// submit_job_dynamic for submissions while the simulation runs.
   std::uint64_t submit_job(std::string name, const std::string& root_task,
-                           std::vector<Value> args, sim::SimTime at);
+                           std::vector<Value> args, sim::SimTime at,
+                           std::string tenant = kDefaultTenant,
+                           std::uint8_t priority = kPriorityNormal);
+
+  /// Submit at the current simulated time from inside a running simulation
+  /// (the PhishJobD backend and open-loop load generators use this).
+  /// `job_id` 0 lets the JobQ assign one; nonzero ids must be unique.
+  std::uint64_t submit_job_dynamic(std::string name,
+                                   const std::string& root_task,
+                                   std::vector<Value> args,
+                                   std::string tenant = kDefaultTenant,
+                                   std::uint8_t priority = kPriorityNormal,
+                                   std::uint64_t job_id = 0);
 
   /// Run until all submitted jobs complete (throws on max_sim_time).
   std::vector<JobRecord> run();
 
   /// Run until the given simulated time, regardless of completion state.
   std::vector<JobRecord> run_until(sim::SimTime deadline);
+
+  /// Fires (inside the simulation) when a job completes, before run()
+  /// returns — PhishJobD's completion feed.
+  void set_on_job_complete(std::function<void(const JobRecord&)> fn) {
+    on_job_complete_ = std::move(fn);
+  }
+  /// Fires on every JobQ assignment (job_id, workstation manager node).
+  void set_on_assign(std::function<void(std::uint64_t, net::NodeId)> fn) {
+    on_assign_user_ = std::move(fn);
+  }
 
   PhishJobQ& jobq() { return *jobq_; }
   PhishJobManager& manager(int index) { return *managers_.at(index); }
@@ -85,6 +121,10 @@ class MacroCluster {
   net::NodeId alloc_node() {
     return net::NodeId{next_node_++};
   }
+  std::uint64_t enqueue_job(std::string name, const std::string& root_task,
+                            std::vector<Value> args, sim::SimTime at,
+                            std::string tenant, std::uint8_t priority,
+                            std::uint64_t job_id);
   void launch_job(Job& job);
   std::vector<JobRecord> collect();
 
@@ -98,6 +138,9 @@ class MacroCluster {
   std::unique_ptr<PhishJobQ> jobq_;
   std::vector<std::unique_ptr<PhishJobManager>> managers_;
   std::vector<std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  std::function<void(const JobRecord&)> on_job_complete_;
+  std::function<void(std::uint64_t, net::NodeId)> on_assign_user_;
   Xoshiro256 seeder_;
   bool started_ = false;
 };

@@ -1,0 +1,32 @@
+#include "runtime/simdist/macro_service.hpp"
+
+namespace phish::rt {
+
+void MacroServiceBackend::bind(jobsvc::JobService& service) {
+  service_ = &service;
+  cluster_.set_on_assign([this](std::uint64_t job_id, net::NodeId) {
+    if (service_ != nullptr) service_->note_first_task(job_id);
+  });
+  cluster_.set_on_job_complete([this](const JobRecord& record) {
+    if (service_ != nullptr) {
+      service_->note_done(record.job_id, record.result);
+    }
+  });
+}
+
+void MacroServiceBackend::launch(const jobsvc::JobStatus& job,
+                                 const std::vector<Value>& args) {
+  // Service job ids become JobQ job ids verbatim, so the assignment and
+  // completion feeds need no translation table.  Forward any service-side
+  // tenant scheduling policy into the JobQ before the job can be assigned.
+  if (service_ != nullptr) {
+    if (const auto policy = service_->tenant_policy(job.tenant)) {
+      cluster_.jobq().configure_tenant(
+          job.tenant, TenantConfig{policy->weight, policy->max_workstations});
+    }
+  }
+  cluster_.submit_job_dynamic(job.name, job.root_task, args, job.tenant,
+                              job.priority, job.job_id);
+}
+
+}  // namespace phish::rt

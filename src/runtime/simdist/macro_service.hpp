@@ -1,0 +1,42 @@
+// MacroServiceBackend: PhishJobD running against the simulated network.
+//
+// Bridges the job service (admission, tenants, HTTP) to a MacroCluster
+// (PhishJobQ + per-workstation managers + migration): launched jobs become
+// dynamic macro submissions carrying their tenant and priority, the JobQ's
+// assignment feed becomes note_first_task, and job completion becomes
+// note_done.  Everything runs in virtual time, so the service must be built
+// over obs::VirtualClock of the same simulator — that makes the load bench's
+// latency histograms deterministic.
+//
+// Wiring order (the service and backend reference each other):
+//   MacroCluster cluster(...);            // kFairShare, tenants configured
+//   MacroServiceBackend backend(cluster);
+//   JobService service(clock, backend, cfg);
+//   backend.bind(service);                // installs the cluster hooks
+#pragma once
+
+#include "jobsvc/service.hpp"
+#include "runtime/simdist/macro_cluster.hpp"
+
+namespace phish::rt {
+
+class MacroServiceBackend final : public jobsvc::JobBackend {
+ public:
+  explicit MacroServiceBackend(MacroCluster& cluster) : cluster_(cluster) {}
+
+  /// Install the completion/assignment hooks.  Forwards the service's
+  /// tenant policies (weight, max_workstations) into the JobQ.
+  void bind(jobsvc::JobService& service);
+
+  void launch(const jobsvc::JobStatus& job,
+              const std::vector<Value>& args) override;
+  // cancel_active: inherited default (false).  A running simdist job has
+  // live workers on many workstations; tearing it down mid-flight is the
+  // Clearinghouse-shutdown protocol, which the service does not yet drive.
+
+ private:
+  MacroCluster& cluster_;
+  jobsvc::JobService* service_ = nullptr;
+};
+
+}  // namespace phish::rt

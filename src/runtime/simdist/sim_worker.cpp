@@ -234,11 +234,12 @@ void SimWorker::on_steal_reply(net::NodeId victim, net::RpcResult result) {
     (void)victim;
   }
 
-  if (reclaim_pending_) {
-    // The deferred owner reclaim fires now; any closure installed above
-    // migrates out through the normal departure path.
-    reclaim_pending_ = false;
-    depart(DepartReason::kOwnerReclaimed);
+  if (pending_evict_) {
+    // The deferred eviction (owner reclaim or preemption) fires now; any
+    // closure installed above migrates out through the departure path.
+    const DepartReason reason = *pending_evict_;
+    pending_evict_.reset();
+    depart(reason);
     return;
   }
   if (got_task) {
@@ -345,7 +346,9 @@ void SimWorker::depart(DepartReason reason) {
   if (terminated()) return;
   depart_reason_ = reason;
   core_.trace_instant(obs::EventType::kReclaim, ClosureId{},
-                      reason == DepartReason::kOwnerReclaimed ? 1 : 0);
+                      reason == DepartReason::kOwnerReclaimed   ? 1
+                      : reason == DepartReason::kPreempted      ? 2
+                                                                : 0);
   // Move every remaining closure (ready and waiting) to a surviving peer and
   // leave a forwarding stub behind.
   std::vector<Closure> cargo = core_.drain_for_migration();
@@ -440,18 +443,22 @@ std::optional<net::NodeId> SimWorker::pick_victim() {
   return peers_.front();
 }
 
-void SimWorker::reclaim_by_owner() {
+void SimWorker::evict(DepartReason reason) {
   if (terminated()) return;
   // An in-flight steal may yet deliver a closure (possibly on a
   // retransmitted reply).  The victim's ledger only redoes work for thieves
   // that die, so departing now would strand it; wait for the reply and let
   // the closure migrate out with the rest.
   if (steal_in_flight_) {
-    reclaim_pending_ = true;
+    pending_evict_ = reason;
     return;
   }
-  depart(DepartReason::kOwnerReclaimed);
+  depart(reason);
 }
+
+void SimWorker::reclaim_by_owner() { evict(DepartReason::kOwnerReclaimed); }
+
+void SimWorker::preempt_by_scheduler() { evict(DepartReason::kPreempted); }
 
 void SimWorker::crash() {
   if (terminated()) return;
@@ -478,7 +485,7 @@ void SimWorker::rejoin() {
   core_.reset_for_rejoin();
   peers_.clear();
   steal_in_flight_ = false;
-  reclaim_pending_ = false;
+  pending_evict_.reset();
   consecutive_failed_steals_ = 0;
   cpu_debt_ = 0;
   outbox_.clear();

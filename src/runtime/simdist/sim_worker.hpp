@@ -98,7 +98,7 @@ class SimWorker {
     kDead,       // crashed (fault-injection)
   };
 
-  enum class DepartReason { kParallelismShrank, kOwnerReclaimed };
+  enum class DepartReason { kParallelismShrank, kOwnerReclaimed, kPreempted };
 
   /// `clearinghouse` is the replica ring (primary first, then any warm
   /// standby); all coordinator traffic fails over across it.
@@ -140,6 +140,12 @@ class SimWorker {
   /// Simulate the owner reclaiming the workstation (macro scheduler / owner
   /// trace): migrate state and terminate.
   void reclaim_by_owner();
+
+  /// Priority preemption (PhishJobD): same migrate-then-terminate path as an
+  /// owner reclaim — the paper's worker-death case (d) machinery — but
+  /// attributed to the scheduler, so the macro level can tell evictions for
+  /// high-priority work apart from owners returning.
+  void preempt_by_scheduler();
 
   /// Simulate a crash: the machine vanishes without any cleanup.
   void crash();
@@ -204,6 +210,7 @@ class SimWorker {
   Bytes handle_control(const Bytes& args);
   void apply_death(net::NodeId dead);
   Bytes serve_steal(net::NodeId src, const Bytes& args);
+  void evict(DepartReason reason);
   void depart(DepartReason reason);
   void finish();
   void send_stats_and_unregister();
@@ -237,10 +244,11 @@ class SimWorker {
   std::size_t round_robin_cursor_ = 0;
   int consecutive_failed_steals_ = 0;
   bool steal_in_flight_ = false;
-  // Owner reclaim arrived while a steal RPC was outstanding: departure is
-  // deferred until the reply resolves, else a closure riding a retransmitted
-  // reply is lost with no redo (the thief departed, it didn't die).
-  bool reclaim_pending_ = false;
+  // Eviction (owner reclaim or scheduler preemption) arrived while a steal
+  // RPC was outstanding: departure is deferred until the reply resolves,
+  // else a closure riding a retransmitted reply is lost with no redo (the
+  // thief departed, it didn't die).
+  std::optional<DepartReason> pending_evict_;
   net::NodeId forward_to_;  // successor after departure
 
   // Step scheduling.

@@ -28,4 +28,11 @@ std::string Reader::str() {
   return std::string(b.begin(), b.end());
 }
 
+Bytes Reader::rest() {
+  if (failed_) return {};
+  Bytes out(data_ + pos_, data_ + size_);
+  pos_ = size_;
+  return out;
+}
+
 }  // namespace phish

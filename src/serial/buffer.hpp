@@ -87,6 +87,12 @@ class Reader {
   Bytes blob();
   std::string str();
 
+  /// Consume and return every unread byte as one bulk slice (no length
+  /// prefix) — for decoders that hand the remainder of a message to a nested
+  /// decoder.  Empty (without failing) when nothing remains; empty after a
+  /// failure too, so callers can keep checking ok() once at the end.
+  Bytes rest();
+
   /// All bytes not yet consumed (does not advance).
   std::size_t remaining() const noexcept { return size_ - pos_; }
   bool ok() const noexcept { return !failed_; }

@@ -1,0 +1,151 @@
+// phish-jobctl: command-line client for a running phish-jobd.
+//
+//   phish-jobctl submit --root=fib.task --args=25 [--tenant=a] [--priority=high]
+//   phish-jobctl status <job-id>
+//   phish-jobctl list [--tenant=a]
+//   phish-jobctl cancel <job-id>
+//   phish-jobctl stats
+//
+// Talks plain HTTP/1.1 over a blocking socket — no dependencies — and
+// prints the server's JSON verbatim (pipe through jq for pretty output).
+// --host/--port default to 127.0.0.1:8080.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/flags.hpp"
+
+namespace {
+
+/// One blocking HTTP exchange; returns the response body (and sets status).
+bool http_request(const std::string& host, std::uint16_t port,
+                  const std::string& method, const std::string& target,
+                  const std::string& body, int& status, std::string& reply) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n" +
+                        "host: " + host + "\r\nconnection: close\r\n" +
+                        "content-length: " + std::to_string(body.size()) +
+                        "\r\n\r\n" + body;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos ||
+      response.compare(0, 7, "HTTP/1.") != 0) {
+    return false;
+  }
+  status = std::atoi(response.c_str() + 9);
+  reply = response.substr(head_end + 4);
+  return true;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: phish-jobctl [--host=127.0.0.1] [--port=8080] <command>\n"
+      "  submit --root=TASK [--args=1,2,3] [--tenant=T] [--name=N]\n"
+      "         [--priority=low|normal|high]\n"
+      "  status <job-id>\n"
+      "  list [--tenant=T]\n"
+      "  cancel <job-id>\n"
+      "  stats\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using phish::Flags;
+  Flags flags;
+  try {
+    flags = Flags::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "phish-jobctl: " << e.what() << "\n";
+    return 2;
+  }
+  const std::string host = flags.get_string("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(flags.get_int("port", 8080));
+  const auto& args = flags.positional();  // argv[0] is not included
+  if (args.empty()) return usage();
+  const std::string& command = args[0];
+
+  std::string method = "GET", target, body;
+  if (command == "submit") {
+    const std::string root = flags.get_string("root", "");
+    if (root.empty()) return usage();
+    method = "POST";
+    target = "/v1/jobs";
+    std::ostringstream b;
+    b << "{\"root_task\":\"" << root << "\"";
+    const std::string name = flags.get_string("name", "");
+    if (!name.empty()) b << ",\"name\":\"" << name << "\"";
+    const std::string tenant = flags.get_string("tenant", "");
+    if (!tenant.empty()) b << ",\"tenant\":\"" << tenant << "\"";
+    const std::string priority = flags.get_string("priority", "");
+    if (!priority.empty()) b << ",\"priority\":\"" << priority << "\"";
+    const std::string arg_list = flags.get_string("args", "");
+    b << ",\"args\":[";
+    std::size_t start = 0;
+    bool first = true;
+    while (start < arg_list.size()) {
+      std::size_t comma = arg_list.find(',', start);
+      if (comma == std::string::npos) comma = arg_list.size();
+      if (!first) b << ",";
+      b << arg_list.substr(start, comma - start);
+      first = false;
+      start = comma + 1;
+    }
+    b << "]}";
+    body = b.str();
+  } else if (command == "status" && args.size() >= 2) {
+    target = "/v1/jobs/" + args[1];
+  } else if (command == "list") {
+    target = "/v1/jobs";
+    const std::string tenant = flags.get_string("tenant", "");
+    if (!tenant.empty()) target += "?tenant=" + tenant;
+  } else if (command == "cancel" && args.size() >= 2) {
+    method = "DELETE";
+    target = "/v1/jobs/" + args[1];
+  } else if (command == "stats") {
+    target = "/v1/stats";
+  } else {
+    return usage();
+  }
+
+  int status = 0;
+  std::string reply;
+  if (!http_request(host, port, method, target, body, status, reply)) {
+    std::cerr << "phish-jobctl: cannot reach " << host << ":" << port << "\n";
+    return 1;
+  }
+  std::cout << reply;
+  return status < 400 ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+// phish-jobd: the PhishJobD daemon (DESIGN.md §11).
+//
+// Serves the multi-tenant job API over HTTP on 127.0.0.1 and executes
+// admitted jobs on an in-process thread pool (LocalBackend) with the four
+// evaluation applications preregistered.  Quickstart:
+//
+//   phish-jobd --port=8080 &
+//   curl -s -X POST localhost:8080/v1/jobs
+//     -d '{"root_task":"fib.task","args":[25],"tenant":"alice"}'
+//   curl -s localhost:8080/v1/jobs/1
+//
+// Tenants can be seeded from the command line:
+//   --tenant=alice:weight=2,rate=10,max_jobs=4   (repeatable)
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+
+#include "apps/apps.hpp"
+#include "jobsvc/http.hpp"
+#include "jobsvc/jobd.hpp"
+#include "jobsvc/local_backend.hpp"
+#include "jobsvc/service.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+// "alice:weight=2,rate=10,burst=4,max_jobs=8" -> (name, policy).
+bool parse_tenant_flag(const std::string& spec, std::string& name,
+                       phish::jobsvc::TenantPolicy& policy) {
+  const std::size_t colon = spec.find(':');
+  name = spec.substr(0, colon);
+  if (name.empty()) return false;
+  if (colon == std::string::npos) return true;
+  std::size_t start = colon + 1;
+  while (start < spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string kv = spec.substr(start, comma - start);
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = kv.substr(0, eq);
+    const double value = std::atof(kv.substr(eq + 1).c_str());
+    if (key == "weight") policy.weight = value;
+    else if (key == "rate") policy.rate_per_sec = value;
+    else if (key == "burst") policy.burst = value;
+    else if (key == "max_jobs") policy.max_jobs = static_cast<std::size_t>(value);
+    else if (key == "max_workstations")
+      policy.max_workstations = static_cast<std::uint32_t>(value);
+    else return false;
+    start = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phish;
+  Flags flags;
+  try {
+    flags = Flags::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "phish-jobd: " << e.what() << "\n";
+    return 2;
+  }
+  const auto port = static_cast<std::uint16_t>(flags.get_int("port", 8080));
+  const int threads = static_cast<int>(flags.get_int("threads", 2));
+
+  TaskRegistry registry;
+  apps::register_fib(registry);
+  apps::register_nqueens(registry);
+  apps::register_pfold(registry);
+  apps::register_ray(registry, apps::Scene{}, 64, 48, 16);
+
+  jobsvc::ServiceConfig config;
+  config.max_active = static_cast<std::size_t>(flags.get_int("max-active", 8));
+  config.max_backlog =
+      static_cast<std::size_t>(flags.get_int("max-backlog", 64));
+
+  static obs::SteadyClock clock;
+  jobsvc::LocalBackend backend(registry, threads);
+  jobsvc::JobService service(clock, backend, config);
+  backend.bind(service);
+
+  // Repeatable --tenant flags arrive as one comma-less string each; Flags
+  // keeps only the last duplicate, so also accept --tenants=a:...;b:...
+  for (const std::string& key : {std::string("tenant"), std::string("tenants")}) {
+    std::string specs = flags.get_string(key, "");
+    std::size_t start = 0;
+    while (start < specs.size()) {
+      std::size_t semi = specs.find(';', start);
+      if (semi == std::string::npos) semi = specs.size();
+      const std::string spec = specs.substr(start, semi - start);
+      std::string name;
+      jobsvc::TenantPolicy policy;
+      if (!spec.empty()) {
+        if (!parse_tenant_flag(spec, name, policy)) {
+          std::cerr << "phish-jobd: bad --" << key << " spec '" << spec
+                    << "'\n";
+          return 2;
+        }
+        service.configure_tenant(name, policy);
+      }
+      start = semi + 1;
+    }
+  }
+
+  jobsvc::HttpServerConfig http_config;
+  http_config.port = port;
+  jobsvc::HttpServer server(http_config,
+                            jobsvc::make_jobd_handler(service));
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "phish-jobd: " << e.what() << "\n";
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::cout << "phish-jobd: serving http://127.0.0.1:" << server.port()
+            << "/v1 (" << threads << " worker threads)" << std::endl;
+  while (g_stop == 0) {
+    struct timespec ts {0, 100'000'000};
+    nanosleep(&ts, nullptr);
+  }
+  server.stop();
+  std::cout << "phish-jobd: bye" << std::endl;
+  return 0;
+}

@@ -208,5 +208,212 @@ TEST_F(JobQTest, RpcInterface) {
   EXPECT_EQ(q.pool_size(), 0u);
 }
 
+// ---- Codec: tenant/priority extension + legacy compatibility. ----
+
+TEST(JobSpecCodec, TenantAndPriorityRoundTrip) {
+  JobSpec s = make_spec("ray");
+  s.tenant = "alice";
+  s.priority = kPriorityHigh;
+  const auto back = JobSpec::decode(s.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->tenant, "alice");
+  EXPECT_EQ(back->priority, kPriorityHigh);
+}
+
+TEST(JobSpecCodec, LegacySpecWithoutTenantStillDecodes) {
+  // A pre-§11 peer encodes only (id, name, root, clearinghouse); the new
+  // decoder must accept it with defaults, like RegisterMsg's compat rule.
+  Writer w;
+  w.u64(9);
+  w.str("old-job");
+  w.str("old.root");
+  w.u32(42);
+  const auto back = JobSpec::decode(w.take());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->job_id, 9u);
+  EXPECT_EQ(back->tenant, kDefaultTenant);
+  EXPECT_EQ(back->priority, kPriorityNormal);
+}
+
+TEST(JobSpecCodec, RejectsBadPriorityAndEmptyTenant) {
+  JobSpec s = make_spec("x");
+  s.priority = kPriorityClasses;  // out of range
+  EXPECT_FALSE(JobSpec::decode(s.encode()).has_value());
+  s.priority = kPriorityNormal;
+  s.tenant = "";
+  EXPECT_FALSE(JobSpec::decode(s.encode()).has_value());
+}
+
+// ---- Round-robin cursor vs completion (regression coverage). ----
+
+TEST_F(JobQTest, CompletingJobAtCursorDoesNotSkip) {
+  PhishJobQ q(rpc_);
+  q.submit(make_spec("a"));
+  const auto b = q.submit(make_spec("b"));
+  q.submit(make_spec("c"));
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "a");  // cursor now at b
+  q.complete(b);
+  // Pool is [a, c]; cursor must land on c, not wrap past it.
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "c");
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "a");
+}
+
+TEST_F(JobQTest, CompletingLastJobWrapsCursor) {
+  PhishJobQ q(rpc_);
+  q.submit(make_spec("a"));
+  q.submit(make_spec("b"));
+  const auto c = q.submit(make_spec("c"));
+  q.request(net::NodeId{1});  // a
+  q.request(net::NodeId{1});  // b; cursor now at c
+  q.complete(c);
+  // Cursor pointed past the shrunken pool; next request must wrap to a.
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "a");
+  EXPECT_EQ(q.request(net::NodeId{1})->name, "b");
+}
+
+TEST_F(JobQTest, DrainToEmptyThenRequestCountsEmptyReply) {
+  PhishJobQ q(rpc_);
+  const auto a = q.submit(make_spec("a"));
+  q.request(net::NodeId{1});
+  q.complete(a);
+  EXPECT_EQ(q.pool_size(), 0u);
+  EXPECT_FALSE(q.request(net::NodeId{1}).has_value());
+  EXPECT_FALSE(q.request(net::NodeId{2}).has_value());
+  const auto s = q.stats();
+  EXPECT_EQ(s.empty_replies, 2u);
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.assignments, 1u);
+}
+
+// ---- Fair share: grants, weights, quotas, priorities, preemption. ----
+
+JobSpec tenant_spec(const std::string& name, const std::string& tenant,
+                    std::uint8_t priority = kPriorityNormal) {
+  JobSpec s;
+  s.name = name;
+  s.root_task = name + ".root";
+  s.clearinghouse = net::NodeId{100};
+  s.tenant = tenant;
+  s.priority = priority;
+  return s;
+}
+
+TEST_F(JobQTest, GrantLedgerTracksRequestAndRelease) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  const auto a = q.submit(tenant_spec("a", "t1"));
+  ASSERT_TRUE(q.request(net::NodeId{1}).has_value());
+  ASSERT_TRUE(q.request(net::NodeId{2}).has_value());
+  EXPECT_EQ(q.held_by_job()[a], 2u);
+  EXPECT_EQ(q.held_by_tenant()["t1"], 2u);
+  EXPECT_TRUE(q.release(net::NodeId{1}));
+  EXPECT_FALSE(q.release(net::NodeId{1})) << "double release is a no-op";
+  EXPECT_EQ(q.held_by_job()[a], 1u);
+  EXPECT_EQ(q.stats().releases, 1u);
+}
+
+TEST_F(JobQTest, ReRequestFromSameWorkstationReleasesOldGrant) {
+  // One worker per workstation: a new request implies the old worker died.
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  const auto a = q.submit(tenant_spec("a", "t1"));
+  q.request(net::NodeId{1});
+  q.request(net::NodeId{1});
+  EXPECT_EQ(q.held_by_job()[a], 1u) << "workstation 1 holds one grant";
+}
+
+TEST_F(JobQTest, FairShareFollowsWeights) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  q.configure_tenant("heavy", TenantConfig{2.0});
+  q.configure_tenant("light", TenantConfig{1.0});
+  q.submit(tenant_spec("h", "heavy"));
+  q.submit(tenant_spec("l", "light"));
+  for (std::uint32_t ws = 1; ws <= 6; ++ws) {
+    ASSERT_TRUE(q.request(net::NodeId{ws}).has_value());
+  }
+  const auto held = q.held_by_tenant();
+  EXPECT_EQ(held.at("heavy"), 4u) << "weight-2 tenant gets 2x workstations";
+  EXPECT_EQ(held.at("light"), 2u);
+}
+
+TEST_F(JobQTest, FairShareSpreadsWithinTenant) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  const auto a = q.submit(tenant_spec("a", "t"));
+  const auto b = q.submit(tenant_spec("b", "t"));
+  for (std::uint32_t ws = 1; ws <= 4; ++ws) q.request(net::NodeId{ws});
+  EXPECT_EQ(q.held_by_job()[a], 2u);
+  EXPECT_EQ(q.held_by_job()[b], 2u);
+}
+
+TEST_F(JobQTest, QuotaCapsATenant) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  q.configure_tenant("capped", TenantConfig{1.0, 2});
+  q.submit(tenant_spec("c", "capped"));
+  EXPECT_TRUE(q.request(net::NodeId{1}).has_value());
+  EXPECT_TRUE(q.request(net::NodeId{2}).has_value());
+  EXPECT_FALSE(q.request(net::NodeId{3}).has_value())
+      << "tenant at max_workstations; pool non-empty but nothing eligible";
+  EXPECT_EQ(q.stats().empty_replies, 1u);
+  // A release opens the quota again.
+  q.release(net::NodeId{1});
+  EXPECT_TRUE(q.request(net::NodeId{3}).has_value());
+}
+
+TEST_F(JobQTest, HigherPriorityClassWinsAssignment) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  q.submit(tenant_spec("bg", "t1", kPriorityLow));
+  const auto hi = q.submit(tenant_spec("fg", "t2", kPriorityHigh));
+  EXPECT_EQ(q.request(net::NodeId{1})->job_id, hi)
+      << "highest nonempty class is served first";
+}
+
+TEST_F(JobQTest, HighPrioritySubmitPlansPreemption) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  std::vector<PreemptRequest> evictions;
+  q.set_preempt_fn([&](const PreemptRequest& r) { evictions.push_back(r); });
+  const auto low = q.submit(tenant_spec("bg", "batch", kPriorityLow));
+  q.request(net::NodeId{1});
+  q.request(net::NodeId{2});
+  const auto hi = q.submit(tenant_spec("fg", "urgent", kPriorityHigh));
+  ASSERT_EQ(evictions.size(), 1u) << "default preempt batch is one";
+  EXPECT_EQ(evictions[0].victim_job, low);
+  EXPECT_EQ(evictions[0].for_job, hi);
+  EXPECT_EQ(evictions[0].workstation, (net::NodeId{1}))
+      << "deterministic victim: smallest workstation id";
+  EXPECT_EQ(q.stats().preemptions, 1u);
+  // The evicted workstation's next request goes to the high-priority job.
+  EXPECT_EQ(q.request(net::NodeId{1})->job_id, hi);
+}
+
+TEST_F(JobQTest, EqualPrioritySubmitDoesNotPreempt) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  std::vector<PreemptRequest> evictions;
+  q.set_preempt_fn([&](const PreemptRequest& r) { evictions.push_back(r); });
+  q.submit(tenant_spec("a", "t1", kPriorityNormal));
+  q.request(net::NodeId{1});
+  q.submit(tenant_spec("b", "t2", kPriorityNormal));
+  EXPECT_TRUE(evictions.empty()) << "same class never evicts";
+}
+
+TEST_F(JobQTest, PreemptBatchEvictsSeveral) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  q.set_preempt_batch(2);
+  std::vector<PreemptRequest> evictions;
+  q.set_preempt_fn([&](const PreemptRequest& r) { evictions.push_back(r); });
+  q.submit(tenant_spec("bg", "batch", kPriorityLow));
+  for (std::uint32_t ws = 1; ws <= 3; ++ws) q.request(net::NodeId{ws});
+  q.submit(tenant_spec("fg", "urgent", kPriorityHigh));
+  EXPECT_EQ(evictions.size(), 2u);
+}
+
+TEST_F(JobQTest, CompleteDropsGrantsOfFinishedJob) {
+  PhishJobQ q(rpc_, JobAssignPolicy::kFairShare);
+  const auto a = q.submit(tenant_spec("a", "t1"));
+  q.request(net::NodeId{1});
+  q.request(net::NodeId{2});
+  q.complete(a);
+  EXPECT_TRUE(q.held_by_job().empty());
+  EXPECT_FALSE(q.release(net::NodeId{1}))
+      << "grants died with the job; the late release is a no-op";
+}
+
 }  // namespace
 }  // namespace phish

@@ -1,0 +1,75 @@
+#include "jobsvc/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phish::jobsvc {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool());
+  EXPECT_EQ(parse_json("42")->as_int(), 42);
+  EXPECT_EQ(parse_json("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("2.5")->as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, IntegerWidensToDouble) {
+  const auto v = parse_json("3");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind(), JsonValue::Kind::kInt);
+  EXPECT_DOUBLE_EQ(v->as_double(), 3.0);
+}
+
+TEST(Json, StringEscapes) {
+  const auto v = parse_json(R"("a\"b\\c\nd\te\u0041")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, ArraysAndObjects) {
+  const auto v = parse_json(R"({"name":"fib","args":[25, 2.5, "x"],
+                                "nested":{"deep":[[1]]}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_string("name"), "fib");
+  const auto& args = v->get("args")->as_array();
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0].as_int(), 25);
+  EXPECT_DOUBLE_EQ(args[1].as_double(), 2.5);
+  EXPECT_EQ(args[2].as_string(), "x");
+  EXPECT_EQ(v->get("nested")->get("deep")->as_array()[0].as_array()[0].as_int(),
+            1);
+  EXPECT_EQ(v->get("missing"), nullptr);
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const auto v = parse_json("  { \"a\" :\t[ 1 ,\n 2 ] }  ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get("a")->as_array().size(), 2u);
+}
+
+TEST(Json, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "}", "[1,", "{\"a\":}", "{\"a\" 1}", "[1 2]", "tru",
+        "01a", "\"unterminated", "{\"a\":1}x", "nan", "+1", "--1",
+        "\"bad\\escape\"", "\"\\u12\""}) {
+    EXPECT_FALSE(parse_json(bad).has_value()) << "input: " << bad;
+  }
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(parse_json(deep).has_value()) << "depth bound must hold";
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const auto v = parse_json("\"str\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_THROW(v->as_int(), std::bad_variant_access);
+}
+
+}  // namespace
+}  // namespace phish::jobsvc

@@ -1,0 +1,223 @@
+#include "jobsvc/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phish::jobsvc {
+namespace {
+
+/// Manually advanced clock: admission control under test must see exactly
+/// the instants we choose.
+class FakeClock final : public obs::Clock {
+ public:
+  std::uint64_t now_ns() const override { return now_; }
+  void advance_ns(std::uint64_t d) { now_ += d; }
+
+ private:
+  std::uint64_t now_ = 1;
+};
+
+/// Records launches; completion is driven explicitly by the test.
+class FakeBackend final : public JobBackend {
+ public:
+  void launch(const JobStatus& job, const std::vector<Value>& args) override {
+    launched.push_back(job.job_id);
+    last_args = args;
+  }
+  bool cancel_active(std::uint64_t job_id) override {
+    cancel_calls.push_back(job_id);
+    return cancellable;
+  }
+
+  std::vector<std::uint64_t> launched;
+  std::vector<std::uint64_t> cancel_calls;
+  std::vector<Value> last_args;
+  bool cancellable = false;
+};
+
+SubmitRequest req(const std::string& tenant = "t",
+                  std::uint8_t priority = kPriorityNormal) {
+  SubmitRequest r;
+  r.tenant = tenant;
+  r.root_task = "fib.task";
+  r.args.emplace_back(std::int64_t{20});
+  r.priority = priority;
+  return r;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  JobService make(ServiceConfig cfg = {}) {
+    return JobService(clock_, backend_, cfg);
+  }
+  FakeClock clock_;
+  FakeBackend backend_;
+};
+
+TEST_F(ServiceTest, SubmitLaunchesImmediatelyWhenSlotsFree) {
+  auto svc = make();
+  const auto r = svc.submit(req());
+  ASSERT_TRUE(r.accepted());
+  EXPECT_EQ(backend_.launched, std::vector<std::uint64_t>{r.job_id});
+  ASSERT_EQ(backend_.last_args.size(), 1u);
+  EXPECT_EQ(backend_.last_args[0].as_int(), 20);
+  const auto s = svc.status(r.job_id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, JobState::kActive);
+  EXPECT_EQ(s->tenant, "t");
+}
+
+TEST_F(ServiceTest, RejectsMalformedRequests) {
+  auto svc = make();
+  SubmitRequest empty;  // no root task
+  EXPECT_EQ(svc.submit(empty).reject, Reject::kBadRequest);
+  SubmitRequest bad_prio = req();
+  bad_prio.priority = kPriorityClasses;
+  EXPECT_EQ(svc.submit(bad_prio).reject, Reject::kBadRequest);
+  EXPECT_EQ(svc.counters().rejected_bad_request, 2u);
+}
+
+TEST_F(ServiceTest, QueuesBeyondMaxActiveAndPromotesOnCompletion) {
+  ServiceConfig cfg;
+  cfg.max_active = 1;
+  auto svc = make(cfg);
+  const auto first = svc.submit(req());
+  const auto second = svc.submit(req());
+  ASSERT_TRUE(first.accepted());
+  ASSERT_TRUE(second.accepted());
+  EXPECT_EQ(svc.status(second.job_id)->state, JobState::kPending);
+  EXPECT_EQ(svc.pending_jobs(), 1u);
+
+  svc.note_done(first.job_id, Value(std::int64_t{6765}));
+  EXPECT_EQ(svc.status(first.job_id)->state, JobState::kDone);
+  EXPECT_EQ(svc.status(first.job_id)->result.as_int(), 6765);
+  EXPECT_EQ(svc.status(second.job_id)->state, JobState::kActive)
+      << "completion promotes the queued job";
+  EXPECT_EQ(backend_.launched.back(), second.job_id);
+}
+
+TEST_F(ServiceTest, PromotionPrefersHigherPriority) {
+  ServiceConfig cfg;
+  cfg.max_active = 1;
+  auto svc = make(cfg);
+  const auto running = svc.submit(req());
+  const auto low = svc.submit(req("t", kPriorityLow));
+  const auto high = svc.submit(req("t", kPriorityHigh));
+  svc.note_done(running.job_id, std::nullopt);
+  EXPECT_EQ(svc.status(high.job_id)->state, JobState::kActive);
+  EXPECT_EQ(svc.status(low.job_id)->state, JobState::kPending);
+}
+
+TEST_F(ServiceTest, BacklogFullRejects) {
+  ServiceConfig cfg;
+  cfg.max_active = 1;
+  cfg.max_backlog = 2;
+  auto svc = make(cfg);
+  EXPECT_TRUE(svc.submit(req()).accepted());   // active
+  EXPECT_TRUE(svc.submit(req()).accepted());   // backlog 1
+  EXPECT_TRUE(svc.submit(req()).accepted());   // backlog 2
+  const auto r = svc.submit(req());
+  EXPECT_EQ(r.reject, Reject::kBacklogFull);
+  EXPECT_EQ(svc.counters().rejected_backlog, 1u);
+}
+
+TEST_F(ServiceTest, TenantQuotaRejects) {
+  auto svc = make();
+  TenantPolicy policy;
+  policy.max_jobs = 1;
+  svc.configure_tenant("small", policy);
+  const auto a = svc.submit(req("small"));
+  ASSERT_TRUE(a.accepted());
+  EXPECT_EQ(svc.submit(req("small")).reject, Reject::kQuotaExceeded);
+  EXPECT_TRUE(svc.submit(req("other")).accepted())
+      << "quota is per tenant, not global";
+  // Completion frees the quota slot.
+  svc.note_done(a.job_id, std::nullopt);
+  EXPECT_TRUE(svc.submit(req("small")).accepted());
+}
+
+TEST_F(ServiceTest, RateLimitRefillsOverTime) {
+  auto svc = make();
+  TenantPolicy policy;
+  policy.rate_per_sec = 1.0;
+  policy.burst = 2.0;
+  svc.configure_tenant("limited", policy);
+  EXPECT_TRUE(svc.submit(req("limited")).accepted());  // burst token 1
+  EXPECT_TRUE(svc.submit(req("limited")).accepted());  // burst token 2
+  const auto rejected = svc.submit(req("limited"));
+  EXPECT_EQ(rejected.reject, Reject::kRateLimited);
+  EXPECT_GT(rejected.retry_after_ns, 0u);
+  EXPECT_LE(rejected.retry_after_ns, 1'000'000'000ull);
+  // One second refills one token.
+  clock_.advance_ns(1'000'000'000ull);
+  EXPECT_TRUE(svc.submit(req("limited")).accepted());
+  EXPECT_EQ(svc.submit(req("limited")).reject, Reject::kRateLimited);
+  EXPECT_EQ(svc.counters().rejected_rate, 2u);
+}
+
+TEST_F(ServiceTest, CancelPendingNeverReachesBackend) {
+  ServiceConfig cfg;
+  cfg.max_active = 1;
+  auto svc = make(cfg);
+  svc.submit(req());
+  const auto queued = svc.submit(req());
+  EXPECT_TRUE(svc.cancel(queued.job_id));
+  EXPECT_EQ(svc.status(queued.job_id)->state, JobState::kCancelled);
+  EXPECT_TRUE(backend_.cancel_calls.empty());
+  EXPECT_EQ(backend_.launched.size(), 1u);
+  EXPECT_FALSE(svc.cancel(queued.job_id)) << "second cancel is stale";
+}
+
+TEST_F(ServiceTest, CancelActiveDependsOnBackend) {
+  auto svc = make();
+  const auto r = svc.submit(req());
+  backend_.cancellable = false;
+  EXPECT_FALSE(svc.cancel(r.job_id));
+  EXPECT_EQ(svc.status(r.job_id)->state, JobState::kActive);
+  backend_.cancellable = true;
+  EXPECT_TRUE(svc.cancel(r.job_id));
+  EXPECT_EQ(svc.status(r.job_id)->state, JobState::kCancelled);
+  // A late completion from the backend must not resurrect the job.
+  svc.note_done(r.job_id, Value(std::int64_t{1}));
+  EXPECT_EQ(svc.status(r.job_id)->state, JobState::kCancelled);
+  EXPECT_EQ(svc.counters().completed, 0u);
+}
+
+TEST_F(ServiceTest, TimestampsProgressThroughLifecycle) {
+  auto svc = make();
+  const auto r = svc.submit(req());
+  clock_.advance_ns(5);
+  svc.note_first_task(r.job_id);
+  clock_.advance_ns(5);
+  svc.note_done(r.job_id, std::nullopt);
+  const auto s = svc.status(r.job_id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(s->submitted_ns, 0u);
+  EXPECT_GE(s->activated_ns, s->submitted_ns);
+  EXPECT_GT(s->first_task_ns, s->submitted_ns);
+  EXPECT_GT(s->finished_ns, s->first_task_ns);
+}
+
+TEST_F(ServiceTest, ListFiltersByTenantNewestFirst) {
+  auto svc = make();
+  const auto a = svc.submit(req("alice"));
+  svc.submit(req("bob"));
+  const auto a2 = svc.submit(req("alice"));
+  const auto all = svc.list();
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.front().job_id, a2.job_id) << "newest first";
+  const auto alice = svc.list("alice");
+  ASSERT_EQ(alice.size(), 2u);
+  EXPECT_EQ(alice[0].job_id, a2.job_id);
+  EXPECT_EQ(alice[1].job_id, a.job_id);
+}
+
+TEST_F(ServiceTest, UnknownJobQueriesAreSafe) {
+  auto svc = make();
+  EXPECT_FALSE(svc.status(99).has_value());
+  EXPECT_FALSE(svc.cancel(99));
+  svc.note_first_task(99);          // must not crash
+  svc.note_done(99, std::nullopt);  // must not crash
+}
+
+}  // namespace
+}  // namespace phish::jobsvc

@@ -1,0 +1,197 @@
+// Multi-tenant macro scheduling end-to-end: weighted fair share over the
+// grant ledger, preemption via the worker-migration path (the paper's case
+// (d) repurposed: the scheduler, not the owner, reclaims the workstation),
+// and PhishJobD driving the simulated cluster through MacroServiceBackend.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "jobsvc/service.hpp"
+#include "obs/clock.hpp"
+#include "runtime/simdist/macro_cluster.hpp"
+#include "runtime/simdist/macro_service.hpp"
+
+namespace phish::rt {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+MacroConfig tenant_config(std::uint64_t seed) {
+  MacroConfig cfg;
+  cfg.seed = seed;
+  cfg.assign_policy = JobAssignPolicy::kFairShare;
+  cfg.clearinghouse.detect_failures = false;
+  cfg.manager.logout_poll = 2 * kSecond;
+  cfg.manager.job_poll = kSecond;
+  cfg.manager.owner_poll = 200 * kMillisecond;
+  cfg.worker.heartbeat_period = kSecond;
+  cfg.worker.max_failed_steals = 50;
+  cfg.worker.steal_retry_delay = 5 * kMillisecond;
+  cfg.max_sim_time = 3600 * kSecond;
+  return cfg;
+}
+
+TaskRegistry& tenant_registry() {
+  static TaskRegistry* reg = [] {
+    auto* r = new TaskRegistry();
+    apps::register_fib(*r, /*sequential_cutoff=*/12);
+    apps::register_pfold(*r, /*sequential_monomers=*/5);
+    return r;
+  }();
+  return *reg;
+}
+
+std::uint64_t held_or_zero(const std::map<std::string, std::uint64_t>& held,
+                           const std::string& tenant) {
+  const auto it = held.find(tenant);
+  return it == held.end() ? 0 : it->second;
+}
+
+TEST(JobsvcMacro, FairShareGivesWeightedSliceOfThePool) {
+  // Two tenants, weights 2:1, one long job each, nine idle workstations.
+  // The JobQ's grant ledger must converge on a 6:3 split.
+  MacroConfig cfg = tenant_config(31);
+  cfg.tenants["heavy"] = TenantConfig{2.0};
+  cfg.tenants["light"] = TenantConfig{1.0};
+  MacroCluster cluster(tenant_registry(), cfg);
+  for (int i = 0; i < 9; ++i) {
+    cluster.add_workstation(OwnerTrace::always_idle());
+  }
+  // Big enough that neither job finishes within the sampling window.
+  cluster.submit_job("heavy-job", "pfold.root", {Value(std::int64_t{20})}, 0,
+                     "heavy", kPriorityNormal);
+  cluster.submit_job("light-job", "pfold.root", {Value(std::int64_t{20})}, 0,
+                     "light", kPriorityNormal);
+
+  // Sample the ledger as the simulation advances and keep the snapshot with
+  // the fullest pool (workers occasionally churn between steal droughts).
+  std::uint64_t best_heavy = 0, best_light = 0;
+  for (int slice = 0; slice < 16; ++slice) {
+    cluster.run_until(cluster.simulator().now() + 500 * kMillisecond);
+    const auto held = cluster.jobq().held_by_tenant();
+    const std::uint64_t h = held_or_zero(held, "heavy");
+    const std::uint64_t l = held_or_zero(held, "light");
+    if (h + l >= best_heavy + best_light) {
+      best_heavy = h;
+      best_light = l;
+    }
+  }
+  EXPECT_EQ(best_heavy + best_light, 9u) << "pool fully assigned";
+  // Weighted fair share is exact at full occupancy: argmin held/weight
+  // hands heavy two grants for every one of light's.
+  EXPECT_EQ(best_heavy, 6u);
+  EXPECT_EQ(best_light, 3u);
+}
+
+TEST(JobsvcMacro, HighPrioritySubmitPreemptsWithoutLosingWork) {
+  // A low-priority job soaks all four workstations; a high-priority job
+  // arrives while they are all held.  The JobQ must evict a workstation
+  // (worker migrates, the paper's departure path) and re-grant it to the new
+  // job — and both jobs must still produce exactly their serial results.
+  MacroConfig cfg = tenant_config(37);
+  cfg.tenants["batch"] = TenantConfig{1.0};
+  cfg.tenants["interactive"] = TenantConfig{2.0};
+  cfg.preempt_batch = 1;
+  MacroCluster cluster(tenant_registry(), cfg);
+  for (int i = 0; i < 4; ++i) {
+    cluster.add_workstation(OwnerTrace::always_idle());
+  }
+  const std::uint64_t low_id = cluster.submit_job(
+      "low", "pfold.root", {Value(std::int64_t{18})}, 0, "batch",
+      kPriorityLow);
+
+  // Advance until the low job holds every workstation, so the high-priority
+  // submit finds no free machine and must preempt.
+  for (int slice = 0;; ++slice) {
+    ASSERT_LT(slice, 100) << "low job never acquired the full pool";
+    cluster.run_until(cluster.simulator().now() + 200 * kMillisecond);
+    const auto held = cluster.jobq().held_by_job();
+    const auto it = held.find(low_id);
+    if (it != held.end() && it->second == 4) break;
+  }
+  cluster.submit_job_dynamic("high", "pfold.root", {Value(std::int64_t{16})},
+                             "interactive", kPriorityHigh);
+  const auto records = cluster.run();
+  ASSERT_EQ(records.size(), 2u);
+
+  // Differential check: nothing the eviction migrated away went missing.
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_EQ(apps::decode_histogram(records[0].result.as_blob()),
+            apps::pfold_serial(18));
+  EXPECT_TRUE(records[1].completed);
+  EXPECT_EQ(apps::decode_histogram(records[1].result.as_blob()),
+            apps::pfold_serial(16));
+
+  // The preemption actually happened, end to end: the JobQ issued it and
+  // some manager evicted a running worker for it.
+  EXPECT_GE(cluster.jobq().stats().preemptions, 1u);
+  std::uint64_t evicted = 0;
+  for (int i = 0; i < cluster.workstations(); ++i) {
+    evicted += cluster.manager(i).stats().workers_preempted;
+  }
+  EXPECT_GE(evicted, 1u);
+  EXPECT_GT(records[1].assignments, 0u)
+      << "the high-priority job received the reclaimed workstation";
+}
+
+TEST(JobsvcMacro, ServiceDrivesSimulatedClusterEndToEnd) {
+  // PhishJobD over the simulation: submissions admitted by JobService in
+  // virtual time flow through MacroServiceBackend into the JobQ under the
+  // same job ids, and completion/assignment feeds come back.
+  MacroConfig cfg = tenant_config(41);
+  cfg.tenants["alice"] = TenantConfig{1.0};
+  MacroCluster cluster(tenant_registry(), cfg);
+  for (int i = 0; i < 4; ++i) {
+    cluster.add_workstation(OwnerTrace::always_idle());
+  }
+
+  const obs::VirtualClock<sim::Simulator> clock(cluster.simulator());
+  MacroServiceBackend backend(cluster);
+  jobsvc::ServiceConfig svc_cfg;
+  svc_cfg.max_active = 1;  // the second submit must queue, then promote
+  jobsvc::JobService service(clock, backend, svc_cfg);
+  backend.bind(service);
+
+  std::vector<std::uint64_t> ids;
+  cluster.simulator().schedule_at(kSecond, [&] {
+    for (int i = 0; i < 2; ++i) {
+      jobsvc::SubmitRequest req;
+      req.tenant = "alice";
+      req.root_task = "fib.task";
+      req.args.emplace_back(std::int64_t{18});
+      const auto result = service.submit(std::move(req));
+      ASSERT_TRUE(result.accepted());
+      ids.push_back(result.job_id);
+    }
+    EXPECT_EQ(service.pending_jobs(), 1u) << "max_active=1 queues the second";
+  });
+
+  for (;;) {
+    cluster.run_until(cluster.simulator().now() + kSecond);
+    ASSERT_LT(cluster.simulator().now(), cfg.max_sim_time) << "did not drain";
+    if (cluster.simulator().now() > kSecond && service.pending_jobs() == 0 &&
+        service.active_jobs() == 0) {
+      break;
+    }
+  }
+
+  ASSERT_EQ(ids.size(), 2u);
+  for (const std::uint64_t id : ids) {
+    const auto status = service.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, jobsvc::JobState::kDone);
+    ASSERT_TRUE(status->has_result);
+    EXPECT_EQ(status->result.as_int(), 2584) << "fib(18)";
+    EXPECT_GT(status->first_task_ns, 0u);
+    EXPECT_GE(status->finished_ns, status->first_task_ns);
+  }
+  EXPECT_EQ(service.counters().completed, 2u);
+  // Service ids and JobQ ids are the same namespace: the cluster's record
+  // of each job carries the id the service handed out.
+  const auto jq = cluster.jobq().stats();
+  EXPECT_EQ(jq.submitted, 2u);
+  EXPECT_EQ(jq.completed, 2u);
+}
+
+}  // namespace
+}  // namespace phish::rt

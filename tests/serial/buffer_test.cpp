@@ -185,5 +185,46 @@ TEST(Buffer, FuzzRoundTripRandomSequences) {
   }
 }
 
+TEST(Buffer, RestReturnsUnreadTail) {
+  Writer w;
+  w.u32(7);
+  w.str("header");
+  w.u64(0xdeadbeefULL);
+  const Bytes all = w.take();
+
+  Reader r(all);
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.str(), "header");
+  const Bytes tail = r.rest();
+  EXPECT_TRUE(r.done()) << "rest() consumes everything";
+  EXPECT_EQ(r.rest(), Bytes{}) << "second rest() is empty";
+
+  // The tail re-decodes as its own message.
+  Reader tr(tail);
+  EXPECT_EQ(tr.u64(), 0xdeadbeefULL);
+  EXPECT_TRUE(tr.done());
+}
+
+TEST(Buffer, RestOfWholeAndEmptyBuffers) {
+  Writer w;
+  w.u16(3);
+  const Bytes b = w.take();
+  Reader whole(b);
+  EXPECT_EQ(whole.rest(), b) << "rest() before any read is the whole buffer";
+
+  Reader empty(Bytes{});
+  EXPECT_EQ(empty.rest(), Bytes{});
+  EXPECT_TRUE(empty.done());
+}
+
+TEST(Buffer, RestAfterFailureIsEmpty) {
+  Writer w;
+  w.u8(1);
+  Reader r(w.take());
+  r.u64();  // truncated read: poisons the reader
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.rest(), Bytes{}) << "failed readers yield nothing";
+}
+
 }  // namespace
 }  // namespace phish
