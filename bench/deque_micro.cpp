@@ -340,6 +340,40 @@ double steal_serve_ns_per_task() {
   return secs * 1e9 / static_cast<double>(kTasks);
 }
 
+double steal_concurrent_ns_per_task() {
+  // Thief side of the no-victim-lock protocol: CAS-claim from the victim's
+  // Chase–Lev deque, copy the closure out, park the slot for the victim to
+  // reclaim.  Measured single-threaded so the number is a stable latency
+  // (contention behavior belongs to the TSan steal-churn stress, not a
+  // gated metric); includes the thief-side install and the victim's slot
+  // reclamation, so it is the full per-task cost of a concurrent steal.
+  TaskRegistry& registry = leaf_registry();
+  const TaskId leaf = registry.id_of("leaf");
+  constexpr std::uint64_t kTasks = 4096;
+  CoreOptions lockfree;
+  lockfree.lockfree_deque = true;
+  const double secs = bench::time_best_of(5, [&] {
+    WorkerCore victim(net::NodeId{0}, registry, null_hooks(), lockfree);
+    WorkerCore thief(net::NodeId{1}, registry, null_hooks(), lockfree);
+    for (std::uint64_t i = 0; i < kTasks; ++i) {
+      victim.spawn(leaf, {Value(std::int64_t{0})},
+                   ContRef{ClosureId{}, 0, net::NodeId{0}}, 0);
+    }
+    std::vector<Closure> loot;
+    for (;;) {
+      loot.clear();
+      if (victim.steal_concurrent(loot, 8) == 0) break;
+      for (Closure& c : loot) thief.install_stolen(std::move(c));
+      victim.reclaim_stolen_slots();
+    }
+    // The fused LIFO register is deliberately out of thieves' reach; the
+    // victim runs what is left so every spawned task executes.
+    while (auto c = victim.pop_for_execution()) victim.execute(*c);
+    while (auto c = thief.pop_for_execution()) thief.execute(*c);
+  });
+  return secs * 1e9 / static_cast<double>(kTasks);
+}
+
 void emit_deque_micro_report() {
   obs::BenchReport report("deque_micro");
   const double cal = calibration_ns_per_op();
@@ -350,20 +384,24 @@ void emit_deque_micro_report() {
   const double heap_ns = spawn_execute_ns_per_task(&heap);
   const double join = join_fill_ns_per_task();
   const double steal = steal_serve_ns_per_task();
+  const double steal_cl = steal_concurrent_ns_per_task();
   report.set("calibration.ns_per_op", cal);
   report.set("spawn_execute.ns_per_task", pooled);
   report.set("spawn_execute_heap.ns_per_task", heap_ns);
   report.set("join_fill.ns_per_task", join);
   report.set("steal_serve.ns_per_task", steal);
+  report.set("steal_concurrent.ns_per_task", steal_cl);
   report.set("spawn_execute.ops_per_calibration_op", pooled / cal);
   report.set("join_fill.ops_per_calibration_op", join / cal);
   report.set("steal_serve.ops_per_calibration_op", steal / cal);
+  report.set("steal_concurrent.ops_per_calibration_op", steal_cl / cal);
   report.write();
   bench::kv("deque_micro.calibration.ns_per_op", cal);
   bench::kv("deque_micro.spawn_execute.ns_per_task", pooled);
   bench::kv("deque_micro.spawn_execute_heap.ns_per_task", heap_ns);
   bench::kv("deque_micro.join_fill.ns_per_task", join);
   bench::kv("deque_micro.steal_serve.ns_per_task", steal);
+  bench::kv("deque_micro.steal_concurrent.ns_per_task", steal_cl);
 }
 
 }  // namespace

@@ -40,6 +40,24 @@ GATED = [
     ("BENCH_deque_micro.json", (".ops_per_calibration_op",)),
 ]
 
+# Key suffixes that must be present in BOTH artifacts.  The generic rule
+# above deliberately lets one-sided keys pass (so adding a bench row does
+# not force a same-commit re-baseline), but that leniency would also let a
+# load-bearing metric silently vanish — a refactor that drops the
+# fine-grain fib row or the concurrent-steal latency would leave the gate
+# green while gating nothing.  These keys are the reason the gate exists;
+# losing one is a failure, not a warning.
+REQUIRED = {
+    "BENCH_table1_serial_slowdown.json": (
+        "fib(27).slowdown_static",
+        "fib(27).slowdown_phish",
+    ),
+    "BENCH_deque_micro.json": (
+        "spawn_execute.ops_per_calibration_op",
+        "steal_concurrent.ops_per_calibration_op",
+    ),
+}
+
 
 def flatten(obj, prefix=""):
     """Flatten nested JSON objects to {dotted.key: leaf} (lists ignored)."""
@@ -87,6 +105,13 @@ def main():
             return 2
         base = gated_values(base_path, suffixes)
         fresh = gated_values(fresh_path, suffixes)
+        for suffix in REQUIRED.get(artifact, ()):
+            for side, values in (("baseline", base), ("fresh", fresh)):
+                if not any(k.endswith(suffix) for k in values):
+                    line = (f"  {artifact}: required key *{suffix} missing "
+                            f"from {side} artifact")
+                    failures.append(line)
+                    print("MISSING " + line)
         for key in sorted(set(base) | set(fresh)):
             if key not in base:
                 print(f"  new (ungated): {artifact}:{key} = {fresh[key]:.4g}")

@@ -127,6 +127,16 @@ class ChaseLevDeque {
     return got;
   }
 
+  /// Owner only, and only when externally synchronized against thieves
+  /// (quiescent snapshot/export): element `i` counting from the bottom
+  /// (i == 0 is the next owner pop).  Direct-pointer storage only.
+  T peek_from_bottom(std::size_t i) const {
+    static_assert(kDirect, "peek_from_bottom requires pointer payloads");
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    Array* a = array_.load(std::memory_order_relaxed);
+    return a->get(b - 1 - static_cast<std::int64_t>(i));
+  }
+
   /// Approximate size (racy; exact when quiescent).
   std::size_t size_approx() const {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
@@ -143,13 +153,21 @@ class ChaseLevDeque {
     std::size_t mask;
     std::vector<std::atomic<Boxed*>> slots;
 
+    // The textbook C11 deque keeps slot accesses relaxed and publishes the
+    // pointee through the release fence in push().  We use release/acquire
+    // on the slot itself instead: it is what carries the happens-before
+    // edge from the owner's writes into the pointed-to closure to the
+    // thief's copy of it.  On x86 and ARM64 both compile to the same plain
+    // load/store as relaxed would, and — unlike the fence, which TSan does
+    // not model — this keeps the whole steal protocol provable by the
+    // TSan-built steal-churn stress test.
     Boxed* get(std::int64_t i) const {
       return slots[static_cast<std::size_t>(i) & mask].load(
-          std::memory_order_relaxed);
+          std::memory_order_acquire);
     }
     void put(std::int64_t i, Boxed* p) {
       slots[static_cast<std::size_t>(i) & mask].store(
-          p, std::memory_order_relaxed);
+          p, std::memory_order_release);
     }
   };
 

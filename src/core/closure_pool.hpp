@@ -57,26 +57,23 @@ class ClosurePool {
 
   /// A pristine closure (id invalid, no args).  Never fails; grows by
   /// doubling when the freelist and the current chunk are exhausted.
+  ///
+  /// The freelist hit is the steady-state path (every spawn after warm-up)
+  /// and every caller immediately stores through the returned pointer, so
+  /// the load chain that produces it must be short and inline: with the
+  /// grow/heap paths outlined, this body is small enough that the compiler
+  /// inlines it into every spawn site instead of emitting a call whose
+  /// prologue sits on the pointer's dependency chain.
   Closure* acquire() {
     ++stats_.acquires;
     ++stats_.live;
-    if (!pooled_) return new Closure();
-    if (!freelist_.empty()) {
+    if (__builtin_expect(pooled_ && !freelist_.empty(), 1)) {
       ++stats_.freelist_reuses;
       Closure* c = freelist_.back();
       freelist_.pop_back();
       return c;
     }
-    if (chunks_.empty() || carved_ == current_chunk_size_) {
-      chunks_.push_back(std::make_unique<Closure[]>(next_chunk_size_));
-      current_chunk_size_ = next_chunk_size_;
-      carved_ = 0;
-      ++stats_.chunks;
-      stats_.capacity += next_chunk_size_;
-      freelist_.reserve(static_cast<std::size_t>(stats_.capacity));
-      if (next_chunk_size_ < kMaxChunkSize) next_chunk_size_ *= 2;
-    }
-    return &chunks_.back()[carved_++];
+    return acquire_slow_();
   }
 
   /// Return a closure.  Clears it (freeing any blob payloads) and keeps it
@@ -94,12 +91,42 @@ class ClosurePool {
   bool pooled() const noexcept { return pooled_; }
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Visit every slot ever carved (live or free; free slots have an invalid
+  /// id).  Pooled mode only — heap mode owns nothing.  Used by the owner at
+  /// cold moments (migration, export, rejoin) to find closures that skipped
+  /// eager bookkeeping; never concurrent with acquire/release.
+  template <typename F>
+  void for_each_slot(F&& f) {
+    for (std::size_t k = 0; k < chunks_.size(); ++k) {
+      Closure* base = chunks_[k].get();
+      const std::size_t n = chunk_sizes_[k];
+      for (std::size_t i = 0; i < n; ++i) f(&base[i]);
+    }
+  }
+
   static constexpr std::size_t kDefaultFirstChunk = 64;
   static constexpr std::size_t kMaxChunkSize = 1u << 16;
 
  private:
+  /// Heap mode and arena growth, kept out of the inlined fast path.
+  __attribute__((noinline)) Closure* acquire_slow_() {
+    if (!pooled_) return new Closure();
+    if (chunks_.empty() || carved_ == current_chunk_size_) {
+      chunks_.push_back(std::make_unique<Closure[]>(next_chunk_size_));
+      chunk_sizes_.push_back(next_chunk_size_);
+      current_chunk_size_ = next_chunk_size_;
+      carved_ = 0;
+      ++stats_.chunks;
+      stats_.capacity += next_chunk_size_;
+      freelist_.reserve(static_cast<std::size_t>(stats_.capacity));
+      if (next_chunk_size_ < kMaxChunkSize) next_chunk_size_ *= 2;
+    }
+    return &chunks_.back()[carved_++];
+  }
+
   bool pooled_;
   std::vector<std::unique_ptr<Closure[]>> chunks_;
+  std::vector<std::size_t> chunk_sizes_;
   std::size_t current_chunk_size_ = 0;
   std::size_t carved_ = 0;
   std::size_t next_chunk_size_;

@@ -4,13 +4,14 @@
 
 namespace phish {
 
-TaskId TaskRegistry::add(std::string name, TaskFn fn) {
+TaskId TaskRegistry::add_raw(std::string name, RawTaskFn fn, void* env) {
   if (by_name_.count(name)) {
     throw std::invalid_argument("task already registered: " + name);
   }
-  const TaskId id = static_cast<TaskId>(tasks_.size());
+  const TaskId id = static_cast<TaskId>(hot_.size());
   by_name_.emplace(name, id);
-  tasks_.push_back(TaskDesc{std::move(name), std::move(fn)});
+  hot_.push_back(TaskEntry{fn, env});
+  names_.push_back(std::move(name));
   return id;
 }
 

@@ -11,13 +11,51 @@ WorkerCore::WorkerCore(net::NodeId me, const TaskRegistry& registry,
                        Hooks hooks, const CoreOptions& options)
     : me_(me),
       registry_(registry),
+      task_entries_(registry.entries()),
+      task_limit_(static_cast<std::uint32_t>(registry.size())),
       hooks_(std::move(hooks)),
       options_(options),
       pool_(options.pooled_alloc),
-      deque_(options.exec_order, options.steal_order) {
+      deque_(options.exec_order, options.steal_order),
+      fused_(options.fused_spawn && options.exec_order == ExecOrder::kLifo) {
   if (!hooks_.send_remote) {
     throw std::invalid_argument("WorkerCore: send_remote hook is required");
   }
+  // The Chase–Lev deque is intrinsically LIFO-owner / FIFO-thief; ablation
+  // orders keep the guarded ring.
+  if (options.lockfree_deque && options.exec_order == ExecOrder::kLifo &&
+      options.steal_order == StealOrder::kFifo) {
+    lockfree_ = std::make_unique<ChaseLevDeque<Closure*>>();
+  }
+}
+
+std::vector<Closure*> WorkerCore::drain_ready_() {
+  if (!lockfree_) return deque_.drain();
+  // Externally synchronized with thieves here; owner pops walk the deque
+  // head (bottom) first, matching the guarded drain order.
+  std::vector<Closure*> out;
+  out.reserve(owner_size_);
+  while (auto c = lockfree_->pop()) out.push_back(*c);
+  owner_size_ = 0;
+  return out;
+}
+
+Closure* WorkerCore::remove_ready_(const ClosureId& id) {
+  if (!lockfree_) return deque_.remove(id);
+  // Rare path (fault recovery), externally synchronized: pop everything,
+  // filter, re-push in reverse so the head stays the head.
+  std::vector<Closure*> kept = drain_ready_();
+  Closure* removed = nullptr;
+  for (Closure*& c : kept) {
+    if (removed == nullptr && c->id.valid() && c->id == id) {
+      removed = c;
+      c = nullptr;
+    }
+  }
+  for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+    if (*it != nullptr) deque_push_(*it);
+  }
+  return removed;
 }
 
 void WorkerCore::local_send_unknown_(const ClosureId& target) {
@@ -25,31 +63,6 @@ void WorkerCore::local_send_unknown_(const ClosureId& target) {
   // A local send to an unknown closure is a programming error, not a
   // network artifact.
   PHISH_LOG(kError) << "local send to unknown closure " << to_string(target);
-}
-
-void WorkerCore::execute(Closure& closure) {
-  const TaskDesc& desc = registry_.get(closure.task);
-  if (!stolen_in_.empty() && closure.id.valid()) {
-    stolen_in_.erase(closure.id);  // past the point where aborting could help
-  }
-  last_charge_ = 0;
-  const std::uint64_t t_start =
-      tracing() && trace_execute_spans_ ? trace_now() : 0;
-  Context ctx(*this, closure);
-  desc.fn(ctx, closure);
-  ++stats_.tasks_executed;
-  stats_.executed_depth_total += closure.depth;
-  stats_.note_free();
-  if (tracing() && trace_execute_spans_) {
-    obs::TraceEvent e = obs::make_event(
-        obs::EventType::kExecute, static_cast<std::uint16_t>(me_.value),
-        t_start);
-    e.t_end = trace_now();
-    e.closure_origin = closure.id.origin.value;
-    e.closure_seq = closure.id.seq;
-    e.arg = deque_.size();
-    trace_->emit(e);
-  }
 }
 
 std::optional<Closure> WorkerCore::try_steal(net::NodeId thief) {
@@ -64,8 +77,24 @@ std::vector<Closure> WorkerCore::try_steal_batch(net::NodeId thief,
   std::vector<Closure> out;
   if (max_tasks == 0) return out;
   if (max_tasks > kMaxStealBatch) max_tasks = kMaxStealBatch;
+  // Externally synchronized with the owner (the runtimes' contract for this
+  // call), so the fused register can be demoted and the full list stolen
+  // from — semantics identical to the unfused guarded deque.
+  demote_next_();
   Closure* taken[kMaxStealBatch];
-  const std::size_t got = deque_.pop_for_steal_batch(taken, max_tasks);
+  std::size_t got = 0;
+  if (lockfree_) {
+    std::size_t want = lockfree_->size_approx() / 2;
+    if (want < 1) want = 1;
+    if (want > max_tasks) want = max_tasks;
+    while (got < want) {
+      auto c = lockfree_->steal();
+      if (!c) break;
+      taken[got++] = *c;
+    }
+  } else {
+    got = deque_.pop_for_steal_batch(taken, max_tasks);
+  }
   out.reserve(got);
   for (std::size_t i = 0; i < got; ++i) {
     Closure* c = taken[i];
@@ -76,7 +105,7 @@ std::vector<Closure> WorkerCore::try_steal_batch(net::NodeId thief,
     // Record a redo snapshot in case the thief dies before completing it.
     steal_ledger_.emplace(c->id, LedgerEntry{*c, thief});
     if (tracing()) {
-      trace_instant(obs::EventType::kStealServed, c->id, deque_.size());
+      trace_instant(obs::EventType::kStealServed, c->id, ready_count());
     }
     out.push_back(std::move(*c));
     pool_.release(c);
@@ -84,16 +113,74 @@ std::vector<Closure> WorkerCore::try_steal_batch(net::NodeId thief,
   return out;
 }
 
+std::size_t WorkerCore::steal_concurrent(std::vector<Closure>& out,
+                                         std::uint32_t max_tasks) {
+  steal_reqs_atomic_.fetch_add(1, std::memory_order_relaxed);
+  if (!lockfree_ || max_tasks == 0) return 0;
+  if (max_tasks > kMaxStealBatch) max_tasks = kMaxStealBatch;
+  std::size_t want = lockfree_->size_approx() / 2;  // steal-half
+  if (want < 1) want = 1;
+  if (want > max_tasks) want = max_tasks;
+  Closure* taken[kMaxStealBatch];
+  std::size_t got = 0;
+  while (got < want) {
+    auto c = lockfree_->steal();
+    if (!c) break;
+    taken[got++] = *c;
+  }
+  if (got == 0) return 0;
+  std::uint64_t depth_total = 0;
+  out.reserve(out.size() + got);
+  for (std::size_t i = 0; i < got; ++i) {
+    out.push_back(*taken[i]);  // by value: the slot stays in the victim pool
+    depth_total += taken[i]->depth;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stash_mutex_);
+    stash_.insert(stash_.end(), taken, taken + got);
+  }
+  stash_count_.fetch_add(got, std::memory_order_release);
+  stolen_count_atomic_.fetch_add(got, std::memory_order_relaxed);
+  stolen_depth_atomic_.fetch_add(depth_total, std::memory_order_relaxed);
+  return got;
+}
+
+void WorkerCore::reclaim_stolen_slots() {
+  if (stash_count_.load(std::memory_order_acquire) != 0) {
+    std::vector<Closure*> parked;
+    {
+      std::lock_guard<std::mutex> lock(stash_mutex_);
+      parked.swap(stash_);
+    }
+    stash_count_.fetch_sub(parked.size(), std::memory_order_release);
+    for (Closure* c : parked) pool_.release(c);
+  }
+  stats_.steal_requests_received +=
+      steal_reqs_atomic_.exchange(0, std::memory_order_relaxed);
+  const std::uint64_t n =
+      stolen_count_atomic_.exchange(0, std::memory_order_relaxed);
+  stats_.tasks_stolen_from_me += n;
+  stats_.stolen_depth_total +=
+      stolen_depth_atomic_.exchange(0, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < n; ++i) stats_.note_free();
+}
+
 void WorkerCore::install_stolen(Closure closure) {
   ++stats_.tasks_stolen_by_me;
   stats_.note_alloc();
   Closure* c = adopt(std::move(closure));
+  // A concurrently stolen closure can arrive unnamed (lazy spawn; thieves
+  // cannot touch the victim's id allocator): name it from this core's own
+  // band, which is globally unique.  Synchronized steals always arrive
+  // named (the victim materialized), so this is a no-op for them.
+  materialize(c);
   // Track where this task's result is claimed, so the task can be aborted if
   // that participant dies before we run it.
   stolen_in_.emplace(c->id, c->cont.home);
-  deque_.push(c);
+  refresh_exec_slow_path_();
+  push_ready_(c);
   if (tracing()) {
-    trace_instant(obs::EventType::kStealSuccess, c->id, deque_.size());
+    trace_instant(obs::EventType::kStealSuccess, c->id, ready_count());
   }
 }
 
@@ -115,6 +202,12 @@ WorkerCore::Deliver WorkerCore::deliver_remote(const ClosureId& target,
                                                std::uint16_t slot,
                                                Value value) {
   Closure* c = waiting_.find(target);
+  if (c == nullptr && pending_waiting_) {
+    // Network sends carry no pool-pointer hint; a lazily created join must
+    // be registered before it can be found by id.
+    register_pending_joins_();
+    c = waiting_.find(target);
+  }
   if (c == nullptr) {
     ++stats_.args_unknown_closure;
     return Deliver::kUnknown;
@@ -124,7 +217,9 @@ WorkerCore::Deliver WorkerCore::deliver_remote(const ClosureId& target,
 
 std::vector<Closure> WorkerCore::drain_for_migration() {
   std::vector<Closure> out;
-  for (Closure* c : deque_.drain()) {
+  demote_next_();
+  register_pending_joins_();  // the receiving worker addresses joins by id
+  for (Closure* c : drain_ready_()) {
     materialize(c);  // the receiving worker addresses these by id
     out.push_back(std::move(*c));
     pool_.release(c);
@@ -149,13 +244,16 @@ void WorkerCore::install_migrated(Closure closure) {
     trace_instant(obs::EventType::kMigrateIn, c->id, 0);
   }
   if (c->ready()) {
-    deque_.push(c);
+    push_ready_(c);
   } else {
     waiting_.insert(c);
   }
 }
 
 std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
+  // The fused register could hold an orphan (a stolen task is installed into
+  // the register like any other push); demote so removal sees everything.
+  demote_next_();
   // 1. Redo: tasks the dead participant stole from us are re-enqueued from
   //    their ledger snapshots.  Slot fill-flags downstream make any work the
   //    thief completed before dying idempotent.
@@ -167,7 +265,7 @@ std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
       if (tracing()) {
         trace_instant(obs::EventType::kRedo, it->first, dead.value);
       }
-      deque_.push(adopt(std::move(it->second.snapshot)));
+      push_ready_(adopt(std::move(it->second.snapshot)));
       it = steal_ledger_.erase(it);
       ++redone;
     } else {
@@ -176,10 +274,12 @@ std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
   }
   // 2. Abort orphans: tasks we stole whose results would go to closures on
   //    the dead participant.  Still-queued ones are removed; running or
-  //    completed ones are harmless (their sends dead-letter).
+  //    completed ones are harmless (their sends dead-letter).  Demote again:
+  //    step 1's pushes may have refilled the register.
+  demote_next_();
   for (auto it = stolen_in_.begin(); it != stolen_in_.end();) {
     if (it->second == dead) {
-      if (Closure* removed = deque_.remove(it->first)) {
+      if (Closure* removed = remove_ready_(it->first)) {
         stats_.note_free();
         pool_.release(removed);
       }
@@ -188,27 +288,33 @@ std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
       ++it;
     }
   }
+  refresh_exec_slow_path_();
   return redone;
 }
 
 Bytes WorkerCore::export_state() {
   Writer w;
   w.u32(me_.value);
+  // The fused register is part of the ready list; demoting it to the deque
+  // head preserves the conceptual stack order in the snapshot.
+  demote_next_();
+  register_pending_joins_();  // snapshots are addressed globally
+  const std::size_t nready = ready_count();
   // Snapshots are addressed globally, so every lazily spawned closure gets
   // its name now — before next_seq_ is recorded, so the restored allocator
   // cannot reissue the ids just handed out.
-  for (std::size_t i = 0; i < deque_.size(); ++i) materialize(deque_.at(i));
+  for (std::size_t i = 0; i < nready; ++i) materialize(ready_at_(i));
   w.u64(next_seq_);
   // Ready tasks, head to tail (re-pushing in reverse order restores them).
-  w.u32(static_cast<std::uint32_t>(deque_.size()));
-  for (std::size_t i = 0; i < deque_.size(); ++i) deque_.at(i)->encode(w);
+  w.u32(static_cast<std::uint32_t>(nready));
+  for (std::size_t i = 0; i < nready; ++i) ready_at_(i)->encode(w);
   w.u32(static_cast<std::uint32_t>(waiting_.size()));
   waiting_.for_each([&w](Closure* c) { c->encode(w); });
   return w.take();
 }
 
 void WorkerCore::import_state(const Bytes& state) {
-  if (!deque_.empty() || !waiting_.empty()) {
+  if (has_ready() || !waiting_.empty()) {
     throw std::logic_error("WorkerCore::import_state: core not fresh");
   }
   Reader r(state);
@@ -227,7 +333,7 @@ void WorkerCore::import_state(const Bytes& state) {
   // Encoded head-first; push back-to-front so the head ends up at the head.
   for (auto it = ready.rbegin(); it != ready.rend(); ++it) {
     stats_.note_alloc();
-    deque_.push(adopt(std::move(*it)));
+    push_ready_(adopt(std::move(*it)));
   }
   const std::uint32_t waiting_count = r.ok() ? r.u32() : 0;
   for (std::uint32_t i = 0; i < waiting_count && r.ok(); ++i) {
@@ -238,6 +344,32 @@ void WorkerCore::import_state(const Bytes& state) {
   }
   if (!r.done()) {
     throw std::invalid_argument("WorkerCore::import_state: corrupt state");
+  }
+}
+
+void WorkerCore::execute_slow_(Closure& closure, const TaskEntry& entry) {
+  if (!stolen_in_.empty()) {
+    if (closure.id.valid()) {
+      stolen_in_.erase(closure.id);  // past the point where aborting helps
+    }
+    refresh_exec_slow_path_();
+  }
+  const bool span = tracing() && trace_execute_spans_;
+  const std::uint64_t t_start = span ? trace_now() : 0;
+  Context ctx(*this, closure);
+  entry.fn(ctx, closure, entry.env);
+  ++stats_.tasks_executed;
+  stats_.executed_depth_total += closure.depth;
+  stats_.note_free();
+  if (span) {
+    obs::TraceEvent e = obs::make_event(
+        obs::EventType::kExecute, static_cast<std::uint16_t>(me_.value),
+        t_start);
+    e.t_end = trace_now();
+    e.closure_origin = closure.id.origin.value;
+    e.closure_seq = closure.id.seq;
+    e.arg = ready_count();
+    trace_->emit(e);
   }
 }
 

@@ -13,18 +13,24 @@
 
 namespace phish {
 
-struct WorkerStats {
-  // -- Table 2 rows --
+// Field order is NOT wire order (encode/decode list fields by name): the
+// first eight members are the ones the task hot path bumps on every
+// closure cycle, packed into a single cache line (alignas keeps the line
+// boundary honest wherever the struct is embedded).  The cold steal /
+// migration / error counters follow.
+struct alignas(64) WorkerStats {
+  // -- hot line: touched every spawn/execute/send --
   std::uint64_t tasks_executed = 0;
-  std::uint64_t max_tasks_in_use = 0;   // peak closures allocated at once
-  std::uint64_t tasks_stolen_from_me = 0;  // counted at the victim
+  std::uint64_t executed_depth_total = 0;  // depth sums: see note below
   std::uint64_t synchronizations = 0;   // argument sends initiated here
-  std::uint64_t non_local_synchs = 0;   // ... whose target lived elsewhere
-
-  // -- supporting counters --
   std::uint64_t tasks_in_use = 0;       // current closures allocated
   std::uint64_t closures_created = 0;
   std::uint64_t tasks_spawned = 0;      // ready spawns (subset of created)
+  std::uint64_t max_tasks_in_use = 0;   // peak closures allocated at once
+  std::uint64_t non_local_synchs = 0;   // sends whose target lived elsewhere
+
+  // -- cold counters --
+  std::uint64_t tasks_stolen_from_me = 0;  // counted at the victim
   std::uint64_t tasks_stolen_by_me = 0; // counted at the thief
   std::uint64_t steal_requests_sent = 0;
   std::uint64_t steal_requests_received = 0;
@@ -35,8 +41,8 @@ struct WorkerStats {
   std::uint64_t tasks_redone = 0;       // fault-recovery re-enqueues
   // Spawn-tree depth sums, for the communication-locality evidence: FIFO
   // steals should take tasks near the BASE of the tree (small depth), i.e.
-  // avg stolen depth << avg executed depth.
-  std::uint64_t executed_depth_total = 0;
+  // avg stolen depth << avg executed depth.  executed_depth_total lives on
+  // the hot line above.
   std::uint64_t stolen_depth_total = 0;  // at the victim
 
   void note_alloc() {

@@ -146,6 +146,7 @@ HttpHandler make_jobd_handler(JobService& service) {
       w.kv("rejected_backlog_full", c.rejected_backlog);
       w.kv("completed", c.completed);
       w.kv("cancelled", c.cancelled);
+      w.kv("history_evicted", c.history_evicted);
       w.kv("pending", static_cast<std::uint64_t>(service.pending_jobs()));
       w.kv("active", static_cast<std::uint64_t>(service.active_jobs()));
       w.end_object();

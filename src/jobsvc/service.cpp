@@ -169,6 +169,16 @@ std::uint64_t JobService::pop_best_pending_locked() {
   return id;
 }
 
+void JobService::retire_locked(std::uint64_t job_id) {
+  history_.push_back(job_id);
+  while (history_.size() > config_.history_limit) {
+    const std::uint64_t oldest = history_.front();
+    history_.pop_front();
+    jobs_.erase(oldest);
+    ++counters_.history_evicted;
+  }
+}
+
 std::vector<JobService::Launch> JobService::promote_locked(std::uint64_t now) {
   std::vector<Launch> launches;
   while (active_ < config_.max_active && !backlog_.empty()) {
@@ -220,6 +230,7 @@ bool JobService::cancel(std::uint64_t job_id) {
         ++counters_.cancelled;
         m_cancelled_.inc();
         m_pending_.set(static_cast<std::int64_t>(backlog_.size()));
+        retire_locked(job_id);
         cancelled = true;
         break;
       }
@@ -244,6 +255,7 @@ bool JobService::cancel(std::uint64_t job_id) {
       launches = promote_locked(clock_.now_ns());
       m_pending_.set(static_cast<std::int64_t>(backlog_.size()));
       m_active_.set(static_cast<std::int64_t>(active_));
+      retire_locked(job_id);
       cancelled = true;
     }
   }
@@ -289,6 +301,7 @@ void JobService::note_done(std::uint64_t job_id, std::optional<Value> result) {
     launches = promote_locked(now);
     m_pending_.set(static_cast<std::int64_t>(backlog_.size()));
     m_active_.set(static_cast<std::int64_t>(active_));
+    retire_locked(job_id);
   }
   for (const Launch& l : launches) backend_.launch(l.status, l.args);
 }

@@ -112,6 +112,13 @@ struct ServiceConfig {
   std::size_t max_active = 8;
   /// Bound on the pending queue; beyond it submissions get kBacklogFull.
   std::size_t max_backlog = 64;
+  /// Terminal jobs (done/cancelled) retained for status queries.  A
+  /// long-lived daemon otherwise grows its job table without bound — one
+  /// JobStatus plus result Value per job forever.  Oldest-terminal-first
+  /// eviction; evicted ids answer status() with nullopt, exactly like ids
+  /// that never existed, so clients need no new error path.  Live
+  /// (pending/active) jobs are never evicted.
+  std::size_t history_limit = 10000;
   /// Policy for tenants never explicitly configured.
   TenantPolicy default_policy;
 };
@@ -165,6 +172,7 @@ class JobService {
     std::uint64_t rejected_backlog = 0;
     std::uint64_t completed = 0;
     std::uint64_t cancelled = 0;
+    std::uint64_t history_evicted = 0;  // terminal jobs dropped by retention
   };
   Counters counters() const;
 
@@ -199,6 +207,9 @@ class JobService {
   /// Move pending jobs into free active slots; returns the launches to fire.
   std::vector<Launch> promote_locked(std::uint64_t now);
   std::uint64_t pop_best_pending_locked();
+  /// Record a job as terminal (done/cancelled) in the retention ring and
+  /// evict the oldest terminal jobs beyond config_.history_limit.
+  void retire_locked(std::uint64_t job_id);
 
   const obs::Clock& clock_;
   JobBackend& backend_;
@@ -208,6 +219,7 @@ class JobService {
   std::map<std::string, Tenant> tenants_;
   std::map<std::uint64_t, Job> jobs_;
   std::deque<std::uint64_t> backlog_;  // pending job ids, FIFO per class
+  std::deque<std::uint64_t> history_;  // terminal job ids, oldest first
   std::size_t active_ = 0;
   std::uint64_t next_job_id_ = 1;
   Counters counters_;

@@ -49,6 +49,9 @@ ThreadsRuntime::ThreadsRuntime(const TaskRegistry& registry,
     throw std::invalid_argument(
         "threads runtime: poll_period and steal_batch must be >= 1");
   }
+  use_lockfree_ = config_.lockfree_deque && config_.workers > 1 &&
+                  config_.exec_order == ExecOrder::kLifo &&
+                  config_.steal_order == StealOrder::kFifo;
   workers_.reserve(config_.workers);
   for (int i = 0; i < config_.workers; ++i) {
     auto w = std::make_unique<Worker>();
@@ -103,12 +106,15 @@ ThreadsRunResult ThreadsRuntime::run(TaskId root, std::vector<Value> args) {
     hooks.send_remote = [this, i](const ContRef& cont, Value value) {
       deliver(cont, std::move(value), i);
     };
+    CoreOptions opts;
+    opts.exec_order = config_.exec_order;
+    opts.steal_order = config_.steal_order;
+    opts.fused_spawn = config_.fused_spawn;
+    opts.lockfree_deque = use_lockfree_;
     std::lock_guard<std::mutex> lock(w.core_mutex);
     w.core = std::make_unique<WorkerCore>(net::NodeId{
                                               static_cast<std::uint32_t>(i)},
-                                          registry_, std::move(hooks),
-                                          config_.exec_order,
-                                          config_.steal_order);
+                                          registry_, std::move(hooks), opts);
     if (config_.tracer != nullptr) {
       w.core->set_trace(config_.tracer->shard(static_cast<std::uint16_t>(i)),
                         &steady_clock());
@@ -164,6 +170,9 @@ ThreadsRunResult ThreadsRuntime::run(TaskId root, std::vector<Value> args) {
   }
   StatsSnapshot snap = collect_stats(workers_, [](const auto& w) {
     std::lock_guard<std::mutex> lock(w->core_mutex);
+    // Fold any not-yet-reclaimed victim-side steal accounting (lock-free
+    // mode) so per-worker stats balance; harmless no-op otherwise.
+    w->core->reclaim_stolen_slots();
     return w->core->stats();
   });
   result.aggregate = std::move(snap.aggregate);
@@ -188,11 +197,16 @@ bool ThreadsRuntime::quiescent_without_result() {
   inbox_locks.reserve(workers_.size());
   for (auto& w : workers_) inbox_locks.emplace_back(w->inbox_mutex);
 
-  if (done_.load() || in_transit_.load() != 0) return false;
+  if (done_.load()) return false;
   for (auto& w : workers_) {
     if (!w->core || w->core->has_ready() || !w->inbox.empty()) return false;
   }
-  return true;
+  // in_transit_ is checked AFTER the deque scan: a lock-free thief does not
+  // take the victim's core lock, so it can CAS a task out of a deque we have
+  // not scanned yet — but it increments in_transit_ before that CAS and can
+  // only decrement after install (which needs its own core lock, held by us),
+  // so the task is visible either in a deque or in this counter.
+  return in_transit_.load() == 0;
 }
 
 void ThreadsRuntime::worker_loop(int index) {
@@ -206,6 +220,14 @@ void ThreadsRuntime::worker_loop(int index) {
   // drain stays, keeping the loop shape uniform).
   const bool solo = config_.workers == 1;
   const int exec_batch = solo ? 256 : 8;
+  // Hoist per-task loop inputs into locals: execute() ends in an opaque
+  // indirect call, so the compiler must otherwise reload every `config_`
+  // field from memory after each task.  At fib grain those reloads cost more
+  // than the modeled obligation itself (which is one relaxed load), so
+  // leaving them in would overstate Phish's overhead.
+  const bool phish = config_.phish_overheads;
+  const int poll_period = config_.poll_period;
+  const int poll_fd = w.poll_fd;
   while (!done_.load(std::memory_order_acquire)) {
     bool progressed = false;
     bool out_of_local_work = false;
@@ -214,27 +236,34 @@ void ThreadsRuntime::worker_loop(int index) {
       // this core's mutex get a window at the deque between batches.
       std::lock_guard<std::mutex> lock(w.core_mutex);
       progressed |= drain_inbox(w);
-      for (int i = 0; i < exec_batch; ++i) {
-        auto task = w.core->pop_for_execution();
+      // Return pool slots thieves CAS-stole since the last batch (lock-free
+      // mode; cheap flag check otherwise a no-op).
+      if (use_lockfree_ && w.core->has_parked_slots()) {
+        w.core->reclaim_stolen_slots();
+      }
+      WorkerCore& core = *w.core;
+      int executed = 0;
+      for (; executed < exec_batch; ++executed) {
+        auto task = core.pop_for_execution();
         if (!task) {
           out_of_local_work = true;
           break;
         }
-        w.core->execute(*task);
-        progressed = true;
-        if (config_.phish_overheads) {
+        core.execute(*task);
+        if (phish) {
           // Phish's per-task obligations: a dynamic-membership check on
           // every task, and a split-phase network poll (a real non-blocking
           // syscall) amortized over poll_period tasks.
           (void)membership_epoch_.load(std::memory_order_relaxed);
-          if (++tasks_since_poll >= config_.poll_period) {
+          if (++tasks_since_poll >= poll_period) {
             tasks_since_poll = 0;
             std::uint8_t buf[64];
-            (void)::recv(w.poll_fd, buf, sizeof buf, 0);  // expected: EAGAIN
+            (void)::recv(poll_fd, buf, sizeof buf, 0);  // expected: EAGAIN
           }
         }
         if (!solo) drain_inbox(w);
       }
+      if (executed != 0) progressed = true;
     }
     // done_ is checked once per batch, not per task: the acquire load is on
     // the hot path, and a batch is only tens of microseconds long.
@@ -286,7 +315,16 @@ bool ThreadsRuntime::try_steal_for(int thief_index) {
 
   const std::uint64_t t0 = monotonic_ns();
   std::vector<Closure> stolen;
-  {
+  if (use_lockfree_) {
+    // No victim lock: CAS-steal straight from its Chase–Lev deque.  The
+    // in_transit_ increment covers the whole window from the first possible
+    // CAS until install, so the quiescence detector can never observe a
+    // stolen task in neither deque (victim.core itself is only reconstructed
+    // between jobs, so reading the pointer unlocked is safe).
+    in_transit_.fetch_add(1);
+    victim.core->steal_concurrent(
+        stolen, static_cast<std::uint32_t>(config_.steal_batch));
+  } else {
     std::lock_guard<std::mutex> lock(victim.core_mutex);
     stolen = victim.core->try_steal_batch(
         net::NodeId{static_cast<std::uint32_t>(thief_index)},
@@ -294,19 +332,24 @@ bool ThreadsRuntime::try_steal_for(int thief_index) {
     // Mark the tasks in transit *before* releasing the victim's lock so the
     // quiescence detector can never observe them in neither deque.
     if (!stolen.empty()) {
-      in_transit_.fetch_add(static_cast<int>(stolen.size()));
+      in_transit_.fetch_add(1);
     }
   }
-  std::lock_guard<std::mutex> lock(thief.core_mutex);
-  thief.core->note_steal_request_sent();
-  if (stolen.empty()) {
-    thief.core->note_steal_failed();
-    return false;
+  const bool covered = use_lockfree_ || !stolen.empty();
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> lock(thief.core_mutex);
+    thief.core->note_steal_request_sent();
+    if (stolen.empty()) {
+      thief.core->note_steal_failed();
+    } else {
+      for (Closure& c : stolen) thief.core->install_stolen(std::move(c));
+      steal_latency_.observe(monotonic_ns() - t0);
+      ok = true;
+    }
   }
-  for (Closure& c : stolen) thief.core->install_stolen(std::move(c));
-  steal_latency_.observe(monotonic_ns() - t0);
-  in_transit_.fetch_sub(static_cast<int>(stolen.size()));
-  return true;
+  if (covered) in_transit_.fetch_sub(1);
+  return ok;
 }
 
 void ThreadsRuntime::deliver(const ContRef& cont, Value value,

@@ -306,7 +306,8 @@ TEST(TaskRegistryTest, RegistersAndLooksUp) {
   EXPECT_NE(a, b);
   EXPECT_EQ(reg.id_of("a"), a);
   EXPECT_EQ(reg.id_of("b"), b);
-  EXPECT_EQ(reg.get(a).name, "a");
+  EXPECT_EQ(reg.name_of(a), "a");
+  EXPECT_NE(reg.entry(a).fn, nullptr);
   EXPECT_TRUE(reg.has("a"));
   EXPECT_FALSE(reg.has("c"));
   EXPECT_EQ(reg.size(), 2u);
@@ -322,7 +323,8 @@ TEST(TaskRegistryTest, RejectsDuplicateNames) {
 TEST(TaskRegistryTest, UnknownLookupsThrow) {
   TaskRegistry reg;
   EXPECT_THROW(reg.id_of("nope"), std::out_of_range);
-  EXPECT_THROW(reg.get(0), std::out_of_range);
+  EXPECT_THROW(reg.entry(0), std::out_of_range);
+  EXPECT_THROW(reg.name_of(0), std::out_of_range);
 }
 
 TEST(LocalRunnerTest, RunsTrivialTask) {

@@ -219,5 +219,58 @@ TEST_F(ServiceTest, UnknownJobQueriesAreSafe) {
   svc.note_done(99, std::nullopt);  // must not crash
 }
 
+TEST_F(ServiceTest, HistoryRetentionEvictsOldestTerminalJobs) {
+  ServiceConfig cfg;
+  cfg.max_active = 1;
+  cfg.history_limit = 3;
+  auto svc = make(cfg);
+  // Run 5 jobs to completion, one at a time.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    const auto r = svc.submit(req());
+    ASSERT_TRUE(r.accepted());
+    svc.note_done(r.job_id, Value(std::int64_t{i}));
+    ids.push_back(r.job_id);
+  }
+  // The 3 newest terminal jobs answer status(); the 2 oldest were evicted
+  // and behave exactly like ids that never existed.
+  EXPECT_FALSE(svc.status(ids[0]).has_value());
+  EXPECT_FALSE(svc.status(ids[1]).has_value());
+  for (int i = 2; i < 5; ++i) {
+    const auto s = svc.status(ids[i]);
+    ASSERT_TRUE(s.has_value()) << "job " << ids[i];
+    EXPECT_EQ(s->state, JobState::kDone);
+    EXPECT_EQ(s->result.as_int(), i);
+  }
+  EXPECT_EQ(svc.counters().history_evicted, 2u);
+  EXPECT_EQ(svc.list().size(), 3u);
+  // Evicted ids are inert everywhere, not just status().
+  EXPECT_FALSE(svc.cancel(ids[0]));
+  svc.note_done(ids[0], std::nullopt);  // must not crash or recount
+  EXPECT_EQ(svc.counters().completed, 5u);
+}
+
+TEST_F(ServiceTest, HistoryRetentionNeverEvictsLiveJobs) {
+  ServiceConfig cfg;
+  cfg.max_active = 1;
+  cfg.history_limit = 1;
+  auto svc = make(cfg);
+  // One active, one pending — both live while two other jobs terminate.
+  const auto active = svc.submit(req());
+  const auto pending = svc.submit(req());
+  const auto doomed = svc.submit(req());
+  const auto doomed2 = svc.submit(req());
+  ASSERT_TRUE(svc.cancel(doomed.job_id));
+  ASSERT_TRUE(svc.cancel(doomed2.job_id));  // evicts doomed
+  EXPECT_EQ(svc.counters().history_evicted, 1u);
+  EXPECT_FALSE(svc.status(doomed.job_id).has_value());
+  // Live jobs survive the churn untouched.
+  EXPECT_EQ(svc.status(active.job_id)->state, JobState::kActive);
+  EXPECT_EQ(svc.status(pending.job_id)->state, JobState::kPending);
+  // Cancelled-then-evicted jobs do not block the pending one from running.
+  svc.note_done(active.job_id, std::nullopt);
+  EXPECT_EQ(svc.status(pending.job_id)->state, JobState::kActive);
+}
+
 }  // namespace
 }  // namespace phish::jobsvc

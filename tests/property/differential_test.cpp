@@ -1,9 +1,11 @@
-// Differential tests: the pooled/lazy hot path vs the seed's heap/eager
+// Differential tests: the fast hot-path modes vs the seed's heap/eager
 // path, through identical scheduler code.
 //
 // The fast task hot path (closure pooling, lazy id materialization, in-place
-// argument assignment) must be a pure performance change: every CoreOptions
-// combination has to produce the same results, the same task counts, the
+// argument assignment, fused LIFO spawn, the lock-free Chase–Lev ready
+// deque) must be a pure performance change: every CoreOptions combination —
+// the full {pooled, heap} × {lazy, eager} × {fused, plain} × {chase-lev,
+// ring} matrix — has to produce the same results, the same task counts, the
 // same scheduler statistics, and — under a deterministic clock — the same
 // trace bytes.  These tests pin that equivalence so a future hot-path tweak
 // that changes scheduling behavior (and not just its cost) fails loudly.
@@ -28,20 +30,44 @@ namespace phish {
 namespace {
 
 struct ModeParam {
-  const char* name;
+  std::string name;
   CoreOptions options;
 };
 
-const ModeParam kModes[] = {
-    {"pooled_lazy", CoreOptions{ExecOrder::kLifo, StealOrder::kFifo,
-                                /*lazy_spawn=*/true, /*pooled_alloc=*/true}},
-    {"pooled_eager", CoreOptions{ExecOrder::kLifo, StealOrder::kFifo,
-                                 /*lazy_spawn=*/false, /*pooled_alloc=*/true}},
-    {"heap_lazy", CoreOptions{ExecOrder::kLifo, StealOrder::kFifo,
-                              /*lazy_spawn=*/true, /*pooled_alloc=*/false}},
-    {"heap_eager", CoreOptions{ExecOrder::kLifo, StealOrder::kFifo,
-                               /*lazy_spawn=*/false, /*pooled_alloc=*/false}},
-};
+/// The full mode matrix: allocation × id policy × spawn fusion × deque
+/// backend, 16 combinations.  Element 0 is the all-fast mode; the all-seed
+/// mode (heap, eager, unfused, guarded ring) is seed_mode() below.
+std::vector<ModeParam> all_modes() {
+  std::vector<ModeParam> out;
+  for (bool pooled : {true, false}) {
+    for (bool lazy : {true, false}) {
+      for (bool fused : {true, false}) {
+        for (bool lockfree : {true, false}) {
+          CoreOptions o;
+          o.lazy_spawn = lazy;
+          o.pooled_alloc = pooled;
+          o.fused_spawn = fused;
+          o.lockfree_deque = lockfree;
+          std::string name = std::string(pooled ? "pooled" : "heap") +
+                             (lazy ? "_lazy" : "_eager") +
+                             (fused ? "_fused" : "_plain") +
+                             (lockfree ? "_cl" : "_ring");
+          out.push_back(ModeParam{std::move(name), o});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CoreOptions seed_mode() {
+  CoreOptions o;
+  o.lazy_spawn = false;
+  o.pooled_alloc = false;
+  o.fused_spawn = false;
+  o.lockfree_deque = false;
+  return o;
+}
 
 // The stats fields that define scheduling behavior.  Compared field by
 // field so a mismatch names the counter that diverged.
@@ -80,9 +106,9 @@ TEST(Differential, FibIdenticalAcrossModes) {
   TaskRegistry reg;
   const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/0);
   const RunOutcome ref =
-      run_app(kModes[0].options, reg, root, {Value(std::int64_t{18})});
+      run_app(seed_mode(), reg, root, {Value(std::int64_t{18})});
   EXPECT_EQ(ref.result.as_int(), apps::fib_serial(18));
-  for (const ModeParam& mode : kModes) {
+  for (const ModeParam& mode : all_modes()) {
     const RunOutcome got =
         run_app(mode.options, reg, root, {Value(std::int64_t{18})});
     EXPECT_EQ(got.result.as_int(), ref.result.as_int()) << mode.name;
@@ -94,9 +120,9 @@ TEST(Differential, NQueensIdenticalAcrossModes) {
   TaskRegistry reg;
   const TaskId root = apps::register_nqueens(reg, /*sequential_rows=*/4);
   const RunOutcome ref =
-      run_app(kModes[0].options, reg, root, {Value(std::int64_t{8})});
+      run_app(seed_mode(), reg, root, {Value(std::int64_t{8})});
   EXPECT_EQ(ref.result.as_int(), apps::nqueens_serial(8));
-  for (const ModeParam& mode : kModes) {
+  for (const ModeParam& mode : all_modes()) {
     const RunOutcome got =
         run_app(mode.options, reg, root, {Value(std::int64_t{8})});
     EXPECT_EQ(got.result.as_int(), ref.result.as_int()) << mode.name;
@@ -109,9 +135,9 @@ TEST(Differential, PfoldIdenticalAcrossModes) {
   const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/4);
   const Histogram expected = apps::pfold_serial(10);
   const RunOutcome ref =
-      run_app(kModes[0].options, reg, root, {Value(std::int64_t{10})});
+      run_app(seed_mode(), reg, root, {Value(std::int64_t{10})});
   EXPECT_EQ(apps::decode_histogram(ref.result.as_blob()), expected);
-  for (const ModeParam& mode : kModes) {
+  for (const ModeParam& mode : all_modes()) {
     const RunOutcome got =
         run_app(mode.options, reg, root, {Value(std::int64_t{10})});
     EXPECT_EQ(apps::decode_histogram(got.result.as_blob()), expected)
@@ -166,9 +192,9 @@ Bytes traced_run_bytes(const CoreOptions& options) {
 }
 
 TEST(Differential, TraceBytesIdenticalAcrossModes) {
-  const Bytes ref = traced_run_bytes(kModes[0].options);
+  const Bytes ref = traced_run_bytes(seed_mode());
   ASSERT_FALSE(ref.empty());
-  for (const ModeParam& mode : kModes) {
+  for (const ModeParam& mode : all_modes()) {
     EXPECT_EQ(traced_run_bytes(mode.options), ref) << mode.name;
   }
 }
@@ -253,17 +279,19 @@ TwoCoreResult run_two_cores(const CoreOptions& options,
 TEST(Differential, StealMaterializationMatchesSeedPath) {
   TaskRegistry reg;
   const TaskId root = apps::register_fib(reg, 0);
-  const TwoCoreResult fast = run_two_cores(
-      kModes[0].options, reg, root, {Value(std::int64_t{15})});
-  const TwoCoreResult seed = run_two_cores(
-      kModes[3].options, reg, root, {Value(std::int64_t{15})});
-  EXPECT_EQ(fast.result.as_int(), apps::fib_serial(15));
+  const TwoCoreResult seed =
+      run_two_cores(seed_mode(), reg, root, {Value(std::int64_t{15})});
   EXPECT_EQ(seed.result.as_int(), apps::fib_serial(15));
-  expect_same_stats(fast.victim, seed.victim, "victim");
-  expect_same_stats(fast.thief, seed.thief, "thief");
   // The deterministic pump must actually have stolen something, or this
   // test is vacuous.
-  EXPECT_GT(fast.victim.tasks_stolen_from_me, 0u);
+  EXPECT_GT(seed.victim.tasks_stolen_from_me, 0u);
+  for (const ModeParam& mode : all_modes()) {
+    const TwoCoreResult got =
+        run_two_cores(mode.options, reg, root, {Value(std::int64_t{15})});
+    EXPECT_EQ(got.result.as_int(), apps::fib_serial(15)) << mode.name;
+    expect_same_stats(got.victim, seed.victim, mode.name + "/victim");
+    expect_same_stats(got.thief, seed.thief, mode.name + "/thief");
+  }
 }
 
 // Stolen ids must be globally unique even when the victim materializes them

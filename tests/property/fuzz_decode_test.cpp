@@ -79,8 +79,8 @@ TEST(FuzzDecodeRegression, TruncatedStealReplyClosureIsRejected) {
   // Regression: a steal reply truncated exactly after the closure header —
   // claiming N>0 argument slots but carrying none — used to decode with
   // r.ok() still true, so the thief installed a garbage closure and crashed
-  // in registry.get() when it came up for execution.  The decoder must fail
-  // the reader on any structurally short payload.
+  // on the registry bounds check when it came up for execution.  The decoder
+  // must fail the reader on any structurally short payload.
   Closure c;
   c.id = ClosureId{net::NodeId{2}, 17};
   c.task = 0;
