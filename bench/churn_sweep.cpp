@@ -1,0 +1,341 @@
+// Availability-under-churn sweep — the control plane's SLO artifact
+// (DESIGN.md §8, EXPERIMENTS.md "availability vs churn rate").
+//
+// For each cell of (churn rate × failure correlation), a seeded ChurnPlan
+// takes workstations dark and brings them back (Poisson leaves, whole-rack
+// correlated losses, exponential downtimes) while an open-loop arrival
+// process submits jobs through PhishJobD admission control into a simulated
+// Phish pool.  The service runs with the degradation watermark wired to live
+// pool capacity, so cells with deep capacity dips exercise 503-shedding and
+// self-recovery, not just redo.
+//
+// Reported per cell (BENCH_availability.json):
+//   * availability       time-integral of live/total workstations
+//   * work_redone_pct    re-executed tasks as a share of all executed tasks
+//   * mttr p50/p99       per-workstation down -> back-up, exact percentiles
+//   * rejected_degraded  submissions shed below the capacity watermark
+//   * steady_state_ns    when capacity last recovered to the watermark
+//
+// Conservation gate (the CI churn-smoke leg): at EVERY churn rate, accepted
+// == completed + cancelled with completed > 0 and no lost jobs — an accepted
+// job is a promise that churn must not break.  Any cell violating it fails
+// the run.  Virtual time + seeded plans make every cell deterministic.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/fib/fib.hpp"
+#include "bench_util.hpp"
+#include "jobsvc/service.hpp"
+#include "obs/availability.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/clock.hpp"
+#include "runtime/simdist/macro_service.hpp"
+#include "testing/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace phish::bench {
+namespace {
+
+struct CellParams {
+  double churn_hz = 1.0;
+  double correlation = 0.0;
+};
+
+struct CellResult {
+  CellParams params;
+  obs::AvailabilityMeter::Report avail;
+  jobsvc::JobService::Counters counters;
+  std::uint64_t lost_jobs = 0;
+  bool conservation_ok = false;
+  bool drained = true;
+};
+
+struct SweepConfig {
+  int workstations = 8;
+  int jobs = 40;
+  double arrival_hz = 3.0;
+  int fib_n = 14;
+  double watermark = 0.5;
+  std::uint64_t horizon_ns = 30ULL * sim::kSecond;
+  std::uint64_t seed = 42;
+};
+
+CellResult run_cell(const SweepConfig& sweep, const CellParams& cell) {
+  CellResult out;
+  out.params = cell;
+  obs::Registry::global().reset();
+
+  TaskRegistry registry;
+  apps::register_fib(registry, /*sequential_cutoff=*/8);
+
+  // Failure detection ON (unlike the quiet-pool load bench): churned
+  // workers must be declared dead and their closures redone.  Timeouts are
+  // scaled so detection completes well inside a cell's mean downtime.
+  rt::MacroConfig cfg;
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1'500 * sim::kMillisecond;
+  cfg.clearinghouse.failure_check_period_ns = 300 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 150 * sim::kMillisecond;
+  cfg.worker.update_period = 2 * sim::kSecond;
+  // No self-termination: a shrink-and-depart migrates closures to a peer,
+  // and migrate-then-crash is the one composition the redo ledger does not
+  // claim to survive (see ChurnProfile::reclaim_fraction).  Workers here
+  // steal until the job's shutdown broadcast; ONLY crashes take work away,
+  // which is exactly the covered failure mode the conservation gate checks.
+  // (max_failed_steals keeps its effectively-infinite default.)
+  //
+  // Stretch each job to seconds of virtual time (fib(14) ~ 1.9 s of work at
+  // 5 ms/unit): a job must span several churn events, or crashes never
+  // catch a worker holding tasks and the redo path goes unmeasured.
+  cfg.worker.charge_unit = 5 * sim::kMillisecond;
+  cfg.manager.job_poll = 500 * sim::kMillisecond;
+  cfg.manager.owner_poll = 200 * sim::kMillisecond;
+  cfg.seed = sweep.seed;
+  cfg.max_sim_time = 4 * 3'600 * sim::kSecond;
+  rt::MacroCluster cluster(registry, cfg);
+  for (int i = 0; i < sweep.workstations; ++i) {
+    cluster.add_workstation(rt::OwnerTrace::always_idle());
+  }
+
+  const obs::VirtualClock<sim::Simulator> clock(cluster.simulator());
+  rt::MacroServiceBackend backend(cluster);
+  jobsvc::ServiceConfig svc_cfg;
+  svc_cfg.max_active = static_cast<std::size_t>(sweep.workstations);
+  svc_cfg.max_backlog = 16;
+  svc_cfg.degrade_watermark = sweep.watermark;
+  svc_cfg.degrade_retry_after_ns = 2ULL * sim::kSecond;
+  jobsvc::JobService service(clock, backend, svc_cfg);
+  backend.bind(service);
+  service.set_capacity_probe([&cluster] {
+    return cluster.workstations() > 0
+               ? static_cast<double>(cluster.live_workstations()) /
+                     static_cast<double>(cluster.workstations())
+               : 1.0;
+  });
+
+  // The churn schedule: one seed -> one plan; the cell index perturbs the
+  // seed so cells fail independently, not in lockstep.
+  testing::ChurnProfile churn;
+  churn.workers = sweep.workstations;
+  churn.horizon_ns = sweep.horizon_ns;
+  churn.churn_rate_hz = cell.churn_hz;
+  churn.correlation = cell.correlation;
+  churn.rack_size = sweep.workstations >= 8 ? 4 : 2;
+  churn.mean_downtime_ns = 2ULL * sim::kSecond;
+  churn.min_downtime_ns = 200 * sim::kMillisecond;
+  churn.min_live = 2;
+  const std::uint64_t plan_seed =
+      mix64(sweep.seed ^ (0x5ee9ULL + static_cast<std::uint64_t>(
+                                          cell.churn_hz * 1000 +
+                                          cell.correlation * 17)));
+  const net::FaultPlan plan = testing::make_churn_plan(plan_seed, churn);
+
+  obs::AvailabilityMeter meter(sweep.workstations, /*start_ns=*/0);
+  for (const net::NodeEvent& e : plan.events) {
+    if (e.worker <= 0 || e.worker >= cluster.workstations()) continue;
+    bool down = false;
+    switch (e.kind) {
+      case net::NodeFaultKind::kCrash:
+      case net::NodeFaultKind::kReclaim:
+        down = true;
+        break;
+      case net::NodeFaultKind::kRestart:
+        down = false;
+        break;
+      default:
+        continue;  // partitions/heals are not machine churn
+    }
+    cluster.simulator().schedule_at(
+        e.at_ns, [&cluster, &meter, w = e.worker, down] {
+          cluster.set_workstation_offline(w, down);
+          const auto now = cluster.simulator().now();
+          if (down) {
+            meter.node_down(static_cast<std::uint64_t>(w), now);
+          } else {
+            meter.node_up(static_cast<std::uint64_t>(w), now);
+          }
+        });
+  }
+
+  // Open-loop arrivals: exponential interarrival at the offered rate,
+  // starting after 1 s of quiet pool.
+  Xoshiro256 rng(mix64(sweep.seed ^ 0xa331'7a15ULL));
+  sim::SimTime at = sim::kSecond;
+  sim::SimTime last_arrival = at;
+  for (int i = 0; i < sweep.jobs; ++i) {
+    cluster.simulator().schedule_at(at, [&service, &sweep] {
+      jobsvc::SubmitRequest req;
+      req.root_task = "fib.task";
+      req.args.emplace_back(static_cast<std::int64_t>(sweep.fib_n));
+      service.submit(std::move(req));
+    });
+    last_arrival = at;
+    const double u = rng.uniform();
+    at += static_cast<sim::SimTime>(-std::log(u > 1e-12 ? u : 1e-12) /
+                                    sweep.arrival_hz * sim::kSecond);
+  }
+
+  // Run until the service drains (all arrivals fired, nothing in flight).
+  for (;;) {
+    cluster.run_until(cluster.simulator().now() + sim::kSecond);
+    if (cluster.simulator().now() > cfg.max_sim_time) {
+      out.drained = false;
+      break;
+    }
+    if (cluster.simulator().now() > last_arrival &&
+        service.pending_jobs() == 0 && service.active_jobs() == 0) {
+      break;
+    }
+  }
+  cluster.run_until(cluster.simulator().now() + 5 * sim::kSecond);
+
+  out.counters = service.counters();
+  const WorkerStats work = cluster.aggregate_worker_stats();
+  const std::uint64_t redone = work.tasks_redone;
+  const std::uint64_t useful =
+      work.tasks_executed > redone ? work.tasks_executed - redone : 0;
+  const std::uint64_t settled = out.counters.completed + out.counters.cancelled;
+  out.lost_jobs =
+      out.counters.accepted > settled ? out.counters.accepted - settled : 0;
+  meter.record_work(useful, redone, out.lost_jobs);
+  out.avail = meter.finish(cluster.simulator().now(), sweep.watermark);
+  out.conservation_ok = out.drained && out.counters.completed > 0 &&
+                        out.counters.accepted == settled;
+  return out;
+}
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  SweepConfig sweep;
+  sweep.workstations = static_cast<int>(flags.get_int("workstations", 8));
+  sweep.jobs = static_cast<int>(flags.get_int("jobs", smoke ? 12 : 40));
+  sweep.arrival_hz = flags.get_double("rate", 3.0);
+  sweep.fib_n = static_cast<int>(flags.get_int("fib", 14));
+  sweep.watermark = flags.get_double("watermark", 0.5);
+  sweep.horizon_ns = static_cast<std::uint64_t>(
+      flags.get_int("horizon-s", smoke ? 10 : 30)) * sim::kSecond;
+  sweep.seed = static_cast<std::uint64_t>(flags.get_int(
+      "seed", static_cast<std::int64_t>(
+                  testing::seed_from_env("PHISH_TEST_SEED", 42))));
+  reject_unknown_flags(flags);
+
+  banner("availability", "sustained-churn sweep: churn rate x correlation "
+                         "(virtual time)");
+  std::printf("%d workstations, %d jobs/cell at %.1f jobs/s, fib(%d), "
+              "watermark %.2f, churn horizon %llu s, seed %llu\n\n",
+              sweep.workstations, sweep.jobs, sweep.arrival_hz, sweep.fib_n,
+              sweep.watermark,
+              (unsigned long long)(sweep.horizon_ns / sim::kSecond),
+              (unsigned long long)sweep.seed);
+
+  std::vector<CellParams> cells;
+  if (smoke) {
+    cells = {{2.0, 0.0}, {2.0, 0.5}};
+  } else {
+    for (double hz : {0.5, 1.0, 2.0, 4.0}) {
+      for (double corr : {0.0, 0.5}) cells.push_back({hz, corr});
+    }
+  }
+
+  TextTable table({"churn/s", "corr", "avail", "redone%", "mttr p50 (s)",
+                   "mttr p99 (s)", "accepted", "completed", "shed",
+                   "conserved"});
+  std::vector<CellResult> results;
+  bool all_ok = true;
+  for (const CellParams& cell : cells) {
+    const CellResult r = run_cell(sweep, cell);
+    results.push_back(r);
+    all_ok = all_ok && r.conservation_ok;
+    table.add_row({TextTable::num(r.params.churn_hz, 1),
+                   TextTable::num(r.params.correlation, 1),
+                   TextTable::num(r.avail.availability, 4),
+                   TextTable::num(r.avail.work_redone_pct, 2),
+                   TextTable::num(static_cast<double>(r.avail.mttr_p50_ns) /
+                                      1e9, 2),
+                   TextTable::num(static_cast<double>(r.avail.mttr_p99_ns) /
+                                      1e9, 2),
+                   TextTable::num(static_cast<std::int64_t>(
+                       r.counters.accepted)),
+                   TextTable::num(static_cast<std::int64_t>(
+                       r.counters.completed)),
+                   TextTable::num(static_cast<std::int64_t>(
+                       r.counters.rejected_degraded)),
+                   r.conservation_ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  double min_avail = 1.0, max_redone = 0.0;
+  for (const CellResult& r : results) {
+    min_avail = std::min(min_avail, r.avail.availability);
+    max_redone = std::max(max_redone, r.avail.work_redone_pct);
+  }
+  kv("cells", static_cast<std::uint64_t>(results.size()));
+  kv("availability_min", min_avail);
+  kv("work_redone_pct_max", max_redone);
+  kv("conservation_ok", std::string(all_ok ? "true" : "false"));
+
+  obs::BenchReport report("availability");
+  report.set("workstations", sweep.workstations);
+  report.set("jobs_per_cell", sweep.jobs);
+  report.set("arrival_hz", sweep.arrival_hz);
+  report.set("watermark", sweep.watermark);
+  report.set("horizon_s",
+             static_cast<std::uint64_t>(sweep.horizon_ns / sim::kSecond));
+  report.set("seed", sweep.seed);
+  report.set("cells", static_cast<std::uint64_t>(results.size()));
+  report.set("availability_min", min_avail);
+  report.set("work_redone_pct_max", max_redone);
+  report.set("conservation_ok", all_ok);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    const std::string p = "c" + std::to_string(i) + "_";
+    report.set(p + "churn_hz", r.params.churn_hz);
+    report.set(p + "correlation", r.params.correlation);
+    report.set(p + "availability", r.avail.availability);
+    report.set(p + "work_redone_pct", r.avail.work_redone_pct);
+    report.set(p + "mttr_count", r.avail.mttr_count);
+    report.set(p + "mttr_p50_ns", r.avail.mttr_p50_ns);
+    report.set(p + "mttr_p99_ns", r.avail.mttr_p99_ns);
+    report.set(p + "downs", r.avail.downs);
+    report.set(p + "steady_state_ns", r.avail.steady_state_ns);
+    report.set(p + "steady", r.avail.steady);
+    report.set(p + "submitted", r.counters.submitted);
+    report.set(p + "accepted", r.counters.accepted);
+    report.set(p + "completed", r.counters.completed);
+    report.set(p + "cancelled", r.counters.cancelled);
+    report.set(p + "rejected_degraded", r.counters.rejected_degraded);
+    report.set(p + "lost_jobs", r.lost_jobs);
+    report.set(p + "conservation_ok", r.conservation_ok);
+  }
+  report.write();
+
+  if (!all_ok) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CellResult& r = results[i];
+      if (r.conservation_ok) continue;
+      std::printf("FAILED cell %zu (churn %.1f/s corr %.1f): %s — "
+                  "accepted %llu vs completed %llu + cancelled %llu "
+                  "(lost %llu)\n",
+                  i, r.params.churn_hz, r.params.correlation,
+                  r.drained ? "job conservation violated"
+                            : "did not drain before the time cap",
+                  (unsigned long long)r.counters.accepted,
+                  (unsigned long long)r.counters.completed,
+                  (unsigned long long)r.counters.cancelled,
+                  (unsigned long long)r.lost_jobs);
+    }
+    std::printf("replay: PHISH_TEST_SEED=%llu churn_sweep%s\n",
+                (unsigned long long)sweep.seed, smoke ? " --smoke=true" : "");
+    return 1;
+  }
+  std::printf("OK: job conservation held in all %zu cells\n", results.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace phish::bench
+
+int main(int argc, char** argv) { return phish::bench::run(argc, argv); }

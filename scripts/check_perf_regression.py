@@ -58,6 +58,29 @@ REQUIRED = {
     ),
 }
 
+# Presence-only checks on artifacts the gate does not ratio-compare.  When a
+# fig4/table2 artifact was produced by a --failures run (its "failures" flag
+# is 1), the recovery counters must be in it: a refactor that disconnects the
+# RecoveryTracker from those benches would otherwise ship artifacts that look
+# complete but no longer measure recovery at all.  Artifacts that are absent
+# or were produced without --failures are skipped, not failed.
+CONDITIONAL_RECOVERY = {
+    "BENCH_fig4_pfold_time.json": (
+        ".recovery.detects",
+        ".recovery.promotions",
+        ".recovery.rejoins",
+        ".recovery.mttr_count",
+        ".recovery.mttr_ns",
+    ),
+    "BENCH_table2_locality.json": (
+        ".recovery.detects",
+        ".recovery.promotions",
+        ".recovery.rejoins",
+        ".recovery.mttr_count",
+        ".recovery.mttr_ns",
+    ),
+}
+
 
 def flatten(obj, prefix=""):
     """Flatten nested JSON objects to {dotted.key: leaf} (lists ignored)."""
@@ -79,6 +102,26 @@ def gated_values(path, suffixes):
             if k.endswith(suffixes) and not k.startswith("metrics.")}
 
 
+def check_recovery_presence(directory, side, failures):
+    """Require recovery counters in fig4/table2 artifacts from --failures
+    runs found under `directory`.  Appends to `failures` in place."""
+    for artifact, suffixes in CONDITIONAL_RECOVERY.items():
+        path = os.path.join(directory, artifact)
+        if not os.path.exists(path):
+            continue
+        with open(path, "r", encoding="utf-8") as f:
+            flat = flatten(json.load(f))
+        if flat.get("failures") != 1.0:
+            continue  # quiet-run artifact: no recovery expected
+        for suffix in suffixes:
+            if not any(k.endswith(suffix) and not k.startswith("metrics.")
+                       for k in flat):
+                line = (f"  {artifact}: --failures run but recovery key "
+                        f"*{suffix} missing from {side} artifact")
+                failures.append(line)
+                print("MISSING " + line)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--fresh", required=True,
@@ -92,6 +135,9 @@ def main():
     failures = []
     improvements = []
     compared = 0
+
+    check_recovery_presence(args.baseline, "baseline", failures)
+    check_recovery_presence(args.fresh, "fresh", failures)
 
     for artifact, suffixes in GATED:
         base_path = os.path.join(args.baseline, artifact)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/recovery.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace phish {
@@ -20,8 +21,8 @@ void Clearinghouse::install_primary_handlers() {
   rpc_.serve(proto::kRpcUnregister, [this](net::NodeId src, const Bytes&) {
     return handle_unregister(src);
   });
-  rpc_.serve(proto::kRpcUpdate, [this](net::NodeId, const Bytes&) {
-    return handle_update();
+  rpc_.serve(proto::kRpcUpdate, [this](net::NodeId, const Bytes& args) {
+    return handle_update(args);
   });
   rpc_.serve(proto::kRpcResult, [this](net::NodeId src, const Bytes& args) {
     auto arg = proto::ArgumentMsg::decode(args);
@@ -171,6 +172,7 @@ std::map<net::NodeId, std::uint64_t> Clearinghouse::join_times() const {
 Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
   auto reg = proto::RegisterMsg::decode(args);
   const std::uint32_t inc = reg ? reg->incarnation : 1;
+  const std::uint64_t known_epoch = reg ? reg->known_epoch : 0;
   std::function<void(std::size_t)> notify;
   std::function<void(net::NodeId)> notify_death;
   std::size_t count = 0;
@@ -179,9 +181,11 @@ Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
   bool rejoined = false;
   std::vector<net::NodeId> death_targets;
   std::uint64_t view = 0;
+  std::uint64_t now = 0;
   Bytes reply;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    now = timers_.now_ns();
     const auto known = incarnations_.find(src);
     const std::uint32_t prev =
         known == incarnations_.end() ? 0 : known->second;
@@ -203,6 +207,7 @@ Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
         participants_.erase(it);
         dead_.push_back(src);
         ++epoch_;
+        log_change_locked(src, /*joined=*/false);
         implicit_death = true;
         death_targets = participants_;  // src is already gone from the list
       }
@@ -212,10 +217,18 @@ Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
         participants_.end()) {
       participants_.push_back(src);
       ++epoch_;
-      join_times_.emplace(src, timers_.now_ns());
+      log_change_locked(src, /*joined=*/true);
+      join_times_.emplace(src, now);
     }
-    last_heartbeat_[src] = timers_.now_ns();
-    reply = membership_locked().encode();
+    last_heartbeat_[src] = now;
+    // A caller that presented its known epoch opted into delta replies; a
+    // legacy caller (known_epoch == 0) gets the full snapshot it expects.
+    if (known_epoch > 0) {
+      reply = membership_update_locked(known_epoch).encode();
+    } else {
+      reply = membership_locked().encode();
+      obs::Registry::global().counter("ch.membership.full_replies").inc();
+    }
     notify = on_membership_change_;
     notify_death = on_death_;
     count = participants_.size();
@@ -229,7 +242,13 @@ Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
     broadcast_death(src, death_targets, view);
     if (notify_death) notify_death(src);
   }
-  if (rejoined && tracker_ != nullptr) tracker_->note_rejoin();
+  if (rejoined && tracker_ != nullptr) {
+    tracker_->note_rejoin();
+    // Closes the outage window opened when the old incarnation was declared
+    // dead; if the rejoin beat the death notice (implicit death above),
+    // there is no window and the tracker counts the inversion instead.
+    tracker_->note_up(src.value, now);
+  }
   if (already_done) {
     // The job finished while this worker was joining (the shutdown broadcast
     // predates its membership): tell it directly.
@@ -249,6 +268,7 @@ Bytes Clearinghouse::handle_unregister(net::NodeId src) {
     if (it != participants_.end()) {
       participants_.erase(it);
       ++epoch_;
+      log_change_locked(src, /*joined=*/false);
     }
     last_heartbeat_.erase(src);
     reply = membership_locked().encode();
@@ -259,9 +279,69 @@ Bytes Clearinghouse::handle_unregister(net::NodeId src) {
   return reply;
 }
 
-Bytes Clearinghouse::handle_update() {
+Bytes Clearinghouse::handle_update(const Bytes& args) {
+  const auto req = proto::UpdateRequest::decode(args);
+  const std::uint64_t since = req ? req->since_epoch : 0;
   std::lock_guard<std::mutex> lock(mutex_);
-  return membership_locked().encode();
+  // since == 0 is both "legacy caller" (empty payload) and "knows nothing";
+  // either way the full snapshot is the right answer.
+  if (since == 0) {
+    obs::Registry::global().counter("ch.membership.full_replies").inc();
+    return membership_locked().encode();
+  }
+  return membership_update_locked(since).encode();
+}
+
+void Clearinghouse::log_change_locked(net::NodeId node, bool joined) {
+  change_log_.push_back(EpochChange{epoch_, node, joined});
+  while (change_log_.size() > config_.membership_log_limit) {
+    change_log_.pop_front();
+  }
+}
+
+proto::MembershipUpdate Clearinghouse::membership_update_locked(
+    std::uint64_t since_epoch) const {
+  proto::MembershipUpdate u;
+  u.epoch = epoch_;
+  if (since_epoch >= epoch_) {
+    // Caller is current (or from the future, after a failover rolled the
+    // epoch back; the full set below handles that case).
+    if (since_epoch == epoch_) {
+      obs::Registry::global().counter("ch.membership.delta_replies").inc();
+      return u;  // empty delta
+    }
+  }
+  // The log covers (since_epoch, epoch_] iff no retained gap precedes it.
+  const bool covered = since_epoch < epoch_ && !change_log_.empty() &&
+                       change_log_.front().epoch <= since_epoch + 1;
+  if (!covered) {
+    u.full = true;
+    u.participants = participants_;
+    obs::Registry::global().counter("ch.membership.full_replies").inc();
+    return u;
+  }
+  // Net delta: a later change cancels an earlier one for the same node, so
+  // leave-then-rejoin within the window collapses to "no change".
+  for (const EpochChange& c : change_log_) {
+    if (c.epoch <= since_epoch) continue;
+    if (c.joined) {
+      auto it = std::find(u.left.begin(), u.left.end(), c.node);
+      if (it != u.left.end()) {
+        u.left.erase(it);
+      } else {
+        u.joined.push_back(c.node);
+      }
+    } else {
+      auto it = std::find(u.joined.begin(), u.joined.end(), c.node);
+      if (it != u.joined.end()) {
+        u.joined.erase(it);
+      } else {
+        u.left.push_back(c.node);
+      }
+    }
+  }
+  obs::Registry::global().counter("ch.membership.delta_replies").inc();
+  return u;
 }
 
 Bytes Clearinghouse::handle_delta(net::NodeId, const Bytes& args) {
@@ -375,10 +455,11 @@ void Clearinghouse::check_failures() {
   std::function<void(net::NodeId)> notify_death;
   std::function<void(std::size_t)> notify_membership;
   std::uint64_t view = 0;
+  std::uint64_t now = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_ || role_ != Role::kPrimary) return;
-    const std::uint64_t now = timers_.now_ns();
+    now = timers_.now_ns();
     for (auto it = participants_.begin(); it != participants_.end();) {
       const auto hb = last_heartbeat_.find(*it);
       const std::uint64_t last = hb == last_heartbeat_.end() ? 0 : hb->second;
@@ -386,8 +467,9 @@ void Clearinghouse::check_failures() {
         newly_dead.push_back(*it);
         dead_.push_back(*it);
         last_heartbeat_.erase(*it);
-        it = participants_.erase(it);
         ++epoch_;
+        log_change_locked(*it, /*joined=*/false);
+        it = participants_.erase(it);
       } else {
         ++it;
       }
@@ -403,6 +485,7 @@ void Clearinghouse::check_failures() {
   for (net::NodeId dead : newly_dead) {
     PHISH_LOG(kInfo) << "clearinghouse: participant " << net::to_string(dead)
                      << " declared dead";
+    if (tracker_ != nullptr) tracker_->note_down(dead.value, now);
     broadcast_death(dead, survivors, view);
     if (notify_death) notify_death(dead);
   }

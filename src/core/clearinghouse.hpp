@@ -22,6 +22,7 @@
 // threads); callbacks are invoked without internal locks held.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -54,6 +55,10 @@ struct ClearinghouseConfig {
   /// Cap on the io/stats tail entries shipped per delta (bounds frame size;
   /// the ack watermarks carry the rest on later ticks).
   std::size_t max_delta_tail = 256;
+  /// Bounded per-epoch membership change log backing delta replies
+  /// (MembershipUpdate).  A worker whose known epoch fell off the log gets
+  /// a full snapshot instead — correctness never depends on log depth.
+  std::size_t membership_log_limit = 256;
 };
 
 /// Root continuation for a job whose Clearinghouse lives at `ch`.
@@ -124,7 +129,7 @@ class Clearinghouse {
   void install_primary_handlers();
   Bytes handle_register(net::NodeId src, const Bytes& args);
   Bytes handle_unregister(net::NodeId src);
-  Bytes handle_update();
+  Bytes handle_update(const Bytes& args);
   Bytes handle_delta(net::NodeId src, const Bytes& args);
   void handle_oneway(net::Message&& message);
   void accept_result(net::NodeId src, Value value);
@@ -136,6 +141,13 @@ class Clearinghouse {
   void broadcast_death(net::NodeId dead, const std::vector<net::NodeId>& to,
                        std::uint64_t view);
   proto::Membership membership_locked() const;  // callers hold mutex_
+  /// Record one membership change (join or leave) at the current epoch in
+  /// the bounded change log.  Call after bumping epoch_, holding mutex_.
+  void log_change_locked(net::NodeId node, bool joined);
+  /// Delta since `since_epoch` when the change log covers the window; full
+  /// snapshot (full = true) otherwise.  Callers hold mutex_.
+  proto::MembershipUpdate membership_update_locked(
+      std::uint64_t since_epoch) const;
 
   net::RpcNode& rpc_;
   net::TimerService& timers_;
@@ -151,6 +163,15 @@ class Clearinghouse {
   std::map<net::NodeId, std::uint64_t> last_heartbeat_;
   std::map<net::NodeId, std::uint64_t> join_times_;
   std::vector<net::NodeId> dead_;
+  /// One entry per epoch bump: who changed and in which direction.  Bounded
+  /// by config_.membership_log_limit; deltas that would reach past the
+  /// oldest retained entry fall back to a full snapshot.
+  struct EpochChange {
+    std::uint64_t epoch;
+    net::NodeId node;
+    bool joined;
+  };
+  std::deque<EpochChange> change_log_;
   std::optional<Value> result_;
   std::vector<proto::StatsMsg> stats_reports_;
   std::vector<proto::IoMsg> io_log_;

@@ -171,7 +171,9 @@ struct IoMsg {
   }
 };
 
-/// Membership snapshot returned by register/update RPCs.
+/// Membership snapshot returned by register/update RPCs when the caller
+/// presented no epoch (legacy full snapshot; see MembershipUpdate for the
+/// delta path sustained churn rides).
 struct Membership {
   std::uint64_t epoch = 0;
   std::vector<net::NodeId> participants;
@@ -193,6 +195,75 @@ struct Membership {
     for (std::uint32_t i = 0; i < n; ++i) {
       m.participants.push_back(net::NodeId{r.u32()});
     }
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// Delta-capable membership reply (sustained churn).  Returned by
+/// kRpcRegister / kRpcUpdate *only* when the caller presented a nonzero
+/// known epoch, so both ends always agree on the encoding.  When the
+/// Clearinghouse's bounded change log still covers [since_epoch+1, epoch],
+/// the reply carries just the joins and leaves in that window — O(churn)
+/// instead of O(P) per refresh, which is what keeps a register storm from
+/// amplifying into a membership-snapshot storm.  Otherwise `full` is set
+/// and `participants` carries the whole snapshot as a fallback.
+struct MembershipUpdate {
+  std::uint64_t epoch = 0;
+  bool full = false;
+  std::vector<net::NodeId> participants;  // full snapshot when `full`
+  std::vector<net::NodeId> joined;        // delta when !`full`
+  std::vector<net::NodeId> left;
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(epoch);
+    w.boolean(full);
+    const auto put = [&w](const std::vector<net::NodeId>& v) {
+      w.u32(static_cast<std::uint32_t>(v.size()));
+      for (net::NodeId p : v) w.u32(p.value);
+    };
+    put(participants);
+    put(joined);
+    put(left);
+    return w.take();
+  }
+  static std::optional<MembershipUpdate> decode(const Bytes& b) {
+    Reader r(b);
+    MembershipUpdate m;
+    m.epoch = r.u64();
+    m.full = r.boolean();
+    const auto get = [&r](std::vector<net::NodeId>& v) {
+      const std::uint32_t n = r.u32();
+      if (!r.ok() || n > (1u << 20)) return false;
+      v.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) v.push_back(net::NodeId{r.u32()});
+      return true;
+    };
+    if (!get(m.participants) || !get(m.joined) || !get(m.left)) {
+      return std::nullopt;
+    }
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// kRpcUpdate request arguments.  An empty payload (the legacy request)
+/// decodes as since_epoch 0 and gets a full Membership snapshot back;
+/// since_epoch > 0 asks for a MembershipUpdate delta.
+struct UpdateRequest {
+  std::uint64_t since_epoch = 0;
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(since_epoch);
+    return w.take();
+  }
+  static std::optional<UpdateRequest> decode(const Bytes& b) {
+    UpdateRequest m;
+    if (b.empty()) return m;  // legacy full-snapshot request
+    Reader r(b);
+    m.since_epoch = r.u64();
     if (!r.done()) return std::nullopt;
     return m;
   }
@@ -230,10 +301,15 @@ struct StealRequest {
 /// the new one.
 struct RegisterMsg {
   std::uint32_t incarnation = 1;
+  /// Last membership epoch this worker applied (0 = none).  Nonzero asks
+  /// the Clearinghouse to reply with a MembershipUpdate delta instead of a
+  /// full snapshot — the rejoin path's O(P) cost under sustained churn.
+  std::uint64_t known_epoch = 0;
 
   Bytes encode() const {
     Writer w;
     w.u32(incarnation);
+    w.u64(known_epoch);
     return w.take();
   }
   static std::optional<RegisterMsg> decode(const Bytes& b) {
@@ -241,6 +317,7 @@ struct RegisterMsg {
     if (b.empty()) return m;  // legacy empty registration
     Reader r(b);
     m.incarnation = r.u32();
+    if (r.ok() && !r.done()) m.known_epoch = r.u64();  // pre-churn: 4 bytes
     if (!r.done() || m.incarnation == 0) return std::nullopt;
     return m;
   }

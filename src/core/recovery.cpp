@@ -1,5 +1,7 @@
 #include "core/recovery.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 
 namespace phish {
@@ -42,9 +44,57 @@ void RecoveryTracker::note_rejoin() {
   obs::Registry::global().counter("recovery.rejoins").inc();
 }
 
+void RecoveryTracker::note_down(std::uint64_t node_key, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = down_since_.try_emplace(node_key, now_ns);
+  if (!inserted) {
+    // Double-death of the same incarnation (e.g. heartbeat expiry racing an
+    // implicit death on register): the outage began at FIRST detection.
+    ++s_.duplicate_deaths;
+    return;
+  }
+  ++s_.node_downs;
+  obs::Registry::global().counter("recovery.node_downs").inc();
+}
+
+void RecoveryTracker::note_up(std::uint64_t node_key, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = down_since_.find(node_key);
+  if (it == down_since_.end()) {
+    // The higher incarnation raced the failure detector: the node was never
+    // declared dead, so there is no outage window to close.
+    ++s_.rejoins_before_death;
+    return;
+  }
+  const std::uint64_t mttr = now_ns >= it->second ? now_ns - it->second : 0;
+  down_since_.erase(it);
+  ++s_.node_ups;
+  node_mttr_ns_.push_back(mttr);
+  obs::Registry::global().counter("recovery.node_ups").inc();
+  obs::Registry::global().histogram("recovery.node_mttr_ns").observe(mttr);
+}
+
 RecoveryTracker::Snapshot RecoveryTracker::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return s_;
+  Snapshot s = s_;
+  s.open_outages = down_since_.size();
+  return s;
+}
+
+std::vector<std::uint64_t> RecoveryTracker::node_mttr_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node_mttr_ns_;
+}
+
+std::uint64_t RecoveryTracker::percentile_ns(
+    std::vector<std::uint64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0.0) return samples.front();
+  if (q >= 1.0) return samples.back();
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
 }
 
 }  // namespace phish

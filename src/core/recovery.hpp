@@ -14,11 +14,29 @@
 // it through the existing BENCH_*.json path.  Worker rejoins are counted the
 // same way (`recovery.rejoins`).
 //
+// Sustained-churn extension: per-node outage windows.  note_down(node, t)
+// opens a window when the Clearinghouse declares a node dead (or an owner
+// reclaims it); note_up(node, t) closes it when a fresh incarnation
+// registers, recording the node's MTTR sample exactly.  The edge cases the
+// churn engine produces are all defined:
+//
+//   * rejoin before the death notice — note_up with no open window is a
+//     counted no-op (`rejoins_before_death`): the higher incarnation raced
+//     the heartbeat detector, so there is no outage to measure;
+//   * double-death of one incarnation — a second note_down on an open
+//     window keeps the FIRST timestamp (the outage began at first
+//     detection) and counts `duplicate_deaths`;
+//   * a worker that never steals after rejoin — the failover MTTR window
+//     simply stays open (`awaiting_first_steal`); nothing is recorded, and
+//     snapshot() exposes the open flag so tests can assert it.
+//
 // Thread-safe: the UDP runtime calls in from many worker threads.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
+#include <vector>
 
 namespace phish {
 
@@ -31,6 +49,12 @@ class RecoveryTracker {
     std::uint64_t mttr_count = 0;     // completed detect->steal windows
     std::uint64_t last_mttr_ns = 0;   // most recent completed window
     bool awaiting_first_steal = false;
+    // Per-node outage accounting (sustained churn).
+    std::uint64_t node_downs = 0;
+    std::uint64_t node_ups = 0;
+    std::uint64_t duplicate_deaths = 0;      // note_down on an open window
+    std::uint64_t rejoins_before_death = 0;  // note_up with no open window
+    std::uint64_t open_outages = 0;          // windows still open
   };
 
   /// Standby detected a missed lease at `now_ns` (its timer clock).
@@ -43,13 +67,30 @@ class RecoveryTracker {
   /// A previously dead (or fresh) worker registered into the running job.
   void note_rejoin();
 
+  /// A node was declared dead (missed heartbeats, implicit death on a
+  /// higher-incarnation register, or owner reclaim) at `now_ns`.
+  void note_down(std::uint64_t node_key, std::uint64_t now_ns);
+  /// The node came back (fresh incarnation registered) at `now_ns`; closes
+  /// the outage window and records its length as a node-MTTR sample.
+  void note_up(std::uint64_t node_key, std::uint64_t now_ns);
+
   Snapshot snapshot() const;
+
+  /// All completed per-node outage lengths, in completion order.  Exact
+  /// percentiles (the log2 obs histogram only brackets them).
+  std::vector<std::uint64_t> node_mttr_samples() const;
+
+  /// q in [0, 1] over a sample vector; 0 when empty.  Sorts a copy.
+  static std::uint64_t percentile_ns(std::vector<std::uint64_t> samples,
+                                     double q);
 
  private:
   mutable std::mutex mutex_;
   Snapshot s_;
   std::uint64_t detect_ns_ = 0;
   std::uint64_t promote_ns_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> down_since_;
+  std::vector<std::uint64_t> node_mttr_ns_;
 };
 
 }  // namespace phish

@@ -60,8 +60,15 @@ Closure* WorkerCore::remove_ready_(const ClosureId& id) {
 
 void WorkerCore::local_send_unknown_(const ClosureId& target) {
   ++stats_.args_unknown_closure;
-  // A local send to an unknown closure is a programming error, not a
-  // network artifact.
+  // On a worker that never redid work, a local send to an unknown closure
+  // is a programming error.  After a redo it is the idempotency contract
+  // doing its job: the re-executed subtree sends into parents the first
+  // (pre-crash) execution already fired and freed — dead-letter quietly.
+  if (stats_.tasks_redone > 0) {
+    PHISH_LOG(kDebug) << "dead-letter: duplicate local send to "
+                      << to_string(target) << " after redo";
+    return;
+  }
   PHISH_LOG(kError) << "local send to unknown closure " << to_string(target);
 }
 

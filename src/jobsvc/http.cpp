@@ -342,6 +342,7 @@ std::string HttpServer::status_text(int status) {
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Status";
   }
 }

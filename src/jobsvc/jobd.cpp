@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace phish::jobsvc {
 
@@ -144,11 +145,28 @@ HttpHandler make_jobd_handler(JobService& service) {
       w.kv("rejected_rate_limited", c.rejected_rate);
       w.kv("rejected_quota", c.rejected_quota);
       w.kv("rejected_backlog_full", c.rejected_backlog);
+      w.kv("rejected_degraded", c.rejected_degraded);
       w.kv("completed", c.completed);
       w.kv("cancelled", c.cancelled);
       w.kv("history_evicted", c.history_evicted);
       w.kv("pending", static_cast<std::uint64_t>(service.pending_jobs()));
       w.kv("active", static_cast<std::uint64_t>(service.active_jobs()));
+      // Recovery / availability counters (process-global obs registry):
+      // how much churn the pool under this daemon has absorbed.
+      auto& reg = obs::Registry::global();
+      w.key("recovery");
+      w.begin_object();
+      w.kv("node_downs", reg.counter("recovery.node_downs").value());
+      w.kv("node_ups", reg.counter("recovery.node_ups").value());
+      w.kv("rejoins", reg.counter("recovery.rejoins").value());
+      w.kv("failover_detects",
+           reg.counter("recovery.failover.detects").value());
+      w.kv("failover_promotions",
+           reg.counter("recovery.failover.promotions").value());
+      const auto mttr = reg.histogram("recovery.node_mttr_ns").summarize();
+      w.kv("node_mttr_p50_ns", mttr.quantile(0.5));
+      w.kv("node_mttr_p99_ns", mttr.quantile(0.99));
+      w.end_object();
       w.end_object();
       return HttpResponse::json(200, w.take() + "\n");
     }
@@ -162,13 +180,18 @@ HttpHandler make_jobd_handler(JobService& service) {
           switch (result.reject) {
             case Reject::kBadRequest:
               return error_response(400, reject_name(result.reject));
-            case Reject::kRateLimited: {
+            case Reject::kRateLimited:
+            case Reject::kDegraded: {
+              // Degraded pool: 503 + retry-after — the client did nothing
+              // wrong; the service is shedding until capacity returns.
               obs::JsonWriter w;
               w.begin_object();
               w.kv("error", reject_name(result.reject));
               w.kv("retry_after_ns", result.retry_after_ns);
               w.end_object();
-              return HttpResponse::json(429, w.take() + "\n");
+              const int status =
+                  result.reject == Reject::kDegraded ? 503 : 429;
+              return HttpResponse::json(status, w.take() + "\n");
             }
             default:  // quota / backlog
               return error_response(429, reject_name(result.reject));

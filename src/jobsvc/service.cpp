@@ -11,6 +11,7 @@ const char* reject_name(Reject r) {
     case Reject::kRateLimited: return "rate_limited";
     case Reject::kQuotaExceeded: return "quota_exceeded";
     case Reject::kBacklogFull: return "backlog_full";
+    case Reject::kDegraded: return "degraded";
   }
   return "unknown";
 }
@@ -91,7 +92,23 @@ bool JobService::take_token_locked(Tenant& tenant, std::uint64_t now,
   return false;
 }
 
+void JobService::set_capacity_probe(std::function<double()> probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_probe_ = std::move(probe);
+}
+
 SubmitResult JobService::submit(SubmitRequest request) {
+  // Sample the pool's live capacity outside the lock: the probe may read
+  // cluster state with its own locking.
+  double capacity = 1.0;
+  {
+    std::function<double()> probe;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      probe = capacity_probe_;
+    }
+    if (config_.degrade_watermark > 0.0 && probe) capacity = probe();
+  }
   std::vector<Launch> launches;
   SubmitResult result;
   {
@@ -104,6 +121,18 @@ SubmitResult JobService::submit(SubmitRequest request) {
       ++counters_.rejected_bad_request;
       m_rejected_.inc();
       result.reject = Reject::kBadRequest;
+      return result;
+    }
+    if (config_.degrade_watermark > 0.0 &&
+        capacity < config_.degrade_watermark) {
+      // Graceful degradation: the pool lost too many workstations to churn.
+      // Shedding here (with a retry-after) beats queueing work the shrunken
+      // pool cannot start; admission resumes by itself once the probe sees
+      // capacity again.
+      ++counters_.rejected_degraded;
+      m_rejected_.inc();
+      result.reject = Reject::kDegraded;
+      result.retry_after_ns = config_.degrade_retry_after_ns;
       return result;
     }
     Tenant& tenant = tenant_locked(request.tenant);

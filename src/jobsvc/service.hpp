@@ -55,6 +55,7 @@ enum class Reject : std::uint8_t {
   kRateLimited,   // tenant token bucket empty (HTTP 429)
   kQuotaExceeded, // tenant at max concurrent jobs (HTTP 429)
   kBacklogFull,   // global pending queue full (HTTP 429)
+  kDegraded,      // pool capacity below the watermark (HTTP 503)
 };
 
 const char* reject_name(Reject r);
@@ -121,6 +122,14 @@ struct ServiceConfig {
   std::size_t history_limit = 10000;
   /// Policy for tenants never explicitly configured.
   TenantPolicy default_policy;
+  /// Graceful degradation under churn: when the capacity probe (see
+  /// set_capacity_probe) reports live capacity below this fraction of
+  /// nominal, new submissions shed with kDegraded (HTTP 503 + retry-after)
+  /// instead of piling into a backlog the shrunken pool cannot drain.
+  /// Admission recovers by itself as soon as capacity returns.  0 = off.
+  double degrade_watermark = 0.0;
+  /// retry-after hint attached to kDegraded rejections.
+  std::uint64_t degrade_retry_after_ns = 2'000'000'000;  // 2 s
 };
 
 /// Where admitted jobs go.  Implementations call note_first_task/note_done
@@ -143,6 +152,12 @@ class JobService {
   /// get config.default_policy.
   void configure_tenant(const std::string& tenant, TenantPolicy policy);
   std::optional<TenantPolicy> tenant_policy(const std::string& tenant) const;
+
+  /// Live-capacity probe for degradation: returns the fraction of nominal
+  /// pool capacity currently live, in [0, 1] (e.g. live workstations /
+  /// total).  Sampled on every submit, outside the service lock; must be
+  /// cheap and thread-safe.  Unset = always healthy.
+  void set_capacity_probe(std::function<double()> probe);
 
   /// Admission control + launch/queue.  Thread-safe.
   SubmitResult submit(SubmitRequest request);
@@ -170,6 +185,7 @@ class JobService {
     std::uint64_t rejected_rate = 0;
     std::uint64_t rejected_quota = 0;
     std::uint64_t rejected_backlog = 0;
+    std::uint64_t rejected_degraded = 0;  // shed below the capacity watermark
     std::uint64_t completed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t history_evicted = 0;  // terminal jobs dropped by retention
@@ -214,6 +230,7 @@ class JobService {
   const obs::Clock& clock_;
   JobBackend& backend_;
   ServiceConfig config_;
+  std::function<double()> capacity_probe_;  // set once at wiring time
 
   mutable std::mutex mutex_;
   std::map<std::string, Tenant> tenants_;

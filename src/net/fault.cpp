@@ -66,6 +66,17 @@ std::string FaultPlan::describe() const {
       out << " delay=" << r.delay << "(+" << r.extra_delay_ns << "ns)";
     }
   }
+  if (!racks.empty()) {
+    out << "; racks=[";
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+      out << (r ? " " : "") << "{";
+      for (std::size_t i = 0; i < racks[r].size(); ++i) {
+        out << (i ? "," : "") << racks[r][i];
+      }
+      out << "}";
+    }
+    out << "]";
+  }
   for (const NodeEvent& e : events) {
     out << "; " << to_string(e.kind) << " worker " << e.worker << " @ "
         << e.at_ns << "ns";

@@ -103,6 +103,10 @@ struct FaultPlan {
   /// failure mode the protocol never claimed to survive and simply hang
   /// the job.
   std::vector<std::uint16_t> lossless_types;
+  /// Topology behind correlated failures: racks[r] lists the worker indices
+  /// sharing failure domain r (power strip, switch).  Churn plans kill whole
+  /// racks at once; empty = no correlated events in this plan.
+  std::vector<std::vector<int>> racks;
 
   bool empty() const noexcept { return links.empty() && events.empty(); }
   bool is_lossless(std::uint16_t type) const noexcept;

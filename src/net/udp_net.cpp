@@ -42,6 +42,20 @@ UdpNetwork::UdpNetwork(UdpParams params) : params_(params) {}
 
 UdpNetwork::~UdpNetwork() = default;
 
+std::uint16_t UdpNetwork::port_of(NodeId id) const noexcept {
+  if (params_.base_port != 0) {
+    return static_cast<std::uint16_t>(params_.base_port + id.value);
+  }
+  std::lock_guard<std::mutex> lock(port_mutex_);
+  const auto it = ports_.find(id.value);
+  return it == ports_.end() ? 0 : it->second;
+}
+
+void UdpNetwork::register_port(NodeId id, std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(port_mutex_);
+  ports_[id.value] = port;
+}
+
 UdpChannel& UdpNetwork::channel(NodeId id) {
   if (!id.valid()) throw std::invalid_argument("UdpNetwork: nil node id");
   std::lock_guard<std::mutex> lock(mutex_);
@@ -65,13 +79,31 @@ UdpChannel::UdpChannel(UdpNetwork& net, NodeId id)
   tv.tv_usec = (net.params().recv_timeout_ms % 1000) * 1000;
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 
-  const sockaddr_in addr = loopback_addr(net.port_of(id));
+  // base_port 0: bind port 0 and let the kernel allocate — the only
+  // collision-free option when many test processes share the machine.
+  const std::uint16_t want =
+      net.params().base_port == 0
+          ? 0
+          : static_cast<std::uint16_t>(net.params().base_port + id.value);
+  const sockaddr_in addr = loopback_addr(want);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("udp: bind(" + std::to_string(net.port_of(id)) +
+    throw std::runtime_error("udp: bind(" + std::to_string(want) +
                              ") failed: " + std::string(std::strerror(err)));
+  }
+  if (want == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("udp: getsockname failed: " +
+                               std::string(std::strerror(err)));
+    }
+    net.register_port(id, ntohs(bound.sin_port));
   }
   receiver_thread_ = std::thread([this] { receive_loop(); });
 }
@@ -122,7 +154,15 @@ void UdpChannel::send(NodeId dst, std::uint16_t type, Bytes payload) {
   w.blob(payload.data(), payload.size());
   const Bytes& frame = w.bytes();
 
-  const sockaddr_in addr = loopback_addr(net_.port_of(dst));
+  const std::uint16_t dst_port = net_.port_of(dst);
+  if (dst_port == 0) {
+    // Ephemeral layout and the destination has no channel (yet): nothing to
+    // address the datagram to.  Same contract as sending to a dead host.
+    PHISH_LOG(kDebug) << "udp: no port known for " << to_string(dst)
+                      << "; dropping";
+    return;
+  }
+  const sockaddr_in addr = loopback_addr(dst_port);
   const ssize_t sent =
       ::sendto(fd_, frame.data(), frame.size(), 0,
                reinterpret_cast<const sockaddr*>(&addr), sizeof addr);

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/channel.hpp"
@@ -22,6 +23,11 @@
 namespace phish::net {
 
 struct UdpParams {
+  /// 0 = ephemeral: every channel binds port 0 and the kernel picks a free
+  /// one; the network keeps the id -> port table.  This is the only
+  /// collision-free choice when many tests run concurrently (ctest -j).
+  /// Nonzero = fixed layout: node id binds base_port + id (useful when an
+  /// external process must know the ports up front).
   std::uint16_t base_port = 29070;
   /// Receive poll timeout; bounds shutdown latency.
   int recv_timeout_ms = 50;
@@ -49,14 +55,20 @@ class UdpNetwork {
 
   const UdpParams& params() const noexcept { return params_; }
 
-  std::uint16_t port_of(NodeId id) const noexcept {
-    return static_cast<std::uint16_t>(params_.base_port + id.value);
-  }
+  /// Port `id` is reachable at.  Fixed layout: base_port + id.  Ephemeral
+  /// (base_port == 0): looked up in the bind table; 0 if `id` has no channel
+  /// yet (a send there fails like any datagram to a dead host).
+  std::uint16_t port_of(NodeId id) const noexcept;
 
  private:
+  friend class UdpChannel;
+  void register_port(NodeId id, std::uint16_t port);
+
   UdpParams params_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<UdpChannel>> channels_;
+  mutable std::mutex port_mutex_;
+  std::unordered_map<std::uint32_t, std::uint16_t> ports_;
 };
 
 class UdpChannel final : public Channel {

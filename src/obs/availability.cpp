@@ -1,0 +1,120 @@
+#include "obs/availability.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace phish::obs {
+
+AvailabilityMeter::AvailabilityMeter(int total_nodes, std::uint64_t start_ns)
+    : total_(total_nodes < 1 ? 1 : total_nodes),
+      live_(total_),
+      start_ns_(start_ns) {}
+
+void AvailabilityMeter::node_down(std::uint64_t node_key,
+                                  std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!down_since_.try_emplace(node_key, now_ns).second) return;
+  ++downs_;
+  --live_;
+  edges_.push_back({now_ns, live_});
+  Registry::global().counter("availability.node_downs").inc();
+}
+
+void AvailabilityMeter::node_up(std::uint64_t node_key, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = down_since_.find(node_key);
+  if (it == down_since_.end()) return;
+  const std::uint64_t mttr = now_ns >= it->second ? now_ns - it->second : 0;
+  down_since_.erase(it);
+  ++ups_;
+  ++live_;
+  edges_.push_back({now_ns, live_});
+  mttr_ns_.push_back(mttr);
+  Registry::global().counter("availability.node_ups").inc();
+  Registry::global().histogram("availability.mttr_ns").observe(mttr);
+}
+
+void AvailabilityMeter::record_work(std::uint64_t useful_tasks,
+                                    std::uint64_t redone_tasks,
+                                    std::uint64_t lost_jobs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  useful_ += useful_tasks;
+  redone_ += redone_tasks;
+  lost_ += lost_jobs;
+  Registry::global().counter("work.useful").inc(useful_tasks);
+  Registry::global().counter("work.redone").inc(redone_tasks);
+  Registry::global().counter("work.lost").inc(lost_jobs);
+}
+
+int AvailabilityMeter::live_nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+AvailabilityMeter::Report AvailabilityMeter::finish(std::uint64_t end_ns,
+                                                    double watermark) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Report r;
+  r.span_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  r.downs = downs_;
+  r.ups = ups_;
+  r.useful_tasks = useful_;
+  r.redone_tasks = redone_;
+  r.lost_jobs = lost_;
+  const std::uint64_t executed = useful_ + redone_;
+  r.work_redone_pct =
+      executed > 0
+          ? 100.0 * static_cast<double>(redone_) / static_cast<double>(executed)
+          : 0.0;
+
+  // Exact MTTR percentiles from the raw samples.
+  if (!mttr_ns_.empty()) {
+    std::vector<std::uint64_t> sorted = mttr_ns_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(idx, sorted.size() - 1)];
+    };
+    r.mttr_count = sorted.size();
+    r.mttr_p50_ns = at(0.50);
+    r.mttr_p99_ns = at(0.99);
+    r.mttr_max_ns = sorted.back();
+  }
+
+  // Capacity integral + steady-state detection over the edge timeline.
+  // steady_state_ns = the last time capacity rose to >= watermark and then
+  // stayed there; "time to steady state" after the final disruption.
+  const int threshold = static_cast<int>(
+      watermark * static_cast<double>(total_) + 0.999999);  // ceil
+  double live_dt = 0.0;
+  int live = total_;
+  std::uint64_t t = start_ns_;
+  std::uint64_t last_cross_up = 0;  // relative to start
+  bool above = live >= threshold;
+  for (const Edge& e : edges_) {
+    const std::uint64_t at = std::max(e.at_ns, t);
+    live_dt += static_cast<double>(live) * static_cast<double>(at - t);
+    t = at;
+    const bool now_above = e.live >= threshold;
+    if (now_above && !above) {
+      last_cross_up = t >= start_ns_ ? t - start_ns_ : 0;
+    }
+    above = now_above;
+    live = e.live;
+  }
+  if (end_ns > t) {
+    live_dt += static_cast<double>(live) * static_cast<double>(end_ns - t);
+  }
+  r.availability =
+      r.span_ns > 0
+          ? live_dt / (static_cast<double>(total_) *
+                       static_cast<double>(r.span_ns))
+          : 1.0;
+  r.steady = above;
+  r.steady_state_ns = above ? last_cross_up : r.span_ns;
+  return r;
+}
+
+}  // namespace phish::obs

@@ -1,0 +1,94 @@
+// Availability accounting for sustained-churn runs.
+//
+// The paper's adaptive-parallelism claim — jobs keep running while
+// workstations come and go — is only a production claim if it comes with a
+// number.  AvailabilityMeter turns a churn run into that number: it keeps a
+// capacity timeline (which of N nodes were live when), closes per-node
+// outage windows into exact MTTR samples, attributes executed work as
+// useful / redone / lost, and reduces everything to the SLO quantities the
+// churn sweep exports into BENCH_availability.json:
+//
+//   availability        time-integral of live/total over the run
+//   work_redone_pct     re-executed tasks as a share of all executed tasks
+//   mttr p50/p99        per-node down -> back-up, exact percentiles
+//   steady_state_ns     when live capacity last rose to the watermark and
+//                       stayed there (0 when it never dipped; span when it
+//                       never recovered)
+//
+// "Lost" work is work that vanished without redo — accepted jobs that
+// neither completed nor were cancelled.  The conservation gate requires it
+// to be zero; the meter reports it rather than assuming it.
+//
+// Clock-agnostic: callers feed whichever clock domain they run in
+// (virtual ns for simdist, steady wall-clock ns for udp).  Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace phish::obs {
+
+class AvailabilityMeter {
+ public:
+  /// `total_nodes` live at `start_ns`; nodes are keyed by caller-chosen ids.
+  AvailabilityMeter(int total_nodes, std::uint64_t start_ns);
+
+  /// Node left the pool (crash, owner reclaim, rack loss) at `now_ns`.
+  /// A repeat down for an already-down node is ignored.
+  void node_down(std::uint64_t node_key, std::uint64_t now_ns);
+  /// Node returned at `now_ns`; closes its outage window into an MTTR
+  /// sample.  An up for a node that was never down is ignored.
+  void node_up(std::uint64_t node_key, std::uint64_t now_ns);
+
+  /// Work attribution, fed from WorkerStats / JobService counters at the
+  /// end of the run (or incrementally).
+  void record_work(std::uint64_t useful_tasks, std::uint64_t redone_tasks,
+                   std::uint64_t lost_jobs);
+
+  int live_nodes() const;
+
+  struct Report {
+    double availability = 1.0;        // integral of live/total over the span
+    std::uint64_t span_ns = 0;
+    std::uint64_t downs = 0;
+    std::uint64_t ups = 0;
+    std::uint64_t mttr_count = 0;
+    std::uint64_t mttr_p50_ns = 0;
+    std::uint64_t mttr_p99_ns = 0;
+    std::uint64_t mttr_max_ns = 0;
+    std::uint64_t useful_tasks = 0;
+    std::uint64_t redone_tasks = 0;
+    std::uint64_t lost_jobs = 0;
+    double work_redone_pct = 0.0;     // redone / (useful + redone) * 100
+    /// Time (from start) at which live capacity last crossed up to
+    /// >= watermark * total and stayed there to the end of the span.
+    std::uint64_t steady_state_ns = 0;
+    bool steady = true;               // false: still below watermark at end
+  };
+
+  /// Reduce the timeline to the report.  May be called repeatedly.
+  Report finish(std::uint64_t end_ns, double watermark = 1.0) const;
+
+ private:
+  struct Edge {
+    std::uint64_t at_ns;
+    int live;  // live count AFTER this edge
+  };
+
+  mutable std::mutex mutex_;
+  int total_;
+  int live_;
+  std::uint64_t start_ns_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::uint64_t, std::uint64_t> down_since_;
+  std::vector<std::uint64_t> mttr_ns_;
+  std::uint64_t downs_ = 0;
+  std::uint64_t ups_ = 0;
+  std::uint64_t useful_ = 0;
+  std::uint64_t redone_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace phish::obs

@@ -72,7 +72,29 @@ void PhishJobManager::schedule_poll(sim::SimTime delay) {
   sim_.schedule(delay, [this] { poll(); });
 }
 
+void PhishJobManager::set_offline(bool offline) {
+  if (offline == offline_) return;
+  offline_ = offline;
+  if (offline_) {
+    SimWorker* worker = current_worker();
+    if (state_ == State::kRunningWorker && worker != nullptr) {
+      // Machine churn: no migrate-out, no goodbye — the worker just dies.
+      // on_worker_terminated still releases the grant; that RPC stands in
+      // for the JobQ's own lease timeout noticing the dead workstation.
+      ++stats_.workers_lost_offline;
+      worker->crash();
+    }
+    return;  // poll() is gated on offline_; nothing else to stop
+  }
+  // Back online: restart the polling loop.  An in-flight job request keeps
+  // its reply callback (kWaitingReply); everything else re-decides from the
+  // owner trace.
+  if (state_ != State::kWaitingReply) state_ = State::kOwnerBusy;
+  schedule_poll(0);
+}
+
 void PhishJobManager::poll() {
+  if (offline_) return;  // resumed explicitly by set_offline(false)
   switch (state_) {
     case State::kOwnerBusy:
       if (idle_now()) {
@@ -114,6 +136,19 @@ void PhishJobManager::request_job() {
       jobq_, proto::kRpcRequestJob, {},
       [this](net::RpcResult result) {
         if (state_ != State::kWaitingReply) return;
+        if (offline_) {
+          // The machine went dark with a request in flight.  Hand any grant
+          // straight back so the assignment ledger stays balanced — the job
+          // must not count this dead workstation as serving it.
+          if (result.ok) {
+            const auto assignment = JobAssignment::decode(result.reply);
+            if (assignment && assignment->job) {
+              release_job(assignment->job->job_id);
+            }
+          }
+          state_ = State::kOwnerBusy;
+          return;
+        }
         if (!result.ok) {
           // JobQ unreachable; treat like an empty pool and retry.
           ++stats_.empty_replies;

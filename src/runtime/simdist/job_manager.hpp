@@ -49,6 +49,7 @@ class PhishJobManager {
     std::uint64_t workers_reclaimed = 0;
     std::uint64_t workers_preempted = 0;  // evicted for higher-priority work
     std::uint64_t workers_self_terminated = 0;
+    std::uint64_t workers_lost_offline = 0;  // machine churn killed a worker
     sim::SimTime harvested_time = 0;  // total time a worker was running
   };
 
@@ -61,6 +62,14 @@ class PhishJobManager {
                   std::uint64_t seed);
 
   void start();
+
+  /// Machine-level churn hook (the churn engine / availability bench): take
+  /// the whole workstation dark — any running worker crashes with no
+  /// migrate-out courtesy and the manager stops polling — or bring it back
+  /// online, at which point it resumes requesting jobs.  Distinct from an
+  /// owner return (reclaim_by_owner), which departs gracefully.
+  void set_offline(bool offline);
+  bool offline() const noexcept { return offline_; }
 
   State state() const noexcept { return state_; }
   const Stats& stats() const noexcept { return stats_; }
@@ -104,6 +113,7 @@ class PhishJobManager {
 
   net::RpcNode rpc_;
   State state_ = State::kOwnerBusy;
+  bool offline_ = false;
   Stats stats_;
   std::vector<std::unique_ptr<SimWorker>> workers_;
   std::optional<std::uint64_t> current_job_;

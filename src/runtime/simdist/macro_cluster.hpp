@@ -108,6 +108,37 @@ class MacroCluster {
   int workstations() const { return static_cast<int>(managers_.size()); }
   sim::Simulator& simulator() { return sim_; }
 
+  /// Churn hook: take workstation `index` dark (any running worker crashes,
+  /// its manager stops requesting jobs) or bring it back online.  A job's
+  /// Clearinghouse and first worker live on non-managed nodes, so a job
+  /// always survives losing every managed workstation.
+  void set_workstation_offline(int index, bool offline) {
+    managers_.at(index)->set_offline(offline);
+  }
+  /// Workstations currently online — the live-capacity feed for the job
+  /// service's degradation watermark.
+  int live_workstations() const {
+    int live = 0;
+    for (const auto& m : managers_) {
+      if (!m->offline()) ++live;
+    }
+    return live;
+  }
+
+  /// Sum of WorkerStats over every participant the cluster ever ran: each
+  /// job's first worker plus every workstation worker incarnation.  The
+  /// availability bench splits tasks_executed into useful vs redone work.
+  WorkerStats aggregate_worker_stats() const {
+    WorkerStats total;
+    for (const auto& job : jobs_) {
+      if (job->first_worker) total.merge(job->first_worker->stats());
+    }
+    for (const auto& m : managers_) {
+      for (const auto& w : m->workers()) total.merge(w->stats());
+    }
+    return total;
+  }
+
  private:
   struct Job {
     JobRecord record;

@@ -146,9 +146,12 @@ void SimCluster::apply_fault_plan(const net::FaultPlan& plan) {
         break;
       case net::NodeFaultKind::kRestart:
         sim_.schedule_at(e.at_ns, [this, w = e.worker] {
-          // A crashed worker comes back as a fresh incarnation; a merely
-          // partitioned one just gets its network cut healed.
-          if (workers_.at(w)->state() == SimWorker::State::kDead) {
+          // A crashed worker comes back as a fresh incarnation, and so does
+          // a departed one (churn: the owner left and the workstation is
+          // idle again); a merely partitioned one just gets its cut healed.
+          const auto s = workers_.at(w)->state();
+          if (s == SimWorker::State::kDead ||
+              s == SimWorker::State::kDeparted) {
             workers_.at(w)->rejoin();
           } else {
             network_.partition(worker_node(w), false);

@@ -90,29 +90,79 @@ void SimWorker::start() {
   state_ = State::kRegistering;
   start_time_ = sim_.now();
   client_.call(
-      proto::kRpcRegister, proto::RegisterMsg{incarnation_}.encode(),
-      [this, inc = incarnation_](net::RpcResult result) {
+      proto::kRpcRegister,
+      proto::RegisterMsg{incarnation_, known_epoch_}.encode(),
+      [this, inc = incarnation_,
+       since = known_epoch_](net::RpcResult result) {
         if (incarnation_ != inc) return;  // callback from a past life
         if (state_ != State::kRegistering) return;
         if (!result.ok) {
+          // Exponential backoff with seeded jitter: a rack coming back to
+          // life must not re-register in lockstep (register storm).
+          register_backoff_ =
+              register_backoff_ == 0
+                  ? params_.register_backoff
+                  : std::min(register_backoff_ * 2,
+                             params_.register_backoff_max);
+          const auto jitter = static_cast<sim::SimTime>(rng_.below(
+              static_cast<std::uint64_t>(register_backoff_ / 2) + 1));
           PHISH_LOG(kWarn) << net::to_string(me_)
-                           << ": registration failed; retrying";
+                           << ": registration failed; retrying in "
+                           << (register_backoff_ + jitter) / sim::kMillisecond
+                           << " ms";
           state_ = State::kCreated;
-          sim_.schedule(sim::kSecond, [this] { start(); });
+          sim_.schedule(register_backoff_ + jitter, [this] { start(); });
           return;
         }
-        auto membership = proto::Membership::decode(result.reply);
-        if (membership) on_registered(*membership);
+        register_backoff_ = 0;
+        // The reply format follows what we presented: a nonzero known epoch
+        // opted into a delta, first contact gets the legacy full snapshot.
+        if (since > 0) {
+          auto update = proto::MembershipUpdate::decode(result.reply);
+          if (!update) return;
+          apply_membership_update(*update);
+          state_ = State::kActive;
+          activate();
+        } else {
+          auto membership = proto::Membership::decode(result.reply);
+          if (membership) on_registered(*membership);
+        }
       },
       params_.rpc_policy);
 }
 
 void SimWorker::on_registered(const proto::Membership& membership) {
   state_ = State::kActive;
+  known_epoch_ = membership.epoch;
   peers_.clear();
   for (net::NodeId p : membership.participants) {
     if (p != me_) peers_.push_back(p);
   }
+  activate();
+}
+
+void SimWorker::apply_membership_update(const proto::MembershipUpdate& update) {
+  known_epoch_ = update.epoch;
+  if (update.full) {
+    peers_.clear();
+    for (net::NodeId p : update.participants) {
+      if (p != me_) peers_.push_back(p);
+    }
+    return;
+  }
+  for (net::NodeId gone : update.left) {
+    peers_.erase(std::remove(peers_.begin(), peers_.end(), gone),
+                 peers_.end());
+  }
+  for (net::NodeId p : update.joined) {
+    if (p != me_ &&
+        std::find(peers_.begin(), peers_.end(), p) == peers_.end()) {
+      peers_.push_back(p);
+    }
+  }
+}
+
+void SimWorker::activate() {
   // A zero period disables the timer (e.g. measurement runs that model the
   // paper's Phish, which had no heartbeats).
   if (params_.heartbeat_period > 0) heartbeat_timer_.start(1);
@@ -352,6 +402,7 @@ void SimWorker::depart(DepartReason reason) {
   // Move every remaining closure (ready and waiting) to a surviving peer and
   // leave a forwarding stub behind.
   std::vector<Closure> cargo = core_.drain_for_migration();
+  bool cargo_lost = false;
   if (!cargo.empty()) {
     std::optional<net::NodeId> successor = pick_peer();
     if (successor) {
@@ -361,16 +412,23 @@ void SimWorker::depart(DepartReason reason) {
       msg.closures = std::move(cargo);
       rpc_.send_oneway(*successor, proto::kMigrate, msg.encode());
     } else {
+      // No live peer to hand the closures to: they are gone, and only the
+      // death protocol can resurrect them.  Leave WITHOUT the goodbye — a
+      // graceful unregister would tell the Clearinghouse nothing was lost
+      // and suppress exactly the death notice that drives the redo.
+      cargo_lost = true;
       PHISH_LOG(kWarn) << net::to_string(me_)
                        << ": departing with closures but no successor; "
-                       << cargo.size() << " closures lost (job will redo)";
+                       << cargo.size()
+                       << " closures dropped; skipping unregister so the "
+                          "failure detector triggers the redo";
     }
   }
   state_ = State::kDeparted;
   end_time_ = sim_.now();
   heartbeat_timer_.stop();
   update_timer_.stop();
-  send_stats_and_unregister();
+  send_stats_and_unregister(/*unregister=*/!cargo_lost);
   if (on_terminated_) on_terminated_(state_);
 }
 
@@ -384,26 +442,36 @@ void SimWorker::finish() {
   if (on_terminated_) on_terminated_(state_);
 }
 
-void SimWorker::send_stats_and_unregister() {
+void SimWorker::send_stats_and_unregister(bool unregister) {
   proto::StatsMsg stats;
   stats.who = me_;
   stats.stats = core_.stats();
   stats.start_ns = start_time_;
   stats.end_ns = end_time_;
   client_.send_oneway(proto::kStatsReport, stats.encode());
+  if (!unregister) return;  // depart-with-lost-cargo: be "dead", not gone
   client_.call(proto::kRpcUnregister, {}, [](net::RpcResult) {},
                params_.rpc_policy);
 }
 
 void SimWorker::refresh_membership() {
   if (terminated()) return;
+  // Present the epoch we already hold: steady-state refreshes come back as
+  // (usually empty) deltas instead of full snapshots.
   client_.call(
-      proto::kRpcUpdate, {},
-      [this, inc = incarnation_](net::RpcResult result) {
+      proto::kRpcUpdate, proto::UpdateRequest{known_epoch_}.encode(),
+      [this, inc = incarnation_,
+       since = known_epoch_](net::RpcResult result) {
         if (incarnation_ != inc) return;  // callback from a past life
         if (!result.ok || terminated()) return;
+        if (since > 0) {
+          auto update = proto::MembershipUpdate::decode(result.reply);
+          if (update) apply_membership_update(*update);
+          return;
+        }
         auto membership = proto::Membership::decode(result.reply);
         if (!membership) return;
+        known_epoch_ = membership->epoch;
         peers_.clear();
         for (net::NodeId p : membership->participants) {
           if (p != me_) peers_.push_back(p);
@@ -476,14 +544,15 @@ void SimWorker::crash() {
 }
 
 void SimWorker::rejoin() {
-  if (state_ != State::kDead) return;
+  if (state_ != State::kDead && state_ != State::kDeparted) return;
   network_.partition(me_, false);  // the replacement machine comes online
   ++incarnation_;
   // Survivors redo everything the dead life had stolen; the new life starts
   // empty but keeps its id allocator (late messages addressed to the old
-  // incarnation must not land in new closures).
+  // incarnation must not land in new closures).  peers_ and known_epoch_
+  // survive as the base the registration delta is applied against.
   core_.reset_for_rejoin();
-  peers_.clear();
+  register_backoff_ = 0;
   steal_in_flight_ = false;
   pending_evict_.reset();
   consecutive_failed_steals_ = 0;

@@ -74,6 +74,11 @@ struct SimWorkerParams {
   sim::SimTime update_period = 10 * sim::kSecond;
   /// Retransmission policy for steal/registration RPCs.
   net::RetryPolicy rpc_policy{200 * sim::kMillisecond, 5, 2.0};
+  /// Registration backoff: first retry delay, doubling per failure up to the
+  /// cap, with seeded jitter.  Keeps a mass rejoin (rack power-up) from
+  /// hammering the coordinator in lockstep.
+  sim::SimTime register_backoff = 1 * sim::kSecond;
+  sim::SimTime register_backoff_max = 16 * sim::kSecond;
   /// Relative CPU speed (2.0 = twice as fast); scales all compute costs.
   double cpu_speed = 1.0;
   /// Victim selection (ablation A3 / topology extension).
@@ -202,6 +207,11 @@ class SimWorker {
 
  private:
   void on_registered(const proto::Membership& membership);
+  /// Apply a delta (or embedded full snapshot) to the peer list and advance
+  /// the known epoch.
+  void apply_membership_update(const proto::MembershipUpdate& update);
+  /// Common post-registration activation (timers, root, restore, first step).
+  void activate();
   void schedule_step(sim::SimTime delay);
   void step();
   void attempt_steal();
@@ -213,7 +223,10 @@ class SimWorker {
   void evict(DepartReason reason);
   void depart(DepartReason reason);
   void finish();
-  void send_stats_and_unregister();
+  /// `unregister` false leaves the registration in place on purpose: a
+  /// departure that dropped closures must be *detected as a death* so the
+  /// redo machinery fires; a clean goodbye would bury the loss.
+  void send_stats_and_unregister(bool unregister = true);
   void refresh_membership();
   sim::SimTime scaled(sim::SimTime cpu_time) const {
     return static_cast<sim::SimTime>(static_cast<double>(cpu_time) /
@@ -241,6 +254,12 @@ class SimWorker {
   std::optional<std::pair<TaskId, std::vector<Value>>> root_;
   std::optional<Bytes> restore_state_;
   std::vector<net::NodeId> peers_;  // membership minus self
+  /// Highest membership epoch applied; presented to the Clearinghouse so
+  /// register/update replies can be deltas instead of full snapshots.
+  /// 0 = never registered (first contact always gets the full set).
+  std::uint64_t known_epoch_ = 0;
+  /// Current registration retry delay (0 = no failure yet).
+  sim::SimTime register_backoff_ = 0;
   std::size_t round_robin_cursor_ = 0;
   int consecutive_failed_steals_ = 0;
   bool steal_in_flight_ = false;

@@ -117,7 +117,9 @@ void UdpWorker::rejoin() {
     // addressed to the old incarnation cannot land in new closures.
     core_.reset_for_rejoin();
     core_.set_seq_base(static_cast<std::uint64_t>(incarnation_) << 32);
-    peers_.clear();
+    // peers_ and known_epoch_ survive: they are the base the registration
+    // delta is applied against (the Clearinghouse replies with changes since
+    // known_epoch_, including our own death and any peers lost meanwhile).
     forward_to_ = net::NodeId{};
   }
   departed_for_shrink_.store(false, std::memory_order_release);
@@ -157,35 +159,99 @@ void UdpWorker::thread_main() {
 
 bool UdpWorker::do_register() {
   // Registration is synchronous from the worker's point of view: nothing to
-  // do until the Clearinghouse knows us.
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false, ok = false;
-  client_.call(
-      proto::kRpcRegister, proto::RegisterMsg{incarnation_}.encode(),
-      [&](net::RpcResult result) {
-        std::lock_guard<std::mutex> lock(m);
-        done = true;
-        if (result.ok) {
-          auto membership = proto::Membership::decode(result.reply);
-          if (membership) {
-            std::lock_guard<std::mutex> self_lock(mutex_);
-            peers_.clear();
-            for (net::NodeId p : membership->participants) {
-              if (p != me_) peers_.push_back(p);
+  // do until the Clearinghouse knows us.  Bounded retries with exponential
+  // backoff (plus seeded jitter) keep a mass rejoin — e.g. a rack coming
+  // back after a correlated loss — from storming the coordinator in
+  // lockstep.
+  const int max_attempts = std::max(config_.register_attempts, 1);
+  std::uint64_t backoff_ns = config_.register_backoff_ns;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (stop_.load(std::memory_order_acquire)) return false;
+    std::uint64_t since;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      since = known_epoch_;
+    }
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false, ok = false;
+    client_.call(
+        proto::kRpcRegister,
+        proto::RegisterMsg{incarnation_, since}.encode(),
+        [&](net::RpcResult result) {
+          std::lock_guard<std::mutex> lock(m);
+          done = true;
+          if (result.ok) {
+            if (since > 0) {
+              // Rejoin with a prior view: the reply is a delta against it.
+              auto update = proto::MembershipUpdate::decode(result.reply);
+              if (update) {
+                std::lock_guard<std::mutex> self_lock(mutex_);
+                apply_membership_update_locked(*update);
+                ok = true;
+              }
+            } else {
+              auto membership = proto::Membership::decode(result.reply);
+              if (membership) {
+                std::lock_guard<std::mutex> self_lock(mutex_);
+                known_epoch_ = membership->epoch;
+                peers_.clear();
+                for (net::NodeId p : membership->participants) {
+                  if (p != me_) peers_.push_back(p);
+                }
+                ok = true;
+              }
             }
-            ok = true;
           }
-        }
-        cv.notify_all();
-      },
-      config_.rpc_policy);
-  // RpcNode guarantees the completion fires exactly once (reply, retry
-  // exhaustion, or destruction), so waiting without a timeout is safe — and
-  // necessary: the callback captures these stack variables by reference.
-  std::unique_lock<std::mutex> lock(m);
-  cv.wait(lock, [&] { return done; });
-  return ok;
+          cv.notify_all();
+        },
+        config_.rpc_policy);
+    // RpcNode guarantees the completion fires exactly once (reply, retry
+    // exhaustion, or destruction), so waiting without a timeout is safe — and
+    // necessary: the callback captures these stack variables by reference.
+    {
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return done; });
+    }
+    if (ok) return true;
+    if (attempt + 1 >= max_attempts) break;
+    std::uint64_t jitter;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jitter = rng_.below(backoff_ns / 2 + 1);
+    }
+    PHISH_LOG(kWarn) << net::to_string(me_) << ": register attempt "
+                     << (attempt + 1) << " failed; retrying in "
+                     << (backoff_ns + jitter) / 1'000'000 << " ms";
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_cv_.wait_for(lock, std::chrono::nanoseconds(backoff_ns + jitter),
+                      [this] {
+                        return stop_.load(std::memory_order_acquire);
+                      });
+    backoff_ns = std::min(backoff_ns * 2, config_.register_backoff_max_ns);
+  }
+  return false;
+}
+
+void UdpWorker::apply_membership_update_locked(
+    const proto::MembershipUpdate& update) {
+  known_epoch_ = update.epoch;
+  if (update.full) {
+    peers_.clear();
+    for (net::NodeId p : update.participants) {
+      if (p != me_) peers_.push_back(p);
+    }
+    return;
+  }
+  for (net::NodeId p : update.left) {
+    peers_.erase(std::remove(peers_.begin(), peers_.end(), p), peers_.end());
+  }
+  for (net::NodeId p : update.joined) {
+    if (p == me_) continue;
+    if (std::find(peers_.begin(), peers_.end(), p) == peers_.end()) {
+      peers_.push_back(p);
+    }
+  }
 }
 
 void UdpWorker::run_loop() {
@@ -399,14 +465,28 @@ void UdpWorker::send_stats_and_unregister() {
 
 void UdpWorker::refresh_membership() {
   // Fire-and-forget update; the completion runs on a transport thread and
-  // must not capture stack locals.
+  // must not capture stack locals.  Presenting known_epoch_ gets a delta
+  // instead of a full snapshot once we have any view at all.
+  std::uint64_t since;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    since = known_epoch_;
+  }
   client_.call(
-      proto::kRpcUpdate, {},
-      [this](net::RpcResult result) {
+      proto::kRpcUpdate, proto::UpdateRequest{since}.encode(),
+      [this, since](net::RpcResult result) {
         if (!result.ok || stop_.load(std::memory_order_acquire)) return;
+        if (since > 0) {
+          auto update = proto::MembershipUpdate::decode(result.reply);
+          if (!update) return;
+          std::lock_guard<std::mutex> lock(mutex_);
+          apply_membership_update_locked(*update);
+          return;
+        }
         auto membership = proto::Membership::decode(result.reply);
         if (!membership) return;
         std::lock_guard<std::mutex> lock(mutex_);
+        known_epoch_ = membership->epoch;
         peers_.clear();
         for (net::NodeId p : membership->participants) {
           if (p != me_) peers_.push_back(p);
@@ -492,10 +572,12 @@ UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
   for (auto& w : workers) w->start();
 
   // Scripted control-plane chaos: coarse wall-clock kills, driven from a
-  // dedicated thread so the main thread stays parked on the result.
+  // dedicated thread so the main thread stays parked on the result.  The
+  // legacy kill_* knobs and the general node_events schedule (e.g. a
+  // ChurnPlan's output) are merged into one sorted timeline.
   std::thread chaos;
-  if (config_.kill_primary_after_ns > 0 ||
-      config_.kill_worker_after_ns > 0) {
+  if (config_.kill_primary_after_ns > 0 || config_.kill_worker_after_ns > 0 ||
+      !config_.node_events.empty()) {
     chaos = std::thread([&] {
       struct Event {
         std::uint64_t at_ns;
@@ -516,8 +598,36 @@ UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
                             [&, k] { workers[k]->rejoin(); }});
         }
       }
-      std::sort(events.begin(), events.end(),
-                [](const Event& a, const Event& b) { return a.at_ns < b.at_ns; });
+      for (const net::NodeEvent& e : config_.node_events) {
+        if (e.worker == net::kCoordinatorWorker) {
+          if (e.kind == net::NodeFaultKind::kCrash) {
+            events.push_back({e.at_ns, [&] { clearinghouse.halt(); }});
+          }
+          continue;
+        }
+        // Worker 0 carries the root and is immune, as everywhere else.
+        if (e.worker <= 0 || e.worker >= static_cast<int>(workers.size())) {
+          continue;
+        }
+        const int w = e.worker;
+        switch (e.kind) {
+          case net::NodeFaultKind::kCrash:
+          case net::NodeFaultKind::kReclaim:
+            // Real sockets cannot migrate-then-depart on a schedule; a
+            // reclaim degrades to a crash (strictly harsher).
+            events.push_back({e.at_ns, [&, w] { workers[w]->kill(); }});
+            break;
+          case net::NodeFaultKind::kRestart:
+            events.push_back({e.at_ns, [&, w] { workers[w]->rejoin(); }});
+            break;
+          case net::NodeFaultKind::kPartition:
+          case net::NodeFaultKind::kHeal:
+            break;  // no scriptable cut on real sockets
+        }
+      }
+      std::stable_sort(
+          events.begin(), events.end(),
+          [](const Event& a, const Event& b) { return a.at_ns < b.at_ns; });
       const auto t0 = std::chrono::steady_clock::now();
       for (Event& e : events) {
         std::this_thread::sleep_until(t0 + std::chrono::nanoseconds(e.at_ns));

@@ -50,6 +50,12 @@ struct UdpJobConfig {
   std::uint64_t steal_retry_ns = 2'000'000;        // 2 ms
   std::uint64_t heartbeat_period_ns = 500'000'000; // 500 ms
   net::RetryPolicy rpc_policy{100'000'000, 6, 1.5};
+  /// Registration: attempts before the worker gives up on joining, with
+  /// exponential backoff (plus seeded jitter) between attempts so a mass
+  /// rejoin does not storm the coordinator.
+  int register_attempts = 5;
+  std::uint64_t register_backoff_ns = 50'000'000;       // 50 ms
+  std::uint64_t register_backoff_max_ns = 800'000'000;  // 800 ms
   ClearinghouseConfig clearinghouse;
   /// Watchdog: give up if the job has not finished in this much real time.
   double timeout_seconds = 120.0;
@@ -74,6 +80,13 @@ struct UdpJobConfig {
   std::uint64_t kill_worker_after_ns = 0;
   int kill_worker_index = 1;
   std::uint64_t rejoin_worker_after_ns = 0;
+  /// General node-event schedule (e.g. a ChurnPlan's events), in wall-clock
+  /// ns from job start; merged with the legacy kill_* fields above.
+  /// kCrash/kReclaim kill the worker (index semantics as in NodeEvent; never
+  /// 0 — it carries the root), kRestart rejoins it as a fresh incarnation,
+  /// worker == net::kCoordinatorWorker halts the primary.  kPartition/kHeal
+  /// are ignored: real sockets have no scriptable cut.
+  std::vector<net::NodeEvent> node_events;
 };
 
 struct UdpJobResult {
@@ -146,6 +159,8 @@ class UdpWorker {
   void send_stats_and_unregister();
   void refresh_membership();
   std::optional<net::NodeId> pick_peer();  // callers hold mutex_
+  /// Apply a membership delta (or embedded full snapshot); holds mutex_.
+  void apply_membership_update_locked(const proto::MembershipUpdate& update);
 
   net::UdpNetwork& network_;
   net::TimerService& timers_;
@@ -166,6 +181,9 @@ class UdpWorker {
   mutable std::mutex mutex_;  // guards core_, peers_, rng_, forward_to_
   WorkerCore core_;
   std::vector<net::NodeId> peers_;
+  /// Highest membership epoch applied; presented on register/update so the
+  /// Clearinghouse can reply with deltas.  0 = never registered.
+  std::uint64_t known_epoch_ = 0;
   net::NodeId forward_to_;  // successor after a shrink departure
   Xoshiro256 rng_;
 

@@ -1,6 +1,7 @@
 #include "testing/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/protocol.hpp"
 #include "util/rng.hpp"
@@ -125,6 +126,91 @@ net::FaultPlan make_chaos_plan(std::uint64_t seed,
             [](const net::NodeEvent& a, const net::NodeEvent& b) {
               return a.at_ns < b.at_ns;
             });
+  return plan;
+}
+
+net::FaultPlan make_churn_plan(std::uint64_t seed,
+                               const ChurnProfile& profile) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  plan.lossless_types = {proto::kArgument, proto::kMigrate};
+  const int rack_size = std::max(profile.rack_size, 1);
+  for (int base = 0; base < profile.workers; base += rack_size) {
+    std::vector<int> rack;
+    for (int w = base; w < std::min(base + rack_size, profile.workers); ++w) {
+      rack.push_back(w);
+    }
+    plan.racks.push_back(std::move(rack));
+  }
+  if (profile.workers < 2 || profile.churn_rate_hz <= 0.0) return plan;
+
+  Xoshiro256 rng(mix64(seed ^ 0xc842'c442'5eedULL));
+  const auto exp_sample = [&rng](double mean) {
+    // Guard the log: uniform() may return 0.
+    double u = rng.uniform();
+    if (u <= 0.0) u = 1e-12;
+    return -std::log(u) * mean;
+  };
+  const auto downtime = [&]() -> std::uint64_t {
+    const double extra = exp_sample(
+        static_cast<double>(profile.mean_downtime_ns));
+    return profile.min_downtime_ns + static_cast<std::uint64_t>(extra);
+  };
+
+  // Per-worker state machine: worker w is live at time t iff t >= up_at[w].
+  // Worker 0 (the submitting workstation) is immune, as in ChaosProfile.
+  std::vector<std::uint64_t> up_at(static_cast<std::size_t>(profile.workers),
+                                   0);
+  const auto live_count = [&](std::uint64_t now) {
+    int live = 0;
+    for (std::uint64_t u : up_at) {
+      if (now >= u) ++live;
+    }
+    return live;
+  };
+  const double mean_gap_ns = 1e9 / profile.churn_rate_hz;
+  double t = static_cast<double>(profile.min_event_ns);
+  for (;;) {
+    t += exp_sample(mean_gap_ns);
+    if (t >= static_cast<double>(profile.horizon_ns)) break;
+    const auto now = static_cast<std::uint64_t>(t);
+    int live = live_count(now);
+    if (rng.chance(profile.correlation) && plan.racks.size() > 1) {
+      // Correlated loss: a whole rack goes dark at once.  Victims rejoin
+      // independently (machines reboot at their own pace), which doubles as
+      // a register-storm test on the coordinator.
+      const auto& rack = plan.racks[rng.below(plan.racks.size())];
+      for (int w : rack) {
+        if (w == 0 || now < up_at[static_cast<std::size_t>(w)]) continue;
+        if (live <= profile.min_live) break;
+        const std::uint64_t back = now + downtime();
+        plan.events.push_back({now, net::NodeFaultKind::kCrash, w});
+        plan.events.push_back({back, net::NodeFaultKind::kRestart, w});
+        up_at[static_cast<std::size_t>(w)] = back;
+        --live;
+      }
+      continue;
+    }
+    // Independent leave: one live victim (never worker 0).
+    if (live <= profile.min_live) continue;
+    std::vector<int> candidates;
+    for (int w = 1; w < profile.workers; ++w) {
+      if (now >= up_at[static_cast<std::size_t>(w)]) candidates.push_back(w);
+    }
+    if (candidates.empty()) continue;
+    const int w = candidates[rng.below(candidates.size())];
+    const auto kind = rng.chance(profile.reclaim_fraction)
+                          ? net::NodeFaultKind::kReclaim
+                          : net::NodeFaultKind::kCrash;
+    const std::uint64_t back = now + downtime();
+    plan.events.push_back({now, kind, w});
+    plan.events.push_back({back, net::NodeFaultKind::kRestart, w});
+    up_at[static_cast<std::size_t>(w)] = back;
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const net::NodeEvent& a, const net::NodeEvent& b) {
+                     return a.at_ns < b.at_ns;
+                   });
   return plan;
 }
 

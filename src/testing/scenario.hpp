@@ -75,6 +75,51 @@ struct ChaosProfile {
 net::FaultPlan make_chaos_plan(std::uint64_t seed,
                                const ChaosProfile& profile = {});
 
+/// Sustained-churn generator: where make_chaos_plan injects ONE failure
+/// category per run, make_churn_plan models a cluster that never sits
+/// still.  Leave events arrive as a Poisson process over the whole horizon;
+/// each event either takes down one workstation (independent failure /
+/// owner return) or an entire rack at once (correlated loss: power strip,
+/// top-of-rack switch).  Every downed worker comes back after an
+/// exponentially distributed downtime as a kRestart, so the same plan
+/// exercises the full crash -> detect -> redo -> rejoin loop continuously.
+///
+/// The generator tracks per-worker up/down state so events stay valid
+/// (nobody crashes twice without rejoining in between), keeps worker 0
+/// immune (the submitting workstation, as in ChaosProfile), and never lets
+/// live capacity fall below min_live.
+struct ChurnProfile {
+  int workers = 8;
+  /// Events are generated in [min_event_ns, horizon_ns).
+  std::uint64_t horizon_ns = 20'000'000'000ULL;  // 20 s
+  std::uint64_t min_event_ns = 50'000'000;       // 50 ms startup grace
+  /// Aggregate leave-event rate for the whole cluster (Poisson arrivals).
+  double churn_rate_hz = 1.0;
+  /// Probability that a leave event is a correlated whole-rack loss
+  /// instead of a single workstation.  0 = fully independent failures.
+  double correlation = 0.0;
+  /// Workers per rack (index order: rack r = [r*size, (r+1)*size)).
+  int rack_size = 4;
+  /// Fraction of single-worker leaves that are owner returns (kReclaim,
+  /// migrate-then-depart) rather than crashes.  Caveat: a reclaim migrates
+  /// closures to a random known peer, and under churn that peer may be
+  /// dead-but-not-yet-detected — a composition the redo protocol does not
+  /// claim to survive (see make_chaos_plan).  Correctness-gated runs keep
+  /// this at 0; rack losses are always crashes.
+  double reclaim_fraction = 0.0;
+  /// Downtime before the kRestart: min + Exp(mean).
+  std::uint64_t mean_downtime_ns = 2'000'000'000ULL;  // 2 s
+  std::uint64_t min_downtime_ns = 100'000'000;        // 100 ms
+  /// Never schedule a leave that would drop live workers below this.
+  int min_live = 2;
+};
+
+/// Expand a seed into a sustained-churn schedule (node events + rack
+/// topology; no link faults — compose with make_chaos_plan's links when
+/// both are wanted).
+net::FaultPlan make_churn_plan(std::uint64_t seed,
+                               const ChurnProfile& profile = {});
+
 /// Seed-replay hook shared by the randomized tests: returns `fallback`
 /// unless the named environment variable is set to a (decimal or 0x-hex)
 /// integer, in which case every test in the binary runs under that seed.

@@ -60,6 +60,24 @@ int cmd_summary(const TraceData& data) {
                    TextTable::num(static_cast<std::int64_t>(count))});
   }
   std::printf("%s", table.to_string().c_str());
+  // Recovery digest: how much failure this run absorbed and what it cost.
+  // kExecute spans on a closure that a kRedo re-enqueued are redone work.
+  const std::uint64_t crashes = counts[EventType::kCrash];
+  const std::uint64_t reclaims = counts[EventType::kReclaim];
+  const std::uint64_t redos = counts[EventType::kRedo];
+  if (crashes + reclaims + redos > 0) {
+    std::uint64_t executes = counts[EventType::kExecute];
+    std::printf(
+        "recovery: crashes=%llu reclaims=%llu redo_snapshots=%llu "
+        "(%.1f%% of %llu executions re-run at most)\n",
+        static_cast<unsigned long long>(crashes),
+        static_cast<unsigned long long>(reclaims),
+        static_cast<unsigned long long>(redos),
+        executes > 0
+            ? 100.0 * static_cast<double>(redos) / static_cast<double>(executes)
+            : 0.0,
+        static_cast<unsigned long long>(executes));
+  }
   return 0;
 }
 

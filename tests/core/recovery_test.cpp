@@ -1,0 +1,100 @@
+// RecoveryTracker edge cases the churn engine produces: rejoin racing the
+// death notice, double-death of one incarnation, and a failover whose first
+// post-rejoin steal never happens.
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phish {
+namespace {
+
+TEST(RecoveryTracker, FailoverMttrIsDetectToFirstSteal) {
+  RecoveryTracker t;
+  t.note_detect(1'000);
+  t.note_promote(3'000);
+  t.note_steal(10'000);
+  const auto s = t.snapshot();
+  EXPECT_EQ(s.detects, 1u);
+  EXPECT_EQ(s.promotions, 1u);
+  EXPECT_EQ(s.mttr_count, 1u);
+  EXPECT_EQ(s.last_mttr_ns, 9'000u);
+  EXPECT_FALSE(s.awaiting_first_steal);
+}
+
+TEST(RecoveryTracker, StealsOutsideFailoverWindowAreFree) {
+  RecoveryTracker t;
+  t.note_steal(5'000);  // no window open: must not record anything
+  const auto s = t.snapshot();
+  EXPECT_EQ(s.mttr_count, 0u);
+  EXPECT_EQ(s.last_mttr_ns, 0u);
+}
+
+TEST(RecoveryTracker, RejoinBeforeDeathNoticeIsACountedNoOp) {
+  // The fresh incarnation registers before the heartbeat detector fires:
+  // there is no outage window, so no MTTR sample may be recorded.
+  RecoveryTracker t;
+  t.note_up(/*node_key=*/7, /*now_ns=*/1'000);
+  const auto s = t.snapshot();
+  EXPECT_EQ(s.rejoins_before_death, 1u);
+  EXPECT_EQ(s.node_ups, 0u);
+  EXPECT_EQ(s.open_outages, 0u);
+  EXPECT_TRUE(t.node_mttr_samples().empty());
+}
+
+TEST(RecoveryTracker, DoubleDeathKeepsFirstTimestamp) {
+  // Heartbeat expiry racing an implicit death on register declares the same
+  // incarnation dead twice; the outage began at FIRST detection.
+  RecoveryTracker t;
+  t.note_down(7, 1'000);
+  t.note_down(7, 5'000);  // duplicate: must not move the window start
+  {
+    const auto s = t.snapshot();
+    EXPECT_EQ(s.node_downs, 1u);
+    EXPECT_EQ(s.duplicate_deaths, 1u);
+    EXPECT_EQ(s.open_outages, 1u);
+  }
+  t.note_up(7, 11'000);
+  const auto samples = t.node_mttr_samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0], 10'000u) << "MTTR measured from the first down";
+  EXPECT_EQ(t.snapshot().open_outages, 0u);
+}
+
+TEST(RecoveryTracker, MttrAbsentWhenFirstStealNeverHappens) {
+  // A promotion whose first post-failover steal never arrives: the window
+  // stays open and no MTTR is recorded — it must not silently read as zero.
+  RecoveryTracker t;
+  t.note_detect(1'000);
+  t.note_promote(2'000);
+  const auto s = t.snapshot();
+  EXPECT_TRUE(s.awaiting_first_steal);
+  EXPECT_EQ(s.mttr_count, 0u);
+  EXPECT_EQ(s.last_mttr_ns, 0u);
+}
+
+TEST(RecoveryTracker, OutageWindowsArePerNode) {
+  RecoveryTracker t;
+  t.note_down(1, 1'000);
+  t.note_down(2, 2'000);
+  t.note_up(2, 4'000);
+  t.note_up(1, 9'000);
+  const auto samples = t.node_mttr_samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0], 2'000u);  // node 2 closed first
+  EXPECT_EQ(samples[1], 8'000u);
+  const auto s = t.snapshot();
+  EXPECT_EQ(s.node_downs, 2u);
+  EXPECT_EQ(s.node_ups, 2u);
+  EXPECT_EQ(s.open_outages, 0u);
+}
+
+TEST(RecoveryTracker, PercentileIsExactOnSamples) {
+  std::vector<std::uint64_t> samples{50, 10, 40, 20, 30};
+  EXPECT_EQ(RecoveryTracker::percentile_ns(samples, 0.0), 10u);
+  EXPECT_EQ(RecoveryTracker::percentile_ns(samples, 0.5), 30u);
+  EXPECT_EQ(RecoveryTracker::percentile_ns(samples, 1.0), 50u);
+  EXPECT_EQ(RecoveryTracker::percentile_ns({}, 0.5), 0u);
+}
+
+}  // namespace
+}  // namespace phish

@@ -1,0 +1,143 @@
+// Sustained-churn survival: make_churn_plan schedules drive the simdist
+// runtime through continuous crash -> detect -> redo -> rejoin cycles
+// (including correlated whole-rack losses) and the job must still produce
+// the fault-free serial answer.  Every assertion carries the replay line —
+// PHISH_CHAOS_SEED=<seed> plus the full plan — so a red run is reproducible
+// byte-for-byte:
+//
+//   PHISH_CHAOS_SEED=<seed> ./test_chaos --gtest_filter='Churn*'
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "testing/scenario.hpp"
+
+namespace phish::testing {
+namespace {
+
+/// The replay line printed on any churn failure (satellite requirement:
+/// a failing chaos/churn assertion names the exact env to re-run it).
+std::string replay_line(std::uint64_t seed, const net::FaultPlan& plan) {
+  return "replay: PHISH_CHAOS_SEED=" + std::to_string(seed) +
+         " ./test_chaos --gtest_filter='Churn*'\n" + plan.describe();
+}
+
+rt::SimJobConfig churn_job_config(std::uint64_t seed, int workers) {
+  rt::SimJobConfig cfg;
+  cfg.participants = workers;
+  cfg.seed = seed;
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1500 * sim::kMillisecond;
+  cfg.clearinghouse.failure_check_period_ns = 300 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 150 * sim::kMillisecond;
+  cfg.worker.rpc_policy = {100 * sim::kMillisecond, 10, 1.5};
+  // Stretch the job across the churn horizon: at the default 2us charge unit
+  // a pfold(13) finishes in virtual milliseconds, long before the first
+  // scheduled crash fires, and the redo assertion below would be vacuous.
+  cfg.worker.charge_unit = 2 * sim::kMillisecond;
+  return cfg;
+}
+
+ChurnProfile test_profile(int workers) {
+  ChurnProfile p;
+  p.workers = workers;
+  p.horizon_ns = 8 * sim::kSecond;
+  p.churn_rate_hz = 2.0;
+  p.correlation = 0.4;
+  p.rack_size = 2;
+  p.mean_downtime_ns = 1 * sim::kSecond;
+  p.min_downtime_ns = 200 * sim::kMillisecond;
+  p.min_live = 2;
+  return p;
+}
+
+TEST(ChurnPlan, InvariantsHoldAcrossSeeds) {
+  const ChurnProfile profile = test_profile(6);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const net::FaultPlan plan = make_churn_plan(seed, profile);
+    SCOPED_TRACE(replay_line(seed, plan));
+    // Racks partition [0, workers) in index order.
+    ASSERT_EQ(plan.racks.size(), 3u);
+    // Per-worker: strictly alternating down / kRestart, every down paired.
+    std::vector<int> down(static_cast<std::size_t>(profile.workers), 0);
+    int live = profile.workers;
+    for (const net::NodeEvent& e : plan.events) {
+      ASSERT_NE(e.worker, 0) << "worker 0 (submitter) is immune";
+      ASSERT_GE(e.worker, 1);
+      ASSERT_LT(e.worker, profile.workers);
+      auto& d = down[static_cast<std::size_t>(e.worker)];
+      if (e.kind == net::NodeFaultKind::kRestart) {
+        ASSERT_EQ(d, 1) << "restart without a preceding down";
+        d = 0;
+        ++live;
+      } else {
+        ASSERT_TRUE(e.kind == net::NodeFaultKind::kCrash ||
+                    e.kind == net::NodeFaultKind::kReclaim);
+        ASSERT_EQ(e.kind, net::NodeFaultKind::kCrash)
+            << "reclaim_fraction=0 must generate crashes only";
+        ASSERT_EQ(d, 0) << "double-down without a rejoin in between";
+        d = 1;
+        --live;
+        ASSERT_GE(live, profile.min_live);
+      }
+    }
+    for (int d : down) EXPECT_EQ(d, 0) << "every down is paired kRestart";
+  }
+}
+
+TEST(ChurnPlan, IsAPureFunctionOfTheSeed) {
+  const ChurnProfile profile = test_profile(8);
+  EXPECT_EQ(make_churn_plan(42, profile).describe(),
+            make_churn_plan(42, profile).describe());
+  EXPECT_NE(make_churn_plan(42, profile).describe(),
+            make_churn_plan(43, profile).describe());
+}
+
+TEST(ChurnSimdist, SustainedChurnStaysExact) {
+  // Continuous churn, correlated rack losses included, over the whole job:
+  // the redo protocol must hold the answer exact no matter how many times
+  // capacity collapses and recovers.
+  const std::uint64_t seed = seed_from_env("PHISH_CHAOS_SEED", 0xc842'0001);
+  const int workers = 6;
+  const net::FaultPlan plan = make_churn_plan(seed, test_profile(workers));
+  ASSERT_FALSE(plan.events.empty());
+
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  rt::SimCluster cluster(reg, churn_job_config(seed, workers));
+  cluster.apply_fault_plan(plan);
+  const auto result = cluster.run(root, {Value(std::int64_t{13})});
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+            apps::pfold_serial(13))
+      << replay_line(seed, plan);
+  EXPECT_GT(result.aggregate.tasks_redone, 0u)
+      << "vacuous: churn never killed a worker holding stolen work\n"
+      << replay_line(seed, plan);
+}
+
+TEST(ChurnSimdist, ReplayIsBitForBitDeterministic) {
+  // The acceptance bar: the same seed replays to the same simulated history.
+  const std::uint64_t seed = seed_from_env("PHISH_CHAOS_SEED", 0xc842'0002);
+  const int workers = 4;
+  ChurnProfile profile = test_profile(workers);
+  profile.horizon_ns = 4 * sim::kSecond;
+  const net::FaultPlan plan = make_churn_plan(seed, profile);
+
+  TaskRegistry reg;
+  const TaskId root = apps::register_nqueens(reg, /*sequential_rows=*/4);
+  std::uint64_t fingerprint[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    rt::SimCluster cluster(reg, churn_job_config(seed, workers));
+    cluster.apply_fault_plan(plan);
+    const auto result = cluster.run(root, {Value(std::int64_t{8})});
+    ASSERT_EQ(result.value.as_int(), 92) << replay_line(seed, plan);
+    fingerprint[run] = result.messages_sent;
+  }
+  EXPECT_EQ(fingerprint[0], fingerprint[1]) << replay_line(seed, plan);
+}
+
+}  // namespace
+}  // namespace phish::testing

@@ -14,11 +14,10 @@
 namespace phish::testing {
 namespace {
 
-rt::UdpJobConfig udp_failover_config(std::uint16_t base_port,
-                                     std::uint64_t seed) {
+rt::UdpJobConfig udp_failover_config(std::uint64_t seed) {
   rt::UdpJobConfig cfg;
   cfg.workers = 3;
-  cfg.net.base_port = base_port;
+  cfg.net.base_port = 0;  // ephemeral: no collisions under ctest -j
   cfg.seed = seed;
   cfg.enable_backup = true;
   cfg.clearinghouse.detect_failures = true;
@@ -49,7 +48,7 @@ TEST(UdpFailover, PrimaryKillPromotesBackupAndFinishes) {
   // fib(45)/cutoff 22 runs ~2.3s wall on 3 loopback workers: the 400ms kill
   // lands mid-job and promotion (~0.9s) leaves ample post-failover stealing.
   const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/22);
-  rt::UdpJobConfig cfg = udp_failover_config(34200, 0x0ddf'a110);
+  rt::UdpJobConfig cfg = udp_failover_config(0x0ddf'a110);
   cfg.kill_primary_after_ns = 400'000'000ULL;
   rt::UdpJob job(reg, cfg);
   const auto result = job.run(root, {Value(std::int64_t{45})});
@@ -62,7 +61,7 @@ TEST(UdpFailover, PrimaryKillPromotesBackupAndFinishes) {
 TEST(UdpFailover, KilledWorkerRejoinsMidJob) {
   TaskRegistry reg;
   const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/22);
-  rt::UdpJobConfig cfg = udp_failover_config(34300, 0x1d30);
+  rt::UdpJobConfig cfg = udp_failover_config(0x1d30);
   cfg.enable_backup = false;
   cfg.kill_worker_after_ns = 300'000'000ULL;
   cfg.kill_worker_index = 1;

@@ -184,9 +184,9 @@ ChaosOutcome run_udp(const ChaosCase& c) {
 
   UdpJobConfig cfg;
   cfg.workers = workers;
-  cfg.net.base_port =
-      c.base_port ? c.base_port
-                  : static_cast<std::uint16_t>(36000 + (c.seed % 512) * 8);
+  // Default to ephemeral ports (collision-free under ctest -j); a nonzero
+  // base_port pins the layout for external observation.
+  cfg.net.base_port = c.base_port;
   cfg.seed = c.seed;
   cfg.fault_plan = o.plan;
   // Real sockets + injected loss both ways per RPC attempt: twelve attempts

@@ -39,7 +39,8 @@ struct ChaosCase {
   ChaosRuntime runtime = ChaosRuntime::kSimdist;
   const char* app = "fib";  // "fib" | "nqueens" | "pfold"
   std::uint64_t seed = 1;
-  /// UDP only: loopback port block for this case (0 = derive from seed).
+  /// UDP only: fixed loopback port block (0 = ephemeral kernel-assigned
+  /// ports, the collision-free default under concurrent ctest).
   std::uint16_t base_port = 0;
   /// Simdist only: restrict the plan to the failover categories (primary
   /// Clearinghouse crash / worker crash-then-rejoin) for targeted sweeps.

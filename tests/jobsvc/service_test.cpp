@@ -272,5 +272,56 @@ TEST_F(ServiceTest, HistoryRetentionNeverEvictsLiveJobs) {
   EXPECT_EQ(svc.status(pending.job_id)->state, JobState::kActive);
 }
 
+TEST_F(ServiceTest, ShedsBelowCapacityWatermarkAndRecovers) {
+  ServiceConfig cfg;
+  cfg.degrade_watermark = 0.5;
+  cfg.degrade_retry_after_ns = 7'000'000'000ULL;
+  auto svc = make(cfg);
+  double capacity = 1.0;  // the probe reads this by reference
+  svc.set_capacity_probe([&capacity] { return capacity; });
+
+  // Healthy pool: admitted.
+  EXPECT_TRUE(svc.submit(req()).accepted());
+
+  // Churn takes the pool below the watermark: new submissions shed with a
+  // retry-after hint; already-admitted jobs are untouched.
+  capacity = 0.25;
+  const auto r = svc.submit(req());
+  EXPECT_EQ(r.reject, Reject::kDegraded);
+  EXPECT_EQ(r.retry_after_ns, 7'000'000'000ULL);
+  EXPECT_EQ(svc.counters().rejected_degraded, 1u);
+  EXPECT_EQ(svc.counters().accepted, 1u);
+
+  // Capacity returns: admission recovers with no reset or operator action.
+  capacity = 0.75;
+  EXPECT_TRUE(svc.submit(req()).accepted());
+  EXPECT_EQ(svc.counters().rejected_degraded, 1u);
+}
+
+TEST_F(ServiceTest, WatermarkZeroDisablesShedding) {
+  auto svc = make();  // default: degrade_watermark = 0
+  svc.set_capacity_probe([] { return 0.0; });  // pool fully dark
+  EXPECT_TRUE(svc.submit(req()).accepted())
+      << "no watermark configured: the probe must be ignored";
+}
+
+TEST_F(ServiceTest, DegradedShedDoesNotConsumeRateTokens) {
+  // A client retrying through a brown-out must not arrive rate-limited the
+  // moment capacity returns: the shed happens before the token bucket.
+  ServiceConfig cfg;
+  cfg.degrade_watermark = 0.5;
+  cfg.default_policy.rate_per_sec = 1.0;
+  cfg.default_policy.burst = 1.0;
+  auto svc = make(cfg);
+  double capacity = 0.0;
+  svc.set_capacity_probe([&capacity] { return capacity; });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(svc.submit(req()).reject, Reject::kDegraded);
+  }
+  capacity = 1.0;
+  EXPECT_TRUE(svc.submit(req()).accepted())
+      << "the burst token must still be there after the degraded storm";
+}
+
 }  // namespace
 }  // namespace phish::jobsvc

@@ -419,7 +419,7 @@ TEST(RpcSim, SurvivesHeavyLoss) {
 
 TEST(RpcUdp, CallOverRealSockets) {
   UdpParams p;
-  p.base_port = 31000;
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   UdpNetwork net(p);
   ThreadTimerService timers;
   RpcNode server(net.channel(NodeId{1}), timers);
@@ -442,7 +442,7 @@ TEST(RpcUdp, CallOverRealSockets) {
 
 TEST(RpcUdp, RetransmissionOverLossySockets) {
   UdpParams p;
-  p.base_port = 31050;
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   p.drop_probability = 0.5;
   p.seed = 4242;
   UdpNetwork net(p);

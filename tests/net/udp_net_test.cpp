@@ -6,7 +6,6 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -14,15 +13,6 @@
 
 namespace phish::net {
 namespace {
-
-// Each test uses a distinct base port so parallel/ordered runs never collide.
-// The base is offset by PID because ctest runs every case as its own process:
-// a fixed start would hand concurrent cases the same ports.
-std::uint16_t next_base_port() {
-  static std::atomic<std::uint16_t> port{static_cast<std::uint16_t>(
-      30100 + (::getpid() % 150) * 16)};
-  return port.fetch_add(16);
-}
 
 struct Collector {
   std::mutex m;
@@ -43,7 +33,7 @@ struct Collector {
 
 TEST(UdpNet, DeliversDatagram) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   UdpNetwork net(p);
   auto& a = net.channel(NodeId{0});
   auto& b = net.channel(NodeId{1});
@@ -65,7 +55,7 @@ TEST(UdpNet, DeliversDatagram) {
 
 TEST(UdpNet, BidirectionalTraffic) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   UdpNetwork net(p);
   auto& a = net.channel(NodeId{0});
   auto& b = net.channel(NodeId{1});
@@ -82,7 +72,7 @@ TEST(UdpNet, BidirectionalTraffic) {
 
 TEST(UdpNet, ManyMessagesAllArriveOnLoopback) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   UdpNetwork net(p);
   auto& a = net.channel(NodeId{0});
   auto& b = net.channel(NodeId{1});
@@ -103,7 +93,7 @@ TEST(UdpNet, ManyMessagesAllArriveOnLoopback) {
 
 TEST(UdpNet, OversizedPayloadThrows) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   UdpNetwork net(p);
   auto& a = net.channel(NodeId{0});
   EXPECT_THROW(a.send(NodeId{1}, 1, Bytes(UdpChannel::kMaxPayload + 1)),
@@ -112,7 +102,7 @@ TEST(UdpNet, OversizedPayloadThrows) {
 
 TEST(UdpNet, StatsCountTraffic) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   UdpNetwork net(p);
   auto& a = net.channel(NodeId{0});
   auto& b = net.channel(NodeId{1});
@@ -127,7 +117,7 @@ TEST(UdpNet, StatsCountTraffic) {
 
 TEST(UdpNet, InjectedDropLosesMessages) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   p.drop_probability = 1.0;
   UdpNetwork net(p);
   auto& a = net.channel(NodeId{0});
@@ -141,7 +131,7 @@ TEST(UdpNet, InjectedDropLosesMessages) {
 
 TEST(UdpNet, SendToUnboundPortIsSilent) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   UdpNetwork net(p);
   auto& a = net.channel(NodeId{0});
   EXPECT_NO_THROW(a.send(NodeId{9}, 1, Bytes(4)));
@@ -149,7 +139,7 @@ TEST(UdpNet, SendToUnboundPortIsSilent) {
 
 TEST(UdpNet, GarbagePacketsAreIgnored) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   UdpNetwork net(p);
   auto& b = net.channel(NodeId{1});
   Collector got;
@@ -177,7 +167,7 @@ TEST(UdpNet, GarbagePacketsAreIgnored) {
 
 TEST(UdpNet, CleanShutdownWithTrafficInFlight) {
   UdpParams p;
-  p.base_port = next_base_port();
+  p.base_port = 0;  // ephemeral: kernel-assigned, collision-free
   {
     UdpNetwork net(p);
     auto& a = net.channel(NodeId{0});
@@ -194,6 +184,17 @@ TEST(UdpNet, PortMapping) {
   UdpNetwork net(p);
   EXPECT_EQ(net.port_of(NodeId{0}), 40000);
   EXPECT_EQ(net.port_of(NodeId{7}), 40007);
+}
+
+TEST(UdpNet, EphemeralPortMapping) {
+  UdpParams p;
+  p.base_port = 0;
+  UdpNetwork net(p);
+  // No channel yet: the id has no port, and a send there is a silent drop.
+  EXPECT_EQ(net.port_of(NodeId{3}), 0);
+  auto& c = net.channel(NodeId{3});
+  (void)c;
+  EXPECT_NE(net.port_of(NodeId{3}), 0) << "bind registered a kernel port";
 }
 
 }  // namespace

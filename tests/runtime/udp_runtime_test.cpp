@@ -4,28 +4,18 @@
 #include "runtime/udp/udp_runtime.hpp"
 
 #include <gtest/gtest.h>
-#include <unistd.h>
-
-#include <atomic>
 
 #include "apps/apps.hpp"
 
 namespace phish::rt {
 namespace {
 
-// Distinct port ranges per test to avoid rebind collisions.  The base is
-// offset by PID because ctest runs every case as its own process: a fixed
-// start would hand concurrent cases the same ports.
-std::uint16_t next_base_port() {
-  static std::atomic<std::uint16_t> port{static_cast<std::uint16_t>(
-      35000 + (::getpid() % 70) * 64)};
-  return port.fetch_add(64);
-}
-
 UdpJobConfig config_for(int workers) {
   UdpJobConfig cfg;
   cfg.workers = workers;
-  cfg.net.base_port = next_base_port();
+  // Ephemeral ports: the kernel hands every node a free one, so concurrent
+  // ctest processes can never collide no matter how many run at once.
+  cfg.net.base_port = 0;
   cfg.clearinghouse.detect_failures = false;
   cfg.timeout_seconds = 60.0;
   return cfg;
@@ -121,7 +111,7 @@ TEST(UdpRuntime, RejectsZeroWorkers) {
                std::invalid_argument);
 }
 
-TEST(UdpRuntime, SequentialJobsOnDifferentPorts) {
+TEST(UdpRuntime, SequentialJobsReuseNothing) {
   TaskRegistry reg;
   const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/10);
   for (int i = 0; i < 2; ++i) {
