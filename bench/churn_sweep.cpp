@@ -20,11 +20,24 @@
 // == completed + cancelled with completed > 0 and no lost jobs — an accepted
 // job is a promise that churn must not break.  Any cell violating it fails
 // the run.  Virtual time + seeded plans make every cell deterministic.
+//
+// A second section sweeps the *runtime parity* cells: the same seeded churn
+// plan (owner reclaims mixed in, optionally a one-shot primary crash) driven
+// through a single long job on the simdist runtime (virtual time) and on the
+// UDP runtime (real sockets, wall clock).  The gate there is job-level
+// conservation: the answer must equal the fault-free serial reference, with
+// the redo / migration / promotion counters showing the machinery engaged.
+//
+// --runtime=simdist|udp restricts the run to that runtime's parity cells
+// (skipping the jobsvc grid) — the CI UDP churn-smoke leg uses
+// `--smoke=true --runtime=udp` to gate real-socket churn on ephemeral ports
+// without paying for the virtual-time sweep.
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "apps/apps.hpp"
 #include "apps/fib/fib.hpp"
 #include "bench_util.hpp"
 #include "jobsvc/service.hpp"
@@ -32,6 +45,8 @@
 #include "obs/bench_report.hpp"
 #include "obs/clock.hpp"
 #include "runtime/simdist/macro_service.hpp"
+#include "runtime/simdist/sim_cluster.hpp"
+#include "runtime/udp/udp_runtime.hpp"
 #include "testing/scenario.hpp"
 #include "util/rng.hpp"
 
@@ -206,6 +221,156 @@ CellResult run_cell(const SweepConfig& sweep, const CellParams& cell) {
   return out;
 }
 
+// ---- Runtime-parity cells: one long job under the same churn taxonomy. --
+
+struct RuntimeCell {
+  const char* runtime = "simdist";  // "simdist" | "udp"
+  double churn_hz = 2.0;
+  double reclaim_fraction = 0.0;
+  bool primary_churn = false;
+};
+
+struct RuntimeCellResult {
+  RuntimeCell cell;
+  bool completed = false;  // job finished before the watchdog/time cap
+  bool exact = false;      // answer == fault-free serial reference
+  std::uint64_t tasks_redone = 0;
+  std::uint64_t tasks_migrated_out = 0;
+  std::uint64_t migration_redo = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t detects = 0;
+};
+
+std::int64_t fib_iterative(int n) {
+  std::int64_t a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+std::uint64_t runtime_cell_seed(const SweepConfig& sweep,
+                                const RuntimeCell& cell) {
+  return mix64(sweep.seed ^ 0x51d1'57eeULL ^
+               static_cast<std::uint64_t>(cell.churn_hz * 1000) ^
+               static_cast<std::uint64_t>(cell.reclaim_fraction * 97) ^
+               (cell.primary_churn ? 0x9e1aULL : 0));
+}
+
+/// Virtual time: pfold(13) stretched over an 8 s churn horizon, owner
+/// reclaims drained through the acked migration handshake, optional
+/// epoch-fenced standby promotion mid-storm.
+RuntimeCellResult run_runtime_cell_simdist(const SweepConfig& sweep,
+                                           const RuntimeCell& cell) {
+  RuntimeCellResult out;
+  out.cell = cell;
+  testing::ChurnProfile profile;
+  profile.workers = 6;
+  profile.horizon_ns = 8 * sim::kSecond;
+  profile.churn_rate_hz = cell.churn_hz;
+  profile.correlation = 0.2;
+  profile.rack_size = 2;
+  profile.mean_downtime_ns = 1 * sim::kSecond;
+  profile.min_downtime_ns = 200 * sim::kMillisecond;
+  profile.min_live = 2;
+  profile.reclaim_fraction = cell.reclaim_fraction;
+  profile.primary_churn = cell.primary_churn;
+  const net::FaultPlan plan =
+      testing::make_churn_plan(runtime_cell_seed(sweep, cell), profile);
+
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  rt::SimJobConfig cfg;
+  cfg.participants = profile.workers;
+  cfg.seed = sweep.seed;
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1'500 * sim::kMillisecond;
+  cfg.clearinghouse.failure_check_period_ns = 300 * sim::kMillisecond;
+  cfg.worker.heartbeat_period = 150 * sim::kMillisecond;
+  cfg.worker.rpc_policy = {100 * sim::kMillisecond, 10, 1.5};
+  cfg.worker.charge_unit = 2 * sim::kMillisecond;  // span the churn horizon
+  cfg.enable_backup = cell.primary_churn;
+  try {
+    rt::SimCluster cluster(reg, cfg);
+    cluster.apply_fault_plan(plan);
+    const auto result = cluster.run(root, {Value(std::int64_t{13})});
+    out.completed = true;
+    out.exact = apps::decode_histogram(result.value.as_blob()) ==
+                apps::pfold_serial(13);
+    out.tasks_redone = result.aggregate.tasks_redone;
+    out.tasks_migrated_out = result.aggregate.tasks_migrated_out;
+    const auto rec = cluster.recovery().snapshot();
+    out.migration_redo = rec.migration_redo;
+    out.promotions = rec.promotions;
+    out.rejoins = rec.rejoins;
+    out.detects = rec.detects;
+  } catch (const std::exception& e) {
+    std::printf("  simdist runtime cell failed: %s\n", e.what());
+  }
+  return out;
+}
+
+/// Real sockets, wall clock: the same churn plan class (reclaims evict
+/// gracefully through the acked ledger handshake; a primary crash halts the
+/// coordinator and the warm standby promotes) over a fib job sized to span
+/// the 2 s storm.
+RuntimeCellResult run_runtime_cell_udp(const SweepConfig& sweep,
+                                       const RuntimeCell& cell) {
+  RuntimeCellResult out;
+  out.cell = cell;
+  testing::ChurnProfile profile;
+  profile.workers = 4;
+  profile.horizon_ns = 2'000'000'000ULL;  // wall-clock ns from job start
+  profile.min_event_ns = 400'000'000ULL;
+  profile.churn_rate_hz = cell.churn_hz;
+  profile.correlation = 0.0;  // no scriptable rack cut on real sockets
+  profile.rack_size = 2;
+  profile.mean_downtime_ns = 800'000'000ULL;
+  profile.min_downtime_ns = 300'000'000ULL;
+  profile.min_live = 2;
+  profile.reclaim_fraction = cell.reclaim_fraction;
+  profile.primary_churn = cell.primary_churn;
+  const net::FaultPlan plan =
+      testing::make_churn_plan(runtime_cell_seed(sweep, cell), profile);
+
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/22);
+  rt::UdpJobConfig cfg;
+  cfg.workers = profile.workers;
+  cfg.net.base_port = 0;  // ephemeral: no collisions with parallel runs
+  cfg.seed = sweep.seed;
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1'200'000'000ULL;
+  cfg.clearinghouse.failure_check_period_ns = 250'000'000ULL;
+  cfg.heartbeat_period_ns = 100'000'000ULL;
+  if (cell.primary_churn) {
+    cfg.enable_backup = true;
+    cfg.clearinghouse.replicate_period_ns = 100'000'000ULL;
+    cfg.clearinghouse.lease_timeout_ns = 400'000'000ULL;
+    cfg.clearinghouse.lease_check_period_ns = 100'000'000ULL;
+  }
+  cfg.timeout_seconds = 90.0;
+  cfg.node_events = plan.events;
+  try {
+    rt::UdpJob job(reg, cfg);
+    const auto result = job.run(root, {Value(std::int64_t{45})});
+    out.completed = true;
+    out.exact = result.value.as_int() == fib_iterative(45);
+    out.tasks_redone = result.aggregate.tasks_redone;
+    out.tasks_migrated_out = result.aggregate.tasks_migrated_out;
+    out.migration_redo = result.recovery.migration_redo;
+    out.promotions = result.recovery.promotions;
+    out.rejoins = result.recovery.rejoins;
+    out.detects = result.recovery.detects;
+  } catch (const std::exception& e) {
+    std::printf("  udp runtime cell failed: %s\n", e.what());
+  }
+  return out;
+}
+
 int run(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const bool smoke = flags.get_bool("smoke", false);
@@ -220,7 +385,13 @@ int run(int argc, char** argv) {
   sweep.seed = static_cast<std::uint64_t>(flags.get_int(
       "seed", static_cast<std::int64_t>(
                   testing::seed_from_env("PHISH_TEST_SEED", 42))));
+  const std::string runtime_filter = flags.get_string("runtime", "all");
   reject_unknown_flags(flags);
+  if (runtime_filter != "all" && runtime_filter != "simdist" &&
+      runtime_filter != "udp") {
+    std::fprintf(stderr, "churn_sweep: --runtime must be all|simdist|udp\n");
+    return 2;
+  }
 
   banner("availability", "sustained-churn sweep: churn rate x correlation "
                          "(virtual time)");
@@ -232,7 +403,9 @@ int run(int argc, char** argv) {
               (unsigned long long)sweep.seed);
 
   std::vector<CellParams> cells;
-  if (smoke) {
+  if (runtime_filter != "all") {
+    // Runtime-focused run: only the parity cells below, not the jobsvc grid.
+  } else if (smoke) {
     cells = {{2.0, 0.0}, {2.0, 0.5}};
   } else {
     for (double hz : {0.5, 1.0, 2.0, 4.0}) {
@@ -267,6 +440,47 @@ int run(int argc, char** argv) {
   }
   std::printf("%s\n", table.to_string().c_str());
 
+  // Runtime-parity cells: reclaim churn and primary churn, simdist vs UDP.
+  std::vector<RuntimeCell> rt_cells;
+  if (runtime_filter == "udp") {
+    rt_cells = {{"udp", 2.0, 0.6, false}, {"udp", 2.0, 0.6, true}};
+  } else if (runtime_filter == "simdist") {
+    rt_cells = {{"simdist", 2.0, 0.0, false},
+                {"simdist", 2.0, 0.6, false},
+                {"simdist", 2.0, 0.6, true}};
+  } else if (smoke) {
+    rt_cells = {{"simdist", 2.0, 0.6, false}, {"udp", 2.0, 0.6, false}};
+  } else {
+    rt_cells = {{"simdist", 2.0, 0.0, false},
+                {"simdist", 2.0, 0.6, false},
+                {"simdist", 2.0, 0.6, true},
+                {"udp", 2.0, 0.6, false},
+                {"udp", 2.0, 0.6, true}};
+  }
+  TextTable rt_table({"runtime", "churn/s", "reclaim", "primary", "exact",
+                      "redone", "migrated", "mig_redo", "promos", "rejoins"});
+  std::vector<RuntimeCellResult> rt_results;
+  for (const RuntimeCell& cell : rt_cells) {
+    const RuntimeCellResult r = std::string(cell.runtime) == "udp"
+                                    ? run_runtime_cell_udp(sweep, cell)
+                                    : run_runtime_cell_simdist(sweep, cell);
+    rt_results.push_back(r);
+    all_ok = all_ok && r.completed && r.exact;
+    rt_table.add_row({r.cell.runtime, TextTable::num(r.cell.churn_hz, 1),
+                      TextTable::num(r.cell.reclaim_fraction, 1),
+                      r.cell.primary_churn ? "yes" : "no",
+                      r.exact ? "yes" : "NO",
+                      TextTable::num(static_cast<std::int64_t>(r.tasks_redone)),
+                      TextTable::num(static_cast<std::int64_t>(
+                          r.tasks_migrated_out)),
+                      TextTable::num(static_cast<std::int64_t>(
+                          r.migration_redo)),
+                      TextTable::num(static_cast<std::int64_t>(r.promotions)),
+                      TextTable::num(static_cast<std::int64_t>(r.rejoins))});
+  }
+  std::printf("runtime parity (single job under the same churn taxonomy):\n");
+  std::printf("%s\n", rt_table.to_string().c_str());
+
   double min_avail = 1.0, max_redone = 0.0;
   for (const CellResult& r : results) {
     min_avail = std::min(min_avail, r.avail.availability);
@@ -285,6 +499,7 @@ int run(int argc, char** argv) {
   report.set("horizon_s",
              static_cast<std::uint64_t>(sweep.horizon_ns / sim::kSecond));
   report.set("seed", sweep.seed);
+  report.set("runtime_filter", runtime_filter);
   report.set("cells", static_cast<std::uint64_t>(results.size()));
   report.set("availability_min", min_avail);
   report.set("work_redone_pct_max", max_redone);
@@ -310,6 +525,22 @@ int run(int argc, char** argv) {
     report.set(p + "lost_jobs", r.lost_jobs);
     report.set(p + "conservation_ok", r.conservation_ok);
   }
+  for (std::size_t i = 0; i < rt_results.size(); ++i) {
+    const RuntimeCellResult& r = rt_results[i];
+    const std::string p =
+        "rt_" + std::string(r.cell.runtime) + std::to_string(i) + "_";
+    report.set(p + "churn_hz", r.cell.churn_hz);
+    report.set(p + "reclaim_fraction", r.cell.reclaim_fraction);
+    report.set(p + "primary_churn", r.cell.primary_churn);
+    report.set(p + "completed", r.completed);
+    report.set(p + "exact", r.exact);
+    report.set(p + "tasks_redone", r.tasks_redone);
+    report.set(p + "tasks_migrated_out", r.tasks_migrated_out);
+    report.set(p + "migration_redo", r.migration_redo);
+    report.set(p + "promotions", r.promotions);
+    report.set(p + "rejoins", r.rejoins);
+    report.set(p + "detects", r.detects);
+  }
   report.write();
 
   if (!all_ok) {
@@ -327,11 +558,25 @@ int run(int argc, char** argv) {
                   (unsigned long long)r.counters.cancelled,
                   (unsigned long long)r.lost_jobs);
     }
-    std::printf("replay: PHISH_TEST_SEED=%llu churn_sweep%s\n",
-                (unsigned long long)sweep.seed, smoke ? " --smoke=true" : "");
+    for (std::size_t i = 0; i < rt_results.size(); ++i) {
+      const RuntimeCellResult& r = rt_results[i];
+      if (r.completed && r.exact) continue;
+      std::printf("FAILED runtime cell %zu (%s churn %.1f/s reclaim %.1f "
+                  "primary %s): %s\n",
+                  i, r.cell.runtime, r.cell.churn_hz,
+                  r.cell.reclaim_fraction, r.cell.primary_churn ? "yes" : "no",
+                  r.completed ? "answer diverged from serial reference"
+                              : "job did not complete");
+    }
+    std::printf("replay: PHISH_TEST_SEED=%llu churn_sweep%s%s%s\n",
+                (unsigned long long)sweep.seed, smoke ? " --smoke=true" : "",
+                runtime_filter != "all" ? " --runtime=" : "",
+                runtime_filter != "all" ? runtime_filter.c_str() : "");
     return 1;
   }
-  std::printf("OK: job conservation held in all %zu cells\n", results.size());
+  std::printf("OK: job conservation held in all %zu jobsvc cells and %zu "
+              "runtime cells\n",
+              results.size(), rt_results.size());
   return 0;
 }
 

@@ -40,7 +40,8 @@ int run(int argc, char** argv) {
   report.set("failures", cfg.inject_failures ? 1 : 0);
   if (cfg.inject_failures) {
     std::printf("failure injection ON: primary Clearinghouse crash at 500 ms, "
-                "worker 1 crash at 300 ms + rejoin at 2 s (P>2)\n\n");
+                "worker 1 crash at 300 ms + rejoin at 2 s (P>2), worker 2 "
+                "reclaim at 250 ms + rejoin at 2.5 s (P>3)\n\n");
   }
 
   TextTable table({"P", "avg time (s)", "makespan (s)", "tasks", "steals"});

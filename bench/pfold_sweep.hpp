@@ -28,10 +28,13 @@ struct PfoldSweepConfig {
   int cutoff = 7;       // sequential_monomers grain
   std::uint64_t seed = 1994;
   /// Failure-injection mode (--failures=1): crash the primary Clearinghouse
-  /// (warm standby promotes) and crash-then-rejoin one worker mid-job, and
-  /// report recovery counters + MTTR alongside the usual statistics.  The
-  /// 1994 measurement conventions (no heartbeats, no detection) do not apply
-  /// in this mode: it measures recovery, not locality.
+  /// (warm standby promotes), crash-then-rejoin one worker mid-job, and (at
+  /// P>3) reclaim a worker just before the crash so the migration durability
+  /// ledger is in play — if the crashing worker was the migration successor,
+  /// the run exercises migrate-then-crash redelivery, reported as
+  /// `recovery.migration_redo`.  The 1994 measurement conventions (no
+  /// heartbeats, no detection) do not apply in this mode: it measures
+  /// recovery, not locality.
   bool inject_failures = false;
 };
 
@@ -75,6 +78,13 @@ inline rt::SimJobResult run_pfold_at(
       cluster.crash_at(1, 300 * sim::kMillisecond);
       cluster.rejoin_at(1, 2 * sim::kSecond);
     }
+    if (participants > 3) {
+      // Owner return (paper case (d)) ahead of the crash above having been
+      // detected: the drained cargo lands under the durability ledger, and
+      // a successor death redelivers it (recovery.migration_redo).
+      cluster.reclaim_at(2, 250 * sim::kMillisecond);
+      cluster.rejoin_at(2, 2'500 * sim::kMillisecond);
+    }
   }
   rt::SimJobResult result =
       cluster.run(root, {Value(std::int64_t{cfg.polymer})});
@@ -91,6 +101,7 @@ inline void report_recovery(obs::BenchReport& report, const std::string& prefix,
   report.set(prefix + ".recovery.rejoins", s.rejoins);
   report.set(prefix + ".recovery.mttr_count", s.mttr_count);
   report.set(prefix + ".recovery.mttr_ns", s.last_mttr_ns);
+  report.set(prefix + ".recovery.migration_redo", s.migration_redo);
 }
 
 /// Record one simulated run's Table-2 counters under `prefix.*` in a

@@ -39,7 +39,8 @@ int run(int argc, char** argv) {
 
   if (cfg.inject_failures) {
     std::printf("failure injection ON: primary Clearinghouse crash at 500 ms, "
-                "worker 1 crash at 300 ms + rejoin at 2 s (P>2)\n\n");
+                "worker 1 crash at 300 ms + rejoin at 2 s (P>2), worker 2 "
+                "reclaim at 250 ms + rejoin at 2.5 s (P>3)\n\n");
   }
 
   std::vector<rt::SimJobResult> results;

@@ -71,6 +71,7 @@ CONDITIONAL_RECOVERY = {
         ".recovery.rejoins",
         ".recovery.mttr_count",
         ".recovery.mttr_ns",
+        ".recovery.migration_redo",
     ),
     "BENCH_table2_locality.json": (
         ".recovery.detects",
@@ -78,6 +79,7 @@ CONDITIONAL_RECOVERY = {
         ".recovery.rejoins",
         ".recovery.mttr_count",
         ".recovery.mttr_ns",
+        ".recovery.migration_redo",
     ),
 }
 

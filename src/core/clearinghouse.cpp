@@ -34,6 +34,10 @@ void Clearinghouse::install_primary_handlers() {
     }
     return Bytes{};
   });
+  rpc_.serve(proto::kRpcMigrateLedger,
+             [this](net::NodeId src, const Bytes& args) {
+               return handle_migration_ledger(src, args);
+             });
   rpc_.set_oneway_handler(
       [this](net::Message&& m) { handle_oneway(std::move(m)); });
 }
@@ -169,6 +173,11 @@ std::map<net::NodeId, std::uint64_t> Clearinghouse::join_times() const {
   return join_times_;
 }
 
+std::size_t Clearinghouse::migration_ledger_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return migration_ledger_.size();
+}
+
 Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
   auto reg = proto::RegisterMsg::decode(args);
   const std::uint32_t inc = reg ? reg->incarnation : 1;
@@ -180,6 +189,7 @@ Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
   bool implicit_death = false;
   bool rejoined = false;
   std::vector<net::NodeId> death_targets;
+  std::vector<PendingRedelivery> redeliveries;
   std::uint64_t view = 0;
   std::uint64_t now = 0;
   Bytes reply;
@@ -210,6 +220,7 @@ Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
         log_change_locked(src, /*joined=*/false);
         implicit_death = true;
         death_targets = participants_;  // src is already gone from the list
+        drop_migrations_from_locked(src);
       }
     }
     incarnations_[src] = inc;
@@ -234,7 +245,12 @@ Bytes Clearinghouse::handle_register(net::NodeId src, const Bytes& args) {
     count = participants_.size();
     already_done = result_.has_value();
     view = view_;
+    // An implicit death may have orphaned ledgered cargo (the old
+    // incarnation held it), and a fresh joiner may unblock an entry that
+    // had no eligible redelivery target.
+    redeliveries = scan_migrations_locked();
   }
+  send_redeliveries(std::move(redeliveries));
   if (implicit_death) {
     PHISH_LOG(kInfo) << "clearinghouse: " << net::to_string(src)
                      << " re-registered as incarnation " << inc
@@ -271,6 +287,18 @@ Bytes Clearinghouse::handle_unregister(net::NodeId src) {
       log_change_locked(src, /*joined=*/false);
     }
     last_heartbeat_.erase(src);
+    // A graceful unregister means src finished or handed off everything it
+    // held: entries naming it as holder are completed obligations.  (A
+    // departing worker with cargo registers its own migration first, which
+    // already retired these via the superseding-drain rule.)
+    for (auto mit = migration_ledger_.begin();
+         mit != migration_ledger_.end();) {
+      if (mit->second.record.holder == src) {
+        mit = migration_ledger_.erase(mit);
+      } else {
+        ++mit;
+      }
+    }
     reply = membership_locked().encode();
     notify = on_membership_change_;
     count = participants_.size();
@@ -290,6 +318,190 @@ Bytes Clearinghouse::handle_update(const Bytes& args) {
     return membership_locked().encode();
   }
   return membership_update_locked(since).encode();
+}
+
+Bytes Clearinghouse::handle_migration_ledger(net::NodeId src,
+                                             const Bytes& args) {
+  (void)src;
+  auto msg = proto::MigrationLedgerMsg::decode(args);
+  Writer reply;
+  if (!msg || msg->migration_id == 0) {
+    reply.boolean(false);
+    return reply.take();
+  }
+  std::vector<PendingRedelivery> sends;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = migration_ledger_.find(msg->migration_id);
+    if (it == migration_ledger_.end()) {
+      // Registration.  The origin drained its whole core and steal ledger
+      // into this record, so any entry it currently holds (cargo it adopted
+      // from an earlier migration) is subsumed: retire those first, exactly
+      // like a worker's superseding drain retires its inbound obligations.
+      for (auto old = migration_ledger_.begin();
+           old != migration_ledger_.end();) {
+        if (old->second.record.holder == msg->from &&
+            !old->second.redelivery_in_flight) {
+          old = migration_ledger_.erase(old);
+        } else {
+          ++old;
+        }
+      }
+      MigrationEntry e;
+      e.record = std::move(*msg);
+      const auto inc = incarnations_.find(e.record.holder);
+      e.holder_inc = inc == incarnations_.end() ? 0 : inc->second;
+      migration_ledger_.emplace(e.record.migration_id, std::move(e));
+    } else {
+      // Holder update (or a registration retransmit hitting the reply
+      // cache miss path): re-point the entry.  The cargo snapshot stored at
+      // registration stays authoritative — the update carries none.
+      it->second.record.holder = msg->holder;
+      const auto inc = incarnations_.find(msg->holder);
+      it->second.holder_inc = inc == incarnations_.end() ? 0 : inc->second;
+    }
+    // The named holder may already be dead (it crashed between accepting
+    // the cargo and this update arriving): redeliver immediately rather
+    // than waiting for the next failure-detector tick.
+    sends = scan_migrations_locked();
+  }
+  send_redeliveries(std::move(sends));
+  reply.boolean(true);
+  return reply.take();
+}
+
+void Clearinghouse::drop_migrations_from_locked(net::NodeId dead) {
+  for (auto it = migration_ledger_.begin(); it != migration_ledger_.end();) {
+    if (it->second.record.from == dead) {
+      // The origin crashed: its victims' incarnation-blind death-redo
+      // re-executes everything it ever stole, and redelivered waiting joins
+      // whose argument fills route through the crashed origin's (now gone)
+      // forwarding stub could never complete.  The ledger entry would only
+      // duplicate work, so drop it.
+      it = migration_ledger_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Clearinghouse::PendingRedelivery>
+Clearinghouse::scan_migrations_locked() {
+  std::vector<PendingRedelivery> sends;
+  if (role_ != Role::kPrimary || !running_) return sends;
+  const auto is_participant = [this](net::NodeId n) {
+    return std::find(participants_.begin(), participants_.end(), n) !=
+           participants_.end();
+  };
+  const auto ever_died = [this](net::NodeId n) {
+    return std::find(dead_.begin(), dead_.end(), n) != dead_.end();
+  };
+  for (auto it = migration_ledger_.begin(); it != migration_ledger_.end();) {
+    MigrationEntry& e = it->second;
+    // Orphaned: the holder left the membership, or it is back in the list
+    // but as a fresh incarnation (the crash that lost the cargo beat the
+    // failure detector, so a pure membership check would miss it).
+    bool orphaned = !is_participant(e.record.holder);
+    if (!orphaned && e.holder_inc != 0) {
+      const auto inc = incarnations_.find(e.record.holder);
+      if (inc != incarnations_.end() && inc->second != e.holder_inc) {
+        orphaned = true;
+      }
+    }
+    if (!orphaned || e.redelivery_in_flight) {
+      ++it;
+      continue;
+    }
+    if (ever_died(e.record.from) && !is_participant(e.record.from)) {
+      drop_migrations_from_locked(e.record.from);
+      it = migration_ledger_.begin();  // iterator invalidated by the drop
+      continue;
+    }
+    // Pre-redeem steal-ledger entries whose thief is currently dead: the
+    // new holder would only redo them immediately, and shipping them as
+    // plain cargo spares it the thief-liveness bookkeeping.
+    auto& rec = e.record;
+    for (auto li = rec.ledger.begin(); li != rec.ledger.end();) {
+      if (ever_died(li->thief) && !is_participant(li->thief)) {
+        rec.closures.push_back(std::move(li->snapshot));
+        li = rec.ledger.erase(li);
+      } else {
+        ++li;
+      }
+    }
+    // Lowest-id live participant other than the origin takes the cargo
+    // (deterministic, and worker 0 — fault-immune — is always eligible).
+    net::NodeId target{};
+    for (net::NodeId p : participants_) {
+      if (p == rec.from) continue;
+      if (!target.valid() || p.value < target.value) target = p;
+    }
+    if (!target.valid()) {
+      ++it;  // nobody can take it yet; retry when membership changes
+      continue;
+    }
+    proto::MigrateMsg m;
+    m.from = rec.from;
+    m.closures = rec.closures;
+    m.migration_id = rec.migration_id;
+    m.redelivery = true;
+    m.ledger = rec.ledger;
+    PendingRedelivery p;
+    p.target = target;
+    p.migration_id = rec.migration_id;
+    p.cargo_count = rec.closures.size();
+    p.payload = m.encode();
+    e.redelivery_in_flight = true;
+    sends.push_back(std::move(p));
+    ++it;
+  }
+  return sends;
+}
+
+void Clearinghouse::send_redeliveries(std::vector<PendingRedelivery> sends) {
+  for (PendingRedelivery& s : sends) {
+    const net::NodeId target = s.target;
+    const std::uint64_t mid = s.migration_id;
+    const std::size_t cargo = s.cargo_count;
+    PHISH_LOG(kInfo) << "clearinghouse: re-delivering migration " << mid
+                     << " (" << cargo << " closures) to "
+                     << net::to_string(target);
+    rpc_.call(
+        target, proto::kRpcMigrate, std::move(s.payload),
+        [this, target, mid, cargo](net::RpcResult r) {
+          bool accepted = false;
+          if (r.ok) {
+            Reader rd(r.reply);
+            accepted = rd.boolean() && rd.ok();
+          }
+          net::NodeId origin{};
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = migration_ledger_.find(mid);
+            if (it == migration_ledger_.end()) return;
+            it->second.redelivery_in_flight = false;
+            if (!accepted) return;  // next failure-check scan retries
+            it->second.record.holder = target;
+            const auto inc = incarnations_.find(target);
+            it->second.holder_inc =
+                inc == incarnations_.end() ? 0 : inc->second;
+            origin = it->second.record.from;
+          }
+          if (tracker_ != nullptr) tracker_->note_migration_redo(cargo);
+          // Re-target the departed origin's forwarding stub at the new
+          // holder and have it replay the argument fills it logged since
+          // the drain — without this, fills routed through the stub while
+          // the old holder was dying would be lost.
+          if (origin.valid() && origin != target) {
+            const Bytes reroute =
+                proto::ControlMsg{proto::ControlMsg::kReroute, target, mid}
+                    .encode();
+            rpc_.call(origin, proto::kRpcControl, reroute,
+                      [](net::RpcResult) {}, config_.control_policy);
+          }
+        },
+        config_.control_policy);
+  }
 }
 
 void Clearinghouse::log_change_locked(net::NodeId node, bool joined) {
@@ -377,6 +589,16 @@ Bytes Clearinghouse::handle_delta(net::NodeId, const Bytes& args) {
         stats_reports_.push_back(d->stats[i]);
       }
     }
+    // The delta ships the whole migration ledger: rebuild rather than
+    // merge.  holder_inc stays 0 (the standby has no incarnation map), so
+    // after a promotion only membership-based orphan checks apply.
+    migration_ledger_.clear();
+    for (auto& mig : d->migrations) {
+      MigrationEntry e;
+      e.record = std::move(mig);
+      const std::uint64_t mid = e.record.migration_id;
+      migration_ledger_.emplace(mid, std::move(e));
+    }
   }
   ack.applied_seq = applied_seq_;
   ack.io_count = io_log_.size();
@@ -452,6 +674,7 @@ void Clearinghouse::accept_result(net::NodeId, Value value) {
 void Clearinghouse::check_failures() {
   std::vector<net::NodeId> newly_dead;
   std::vector<net::NodeId> survivors;
+  std::vector<PendingRedelivery> redeliveries;
   std::function<void(net::NodeId)> notify_death;
   std::function<void(std::size_t)> notify_membership;
   std::uint64_t view = 0;
@@ -474,6 +697,10 @@ void Clearinghouse::check_failures() {
         ++it;
       }
     }
+    for (net::NodeId dead : newly_dead) drop_migrations_from_locked(dead);
+    // Every tick doubles as the retry loop for redeliveries that were
+    // rejected or lost in flight.
+    redeliveries = scan_migrations_locked();
     survivors = participants_;
     notify_death = on_death_;
     notify_membership = on_membership_change_;
@@ -489,6 +716,7 @@ void Clearinghouse::check_failures() {
     broadcast_death(dead, survivors, view);
     if (notify_death) notify_death(dead);
   }
+  send_redeliveries(std::move(redeliveries));
   if (!newly_dead.empty() && notify_membership) {
     notify_membership(survivors.size());
   }
@@ -534,6 +762,12 @@ void Clearinghouse::replicate_tick() {
          i < stats_reports_.size() && d.stats.size() < config_.max_delta_tail;
          ++i) {
       d.stats.push_back(stats_reports_[i]);
+    }
+    // Full migration-ledger snapshot each delta: the ledger is small (one
+    // entry per in-flight graceful departure) and a promoted standby must
+    // be able to redeliver orphaned cargo on its own.
+    for (const auto& [mid, entry] : migration_ledger_) {
+      d.migrations.push_back(entry.record);
     }
     payload = d.encode();
     standby = peer_;
@@ -598,6 +832,7 @@ void Clearinghouse::lease_tick() {
 
 void Clearinghouse::promote() {
   std::vector<net::NodeId> targets;
+  std::vector<PendingRedelivery> redeliveries;
   std::optional<Value> result;
   std::uint64_t view = 0;
   std::uint64_t now = 0;
@@ -616,6 +851,18 @@ void Clearinghouse::promote() {
     // Full heartbeat grace: measure deaths from the promotion instant, not
     // from heartbeats the dying primary never shared with us.
     for (net::NodeId p : participants_) last_heartbeat_[p] = now;
+    // Replicated ledger entries whose origin is already among the dead
+    // follow the same drop rule the old primary would have applied.  (An
+    // origin that crashed, rejoined, and departed again between two deltas
+    // can slip past this — the documented loss window; its victims' redo
+    // still covers the stolen portion.)
+    for (net::NodeId d : dead_) {
+      if (std::find(participants_.begin(), participants_.end(), d) ==
+          participants_.end()) {
+        drop_migrations_from_locked(d);
+      }
+    }
+    redeliveries = scan_migrations_locked();
     targets = participants_;
     result = result_;
     if (config_.detect_failures) {
@@ -635,6 +882,7 @@ void Clearinghouse::promote() {
     rpc_.call(p, proto::kRpcControl, announce, [](net::RpcResult) {},
               config_.control_policy);
   }
+  send_redeliveries(std::move(redeliveries));
   if (tracker_ != nullptr) tracker_->note_promote(now);
   if (result) {
     // The job had already finished: the old primary died mid-shutdown, so

@@ -124,13 +124,49 @@ class Clearinghouse {
   std::vector<net::NodeId> declared_dead() const;
   /// Join time (timer-clock ns) of each participant ever registered.
   std::map<net::NodeId, std::uint64_t> join_times() const;
+  /// Migration durability ledger entries currently retained (tests).
+  std::size_t migration_ledger_size() const;
 
  private:
+  /// One ledgered migration: the wire record (from/holder/cargo/steal-ledger
+  /// export) plus primary-side redelivery bookkeeping.  Entries are retained
+  /// until the holder gracefully retires them (its own superseding migration
+  /// or an empty-handed unregister) or the job ends — mirroring the worker
+  /// steal ledger's never-released idiom.
+  struct MigrationEntry {
+    proto::MigrationLedgerMsg record;
+    /// Incarnation of `record.holder` when the holder was last set (0 when
+    /// unknown, e.g. after a standby promotion rebuilt the ledger from a
+    /// delta): a holder that re-registers with a higher incarnation lost
+    /// the cargo even though it is back in the membership list.
+    std::uint32_t holder_inc = 0;
+    bool redelivery_in_flight = false;
+  };
+  /// A redelivery decided under the lock, sent outside it.
+  struct PendingRedelivery {
+    net::NodeId target;
+    std::uint64_t migration_id = 0;
+    std::size_t cargo_count = 0;
+    Bytes payload;
+  };
+
   void install_primary_handlers();
   Bytes handle_register(net::NodeId src, const Bytes& args);
   Bytes handle_unregister(net::NodeId src);
   Bytes handle_update(const Bytes& args);
   Bytes handle_delta(net::NodeId src, const Bytes& args);
+  Bytes handle_migration_ledger(net::NodeId src, const Bytes& args);
+  /// Drop ledger entries originated by `dead` (its victims' standard
+  /// death-redo re-executes everything it ever held, and redelivered
+  /// waiting joins whose fills route through a crashed origin could never
+  /// complete).  Call at death declaration, holding mutex_.
+  void drop_migrations_from_locked(net::NodeId dead);
+  /// Find entries whose holder is gone (left membership, or re-registered
+  /// as a fresh incarnation) and stage redelivery of their cargo to the
+  /// lowest-id live participant.  Callers hold mutex_ and must pass the
+  /// result to send_redeliveries() after unlocking.
+  std::vector<PendingRedelivery> scan_migrations_locked();
+  void send_redeliveries(std::vector<PendingRedelivery> sends);
   void handle_oneway(net::Message&& message);
   void accept_result(net::NodeId src, Value value);
   void check_failures();
@@ -172,6 +208,8 @@ class Clearinghouse {
     bool joined;
   };
   std::deque<EpochChange> change_log_;
+  /// Migration durability ledger, keyed by migration id.
+  std::map<std::uint64_t, MigrationEntry> migration_ledger_;
   std::optional<Value> result_;
   std::vector<proto::StatsMsg> stats_reports_;
   std::vector<proto::IoMsg> io_log_;

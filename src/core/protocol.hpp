@@ -46,6 +46,13 @@ constexpr std::uint16_t kRpcResult = 5;      // worker -> clearinghouse
 // announcements) on the acked, retransmitting RPC path.
 constexpr std::uint16_t kRpcChDelta = 6;     // primary ch -> standby ch
 constexpr std::uint16_t kRpcControl = 7;     // clearinghouse -> worker
+// Migration durability (DESIGN.md failure matrix: migrate-then-crash).
+// Cargo delivery is an acked RPC — the departing worker retransmits until a
+// successor confirms installation — and the Clearinghouse keeps a migration
+// ledger (registered before delivery, holder updated after) so a crash of
+// either end re-delivers or redoes the cargo instead of stranding it.
+constexpr std::uint16_t kRpcMigrate = 8;        // migrator -> successor
+constexpr std::uint16_t kRpcMigrateLedger = 9;  // migrator -> clearinghouse
 
 // Macro level (PhishJobQ / PhishJobD).
 constexpr std::uint16_t kRpcSubmitJob = 10;   // user -> jobq
@@ -63,11 +70,18 @@ constexpr std::uint16_t kRpcPreempt = 14;     // jobq -> jobmanager
 struct ArgumentMsg {
   ContRef cont;
   Value value;
+  /// Forwarding budget.  A departed worker's stub forwards arguments to its
+  /// migration successor; once rejoined workers keep residual stubs, two
+  /// nodes could in principle bounce an unknown-closure argument between
+  /// each other forever.  Each forward hop decrements ttl; at 0 the message
+  /// is dead-lettered instead of forwarded.
+  std::uint8_t ttl = 8;
 
   Bytes encode() const {
     Writer w;
     cont.encode(w);
     value.encode(w);
+    w.u8(ttl);
     return w.take();
   }
   static std::optional<ArgumentMsg> decode(const Bytes& b) {
@@ -75,7 +89,8 @@ struct ArgumentMsg {
     ArgumentMsg m;
     m.cont = ContRef::decode(r);
     m.value = Value::decode(r);
-    if (!r.done()) return std::nullopt;
+    m.ttl = r.u8();
+    if (!r.ok() || !r.done()) return std::nullopt;
     return m;
   }
 };
@@ -97,15 +112,48 @@ struct DeadMsg {
   }
 };
 
+/// One steal-ledger entry travelling with a migration: the migrator's redo
+/// snapshot for a task stolen by `thief`.  The successor adopts it into its
+/// own steal ledger so a later death of the thief still triggers redo even
+/// though the original victim has departed.
+struct MigrantLedgerEntry {
+  net::NodeId thief;
+  Closure snapshot;
+
+  void encode(Writer& w) const {
+    w.u32(thief.value);
+    snapshot.encode(w);
+  }
+  static MigrantLedgerEntry decode(Reader& r) {
+    MigrantLedgerEntry e;
+    e.thief = net::NodeId{r.u32()};
+    e.snapshot = Closure::decode(r);
+    return e;
+  }
+};
+
 struct MigrateMsg {
   net::NodeId from;
   std::vector<Closure> closures;
+  /// Migration id minted by the origin ((origin << 32) | seq).  Receivers
+  /// dedupe installs by id, so retransmits and Clearinghouse re-deliveries
+  /// are idempotent.  0 = unledgered migration (dead-letter forwarding).
+  std::uint64_t migration_id = 0;
+  /// Set when the Clearinghouse re-delivers ledgered cargo after the
+  /// previous holder died (counts as migration redo, not a fresh migration).
+  bool redelivery = false;
+  /// The migrator's outstanding steal-ledger entries (see above).
+  std::vector<MigrantLedgerEntry> ledger;
 
   Bytes encode() const {
     Writer w;
     w.u32(from.value);
     w.u32(static_cast<std::uint32_t>(closures.size()));
     for (const Closure& c : closures) c.encode(w);
+    w.u64(migration_id);
+    w.boolean(redelivery);
+    w.u32(static_cast<std::uint32_t>(ledger.size()));
+    for (const MigrantLedgerEntry& e : ledger) e.encode(w);
     return w.take();
   }
   static std::optional<MigrateMsg> decode(const Bytes& b) {
@@ -119,6 +167,68 @@ struct MigrateMsg {
       Closure c = Closure::decode(r);
       if (!r.ok()) return std::nullopt;  // truncated or structurally invalid
       m.closures.push_back(std::move(c));
+    }
+    m.migration_id = r.u64();
+    m.redelivery = r.boolean();
+    const std::uint32_t nl = r.u32();
+    if (!r.ok() || nl > (1u << 24)) return std::nullopt;
+    m.ledger.reserve(nl);
+    for (std::uint32_t i = 0; i < nl; ++i) {
+      MigrantLedgerEntry e = MigrantLedgerEntry::decode(r);
+      if (!r.ok()) return std::nullopt;
+      m.ledger.push_back(std::move(e));
+    }
+    if (!r.done()) return std::nullopt;
+    return m;
+  }
+};
+
+/// kRpcMigrateLedger: the migration durability ledger entry a departing
+/// worker registers at the Clearinghouse *before* handing its cargo to a
+/// successor, and updates (empty cargo, new holder) *after* the successor
+/// acknowledged installation.  While `holder` is the migrator itself the
+/// cargo snapshot lives here; once the holder moves to the successor the
+/// closures run there and this entry is only the redo record consulted when
+/// the holder later dies.
+struct MigrationLedgerMsg {
+  std::uint64_t migration_id = 0;
+  net::NodeId from;    // the departing (origin) worker
+  net::NodeId holder;  // who currently owns the cargo
+  std::vector<Closure> closures;            // cargo snapshot (register only)
+  std::vector<MigrantLedgerEntry> ledger;   // migrator's steal-ledger export
+
+  Bytes encode() const {
+    Writer w;
+    w.u64(migration_id);
+    w.u32(from.value);
+    w.u32(holder.value);
+    w.u32(static_cast<std::uint32_t>(closures.size()));
+    for (const Closure& c : closures) c.encode(w);
+    w.u32(static_cast<std::uint32_t>(ledger.size()));
+    for (const MigrantLedgerEntry& e : ledger) e.encode(w);
+    return w.take();
+  }
+  static std::optional<MigrationLedgerMsg> decode(const Bytes& b) {
+    Reader r(b);
+    MigrationLedgerMsg m;
+    m.migration_id = r.u64();
+    m.from = net::NodeId{r.u32()};
+    m.holder = net::NodeId{r.u32()};
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || n > (1u << 24)) return std::nullopt;
+    m.closures.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Closure c = Closure::decode(r);
+      if (!r.ok()) return std::nullopt;
+      m.closures.push_back(std::move(c));
+    }
+    const std::uint32_t nl = r.u32();
+    if (!r.ok() || nl > (1u << 24)) return std::nullopt;
+    m.ledger.reserve(nl);
+    for (std::uint32_t i = 0; i < nl; ++i) {
+      MigrantLedgerEntry e = MigrantLedgerEntry::decode(r);
+      if (!r.ok()) return std::nullopt;
+      m.ledger.push_back(std::move(e));
     }
     if (!r.done()) return std::nullopt;
     return m;
@@ -330,10 +440,14 @@ struct ControlMsg {
   enum Kind : std::uint8_t {
     kDeadNotice = 1,  // `who` was declared dead: redo its stolen work
     kNewPrimary = 2,  // `who` is the acting Clearinghouse as of `view`
+    // Migration cargo was re-delivered to `who` after the previous holder
+    // died: the departed origin's stub must re-target its forwarding and
+    // replay its logged post-drain argument fills at the new holder.
+    kReroute = 3,
   };
   std::uint8_t kind = kDeadNotice;
   net::NodeId who;
-  std::uint64_t view = 0;  // kNewPrimary: promotion view number
+  std::uint64_t view = 0;  // kNewPrimary: promotion view / kReroute: mig id
 
   Bytes encode() const {
     Writer w;
@@ -349,7 +463,10 @@ struct ControlMsg {
     m.who = net::NodeId{r.u32()};
     m.view = r.u64();
     if (!r.done()) return std::nullopt;
-    if (m.kind != kDeadNotice && m.kind != kNewPrimary) return std::nullopt;
+    if (m.kind != kDeadNotice && m.kind != kNewPrimary &&
+        m.kind != kReroute) {
+      return std::nullopt;
+    }
     return m;
   }
 };
@@ -369,6 +486,10 @@ struct ChDeltaMsg {
   std::vector<IoMsg> io;
   std::uint64_t stats_base = 0;
   std::vector<StatsMsg> stats;
+  /// Migration durability ledger snapshot (small: one entry per in-flight
+  /// or completed-but-unretired migration), so a promoted standby can keep
+  /// re-delivering cargo when holders die after the old primary did.
+  std::vector<MigrationLedgerMsg> migrations;
 
   Bytes encode() const {
     Writer w;
@@ -390,6 +511,11 @@ struct ChDeltaMsg {
     w.u64(stats_base);
     w.u32(static_cast<std::uint32_t>(stats.size()));
     for (const StatsMsg& m : stats) {
+      const Bytes b = m.encode();
+      w.blob(b.data(), b.size());
+    }
+    w.u32(static_cast<std::uint32_t>(migrations.size()));
+    for (const MigrationLedgerMsg& m : migrations) {
       const Bytes b = m.encode();
       w.blob(b.data(), b.size());
     }
@@ -429,6 +555,13 @@ struct ChDeltaMsg {
       auto s = StatsMsg::decode(r.blob());
       if (!s) return std::nullopt;
       m.stats.push_back(std::move(*s));
+    }
+    const std::uint32_t nm = r.u32();
+    if (!r.ok() || nm > (1u << 20)) return std::nullopt;
+    for (std::uint32_t i = 0; i < nm; ++i) {
+      auto mig = MigrationLedgerMsg::decode(r.blob());
+      if (!mig) return std::nullopt;
+      m.migrations.push_back(std::move(*mig));
     }
     if (!r.done()) return std::nullopt;
     return m;

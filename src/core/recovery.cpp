@@ -44,6 +44,13 @@ void RecoveryTracker::note_rejoin() {
   obs::Registry::global().counter("recovery.rejoins").inc();
 }
 
+void RecoveryTracker::note_migration_redo(std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  s_.migration_redo += n;
+  obs::Registry::global().counter("recovery.migration_redo").inc(n);
+}
+
 void RecoveryTracker::note_down(std::uint64_t node_key, std::uint64_t now_ns) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = down_since_.try_emplace(node_key, now_ns);

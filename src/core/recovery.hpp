@@ -55,6 +55,9 @@ class RecoveryTracker {
     std::uint64_t duplicate_deaths = 0;      // note_down on an open window
     std::uint64_t rejoins_before_death = 0;  // note_up with no open window
     std::uint64_t open_outages = 0;          // windows still open
+    // Migration durability: ledgered cargo redelivered (or redone) after a
+    // holder died — the count of migrate-then-crash compositions survived.
+    std::uint64_t migration_redo = 0;
   };
 
   /// Standby detected a missed lease at `now_ns` (its timer clock).
@@ -66,6 +69,10 @@ class RecoveryTracker {
   void note_steal(std::uint64_t now_ns);
   /// A previously dead (or fresh) worker registered into the running job.
   void note_rejoin();
+
+  /// The Clearinghouse redelivered `n` ledgered migration closures after
+  /// their holder died (or a successor redid dead-thief ledger entries).
+  void note_migration_redo(std::uint64_t n);
 
   /// A node was declared dead (missed heartbeats, implicit death on a
   /// higher-incarnation register, or owner reclaim) at `now_ns`.

@@ -257,6 +257,48 @@ void WorkerCore::install_migrated(Closure closure) {
   }
 }
 
+void WorkerCore::install_migration_redo(Closure closure) {
+  ++stats_.tasks_migration_redone;
+  stats_.note_alloc();
+  Closure* c = adopt(std::move(closure));
+  if (tracing()) {
+    trace_instant(obs::EventType::kMigrationRedo, c->id, 0);
+  }
+  if (c->ready()) {
+    push_ready_(c);
+  } else {
+    waiting_.insert(c);
+  }
+}
+
+std::vector<proto::MigrantLedgerEntry> WorkerCore::export_steal_ledger() {
+  std::vector<proto::MigrantLedgerEntry> out;
+  out.reserve(steal_ledger_.size());
+  for (auto& [id, entry] : steal_ledger_) {
+    out.push_back(
+        proto::MigrantLedgerEntry{entry.thief, std::move(entry.snapshot)});
+  }
+  steal_ledger_.clear();
+  return out;
+}
+
+void WorkerCore::adopt_migrant_ledger(net::NodeId thief, Closure snapshot,
+                                      bool thief_dead) {
+  if (thief_dead) {
+    // The thief's death notice predates this adoption; redo now or never.
+    stats_.note_alloc();
+    ++stats_.tasks_redone;
+    ++stats_.tasks_migration_redone;
+    if (tracing()) {
+      trace_instant(obs::EventType::kRedo, snapshot.id, thief.value);
+    }
+    push_ready_(adopt(std::move(snapshot)));
+    return;
+  }
+  const ClosureId id = snapshot.id;
+  steal_ledger_.emplace(id, LedgerEntry{std::move(snapshot), thief});
+}
+
 std::size_t WorkerCore::handle_participant_death(net::NodeId dead) {
   // The fused register could hold an orphan (a stolen task is installed into
   // the register like any other push); demote so removal sees everything.

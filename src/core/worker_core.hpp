@@ -32,6 +32,7 @@
 
 #include "core/chase_lev.hpp"
 #include "core/closure_pool.hpp"
+#include "core/protocol.hpp"
 #include "core/ready_deque.hpp"
 #include "core/task_registry.hpp"
 #include "core/waiting_table.hpp"
@@ -112,6 +113,15 @@ class WorkerCore {
     /// Clearinghouse, so a user need only watch the Clearinghouse to see job
     /// output").  Optional; defaults to stdout.
     std::function<void(const std::string&)> emit_io;
+    /// A LOCAL send missed: cont.home names this worker but the target
+    /// closure is not here.  On a worker whose previous incarnation migrated
+    /// its closures away (owner reclaim, then restart), the target lives at
+    /// the migration successor and the fill must follow the same forwarding
+    /// stub remote arrivals use — without this hook it would be silently
+    /// dead-lettered and the consumer would wait forever.  Return true to
+    /// take ownership of the value (forwarded); false to fall through to
+    /// normal dead-letter accounting.  Optional.
+    std::function<bool(const ContRef&, Value&&)> forward_local_miss;
   };
 
   /// Most callers: default hot path (pooled + lazy) with the paper's
@@ -257,6 +267,31 @@ class WorkerCore {
   /// Install a migrated closure (ready ones go to the ready list, waiting
   /// ones to the waiting table).
   void install_migrated(Closure closure);
+
+  /// Install a closure redelivered from the Clearinghouse migration ledger
+  /// after its previous holder died: same placement as install_migrated but
+  /// counted and traced as migration redo.
+  void install_migration_redo(Closure closure);
+
+  /// Export (and clear) every steal-ledger entry.  A departing worker hands
+  /// these to its migration successor so a later death of a thief still
+  /// triggers redo — without this, redo snapshots for tasks stolen from the
+  /// departed worker would land in a stub that never executes anything
+  /// (the crash-after-reclaim stranding in DESIGN.md's failure matrix).
+  std::vector<proto::MigrantLedgerEntry> export_steal_ledger();
+
+  /// Successor side: adopt one migrated steal-ledger entry.  When the
+  /// runtime already saw a death notice for the thief (`thief_dead`), the
+  /// snapshot is redone immediately instead of ledgered — the death notice
+  /// that would have triggered redo has already come and gone.
+  void adopt_migrant_ledger(net::NodeId thief, Closure snapshot,
+                            bool thief_dead);
+
+  /// Entries currently in the steal ledger (cheap; drives the departing
+  /// worker's decision whether a migration round is needed at all).
+  std::size_t steal_ledger_size() const noexcept {
+    return steal_ledger_.size();
+  }
 
   /// A participant died: re-enqueue snapshots of every task it stole from us
   /// (redo), and abort tasks we stole from it that are still queued (their
@@ -731,11 +766,16 @@ inline void WorkerCore::send_argument(const ContRef& cont, Value&& value) {
         target = waiting_.find(cont.target);
       }
     }
-    if (target == nullptr ||
-        fill_waiting_(target, cont.target, cont.slot, std::move(value)) ==
-            Deliver::kUnknown) {
-      local_send_unknown_(cont.target);
+    if (__builtin_expect(target != nullptr, 1)) {
+      fill_waiting_(target, cont.target, cont.slot, std::move(value));
+      return;
     }
+    if (hooks_.forward_local_miss &&
+        hooks_.forward_local_miss(cont, std::move(value))) {
+      ++stats_.args_forwarded;
+      return;
+    }
+    local_send_unknown_(cont.target);
     return;
   }
   ++stats_.non_local_synchs;

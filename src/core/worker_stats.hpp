@@ -37,8 +37,13 @@ struct alignas(64) WorkerStats {
   std::uint64_t failed_steals = 0;      // my requests that found nothing
   std::uint64_t args_duplicate = 0;     // idempotent re-sends dropped
   std::uint64_t args_unknown_closure = 0;  // dead-lettered deliveries
+  std::uint64_t args_forwarded = 0;     // rerouted via a forwarding stub
   std::uint64_t tasks_migrated_out = 0; // owner-return migration
   std::uint64_t tasks_redone = 0;       // fault-recovery re-enqueues
+  // Migration-durability re-enqueues: cargo redelivered from the
+  // Clearinghouse migration ledger after its holder died, plus migrated
+  // steal-ledger snapshots redone because their thief was already dead.
+  std::uint64_t tasks_migration_redone = 0;
   // Spawn-tree depth sums, for the communication-locality evidence: FIFO
   // steals should take tasks near the BASE of the tree (small depth), i.e.
   // avg stolen depth << avg executed depth.  executed_depth_total lives on
@@ -73,8 +78,10 @@ struct alignas(64) WorkerStats {
     failed_steals += other.failed_steals;
     args_duplicate += other.args_duplicate;
     args_unknown_closure += other.args_unknown_closure;
+    args_forwarded += other.args_forwarded;
     tasks_migrated_out += other.tasks_migrated_out;
     tasks_redone += other.tasks_redone;
+    tasks_migration_redone += other.tasks_migration_redone;
     executed_depth_total += other.executed_depth_total;
     stolen_depth_total += other.stolen_depth_total;
   }
@@ -107,8 +114,10 @@ struct alignas(64) WorkerStats {
     w.u64(failed_steals);
     w.u64(args_duplicate);
     w.u64(args_unknown_closure);
+    w.u64(args_forwarded);
     w.u64(tasks_migrated_out);
     w.u64(tasks_redone);
+    w.u64(tasks_migration_redone);
     w.u64(executed_depth_total);
     w.u64(stolen_depth_total);
   }
@@ -128,8 +137,10 @@ struct alignas(64) WorkerStats {
     s.failed_steals = r.u64();
     s.args_duplicate = r.u64();
     s.args_unknown_closure = r.u64();
+    s.args_forwarded = r.u64();
     s.tasks_migrated_out = r.u64();
     s.tasks_redone = r.u64();
+    s.tasks_migration_redone = r.u64();
     s.executed_depth_total = r.u64();
     s.stolen_depth_total = r.u64();
     return s;

@@ -24,6 +24,8 @@ enum class EventType : std::uint16_t {
   kRedo = 13,          // ledger snapshot re-enqueued after a thief died
   kRpcSend = 14,       // datagram left this node (arg = message type)
   kRpcRecv = 15,       // datagram arrived at this node (arg = message type)
+  kMigrateRereg = 16,  // successor: ledgered cargo installed (arg = count)
+  kMigrationRedo = 17, // migration-ledger cargo re-enqueued after holder died
 };
 
 const char* to_string(EventType type) noexcept;

@@ -21,6 +21,8 @@ const char* to_string(EventType type) noexcept {
     case EventType::kRedo: return "redo";
     case EventType::kRpcSend: return "rpc_send";
     case EventType::kRpcRecv: return "rpc_recv";
+    case EventType::kMigrateRereg: return "migrate_rereg";
+    case EventType::kMigrationRedo: return "migration_redo";
   }
   return "unknown";
 }

@@ -148,10 +148,13 @@ void SimCluster::apply_fault_plan(const net::FaultPlan& plan) {
         sim_.schedule_at(e.at_ns, [this, w = e.worker] {
           // A crashed worker comes back as a fresh incarnation, and so does
           // a departed one (churn: the owner left and the workstation is
-          // idle again); a merely partitioned one just gets its cut healed.
+          // idle again) — including one still mid-handshake, which defers
+          // the rejoin until the departure completes; a merely partitioned
+          // one just gets its cut healed.
           const auto s = workers_.at(w)->state();
           if (s == SimWorker::State::kDead ||
-              s == SimWorker::State::kDeparted) {
+              s == SimWorker::State::kDeparted ||
+              s == SimWorker::State::kDeparting) {
             workers_.at(w)->rejoin();
           } else {
             network_.partition(worker_node(w), false);

@@ -49,6 +49,27 @@ SimWorker::SimWorker(sim::Simulator& simulator, net::SimNetwork& network,
                   action();
                 }
               };
+              hooks.forward_local_miss = [this](const ContRef& cont,
+                                                Value&& value) {
+                // A locally-homed fill whose target closure left with a
+                // previous life's migrated cargo (owner reclaim, then this
+                // incarnation rejoined) must chase it through the same
+                // forwarding stub remote arrivals use; mid-drain it buffers
+                // in the fill log until the successor confirms.
+                if (state_ != State::kDeparting && !forward_to_.valid()) {
+                  return false;
+                }
+                proto::ArgumentMsg arg{cont, std::move(value)};
+                auto action = [this, arg = std::move(arg)]() mutable {
+                  log_and_forward_fill(std::move(arg));
+                };
+                if (executing_) {
+                  outbox_.push_back(std::move(action));
+                } else {
+                  action();
+                }
+                return true;
+              };
               hooks.emit_io = [this](const std::string& text) {
                 // Application output rides the same buffered path as
                 // argument sends (it leaves when the task's cost elapses).
@@ -78,6 +99,9 @@ SimWorker::SimWorker(sim::Simulator& simulator, net::SimNetwork& network,
   });
   rpc_.serve(proto::kRpcControl, [this](net::NodeId, const Bytes& args) {
     return handle_control(args);
+  });
+  rpc_.serve(proto::kRpcMigrate, [this](net::NodeId src, const Bytes& args) {
+    return serve_migrate(src, args);
   });
 }
 
@@ -326,19 +350,38 @@ void SimWorker::handle_oneway(net::Message&& message) {
     case proto::kArgument: {
       auto arg = proto::ArgumentMsg::decode(message.payload);
       if (!arg) return;
-      if (state_ == State::kDeparted && forward_to_.valid()) {
-        // Forwarding stub: our closures moved; pass the argument along.
-        rpc_.send_oneway(forward_to_, proto::kArgument, message.payload);
+      if (state_ == State::kDeparted) {
+        // Forwarding stub: our closures moved.  Log the fill (a later
+        // kReroute must be able to replay it at a redelivered holder) and
+        // pass it along.
+        if (forward_to_.valid()) log_and_forward_fill(std::move(*arg));
         return;
       }
       if (terminated()) return;
       cpu_debt_ += network_.recv_cpu_cost();
-      const auto outcome = core_.deliver_remote(arg->cont.target,
-                                                arg->cont.slot,
-                                                std::move(arg->value));
+      // Only a departing worker or a residual stub may need the value again
+      // (to forward); everyone else moves it straight into the closure.
+      const bool may_forward =
+          state_ == State::kDeparting || forward_to_.valid();
+      const auto outcome =
+          may_forward ? core_.deliver_remote(arg->cont.target, arg->cont.slot,
+                                             arg->value)
+                      : core_.deliver_remote(arg->cont.target, arg->cont.slot,
+                                             std::move(arg->value));
       if (outcome == WorkerCore::Deliver::kBecameReady &&
           state_ == State::kActive) {
         schedule_step(0);
+      }
+      if (outcome == WorkerCore::Deliver::kUnknown) {
+        if (state_ == State::kDeparting) {
+          // Post-drain fill: the target closure is in the departing cargo.
+          // Buffer it; it flushes once the successor confirms.
+          log_and_forward_fill(std::move(*arg));
+        } else if (forward_to_.valid()) {
+          // Residual stub after rejoin: the closure left with the previous
+          // life's cargo; keep forwarding.
+          log_and_forward_fill(std::move(*arg));
+        }
       }
       break;
     }
@@ -379,6 +422,16 @@ Bytes SimWorker::handle_control(const Bytes& args) {
     case proto::ControlMsg::kNewPrimary:
       client_.adopt(msg->who, msg->view);
       break;
+    case proto::ControlMsg::kReroute:
+      // The Clearinghouse redelivered our migrated cargo to `who`: re-target
+      // the forwarding stub and replay every fill logged since the drain —
+      // the redelivered snapshot predates them (duplicates are idempotent).
+      if (msg->who.valid() && msg->who != me_) {
+        forward_to_ = msg->who;
+        flushed_fills_ = 0;
+        flush_fill_log();
+      }
+      break;
     default:
       break;
   }
@@ -386,50 +439,226 @@ Bytes SimWorker::handle_control(const Bytes& args) {
 }
 
 void SimWorker::apply_death(net::NodeId dead) {
+  ever_died_.insert(dead.value);
   if (terminated() || dead == me_) return;
   peers_.erase(std::remove(peers_.begin(), peers_.end(), dead), peers_.end());
   const std::size_t redone = core_.handle_participant_death(dead);
   if (redone > 0 && state_ == State::kActive) schedule_step(0);
+  // During kDeparting the redo snapshots just landed in a drained core; the
+  // handshake's next confirm loops back through begin_migration_round, which
+  // packages them into a fresh migration round.
 }
 
 void SimWorker::depart(DepartReason reason) {
-  if (terminated()) return;
+  if (state_ == State::kDeparting || terminated()) return;
   depart_reason_ = reason;
   core_.trace_instant(obs::EventType::kReclaim, ClosureId{},
                       reason == DepartReason::kOwnerReclaimed   ? 1
                       : reason == DepartReason::kPreempted      ? 2
                                                                 : 0);
-  // Move every remaining closure (ready and waiting) to a surviving peer and
-  // leave a forwarding stub behind.
+  // Heartbeats keep running through the handshake: if we crash mid-departure
+  // the failure detector must still fire, and if we finish cleanly the
+  // unregister retires us before any timeout.
+  state_ = State::kDeparting;
+  begin_migration_round();
+}
+
+void SimWorker::begin_migration_round() {
+  if (state_ != State::kDeparting) return;
+  // Drain everything a crash of this worker (or of the successor) would
+  // lose: remaining closures AND the steal ledger — the successor inherits
+  // the victim role for our thieves' outstanding work.
   std::vector<Closure> cargo = core_.drain_for_migration();
-  bool cargo_lost = false;
-  if (!cargo.empty()) {
-    std::optional<net::NodeId> successor = pick_peer();
-    if (successor) {
-      forward_to_ = *successor;
-      proto::MigrateMsg msg;
-      msg.from = me_;
-      msg.closures = std::move(cargo);
-      rpc_.send_oneway(*successor, proto::kMigrate, msg.encode());
-    } else {
-      // No live peer to hand the closures to: they are gone, and only the
-      // death protocol can resurrect them.  Leave WITHOUT the goodbye — a
-      // graceful unregister would tell the Clearinghouse nothing was lost
-      // and suppress exactly the death notice that drives the redo.
-      cargo_lost = true;
-      PHISH_LOG(kWarn) << net::to_string(me_)
-                       << ": departing with closures but no successor; "
-                       << cargo.size()
-                       << " closures dropped; skipping unregister so the "
-                          "failure detector triggers the redo";
-    }
+  std::vector<proto::MigrantLedgerEntry> ledger = core_.export_steal_ledger();
+  if (cargo.empty() && ledger.empty()) {
+    finalize_depart(/*cargo_lost=*/false);
+    return;
   }
+  const std::uint64_t mid =
+      (static_cast<std::uint64_t>(me_.value) << 32) | next_mig_seq_++;
+  // Step 1: register the cargo snapshot with the Clearinghouse BEFORE any
+  // handoff.  From here on, a crash of ours or the successor's is
+  // recoverable: the coordinator redelivers from the ledger.
+  proto::MigrationLedgerMsg reg;
+  reg.migration_id = mid;
+  reg.from = me_;
+  reg.holder = me_;
+  reg.closures = cargo;
+  reg.ledger = ledger;
+  const Bytes payload = reg.encode();
+  cpu_debt_ += network_.send_cpu_cost(payload.size());
+  client_.call(
+      proto::kRpcMigrateLedger, payload,
+      [this, inc = incarnation_, mid, cargo = std::move(cargo),
+       ledger = std::move(ledger)](net::RpcResult result) mutable {
+        if (incarnation_ != inc || state_ != State::kDeparting) return;
+        bool ok = false;
+        if (result.ok) {
+          Reader r(result.reply);
+          ok = r.boolean() && r.ok();
+        }
+        if (!ok) {
+          abandon_depart("migration ledger unreachable");
+          return;
+        }
+        try_handoff(mid, std::move(cargo), std::move(ledger), peers_);
+      },
+      params_.rpc_policy);
+}
+
+void SimWorker::try_handoff(std::uint64_t mid, std::vector<Closure> cargo,
+                            std::vector<proto::MigrantLedgerEntry> ledger,
+                            std::vector<net::NodeId> candidates) {
+  if (state_ != State::kDeparting) return;
+  if (candidates.empty()) {
+    // Nobody accepted.  The ledger is registered with us as holder, so our
+    // (suppressed-unregister) death hands the cargo to the coordinator's
+    // redelivery path instead of losing it.
+    abandon_depart("no successor accepted the cargo");
+    return;
+  }
+  const std::size_t pick = rng_.below(candidates.size());
+  const net::NodeId successor = candidates[pick];
+  candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+  proto::MigrateMsg msg;
+  msg.from = me_;
+  msg.closures = cargo;
+  msg.migration_id = mid;
+  msg.redelivery = false;
+  msg.ledger = ledger;
+  const Bytes payload = msg.encode();
+  cpu_debt_ += network_.send_cpu_cost(payload.size());
+  // Step 2: acked handoff.  kMigrate used to be a fire-and-forget oneway —
+  // the unsurvivable window the ledger closes; now the cargo is only
+  // considered placed once the successor's reply says it installed it.
+  rpc_.call(
+      successor, proto::kRpcMigrate, payload,
+      [this, inc = incarnation_, mid, successor, cargo = std::move(cargo),
+       ledger = std::move(ledger),
+       candidates = std::move(candidates)](net::RpcResult result) mutable {
+        if (incarnation_ != inc || state_ != State::kDeparting) return;
+        bool accepted = false;
+        if (result.ok) {
+          Reader r(result.reply);
+          accepted = r.boolean() && r.ok();
+        }
+        if (!accepted) {
+          // Unreachable, departing, or dead: try the next candidate.
+          try_handoff(mid, std::move(cargo), std::move(ledger),
+                      std::move(candidates));
+          return;
+        }
+        forward_to_ = successor;
+        flush_fill_log();
+        confirm_holder(mid, successor);
+      },
+      params_.rpc_policy);
+}
+
+void SimWorker::confirm_holder(std::uint64_t mid, net::NodeId holder) {
+  if (state_ != State::kDeparting) return;
+  // Step 3: atomically transfer redo ownership — after this ack the
+  // coordinator watches the successor, not us, for this cargo.
+  proto::MigrationLedgerMsg upd;
+  upd.migration_id = mid;
+  upd.from = me_;
+  upd.holder = holder;
+  client_.call(
+      proto::kRpcMigrateLedger, upd.encode(),
+      [this, inc = incarnation_](net::RpcResult result) {
+        if (incarnation_ != inc || state_ != State::kDeparting) return;
+        bool ok = false;
+        if (result.ok) {
+          Reader r(result.reply);
+          ok = r.boolean() && r.ok();
+        }
+        if (!ok) {
+          // The successor holds the cargo but the coordinator still lists
+          // us: die noisily (no unregister) so it redelivers; the duplicate
+          // execution is idempotent at the joins.
+          abandon_depart("holder confirmation unreachable");
+          return;
+        }
+        // A death notice that arrived mid-handshake re-enqueued redo
+        // snapshots into the drained core: run another round for them.
+        begin_migration_round();
+      },
+      params_.rpc_policy);
+}
+
+void SimWorker::abandon_depart(const char* why) {
+  PHISH_LOG(kWarn) << net::to_string(me_) << ": departing but " << why
+                   << "; skipping unregister so the failure detector "
+                      "triggers the redo path";
+  finalize_depart(/*cargo_lost=*/true);
+}
+
+void SimWorker::finalize_depart(bool cargo_lost) {
   state_ = State::kDeparted;
   end_time_ = sim_.now();
   heartbeat_timer_.stop();
   update_timer_.stop();
   send_stats_and_unregister(/*unregister=*/!cargo_lost);
   if (on_terminated_) on_terminated_(state_);
+  if (pending_rejoin_) {
+    pending_rejoin_ = false;
+    rejoin();
+  }
+}
+
+void SimWorker::log_and_forward_fill(proto::ArgumentMsg arg) {
+  if (arg.ttl == 0) return;  // forwarding-cycle guard: drop, let redo cover
+  --arg.ttl;
+  fill_log_.push_back(arg.encode());
+  flush_fill_log();
+}
+
+void SimWorker::flush_fill_log() {
+  if (!forward_to_.valid()) return;
+  for (std::size_t i = flushed_fills_; i < fill_log_.size(); ++i) {
+    rpc_.send_oneway(forward_to_, proto::kArgument, fill_log_[i]);
+  }
+  flushed_fills_ = fill_log_.size();
+}
+
+Bytes SimWorker::serve_migrate(net::NodeId, const Bytes& args) {
+  Writer reply;
+  auto m = proto::MigrateMsg::decode(args);
+  if (!m || state_ != State::kActive) {
+    // Departing/dead/stub workers refuse: the sender (origin or
+    // coordinator) picks someone else.
+    reply.boolean(false);
+    return reply.take();
+  }
+  cpu_debt_ += network_.recv_cpu_cost();
+  if (m->migration_id != 0 &&
+      !seen_migrations_.insert(m->migration_id).second) {
+    // Duplicate delivery (retransmitted handoff racing a coordinator
+    // redelivery): already installed, just re-ack.
+    reply.boolean(true);
+    return reply.take();
+  }
+  for (Closure& c : m->closures) {
+    if (m->redelivery) {
+      core_.install_migration_redo(std::move(c));
+    } else {
+      core_.install_migrated(std::move(c));
+    }
+  }
+  for (proto::MigrantLedgerEntry& e : m->ledger) {
+    // Inherit the victim role: if the thief already died (we saw the
+    // notice; the origin's redo never ran), redo now instead of ledgering.
+    core_.adopt_migrant_ledger(e.thief, std::move(e.snapshot),
+                               ever_died_.count(e.thief.value) != 0);
+  }
+  if (m->migration_id != 0) {
+    core_.trace_instant(obs::EventType::kMigrateRereg, ClosureId{},
+                        static_cast<std::uint32_t>(m->closures.size() +
+                                                   m->ledger.size()));
+  }
+  schedule_step(0);
+  reply.boolean(true);
+  return reply.take();
 }
 
 void SimWorker::finish() {
@@ -512,7 +741,7 @@ std::optional<net::NodeId> SimWorker::pick_victim() {
 }
 
 void SimWorker::evict(DepartReason reason) {
-  if (terminated()) return;
+  if (state_ == State::kDeparting || terminated()) return;
   // An in-flight steal may yet deliver a closure (possibly on a
   // retransmitted reply).  The victim's ledger only redoes work for thieves
   // that die, so departing now would strand it; wait for the reply and let
@@ -544,6 +773,12 @@ void SimWorker::crash() {
 }
 
 void SimWorker::rejoin() {
+  if (state_ == State::kDeparting) {
+    // The restart raced the durability handshake: finish departing (the
+    // cargo's redo ownership must land somewhere) and come back after.
+    pending_rejoin_ = true;
+    return;
+  }
   if (state_ != State::kDead && state_ != State::kDeparted) return;
   network_.partition(me_, false);  // the replacement machine comes online
   ++incarnation_;
@@ -551,14 +786,18 @@ void SimWorker::rejoin() {
   // empty but keeps its id allocator (late messages addressed to the old
   // incarnation must not land in new closures).  peers_ and known_epoch_
   // survive as the base the registration delta is applied against.
+  // forward_to_ and the fill log survive too: the stub obligation for the
+  // previous life's migrated closures outlives it (arguments addressed here
+  // keep arriving, and a kReroute may still ask for a replay).  Locally
+  // unknown fills forward; the ArgumentMsg ttl bounds any stub cycle.
   core_.reset_for_rejoin();
+  seen_migrations_.clear();
   register_backoff_ = 0;
   steal_in_flight_ = false;
   pending_evict_.reset();
   consecutive_failed_steals_ = 0;
   cpu_debt_ = 0;
   outbox_.clear();
-  forward_to_ = net::NodeId{};
   depart_reason_.reset();
   state_ = State::kCreated;
   start();

@@ -28,6 +28,7 @@
 #include <functional>
 #include <limits>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "core/ch_client.hpp"
@@ -98,6 +99,10 @@ class SimWorker {
     kCreated,
     kRegistering,
     kActive,
+    kDeparting,  // durability handshake in flight: ledger registration, acked
+                 // cargo handoff, holder confirmation.  Still heartbeating;
+                 // refuses steals; a crash here is survivable (the ledger or
+                 // the victims' redo covers the cargo).
     kDeparted,   // left (shrunk parallelism / owner reclaim); stub forwards
     kFinished,   // job completed normally
     kDead,       // crashed (fault-injection)
@@ -220,8 +225,28 @@ class SimWorker {
   Bytes handle_control(const Bytes& args);
   void apply_death(net::NodeId dead);
   Bytes serve_steal(net::NodeId src, const Bytes& args);
+  Bytes serve_migrate(net::NodeId src, const Bytes& args);
   void evict(DepartReason reason);
   void depart(DepartReason reason);
+  // ---- Migration durability handshake (state kDeparting). ----
+  /// Drain the core and steal ledger; if anything remains, register it in
+  /// the Clearinghouse's migration ledger and hand it off.  A death notice
+  /// mid-handshake re-fills the core with redo snapshots, so confirm_holder
+  /// loops back here until a round drains nothing.
+  void begin_migration_round();
+  void try_handoff(std::uint64_t mid, std::vector<Closure> cargo,
+                   std::vector<proto::MigrantLedgerEntry> ledger,
+                   std::vector<net::NodeId> candidates);
+  void confirm_holder(std::uint64_t mid, net::NodeId holder);
+  /// Handshake fallback: leave WITHOUT unregistering, so the failure
+  /// detector declares us dead and the standard redo (victims' ledgers, or
+  /// the Clearinghouse's, whichever got far enough) recovers the cargo.
+  void abandon_depart(const char* why);
+  void finalize_depart(bool cargo_lost);
+  /// Log a post-drain argument fill (ttl already decremented, re-encoded)
+  /// and forward the unsent tail of the log to the current successor.
+  void log_and_forward_fill(proto::ArgumentMsg arg);
+  void flush_fill_log();
   void finish();
   /// `unregister` false leaves the registration in place on purpose: a
   /// departure that dropped closures must be *detected as a death* so the
@@ -269,6 +294,25 @@ class SimWorker {
   // thief departed, it didn't die).
   std::optional<DepartReason> pending_evict_;
   net::NodeId forward_to_;  // successor after departure
+  // A restart arrived while the durability handshake was in flight: finish
+  // departing first, then come back as the fresh incarnation.
+  bool pending_rejoin_ = false;
+  /// Migration-id sequence (high word = our node id, low word = this).
+  std::uint32_t next_mig_seq_ = 0;
+  /// Migration ids already installed: dedupes a Clearinghouse redelivery
+  /// racing the origin's own (retransmitted) handoff.  Cleared on rejoin —
+  /// the new life starts empty, so a redelivery must land again.
+  std::unordered_set<std::uint64_t> seen_migrations_;
+  /// Every node a death notice ever named, across its whole history (never
+  /// cleared): an adopted steal-ledger entry whose thief is here must be
+  /// redone immediately — the notice that would trigger it already fired.
+  std::unordered_set<std::uint32_t> ever_died_;
+  /// Argument fills received after the drain (re-encoded with ttl-1), in
+  /// arrival order.  Flushed to the successor as it is confirmed; replayed
+  /// in full on kReroute so a redelivered holder sees every fill the lost
+  /// one did.  Retained across rejoin (the stub obligation outlives us).
+  std::vector<Bytes> fill_log_;
+  std::size_t flushed_fills_ = 0;
 
   // Step scheduling.
   bool step_scheduled_ = false;

@@ -53,6 +53,20 @@ UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
                 client_.send_oneway(proto::kIo,
                                     proto::IoMsg{me_, text}.encode());
               };
+              hooks.forward_local_miss = [this](const ContRef& cont,
+                                                Value&& value) {
+                // Called from core_, so mutex_ is already held.  A locally
+                // homed fill whose target left with a previous life's cargo
+                // (or with the in-flight departure drain) must follow the
+                // forwarding stub, not the dead-letter counter.
+                if (!departing_.load(std::memory_order_acquire) &&
+                    !forward_to_.valid()) {
+                  return false;
+                }
+                log_and_forward_fill_locked(
+                    proto::ArgumentMsg{cont, std::move(value)});
+                return true;
+              };
               return hooks;
             }(),
             config.exec_order, config.steal_order),
@@ -69,7 +83,11 @@ UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
   rpc_.serve(proto::kRpcSteal, [this](net::NodeId, const Bytes& args) {
     auto request = proto::StealRequest::decode(args);
     proto::StealReply reply;
-    if (request && !stop_.load(std::memory_order_acquire)) {
+    // A departing worker refuses thieves: every closure it still holds is
+    // about to be drained into the migration cargo, and a steal racing the
+    // drain would fork ownership.
+    if (request && !stop_.load(std::memory_order_acquire) &&
+        !departing_.load(std::memory_order_acquire)) {
       std::lock_guard<std::mutex> lock(mutex_);
       reply.tasks = core_.try_steal_batch(request->thief, request->max_tasks);
     }
@@ -77,6 +95,9 @@ UdpWorker::UdpWorker(net::UdpNetwork& network, net::TimerService& timers,
   });
   rpc_.serve(proto::kRpcControl, [this](net::NodeId, const Bytes& args) {
     return handle_control(args);
+  });
+  rpc_.serve(proto::kRpcMigrate, [this](net::NodeId, const Bytes& args) {
+    return serve_migrate(args);
   });
 }
 
@@ -106,9 +127,16 @@ void UdpWorker::kill() {
   request_stop();
 }
 
+void UdpWorker::evict() {
+  evict_requested_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+}
+
 void UdpWorker::rejoin() {
   join();  // wait out the dead life's last (failing) in-flight RPCs
-  if (!killed_.load(std::memory_order_acquire)) return;
+  const bool was_killed = killed_.load(std::memory_order_acquire);
+  const bool was_departed = departed_.load(std::memory_order_acquire);
+  if (!was_killed && !was_departed) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++incarnation_;
@@ -120,9 +148,20 @@ void UdpWorker::rejoin() {
     // peers_ and known_epoch_ survive: they are the base the registration
     // delta is applied against (the Clearinghouse replies with changes since
     // known_epoch_, including our own death and any peers lost meanwhile).
-    forward_to_ = net::NodeId{};
+    if (!was_departed) {
+      // A crashed life had no stub; a gracefully departed one did, and its
+      // obligation (forward_to_ + fill_log_) outlives the incarnation —
+      // fills addressed to the migrated cargo keep arriving here.
+      forward_to_ = net::NodeId{};
+      fill_log_.clear();
+      flushed_fills_ = 0;
+    }
   }
   departed_for_shrink_.store(false, std::memory_order_release);
+  departed_.store(false, std::memory_order_release);
+  departing_.store(false, std::memory_order_release);
+  evict_requested_.store(false, std::memory_order_release);
+  suppress_unregister_.store(false, std::memory_order_release);
   killed_.store(false, std::memory_order_release);
   stop_.store(false, std::memory_order_release);
   rpc_.set_paused(false);
@@ -258,6 +297,15 @@ void UdpWorker::run_loop() {
   int consecutive_failed_steals = 0;
   std::uint64_t last_heartbeat = timers_.now_ns();
   while (!stop_.load(std::memory_order_acquire)) {
+    if (evict_requested_.exchange(false, std::memory_order_acq_rel)) {
+      // Owner reclaim: drain through the acked migration handshake.  On
+      // abandonment (coordinator unreachable / nobody took the cargo) the
+      // closures are reinstalled and we keep working — strictly better than
+      // stranding them in a stopped worker.
+      if (perform_evict()) return;
+      consecutive_failed_steals = 0;
+      continue;
+    }
     // Heartbeats are sent from the worker's own loop (not a timer thread):
     // both busy and idle iterations come around far more often than the
     // period, and there is no callback lifetime to manage.
@@ -296,29 +344,16 @@ void UdpWorker::run_loop() {
       refresh_membership();
     }
     if (++consecutive_failed_steals >= config_.max_failed_steals) {
-      // Parallelism has shrunk: migrate leftovers and exit (the macro
-      // scheduler would reassign this machine).
-      departed_for_shrink_.store(true, std::memory_order_release);
-      std::vector<Closure> cargo;
-      std::optional<net::NodeId> successor;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        cargo = core_.drain_for_migration();
-        successor = pick_peer();
+      // Parallelism has shrunk: migrate leftovers through the same acked
+      // handshake an owner reclaim uses and exit (the macro scheduler would
+      // reassign this machine).  The old fire-and-forget kMigrate here was
+      // the unsurvivable window the durability ledger closes.
+      if (perform_evict()) {
+        departed_for_shrink_.store(true, std::memory_order_release);
+        return;
       }
-      if (successor) {
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          forward_to_ = *successor;  // stub: forward in-flight arguments
-        }
-        if (!cargo.empty()) {
-          proto::MigrateMsg msg;
-          msg.from = me_;
-          msg.closures = std::move(cargo);
-          rpc_.send_oneway(*successor, proto::kMigrate, msg.encode());
-        }
-      }
-      return;
+      consecutive_failed_steals = 0;  // cargo reinstalled: keep trying
+      continue;
     }
     // Nothing local, nothing stolen: nap until a message or retry time.
     std::unique_lock<std::mutex> lock(mutex_);
@@ -386,15 +421,31 @@ void UdpWorker::handle_message(net::Message&& message) {
       if (!arg) return;
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (forward_to_.valid()) {
-          // We departed and our closures moved: pass the argument along
-          // (the UdpWorker object outlives its thread, so the stub works
-          // until the whole job tears down).
-          rpc_.send_oneway(forward_to_, proto::kArgument, message.payload);
+        if (departed_.load(std::memory_order_acquire)) {
+          // Pure stub (the thread exited after a graceful departure): every
+          // fill follows the cargo.  Logged so a kReroute can replay it at
+          // a re-delivered holder.
+          log_and_forward_fill_locked(std::move(*arg));
           return;
         }
-        core_.deliver_remote(arg->cont.target, arg->cont.slot,
-                             std::move(arg->value));
+        // A departing worker or a rejoined life with a residual stub may
+        // need the value again (to forward); everyone else moves it
+        // straight into the closure.
+        const bool may_forward =
+            departing_.load(std::memory_order_acquire) || forward_to_.valid();
+        const auto outcome = may_forward
+                                 ? core_.deliver_remote(arg->cont.target,
+                                                        arg->cont.slot,
+                                                        arg->value)
+                                 : core_.deliver_remote(arg->cont.target,
+                                                        arg->cont.slot,
+                                                        std::move(arg->value));
+        if (outcome == WorkerCore::Deliver::kUnknown && may_forward) {
+          // Post-drain fill (target left with the cargo) or residual-stub
+          // fill (target left with a previous life's cargo): buffer and
+          // forward once/because a successor is known.
+          log_and_forward_fill_locked(std::move(*arg));
+        }
       }
       wake_cv_.notify_all();
       break;
@@ -434,6 +485,7 @@ Bytes UdpWorker::handle_control(const Bytes& args) {
       if (msg->who == me_) break;  // our own previous incarnation
       {
         std::lock_guard<std::mutex> lock(mutex_);
+        ever_died_.insert(msg->who.value);
         peers_.erase(std::remove(peers_.begin(), peers_.end(), msg->who),
                      peers_.end());
         core_.handle_participant_death(msg->who);
@@ -444,10 +496,233 @@ Bytes UdpWorker::handle_control(const Bytes& args) {
     case proto::ControlMsg::kNewPrimary:
       client_.adopt(msg->who, msg->view);
       break;
+    case proto::ControlMsg::kReroute: {
+      // Our migrated cargo was re-delivered to msg->who after the previous
+      // holder died: re-target the forwarding stub and replay every fill
+      // logged since the drain — the old holder took the already-forwarded
+      // ones to its grave.
+      std::lock_guard<std::mutex> lock(mutex_);
+      forward_to_ = msg->who;
+      flushed_fills_ = 0;
+      flush_fill_log_locked();
+      break;
+    }
     default:
       break;
   }
   return {};
+}
+
+Bytes UdpWorker::serve_migrate(const Bytes& args) {
+  Writer reply;
+  auto m = proto::MigrateMsg::decode(args);
+  if (!m || stop_.load(std::memory_order_acquire) ||
+      departing_.load(std::memory_order_acquire) ||
+      departed_.load(std::memory_order_acquire)) {
+    // Departing/stopped/stub workers refuse: the sender (origin or
+    // coordinator) picks someone else.
+    reply.boolean(false);
+    return reply.take();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (m->migration_id != 0 &&
+        !seen_migrations_.insert(m->migration_id).second) {
+      // Duplicate delivery (retransmitted handoff racing a coordinator
+      // redelivery): already installed, just re-ack.
+      reply.boolean(true);
+      return reply.take();
+    }
+    for (Closure& c : m->closures) {
+      if (m->redelivery) {
+        core_.install_migration_redo(std::move(c));
+      } else {
+        core_.install_migrated(std::move(c));
+      }
+    }
+    for (proto::MigrantLedgerEntry& e : m->ledger) {
+      // Inherit the victim role: if the thief already died (we saw the
+      // notice; the origin's redo never ran), redo now instead of
+      // ledgering.
+      core_.adopt_migrant_ledger(e.thief, std::move(e.snapshot),
+                                 ever_died_.count(e.thief.value) != 0);
+    }
+    if (m->migration_id != 0) {
+      core_.trace_instant(obs::EventType::kMigrateRereg, ClosureId{},
+                          static_cast<std::uint32_t>(m->closures.size() +
+                                                     m->ledger.size()));
+    }
+  }
+  wake_cv_.notify_all();
+  reply.boolean(true);
+  return reply.take();
+}
+
+bool UdpWorker::call_ledger_blocking(const proto::MigrationLedgerMsg& msg) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false, ok = false;
+  client_.call(
+      proto::kRpcMigrateLedger, msg.encode(),
+      [&](net::RpcResult result) {
+        if (result.ok) {
+          Reader r(result.reply);
+          ok = r.boolean() && r.ok();
+        }
+        std::lock_guard<std::mutex> lock(m);
+        done = true;
+        cv.notify_all();
+      },
+      config_.rpc_policy);
+  // See do_register: the completion is guaranteed, and it captures locals.
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done; });
+  return ok;
+}
+
+bool UdpWorker::perform_evict() {
+  departing_.store(true, std::memory_order_release);
+  // Loop until a drain comes up empty: fills arriving mid-handshake are
+  // buffered in the fill log (see handle_message), not the core, so in
+  // practice the second round terminates.  Steals and inbound migrations
+  // are refused while departing_, so no new closures can appear either.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Closure> cargo;
+    std::vector<proto::MigrantLedgerEntry> ledger;
+    std::uint64_t mid = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Drain everything a crash of this worker (or of the successor)
+      // would lose: remaining closures AND the steal ledger — the
+      // successor inherits the victim role for our thieves' work.
+      cargo = core_.drain_for_migration();
+      ledger = core_.export_steal_ledger();
+      if (cargo.empty() && ledger.empty()) break;
+      mid = (static_cast<std::uint64_t>(me_.value) << 32) | next_mig_seq_++;
+    }
+    // Step 1: register the cargo snapshot with the Clearinghouse BEFORE any
+    // handoff.  From here on, a crash of ours or the successor's is
+    // recoverable: the coordinator redelivers from the ledger.
+    proto::MigrationLedgerMsg reg;
+    reg.migration_id = mid;
+    reg.from = me_;
+    reg.holder = me_;
+    reg.closures = cargo;
+    reg.ledger = ledger;
+    if (!call_ledger_blocking(reg)) {
+      // Without a ledger entry a handoff would reopen the unsurvivable
+      // window: reinstall and keep working instead.
+      PHISH_LOG(kWarn) << net::to_string(me_)
+                       << ": migration ledger unreachable; abandoning depart";
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (Closure& c : cargo) core_.install_migrated(std::move(c));
+      for (proto::MigrantLedgerEntry& e : ledger) {
+        core_.adopt_migrant_ledger(e.thief, std::move(e.snapshot),
+                                   ever_died_.count(e.thief.value) != 0);
+      }
+      departing_.store(false, std::memory_order_release);
+      return false;
+    }
+    // Step 2: acked handoff.  The cargo is only considered placed once a
+    // successor's reply says it installed it; refusals and RPC failures
+    // rotate to the next candidate.
+    std::vector<net::NodeId> candidates;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      candidates = peers_;
+      for (std::size_t i = candidates.size(); i > 1; --i) {
+        std::swap(candidates[i - 1], candidates[rng_.below(i)]);
+      }
+    }
+    proto::MigrateMsg msg;
+    msg.from = me_;
+    msg.closures = cargo;
+    msg.migration_id = mid;
+    msg.redelivery = false;
+    msg.ledger = ledger;
+    const Bytes payload = msg.encode();
+    net::NodeId successor{};
+    for (net::NodeId cand : candidates) {
+      std::mutex m;
+      std::condition_variable cv;
+      bool done = false, accepted = false;
+      rpc_.call(
+          cand, proto::kRpcMigrate, payload,
+          [&](net::RpcResult result) {
+            if (result.ok) {
+              Reader r(result.reply);
+              accepted = r.boolean() && r.ok();
+            }
+            std::lock_guard<std::mutex> lock(m);
+            done = true;
+            cv.notify_all();
+          },
+          config_.rpc_policy);
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return done; });
+      }
+      if (accepted) {
+        successor = cand;
+        break;
+      }
+    }
+    if (!successor.valid()) {
+      // Nobody can take the cargo right now.  Abandon: reinstall and keep
+      // working; the registered entry (holder still us) is superseded by
+      // the next departure's drain or retired by a graceful unregister —
+      // and if we crash first, the coordinator redelivers it.
+      PHISH_LOG(kWarn) << net::to_string(me_)
+                       << ": no successor accepted the cargo; abandoning "
+                       << "depart";
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (Closure& c : cargo) core_.install_migrated(std::move(c));
+      for (proto::MigrantLedgerEntry& e : ledger) {
+        core_.adopt_migrant_ledger(e.thief, std::move(e.snapshot),
+                                   ever_died_.count(e.thief.value) != 0);
+      }
+      departing_.store(false, std::memory_order_release);
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      forward_to_ = successor;
+      flush_fill_log_locked();  // post-drain fills follow the cargo
+    }
+    // Step 3: atomically transfer redo ownership — after this ack the
+    // coordinator watches the successor, not us, for this cargo.
+    proto::MigrationLedgerMsg upd;
+    upd.migration_id = mid;
+    upd.from = me_;
+    upd.holder = successor;
+    if (!call_ledger_blocking(upd)) {
+      // The successor holds the cargo but the coordinator still lists us as
+      // holder: depart WITHOUT unregistering (a graceful unregister would
+      // retire the entry) so the failure detector redelivers; duplicate
+      // execution is idempotent.
+      PHISH_LOG(kWarn) << net::to_string(me_)
+                       << ": holder confirm failed; departing noisily";
+      suppress_unregister_.store(true, std::memory_order_release);
+      break;
+    }
+  }
+  departed_.store(true, std::memory_order_release);
+  return true;
+}
+
+void UdpWorker::log_and_forward_fill_locked(proto::ArgumentMsg arg) {
+  if (arg.ttl == 0) return;  // forwarding-cycle guard: drop, let redo cover
+  --arg.ttl;
+  fill_log_.push_back(arg.encode());
+  flush_fill_log_locked();
+}
+
+void UdpWorker::flush_fill_log_locked() {
+  if (!forward_to_.valid()) return;
+  for (std::size_t i = flushed_fills_; i < fill_log_.size(); ++i) {
+    rpc_.send_oneway(forward_to_, proto::kArgument, fill_log_[i]);
+  }
+  flushed_fills_ = fill_log_.size();
 }
 
 void UdpWorker::send_stats_and_unregister() {
@@ -459,6 +734,7 @@ void UdpWorker::send_stats_and_unregister() {
   }
   stats.end_ns = timers_.now_ns();
   client_.send_oneway(proto::kStatsReport, stats.encode());
+  if (suppress_unregister_.load(std::memory_order_acquire)) return;
   client_.call(proto::kRpcUnregister, {}, [](net::RpcResult) {},
                config_.rpc_policy);
 }
@@ -612,10 +888,12 @@ UdpJobResult UdpJob::run(TaskId root, std::vector<Value> args) {
         const int w = e.worker;
         switch (e.kind) {
           case net::NodeFaultKind::kCrash:
-          case net::NodeFaultKind::kReclaim:
-            // Real sockets cannot migrate-then-depart on a schedule; a
-            // reclaim degrades to a crash (strictly harsher).
             events.push_back({e.at_ns, [&, w] { workers[w]->kill(); }});
+            break;
+          case net::NodeFaultKind::kReclaim:
+            // Owner return: graceful departure through the acked
+            // migration-ledger handshake (churn parity with simdist).
+            events.push_back({e.at_ns, [&, w] { workers[w]->evict(); }});
             break;
           case net::NodeFaultKind::kRestart:
             events.push_back({e.at_ns, [&, w] { workers[w]->rejoin(); }});

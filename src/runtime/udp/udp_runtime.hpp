@@ -21,6 +21,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/ch_client.hpp"
@@ -82,10 +83,12 @@ struct UdpJobConfig {
   std::uint64_t rejoin_worker_after_ns = 0;
   /// General node-event schedule (e.g. a ChurnPlan's events), in wall-clock
   /// ns from job start; merged with the legacy kill_* fields above.
-  /// kCrash/kReclaim kill the worker (index semantics as in NodeEvent; never
-  /// 0 — it carries the root), kRestart rejoins it as a fresh incarnation,
-  /// worker == net::kCoordinatorWorker halts the primary.  kPartition/kHeal
-  /// are ignored: real sockets have no scriptable cut.
+  /// kCrash kills the worker (index semantics as in NodeEvent; never 0 — it
+  /// carries the root), kReclaim evicts it gracefully (drain through the
+  /// acked migration-ledger handshake, then depart — the same owner-return
+  /// semantics the simdist runtime scripts), kRestart rejoins it as a fresh
+  /// incarnation, worker == net::kCoordinatorWorker halts the primary.
+  /// kPartition/kHeal are ignored: real sockets have no scriptable cut.
   std::vector<net::NodeEvent> node_events;
 };
 
@@ -128,10 +131,20 @@ class UdpWorker {
   /// Clearinghouse must find out the hard way (missed heartbeats).
   void kill();
 
-  /// Bring a killed worker back as a fresh incarnation: joins the old
-  /// thread, resets the core (survivors redo the dead life's work), bumps
-  /// the incarnation, and re-registers into the running job.  Blocks until
-  /// the old life's last in-flight RPCs resolve.
+  /// Graceful owner reclaim: ask the worker thread to drain its closures
+  /// and steal ledger through the acked migration handshake (register the
+  /// cargo in the Clearinghouse ledger, hand it to a successor by RPC,
+  /// confirm the holder transfer) and then depart.  The object stays behind
+  /// as a forwarding stub, exactly like a shrink departure.  Asynchronous:
+  /// returns immediately; the handshake runs on the worker thread.
+  void evict();
+
+  /// Bring a killed or evicted worker back as a fresh incarnation: joins
+  /// the old thread, resets the core (survivors redo the dead life's work),
+  /// bumps the incarnation, and re-registers into the running job.  Blocks
+  /// until the old life's last in-flight RPCs resolve.  After a graceful
+  /// eviction the forwarding stub and its fill log survive into the new
+  /// life: the stub obligation outlives the incarnation that created it.
   void rejoin();
 
   /// MTTR instrumentation: fires on every successful steal (the tracker
@@ -156,11 +169,23 @@ class UdpWorker {
   bool attempt_steal();
   void handle_message(net::Message&& message);
   Bytes handle_control(const Bytes& args);
+  Bytes serve_migrate(const Bytes& args);
   void send_stats_and_unregister();
   void refresh_membership();
   std::optional<net::NodeId> pick_peer();  // callers hold mutex_
   /// Apply a membership delta (or embedded full snapshot); holds mutex_.
   void apply_membership_update_locked(const proto::MembershipUpdate& update);
+  /// Run the acked migration handshake on the worker thread and depart.
+  /// Returns true if the worker departed (run_loop must exit); false if the
+  /// departure was abandoned (cargo reinstalled, keep working).
+  bool perform_evict();
+  /// Blocking coordinator RPC (worker thread only): true iff the reply's
+  /// leading boolean is true.
+  bool call_ledger_blocking(const proto::MigrationLedgerMsg& msg);
+  /// TTL-guarded append to the stub fill log + forward if a successor is
+  /// known.  Callers hold mutex_.
+  void log_and_forward_fill_locked(proto::ArgumentMsg arg);
+  void flush_fill_log_locked();
 
   net::UdpNetwork& network_;
   net::TimerService& timers_;
@@ -184,14 +209,30 @@ class UdpWorker {
   /// Highest membership epoch applied; presented on register/update so the
   /// Clearinghouse can reply with deltas.  0 = never registered.
   std::uint64_t known_epoch_ = 0;
-  net::NodeId forward_to_;  // successor after a shrink departure
+  net::NodeId forward_to_;  // successor after a shrink departure / eviction
   Xoshiro256 rng_;
+  /// Migration durability state (mirrors SimWorker).  All under mutex_.
+  std::uint32_t next_mig_seq_ = 1;
+  std::unordered_set<std::uint64_t> seen_migrations_;  // idempotent installs
+  std::unordered_set<std::uint32_t> ever_died_;  // death notices ever heard
+  /// Encoded ArgumentMsgs the stub buffered/forwarded after the drain; the
+  /// whole log replays at the new holder on a kReroute (the previous holder
+  /// died and the coordinator redelivered our cargo elsewhere).
+  std::vector<Bytes> fill_log_;
+  std::size_t flushed_fills_ = 0;
 
   obs::Histogram& steal_latency_ =
       obs::Registry::global().histogram("steal.latency_ns");
   std::condition_variable wake_cv_;  // signalled on new work / shutdown
   std::atomic<bool> stop_{false};
   std::atomic<bool> departed_for_shrink_{false};
+  std::atomic<bool> evict_requested_{false};  // owner reclaim pending
+  std::atomic<bool> departing_{false};  // handshake in flight: refuse cargo
+  std::atomic<bool> departed_{false};   // gracefully gone; rejoin() allowed
+  /// Holder confirm failed mid-departure: exit without unregistering so the
+  /// coordinator's failure detector redelivers the ledgered cargo (a
+  /// graceful unregister would retire the entry we still nominally hold).
+  std::atomic<bool> suppress_unregister_{false};
   std::optional<std::pair<TaskId, std::vector<Value>>> root_;
   std::thread thread_;
 };

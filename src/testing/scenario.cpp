@@ -24,12 +24,12 @@ net::FaultPlan make_chaos_plan(std::uint64_t seed,
   net::FaultPlan plan;
   plan.seed = seed;
   // Phish's reliability envelope: RPC frames retransmit and heartbeats are
-  // periodic, so they may be dropped; plain-oneway dataflow (arguments,
-  // migration batches) has no retransmit path and must not be — it stays
-  // fair game for duplicate/reorder/delay.  Death notices used to be in
-  // this list; they now ride the acked kRpcControl path and survive drops
-  // on their own.
-  plan.lossless_types = {proto::kArgument, proto::kMigrate};
+  // periodic, so they may be dropped; plain-oneway dataflow (arguments) has
+  // no retransmit path and must not be — it stays fair game for
+  // duplicate/reorder/delay.  Death notices and migration batches used to
+  // be in this list; both now ride acked RPC paths (kRpcControl and the
+  // kRpcMigrate durability handshake) and survive drops on their own.
+  plan.lossless_types = {proto::kArgument};
   Xoshiro256 rng(mix64(seed ^ 0xc4a05'5eedULL));
 
   // One blanket rule mangling every link.  Roughly one seed in four gets a
@@ -67,19 +67,22 @@ net::FaultPlan make_chaos_plan(std::uint64_t seed,
   };
 
   // One node-event *category* per plan (crash XOR reclaim XOR partition);
-  // the sweep over seeds covers them all.  Mixing categories can compose
-  // failure modes the protocol never claimed to survive:
-  //   * a crash after a reclaim may land on the migration successor, and
-  //     migrated closures are in nobody's steal ledger — no redo path;
-  //   * a reclaim during another worker's partition can pick the cut worker
-  //     as migration successor and lose the (oneway) kMigrate batch.
+  // the sweep over seeds covers them all.  Categories 1-3 stay pure so each
+  // failure mode is attributable.  Categories 6 and 7 deliberately COMPOSE
+  // a reclaim with a crash — the compositions that used to be documented as
+  // unsurvivable: the migration durability ledger (acked handoff + holder
+  // tracking + coordinator redelivery) is what makes them pass now.
   std::vector<int> categories{0, 1, 2, 3};
   if (profile.coordinator_crash) categories.push_back(4);
   if (profile.crash_rejoin) categories.push_back(5);
+  if (profile.reclaim_then_crash) categories.push_back(6);
+  if (profile.migrate_midflight_crash) categories.push_back(7);
   if (profile.failover_only) {
     categories.clear();
     if (profile.coordinator_crash) categories.push_back(4);
     if (profile.crash_rejoin) categories.push_back(5);
+    if (profile.reclaim_then_crash) categories.push_back(6);
+    if (profile.migrate_midflight_crash) categories.push_back(7);
     if (categories.empty()) categories.push_back(0);
   }
   const int category = categories[rng.below(categories.size())];
@@ -120,12 +123,39 @@ net::FaultPlan make_chaos_plan(std::uint64_t seed,
         t_crash + 100'000'000 + rng.below(profile.max_rejoin_delay_ns + 1);
     plan.events.push_back({t_crash, net::NodeFaultKind::kCrash, w});
     plan.events.push_back({t_rejoin, net::NodeFaultKind::kRestart, w});
+  } else if (category == 6) {
+    // Crash-after-reclaim: an owner return migrates closures out, then a
+    // crash moments later may land on the very successor that took them.
+    // The inherited cargo is in no steal ledger; the coordinator's
+    // migration ledger must notice the holder died and redeliver.
+    const int reclaimed = victim();
+    int crashed = victim();
+    if (profile.workers > 2) {
+      while (crashed == reclaimed) crashed = victim();
+    }
+    const std::uint64_t t = when();
+    plan.events.push_back({t, net::NodeFaultKind::kReclaim, reclaimed});
+    plan.events.push_back({t + rng.below(profile.reclaim_crash_gap_ns + 1),
+                           net::NodeFaultKind::kCrash, crashed});
+  } else if (category == 7) {
+    // Migrate-midflight crash: the SAME worker crashes shortly after its
+    // owner reclaims it — inside the durability handshake, between ledger
+    // registration, cargo handoff, and holder confirmation.  Whatever step
+    // it died at, either the ledger redelivery or the victims' standard
+    // death-redo must cover the cargo.
+    const int w = victim();
+    const std::uint64_t t = when();
+    plan.events.push_back({t, net::NodeFaultKind::kReclaim, w});
+    plan.events.push_back({t + rng.below(profile.midflight_crash_gap_ns + 1),
+                           net::NodeFaultKind::kCrash, w});
   }
-  // category 0 (or an exhausted max_*): link faults only.
-  std::sort(plan.events.begin(), plan.events.end(),
-            [](const net::NodeEvent& a, const net::NodeEvent& b) {
-              return a.at_ns < b.at_ns;
-            });
+  // category 0 (or an exhausted max_*): link faults only.  Stable sort:
+  // categories 6/7 can draw a zero gap, and the reclaim must stay ahead of
+  // its paired crash when both land on the same instant.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const net::NodeEvent& a, const net::NodeEvent& b) {
+                     return a.at_ns < b.at_ns;
+                   });
   return plan;
 }
 
@@ -133,7 +163,7 @@ net::FaultPlan make_churn_plan(std::uint64_t seed,
                                const ChurnProfile& profile) {
   net::FaultPlan plan;
   plan.seed = seed;
-  plan.lossless_types = {proto::kArgument, proto::kMigrate};
+  plan.lossless_types = {proto::kArgument};
   const int rack_size = std::max(profile.rack_size, 1);
   for (int base = 0; base < profile.workers; base += rack_size) {
     std::vector<int> rack;
@@ -142,7 +172,26 @@ net::FaultPlan make_churn_plan(std::uint64_t seed,
     }
     plan.racks.push_back(std::move(rack));
   }
-  if (profile.workers < 2 || profile.churn_rate_hz <= 0.0) return plan;
+  if (profile.primary_churn && profile.horizon_ns / 2 > profile.min_event_ns) {
+    // Primary-churn event class: the active Clearinghouse crashes once,
+    // mid-storm, and never comes back — the standby must promote while the
+    // membership is in flux.  Early half of the horizon only, so the run
+    // still observes a long post-failover stretch.  Independent rng stream:
+    // the worker-churn schedule below is identical with the knob off.
+    Xoshiro256 prng(mix64(seed ^ 0x9e1a'0cfa'11edULL));
+    const std::uint64_t t_primary =
+        profile.min_event_ns +
+        prng.below(profile.horizon_ns / 2 - profile.min_event_ns);
+    plan.events.push_back(
+        {t_primary, net::NodeFaultKind::kCrash, net::kCoordinatorWorker});
+  }
+  if (profile.workers < 2 || profile.churn_rate_hz <= 0.0) {
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const net::NodeEvent& a, const net::NodeEvent& b) {
+                       return a.at_ns < b.at_ns;
+                     });
+    return plan;
+  }
 
   Xoshiro256 rng(mix64(seed ^ 0xc842'c442'5eedULL));
   const auto exp_sample = [&rng](double mean) {

@@ -63,7 +63,27 @@ struct ChaosProfile {
   bool coordinator_crash = false;
   bool crash_rejoin = false;
   std::uint64_t max_rejoin_delay_ns = 400'000'000;  // 400 ms
-  /// Restrict the draw to the failover categories above (targeted sweeps).
+  // Post-migration fault compositions.  Both ride on the migration
+  // durability ledger (the Clearinghouse re-registers handed-off cargo and
+  // redelivers it when the holder dies); before that ledger existed these
+  // were the two documented-unsurvivable rows of the failure matrix.
+  //   * reclaim_then_crash — category 6: an owner return at t, then a crash
+  //     of a DIFFERENT worker at t + U(0, reclaim_crash_gap_ns).  The crash
+  //     can land on the migration successor, whose inherited closures appear
+  //     in no steal ledger — only the coordinator's migration ledger can
+  //     redo.
+  //   * migrate_midflight_crash — category 7: an owner return at t, then a
+  //     crash of the SAME worker at t + U(0, midflight_crash_gap_ns):
+  //     mid-handshake, between ledger registration, cargo handoff, and
+  //     holder confirmation.
+  // Size the gaps (and min_event_ns / event_horizon_ns) to the job under
+  // test: the reclaim must land while closures are still in flight, and the
+  // paired crash soon enough that the successor still holds inherited cargo.
+  bool reclaim_then_crash = false;
+  bool migrate_midflight_crash = false;
+  std::uint64_t reclaim_crash_gap_ns = 100'000'000;   // 100 ms
+  std::uint64_t midflight_crash_gap_ns = 20'000'000;  // 20 ms
+  /// Restrict the draw to the special categories above (targeted sweeps).
   bool failover_only = false;
 
   /// Link-faults-only profile for the UDP runtime: milder rates, no node
@@ -101,12 +121,21 @@ struct ChurnProfile {
   /// Workers per rack (index order: rack r = [r*size, (r+1)*size)).
   int rack_size = 4;
   /// Fraction of single-worker leaves that are owner returns (kReclaim,
-  /// migrate-then-depart) rather than crashes.  Caveat: a reclaim migrates
-  /// closures to a random known peer, and under churn that peer may be
-  /// dead-but-not-yet-detected — a composition the redo protocol does not
-  /// claim to survive (see make_chaos_plan).  Correctness-gated runs keep
-  /// this at 0; rack losses are always crashes.
+  /// migrate-then-depart) rather than crashes.  A reclaim migrates closures
+  /// to a random known peer, which under churn may be dead-but-not-yet-
+  /// detected; the migration durability ledger makes that survivable (the
+  /// handoff is acked, the coordinator redelivers on holder death), so
+  /// correctness-gated runs may now enable it.  Rack losses are always
+  /// crashes.
   double reclaim_fraction = 0.0;
+  /// Crash the active (primary) Clearinghouse once, mid-storm, at a seeded
+  /// instant in [min_event_ns, horizon/2) — with NO paired restart.  The
+  /// warm standby must promote (epoch-fenced) while workers are dying and
+  /// rejoining around it.  Drawn from an independent rng stream, so the
+  /// worker-churn schedule is bit-identical with the knob on or off (the
+  /// sweep can attribute availability deltas to the primary crash alone).
+  /// Only meaningful for runners with a standby replica configured.
+  bool primary_churn = false;
   /// Downtime before the kRestart: min + Exp(mean).
   std::uint64_t mean_downtime_ns = 2'000'000'000ULL;  // 2 s
   std::uint64_t min_downtime_ns = 100'000'000;        // 100 ms

@@ -78,6 +78,32 @@ int cmd_summary(const TraceData& data) {
             : 0.0,
         static_cast<unsigned long long>(executes));
   }
+  // Migration digest: durability-ledger traffic.  kMigrateOut/kMigrateRereg
+  // carry the drained/installed cargo count in `arg`, so sum those; a
+  // kMigrationRedo means the coordinator redelivered ledgered cargo after
+  // its holder died — the composition that used to strand work.
+  const std::uint64_t mig_out = counts[EventType::kMigrateOut];
+  const std::uint64_t mig_in = counts[EventType::kMigrateIn];
+  const std::uint64_t reregs = counts[EventType::kMigrateRereg];
+  const std::uint64_t mig_redo = counts[EventType::kMigrationRedo];
+  if (mig_out + mig_in + reregs + mig_redo > 0) {
+    std::uint64_t drained = 0, reregistered = 0;
+    for (const TraceEvent& e : data.events) {
+      const auto type = static_cast<EventType>(e.type);
+      if (type == EventType::kMigrateOut) drained += e.arg;
+      if (type == EventType::kMigrateRereg) reregistered += e.arg;
+    }
+    std::printf(
+        "migration: departures=%llu (%llu closures drained) installs=%llu "
+        "re-registrations=%llu (%llu closures+ledger entries) "
+        "ledger_redeliveries=%llu\n",
+        static_cast<unsigned long long>(mig_out),
+        static_cast<unsigned long long>(drained),
+        static_cast<unsigned long long>(mig_in),
+        static_cast<unsigned long long>(reregs),
+        static_cast<unsigned long long>(reregistered),
+        static_cast<unsigned long long>(mig_redo));
+  }
   return 0;
 }
 

@@ -377,6 +377,216 @@ TEST_F(ClearinghouseTest, StaleIncarnationRegisterDoesNotResurrect) {
   EXPECT_TRUE(w2.dead_notices.empty());
 }
 
+/// A minimal migratable closure: id-addressable, no pending arguments.
+Closure make_cargo(std::uint32_t origin, std::uint64_t seq) {
+  Closure c;
+  c.id = ClosureId{net::NodeId{origin}, seq};
+  c.task = TaskId{1};
+  return c;
+}
+
+TEST_F(ClearinghouseTest, MigrationLedgerRedeliversWhenHolderDies) {
+  // The tentpole guarantee, end to end at the protocol level: a departing
+  // worker registers its cargo, hands it to a successor, confirms the
+  // holder, and unregisters.  When the successor later dies, the
+  // Clearinghouse must redeliver the registered cargo to a surviving
+  // worker — the inherited closures appear in no steal ledger, so nothing
+  // else can redo them.
+  ClearinghouseConfig cfg;
+  cfg.heartbeat_timeout_ns = 3 * sim::kSecond;
+  cfg.failure_check_period_ns = sim::kSecond;
+  Clearinghouse ch(ch_rpc_, timers_, cfg);
+  RecoveryTracker tracker;
+  ch.set_recovery_tracker(&tracker);
+  ch.start();
+
+  FakeWorker w1(network_, timers_, net::NodeId{1});  // departing origin
+  FakeWorker w2(network_, timers_, net::NodeId{2});  // successor, will die
+  FakeWorker w3(network_, timers_, net::NodeId{3});  // survivor
+  std::vector<proto::MigrateMsg> at_w3;
+  w3.rpc.serve(proto::kRpcMigrate, [&](net::NodeId, const Bytes& args) {
+    auto m = proto::MigrateMsg::decode(args);
+    if (m) at_w3.push_back(*m);
+    Writer accept;
+    accept.boolean(true);
+    return accept.take();
+  });
+  std::size_t at_w2 = 0;
+  w2.rpc.serve(proto::kRpcMigrate, [&](net::NodeId, const Bytes&) {
+    ++at_w2;
+    Writer accept;
+    accept.boolean(true);
+    return accept.take();
+  });
+  w1.register_with(kCh, nullptr, 1);
+  w2.register_with(kCh, nullptr, 1);
+  w3.register_with(kCh, nullptr, 1);
+  sim_.run_until(100 * sim::kMillisecond);
+
+  // w1's durability handshake: register (holder = self), then confirm the
+  // successor, then retire.
+  const std::uint64_t mid = (1ull << 32) | 1;
+  proto::MigrationLedgerMsg reg;
+  reg.migration_id = mid;
+  reg.from = net::NodeId{1};
+  reg.holder = net::NodeId{1};
+  reg.closures = {make_cargo(1, 7), make_cargo(1, 8)};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, reg.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run_until(200 * sim::kMillisecond);
+  proto::MigrationLedgerMsg upd;
+  upd.migration_id = mid;
+  upd.from = net::NodeId{1};
+  upd.holder = net::NodeId{2};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, upd.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run_until(300 * sim::kMillisecond);
+  w1.rpc.call(kCh, proto::kRpcUnregister, {}, [](net::RpcResult) {});
+  sim_.run_until(400 * sim::kMillisecond);
+  ASSERT_EQ(ch.migration_ledger_size(), 1u)
+      << "the origin's graceful unregister must not retire an entry it "
+         "already handed to a successor";
+
+  // w3 stays alive; w2 (the holder) goes silent and is declared dead.
+  for (int t = 1; t <= 10; ++t) {
+    sim_.schedule_at(static_cast<sim::SimTime>(t) * sim::kSecond,
+                     [&] { w3.heartbeat(kCh); });
+  }
+  sim_.run_until(8 * sim::kSecond);
+
+  ASSERT_EQ(at_w3.size(), 1u) << "cargo must be redelivered to the survivor";
+  EXPECT_EQ(at_w2, 0u);
+  EXPECT_TRUE(at_w3[0].redelivery);
+  EXPECT_EQ(at_w3[0].migration_id, mid);
+  EXPECT_EQ(at_w3[0].from, (net::NodeId{1}));
+  EXPECT_EQ(at_w3[0].closures.size(), 2u);
+  EXPECT_EQ(at_w3[0].closures[0].id.seq, 7u);
+  EXPECT_EQ(tracker.snapshot().migration_redo, 2u);
+  EXPECT_EQ(ch.migration_ledger_size(), 1u)
+      << "the entry survives with the new holder: if the survivor dies "
+         "too, the cargo is redelivered again";
+}
+
+TEST_F(ClearinghouseTest, MigrationLedgerDropsEntriesWhoseOriginDied) {
+  // Mid-handshake crash of the migrating worker itself (holder == origin):
+  // the victims' incarnation-blind death-redo already re-executes everything
+  // the origin held, and redelivered fills routed through its forwarding
+  // stub could never complete — the entry must be dropped, not redelivered.
+  ClearinghouseConfig cfg;
+  cfg.heartbeat_timeout_ns = 3 * sim::kSecond;
+  cfg.failure_check_period_ns = sim::kSecond;
+  Clearinghouse ch(ch_rpc_, timers_, cfg);
+  RecoveryTracker tracker;
+  ch.set_recovery_tracker(&tracker);
+  ch.start();
+
+  FakeWorker w1(network_, timers_, net::NodeId{1});  // dies mid-handshake
+  FakeWorker w2(network_, timers_, net::NodeId{2});  // survivor
+  std::size_t at_w2 = 0;
+  w2.rpc.serve(proto::kRpcMigrate, [&](net::NodeId, const Bytes&) {
+    ++at_w2;
+    Writer accept;
+    accept.boolean(true);
+    return accept.take();
+  });
+  w1.register_with(kCh, nullptr, 1);
+  w2.register_with(kCh, nullptr, 1);
+  sim_.run_until(100 * sim::kMillisecond);
+
+  proto::MigrationLedgerMsg reg;
+  reg.migration_id = (1ull << 32) | 1;
+  reg.from = net::NodeId{1};
+  reg.holder = net::NodeId{1};
+  reg.closures = {make_cargo(1, 7)};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, reg.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run_until(200 * sim::kMillisecond);
+  ASSERT_EQ(ch.migration_ledger_size(), 1u);
+
+  // w1 goes silent before confirming any successor.
+  for (int t = 1; t <= 10; ++t) {
+    sim_.schedule_at(static_cast<sim::SimTime>(t) * sim::kSecond,
+                     [&] { w2.heartbeat(kCh); });
+  }
+  sim_.run_until(8 * sim::kSecond);
+
+  EXPECT_EQ(ch.migration_ledger_size(), 0u);
+  EXPECT_EQ(at_w2, 0u) << "dead-origin cargo must not be redelivered";
+  EXPECT_EQ(tracker.snapshot().migration_redo, 0u);
+}
+
+TEST_F(ClearinghouseTest, MigrationLedgerRetiredByHolderUnregister) {
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh, nullptr, 1);
+  w2.register_with(kCh, nullptr, 1);
+  sim_.run();
+
+  proto::MigrationLedgerMsg reg;
+  reg.migration_id = (1ull << 32) | 1;
+  reg.from = net::NodeId{1};
+  reg.holder = net::NodeId{1};
+  reg.closures = {make_cargo(1, 7)};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, reg.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run();
+  proto::MigrationLedgerMsg upd;
+  upd.migration_id = reg.migration_id;
+  upd.from = net::NodeId{1};
+  upd.holder = net::NodeId{2};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, upd.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run();
+  ASSERT_EQ(ch.migration_ledger_size(), 1u);
+
+  // The holder finishing the inherited cargo and leaving gracefully is the
+  // normal end of the entry's life.
+  w2.rpc.call(kCh, proto::kRpcUnregister, {}, [](net::RpcResult) {});
+  sim_.run();
+  EXPECT_EQ(ch.migration_ledger_size(), 0u);
+}
+
+TEST_F(ClearinghouseTest, MigrationLedgerReplicatedToStandby) {
+  // Redo ownership must survive a coordinator failover: the standby
+  // receives the migration ledger in every replication delta and keeps it
+  // across promotion.
+  ClearinghouseConfig cfg;
+  cfg.detect_failures = false;
+  cfg.replicate_period_ns = 100 * sim::kMillisecond;
+  cfg.lease_timeout_ns = 500 * sim::kMillisecond;
+  cfg.lease_check_period_ns = 100 * sim::kMillisecond;
+  Clearinghouse primary(ch_rpc_, timers_, cfg);
+  net::RpcNode backup_rpc(network_.channel(net::NodeId{9}), timers_);
+  Clearinghouse backup(backup_rpc, timers_, cfg);
+  primary.start();
+  backup.start_standby(kCh);
+  primary.set_standby(net::NodeId{9});
+
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh, nullptr, 1);
+  w2.register_with(kCh, nullptr, 1);
+  sim_.run_until(50 * sim::kMillisecond);
+  proto::MigrationLedgerMsg reg;
+  reg.migration_id = (1ull << 32) | 1;
+  reg.from = net::NodeId{1};
+  reg.holder = net::NodeId{2};
+  reg.closures = {make_cargo(1, 7)};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, reg.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run_until(sim::kSecond);
+  EXPECT_EQ(backup.migration_ledger_size(), 1u);
+
+  sim_.schedule_at(2 * sim::kSecond, [&] { primary.halt(); });
+  sim_.run_until(5 * sim::kSecond);
+  ASSERT_TRUE(backup.acting_primary());
+  EXPECT_EQ(backup.migration_ledger_size(), 1u)
+      << "a live holder's entry must survive promotion";
+  backup.stop();
+}
+
 TEST_F(ClearinghouseTest, MembershipChangeCallback) {
   Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
   ch.start();

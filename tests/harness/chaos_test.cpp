@@ -86,6 +86,31 @@ TEST(ChaosReplay, ReplaySeedFromEnv) {
   EXPECT_TRUE(o.ok) << o.failure;
 }
 
+TEST(ChaosComposition, SweepEngagesMigrationDurabilityLedger) {
+  // The Matrix sweep above already pins every composition_only case (seeds
+  // 6000+) individually; this test guards against the whole category going
+  // vacuous.  Across a fresh band of reclaim-then-crash /
+  // migrate-midflight-crash seeds, the runs must not only stay exact — the
+  // durability handshake itself must fire: reclaimed owners registering and
+  // handing cargo to successors (tasks_migrated_out).  Whether a given seed
+  // then crashes the successor *inside* the ~1 ms window before it executes
+  // the inherited cargo is timing noise (handoff latency jitter dwarfs the
+  // window), so post-death redelivery is not asserted here — it is pinned
+  // deterministically by the Clearinghouse migration-ledger tests in
+  // tests/core/clearinghouse_test.cpp.
+  const char* kApps[] = {"fib", "nqueens", "pfold"};
+  WorkerStats sum;
+  for (std::uint64_t i = 0; i < 90; ++i) {
+    ChaosCase c{ChaosRuntime::kSimdist, kApps[i % 3], 6500 + i, 0,
+                /*failover_only=*/false, /*composition_only=*/true};
+    const ChaosOutcome o = run_chaos_case(c);
+    EXPECT_TRUE(o.ok) << o.failure;
+    sum.merge(o.aggregate);
+  }
+  EXPECT_GT(sum.tasks_migrated_out, 0u)
+      << "vacuous: no composition seed ever migrated cargo out";
+}
+
 TEST(ChaosScripted, EarlyPartitionHealsAndJobCompletes) {
   // A hand-written plan (not generator output) driving the partition path
   // end-to-end: worker 2 is cut from t=0 to t=120ms — its registration RPC

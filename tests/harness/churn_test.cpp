@@ -54,6 +54,50 @@ ChurnProfile test_profile(int workers) {
   return p;
 }
 
+/// Shared invariant checker: per-worker strictly alternating down / kRestart
+/// with every down paired, worker 0 immune, live floor respected.  Primary
+/// crashes (worker == net::kCoordinatorWorker) sit outside the per-worker
+/// state machine: at most one, unpaired, in the early half of the horizon.
+void check_plan_invariants(const ChurnProfile& profile,
+                           const net::FaultPlan& plan) {
+  std::vector<int> down(static_cast<std::size_t>(profile.workers), 0);
+  int live = profile.workers;
+  int primary_crashes = 0;
+  for (const net::NodeEvent& e : plan.events) {
+    if (e.worker == net::kCoordinatorWorker) {
+      ASSERT_EQ(e.kind, net::NodeFaultKind::kCrash);
+      ASSERT_TRUE(profile.primary_churn);
+      ASSERT_GE(e.at_ns, profile.min_event_ns);
+      ASSERT_LT(e.at_ns, profile.horizon_ns / 2);
+      ++primary_crashes;
+      continue;
+    }
+    ASSERT_NE(e.worker, 0) << "worker 0 (submitter) is immune";
+    ASSERT_GE(e.worker, 1);
+    ASSERT_LT(e.worker, profile.workers);
+    auto& d = down[static_cast<std::size_t>(e.worker)];
+    if (e.kind == net::NodeFaultKind::kRestart) {
+      ASSERT_EQ(d, 1) << "restart without a preceding down";
+      d = 0;
+      ++live;
+    } else {
+      ASSERT_TRUE(e.kind == net::NodeFaultKind::kCrash ||
+                  e.kind == net::NodeFaultKind::kReclaim);
+      if (profile.reclaim_fraction <= 0.0) {
+        ASSERT_EQ(e.kind, net::NodeFaultKind::kCrash)
+            << "reclaim_fraction=0 must generate crashes only";
+      }
+      ASSERT_EQ(d, 0) << "double-down without a rejoin in between";
+      d = 1;
+      --live;
+      ASSERT_GE(live, profile.min_live);
+    }
+  }
+  ASSERT_LE(primary_crashes, 1) << "the primary dies at most once per storm";
+  if (profile.primary_churn) EXPECT_EQ(primary_crashes, 1);
+  for (int d : down) EXPECT_EQ(d, 0) << "every down is paired kRestart";
+}
+
 TEST(ChurnPlan, InvariantsHoldAcrossSeeds) {
   const ChurnProfile profile = test_profile(6);
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
@@ -61,30 +105,45 @@ TEST(ChurnPlan, InvariantsHoldAcrossSeeds) {
     SCOPED_TRACE(replay_line(seed, plan));
     // Racks partition [0, workers) in index order.
     ASSERT_EQ(plan.racks.size(), 3u);
-    // Per-worker: strictly alternating down / kRestart, every down paired.
-    std::vector<int> down(static_cast<std::size_t>(profile.workers), 0);
-    int live = profile.workers;
+    check_plan_invariants(profile, plan);
+  }
+}
+
+TEST(ChurnPlan, InvariantsHoldWithReclaimsAndPrimaryChurn) {
+  // Same state-machine invariants with both new event classes enabled:
+  // owner returns mixed into the leave stream, plus the one-shot primary
+  // crash.  Reclaims are downs like any other (the departed worker rejoins
+  // later via the paired kRestart).
+  ChurnProfile profile = test_profile(6);
+  profile.reclaim_fraction = 0.5;
+  profile.primary_churn = true;
+  std::uint64_t reclaims = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const net::FaultPlan plan = make_churn_plan(seed, profile);
+    SCOPED_TRACE(replay_line(seed, plan));
+    check_plan_invariants(profile, plan);
     for (const net::NodeEvent& e : plan.events) {
-      ASSERT_NE(e.worker, 0) << "worker 0 (submitter) is immune";
-      ASSERT_GE(e.worker, 1);
-      ASSERT_LT(e.worker, profile.workers);
-      auto& d = down[static_cast<std::size_t>(e.worker)];
-      if (e.kind == net::NodeFaultKind::kRestart) {
-        ASSERT_EQ(d, 1) << "restart without a preceding down";
-        d = 0;
-        ++live;
-      } else {
-        ASSERT_TRUE(e.kind == net::NodeFaultKind::kCrash ||
-                    e.kind == net::NodeFaultKind::kReclaim);
-        ASSERT_EQ(e.kind, net::NodeFaultKind::kCrash)
-            << "reclaim_fraction=0 must generate crashes only";
-        ASSERT_EQ(d, 0) << "double-down without a rejoin in between";
-        d = 1;
-        --live;
-        ASSERT_GE(live, profile.min_live);
-      }
+      if (e.kind == net::NodeFaultKind::kReclaim) ++reclaims;
     }
-    for (int d : down) EXPECT_EQ(d, 0) << "every down is paired kRestart";
+  }
+  EXPECT_GT(reclaims, 0u)
+      << "vacuous: reclaim_fraction=0.5 never drew an owner return";
+}
+
+TEST(ChurnPlan, PrimaryChurnDoesNotPerturbWorkerSchedule) {
+  // The primary crash draws from an independent rng stream, so a sweep can
+  // attribute availability deltas to the primary crash alone: the worker
+  // schedule must be bit-identical with the knob on or off.
+  ChurnProfile off = test_profile(8);
+  ChurnProfile on = off;
+  on.primary_churn = true;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const net::FaultPlan a = make_churn_plan(seed, off);
+    net::FaultPlan b = make_churn_plan(seed, on);
+    std::erase_if(b.events, [](const net::NodeEvent& e) {
+      return e.worker == net::kCoordinatorWorker;
+    });
+    EXPECT_EQ(a.describe(), b.describe()) << "seed " << seed;
   }
 }
 
@@ -115,6 +174,59 @@ TEST(ChurnSimdist, SustainedChurnStaysExact) {
       << replay_line(seed, plan);
   EXPECT_GT(result.aggregate.tasks_redone, 0u)
       << "vacuous: churn never killed a worker holding stolen work\n"
+      << replay_line(seed, plan);
+}
+
+TEST(ChurnSimdist, ReclaimChurnMigratesAndStaysExact) {
+  // Owner returns mixed into the storm: departing workers must drain their
+  // closures through the acked migration handshake (to peers that may die
+  // moments later) and the answer must stay exact.  Aggregated over seeds so
+  // the migration assertion is robust to any single schedule being idle.
+  const int workers = 6;
+  ChurnProfile profile = test_profile(workers);
+  profile.reclaim_fraction = 0.6;
+  profile.correlation = 0.2;
+  WorkerStats sum;
+  for (std::uint64_t seed :
+       {0xc842'0010ull, 0xc842'0011ull, 0xc842'0012ull}) {
+    const net::FaultPlan plan = make_churn_plan(seed, profile);
+    TaskRegistry reg;
+    const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+    rt::SimCluster cluster(reg, churn_job_config(seed, workers));
+    cluster.apply_fault_plan(plan);
+    const auto result = cluster.run(root, {Value(std::int64_t{13})});
+    EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+              apps::pfold_serial(13))
+        << replay_line(seed, plan);
+    sum.merge(result.aggregate);
+  }
+  EXPECT_GT(sum.tasks_migrated_out, 0u)
+      << "vacuous: no reclaim ever drained closures through the handshake";
+}
+
+TEST(ChurnSimdist, PrimaryCrashMidStormFailsOverAndStaysExact) {
+  // The hardest composition in the churn taxonomy: the active Clearinghouse
+  // dies while workers are crashing and rejoining around it.  The warm
+  // standby must promote (epoch-fenced), absorb the in-flux membership, and
+  // the job must still finish exactly.
+  const std::uint64_t seed = seed_from_env("PHISH_CHAOS_SEED", 0xc842'0020);
+  const int workers = 6;
+  ChurnProfile profile = test_profile(workers);
+  profile.primary_churn = true;
+  const net::FaultPlan plan = make_churn_plan(seed, profile);
+
+  TaskRegistry reg;
+  const TaskId root = apps::register_pfold(reg, /*sequential_monomers=*/5);
+  rt::SimJobConfig cfg = churn_job_config(seed, workers);
+  cfg.enable_backup = true;
+  rt::SimCluster cluster(reg, cfg);
+  cluster.apply_fault_plan(plan);
+  const auto result = cluster.run(root, {Value(std::int64_t{13})});
+  EXPECT_EQ(apps::decode_histogram(result.value.as_blob()),
+            apps::pfold_serial(13))
+      << replay_line(seed, plan);
+  EXPECT_GT(cluster.recovery().snapshot().promotions, 0u)
+      << "vacuous: the standby never promoted\n"
       << replay_line(seed, plan);
 }
 

@@ -58,6 +58,28 @@ TEST(UdpFailover, PrimaryKillPromotesBackupAndFinishes) {
   EXPECT_GE(result.recovery.mttr_count, 1u);
 }
 
+TEST(UdpFailover, ReclaimedWorkerDrainsThroughLedgerAndRejoins) {
+  // Owner return over real sockets: worker 1 is evicted mid-job and must
+  // drain its closures through the acked migration-ledger handshake
+  // (register at the coordinator, RPC handoff, holder confirm) instead of
+  // the old fire-and-forget kMigrate; it later rejoins as a fresh
+  // incarnation while its stub keeps forwarding stragglers.  The answer
+  // must stay exact.
+  TaskRegistry reg;
+  const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/22);
+  rt::UdpJobConfig cfg = udp_failover_config(0x3ec1'a1fe);
+  cfg.enable_backup = false;
+  cfg.node_events.push_back(
+      {400'000'000ULL, net::NodeFaultKind::kReclaim, 1});
+  cfg.node_events.push_back(
+      {1'400'000'000ULL, net::NodeFaultKind::kRestart, 1});
+  rt::UdpJob job(reg, cfg);
+  const auto result = job.run(root, {Value(std::int64_t{45})});
+  EXPECT_EQ(result.value.as_int(), fib_iterative(45));
+  EXPECT_GT(result.aggregate.tasks_migrated_out, 0u)
+      << "vacuous: the reclaim found worker 1 already empty";
+}
+
 TEST(UdpFailover, KilledWorkerRejoinsMidJob) {
   TaskRegistry reg;
   const TaskId root = apps::register_fib(reg, /*sequential_cutoff=*/22);

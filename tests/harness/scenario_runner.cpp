@@ -21,39 +21,51 @@ using rt::UdpJobConfig;
 struct AppSpec {
   TaskId root;
   std::vector<Value> args;
+  int n = 0;  // problem size, for the serial reference
 };
 
 /// Register `app` sized for chaos sweeps: small enough that dozens of cases
 /// stay cheap, parallel enough that steals / migrations actually happen.
-AppSpec register_app(TaskRegistry& reg, const std::string& app) {
+/// `big` sizes up the instance for the composition sweeps: a reclaim must
+/// land while workers still hold closures, and the default micro-instances
+/// are communication-bound (workers idle most of the run), which would make
+/// reclaim-then-crash plans vacuous.
+AppSpec register_app(TaskRegistry& reg, const std::string& app,
+                     bool big = false) {
   if (app == "fib") {
+    const int n = big ? 20 : 17;
     return {apps::register_fib(reg, /*sequential_cutoff=*/8),
-            {Value(std::int64_t{17})}};
+            {Value(std::int64_t{n})},
+            n};
   }
   if (app == "nqueens") {
+    const int n = big ? 8 : 7;
     return {apps::register_nqueens(reg, /*sequential_rows=*/4),
-            {Value(std::int64_t{7})}};
+            {Value(std::int64_t{n})},
+            n};
   }
+  const int n = big ? 13 : 11;
   return {apps::register_pfold(reg, /*sequential_monomers=*/5),
-          {Value(std::int64_t{11})}};
+          {Value(std::int64_t{n})},
+          n};
 }
 
 /// Compare a job's value against the serial ground truth; empty == match.
-std::string check_value(const std::string& app, const Value& value) {
+std::string check_value(const std::string& app, int n, const Value& value) {
   std::ostringstream why;
   if (app == "fib") {
-    if (value.as_int() == apps::fib_serial(17)) return {};
-    why << "fib(17) = " << value.as_int() << ", serial says "
-        << apps::fib_serial(17);
+    if (value.as_int() == apps::fib_serial(n)) return {};
+    why << "fib(" << n << ") = " << value.as_int() << ", serial says "
+        << apps::fib_serial(n);
   } else if (app == "nqueens") {
-    if (value.as_int() == apps::nqueens_serial(7)) return {};
-    why << "nqueens(7) = " << value.as_int() << ", serial says "
-        << apps::nqueens_serial(7);
+    if (value.as_int() == apps::nqueens_serial(n)) return {};
+    why << "nqueens(" << n << ") = " << value.as_int() << ", serial says "
+        << apps::nqueens_serial(n);
   } else {
-    if (apps::decode_histogram(value.as_blob()) == apps::pfold_serial(11)) {
+    if (apps::decode_histogram(value.as_blob()) == apps::pfold_serial(n)) {
       return {};
     }
-    why << "pfold(11) histogram differs from serial";
+    why << "pfold(" << n << ") histogram differs from serial";
   }
   return why.str();
 }
@@ -111,7 +123,7 @@ ChaosOutcome run_threads(const ChaosCase& c) {
   rt::ThreadsRuntime runtime(reg, cfg);
   const auto result = runtime.run(spec.root, spec.args);
   o.aggregate = result.aggregate;
-  std::string why = check_value(c.app, result.value);
+  std::string why = check_value(c.app, spec.n, result.value);
   // No network, no faults: the full conservation laws apply.
   const auto& a = result.aggregate;
   if (a.closures_created !=
@@ -125,14 +137,38 @@ ChaosOutcome run_threads(const ChaosCase& c) {
   return o;
 }
 
-/// Simdist plans draw from the full category space, including control-plane
-/// failover (primary crash; worker crash-then-rejoin).
+/// Simdist plans draw from the full category space: link faults, worker
+/// crash / reclaim / partition, control-plane failover (primary crash;
+/// worker crash-then-rejoin), and the post-migration compositions
+/// (reclaim-then-crash; migrate-midflight-crash).
 ChaosProfile simdist_profile(const ChaosCase& c) {
   ChaosProfile profile;
   profile.workers = 3 + static_cast<int>(c.seed % 3);
   profile.coordinator_crash = true;
   profile.crash_rejoin = true;
-  profile.failover_only = c.failover_only;
+  profile.reclaim_then_crash = true;
+  profile.migrate_midflight_crash = true;
+  if (c.composition_only) {
+    // Pin the draw to categories 6/7 only: every plan in the targeted sweep
+    // composes a reclaim with a crash.  The sweep apps finish in a few
+    // (virtual) milliseconds, so the default 20-500 ms event window would
+    // reclaim an already-idle cluster: land the reclaim while closures are
+    // in flight and the paired crash while the successor still holds them.
+    profile.coordinator_crash = false;
+    profile.crash_rejoin = false;
+    profile.failover_only = true;
+    // Three workers pins the cast: worker 0 is immune, so a category-6 plan
+    // reclaims one of {1, 2} and crashes the other — which is the migration
+    // successor whenever the departing worker's coin-flip between worker 0
+    // and the other worker picked the latter.
+    profile.workers = 3;
+    profile.min_event_ns = 4 * sim::kMillisecond;
+    profile.event_horizon_ns = 30 * sim::kMillisecond;
+    profile.reclaim_crash_gap_ns = 3 * sim::kMillisecond;
+    profile.midflight_crash_gap_ns = 2 * sim::kMillisecond;
+  } else {
+    profile.failover_only = c.failover_only;
+  }
   return profile;
 }
 
@@ -161,14 +197,14 @@ ChaosOutcome run_simdist(const ChaosCase& c) {
   cfg.clearinghouse.lease_check_period_ns = 150 * sim::kMillisecond;
 
   TaskRegistry reg;
-  const AppSpec spec = register_app(reg, c.app);
+  const AppSpec spec = register_app(reg, c.app, c.composition_only);
   rt::SimCluster cluster(reg, cfg);
   cluster.apply_fault_plan(o.plan);
   const auto result = cluster.run(spec.root, spec.args);
   o.aggregate = result.aggregate;
   o.messages_sent = result.messages_sent;
   o.events_fired = result.events_fired;
-  std::string why = check_value(c.app, result.value);
+  std::string why = check_value(c.app, spec.n, result.value);
   why += check_ledger(result.aggregate,
                       plan_has(o.plan, net::NodeFaultKind::kCrash),
                       plan_duplicates(o.plan));
@@ -200,7 +236,7 @@ ChaosOutcome run_udp(const ChaosCase& c) {
   rt::UdpJob job(reg, cfg);
   const auto result = job.run(spec.root, spec.args);
   o.aggregate = result.aggregate;
-  std::string why = check_value(c.app, result.value);
+  std::string why = check_value(c.app, spec.n, result.value);
   why += check_ledger(result.aggregate, /*crashed=*/false,
                       plan_duplicates(o.plan));
   o.ok = why.empty();
@@ -296,12 +332,25 @@ std::vector<ChaosCase> chaos_matrix() {
     }
   }
   // Targeted failover sweep: every plan either crashes the primary
-  // Clearinghouse (warm standby promotes) or crash-rejoins a worker.
+  // Clearinghouse (warm standby promotes), crash-rejoins a worker, or
+  // composes a reclaim with a crash.
   for (int a = 0; a < 3; ++a) {
     for (std::uint64_t i = 0; i < 3; ++i) {
       cases.push_back({ChaosRuntime::kSimdist, kApps[a],
                        5000 + 10 * static_cast<std::uint64_t>(a) + i, 0,
                        /*failover_only=*/true});
+    }
+  }
+  // Targeted composition sweep, >= 50 seeds: every plan is a
+  // reclaim-then-crash or migrate-midflight-crash composition — the two
+  // failure-matrix rows the migration durability ledger flipped to
+  // survivable.  A failing seed prints the standard PHISH_CHAOS_SEED
+  // replay line.
+  for (int a = 0; a < 3; ++a) {
+    for (std::uint64_t i = 0; i < 17; ++i) {
+      cases.push_back({ChaosRuntime::kSimdist, kApps[a],
+                       6000 + 100 * static_cast<std::uint64_t>(a) + i, 0,
+                       /*failover_only=*/false, /*composition_only=*/true});
     }
   }
   return cases;

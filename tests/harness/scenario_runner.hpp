@@ -45,6 +45,10 @@ struct ChaosCase {
   /// Simdist only: restrict the plan to the failover categories (primary
   /// Clearinghouse crash / worker crash-then-rejoin) for targeted sweeps.
   bool failover_only = false;
+  /// Simdist only: restrict the plan to the post-migration compositions
+  /// (reclaim-then-crash / migrate-midflight-crash) — the two failure-matrix
+  /// rows the migration durability ledger flipped to survivable.
+  bool composition_only = false;
 };
 
 void PrintTo(const ChaosCase& c, std::ostream* os);

@@ -134,6 +134,86 @@ TEST(JobsvcMacro, HighPrioritySubmitPreemptsWithoutLosingWork) {
       << "the high-priority job received the reclaimed workstation";
 }
 
+TEST(JobsvcMacro, PreemptedWorkerCrashMidHandshakeIsReaped) {
+  // The composition hazard: a worker evicted over kRpcPreempt crashes
+  // BETWEEN the eviction and its manager's kRpcReleaseJob — mid departure
+  // handshake, with its closures half-migrated.  The same ledger paths that
+  // cover owner reclaims must reap it: the job's Clearinghouse detects the
+  // death (dropping or redelivering the in-flight migration cargo, and
+  // triggering steal-ledger redo), the manager still settles the grant, and
+  // both jobs finish with their exact serial answers.
+  MacroConfig cfg = tenant_config(43);
+  cfg.tenants["batch"] = TenantConfig{1.0};
+  cfg.tenants["interactive"] = TenantConfig{2.0};
+  cfg.preempt_batch = 1;
+  // The reap needs a failure detector: the crashed worker must be declared
+  // dead, not waited for.
+  cfg.clearinghouse.detect_failures = true;
+  cfg.clearinghouse.heartbeat_timeout_ns = 1500 * kMillisecond;
+  cfg.clearinghouse.failure_check_period_ns = 300 * kMillisecond;
+  cfg.worker.heartbeat_period = 150 * kMillisecond;
+  MacroCluster cluster(tenant_registry(), cfg);
+  for (int i = 0; i < 3; ++i) {
+    cluster.add_workstation(OwnerTrace::always_idle());
+  }
+  const std::uint64_t low_id = cluster.submit_job(
+      "low", "pfold.root", {Value(std::int64_t{18})}, 0, "batch",
+      kPriorityLow);
+
+  for (int slice = 0;; ++slice) {
+    ASSERT_LT(slice, 100) << "low job never acquired the full pool";
+    cluster.run_until(cluster.simulator().now() + 200 * kMillisecond);
+    const auto held = cluster.jobq().held_by_job();
+    const auto it = held.find(low_id);
+    if (it != held.end() && it->second == 3) break;
+  }
+
+  // In-simulation watcher (fires at event granularity, so it cannot miss the
+  // handshake window): the instant a manager reports a preemption and its
+  // worker is still kDeparting, the whole workstation goes dark.
+  int crashed = -1;
+  std::function<void()> watch = [&] {
+    if (crashed < 0) {
+      for (int i = 0; i < cluster.workstations(); ++i) {
+        auto& m = cluster.manager(i);
+        SimWorker* w = m.current_worker();
+        if (m.stats().workers_preempted > 0 && w != nullptr &&
+            w->state() == SimWorker::State::kDeparting) {
+          crashed = i;
+          cluster.set_workstation_offline(i, true);
+          return;  // caught it; stop watching
+        }
+      }
+      cluster.simulator().schedule(20'000, watch);  // 20 us
+    }
+  };
+  cluster.simulator().schedule(0, watch);
+  cluster.submit_job_dynamic("high", "pfold.root", {Value(std::int64_t{16})},
+                             "interactive", kPriorityHigh);
+  const auto records = cluster.run();
+  ASSERT_EQ(records.size(), 2u);
+  ASSERT_GE(crashed, 0)
+      << "vacuous: never caught the preempted worker mid-handshake";
+
+  // No lost work: the half-migrated closures were either redelivered from
+  // the migration ledger or re-executed via steal-ledger redo — both jobs
+  // are exact.
+  EXPECT_TRUE(records[0].completed);
+  EXPECT_EQ(apps::decode_histogram(records[0].result.as_blob()),
+            apps::pfold_serial(18));
+  EXPECT_TRUE(records[1].completed);
+  EXPECT_EQ(apps::decode_histogram(records[1].result.as_blob()),
+            apps::pfold_serial(16));
+
+  // No stuck grant-ledger entry: every grant (including the crashed
+  // workstation's) was settled.
+  for (const auto& [job_id, held] : cluster.jobq().held_by_job()) {
+    EXPECT_EQ(held, 0u) << "job " << job_id << " still holds a workstation";
+  }
+  EXPECT_EQ(cluster.manager(crashed).stats().workers_lost_offline, 1u);
+  EXPECT_GE(cluster.jobq().stats().preemptions, 1u);
+}
+
 TEST(JobsvcMacro, ServiceDrivesSimulatedClusterEndToEnd) {
   // PhishJobD over the simulation: submissions admitted by JobService in
   // virtual time flow through MacroServiceBackend into the JobQ under the
