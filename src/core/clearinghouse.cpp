@@ -278,6 +278,7 @@ Bytes Clearinghouse::handle_unregister(net::NodeId src) {
   std::function<void(std::size_t)> notify;
   std::size_t count = 0;
   Bytes reply;
+  std::vector<std::pair<net::NodeId, std::uint64_t>> retires;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = std::find(participants_.begin(), participants_.end(), src);
@@ -294,6 +295,10 @@ Bytes Clearinghouse::handle_unregister(net::NodeId src) {
     for (auto mit = migration_ledger_.begin();
          mit != migration_ledger_.end();) {
       if (mit->second.record.holder == src) {
+        const net::NodeId origin = mit->second.record.from;
+        if (origin.valid() && origin != src) {
+          retires.emplace_back(origin, mit->first);
+        }
         mit = migration_ledger_.erase(mit);
       } else {
         ++mit;
@@ -303,6 +308,7 @@ Bytes Clearinghouse::handle_unregister(net::NodeId src) {
     notify = on_membership_change_;
     count = participants_.size();
   }
+  send_retirements(retires);
   if (notify) notify(count);
   return reply;
 }
@@ -330,6 +336,7 @@ Bytes Clearinghouse::handle_migration_ledger(net::NodeId src,
     return reply.take();
   }
   std::vector<PendingRedelivery> sends;
+  std::vector<std::pair<net::NodeId, std::uint64_t>> retires;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = migration_ledger_.find(msg->migration_id);
@@ -342,6 +349,12 @@ Bytes Clearinghouse::handle_migration_ledger(net::NodeId src,
            old != migration_ledger_.end();) {
         if (old->second.record.holder == msg->from &&
             !old->second.redelivery_in_flight) {
+          // The superseding snapshot carries every fill the old cargo ever
+          // absorbed, so the old entry's origin stub no longer needs its
+          // replay log for this migration.
+          if (old->second.record.from.valid()) {
+            retires.emplace_back(old->second.record.from, old->first);
+          }
           old = migration_ledger_.erase(old);
         } else {
           ++old;
@@ -356,18 +369,45 @@ Bytes Clearinghouse::handle_migration_ledger(net::NodeId src,
       // Holder update (or a registration retransmit hitting the reply
       // cache miss path): re-point the entry.  The cargo snapshot stored at
       // registration stays authoritative — the update carries none.
-      it->second.record.holder = msg->holder;
-      const auto inc = incarnations_.find(msg->holder);
-      it->second.holder_inc = inc == incarnations_.end() ? 0 : inc->second;
+      //
+      // One exception: once the step-3 confirm moved the holder off the
+      // origin, a late duplicate of the ORIGINAL registration (holder ==
+      // from, reordered or retransmitted past the reply cache) must not
+      // re-point the entry back.  The handshake never legitimately returns
+      // a holder to its origin (successors are drawn from the origin's
+      // peer list, which excludes it, and redelivery skips `from` too), and
+      // accepting the stale frame would let the origin's graceful
+      // unregister retire the entry — stranding the successor's inherited
+      // cargo, the exact window this ledger exists to close.
+      MigrationEntry& e = it->second;
+      const bool stale_registration_replay =
+          msg->holder == e.record.from && e.record.holder != e.record.from;
+      if (!stale_registration_replay) {
+        e.record.holder = msg->holder;
+        const auto inc = incarnations_.find(msg->holder);
+        e.holder_inc = inc == incarnations_.end() ? 0 : inc->second;
+      }
     }
     // The named holder may already be dead (it crashed between accepting
     // the cargo and this update arriving): redeliver immediately rather
     // than waiting for the next failure-detector tick.
     sends = scan_migrations_locked();
   }
+  send_retirements(retires);
   send_redeliveries(std::move(sends));
   reply.boolean(true);
   return reply.take();
+}
+
+void Clearinghouse::send_retirements(
+    const std::vector<std::pair<net::NodeId, std::uint64_t>>& retires) {
+  for (const auto& [origin, mid] : retires) {
+    const Bytes notice =
+        proto::ControlMsg{proto::ControlMsg::kMigrationRetired, origin, mid}
+            .encode();
+    rpc_.call(origin, proto::kRpcControl, notice, [](net::RpcResult) {},
+              config_.control_policy);
+  }
 }
 
 void Clearinghouse::drop_migrations_from_locked(net::NodeId dead) {

@@ -167,6 +167,12 @@ class Clearinghouse {
   /// result to send_redeliveries() after unlocking.
   std::vector<PendingRedelivery> scan_migrations_locked();
   void send_redeliveries(std::vector<PendingRedelivery> sends);
+  /// A retired ledger entry staged under the lock: notify the origin
+  /// (`first`) that migration `second` can never be rerouted again, so its
+  /// forwarding stub may drop the fill log it retained for a replay.
+  /// Best-effort (acked but loss only delays reclamation); send unlocked.
+  void send_retirements(
+      const std::vector<std::pair<net::NodeId, std::uint64_t>>& retires);
   void handle_oneway(net::Message&& message);
   void accept_result(net::NodeId src, Value value);
   void check_failures();

@@ -444,10 +444,18 @@ struct ControlMsg {
     // died: the departed origin's stub must re-target its forwarding and
     // replay its logged post-drain argument fills at the new holder.
     kReroute = 3,
+    // Ledger entry `view` was retired (its holder gracefully finished the
+    // cargo, or a superseding drain re-snapshotted it); `who` is the origin
+    // being notified.  The origin's stub may stop retaining the fill log it
+    // kept for a kReroute replay once none of its migrations remain
+    // outstanding.  Purely a memory/traffic optimisation — a lost notice
+    // only means the log is retained longer.
+    kMigrationRetired = 4,
   };
   std::uint8_t kind = kDeadNotice;
   net::NodeId who;
-  std::uint64_t view = 0;  // kNewPrimary: promotion view / kReroute: mig id
+  /// kNewPrimary: promotion view / kReroute, kMigrationRetired: mig id.
+  std::uint64_t view = 0;
 
   Bytes encode() const {
     Writer w;
@@ -464,7 +472,7 @@ struct ControlMsg {
     m.view = r.u64();
     if (!r.done()) return std::nullopt;
     if (m.kind != kDeadNotice && m.kind != kNewPrimary &&
-        m.kind != kReroute) {
+        m.kind != kReroute && m.kind != kMigrationRetired) {
       return std::nullopt;
     }
     return m;

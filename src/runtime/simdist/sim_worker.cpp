@@ -432,6 +432,17 @@ Bytes SimWorker::handle_control(const Bytes& args) {
         flush_fill_log();
       }
       break;
+    case proto::ControlMsg::kMigrationRetired:
+      // Ledger entry msg->view is gone (holder finished the cargo or
+      // re-snapshotted it with all fills applied): once no migration of
+      // ours remains outstanding, no kReroute can ever replay the fill
+      // log, so release it instead of retaining it forever.
+      outstanding_migrations_.erase(msg->view);
+      if (outstanding_migrations_.empty()) {
+        fill_log_.clear();
+        flushed_fills_ = 0;
+      }
+      break;
     default:
       break;
   }
@@ -501,6 +512,10 @@ void SimWorker::begin_migration_round() {
           abandon_depart("migration ledger unreachable");
           return;
         }
+        // The ledger entry exists from here until the coordinator retires
+        // it (even if the handoff below is abandoned): retain the fill log
+        // for a possible kReroute replay until the retirement notice.
+        outstanding_migrations_.insert(mid);
         try_handoff(mid, std::move(cargo), std::move(ledger), peers_);
       },
       params_.rpc_policy);
@@ -609,6 +624,13 @@ void SimWorker::finalize_depart(bool cargo_lost) {
 void SimWorker::log_and_forward_fill(proto::ArgumentMsg arg) {
   if (arg.ttl == 0) return;  // forwarding-cycle guard: drop, let redo cover
   --arg.ttl;
+  if (forward_to_.valid() && outstanding_migrations_.empty()) {
+    // Every ledger entry we originated is retired, so no kReroute can ever
+    // ask for a replay: forward without retaining.  (With no successor yet
+    // the fill must still be buffered below, retirement or not.)
+    rpc_.send_oneway(forward_to_, proto::kArgument, arg.encode());
+    return;
+  }
   fill_log_.push_back(arg.encode());
   flush_fill_log();
 }

@@ -310,9 +310,16 @@ class SimWorker {
   /// Argument fills received after the drain (re-encoded with ttl-1), in
   /// arrival order.  Flushed to the successor as it is confirmed; replayed
   /// in full on kReroute so a redelivered holder sees every fill the lost
-  /// one did.  Retained across rejoin (the stub obligation outlives us).
+  /// one did.  Retained across rejoin (the stub obligation outlives us),
+  /// but only while outstanding_migrations_ is non-empty: once every
+  /// migration we registered has been retired (kMigrationRetired), no
+  /// reroute can replay it, so it is released instead of growing for the
+  /// stub's whole lifetime.
   std::vector<Bytes> fill_log_;
   std::size_t flushed_fills_ = 0;
+  /// Migration ids we registered in the coordinator's ledger whose entries
+  /// have not been retired yet (kMigrationRetired erases them).
+  std::unordered_set<std::uint64_t> outstanding_migrations_;
 
   // Step scheduling.
   bool step_scheduled_ = false;

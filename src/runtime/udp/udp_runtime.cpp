@@ -145,16 +145,24 @@ void UdpWorker::rejoin() {
     // addressed to the old incarnation cannot land in new closures.
     core_.reset_for_rejoin();
     core_.set_seq_base(static_cast<std::uint64_t>(incarnation_) << 32);
+    // The dedupe set described installs into the dead life's core, which is
+    // now empty: a Clearinghouse redelivery of the same migration_id must
+    // land again (a stale hit would ack without installing and the ledger
+    // would record this incarnation as holder — silent permanent loss).
+    // Duplicate installs in the new life are merely idempotent re-execution.
+    seen_migrations_.clear();
     // peers_ and known_epoch_ survive: they are the base the registration
     // delta is applied against (the Clearinghouse replies with changes since
     // known_epoch_, including our own death and any peers lost meanwhile).
     if (!was_departed) {
       // A crashed life had no stub; a gracefully departed one did, and its
-      // obligation (forward_to_ + fill_log_) outlives the incarnation —
-      // fills addressed to the migrated cargo keep arriving here.
+      // obligation (forward_to_ + fill_log_ + outstanding migration ids)
+      // outlives the incarnation — fills addressed to the migrated cargo
+      // keep arriving here.
       forward_to_ = net::NodeId{};
       fill_log_.clear();
       flushed_fills_ = 0;
+      outstanding_migrations_.clear();
     }
   }
   departed_for_shrink_.store(false, std::memory_order_release);
@@ -488,7 +496,14 @@ Bytes UdpWorker::handle_control(const Bytes& args) {
         ever_died_.insert(msg->who.value);
         peers_.erase(std::remove(peers_.begin(), peers_.end(), msg->who),
                      peers_.end());
-        core_.handle_participant_death(msg->who);
+        // A departed stub's core is empty (its final drain was) and its
+        // steal ledger lives at the successor, which inherited the victim
+        // role: re-enqueueing redo snapshots here would strand them in a
+        // worker whose loop has exited.  perform_evict flips departed_
+        // inside this same mutex, so the check is race-free.
+        if (!departed_.load(std::memory_order_acquire)) {
+          core_.handle_participant_death(msg->who);
+        }
       }
       wake_cv_.notify_all();
       break;
@@ -505,6 +520,19 @@ Bytes UdpWorker::handle_control(const Bytes& args) {
       forward_to_ = msg->who;
       flushed_fills_ = 0;
       flush_fill_log_locked();
+      break;
+    }
+    case proto::ControlMsg::kMigrationRetired: {
+      // The coordinator retired ledger entry msg->view (its holder finished
+      // the cargo or re-snapshotted it with all fills applied).  Once no
+      // migration of ours remains outstanding, no kReroute can ever replay
+      // the fill log: release it instead of retaining it forever.
+      std::lock_guard<std::mutex> lock(mutex_);
+      outstanding_migrations_.erase(msg->view);
+      if (outstanding_migrations_.empty()) {
+        fill_log_.clear();
+        flushed_fills_ = 0;
+      }
       break;
     }
     default:
@@ -583,10 +611,13 @@ bool UdpWorker::call_ledger_blocking(const proto::MigrationLedgerMsg& msg) {
 bool UdpWorker::perform_evict() {
   departing_.store(true, std::memory_order_release);
   // Loop until a drain comes up empty: fills arriving mid-handshake are
-  // buffered in the fill log (see handle_message), not the core, so in
-  // practice the second round terminates.  Steals and inbound migrations
-  // are refused while departing_, so no new closures can appear either.
-  for (int round = 0; round < 4; ++round) {
+  // buffered in the fill log (see handle_message), not the core, and steals
+  // and inbound migrations are refused while departing_ — the only refill
+  // source is a kDeadNotice re-enqueueing redo snapshots, so rounds are
+  // bounded by peer deaths during the handshake.  The cap below is a
+  // churn-storm backstop, not the expected exit.
+  constexpr int kMaxRounds = 8;
+  for (int round = 0;; ++round) {
     std::vector<Closure> cargo;
     std::vector<proto::MigrantLedgerEntry> ledger;
     std::uint64_t mid = 0;
@@ -597,7 +628,35 @@ bool UdpWorker::perform_evict() {
       // successor inherits the victim role for our thieves' work.
       cargo = core_.drain_for_migration();
       ledger = core_.export_steal_ledger();
-      if (cargo.empty() && ledger.empty()) break;
+      if (cargo.empty() && ledger.empty()) {
+        // The empty-drain check and the departed_ flip are one critical
+        // section: a kDeadNotice (handle_control also holds mutex_) lands
+        // either before this drain — and is caught by it — or after
+        // departed_ is set, where its core redo is skipped because the
+        // migrant ledger exported to the successor owns those redos now.
+        // Flipping departed_ outside the mutex would let a notice slip in
+        // between and strand redo snapshots in a stopped worker.
+        departed_.store(true, std::memory_order_release);
+        return true;
+      }
+      if (round >= kMaxRounds) {
+        // The drain keeps refilling (a death-notice storm mid-handshake).
+        // Give up on a graceful exit: depart as if crashed — reinstall so
+        // nothing is half-drained, skip the unregister so the failure
+        // detector fires, and let the ledgered cargo plus our victims'
+        // steal ledgers drive the standard redo path.
+        for (Closure& c : cargo) core_.install_migrated(std::move(c));
+        for (proto::MigrantLedgerEntry& e : ledger) {
+          core_.adopt_migrant_ledger(e.thief, std::move(e.snapshot),
+                                     ever_died_.count(e.thief.value) != 0);
+        }
+        PHISH_LOG(kWarn) << net::to_string(me_)
+                         << ": migration drain refilled " << round
+                         << " times; departing noisily";
+        suppress_unregister_.store(true, std::memory_order_release);
+        departed_.store(true, std::memory_order_release);
+        return true;
+      }
       mid = (static_cast<std::uint64_t>(me_.value) << 32) | next_mig_seq_++;
     }
     // Step 1: register the cargo snapshot with the Clearinghouse BEFORE any
@@ -629,6 +688,10 @@ bool UdpWorker::perform_evict() {
     std::vector<net::NodeId> candidates;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      // The ledger entry exists from here until the coordinator retires it
+      // (even if this depart is abandoned below): retain the fill log for a
+      // possible kReroute replay until the retirement notice arrives.
+      outstanding_migrations_.insert(mid);
       candidates = peers_;
       for (std::size_t i = candidates.size(); i > 1; --i) {
         std::swap(candidates[i - 1], candidates[rng_.below(i)]);
@@ -703,16 +766,22 @@ bool UdpWorker::perform_evict() {
       PHISH_LOG(kWarn) << net::to_string(me_)
                        << ": holder confirm failed; departing noisily";
       suppress_unregister_.store(true, std::memory_order_release);
-      break;
+      departed_.store(true, std::memory_order_release);
+      return true;
     }
   }
-  departed_.store(true, std::memory_order_release);
-  return true;
 }
 
 void UdpWorker::log_and_forward_fill_locked(proto::ArgumentMsg arg) {
   if (arg.ttl == 0) return;  // forwarding-cycle guard: drop, let redo cover
   --arg.ttl;
+  if (forward_to_.valid() && outstanding_migrations_.empty()) {
+    // Every ledger entry we originated is retired, so no kReroute can ever
+    // ask for a replay: forward without retaining.  (With no successor yet
+    // the fill must still be buffered below, retirement or not.)
+    rpc_.send_oneway(forward_to_, proto::kArgument, arg.encode());
+    return;
+  }
   fill_log_.push_back(arg.encode());
   flush_fill_log_locked();
 }

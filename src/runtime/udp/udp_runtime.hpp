@@ -217,9 +217,17 @@ class UdpWorker {
   std::unordered_set<std::uint32_t> ever_died_;  // death notices ever heard
   /// Encoded ArgumentMsgs the stub buffered/forwarded after the drain; the
   /// whole log replays at the new holder on a kReroute (the previous holder
-  /// died and the coordinator redelivered our cargo elsewhere).
+  /// died and the coordinator redelivered our cargo elsewhere).  Retained
+  /// only while outstanding_migrations_ is non-empty: once the coordinator
+  /// has sent a kMigrationRetired for every migration we registered, no
+  /// reroute can ever replay it, so it is cleared (and later fills are
+  /// forwarded without being logged) instead of growing for the stub's
+  /// whole lifetime.
   std::vector<Bytes> fill_log_;
   std::size_t flushed_fills_ = 0;
+  /// Migration ids we registered in the coordinator's ledger whose entries
+  /// have not been retired yet (kMigrationRetired erases them).
+  std::unordered_set<std::uint64_t> outstanding_migrations_;
 
   obs::Histogram& steal_latency_ =
       obs::Registry::global().histogram("steal.latency_ns");

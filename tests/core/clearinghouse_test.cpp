@@ -40,6 +40,7 @@ class ClearinghouseTest : public ::testing::Test {
     std::vector<std::uint16_t> received_types;
     std::vector<net::NodeId> dead_notices;
     std::vector<std::pair<net::NodeId, std::uint64_t>> new_primaries;
+    std::vector<std::uint64_t> retired_migrations;
 
     FakeWorker(net::SimNetwork& network, net::TimerService& timers,
                net::NodeId id)
@@ -53,6 +54,8 @@ class ClearinghouseTest : public ::testing::Test {
             dead_notices.push_back(msg->who);
           } else if (msg->kind == proto::ControlMsg::kNewPrimary) {
             new_primaries.emplace_back(msg->who, msg->view);
+          } else if (msg->kind == proto::ControlMsg::kMigrationRetired) {
+            retired_migrations.push_back(msg->view);
           }
         }
         return Bytes{};
@@ -546,6 +549,105 @@ TEST_F(ClearinghouseTest, MigrationLedgerRetiredByHolderUnregister) {
   w2.rpc.call(kCh, proto::kRpcUnregister, {}, [](net::RpcResult) {});
   sim_.run();
   EXPECT_EQ(ch.migration_ledger_size(), 0u);
+  // The origin's forwarding stub hears about the retirement, so it can stop
+  // retaining the fill log it kept for a possible kReroute replay.
+  ASSERT_EQ(w1.retired_migrations.size(), 1u);
+  EXPECT_EQ(w1.retired_migrations[0], reg.migration_id);
+}
+
+TEST_F(ClearinghouseTest, MigrationLedgerIgnoresStaleRegistrationReplay) {
+  // A reordered or duplicated frame of the ORIGINAL registration
+  // (holder == from) arriving after the step-3 confirm must not re-point
+  // the holder back to the origin: the origin's subsequent graceful
+  // unregister would then retire the entry and strand the successor's
+  // inherited cargo — the exact window the ledger exists to close.
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  w1.register_with(kCh, nullptr, 1);
+  w2.register_with(kCh, nullptr, 1);
+  sim_.run();
+
+  const std::uint64_t mid = (1ull << 32) | 1;
+  proto::MigrationLedgerMsg reg;
+  reg.migration_id = mid;
+  reg.from = net::NodeId{1};
+  reg.holder = net::NodeId{1};
+  reg.closures = {make_cargo(1, 7)};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, reg.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run();
+  proto::MigrationLedgerMsg upd;
+  upd.migration_id = mid;
+  upd.from = net::NodeId{1};
+  upd.holder = net::NodeId{2};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, upd.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run();
+
+  // The late duplicate of the registration (e.g. a retransmit that missed
+  // the RPC reply cache).  It must be acked — the caller only needs the
+  // original's outcome — but applied as a no-op.
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, reg.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run();
+  ASSERT_EQ(ch.migration_ledger_size(), 1u);
+
+  w1.rpc.call(kCh, proto::kRpcUnregister, {}, [](net::RpcResult) {});
+  sim_.run();
+  EXPECT_EQ(ch.migration_ledger_size(), 1u)
+      << "a stale registration replay re-pointed the holder to the origin, "
+         "and the origin's unregister retired the successor's cargo";
+}
+
+TEST_F(ClearinghouseTest, SupersedingRegistrationNotifiesRetiredOrigin) {
+  // When a holder drains everything it owns (including adopted cargo) into
+  // a new registration, the subsumed entries' origins must hear a
+  // retirement notice so their stubs can release the replay fill logs.
+  Clearinghouse ch(ch_rpc_, timers_, no_failure_detection());
+  ch.start();
+  FakeWorker w1(network_, timers_, net::NodeId{1});
+  FakeWorker w2(network_, timers_, net::NodeId{2});
+  FakeWorker w3(network_, timers_, net::NodeId{3});
+  w1.register_with(kCh, nullptr, 1);
+  w2.register_with(kCh, nullptr, 1);
+  w3.register_with(kCh, nullptr, 1);
+  sim_.run();
+
+  // w1 migrates to w2 (register + confirm).
+  const std::uint64_t mid1 = (1ull << 32) | 1;
+  proto::MigrationLedgerMsg reg;
+  reg.migration_id = mid1;
+  reg.from = net::NodeId{1};
+  reg.holder = net::NodeId{1};
+  reg.closures = {make_cargo(1, 7)};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, reg.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run();
+  proto::MigrationLedgerMsg upd;
+  upd.migration_id = mid1;
+  upd.from = net::NodeId{1};
+  upd.holder = net::NodeId{2};
+  w1.rpc.call(kCh, proto::kRpcMigrateLedger, upd.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run();
+
+  // w2 now departs too: its registration drains everything it holds —
+  // including w1's adopted cargo, re-snapshotted with all fills applied —
+  // which supersedes and retires mid1.
+  proto::MigrationLedgerMsg reg2;
+  reg2.migration_id = (2ull << 32) | 1;
+  reg2.from = net::NodeId{2};
+  reg2.holder = net::NodeId{2};
+  reg2.closures = {make_cargo(1, 7), make_cargo(2, 3)};
+  w2.rpc.call(kCh, proto::kRpcMigrateLedger, reg2.encode(),
+              [](net::RpcResult r) { ASSERT_TRUE(r.ok); });
+  sim_.run();
+
+  ASSERT_EQ(ch.migration_ledger_size(), 1u) << "mid1 subsumed by w2's drain";
+  ASSERT_EQ(w1.retired_migrations.size(), 1u);
+  EXPECT_EQ(w1.retired_migrations[0], mid1);
 }
 
 TEST_F(ClearinghouseTest, MigrationLedgerReplicatedToStandby) {

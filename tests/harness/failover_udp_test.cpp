@@ -4,11 +4,18 @@
 // These tests measure real-time failure detection (heartbeat and lease
 // timeouts against a wall clock), so they run RUN_SERIAL in ctest: a loaded
 // machine starves the heartbeat threads and turns timing into noise.
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "apps/apps.hpp"
+#include "core/clearinghouse.hpp"
+#include "core/closure.hpp"
+#include "core/protocol.hpp"
 #include "runtime/udp/udp_runtime.hpp"
 
 namespace phish::testing {
@@ -78,6 +85,104 @@ TEST(UdpFailover, ReclaimedWorkerDrainsThroughLedgerAndRejoins) {
   EXPECT_EQ(result.value.as_int(), fib_iterative(45));
   EXPECT_GT(result.aggregate.tasks_migrated_out, 0u)
       << "vacuous: the reclaim found worker 1 already empty";
+}
+
+TEST(UdpFailover, RejoinedWorkerReinstallsRedeliveredMigration) {
+  // Regression: the migration dedupe set belongs to one incarnation.  A
+  // worker that installed migration M, crashed, and rejoined must install a
+  // Clearinghouse redelivery of M AGAIN — the installs died with the old
+  // core.  A stale dedupe hit would ack true without installing, the ledger
+  // would record the new incarnation as holder, and the cargo would be
+  // silently and permanently lost.  (Common in small clusters: redelivery
+  // targets the lowest-id live participant, often the rejoined node
+  // itself.)  Here the test driver plays origin and coordinator so the
+  // redelivery deterministically lands on the rejoined worker.
+  TaskRegistry reg;
+  apps::register_fib(reg, /*sequential_cutoff=*/22);
+
+  net::UdpParams net_params;
+  net_params.base_port = 0;  // ephemeral: no collisions under ctest -j
+  net::UdpNetwork network(net_params);
+  net::ThreadTimerService timers;
+
+  const net::NodeId ch_node{0};
+  net::RpcNode ch_rpc(network.channel(ch_node), timers);
+  ClearinghouseConfig ch_cfg;
+  ch_cfg.detect_failures = false;
+  Clearinghouse ch(ch_rpc, timers, ch_cfg);
+  ch.start();
+
+  rt::UdpJobConfig cfg;
+  cfg.workers = 1;
+  cfg.rpc_policy = net::RetryPolicy{50'000'000, 3, 1.5};  // bounds rejoin()
+  rt::UdpWorker worker(network, timers, reg, net::NodeId{1}, {ch_node}, cfg,
+                       /*seed=*/0x5eed'1234ULL);
+  worker.start();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (ch.membership().participants.empty()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "worker never registered";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  net::RpcNode driver(network.channel(net::NodeId{2}), timers);
+  const auto call_migrate = [&](const proto::MigrateMsg& m) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false, accepted = false;
+    driver.call(
+        net::NodeId{1}, proto::kRpcMigrate, m.encode(),
+        [&](net::RpcResult r) {
+          if (r.ok) {
+            Reader rd(r.reply);
+            accepted = rd.boolean() && rd.ok();
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          done = true;
+          cv.notify_all();
+        },
+        cfg.rpc_policy);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return accepted;
+  };
+
+  // A waiting closure (one empty slot): installable and id-addressable but
+  // never executed, so the test stays a pure install-path probe.
+  const auto make_waiting_cargo = [] {
+    Closure c;
+    c.id = ClosureId{net::NodeId{2}, 7};
+    c.task = TaskId{0};
+    c.args.reset(1);
+    c.missing = 1;
+    return c;
+  };
+  const std::uint64_t mid = (2ull << 32) | 1;
+  proto::MigrateMsg first;
+  first.from = net::NodeId{2};
+  first.closures.push_back(make_waiting_cargo());
+  first.migration_id = mid;
+  first.redelivery = false;
+  ASSERT_TRUE(call_migrate(first)) << "live worker must accept the handoff";
+
+  worker.kill();
+  worker.rejoin();  // blocks until the dead life's thread is gone
+  ASSERT_EQ(worker.incarnation(), 2u);
+
+  proto::MigrateMsg redelivered;
+  redelivered.from = net::NodeId{2};
+  redelivered.closures.push_back(make_waiting_cargo());
+  redelivered.migration_id = mid;
+  redelivered.redelivery = true;
+  ASSERT_TRUE(call_migrate(redelivered));
+  EXPECT_GE(worker.stats_snapshot().tasks_migration_redone, 1u)
+      << "the rejoined incarnation deduped the redelivery against the dead "
+         "life's installs: the cargo was acked but never installed";
+
+  worker.request_stop();
+  worker.join();
+  ch.stop();
 }
 
 TEST(UdpFailover, KilledWorkerRejoinsMidJob) {
